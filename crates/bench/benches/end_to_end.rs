@@ -1,0 +1,50 @@
+//! Criterion benchmark of a complete mission: MLS-V3 flying one benign
+//! benchmark scenario end to end (takeoff → search → validation → landing).
+//! This measures how much wall-clock time one simulated mission costs, which
+//! bounds how long the Table I/III reproductions take.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mls_compute::{ComputeModel, ComputeProfile};
+use mls_core::{ExecutorConfig, LandingConfig, MissionExecutor, SystemVariant};
+use mls_sim_world::{ScenarioConfig, ScenarioGenerator};
+
+fn bench_full_mission(c: &mut Criterion) {
+    let scenarios = ScenarioGenerator::new(ScenarioConfig {
+        maps: 1,
+        scenarios_per_map: 1,
+        ..ScenarioConfig::default()
+    })
+    .generate_benchmark(77)
+    .unwrap();
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for variant in [SystemVariant::MlsV1, SystemVariant::MlsV3] {
+        group.bench_function(format!("mission_{}", variant.label()), |b| {
+            b.iter(|| {
+                let compute = ComputeModel::new(ComputeProfile::desktop_sil()).unwrap();
+                let executor = MissionExecutor::for_variant(
+                    std::hint::black_box(&scenarios[0]),
+                    variant,
+                    LandingConfig::default(),
+                    compute,
+                    ExecutorConfig::default(),
+                    11,
+                )
+                .unwrap();
+                executor.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_full_mission
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the state-estimation and sensing substrate:
+//! EKF cycles, GNSS/IMU sampling, and depth-camera capture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mls_geom::{Pose, Vec3};
+use mls_sim_uav::{
+    DepthCamera, DepthCameraConfig, Ekf, EkfConfig, GpsSensor, ImuConfig, ImuSensor, VehicleState,
+};
+use mls_sim_world::{MapStyle, Obstacle, Weather, WorldMap};
+
+fn bench_ekf(c: &mut Criterion) {
+    c.bench_function("ekf_predict_update_cycle", |b| {
+        let mut ekf = Ekf::new(EkfConfig::default(), Vec3::ZERO);
+        let accel = Vec3::new(0.1, -0.2, 0.05);
+        let position = Vec3::new(1.0, 2.0, 10.0);
+        b.iter(|| {
+            ekf.predict(std::hint::black_box(accel), 0.02);
+            ekf.update_gps(std::hint::black_box(position), Vec3::ZERO, 0.9);
+            ekf.update_baro(10.0);
+            ekf.position()
+        })
+    });
+}
+
+fn bench_sensors(c: &mut Criterion) {
+    let mut state = VehicleState::grounded(Vec3::new(0.0, 0.0, 10.0));
+    state.landed = false;
+    c.bench_function("gps_sample", |b| {
+        let mut gps = GpsSensor::from_weather(&Weather::rain(), 1);
+        b.iter(|| gps.sample(std::hint::black_box(&state), 0.2))
+    });
+    c.bench_function("imu_sample", |b| {
+        let mut imu = ImuSensor::new(ImuConfig::pixhawk_2_4_8(), 1);
+        b.iter(|| imu.sample(std::hint::black_box(&state), 0.005))
+    });
+}
+
+fn bench_depth_capture(c: &mut Criterion) {
+    let world = WorldMap::empty("bench", MapStyle::Urban, 80.0)
+        .with_obstacle(Obstacle::building(Vec3::new(12.0, 0.0, 0.0), 8.0, 8.0, 15.0))
+        .with_obstacle(Obstacle::tree(Vec3::new(8.0, -6.0, 0.0), 5.0, 3.0))
+        .with_obstacle(Obstacle::building(Vec3::new(20.0, 8.0, 0.0), 10.0, 6.0, 20.0));
+    let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 8.0), 0.0);
+    c.bench_function("depth_camera_capture_24x18", |b| {
+        let mut camera = DepthCamera::new(DepthCameraConfig::default(), 1);
+        b.iter(|| camera.capture(&world, std::hint::black_box(&pose), &pose))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_ekf, bench_sensors, bench_depth_capture
+}
+criterion_main!(benches);

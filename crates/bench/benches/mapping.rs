@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the occupancy-map substrates: point-cloud
+//! insertion and occupancy queries for the dense local grid (MLS-V2) and the
+//! probabilistic octree (MLS-V3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mls_geom::Vec3;
+use mls_mapping::{OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap};
+
+fn synthetic_cloud(points: usize) -> Vec<Vec3> {
+    (0..points)
+        .map(|i| {
+            let a = i as f64 * 0.017;
+            Vec3::new(
+                12.0 + (a * 3.1).sin() * 5.0,
+                (a * 2.3).cos() * 8.0,
+                1.0 + (i % 20) as f64 * 0.4,
+            )
+        })
+        .collect()
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_insert_cloud");
+    for &points in &[100usize, 400, 1600] {
+        let cloud = synthetic_cloud(points);
+        let origin = Vec3::new(0.0, 0.0, 6.0);
+        group.bench_with_input(BenchmarkId::new("grid", points), &cloud, |b, cloud| {
+            b.iter(|| {
+                let mut grid = VoxelGridMap::new(VoxelGridConfig::default()).unwrap();
+                grid.insert_cloud(origin, std::hint::black_box(cloud));
+                grid
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("octree", points), &cloud, |b, cloud| {
+            b.iter(|| {
+                let mut tree = OctreeMap::new(OctreeConfig::default()).unwrap();
+                tree.insert_cloud(origin, std::hint::black_box(cloud));
+                tree
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let cloud = synthetic_cloud(1600);
+    let origin = Vec3::new(0.0, 0.0, 6.0);
+    let mut grid = VoxelGridMap::new(VoxelGridConfig::default()).unwrap();
+    let mut tree = OctreeMap::new(OctreeConfig::default()).unwrap();
+    grid.insert_cloud(origin, &cloud);
+    tree.insert_cloud(origin, &cloud);
+
+    let mut group = c.benchmark_group("map_queries");
+    group.bench_function("grid_state_at", |b| {
+        b.iter(|| grid.state_at(std::hint::black_box(Vec3::new(12.0, 2.0, 3.0))))
+    });
+    group.bench_function("octree_state_at", |b| {
+        b.iter(|| tree.state_at(std::hint::black_box(Vec3::new(12.0, 2.0, 3.0))))
+    });
+    group.bench_function("grid_segment_blocked", |b| {
+        b.iter(|| {
+            grid.segment_blocked(
+                std::hint::black_box(Vec3::new(0.0, 0.0, 5.0)),
+                Vec3::new(20.0, 0.0, 5.0),
+                0.9,
+                false,
+            )
+        })
+    });
+    group.bench_function("octree_segment_blocked", |b| {
+        b.iter(|| {
+            tree.segment_blocked(
+                std::hint::black_box(Vec3::new(0.0, 0.0, 5.0)),
+                Vec3::new(20.0, 0.0, 5.0),
+                0.9,
+                false,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_insertion, bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the path planners: bounded A* (MLS-V2) and
+//! RRT* (MLS-V3) over maps of increasing obstacle density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mls_geom::Vec3;
+use mls_mapping::{OctreeConfig, OctreeMap};
+use mls_planning::{AStarPlanner, PathPlanner, RrtStarConfig, RrtStarPlanner};
+
+/// An octree populated with `columns` vertical pillars between start and goal.
+fn pillar_world(columns: usize) -> OctreeMap {
+    let mut tree = OctreeMap::new(OctreeConfig {
+        resolution: 0.4,
+        half_extent: 64.0,
+        ..OctreeConfig::default()
+    })
+    .unwrap();
+    for i in 0..columns {
+        let x = 6.0 + (i as f64 * 37.0) % 20.0;
+        let y = -8.0 + (i as f64 * 53.0) % 16.0;
+        for z in 0..30 {
+            tree.mark_occupied(Vec3::new(x, y, z as f64 * 0.4));
+            tree.mark_occupied(Vec3::new(x + 0.4, y, z as f64 * 0.4));
+        }
+    }
+    tree
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(28.0, 0.0, 5.0);
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(20);
+    for &pillars in &[0usize, 6, 18] {
+        let world = pillar_world(pillars);
+        group.bench_with_input(BenchmarkId::new("astar", pillars), &world, |b, world| {
+            b.iter(|| {
+                let mut planner = AStarPlanner::new();
+                planner.plan(world, std::hint::black_box(start), goal)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rrt_star", pillars), &world, |b, world| {
+            b.iter(|| {
+                let mut planner = RrtStarPlanner::with_config(RrtStarConfig {
+                    seed: 3,
+                    ..RrtStarConfig::default()
+                });
+                planner.plan(world, std::hint::black_box(start), goal)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_planners
+}
+criterion_main!(benches);

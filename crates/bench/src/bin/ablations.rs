@@ -1,0 +1,223 @@
+//! Ablation studies of the design choices discussed in the paper.
+//!
+//! These go beyond the published tables: they quantify the §III-D
+//! safety-vs-availability trade-off (validation strictness, clearances), the
+//! mapping-representation choice (dense grid vs octree memory), the RRT*
+//! iteration budget, the flight-controller upgrade (Pixhawk 2.4.8 → Cuav
+//! X7+), and the RTK mitigation §V-C proposes for GNSS drift.
+
+use mls_bench::{generate_scenarios, percent, print_header, run_missions, HarnessOptions};
+use mls_compute::ComputeProfile;
+use mls_core::{ExecutorConfig, LandingConfig, MissionResult, SystemVariant};
+use mls_geom::Vec3;
+use mls_mapping::{OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap};
+use mls_planning::{PathPlanner, RrtStarConfig, RrtStarPlanner};
+use mls_sim_uav::{GpsConfig, GpsSensor, ImuConfig, UavConfig, Uav};
+use mls_sim_world::Weather;
+use mls_vision::MarkerDictionary;
+
+fn small_options() -> HarnessOptions {
+    let mut options = HarnessOptions::from_env();
+    options.maps = options.maps.min(3);
+    options.scenarios_per_map = options.scenarios_per_map.min(4);
+    options.repeats = 1;
+    options
+}
+
+/// Safety vs availability: sweep the validation strictness and clearances.
+fn ablation_safety_availability() {
+    print_header("Ablation 1 — Safety vs availability (validation strictness, clearances)");
+    let options = small_options();
+    let scenarios = generate_scenarios(&options);
+    let executor = ExecutorConfig::default();
+    let profile = ComputeProfile::desktop_sil();
+
+    println!(
+        "{:<24} {:>10} {:>12} {:>14} {:>10}",
+        "Configuration", "success", "collision", "poor landing", "aborts"
+    );
+    for (label, config) in [
+        ("availability-biased", LandingConfig::availability_biased()),
+        ("default", LandingConfig::default()),
+        ("safety-biased", LandingConfig::safety_biased()),
+    ] {
+        let outcomes = run_missions(&scenarios, SystemVariant::MlsV3, &profile, &config, &executor, &options);
+        let rate = |r: MissionResult| {
+            outcomes.iter().filter(|o| o.result == r).count() as f64 / outcomes.len() as f64
+        };
+        let aborts: usize = outcomes.iter().map(|o| o.landing_aborts).sum();
+        println!(
+            "{:<24} {:>10} {:>12} {:>14} {:>10}",
+            label,
+            percent(rate(MissionResult::Success)),
+            percent(rate(MissionResult::CollisionFailure)),
+            percent(rate(MissionResult::PoorLanding)),
+            aborts
+        );
+    }
+    println!("Expected shape: stricter settings abort more (lower availability) but collide less.");
+}
+
+/// Grid vs octree memory at matched resolution over the same observations.
+fn ablation_map_memory() {
+    print_header("Ablation 2 — Occupancy-map memory: dense grid vs octree");
+    println!(
+        "{:>12} {:>18} {:>18} {:>10}",
+        "resolution", "dense grid", "octree", "ratio"
+    );
+    for resolution in [0.8, 0.4, 0.2] {
+        let mut grid = VoxelGridMap::new(VoxelGridConfig {
+            resolution,
+            half_extent_xy: 60.0,
+            height: 30.0,
+            carve_free_space: true,
+            max_range: 18.0,
+        })
+        .unwrap();
+        let mut tree = OctreeMap::new(OctreeConfig {
+            resolution,
+            half_extent: 64.0,
+            ..OctreeConfig::default()
+        })
+        .unwrap();
+        // A typical observation pattern: a few buildings seen from a transit.
+        let origin = Vec3::new(0.0, 0.0, 8.0);
+        let mut points = Vec::new();
+        for i in 0..400 {
+            let a = i as f64 * 0.02;
+            points.push(Vec3::new(15.0 + (a * 3.0).sin() * 4.0, a * 10.0 - 4.0, 1.0 + (i % 12) as f64 * 0.5));
+        }
+        grid.insert_cloud(origin, &points);
+        tree.insert_cloud(origin, &points);
+        println!(
+            "{:>10.1} m {:>14} KiB {:>14} KiB {:>9.1}x",
+            resolution,
+            grid.memory_bytes() / 1024,
+            tree.memory_bytes() / 1024,
+            grid.memory_bytes() as f64 / tree.memory_bytes().max(1) as f64
+        );
+    }
+    println!("Expected shape: the dense grid grows cubically with resolution; the octree grows");
+    println!("with observed structure only (the paper's motivation for OctoMap).");
+}
+
+/// RRT* iteration budget: path quality and failure rate against a cluttered map.
+fn ablation_rrt_budget() {
+    print_header("Ablation 3 — RRT* iteration budget");
+    let mut tree = OctreeMap::new(OctreeConfig {
+        resolution: 0.4,
+        half_extent: 64.0,
+        ..OctreeConfig::default()
+    })
+    .unwrap();
+    // Two staggered walls forming a chicane.
+    for y in -20..=6 {
+        for z in 0..30 {
+            tree.mark_occupied(Vec3::new(10.0, y as f64 * 0.4, z as f64 * 0.4));
+        }
+    }
+    for y in -6..=20 {
+        for z in 0..30 {
+            tree.mark_occupied(Vec3::new(18.0, y as f64 * 0.4, z as f64 * 0.4));
+        }
+    }
+    let start = Vec3::new(0.0, 0.0, 5.0);
+    let goal = Vec3::new(28.0, 0.0, 5.0);
+    println!("{:>12} {:>10} {:>14} {:>18}", "iterations", "found", "path length", "sharpest corner");
+    for budget in [200usize, 600, 1500, 4000] {
+        let mut planner = RrtStarPlanner::with_config(RrtStarConfig {
+            max_iterations: budget,
+            seed: 9,
+            ..RrtStarConfig::default()
+        });
+        match planner.plan(&tree, start, goal) {
+            Ok(outcome) => println!(
+                "{:>12} {:>10} {:>12.1} m {:>17.0}°",
+                budget,
+                "yes",
+                outcome.path.length(),
+                outcome.path.sharpest_corner().to_degrees()
+            ),
+            Err(_) => println!("{:>12} {:>10} {:>14} {:>18}", budget, "no", "-", "-"),
+        }
+    }
+    println!("Expected shape: larger budgets find the chicane more reliably and produce");
+    println!("shorter, smoother paths (rewiring + shortcutting get more samples to work with).");
+}
+
+/// Flight-controller upgrade and RTK mitigation: estimation quality.
+fn ablation_sensors() {
+    print_header("Ablation 4 — Sensor upgrades: Pixhawk 2.4.8 vs Cuav X7+, RTK GNSS");
+    let world = mls_sim_world::WorldMap::empty("ablation", mls_sim_world::MapStyle::Rural, 100.0);
+    println!("{:<44} {:>22}", "Configuration", "EKF error after 60 s hover");
+    for (label, imu, rtk) in [
+        ("Pixhawk 2.4.8 IMU, standard GNSS (rain)", ImuConfig::pixhawk_2_4_8(), false),
+        ("Cuav X7+ IMU, standard GNSS (rain)", ImuConfig::cuav_x7_pro(), false),
+        ("Cuav X7+ IMU, RTK GNSS (rain)", ImuConfig::cuav_x7_pro(), true),
+    ] {
+        let mut config = UavConfig::default();
+        config.imu = imu;
+        if rtk {
+            config.gps_override = Some(GpsConfig::from_weather(&Weather::rain()).with_rtk());
+        }
+        let mut uav = Uav::new(config, Weather::rain(), Vec3::ZERO, MarkerDictionary::standard(), 17);
+        uav.autopilot_mut().arm_and_takeoff(10.0);
+        for _ in 0..(60.0 / uav.physics_dt()) as usize {
+            uav.step(&world);
+        }
+        println!("{:<44} {:>19.2} m", label, uav.estimation_error());
+    }
+    // Drift magnitude alone, for §V-C's RTK proposal.
+    let mut state = mls_sim_uav::VehicleState::grounded(Vec3::new(0.0, 0.0, 10.0));
+    state.landed = false;
+    let mut standard = GpsSensor::from_weather(&Weather::rain(), 3);
+    let mut rtk = GpsSensor::new(GpsConfig::from_weather(&Weather::rain()).with_rtk(), 3);
+    for _ in 0..3000 {
+        standard.sample(&state, 0.2);
+        rtk.sample(&state, 0.2);
+    }
+    println!(
+        "10-minute GNSS drift in rain: standard {:.2} m vs RTK {:.2} m",
+        standard.drift().norm(),
+        rtk.drift().norm()
+    );
+}
+
+/// Detection-rate ablation: how often the marker camera must run.
+fn ablation_detection_rate() {
+    print_header("Ablation 5 — Detection rate vs landing outcome");
+    let options = small_options();
+    let scenarios = generate_scenarios(&options);
+    let executor = ExecutorConfig::default();
+    let profile = ComputeProfile::jetson_nano_maxn();
+    println!("{:>16} {:>10} {:>12} {:>12}", "detection rate", "success", "collision", "mean CPU");
+    for rate in [0.5, 1.0, 2.0, 4.0] {
+        let mut landing = LandingConfig::default();
+        landing.detection_rate_hz = rate;
+        let outcomes = run_missions(&scenarios, SystemVariant::MlsV3, &profile, &landing, &executor, &options);
+        let success = outcomes.iter().filter(|o| o.result == MissionResult::Success).count() as f64
+            / outcomes.len() as f64;
+        let collision = outcomes
+            .iter()
+            .filter(|o| o.result == MissionResult::CollisionFailure)
+            .count() as f64
+            / outcomes.len() as f64;
+        let cpu = outcomes.iter().map(|o| o.mean_cpu).sum::<f64>() / outcomes.len() as f64;
+        println!(
+            "{:>13.1} Hz {:>10} {:>12} {:>11.0}%",
+            rate,
+            percent(success),
+            percent(collision),
+            cpu * 100.0
+        );
+    }
+    println!("Expected shape: very low rates hurt validation/landing; higher rates cost CPU on the Jetson.");
+}
+
+fn main() {
+    ablation_safety_availability();
+    ablation_map_memory();
+    ablation_rrt_budget();
+    ablation_sensors();
+    ablation_detection_rate();
+}

@@ -1,0 +1,101 @@
+//! §V-C — landing accuracy across SIL, HIL and real-world conditions.
+//!
+//! The paper reports that the real-world drone "was able to land within 60 cm
+//! of the marker on average, higher than the 25 cm observed in SIL and HIL
+//! tests, primarily due to GPS inaccuracies and wind during the final
+//! descent". This harness flies MLS-V3 over the same scenarios three ways:
+//!
+//! * **SIL** — desktop compute, scenario weather as generated;
+//! * **HIL** — Jetson Nano compute, same weather;
+//! * **Real-world** — Jetson Nano with the live camera pipeline, plus field
+//!   conditions: degraded GNSS geometry and gusty wind (the §V-C flights).
+
+use mls_bench::{generate_scenarios, percent, print_comparison, print_header, run_missions, HarnessOptions};
+use mls_compute::ComputeProfile;
+use mls_core::{ExecutorConfig, LandingConfig, MissionOutcome, SystemVariant};
+use mls_geom::Vec3;
+use mls_sim_world::Scenario;
+
+/// Applies the real-world field conditions of §V-C to a scenario: gusty wind
+/// and a GNSS constellation degraded enough to produce the drift of Fig. 5d.
+fn to_field_conditions(scenario: &Scenario) -> Scenario {
+    let mut field = scenario.clone();
+    field.weather.label = format!("{}-field", field.weather.label);
+    field.weather.gps_degradation = field.weather.gps_degradation.max(0.6);
+    field.weather.wind_mean = Vec3::new(3.5, 1.5, 0.0);
+    field.weather.wind_gust = field.weather.wind_gust.max(2.5);
+    field
+}
+
+fn summary(outcomes: &[MissionOutcome]) -> (f64, f64, usize) {
+    let landed: Vec<f64> = outcomes.iter().filter_map(|o| o.landing_error).collect();
+    let mean = if landed.is_empty() {
+        f64::NAN
+    } else {
+        landed.iter().sum::<f64>() / landed.len() as f64
+    };
+    let success = outcomes
+        .iter()
+        .filter(|o| o.result == mls_core::MissionResult::Success)
+        .count() as f64
+        / outcomes.len() as f64;
+    (mean, success, landed.len())
+}
+
+fn main() {
+    print_header("§V-C — Landing accuracy: SIL vs HIL vs real-world conditions");
+    let mut options = HarnessOptions::from_env();
+    options.maps = options.maps.min(4);
+    options.scenarios_per_map = options.scenarios_per_map.min(5);
+    let scenarios = generate_scenarios(&options);
+    let field_scenarios: Vec<Scenario> = scenarios.iter().map(to_field_conditions).collect();
+
+    let landing = LandingConfig::default();
+    let executor = ExecutorConfig::default();
+
+    let cases = [
+        ("SIL (desktop)", &scenarios, ComputeProfile::desktop_sil()),
+        ("HIL (Jetson Nano)", &scenarios, ComputeProfile::jetson_nano_maxn()),
+        (
+            "Real-world (Jetson + field weather)",
+            &field_scenarios,
+            ComputeProfile::jetson_nano_realworld(),
+        ),
+    ];
+
+    println!(
+        "{:<38} {:>14} {:>12} {:>10} {:>14}",
+        "Campaign", "mean error", "landed runs", "success", "mean GPS drift"
+    );
+    let mut means = Vec::new();
+    for (label, scenario_set, profile) in cases {
+        let outcomes = run_missions(
+            scenario_set,
+            SystemVariant::MlsV3,
+            &profile,
+            &landing,
+            &executor,
+            &options,
+        );
+        let (mean_error, success, landed) = summary(&outcomes);
+        let drift = outcomes.iter().map(|o| o.gps_drift).sum::<f64>() / outcomes.len() as f64;
+        println!(
+            "{:<38} {:>11.2} m {:>12} {:>10} {:>11.2} m",
+            label,
+            mean_error,
+            landed,
+            percent(success),
+            drift
+        );
+        means.push(mean_error);
+    }
+
+    println!();
+    print_comparison("SIL/HIL mean landing deviation", "~0.25 m", &format!("{:.2} m", means[0]));
+    print_comparison("Real-world mean landing deviation", "~0.60 m", &format!("{:.2} m", means[2]));
+    println!();
+    println!(
+        "Expected shape: real-world deviation exceeds SIL/HIL deviation. Measured: {}",
+        if means[2] > means[0] { "reproduced" } else { "check the table above" }
+    );
+}

@@ -1,0 +1,94 @@
+//! Table I — Software-in-the-Loop comparison of MLS-V1/V2/V3.
+//!
+//! Reproduces the paper's SIL campaign: every system generation flies the
+//! full benchmark (10 maps × 10 scenarios, half adverse weather, `MLS_REPEATS`
+//! repetitions) on the desktop compute profile, and the landing outcomes are
+//! bucketed into success / collision failure / poor-landing failure.
+//!
+//! Paper values (Table I):
+//! MLS-V1 24.67% / 71.33% / 4.00%,
+//! MLS-V2 42.00% / 48.67% / 9.34%,
+//! MLS-V3 84.00% / 3.33% / 12.67%.
+
+use mls_bench::{generate_scenarios, percent, print_comparison, print_header, run_and_summarise, HarnessOptions};
+use mls_compute::ComputeProfile;
+use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+
+fn main() {
+    let options = HarnessOptions::from_env();
+    print_header("Table I — Experiment results of SIL testing");
+    println!(
+        "benchmark: {} maps x {} scenarios x {} repeats = {} missions per system, {} threads",
+        options.maps,
+        options.scenarios_per_map,
+        options.repeats,
+        options.missions_per_variant(),
+        options.threads
+    );
+
+    let scenarios = generate_scenarios(&options);
+    let profile = ComputeProfile::desktop_sil();
+    let landing = LandingConfig::default();
+    let executor = ExecutorConfig::default();
+
+    let paper_rows = [
+        (SystemVariant::MlsV1, (24.67, 71.33, 4.00)),
+        (SystemVariant::MlsV2, (42.00, 48.67, 9.34)),
+        (SystemVariant::MlsV3, (84.00, 3.33, 12.67)),
+    ];
+
+    println!();
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "System", "Success", "Collision", "PoorLanding", "Landing err", "Detection err"
+    );
+    let mut summaries = Vec::new();
+    for (variant, paper) in paper_rows {
+        let (summary, outcomes) =
+            run_and_summarise(&scenarios, variant, &profile, &landing, &executor, &options);
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>13.2}m {:>13.2}m",
+            variant.label(),
+            percent(summary.success_rate),
+            percent(summary.collision_rate),
+            percent(summary.poor_landing_rate),
+            summary.mean_landing_error.unwrap_or(f64::NAN),
+            summary.mean_detection_error.unwrap_or(f64::NAN),
+        );
+        print_comparison(
+            &format!("{} successful landing rate", variant.label()),
+            &format!("{:.2}%", paper.0),
+            &percent(summary.success_rate),
+        );
+        print_comparison(
+            &format!("{} failure rate due to collision", variant.label()),
+            &format!("{:.2}%", paper.1),
+            &percent(summary.collision_rate),
+        );
+        print_comparison(
+            &format!("{} failure rate due to poor landing", variant.label()),
+            &format!("{:.2}%", paper.2),
+            &percent(summary.poor_landing_rate),
+        );
+        let _ = outcomes;
+        summaries.push(summary);
+    }
+
+    println!();
+    println!("Shape checks (the reproduction targets ordering, not absolute numbers):");
+    let v1 = &summaries[0];
+    let v2 = &summaries[1];
+    let v3 = &summaries[2];
+    println!(
+        "  success ordering V1 < V2 < V3:      {}",
+        v1.success_rate < v2.success_rate && v2.success_rate < v3.success_rate
+    );
+    println!(
+        "  collision ordering V1 > V2 > V3:    {}",
+        v1.collision_rate > v2.collision_rate && v2.collision_rate > v3.collision_rate
+    );
+    println!(
+        "  V3 trades collisions for aborts:    {}",
+        v3.poor_landing_rate >= v2.poor_landing_rate || v3.collision_rate < 0.1
+    );
+}

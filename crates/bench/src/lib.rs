@@ -1,0 +1,264 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper's
+//! evaluation. They share the same scaffolding: generate the benchmark
+//! scenario suite, fly a set of system variants over it on a chosen compute
+//! profile (in parallel across OS threads), aggregate the outcomes, and print
+//! a plain-text table next to the values the paper reports.
+//!
+//! The workload size is controlled by environment variables so the same
+//! binaries serve both quick smoke runs and the full reproduction:
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `MLS_MAPS` | number of benchmark maps | 10 |
+//! | `MLS_SCENARIOS_PER_MAP` | scenarios per map | 10 |
+//! | `MLS_REPEATS` | repetitions per scenario | 1 (paper: 3) |
+//! | `MLS_THREADS` | worker threads | available parallelism |
+//! | `MLS_SEED` | benchmark seed | 2025 |
+//! | `MLS_QUICK` | set to `1` for a 3×4 smoke benchmark | unset |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mls_compute::{ComputeModel, ComputeProfile};
+use mls_core::{
+    BenchmarkSummary, ExecutorConfig, LandingConfig, MissionExecutor, MissionOutcome, SystemVariant,
+};
+use mls_sim_world::{Scenario, ScenarioConfig, ScenarioGenerator};
+
+/// Workload sizing for a harness run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessOptions {
+    /// Number of benchmark maps.
+    pub maps: usize,
+    /// Scenarios generated per map.
+    pub scenarios_per_map: usize,
+    /// Repetitions of every scenario (the paper uses 3).
+    pub repeats: usize,
+    /// Worker threads used to fly missions in parallel.
+    pub threads: usize,
+    /// Benchmark seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            maps: 10,
+            scenarios_per_map: 10,
+            repeats: 1,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            seed: 2025,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// A small smoke-test workload (3 maps × 4 scenarios).
+    pub fn quick() -> Self {
+        Self {
+            maps: 3,
+            scenarios_per_map: 4,
+            repeats: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Reads the workload size from the `MLS_*` environment variables.
+    pub fn from_env() -> Self {
+        let mut options = if std::env::var("MLS_QUICK").map(|v| v == "1").unwrap_or(false) {
+            Self::quick()
+        } else {
+            Self::default()
+        };
+        let read = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok());
+        if let Some(v) = read("MLS_MAPS") {
+            options.maps = v.max(1);
+        }
+        if let Some(v) = read("MLS_SCENARIOS_PER_MAP") {
+            options.scenarios_per_map = v.max(1);
+        }
+        if let Some(v) = read("MLS_REPEATS") {
+            options.repeats = v.max(1);
+        }
+        if let Some(v) = read("MLS_THREADS") {
+            options.threads = v.max(1);
+        }
+        if let Some(v) = std::env::var("MLS_SEED").ok().and_then(|v| v.parse::<u64>().ok()) {
+            options.seed = v;
+        }
+        options
+    }
+
+    /// Total missions flown per system variant.
+    pub fn missions_per_variant(&self) -> usize {
+        self.maps * self.scenarios_per_map * self.repeats
+    }
+}
+
+/// Generates the benchmark scenario suite for a set of options.
+///
+/// # Panics
+///
+/// Panics when the scenario generator rejects the options (zero maps), which
+/// [`HarnessOptions`] prevents.
+pub fn generate_scenarios(options: &HarnessOptions) -> Vec<Scenario> {
+    let config = ScenarioConfig {
+        maps: options.maps,
+        scenarios_per_map: options.scenarios_per_map,
+        ..ScenarioConfig::default()
+    };
+    ScenarioGenerator::new(config)
+        .generate_benchmark(options.seed)
+        .expect("benchmark scenario generation cannot fail for validated options")
+}
+
+/// Flies one system variant over every scenario (times `repeats`), spreading
+/// the missions over `threads` OS threads.
+pub fn run_missions(
+    scenarios: &[Scenario],
+    variant: SystemVariant,
+    profile: &ComputeProfile,
+    landing: &LandingConfig,
+    executor: &ExecutorConfig,
+    options: &HarnessOptions,
+) -> Vec<MissionOutcome> {
+    let mut jobs: Vec<(usize, &Scenario, u64)> = Vec::new();
+    for repeat in 0..options.repeats {
+        for scenario in scenarios {
+            let seed = options
+                .seed
+                .wrapping_mul(31)
+                .wrapping_add(scenario.id as u64)
+                .wrapping_add((repeat as u64) << 24);
+            jobs.push((jobs.len(), scenario, seed));
+        }
+    }
+
+    let threads = options.threads.max(1).min(jobs.len().max(1));
+    let mut outcomes: Vec<Option<MissionOutcome>> = vec![None; jobs.len()];
+    let chunk_size = jobs.len().div_ceil(threads);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_index, chunk) in jobs.chunks(chunk_size).enumerate() {
+            let profile = profile.clone();
+            let landing = landing.clone();
+            let executor_config = executor.clone();
+            handles.push((
+                chunk_index,
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|(job_index, scenario, seed)| {
+                            let compute = ComputeModel::new(profile.clone())
+                                .expect("benchmark compute profiles are valid");
+                            let mission = MissionExecutor::for_variant(
+                                scenario,
+                                variant,
+                                landing.clone(),
+                                compute,
+                                executor_config.clone(),
+                                *seed,
+                            )
+                            .expect("benchmark landing configuration is valid");
+                            (*job_index, mission.run())
+                        })
+                        .collect::<Vec<(usize, MissionOutcome)>>()
+                }),
+            ));
+        }
+        for (_, handle) in handles {
+            for (job_index, outcome) in handle.join().expect("mission worker thread panicked") {
+                outcomes[job_index] = Some(outcome);
+            }
+        }
+    });
+
+    outcomes.into_iter().map(|o| o.expect("every job ran")).collect()
+}
+
+/// Runs a variant and aggregates it into a summary in one call.
+pub fn run_and_summarise(
+    scenarios: &[Scenario],
+    variant: SystemVariant,
+    profile: &ComputeProfile,
+    landing: &LandingConfig,
+    executor: &ExecutorConfig,
+    options: &HarnessOptions,
+) -> (BenchmarkSummary, Vec<MissionOutcome>) {
+    let outcomes = run_missions(scenarios, variant, profile, landing, executor, options);
+    (BenchmarkSummary::from_outcomes(variant, &outcomes), outcomes)
+}
+
+/// Prints a boxed section header.
+pub fn print_header(title: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn percent(value: f64) -> String {
+    format!("{:.2}%", value * 100.0)
+}
+
+/// Prints the paper-reported value next to the measured one.
+pub fn print_comparison(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<42} paper: {paper:>10}   measured: {measured:>10}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_options_are_smaller_than_default() {
+        let quick = HarnessOptions::quick();
+        let full = HarnessOptions::default();
+        assert!(quick.missions_per_variant() < full.missions_per_variant());
+        assert_eq!(full.missions_per_variant(), 100);
+    }
+
+    #[test]
+    fn scenario_generation_matches_options() {
+        let options = HarnessOptions {
+            maps: 2,
+            scenarios_per_map: 3,
+            ..HarnessOptions::quick()
+        };
+        let scenarios = generate_scenarios(&options);
+        assert_eq!(scenarios.len(), 6);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.8432), "84.32%");
+        assert_eq!(percent(0.0), "0.00%");
+    }
+
+    #[test]
+    fn missions_run_in_parallel_and_preserve_order() {
+        let options = HarnessOptions {
+            maps: 1,
+            scenarios_per_map: 2,
+            repeats: 1,
+            threads: 2,
+            seed: 3,
+        };
+        let scenarios = generate_scenarios(&options);
+        let outcomes = run_missions(
+            &scenarios,
+            SystemVariant::MlsV1,
+            &ComputeProfile::desktop_sil(),
+            &LandingConfig::default(),
+            &ExecutorConfig::default(),
+            &options,
+        );
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].scenario_id, scenarios[0].id);
+        assert_eq!(outcomes[1].scenario_id, scenarios[1].id);
+    }
+}

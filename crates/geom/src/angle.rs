@@ -1,0 +1,113 @@
+//! Angle helpers shared by the attitude, autopilot and planner code.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle in radians into `(-π, π]`.
+///
+/// # Examples
+///
+/// ```
+/// use mls_geom::wrap_angle;
+/// use std::f64::consts::PI;
+///
+/// assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((wrap_angle(-3.0 * PI) - PI).abs() < 1e-12);
+/// assert_eq!(wrap_angle(0.25), 0.25);
+/// ```
+#[inline]
+pub fn wrap_angle(angle: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut a = angle % two_pi;
+    if a <= -PI {
+        a += two_pi;
+    } else if a > PI {
+        a -= two_pi;
+    }
+    a
+}
+
+/// Converts degrees to radians.
+///
+/// # Examples
+///
+/// ```
+/// use mls_geom::deg_to_rad;
+/// assert!((deg_to_rad(180.0) - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+///
+/// # Examples
+///
+/// ```
+/// use mls_geom::rad_to_deg;
+/// assert!((rad_to_deg(std::f64::consts::PI) - 180.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+/// Clamps `value` into `[min, max]`.
+///
+/// Provided for symmetry with the vector clamps; identical to
+/// [`f64::clamp`] but usable in `const`-friendly call sites and without the
+/// panic on `min > max` (the bounds are swapped instead).
+///
+/// # Examples
+///
+/// ```
+/// use mls_geom::clamp;
+/// assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+/// assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+/// assert_eq!(clamp(0.5, 1.0, 0.0), 0.5); // swapped bounds tolerated
+/// ```
+#[inline]
+pub fn clamp(value: f64, min: f64, max: f64) -> f64 {
+    let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+    value.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_is_idempotent_and_in_range() {
+        for i in -100..100 {
+            let a = i as f64 * 0.37;
+            let w = wrap_angle(a);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "angle {a} wrapped to {w}");
+            assert!((wrap_angle(w) - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrap_preserves_direction() {
+        for i in -50..50 {
+            let a = i as f64 * 0.73;
+            let w = wrap_angle(a);
+            // The wrapped and original angle point the same way.
+            assert!((a.sin() - w.sin()).abs() < 1e-9);
+            assert!((a.cos() - w.cos()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degree_radian_roundtrip() {
+        for d in [-720.0, -90.0, 0.0, 45.0, 360.0, 1234.5] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clamp_handles_inverted_bounds() {
+        assert_eq!(clamp(10.0, -1.0, 1.0), 1.0);
+        assert_eq!(clamp(-10.0, 1.0, -1.0), -1.0);
+        assert_eq!(clamp(0.3, 1.0, -1.0), 0.3);
+    }
+}

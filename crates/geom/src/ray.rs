@@ -1,0 +1,170 @@
+//! Rays and segment utilities used by sensor simulation and collision checks.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vec3;
+
+/// A half-infinite ray with an origin and a unit direction.
+///
+/// # Examples
+///
+/// ```
+/// use mls_geom::{Ray, Vec3};
+///
+/// let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -2.0));
+/// assert!((ray.direction.norm() - 1.0).abs() < 1e-12);
+/// assert_eq!(ray.point_at(3.0), Vec3::new(0.0, 0.0, -3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ray {
+    /// Ray origin in world coordinates.
+    pub origin: Vec3,
+    /// Unit direction of the ray.
+    pub direction: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray, normalising `direction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direction` is the zero vector.
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        let direction = direction
+            .normalized()
+            .expect("ray direction must be non-zero");
+        Self { origin, direction }
+    }
+
+    /// Creates the ray from `from` towards `to`, returning `None` when the
+    /// points coincide.
+    pub fn between(from: Vec3, to: Vec3) -> Option<Self> {
+        (to - from).normalized().map(|direction| Self {
+            origin: from,
+            direction,
+        })
+    }
+
+    /// The point at parameter `t` (metres along the ray).
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Vec3 {
+        self.origin + self.direction * t
+    }
+
+    /// Parameter of the closest point on the ray to `point` (clamped to be
+    /// non-negative: the ray does not extend behind its origin).
+    pub fn closest_t(&self, point: Vec3) -> f64 {
+        (point - self.origin).dot(self.direction).max(0.0)
+    }
+
+    /// Distance from `point` to the ray.
+    pub fn distance_to_point(&self, point: Vec3) -> f64 {
+        self.point_at(self.closest_t(point)).distance(point)
+    }
+
+    /// Intersection parameter with the horizontal plane `z = plane_z`, or
+    /// `None` when the ray is parallel to the plane or points away from it.
+    pub fn intersect_horizontal_plane(&self, plane_z: f64) -> Option<f64> {
+        if self.direction.z.abs() < 1e-12 {
+            return None;
+        }
+        let t = (plane_z - self.origin.z) / self.direction.z;
+        (t >= 0.0).then_some(t)
+    }
+}
+
+impl fmt::Display for Ray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ray {} -> {}", self.origin, self.direction)
+    }
+}
+
+/// Distance from `point` to the segment `[a, b]`.
+///
+/// Used by the trajectory-tracking safety checks (cross-track error) and the
+/// RRT* collision margin tests.
+///
+/// # Examples
+///
+/// ```
+/// use mls_geom::Vec3;
+/// let d = mls_geom::segment_point_distance(
+///     Vec3::new(0.0, 1.0, 0.0),
+///     Vec3::new(-1.0, 0.0, 0.0),
+///     Vec3::new(1.0, 0.0, 0.0),
+/// );
+/// assert!((d - 1.0).abs() < 1e-12);
+/// ```
+pub fn segment_point_distance(point: Vec3, a: Vec3, b: Vec3) -> f64 {
+    let ab = b - a;
+    let len_sq = ab.norm_squared();
+    if len_sq <= f64::EPSILON {
+        return point.distance(a);
+    }
+    let t = ((point - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+    point.distance(a + ab * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_is_normalised() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 3.0, 4.0));
+        assert!((r.direction.norm() - 1.0).abs() < 1e-12);
+        assert!((r.point_at(5.0) - Vec3::new(0.0, 3.0, 4.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_direction_panics() {
+        let _ = Ray::new(Vec3::ZERO, Vec3::ZERO);
+    }
+
+    #[test]
+    fn between_handles_identical_points() {
+        assert!(Ray::between(Vec3::ZERO, Vec3::ZERO).is_none());
+        let r = Ray::between(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)).unwrap();
+        assert_eq!(r.direction, Vec3::UNIT_X);
+    }
+
+    #[test]
+    fn closest_point_clamps_behind_origin() {
+        let r = Ray::new(Vec3::ZERO, Vec3::UNIT_X);
+        assert_eq!(r.closest_t(Vec3::new(-5.0, 0.0, 0.0)), 0.0);
+        assert_eq!(r.closest_t(Vec3::new(5.0, 3.0, 0.0)), 5.0);
+        assert!((r.distance_to_point(Vec3::new(5.0, 3.0, 0.0)) - 3.0).abs() < 1e-12);
+        assert!((r.distance_to_point(Vec3::new(-4.0, 0.0, 3.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_intersection() {
+        let down = Ray::new(Vec3::new(0.0, 0.0, 10.0), -Vec3::UNIT_Z);
+        assert!((down.intersect_horizontal_plane(0.0).unwrap() - 10.0).abs() < 1e-12);
+        // Ray pointing away from the plane.
+        let up = Ray::new(Vec3::new(0.0, 0.0, 10.0), Vec3::UNIT_Z);
+        assert!(up.intersect_horizontal_plane(0.0).is_none());
+        // Ray parallel to the plane.
+        let level = Ray::new(Vec3::new(0.0, 0.0, 10.0), Vec3::UNIT_X);
+        assert!(level.intersect_horizontal_plane(0.0).is_none());
+    }
+
+    #[test]
+    fn segment_distance_degenerate_and_interior() {
+        let a = Vec3::new(-1.0, 0.0, 0.0);
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        // Point beyond the end of the segment measures to the endpoint.
+        assert!((segment_point_distance(Vec3::new(3.0, 0.0, 0.0), a, b) - 2.0).abs() < 1e-12);
+        // Degenerate segment is a point.
+        assert!((segment_point_distance(Vec3::new(0.0, 2.0, 0.0), a, a) - (5.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let r = Ray::new(Vec3::ZERO, Vec3::UNIT_Z);
+        assert!(!format!("{r}").is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the geometry primitives.
+
+use mls_geom::{segment_point_distance, wrap_angle, Aabb, Attitude, Pose, Ray, Vec2, Vec3, VoxelIndex};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1.0e3..1.0e3
+}
+
+fn vec3() -> impl Strategy<Value = Vec3> {
+    (finite(), finite(), finite()).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn vec2() -> impl Strategy<Value = Vec2> {
+    (finite(), finite()).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn vec3_add_commutative(a in vec3(), b in vec3()) {
+        prop_assert!(((a + b) - (b + a)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn vec3_norm_triangle_inequality(a in vec3(), b in vec3()) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal(a in vec3(), b in vec3()) {
+        let c = a.cross(b);
+        // |a x b . a| <= eps * scale
+        let scale = (a.norm() * a.norm() * b.norm()).max(1.0);
+        prop_assert!(c.dot(a).abs() <= 1e-9 * scale);
+        prop_assert!(c.dot(b).abs() <= 1e-9 * (b.norm() * a.norm() * b.norm()).max(1.0));
+    }
+
+    #[test]
+    fn vec3_normalized_has_unit_norm(a in vec3()) {
+        if let Some(n) = a.normalized() {
+            prop_assert!((n.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn vec3_clamp_norm_never_exceeds(a in vec3(), max in 0.0f64..100.0) {
+        prop_assert!(a.clamp_norm(max).norm() <= max + 1e-9);
+    }
+
+    #[test]
+    fn vec2_rotation_preserves_norm(v in vec2(), angle in -10.0f64..10.0) {
+        prop_assert!((v.rotated(angle).norm() - v.norm()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrap_angle_in_range(a in -1.0e4f64..1.0e4) {
+        let w = wrap_angle(a);
+        prop_assert!(w > -std::f64::consts::PI - 1e-9);
+        prop_assert!(w <= std::f64::consts::PI + 1e-9);
+        // Same direction.
+        prop_assert!((w.sin() - a.sin()).abs() < 1e-6);
+        prop_assert!((w.cos() - a.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attitude_roundtrip(roll in -1.0f64..1.0, pitch in -1.0f64..1.0, yaw in -3.0f64..3.0, v in vec3()) {
+        let att = Attitude::new(roll, pitch, yaw);
+        let rt = att.world_to_body(att.body_to_world(v));
+        prop_assert!((rt - v).norm() < 1e-6 * v.norm().max(1.0));
+    }
+
+    #[test]
+    fn attitude_rotation_is_isometry(roll in -1.0f64..1.0, pitch in -1.0f64..1.0, yaw in -3.0f64..3.0, v in vec3()) {
+        let att = Attitude::new(roll, pitch, yaw);
+        prop_assert!((att.body_to_world(v).norm() - v.norm()).abs() < 1e-6 * v.norm().max(1.0));
+    }
+
+    #[test]
+    fn pose_transform_roundtrip(p in vec3(), yaw in -3.0f64..3.0, point in vec3()) {
+        let pose = Pose::from_position_yaw(p, yaw);
+        let rt = pose.inverse_transform_point(pose.transform_point(point));
+        prop_assert!((rt - point).norm() < 1e-6 * point.norm().max(1.0));
+    }
+
+    #[test]
+    fn aabb_contains_center_and_corners(a in vec3(), b in vec3()) {
+        let bb = Aabb::new(a, b);
+        prop_assert!(bb.contains(bb.center()));
+        prop_assert!(bb.contains(bb.min()));
+        prop_assert!(bb.contains(bb.max()));
+    }
+
+    #[test]
+    fn aabb_closest_point_is_inside(a in vec3(), b in vec3(), p in vec3()) {
+        let bb = Aabb::new(a, b);
+        let cp = bb.closest_point(p);
+        prop_assert!(bb.contains(cp));
+        prop_assert!(bb.distance_to_point(p) <= p.distance(bb.center()) + 1e-9);
+    }
+
+    #[test]
+    fn aabb_inflation_contains_original(a in vec3(), b in vec3(), m in 0.0f64..10.0, p in vec3()) {
+        let bb = Aabb::new(a, b);
+        let big = bb.inflated(m);
+        if bb.contains(p) {
+            prop_assert!(big.contains(p));
+        }
+    }
+
+    #[test]
+    fn aabb_ray_hit_point_is_on_boundary_or_inside(a in vec3(), b in vec3(), o in vec3(), d in vec3()) {
+        prop_assume!(d.norm() > 1e-6);
+        let bb = Aabb::new(a, b);
+        let ray = Ray::new(o, d);
+        if let Some(t) = bb.ray_intersection(&ray) {
+            let hit = ray.point_at(t);
+            // The hit point must lie within the (slightly inflated) box.
+            prop_assert!(bb.inflated(1e-6 * (1.0 + hit.norm())).contains(hit));
+        }
+    }
+
+    #[test]
+    fn segment_distance_is_at_most_endpoint_distance(p in vec3(), a in vec3(), b in vec3()) {
+        let d = segment_point_distance(p, a, b);
+        prop_assert!(d <= p.distance(a) + 1e-9);
+        prop_assert!(d <= p.distance(b) + 1e-9);
+    }
+
+    #[test]
+    fn voxel_roundtrip(p in vec3(), res in 0.05f64..5.0) {
+        let idx = VoxelIndex::from_point(p, res);
+        let c = idx.center(res);
+        // The voxel center maps back to the same voxel.
+        prop_assert_eq!(VoxelIndex::from_point(c, res), idx);
+        // The original point is within half a diagonal of the center.
+        prop_assert!(p.distance(c) <= res * 0.87 + 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Voxel ray traversal (Amanatides & Woo DDA), shared by both map types for
+//! free-space carving between the sensor origin and each return.
+
+use mls_geom::{Vec3, VoxelIndex};
+
+/// Returns every voxel index crossed by the segment from `from` to `to`
+/// (inclusive of the start voxel, exclusive of the end voxel), at the given
+/// resolution.
+///
+/// The endpoint voxel is excluded so callers can mark it occupied separately
+/// after carving the traversed cells free.
+pub fn voxel_traversal(from: Vec3, to: Vec3, resolution: f64) -> Vec<VoxelIndex> {
+    let resolution = resolution.max(1e-6);
+    let mut cells = Vec::new();
+    let start = VoxelIndex::from_point(from, resolution);
+    let end = VoxelIndex::from_point(to, resolution);
+    if start == end {
+        return cells;
+    }
+
+    let direction = to - from;
+    let length = direction.norm();
+    if length < 1e-12 {
+        return cells;
+    }
+    let dir = direction / length;
+
+    let mut current = start;
+    let step_x = if dir.x > 0.0 { 1 } else { -1 };
+    let step_y = if dir.y > 0.0 { 1 } else { -1 };
+    let step_z = if dir.z > 0.0 { 1 } else { -1 };
+
+    let next_boundary = |index: i32, step: i32| -> f64 {
+        if step > 0 {
+            (index as f64 + 1.0) * resolution
+        } else {
+            index as f64 * resolution
+        }
+    };
+
+    let t_for_axis = |origin: f64, d: f64, boundary: f64| -> f64 {
+        if d.abs() < 1e-12 {
+            f64::INFINITY
+        } else {
+            (boundary - origin) / d
+        }
+    };
+
+    let mut t_max_x = t_for_axis(from.x, dir.x, next_boundary(current.x, step_x));
+    let mut t_max_y = t_for_axis(from.y, dir.y, next_boundary(current.y, step_y));
+    let mut t_max_z = t_for_axis(from.z, dir.z, next_boundary(current.z, step_z));
+    let t_delta_x = if dir.x.abs() < 1e-12 { f64::INFINITY } else { resolution / dir.x.abs() };
+    let t_delta_y = if dir.y.abs() < 1e-12 { f64::INFINITY } else { resolution / dir.y.abs() };
+    let t_delta_z = if dir.z.abs() < 1e-12 { f64::INFINITY } else { resolution / dir.z.abs() };
+
+    // Generous bound on the number of crossed cells.
+    let max_cells = (3.0 * length / resolution).ceil() as usize + 6;
+    for _ in 0..max_cells {
+        cells.push(current);
+        if t_max_x <= t_max_y && t_max_x <= t_max_z {
+            current = VoxelIndex::new(current.x + step_x, current.y, current.z);
+            t_max_x += t_delta_x;
+        } else if t_max_y <= t_max_z {
+            current = VoxelIndex::new(current.x, current.y + step_y, current.z);
+            t_max_y += t_delta_y;
+        } else {
+            current = VoxelIndex::new(current.x, current.y, current.z + step_z);
+            t_max_z += t_delta_z;
+        }
+        if current == end {
+            break;
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_x_ray_visits_consecutive_cells() {
+        let cells = voxel_traversal(Vec3::new(0.05, 0.05, 0.05), Vec3::new(1.05, 0.05, 0.05), 0.1);
+        assert_eq!(cells.len(), 10);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(*c, VoxelIndex::new(i as i32, 0, 0));
+        }
+    }
+
+    #[test]
+    fn diagonal_ray_is_connected() {
+        let cells = voxel_traversal(Vec3::new(0.0, 0.0, 0.0), Vec3::new(2.0, 1.5, 1.0), 0.2);
+        assert!(!cells.is_empty());
+        for pair in cells.windows(2) {
+            let d = pair[0].manhattan_distance(pair[1]);
+            assert_eq!(d, 1, "traversal must move one face at a time: {pair:?}");
+        }
+        // The endpoint cell is excluded.
+        let end = VoxelIndex::from_point(Vec3::new(2.0, 1.5, 1.0), 0.2);
+        assert!(!cells.contains(&end));
+    }
+
+    #[test]
+    fn same_cell_returns_empty() {
+        assert!(voxel_traversal(Vec3::new(0.01, 0.0, 0.0), Vec3::new(0.02, 0.0, 0.0), 0.1).is_empty());
+    }
+
+    #[test]
+    fn negative_direction_works() {
+        let cells = voxel_traversal(Vec3::new(1.05, 0.05, 0.05), Vec3::new(-0.95, 0.05, 0.05), 0.1);
+        assert!(cells.len() >= 19);
+        assert_eq!(cells[0], VoxelIndex::new(10, 0, 0));
+        assert!(cells.iter().all(|c| c.y == 0 && c.z == 0));
+    }
+
+    #[test]
+    fn traversal_starts_at_start_cell() {
+        let cells = voxel_traversal(Vec3::new(-0.35, 0.2, 0.0), Vec3::new(0.8, -0.4, 0.3), 0.25);
+        assert_eq!(cells[0], VoxelIndex::from_point(Vec3::new(-0.35, 0.2, 0.0), 0.25));
+    }
+}

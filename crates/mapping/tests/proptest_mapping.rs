@@ -1,0 +1,114 @@
+//! Property-based tests of the occupancy-map substrates.
+
+use mls_geom::Vec3;
+use mls_mapping::{
+    voxel_traversal, CellState, OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig,
+    VoxelGridMap,
+};
+use proptest::prelude::*;
+
+fn vec3(range: std::ops::Range<f64>) -> impl Strategy<Value = Vec3> {
+    (range.clone(), range.clone(), 0.5f64..12.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The voxel traversal is always face-connected, starts in the start
+    /// cell, and never contains the end cell.
+    #[test]
+    fn traversal_is_connected_and_bounded(
+        from in vec3(-15.0..15.0),
+        to in vec3(-15.0..15.0),
+        resolution in 0.2f64..1.0,
+    ) {
+        let cells = voxel_traversal(from, to, resolution);
+        let start = mls_geom::VoxelIndex::from_point(from, resolution);
+        let end = mls_geom::VoxelIndex::from_point(to, resolution);
+        if start == end {
+            prop_assert!(cells.is_empty());
+        } else {
+            prop_assert_eq!(cells[0], start);
+            prop_assert!(!cells.contains(&end));
+            for pair in cells.windows(2) {
+                prop_assert_eq!(pair[0].manhattan_distance(pair[1]), 1);
+            }
+            // Never more cells than a generous bound on the crossed distance.
+            let bound = (3.0 * from.distance(to) / resolution).ceil() as usize + 6;
+            prop_assert!(cells.len() <= bound);
+        }
+    }
+
+    /// Inserting a cloud always marks its endpoints occupied (both backends),
+    /// and a point that was never observed stays unknown.
+    #[test]
+    fn endpoints_become_occupied_and_unobserved_stays_unknown(
+        endpoints in prop::collection::vec(vec3(3.0..15.0), 1..40),
+    ) {
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let mut grid = VoxelGridMap::new(VoxelGridConfig {
+            resolution: 0.5,
+            half_extent_xy: 20.0,
+            height: 14.0,
+            carve_free_space: true,
+            max_range: 40.0,
+        }).unwrap();
+        let mut tree = OctreeMap::new(OctreeConfig { resolution: 0.5, half_extent: 32.0, ..OctreeConfig::default() }).unwrap();
+        for _ in 0..3 {
+            grid.insert_cloud(origin, &endpoints);
+            tree.insert_cloud(origin, &endpoints);
+        }
+        for p in &endpoints {
+            prop_assert_eq!(grid.state_at(*p), CellState::Occupied);
+            prop_assert_eq!(tree.state_at(*p), CellState::Occupied);
+        }
+        // A corner of the map far from every ray stays unknown.
+        let probe = Vec3::new(-18.0, -18.0, 10.0);
+        prop_assert_eq!(grid.state_at(probe), CellState::Unknown);
+        prop_assert_eq!(tree.state_at(probe), CellState::Unknown);
+    }
+
+    /// The octree's log-odds saturation means occupancy decisions are always
+    /// reversible within a bounded number of contrary observations.
+    #[test]
+    fn octree_occupancy_is_reversible(hits in 1usize..60) {
+        let mut tree = OctreeMap::new(OctreeConfig { resolution: 0.5, half_extent: 16.0, ..OctreeConfig::default() }).unwrap();
+        let origin = Vec3::new(0.0, 0.0, 3.0);
+        let cell = Vec3::new(5.0, 0.0, 3.0);
+        for _ in 0..hits {
+            tree.insert_cloud(origin, &[cell]);
+        }
+        prop_assert_eq!(tree.state_at(cell), CellState::Occupied);
+        // Observe through the cell (miss) until it flips; the clamp bounds
+        // how long that can take regardless of how many hits accumulated.
+        let beyond = Vec3::new(9.0, 0.0, 3.0);
+        let mut flips = 0;
+        while tree.state_at(cell) == CellState::Occupied && flips < 60 {
+            tree.insert_cloud(origin, &[beyond]);
+            flips += 1;
+        }
+        prop_assert!(flips < 30, "took {flips} misses to flip a clamped cell");
+    }
+
+    /// Inflation queries are monotone in the radius: a larger radius never
+    /// reports "clear" where a smaller one reported "occupied".
+    #[test]
+    fn inflation_is_monotone_in_radius(
+        obstacle in vec3(2.0..12.0),
+        probe in vec3(2.0..12.0),
+        r_small in 0.2f64..1.0,
+        r_extra in 0.1f64..2.0,
+    ) {
+        let mut grid = VoxelGridMap::new(VoxelGridConfig {
+            resolution: 0.5,
+            half_extent_xy: 16.0,
+            height: 14.0,
+            carve_free_space: false,
+            max_range: 40.0,
+        }).unwrap();
+        grid.mark_occupied(obstacle);
+        let small = grid.occupied_within(probe, r_small, false);
+        let large = grid.occupied_within(probe, r_small + r_extra, false);
+        prop_assert!(!small || large, "larger radius must still see the obstacle");
+    }
+}

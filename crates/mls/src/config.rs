@@ -1,0 +1,206 @@
+//! Mission-level configuration of the landing system.
+//!
+//! Every knob behind the paper's safety/availability trade-off (§III-D) lives
+//! here: marker-validation strictness, obstacle clearances, failsafe
+//! triggers, search behaviour and module rates. The ablation benches sweep
+//! these values.
+
+use mls_planning::safety::SafetyConfig;
+use mls_planning::TrajectoryConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::MlsError;
+
+/// Configuration of the decision-making module and the module scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LandingConfig {
+    /// Altitude the mission climbs to and searches at, metres.
+    pub cruise_altitude: f64,
+    /// Altitude the validation hover happens at, metres.
+    pub validation_altitude: f64,
+    /// Number of frames collected during validation.
+    pub validation_frames: usize,
+    /// Number of frames (out of `validation_frames`) that must contain the
+    /// expected marker for validation to succeed.
+    pub validation_threshold: usize,
+    /// Minimum detector confidence for an observation to count.
+    pub min_detection_confidence: f64,
+    /// Radius of the spiral search around the nominal GPS target, metres.
+    pub search_radius: f64,
+    /// Number of spiral legs before the search times out.
+    pub max_search_legs: usize,
+    /// Overall mission timeout, seconds.
+    pub mission_timeout: f64,
+    /// Time without re-acquiring the marker during descent before the attempt
+    /// is aborted, seconds.
+    pub marker_loss_timeout: f64,
+    /// Altitude below which the final descent is committed ("within 1.5 m"
+    /// in Fig. 2), metres.
+    pub final_descent_altitude: f64,
+    /// Vertical step of the staged descent, metres.
+    pub descent_step: f64,
+    /// Number of landing aborts tolerated before the mission gives up and
+    /// returns a failsafe outcome.
+    pub max_landing_aborts: usize,
+    /// Safety-check configuration (clearances, corner limits).
+    pub safety: SafetyConfig,
+    /// Trajectory generation parameters.
+    pub trajectory: TrajectoryConfig,
+    /// Obstacle inflation radius used by the planners, metres.
+    pub inflation_radius: f64,
+    /// Detection module rate, Hz.
+    pub detection_rate_hz: f64,
+    /// Mapping module rate, Hz.
+    pub mapping_rate_hz: f64,
+    /// Decision module rate, Hz.
+    pub decision_rate_hz: f64,
+    /// Periodic replanning interval while following a trajectory, seconds.
+    pub replan_interval: f64,
+}
+
+impl Default for LandingConfig {
+    fn default() -> Self {
+        Self {
+            cruise_altitude: 10.0,
+            validation_altitude: 8.0,
+            validation_frames: 6,
+            validation_threshold: 4,
+            min_detection_confidence: 0.3,
+            search_radius: 14.0,
+            max_search_legs: 10,
+            mission_timeout: 240.0,
+            marker_loss_timeout: 6.0,
+            final_descent_altitude: 1.5,
+            descent_step: 2.5,
+            max_landing_aborts: 3,
+            safety: SafetyConfig::default(),
+            trajectory: TrajectoryConfig::default(),
+            inflation_radius: 0.9,
+            detection_rate_hz: 2.0,
+            mapping_rate_hz: 5.0,
+            decision_rate_hz: 5.0,
+            replan_interval: 3.0,
+        }
+    }
+}
+
+impl LandingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlsError::InvalidConfig`] when thresholds, rates or
+    /// altitudes are inconsistent.
+    pub fn validate(&self) -> Result<(), MlsError> {
+        if self.validation_threshold > self.validation_frames || self.validation_frames == 0 {
+            return Err(MlsError::InvalidConfig {
+                reason: "validation threshold must be <= validation frames (and frames > 0)".to_string(),
+            });
+        }
+        if self.cruise_altitude <= self.final_descent_altitude {
+            return Err(MlsError::InvalidConfig {
+                reason: "cruise altitude must exceed the final-descent altitude".to_string(),
+            });
+        }
+        if self.detection_rate_hz <= 0.0 || self.mapping_rate_hz <= 0.0 || self.decision_rate_hz <= 0.0 {
+            return Err(MlsError::InvalidConfig {
+                reason: "module rates must be positive".to_string(),
+            });
+        }
+        if self.mission_timeout <= 0.0 {
+            return Err(MlsError::InvalidConfig {
+                reason: "mission timeout must be positive".to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.min_detection_confidence) {
+            return Err(MlsError::InvalidConfig {
+                reason: "min detection confidence must be in [0, 1]".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// A configuration biased towards availability: weaker validation,
+    /// smaller clearances, more tolerated aborts. Used by the
+    /// safety-vs-availability ablation.
+    pub fn availability_biased() -> Self {
+        Self {
+            validation_frames: 4,
+            validation_threshold: 2,
+            max_landing_aborts: 6,
+            inflation_radius: 0.5,
+            safety: SafetyConfig {
+                path_clearance: 0.5,
+                descent_clearance: 0.7,
+                ..SafetyConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// A configuration biased towards safety: strict validation, generous
+    /// clearances, eager failsafes.
+    pub fn safety_biased() -> Self {
+        Self {
+            validation_frames: 8,
+            validation_threshold: 7,
+            max_landing_aborts: 1,
+            inflation_radius: 1.4,
+            safety: SafetyConfig {
+                path_clearance: 1.4,
+                descent_clearance: 1.8,
+                conservative_descent: true,
+                ..SafetyConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(LandingConfig::default().validate().is_ok());
+        assert!(LandingConfig::availability_biased().validate().is_ok());
+        assert!(LandingConfig::safety_biased().validate().is_ok());
+    }
+
+    #[test]
+    fn inconsistent_thresholds_are_rejected() {
+        let mut cfg = LandingConfig::default();
+        cfg.validation_threshold = 10;
+        cfg.validation_frames = 5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = LandingConfig::default();
+        cfg.validation_frames = 0;
+        cfg.validation_threshold = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = LandingConfig::default();
+        cfg.cruise_altitude = 1.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = LandingConfig::default();
+        cfg.detection_rate_hz = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = LandingConfig::default();
+        cfg.min_detection_confidence = 2.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn biased_presets_differ_in_the_expected_direction() {
+        let avail = LandingConfig::availability_biased();
+        let safe = LandingConfig::safety_biased();
+        assert!(avail.validation_threshold < safe.validation_threshold);
+        assert!(avail.inflation_radius < safe.inflation_radius);
+        assert!(avail.max_landing_aborts > safe.max_landing_aborts);
+        assert!(!avail.safety.conservative_descent);
+        assert!(safe.safety.conservative_descent);
+    }
+}

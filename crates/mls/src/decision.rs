@@ -1,0 +1,604 @@
+//! Decision-making module: the Fig. 2 state machine.
+//!
+//! The module owns the mission phases — **search** (fly the GPS estimate,
+//! then a spiral pattern), **validation** (hover and accumulate detections
+//! over multiple frames), **landing** (staged descent that keeps the marker
+//! in view and the corridor clear), **final descent** (commit below 1.5 m)
+//! — plus the failsafe transitions between them. It deliberately knows
+//! nothing about planners or autopilots: it consumes fused observations and
+//! the occupancy map, and emits a [`Directive`] the executor translates into
+//! trajectories and autopilot commands.
+
+use mls_geom::Vec3;
+use mls_mapping::OccupancyQuery;
+use mls_planning::safety::{validate_descent_corridor, SafetyVerdict};
+use mls_vision::MarkerObservation;
+use serde::{Deserialize, Serialize};
+
+use crate::config::LandingConfig;
+
+/// Why the system gave up on the mission (or an attempt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailsafeReason {
+    /// The spiral search exhausted its legs without a validated marker.
+    SearchExhausted,
+    /// The marker stayed lost for longer than the loss timeout during
+    /// descent.
+    MarkerLost,
+    /// The descent corridor failed its safety check too many times.
+    UnsafeDescent,
+    /// Planning failed and no fallback was allowed.
+    PlanningFailure,
+    /// The overall mission timeout elapsed.
+    MissionTimeout,
+}
+
+/// The mission phase (Fig. 2 states).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecisionState {
+    /// Searching for the marker (GPS estimate, then spiral legs).
+    Search,
+    /// Hovering and accumulating detections.
+    Validation,
+    /// Staged descent towards the validated marker.
+    Landing,
+    /// Committed final descent below the final-descent altitude.
+    FinalDescent,
+    /// On the ground.
+    Landed,
+    /// Mission abandoned.
+    Failsafe(FailsafeReason),
+}
+
+/// What the executor should do right now.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Directive {
+    /// Plan and follow a collision-free trajectory to `goal`.
+    FlyTo {
+        /// Goal position (cruise/search altitude).
+        goal: Vec3,
+    },
+    /// Hold the current position (validation hover).
+    Hover,
+    /// Plan and follow a descent to `goal` (above the validated marker).
+    DescendTo {
+        /// Next staged descent waypoint.
+        goal: Vec3,
+    },
+    /// Commit the final descent onto `target` (autopilot land).
+    CommitFinalDescent {
+        /// Ground-level landing target.
+        target: Vec3,
+    },
+    /// Abort: stop and hold (the mission is over).
+    Abort {
+        /// Why the failsafe fired.
+        reason: FailsafeReason,
+    },
+    /// The vehicle is down; nothing more to do.
+    MissionComplete,
+}
+
+/// Everything the decision module sees on one tick.
+#[derive(Debug, Clone)]
+pub struct DecisionInputs<'a> {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// Estimated vehicle position.
+    pub position: Vec3,
+    /// World-frame marker observations produced since the last tick.
+    pub observations: &'a [MarkerObservation],
+    /// Number of detection frames processed since the last tick (needed to
+    /// count validation frames even when nothing was detected).
+    pub frames_processed: usize,
+    /// `true` once the airframe reports ground contact.
+    pub landed: bool,
+    /// Ground elevation below the vehicle.
+    pub ground_z: f64,
+}
+
+/// The decision-making module.
+#[derive(Debug, Clone)]
+pub struct DecisionModule {
+    config: LandingConfig,
+    target_id: u32,
+    gps_target: Vec3,
+    state: DecisionState,
+    search_legs: Vec<Vec3>,
+    current_leg: usize,
+    validation_frames_seen: usize,
+    validation_hits: usize,
+    validation_positions: Vec<Vec3>,
+    validated_target: Option<Vec3>,
+    last_marker_seen: Option<f64>,
+    landing_aborts: usize,
+    mission_start: Option<f64>,
+    state_log: Vec<(f64, DecisionState)>,
+}
+
+impl DecisionModule {
+    /// Creates the module for a mission looking for `target_id` near
+    /// `gps_target`.
+    pub fn new(config: LandingConfig, target_id: u32, gps_target: Vec3) -> Self {
+        let search_legs = Self::build_search_legs(&config, gps_target);
+        Self {
+            config,
+            target_id,
+            gps_target,
+            state: DecisionState::Search,
+            search_legs,
+            current_leg: 0,
+            validation_frames_seen: 0,
+            validation_hits: 0,
+            validation_positions: Vec::new(),
+            validated_target: None,
+            last_marker_seen: None,
+            landing_aborts: 0,
+            mission_start: None,
+            state_log: Vec::new(),
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> DecisionState {
+        self.state
+    }
+
+    /// The validated marker position, once validation has succeeded.
+    pub fn validated_target(&self) -> Option<Vec3> {
+        self.validated_target
+    }
+
+    /// Number of aborted landing attempts so far.
+    pub fn landing_aborts(&self) -> usize {
+        self.landing_aborts
+    }
+
+    /// Chronological log of state transitions.
+    pub fn state_log(&self) -> &[(f64, DecisionState)] {
+        &self.state_log
+    }
+
+    /// The nominal GPS target the search starts from.
+    pub fn gps_target(&self) -> Vec3 {
+        self.gps_target
+    }
+
+    /// Spiral search legs: the GPS estimate first, then an outward spiral.
+    fn build_search_legs(config: &LandingConfig, gps_target: Vec3) -> Vec<Vec3> {
+        let mut legs = vec![Vec3::new(gps_target.x, gps_target.y, config.cruise_altitude)];
+        let turns = config.max_search_legs.max(1);
+        for i in 0..turns {
+            let angle = i as f64 * std::f64::consts::FRAC_PI_2 * 1.5;
+            let radius = config.search_radius * (i + 1) as f64 / turns as f64;
+            legs.push(Vec3::new(
+                gps_target.x + angle.cos() * radius,
+                gps_target.y + angle.sin() * radius,
+                config.cruise_altitude,
+            ));
+        }
+        legs
+    }
+
+    fn transition(&mut self, time: f64, state: DecisionState) {
+        if self.state != state {
+            self.state = state;
+            self.state_log.push((time, state));
+        }
+    }
+
+    /// Best observation of the target marker in this tick's batch.
+    fn best_target_observation<'a>(
+        &self,
+        observations: &'a [MarkerObservation],
+    ) -> Option<&'a MarkerObservation> {
+        observations
+            .iter()
+            .filter(|o| o.id == self.target_id && o.confidence >= self.config.min_detection_confidence)
+            .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Advances the state machine by one decision tick.
+    pub fn update(&mut self, inputs: &DecisionInputs<'_>, map: &dyn OccupancyQuery) -> Directive {
+        if self.mission_start.is_none() {
+            self.mission_start = Some(inputs.time);
+            self.state_log.push((inputs.time, self.state));
+        }
+        let elapsed = inputs.time - self.mission_start.unwrap_or(0.0);
+        if elapsed > self.config.mission_timeout
+            && !matches!(self.state, DecisionState::Landed | DecisionState::Failsafe(_))
+        {
+            self.transition(inputs.time, DecisionState::Failsafe(FailsafeReason::MissionTimeout));
+        }
+
+        let target_observation = self.best_target_observation(inputs.observations).cloned();
+        if target_observation.is_some() {
+            self.last_marker_seen = Some(inputs.time);
+        }
+
+        match self.state {
+            DecisionState::Search => {
+                if let Some(obs) = &target_observation {
+                    // A candidate marker: hover here and validate it.
+                    self.validation_frames_seen = 0;
+                    self.validation_hits = 1;
+                    self.validation_positions = vec![obs.world_position];
+                    self.transition(inputs.time, DecisionState::Validation);
+                    return Directive::Hover;
+                }
+                let goal = self.search_legs[self.current_leg.min(self.search_legs.len() - 1)];
+                if inputs.position.horizontal_distance(goal) < 1.5
+                    && (inputs.position.z - goal.z).abs() < 1.5
+                {
+                    // Leg reached without a detection: move to the next one.
+                    if self.current_leg + 1 >= self.search_legs.len() {
+                        self.transition(
+                            inputs.time,
+                            DecisionState::Failsafe(FailsafeReason::SearchExhausted),
+                        );
+                        return Directive::Abort {
+                            reason: FailsafeReason::SearchExhausted,
+                        };
+                    }
+                    self.current_leg += 1;
+                }
+                Directive::FlyTo {
+                    goal: self.search_legs[self.current_leg],
+                }
+            }
+            DecisionState::Validation => {
+                self.validation_frames_seen += inputs.frames_processed;
+                if let Some(obs) = &target_observation {
+                    self.validation_hits += 1;
+                    self.validation_positions.push(obs.world_position);
+                }
+                if self.validation_frames_seen >= self.config.validation_frames {
+                    if self.validation_hits >= self.config.validation_threshold {
+                        let mean = self
+                            .validation_positions
+                            .iter()
+                            .fold(Vec3::ZERO, |acc, p| acc + *p)
+                            / self.validation_positions.len().max(1) as f64;
+                        self.validated_target = Some(Vec3::new(mean.x, mean.y, inputs.ground_z));
+                        self.transition(inputs.time, DecisionState::Landing);
+                    } else {
+                        // Validation failed: resume the search.
+                        self.validation_frames_seen = 0;
+                        self.validation_hits = 0;
+                        self.validation_positions.clear();
+                        self.transition(inputs.time, DecisionState::Search);
+                    }
+                }
+                Directive::Hover
+            }
+            DecisionState::Landing => {
+                let Some(mut target) = self.validated_target else {
+                    // Should not happen; recover by searching again.
+                    self.transition(inputs.time, DecisionState::Search);
+                    return Directive::Hover;
+                };
+                // Refine the target with fresh observations.
+                if let Some(obs) = &target_observation {
+                    target = Vec3::new(
+                        0.7 * target.x + 0.3 * obs.world_position.x,
+                        0.7 * target.y + 0.3 * obs.world_position.y,
+                        inputs.ground_z,
+                    );
+                    self.validated_target = Some(target);
+                }
+
+                // Marker-loss failsafe.
+                let lost_for = self
+                    .last_marker_seen
+                    .map(|t| inputs.time - t)
+                    .unwrap_or(f64::INFINITY);
+                if lost_for > self.config.marker_loss_timeout {
+                    return self.abort_attempt(inputs.time, FailsafeReason::MarkerLost);
+                }
+
+                let altitude_above_ground = inputs.position.z - inputs.ground_z;
+                let horizontal_error = inputs.position.horizontal_distance(target);
+
+                // Commit the final descent when low and centred (Fig. 2's
+                // "within 1.5 m" gate).
+                if altitude_above_ground <= self.config.final_descent_altitude + 0.4
+                    && horizontal_error <= 1.5
+                {
+                    self.transition(inputs.time, DecisionState::FinalDescent);
+                    return Directive::CommitFinalDescent { target };
+                }
+
+                // Next staged descent waypoint, directly above the target.
+                let next_altitude = (altitude_above_ground - self.config.descent_step)
+                    .max(self.config.final_descent_altitude);
+                let goal = Vec3::new(target.x, target.y, inputs.ground_z + next_altitude);
+
+                // Corridor safety check from the waypoint down to the pad.
+                let corridor_from = Vec3::new(target.x, target.y, inputs.position.z.max(goal.z));
+                if !validate_descent_corridor(map, corridor_from, target, &self.config.safety).is_safe() {
+                    return self.abort_attempt(inputs.time, FailsafeReason::UnsafeDescent);
+                }
+                if matches!(
+                    validate_descent_corridor(map, goal, target, &self.config.safety),
+                    SafetyVerdict::CorridorBlocked
+                ) {
+                    return self.abort_attempt(inputs.time, FailsafeReason::UnsafeDescent);
+                }
+
+                Directive::DescendTo { goal }
+            }
+            DecisionState::FinalDescent => {
+                if inputs.landed {
+                    self.transition(inputs.time, DecisionState::Landed);
+                    return Directive::MissionComplete;
+                }
+                Directive::CommitFinalDescent {
+                    target: self.validated_target.unwrap_or(self.gps_target),
+                }
+            }
+            DecisionState::Landed => Directive::MissionComplete,
+            DecisionState::Failsafe(reason) => Directive::Abort { reason },
+        }
+    }
+
+    /// Notifies the module that planning failed for the current directive
+    /// (used by the executor when no fallback exists).
+    pub fn notify_planning_failure(&mut self, time: f64) -> Directive {
+        match self.state {
+            DecisionState::Landing => self.abort_attempt(time, FailsafeReason::PlanningFailure),
+            DecisionState::Search | DecisionState::Validation => {
+                // Skip the unreachable leg; give up if none remain.
+                if self.current_leg + 1 < self.search_legs.len() {
+                    self.current_leg += 1;
+                    Directive::FlyTo {
+                        goal: self.search_legs[self.current_leg],
+                    }
+                } else {
+                    self.transition(time, DecisionState::Failsafe(FailsafeReason::PlanningFailure));
+                    Directive::Abort {
+                        reason: FailsafeReason::PlanningFailure,
+                    }
+                }
+            }
+            _ => Directive::Abort {
+                reason: FailsafeReason::PlanningFailure,
+            },
+        }
+    }
+
+    /// Aborts the current landing attempt; retries by searching again unless
+    /// the abort budget is exhausted.
+    fn abort_attempt(&mut self, time: f64, reason: FailsafeReason) -> Directive {
+        self.landing_aborts += 1;
+        if self.landing_aborts > self.config.max_landing_aborts {
+            self.transition(time, DecisionState::Failsafe(reason));
+            return Directive::Abort { reason };
+        }
+        // Re-initiate the marker search from the current leg (Fig. 2's
+        // "returning to the validation or search state as appropriate").
+        self.validation_frames_seen = 0;
+        self.validation_hits = 0;
+        self.validation_positions.clear();
+        self.transition(time, DecisionState::Search);
+        Directive::FlyTo {
+            goal: self.search_legs[self.current_leg.min(self.search_legs.len() - 1)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::NoMap;
+    use mls_geom::Vec2;
+    use mls_vision::Detection;
+
+    fn observation(id: u32, position: Vec3, confidence: f64) -> MarkerObservation {
+        MarkerObservation {
+            id,
+            world_position: position,
+            confidence,
+            apparent_size: 20.0,
+            estimated_size: 1.5,
+            detection: Detection::from_corners(id, [Vec2::ZERO; 4], confidence),
+        }
+    }
+
+    fn inputs<'a>(
+        time: f64,
+        position: Vec3,
+        observations: &'a [MarkerObservation],
+        frames: usize,
+    ) -> DecisionInputs<'a> {
+        DecisionInputs {
+            time,
+            position,
+            observations,
+            frames_processed: frames,
+            landed: false,
+            ground_z: 0.0,
+        }
+    }
+
+    fn module() -> DecisionModule {
+        DecisionModule::new(LandingConfig::default(), 7, Vec3::new(40.0, 0.0, 0.0))
+    }
+
+    #[test]
+    fn starts_by_flying_to_the_gps_estimate() {
+        let mut dm = module();
+        let directive = dm.update(&inputs(0.0, Vec3::new(0.0, 0.0, 12.0), &[], 0), &NoMap);
+        match directive {
+            Directive::FlyTo { goal } => {
+                assert!((goal.x - 40.0).abs() < 1e-9);
+                assert!((goal.z - 12.0).abs() < 1e-9);
+            }
+            other => panic!("expected FlyTo, got {other:?}"),
+        }
+        assert_eq!(dm.state(), DecisionState::Search);
+    }
+
+    #[test]
+    fn spiral_advances_when_legs_are_reached_and_eventually_gives_up() {
+        let mut cfg = LandingConfig::default();
+        cfg.max_search_legs = 3;
+        let mut dm = DecisionModule::new(cfg, 7, Vec3::new(40.0, 0.0, 0.0));
+        let mut time = 0.0;
+        let mut aborted = false;
+        // Teleport to each commanded goal until the search gives up.
+        let mut position = Vec3::new(40.0, 0.0, 12.0);
+        for _ in 0..20 {
+            time += 1.0;
+            match dm.update(&inputs(time, position, &[], 1), &NoMap) {
+                Directive::FlyTo { goal } => position = goal,
+                Directive::Abort { reason } => {
+                    assert_eq!(reason, FailsafeReason::SearchExhausted);
+                    aborted = true;
+                    break;
+                }
+                other => panic!("unexpected directive {other:?}"),
+            }
+        }
+        assert!(aborted, "search must eventually exhaust");
+    }
+
+    #[test]
+    fn detection_triggers_validation_then_landing() {
+        let mut dm = module();
+        let marker = Vec3::new(42.0, 1.0, 0.0);
+        let obs = [observation(7, marker, 0.9)];
+        // First tick with a detection: hover for validation.
+        let d = dm.update(&inputs(1.0, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        assert_eq!(d, Directive::Hover);
+        assert_eq!(dm.state(), DecisionState::Validation);
+        // Keep seeing the marker for the required frames.
+        let mut time = 1.0;
+        for _ in 0..LandingConfig::default().validation_frames {
+            time += 0.5;
+            dm.update(&inputs(time, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        }
+        assert_eq!(dm.state(), DecisionState::Landing);
+        let validated = dm.validated_target().expect("target validated");
+        assert!(validated.horizontal_distance(marker) < 0.5);
+    }
+
+    #[test]
+    fn failed_validation_returns_to_search() {
+        let mut dm = module();
+        let obs = [observation(7, Vec3::new(42.0, 1.0, 0.0), 0.9)];
+        dm.update(&inputs(1.0, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        assert_eq!(dm.state(), DecisionState::Validation);
+        // Now the marker disappears for the rest of the validation window.
+        let mut time = 1.0;
+        for _ in 0..LandingConfig::default().validation_frames {
+            time += 0.5;
+            dm.update(&inputs(time, Vec3::new(40.0, 0.0, 12.0), &[], 1), &NoMap);
+        }
+        assert_eq!(dm.state(), DecisionState::Search);
+        assert!(dm.validated_target().is_none());
+    }
+
+    #[test]
+    fn landing_descends_in_stages_and_commits_final_descent() {
+        let mut dm = module();
+        let marker = Vec3::new(42.0, 1.0, 0.0);
+        let obs = [observation(7, marker, 0.9)];
+        // Get through validation.
+        let mut time = 0.0;
+        dm.update(&inputs(time, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        for _ in 0..LandingConfig::default().validation_frames {
+            time += 0.5;
+            dm.update(&inputs(time, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        }
+        assert_eq!(dm.state(), DecisionState::Landing);
+
+        // Descend: follow whatever waypoint the module commands.
+        let mut position = Vec3::new(42.0, 1.0, 12.0);
+        let mut committed = false;
+        for _ in 0..20 {
+            time += 1.0;
+            match dm.update(&inputs(time, position, &obs, 1), &NoMap) {
+                Directive::DescendTo { goal } => {
+                    assert!(goal.z < position.z + 1e-9, "descent must go down");
+                    position = goal;
+                }
+                Directive::CommitFinalDescent { target } => {
+                    assert!(target.horizontal_distance(marker) < 1.0);
+                    committed = true;
+                    break;
+                }
+                other => panic!("unexpected directive {other:?}"),
+            }
+        }
+        assert!(committed, "descent should reach the final-descent gate");
+        assert_eq!(dm.state(), DecisionState::FinalDescent);
+
+        // Touchdown completes the mission.
+        let mut final_inputs = inputs(time + 5.0, Vec3::new(42.0, 1.0, 0.0), &[], 1);
+        final_inputs.landed = true;
+        assert_eq!(dm.update(&final_inputs, &NoMap), Directive::MissionComplete);
+        assert_eq!(dm.state(), DecisionState::Landed);
+    }
+
+    #[test]
+    fn marker_loss_during_descent_aborts_the_attempt() {
+        let mut cfg = LandingConfig::default();
+        cfg.marker_loss_timeout = 2.0;
+        cfg.max_landing_aborts = 0;
+        let mut dm = DecisionModule::new(cfg, 7, Vec3::new(40.0, 0.0, 0.0));
+        let marker = Vec3::new(42.0, 1.0, 0.0);
+        let obs = [observation(7, marker, 0.9)];
+        let mut time = 0.0;
+        dm.update(&inputs(time, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        for _ in 0..6 {
+            time += 0.5;
+            dm.update(&inputs(time, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        }
+        assert_eq!(dm.state(), DecisionState::Landing);
+        // Marker disappears for longer than the loss timeout.
+        let d = dm.update(&inputs(time + 5.0, Vec3::new(42.0, 1.0, 10.0), &[], 1), &NoMap);
+        assert!(matches!(d, Directive::Abort { reason: FailsafeReason::MarkerLost }));
+    }
+
+    #[test]
+    fn mission_timeout_fires_from_any_state() {
+        let mut dm = module();
+        dm.update(&inputs(0.0, Vec3::new(0.0, 0.0, 12.0), &[], 0), &NoMap);
+        let d = dm.update(&inputs(1000.0, Vec3::new(0.0, 0.0, 12.0), &[], 0), &NoMap);
+        assert!(matches!(d, Directive::Abort { reason: FailsafeReason::MissionTimeout }));
+    }
+
+    #[test]
+    fn planning_failure_in_search_skips_leg_then_gives_up() {
+        let mut cfg = LandingConfig::default();
+        cfg.max_search_legs = 1;
+        let mut dm = DecisionModule::new(cfg, 7, Vec3::new(40.0, 0.0, 0.0));
+        dm.update(&inputs(0.0, Vec3::new(0.0, 0.0, 12.0), &[], 0), &NoMap);
+        // First failure: skip to the next leg.
+        let d = dm.notify_planning_failure(1.0);
+        assert!(matches!(d, Directive::FlyTo { .. }));
+        // Second failure: nothing left, abort.
+        let d = dm.notify_planning_failure(2.0);
+        assert!(matches!(d, Directive::Abort { reason: FailsafeReason::PlanningFailure }));
+    }
+
+    #[test]
+    fn low_confidence_observations_are_ignored() {
+        let mut dm = module();
+        let obs = [observation(7, Vec3::new(42.0, 1.0, 0.0), 0.05)];
+        let d = dm.update(&inputs(1.0, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        assert!(matches!(d, Directive::FlyTo { .. }));
+        assert_eq!(dm.state(), DecisionState::Search);
+    }
+
+    #[test]
+    fn state_log_records_transitions() {
+        let mut dm = module();
+        let obs = [observation(7, Vec3::new(42.0, 1.0, 0.0), 0.9)];
+        dm.update(&inputs(0.0, Vec3::new(40.0, 0.0, 12.0), &[], 0), &NoMap);
+        dm.update(&inputs(1.0, Vec3::new(40.0, 0.0, 12.0), &obs, 1), &NoMap);
+        let log = dm.state_log();
+        assert!(log.iter().any(|(_, s)| *s == DecisionState::Search));
+        assert!(log.iter().any(|(_, s)| *s == DecisionState::Validation));
+    }
+}

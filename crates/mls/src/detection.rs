@@ -1,0 +1,235 @@
+//! Marker-detection module: wraps a pixel-space detector and lifts its
+//! detections into world-frame observations for the decision-making module.
+//!
+//! The module also keeps the per-frame event log from which the Table II
+//! false-negative rate is computed: for every processed frame the executor
+//! tells the module whether the target marker was actually visible, and the
+//! module records whether the detector found it.
+
+use mls_geom::Pose;
+use mls_vision::{Camera, Detection, GrayImage, MarkerDetector, MarkerObservation};
+use serde::{Deserialize, Serialize};
+
+/// One processed frame, for detection-statistics purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionEvent {
+    /// Simulation time the frame was processed at, seconds.
+    pub time: f64,
+    /// Whether the target marker was physically inside the camera footprint
+    /// and unoccluded enough to be detectable in principle.
+    pub target_visible: bool,
+    /// Whether the detector reported the target marker id.
+    pub target_detected: bool,
+    /// Number of detections (any id) in the frame.
+    pub detections: usize,
+}
+
+/// Aggregate detection statistics (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DetectionStats {
+    /// Frames in which the target was visible.
+    pub visible_frames: usize,
+    /// Frames in which the target was visible but not detected.
+    pub missed_frames: usize,
+    /// Frames in which a marker with the wrong id was reported while the
+    /// target was not visible (false positives).
+    pub false_positive_frames: usize,
+    /// Total frames processed.
+    pub total_frames: usize,
+}
+
+impl DetectionStats {
+    /// False-negative rate over the frames where the target was visible.
+    pub fn false_negative_rate(&self) -> f64 {
+        if self.visible_frames == 0 {
+            return 0.0;
+        }
+        self.missed_frames as f64 / self.visible_frames as f64
+    }
+}
+
+/// The marker-detection module.
+pub struct DetectionModule {
+    detector: Box<dyn MarkerDetector>,
+    target_id: u32,
+    min_confidence: f64,
+    events: Vec<DetectionEvent>,
+    stats: DetectionStats,
+}
+
+impl std::fmt::Debug for DetectionModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionModule")
+            .field("detector", &self.detector.name())
+            .field("target_id", &self.target_id)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DetectionModule {
+    /// Creates the module around a detector looking for `target_id`.
+    pub fn new(detector: Box<dyn MarkerDetector>, target_id: u32, min_confidence: f64) -> Self {
+        Self {
+            detector,
+            target_id,
+            min_confidence,
+            events: Vec::new(),
+            stats: DetectionStats::default(),
+        }
+    }
+
+    /// The detector's report name.
+    pub fn detector_name(&self) -> &str {
+        self.detector.name()
+    }
+
+    /// Relative computational cost of one inference (drives the compute
+    /// model).
+    pub fn inference_cost(&self) -> f64 {
+        self.detector.relative_cost()
+    }
+
+    /// The marker id this mission is looking for.
+    pub fn target_id(&self) -> u32 {
+        self.target_id
+    }
+
+    /// Processes one frame and returns world-frame observations, filtered by
+    /// confidence and sorted best-first.
+    ///
+    /// `target_visible` is ground truth supplied by the executor for the
+    /// statistics; it does not influence the detector.
+    pub fn process_frame(
+        &mut self,
+        camera: &Camera,
+        image: &GrayImage,
+        estimated_pose: &Pose,
+        ground_z: f64,
+        time: f64,
+        target_visible: bool,
+    ) -> Vec<MarkerObservation> {
+        let detections: Vec<Detection> = self.detector.detect(image);
+        let observations: Vec<MarkerObservation> = detections
+            .iter()
+            .filter(|d| d.confidence >= self.min_confidence)
+            .filter_map(|d| MarkerObservation::from_detection(camera, estimated_pose, d, ground_z))
+            .collect();
+
+        let target_detected = observations.iter().any(|o| o.id == self.target_id);
+        let event = DetectionEvent {
+            time,
+            target_visible,
+            target_detected,
+            detections: observations.len(),
+        };
+        self.stats.total_frames += 1;
+        if target_visible {
+            self.stats.visible_frames += 1;
+            if !target_detected {
+                self.stats.missed_frames += 1;
+            }
+        } else if observations.iter().any(|o| o.id == self.target_id) {
+            self.stats.false_positive_frames += 1;
+        }
+        self.events.push(event);
+        observations
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> DetectionStats {
+        self.stats
+    }
+
+    /// Per-frame event log.
+    pub fn events(&self) -> &[DetectionEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_geom::{Pose, Vec2, Vec3};
+    use mls_vision::{
+        ClassicalDetector, GroundScene, MarkerDictionary, MarkerPlacement, MarkerRenderer,
+    };
+
+    fn frame_with_marker(id: u32) -> (Camera, GrayImage, Pose) {
+        let dict = MarkerDictionary::standard();
+        let renderer = MarkerRenderer::new(dict);
+        let camera = Camera::downward();
+        let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 8.0), 0.0);
+        let scene = GroundScene::new().with_marker(MarkerPlacement::new(id, Vec2::ZERO, 1.5, 0.0));
+        let image = renderer.render(&camera, &pose, &scene);
+        (camera, image, pose)
+    }
+
+    fn module(target: u32) -> DetectionModule {
+        DetectionModule::new(
+            Box::new(ClassicalDetector::new(MarkerDictionary::standard())),
+            target,
+            0.2,
+        )
+    }
+
+    #[test]
+    fn detects_target_and_updates_stats() {
+        let (camera, image, pose) = frame_with_marker(6);
+        let mut module = module(6);
+        let obs = module.process_frame(&camera, &image, &pose, 0.0, 1.0, true);
+        assert!(obs.iter().any(|o| o.id == 6));
+        let stats = module.stats();
+        assert_eq!(stats.total_frames, 1);
+        assert_eq!(stats.visible_frames, 1);
+        assert_eq!(stats.missed_frames, 0);
+        assert_eq!(module.events().len(), 1);
+        assert!(module.events()[0].target_detected);
+    }
+
+    #[test]
+    fn missed_visible_target_counts_as_false_negative() {
+        let dict = MarkerDictionary::standard();
+        let renderer = MarkerRenderer::new(dict);
+        let camera = Camera::downward();
+        // Empty frame but the executor says the target was visible (e.g. it
+        // was occluded by glare): a miss.
+        let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 8.0), 0.0);
+        let image = renderer.render(&camera, &pose, &GroundScene::new());
+        let mut module = module(6);
+        let obs = module.process_frame(&camera, &image, &pose, 0.0, 1.0, true);
+        assert!(obs.is_empty());
+        assert!((module.stats().false_negative_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_filter_applies() {
+        let (camera, image, pose) = frame_with_marker(6);
+        let mut strict = DetectionModule::new(
+            Box::new(ClassicalDetector::new(MarkerDictionary::standard())),
+            6,
+            0.999,
+        );
+        let obs = strict.process_frame(&camera, &image, &pose, 0.0, 1.0, true);
+        assert!(obs.is_empty(), "no detection should clear a 0.999 confidence bar");
+        assert_eq!(strict.stats().missed_frames, 1);
+    }
+
+    #[test]
+    fn non_target_markers_are_reported_but_not_counted_as_target() {
+        let (camera, image, pose) = frame_with_marker(9);
+        let mut module = module(6);
+        let obs = module.process_frame(&camera, &image, &pose, 0.0, 1.0, false);
+        assert!(obs.iter().any(|o| o.id == 9));
+        assert!(!module.events()[0].target_detected);
+        assert_eq!(module.stats().visible_frames, 0);
+    }
+
+    #[test]
+    fn empty_history_has_zero_false_negative_rate() {
+        let module = module(1);
+        assert_eq!(module.stats().false_negative_rate(), 0.0);
+        assert_eq!(module.detector_name(), "opencv-aruco");
+        assert!(module.inference_cost() >= 1.0);
+    }
+}

@@ -1,0 +1,545 @@
+//! Mission executor: drives one scenario end to end.
+//!
+//! The executor mirrors the runtime architecture of Fig. 1/Fig. 3: physics
+//! and the flight controller tick at 50 Hz; the mapping, detection and
+//! decision modules run at their own (lower) rates; planning runs on demand;
+//! and every module invocation is charged to the [`ComputeModel`], whose
+//! latencies delay when a freshly planned trajectory actually takes effect —
+//! the mechanism behind the HIL collision increase the paper reports.
+
+use mls_compute::{ComputeModel, TaskKind, WorkloadModel};
+use mls_geom::Vec3;
+use mls_sim_world::Scenario;
+use mls_sim_uav::{Uav, UavConfig};
+use mls_vision::{MarkerDictionary, MarkerObservation};
+use mls_planning::Trajectory;
+use serde::{Deserialize, Serialize};
+
+use crate::decision::{Directive, FailsafeReason};
+use crate::detection::DetectionStats;
+use crate::system::{LandingSystem, SystemVariant};
+use crate::MlsError;
+
+/// Final classification of one mission (the Table I categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissionResult {
+    /// Landed within the success radius of the true marker, no collision.
+    Success,
+    /// The airframe hit an obstacle (or the ground at speed).
+    CollisionFailure,
+    /// Everything else: aborted attempts, timeouts, landings far from the
+    /// marker — the paper's "failure due to poor landing" bucket.
+    PoorLanding,
+}
+
+/// Everything recorded about one mission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissionOutcome {
+    /// Scenario identifier.
+    pub scenario_id: usize,
+    /// Scenario name.
+    pub scenario_name: String,
+    /// Whether the scenario counts as adverse weather.
+    pub adverse_weather: bool,
+    /// System generation flown.
+    pub variant: SystemVariant,
+    /// Final classification.
+    pub result: MissionResult,
+    /// `true` if the vehicle ended on the ground (softly).
+    pub landed: bool,
+    /// Horizontal distance between the touchdown point and the true marker,
+    /// metres (when landed).
+    pub landing_error: Option<f64>,
+    /// Mean horizontal error of target-marker observations versus the true
+    /// marker position, metres (Table I metric 1).
+    pub mean_detection_error: Option<f64>,
+    /// Number of obstacle collisions (the mission stops at the first).
+    pub collisions: usize,
+    /// Failsafe that ended the mission, if any.
+    pub failsafe: Option<FailsafeReason>,
+    /// Mission duration, seconds.
+    pub duration: f64,
+    /// Detection-module statistics (Table II).
+    pub detection_stats: DetectionStats,
+    /// Planning failures encountered.
+    pub planning_failures: usize,
+    /// Straight-line fallbacks used (V2 behaviour).
+    pub planning_fallbacks: usize,
+    /// Landing attempts aborted by the decision module.
+    pub landing_aborts: usize,
+    /// Mean CPU utilisation on the compute platform.
+    pub mean_cpu: f64,
+    /// Peak memory on the compute platform, MiB.
+    pub peak_memory_mb: f64,
+    /// Worst planning latency observed, seconds.
+    pub worst_planning_latency: f64,
+    /// Final EKF position error, metres.
+    pub estimation_error: f64,
+    /// Final accumulated GNSS drift, metres.
+    pub gps_drift: f64,
+}
+
+/// Configuration of the mission executor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Vehicle configuration.
+    pub uav: UavConfig,
+    /// Landing success radius: touchdown within this distance of the true
+    /// marker counts as success, metres.
+    pub success_radius: f64,
+    /// Hard cap on wall-clock mission duration, seconds (safety net above the
+    /// decision module's own timeout).
+    pub max_duration: f64,
+    /// Workload → reference-cost exchange rates.
+    pub workload: WorkloadModel,
+    /// Maximum range at which the target marker counts as "visible" for the
+    /// detection statistics, metres.
+    pub visibility_range: f64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            uav: UavConfig::default(),
+            success_radius: 1.0,
+            max_duration: 300.0,
+            workload: WorkloadModel::default(),
+            visibility_range: 22.0,
+        }
+    }
+}
+
+/// Drives one landing system through one scenario.
+pub struct MissionExecutor {
+    scenario: Scenario,
+    system: LandingSystem,
+    uav: Uav,
+    compute: ComputeModel,
+    config: ExecutorConfig,
+}
+
+impl MissionExecutor {
+    /// Builds an executor for a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the landing-system configuration is invalid.
+    pub fn new(
+        scenario: &Scenario,
+        system: LandingSystem,
+        compute: ComputeModel,
+        config: ExecutorConfig,
+        seed: u64,
+    ) -> Result<Self, MlsError> {
+        let uav = Uav::new(
+            config.uav.clone(),
+            scenario.weather.clone(),
+            scenario.start,
+            MarkerDictionary::standard(),
+            seed,
+        );
+        Ok(Self {
+            scenario: scenario.clone(),
+            system,
+            uav,
+            compute,
+            config,
+        })
+    }
+
+    /// Convenience constructor: assembles the named system variant with the
+    /// given landing configuration for the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the landing-system configuration is invalid.
+    pub fn for_variant(
+        scenario: &Scenario,
+        variant: SystemVariant,
+        landing_config: crate::LandingConfig,
+        compute: ComputeModel,
+        config: ExecutorConfig,
+        seed: u64,
+    ) -> Result<Self, MlsError> {
+        let system = LandingSystem::new(
+            variant,
+            MarkerDictionary::standard(),
+            landing_config,
+            scenario.target_marker_id,
+            Vec3::new(scenario.gps_target.x, scenario.gps_target.y, 0.0),
+            seed,
+        )?;
+        Self::new(scenario, system, compute, config, seed)
+    }
+
+    /// Read-only access to the compute model (trace inspection).
+    pub fn compute(&self) -> &ComputeModel {
+        &self.compute
+    }
+
+    /// Read-only access to the landing system.
+    pub fn system(&self) -> &LandingSystem {
+        &self.system
+    }
+
+    /// Runs the mission to completion and returns the outcome.
+    pub fn run(self) -> MissionOutcome {
+        self.run_with_compute().0
+    }
+
+    /// Runs the mission and also returns the compute model, whose recorded
+    /// utilisation trace backs the Fig. 7 reproduction.
+    pub fn run_with_compute(mut self) -> (MissionOutcome, ComputeModel) {
+        let dt = self.uav.physics_dt();
+        let world = self.scenario.map.clone();
+        let ground_z = world.ground_z;
+        let true_target = self.scenario.true_target();
+        let vehicle_radius = self.config.uav.airframe.radius;
+
+        // Memory residency of the modules (drives the compute model's memory
+        // trace): detector weights, map storage, image buffers.
+        let detector_memory = if self.system.variant.uses_learned_detector() {
+            820.0
+        } else {
+            90.0
+        };
+        self.compute.set_resident_memory(TaskKind::MarkerDetection, detector_memory);
+        self.compute.set_resident_memory(TaskKind::CameraPipeline, 250.0);
+        self.compute.set_resident_memory(TaskKind::StateEstimation, 120.0);
+        self.compute.set_resident_memory(TaskKind::DecisionMaking, 40.0);
+
+        // Take off before the mission modules start (the paper's missions
+        // begin with a climb from the origin).
+        self.uav
+            .autopilot_mut()
+            .arm_and_takeoff(self.system.config.cruise_altitude);
+        let mut time = 0.0;
+        while time < 30.0 {
+            self.uav.step(&world);
+            time = self.uav.time();
+            if matches!(self.uav.autopilot().mode(), mls_sim_uav::FlightMode::Hold) {
+                break;
+            }
+        }
+
+        let mut next_detection = time;
+        let mut next_mapping = time;
+        let mut next_decision = time;
+        let mut last_replan = f64::NEG_INFINITY;
+
+        let mut pending_observations: Vec<MarkerObservation> = Vec::new();
+        let mut frames_since_decision = 0usize;
+        let mut detection_errors: Vec<f64> = Vec::new();
+
+        let mut directive = Directive::Hover;
+        let mut active_trajectory: Option<(Trajectory, f64)> = None;
+        let mut pending_trajectory: Option<(Trajectory, f64)> = None;
+        let mut worst_planning_latency = 0.0f64;
+
+        let mut collisions = 0usize;
+        let mut failsafe: Option<FailsafeReason> = None;
+        let mut hard_impact = false;
+
+        while time < self.config.max_duration {
+            self.compute.begin_tick(dt);
+            let state = self.uav.step(&world);
+            time = self.uav.time();
+            self.compute
+                .submit(TaskKind::StateEstimation, self.config.workload.estimation_tick);
+
+            // Collision check against obstacles (the ground is handled by the
+            // landing logic).
+            if !state.landed
+                && world
+                    .obstacles
+                    .iter()
+                    .any(|o| o.distance_to(state.position) < vehicle_radius)
+            {
+                collisions += 1;
+                break;
+            }
+            // Hard ground contact (fast descent into terrain).
+            if state.position.z <= ground_z + 1e-9 && !state.landed {
+                hard_impact = true;
+                break;
+            }
+
+            let estimated_pose = self.uav.estimated_pose();
+
+            // Mapping module.
+            if self.system.mapping.is_enabled() && time >= next_mapping {
+                next_mapping = time + 1.0 / self.system.config.mapping_rate_hz;
+                let cloud = self.uav.capture_depth(&world);
+                let inserted = self.system.mapping.integrate(estimated_pose.position, &cloud, ground_z);
+                self.compute
+                    .submit(TaskKind::Mapping, self.config.workload.mapping_cost(inserted));
+                self.compute.set_resident_memory(
+                    TaskKind::Mapping,
+                    80.0 + self.system.mapping.memory_bytes() as f64 / (1024.0 * 1024.0),
+                );
+            }
+
+            // Detection module.
+            if time >= next_detection {
+                next_detection = time + 1.0 / self.system.config.detection_rate_hz;
+                let image = self.uav.capture_image(&world);
+                let true_pose = self.uav.true_state().pose();
+                let target_visible = self
+                    .uav
+                    .downward_camera()
+                    .project_world_point(&true_pose, true_target)
+                    .map(|px| self.uav.downward_camera().intrinsics.in_bounds(px))
+                    .unwrap_or(false)
+                    && true_pose.position.distance(true_target) <= self.config.visibility_range;
+                let observations = self.system.detection.process_frame(
+                    self.uav.downward_camera(),
+                    &image,
+                    &estimated_pose,
+                    ground_z,
+                    time,
+                    target_visible,
+                );
+                for obs in &observations {
+                    if obs.id == self.scenario.target_marker_id {
+                        detection_errors.push(obs.world_position.horizontal_distance(true_target));
+                    }
+                }
+                pending_observations.extend(observations);
+                frames_since_decision += 1;
+                self.compute.submit(
+                    TaskKind::MarkerDetection,
+                    self.config
+                        .workload
+                        .detection_cost(self.system.detection.inference_cost()),
+                );
+                self.compute
+                    .submit(TaskKind::CameraPipeline, self.config.workload.camera_per_frame);
+            }
+
+            // Decision module.
+            if time >= next_decision {
+                next_decision = time + 1.0 / self.system.config.decision_rate_hz;
+                let decision_inputs = crate::decision::DecisionInputs {
+                    time,
+                    position: estimated_pose.position,
+                    observations: &pending_observations,
+                    frames_processed: frames_since_decision,
+                    landed: state.landed,
+                    ground_z,
+                };
+                let new_directive = self
+                    .system
+                    .decision
+                    .update(&decision_inputs, self.system.mapping.as_query());
+                pending_observations.clear();
+                frames_since_decision = 0;
+                self.compute
+                    .submit(TaskKind::DecisionMaking, self.config.workload.decision_tick);
+
+                // A goal counts as "changed" only when it moved appreciably;
+                // the staged-descent goal drifts a few centimetres every tick
+                // as the target estimate is refined, and replanning at the
+                // decision rate for that would swamp the planner (and, on the
+                // Jetson profile, the whole CPU).
+                let goal_changed = match (directive_goal(&new_directive), directive_goal(&directive)) {
+                    (Some(new), Some(old)) => new.distance(old) > 0.75,
+                    (new, old) => new.is_some() != old.is_some(),
+                };
+                directive = new_directive;
+
+                match &directive {
+                    Directive::FlyTo { goal } | Directive::DescendTo { goal } => {
+                        let need_replan = goal_changed
+                            || active_trajectory.is_none() && pending_trajectory.is_none()
+                            || time - last_replan > self.system.config.replan_interval;
+                        if need_replan {
+                            last_replan = time;
+                            match self.system.planning.plan(
+                                self.system.mapping.as_query(),
+                                estimated_pose.position,
+                                *goal,
+                            ) {
+                                Ok(planned) => {
+                                    let outcome = self.compute.submit(
+                                        TaskKind::PathPlanning,
+                                        self.config.workload.planning_cost(planned.iterations),
+                                    );
+                                    worst_planning_latency =
+                                        worst_planning_latency.max(outcome.latency);
+                                    pending_trajectory =
+                                        Some((planned.trajectory, time + outcome.latency));
+                                }
+                                Err(_) => {
+                                    directive = self.system.decision.notify_planning_failure(time);
+                                }
+                            }
+                        }
+                    }
+                    Directive::Hover => {
+                        active_trajectory = None;
+                        pending_trajectory = None;
+                        self.uav.autopilot_mut().hold();
+                    }
+                    Directive::CommitFinalDescent { target } => {
+                        active_trajectory = None;
+                        pending_trajectory = None;
+                        self.uav
+                            .autopilot_mut()
+                            .goto(Vec3::new(target.x, target.y, ground_z), estimated_pose.yaw());
+                    }
+                    Directive::Abort { reason } => {
+                        failsafe = Some(*reason);
+                        break;
+                    }
+                    Directive::MissionComplete => {
+                        break;
+                    }
+                }
+            }
+
+            // Trajectory following: a freshly planned trajectory only takes
+            // effect once the compute platform has finished producing it.
+            if let Some((trajectory, ready_at)) = &pending_trajectory {
+                if time >= *ready_at {
+                    active_trajectory = Some((trajectory.clone(), time));
+                    pending_trajectory = None;
+                }
+            }
+            if matches!(directive, Directive::FlyTo { .. } | Directive::DescendTo { .. }) {
+                if let Some((trajectory, started_at)) = &active_trajectory {
+                    let sample = trajectory.sample(time - started_at);
+                    let yaw = if sample.velocity.horizontal().norm() > 0.3 {
+                        sample.velocity.y.atan2(sample.velocity.x)
+                    } else {
+                        estimated_pose.yaw()
+                    };
+                    self.uav.autopilot_mut().goto(sample.position, yaw);
+                }
+            }
+
+            self.compute.end_tick(time);
+        }
+
+        // Final classification.
+        let final_state = *self.uav.true_state();
+        let landed = final_state.landed;
+        let landing_error = landed.then(|| final_state.position.horizontal_distance(true_target));
+        let result = if collisions > 0 || hard_impact {
+            if hard_impact {
+                collisions += 1;
+            }
+            MissionResult::CollisionFailure
+        } else if landed
+            && failsafe.is_none()
+            && landing_error.map(|e| e <= self.config.success_radius).unwrap_or(false)
+        {
+            MissionResult::Success
+        } else {
+            MissionResult::PoorLanding
+        };
+
+        let mean_detection_error = if detection_errors.is_empty() {
+            None
+        } else {
+            Some(detection_errors.iter().sum::<f64>() / detection_errors.len() as f64)
+        };
+
+        let outcome = MissionOutcome {
+            scenario_id: self.scenario.id,
+            scenario_name: self.scenario.name.clone(),
+            adverse_weather: self.scenario.is_adverse(),
+            variant: self.system.variant,
+            result,
+            landed,
+            landing_error,
+            mean_detection_error,
+            collisions,
+            failsafe,
+            duration: time,
+            detection_stats: self.system.detection.stats(),
+            planning_failures: self.system.planning.plans_failed(),
+            planning_fallbacks: self.system.planning.fallbacks_used(),
+            landing_aborts: self.system.decision.landing_aborts(),
+            mean_cpu: self.compute.average_cpu(),
+            peak_memory_mb: self.compute.peak_memory(),
+            worst_planning_latency,
+            estimation_error: self.uav.estimation_error(),
+            gps_drift: self.uav.gps_drift().norm(),
+        };
+        (outcome, self.compute)
+    }
+}
+
+/// The goal position a directive points at, for change detection.
+fn directive_goal(directive: &Directive) -> Option<Vec3> {
+    match directive {
+        Directive::FlyTo { goal } | Directive::DescendTo { goal } => Some(*goal),
+        Directive::CommitFinalDescent { target } => Some(*target),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LandingConfig;
+    use mls_compute::ComputeProfile;
+    use mls_sim_world::{MapStyle, ScenarioConfig, ScenarioGenerator};
+
+    /// A small, benign scenario that should be landable by V3.
+    fn easy_scenario() -> mls_sim_world::Scenario {
+        let config = ScenarioConfig {
+            maps: 1,
+            scenarios_per_map: 2,
+            target_distance: (25.0, 30.0),
+            ..ScenarioConfig::default()
+        };
+        let generator = ScenarioGenerator::new(config);
+        // Scenario 0 of map 0 is rural + normal weather.
+        let scenarios = generator.generate_benchmark(77).unwrap();
+        let s = scenarios.into_iter().next().unwrap();
+        assert_eq!(s.map.style, MapStyle::Rural);
+        s
+    }
+
+    fn run_variant(variant: SystemVariant) -> MissionOutcome {
+        let scenario = easy_scenario();
+        let compute = ComputeModel::new(ComputeProfile::desktop_sil()).unwrap();
+        let executor = MissionExecutor::for_variant(
+            &scenario,
+            variant,
+            LandingConfig::default(),
+            compute,
+            ExecutorConfig::default(),
+            11,
+        )
+        .unwrap();
+        executor.run()
+    }
+
+    #[test]
+    fn v3_lands_a_benign_rural_scenario() {
+        let outcome = run_variant(SystemVariant::MlsV3);
+        assert_eq!(
+            outcome.result,
+            MissionResult::Success,
+            "expected success, got {outcome:?}"
+        );
+        assert!(outcome.landing_error.unwrap() < 1.0);
+        assert!(outcome.detection_stats.total_frames > 5);
+        assert!(outcome.mean_cpu > 0.0);
+        assert!(outcome.duration > 10.0);
+    }
+
+    #[test]
+    fn outcome_records_scenario_metadata() {
+        let outcome = run_variant(SystemVariant::MlsV1);
+        assert_eq!(outcome.variant, SystemVariant::MlsV1);
+        assert!(!outcome.scenario_name.is_empty());
+        // Whatever happened, the classification is one of the three buckets.
+        assert!(matches!(
+            outcome.result,
+            MissionResult::Success | MissionResult::CollisionFailure | MissionResult::PoorLanding
+        ));
+    }
+}

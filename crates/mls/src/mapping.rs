@@ -1,0 +1,196 @@
+//! Mapping module: maintains the occupancy representation used for
+//! collision-free planning and for the safety checks.
+//!
+//! The three system generations differ exactly here: MLS-V1 has no map at
+//! all, MLS-V2 keeps a local sliding voxel grid, and MLS-V3 keeps the global
+//! probabilistic octree.
+
+use mls_geom::Vec3;
+use mls_mapping::{CellState, MappingError, OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap};
+use mls_sim_uav::PointCloud;
+use serde::{Deserialize, Serialize};
+
+/// Which occupancy representation the mapping module maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingBackend {
+    /// No mapping at all (MLS-V1).
+    None,
+    /// Local sliding voxel grid (MLS-V2).
+    LocalGrid,
+    /// Global probabilistic octree (MLS-V3).
+    GlobalOctree,
+}
+
+/// The mapping module.
+#[derive(Debug, Clone)]
+pub enum MappingModule {
+    /// MLS-V1: nothing is mapped; every query reports free space.
+    Disabled(NoMap),
+    /// MLS-V2: local grid.
+    Grid(VoxelGridMap),
+    /// MLS-V3: global octree.
+    Octree(OctreeMap),
+}
+
+/// The "map" of MLS-V1: knows nothing, reports everything as unknown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoMap;
+
+impl OccupancyQuery for NoMap {
+    fn resolution(&self) -> f64 {
+        1.0
+    }
+    fn state_at(&self, _point: Vec3) -> CellState {
+        CellState::Unknown
+    }
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl MappingModule {
+    /// Creates the module for a backend with default map parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InvalidConfig`] when the underlying map
+    /// rejects its configuration.
+    pub fn new(backend: MappingBackend) -> Result<Self, MappingError> {
+        Ok(match backend {
+            MappingBackend::None => MappingModule::Disabled(NoMap),
+            MappingBackend::LocalGrid => MappingModule::Grid(VoxelGridMap::new(VoxelGridConfig::default())?),
+            MappingBackend::GlobalOctree => {
+                MappingModule::Octree(OctreeMap::new(OctreeConfig::default())?)
+            }
+        })
+    }
+
+    /// Which backend this module runs.
+    pub fn backend(&self) -> MappingBackend {
+        match self {
+            MappingModule::Disabled(_) => MappingBackend::None,
+            MappingModule::Grid(_) => MappingBackend::LocalGrid,
+            MappingModule::Octree(_) => MappingBackend::GlobalOctree,
+        }
+    }
+
+    /// `true` when the module actually maintains occupancy (V2/V3).
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, MappingModule::Disabled(_))
+    }
+
+    /// Integrates a depth point cloud captured around `vehicle_position`.
+    /// Returns the number of points integrated (drives the compute model).
+    ///
+    /// Returns from the terrain itself (within 0.6 m of `ground_z`) are
+    /// dropped before insertion — the ground-segmentation step every real
+    /// pipeline performs, without which the flat ground below the vehicle
+    /// would fill the map and block every descent corridor. The margin also
+    /// absorbs most of the spurious near-ground points that a drifting pose
+    /// estimate produces (Fig. 5c); drift beyond it still corrupts the map,
+    /// exactly as the paper observed in the field.
+    pub fn integrate(&mut self, vehicle_position: Vec3, cloud: &PointCloud, ground_z: f64) -> usize {
+        if matches!(self, MappingModule::Disabled(_)) {
+            return 0;
+        }
+        let obstacle_points: Vec<Vec3> = cloud
+            .points
+            .iter()
+            .copied()
+            .filter(|p| p.z > ground_z + 0.6)
+            .collect();
+        match self {
+            MappingModule::Disabled(_) => 0,
+            MappingModule::Grid(grid) => {
+                grid.recenter(vehicle_position);
+                grid.insert_cloud(cloud.origin, &obstacle_points);
+                obstacle_points.len()
+            }
+            MappingModule::Octree(tree) => {
+                tree.insert_cloud(cloud.origin, &obstacle_points);
+                obstacle_points.len()
+            }
+        }
+    }
+
+    /// The occupancy interface handed to the planners and safety checks.
+    pub fn as_query(&self) -> &dyn OccupancyQuery {
+        match self {
+            MappingModule::Disabled(map) => map,
+            MappingModule::Grid(map) => map,
+            MappingModule::Octree(map) => map,
+        }
+    }
+
+    /// Approximate memory used by the map storage, bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.as_query().memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud_with_wall() -> PointCloud {
+        let mut points = Vec::new();
+        for y in -10..=10 {
+            for z in 1..10 {
+                points.push(Vec3::new(10.0, y as f64 * 0.4, z as f64 * 0.4));
+            }
+        }
+        PointCloud {
+            origin: Vec3::new(0.0, 0.0, 3.0),
+            points,
+            max_range: 18.0,
+        }
+    }
+
+    #[test]
+    fn disabled_backend_maps_nothing() {
+        let mut module = MappingModule::new(MappingBackend::None).unwrap();
+        assert_eq!(module.integrate(Vec3::ZERO, &cloud_with_wall(), 0.0), 0);
+        assert_eq!(module.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)), CellState::Unknown);
+        assert_eq!(module.memory_bytes(), 0);
+        assert!(!module.is_enabled());
+        assert_eq!(module.backend(), MappingBackend::None);
+    }
+
+    #[test]
+    fn grid_and_octree_integrate_clouds() {
+        for backend in [MappingBackend::LocalGrid, MappingBackend::GlobalOctree] {
+            let mut module = MappingModule::new(backend).unwrap();
+            let inserted = module.integrate(Vec3::new(0.0, 0.0, 3.0), &cloud_with_wall(), 0.0);
+            assert!(inserted > 100);
+            assert!(module.is_enabled());
+            // After repeated observations the wall is occupied in the map.
+            for _ in 0..3 {
+                module.integrate(Vec3::new(0.0, 0.0, 3.0), &cloud_with_wall(), 0.0);
+            }
+            assert_eq!(
+                module.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)),
+                CellState::Occupied,
+                "{backend:?} should mark the wall occupied"
+            );
+            assert!(module.memory_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn grid_forgets_after_recentering_octree_does_not() {
+        let mut grid = MappingModule::new(MappingBackend::LocalGrid).unwrap();
+        let mut octree = MappingModule::new(MappingBackend::GlobalOctree).unwrap();
+        for module in [&mut grid, &mut octree] {
+            for _ in 0..3 {
+                module.integrate(Vec3::new(0.0, 0.0, 3.0), &cloud_with_wall(), 0.0);
+            }
+        }
+        // Vehicle flies 60 m away; mapping keeps being updated with empty
+        // clouds around the new position.
+        let empty = PointCloud::empty(Vec3::new(60.0, 0.0, 3.0), 18.0);
+        grid.integrate(Vec3::new(60.0, 0.0, 3.0), &empty, 0.0);
+        octree.integrate(Vec3::new(60.0, 0.0, 3.0), &empty, 0.0);
+        assert_eq!(grid.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)), CellState::Unknown);
+        assert_eq!(octree.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)), CellState::Occupied);
+    }
+}

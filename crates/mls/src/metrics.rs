@@ -1,0 +1,158 @@
+//! Aggregation of mission outcomes into the rates the paper's tables report.
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::{MissionOutcome, MissionResult};
+use crate::system::SystemVariant;
+
+/// Aggregate results of a batch of missions for one system variant
+/// (one row of Table I / Table III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSummary {
+    /// System variant the batch was flown with.
+    pub variant: SystemVariant,
+    /// Number of missions aggregated.
+    pub missions: usize,
+    /// Fraction of missions classified [`MissionResult::Success`].
+    pub success_rate: f64,
+    /// Fraction classified [`MissionResult::CollisionFailure`].
+    pub collision_rate: f64,
+    /// Fraction classified [`MissionResult::PoorLanding`].
+    pub poor_landing_rate: f64,
+    /// Mean horizontal touchdown error over the missions that landed, metres.
+    pub mean_landing_error: Option<f64>,
+    /// Mean marker-detection position error, metres.
+    pub mean_detection_error: Option<f64>,
+    /// Detection false-negative rate pooled over all missions (Table II).
+    pub false_negative_rate: f64,
+    /// Mean CPU utilisation over all missions.
+    pub mean_cpu: f64,
+    /// Peak memory over all missions, MiB.
+    pub peak_memory_mb: f64,
+    /// Mean number of planning failures per mission.
+    pub mean_planning_failures: f64,
+    /// Mean number of landing aborts per mission.
+    pub mean_landing_aborts: f64,
+}
+
+impl BenchmarkSummary {
+    /// Aggregates a batch of outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `outcomes` is empty.
+    pub fn from_outcomes(variant: SystemVariant, outcomes: &[MissionOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "cannot summarise zero missions");
+        let n = outcomes.len() as f64;
+        let count = |result: MissionResult| {
+            outcomes.iter().filter(|o| o.result == result).count() as f64 / n
+        };
+
+        let landing_errors: Vec<f64> = outcomes.iter().filter_map(|o| o.landing_error).collect();
+        let detection_errors: Vec<f64> =
+            outcomes.iter().filter_map(|o| o.mean_detection_error).collect();
+
+        let visible: usize = outcomes.iter().map(|o| o.detection_stats.visible_frames).sum();
+        let missed: usize = outcomes.iter().map(|o| o.detection_stats.missed_frames).sum();
+
+        Self {
+            variant,
+            missions: outcomes.len(),
+            success_rate: count(MissionResult::Success),
+            collision_rate: count(MissionResult::CollisionFailure),
+            poor_landing_rate: count(MissionResult::PoorLanding),
+            mean_landing_error: mean(&landing_errors),
+            mean_detection_error: mean(&detection_errors),
+            false_negative_rate: if visible == 0 { 0.0 } else { missed as f64 / visible as f64 },
+            mean_cpu: outcomes.iter().map(|o| o.mean_cpu).sum::<f64>() / n,
+            peak_memory_mb: outcomes.iter().map(|o| o.peak_memory_mb).fold(0.0, f64::max),
+            mean_planning_failures: outcomes.iter().map(|o| o.planning_failures as f64).sum::<f64>() / n,
+            mean_landing_aborts: outcomes.iter().map(|o| o.landing_aborts as f64).sum::<f64>() / n,
+        }
+    }
+
+    /// Formats the summary as one row of a plain-text table
+    /// (`label  success%  collision%  poor-landing%`).
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<8} {:>7.2}% {:>7.2}% {:>7.2}%",
+            self.variant.label(),
+            self.success_rate * 100.0,
+            self.collision_rate * 100.0,
+            self.poor_landing_rate * 100.0,
+        )
+    }
+}
+
+fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::DetectionStats;
+
+    fn outcome(result: MissionResult, landing_error: Option<f64>) -> MissionOutcome {
+        MissionOutcome {
+            scenario_id: 0,
+            scenario_name: "test".to_string(),
+            adverse_weather: false,
+            variant: SystemVariant::MlsV3,
+            result,
+            landed: landing_error.is_some(),
+            landing_error,
+            mean_detection_error: Some(0.2),
+            collisions: usize::from(result == MissionResult::CollisionFailure),
+            failsafe: None,
+            duration: 60.0,
+            detection_stats: DetectionStats {
+                visible_frames: 10,
+                missed_frames: 1,
+                false_positive_frames: 0,
+                total_frames: 20,
+            },
+            planning_failures: 1,
+            planning_fallbacks: 0,
+            landing_aborts: 0,
+            mean_cpu: 0.4,
+            peak_memory_mb: 2000.0,
+            worst_planning_latency: 0.05,
+            estimation_error: 0.3,
+            gps_drift: 0.2,
+        }
+    }
+
+    #[test]
+    fn rates_sum_to_one_and_match_counts() {
+        let outcomes = vec![
+            outcome(MissionResult::Success, Some(0.3)),
+            outcome(MissionResult::Success, Some(0.4)),
+            outcome(MissionResult::CollisionFailure, None),
+            outcome(MissionResult::PoorLanding, Some(2.5)),
+        ];
+        let summary = BenchmarkSummary::from_outcomes(SystemVariant::MlsV3, &outcomes);
+        assert_eq!(summary.missions, 4);
+        assert!((summary.success_rate - 0.5).abs() < 1e-12);
+        assert!((summary.collision_rate - 0.25).abs() < 1e-12);
+        assert!((summary.poor_landing_rate - 0.25).abs() < 1e-12);
+        assert!(
+            (summary.success_rate + summary.collision_rate + summary.poor_landing_rate - 1.0).abs()
+                < 1e-12
+        );
+        let landing = summary.mean_landing_error.unwrap();
+        assert!((landing - (0.3 + 0.4 + 2.5) / 3.0).abs() < 1e-12);
+        assert!((summary.false_negative_rate - 0.1).abs() < 1e-12);
+        assert!(summary.table_row().contains("MLS-V3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero missions")]
+    fn empty_batch_panics() {
+        let _ = BenchmarkSummary::from_outcomes(SystemVariant::MlsV1, &[]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Path-planning module: wraps a planner, turns its paths into trajectories,
+//! and implements the V2 fallback behaviour the paper describes (when the
+//! bounded A* fails, the system "default[s] to unsafe straight-line paths").
+
+use mls_geom::Vec3;
+use mls_mapping::OccupancyQuery;
+use mls_planning::{Path, PathPlanner, PlanningError, Trajectory, TrajectoryConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::MlsError;
+
+/// A trajectory produced by the planning module, annotated with how it was
+/// obtained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedTrajectory {
+    /// The time-parameterised trajectory to follow.
+    pub trajectory: Trajectory,
+    /// Planner iterations consumed (drives the compute model).
+    pub iterations: usize,
+    /// `true` when the planner failed and the module fell back to an
+    /// unchecked straight line (the documented MLS-V2 behaviour).
+    pub used_fallback: bool,
+}
+
+/// The path-planning module.
+pub struct PlanningModule {
+    planner: Box<dyn PathPlanner>,
+    fallback_straight_line: bool,
+    trajectory_config: TrajectoryConfig,
+    plans_attempted: usize,
+    plans_failed: usize,
+    fallbacks_used: usize,
+}
+
+impl std::fmt::Debug for PlanningModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanningModule")
+            .field("planner", &self.planner.name())
+            .field("fallback_straight_line", &self.fallback_straight_line)
+            .field("plans_attempted", &self.plans_attempted)
+            .field("plans_failed", &self.plans_failed)
+            .finish()
+    }
+}
+
+impl PlanningModule {
+    /// Creates the module.
+    ///
+    /// `fallback_straight_line` enables the V2 behaviour of flying an
+    /// unchecked straight line when the planner reports failure; V3 aborts
+    /// instead (handled by the decision module).
+    pub fn new(
+        planner: Box<dyn PathPlanner>,
+        fallback_straight_line: bool,
+        trajectory_config: TrajectoryConfig,
+    ) -> Self {
+        Self {
+            planner,
+            fallback_straight_line,
+            trajectory_config,
+            plans_attempted: 0,
+            plans_failed: 0,
+            fallbacks_used: 0,
+        }
+    }
+
+    /// The wrapped planner's name.
+    pub fn planner_name(&self) -> &str {
+        self.planner.name()
+    }
+
+    /// Number of planning queries attempted so far.
+    pub fn plans_attempted(&self) -> usize {
+        self.plans_attempted
+    }
+
+    /// Number of planning queries that failed outright.
+    pub fn plans_failed(&self) -> usize {
+        self.plans_failed
+    }
+
+    /// Number of times the straight-line fallback was used.
+    pub fn fallbacks_used(&self) -> usize {
+        self.fallbacks_used
+    }
+
+    /// Plans a trajectory from `start` to `goal` over `map`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlsError::Planning`] when the planner fails and the fallback
+    /// is disabled (or the trajectory itself cannot be built).
+    pub fn plan(
+        &mut self,
+        map: &dyn OccupancyQuery,
+        start: Vec3,
+        goal: Vec3,
+    ) -> Result<PlannedTrajectory, MlsError> {
+        self.plans_attempted += 1;
+        match self.planner.plan(map, start, goal) {
+            Ok(outcome) => {
+                let trajectory = Trajectory::from_path(&outcome.path, self.trajectory_config)
+                    .map_err(MlsError::Planning)?;
+                Ok(PlannedTrajectory {
+                    trajectory,
+                    iterations: outcome.iterations,
+                    used_fallback: false,
+                })
+            }
+            Err(err) => {
+                self.plans_failed += 1;
+                if self.fallback_straight_line {
+                    self.fallbacks_used += 1;
+                    let iterations = match &err {
+                        PlanningError::NoPathFound { iterations, .. } => *iterations,
+                        _ => 0,
+                    };
+                    let path = Path::straight_line(start, goal);
+                    let trajectory = Trajectory::from_path(&path, self.trajectory_config)
+                        .map_err(MlsError::Planning)?;
+                    Ok(PlannedTrajectory {
+                        trajectory,
+                        iterations,
+                        used_fallback: true,
+                    })
+                } else {
+                    Err(MlsError::Planning(err))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_geom::Vec3;
+    use mls_mapping::{VoxelGridConfig, VoxelGridMap};
+    use mls_planning::{AStarConfig, AStarPlanner, RrtStarPlanner, StraightLinePlanner};
+
+    fn map_with_huge_wall() -> VoxelGridMap {
+        let mut grid = VoxelGridMap::new(VoxelGridConfig {
+            resolution: 0.4,
+            half_extent_xy: 25.0,
+            height: 26.0,
+            carve_free_space: false,
+            max_range: 100.0,
+        })
+        .unwrap();
+        for y in -60..=60 {
+            for z in 0..60 {
+                grid.mark_occupied(Vec3::new(10.0, y as f64 * 0.4, z as f64 * 0.4));
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn successful_plan_produces_a_trajectory() {
+        let grid = VoxelGridMap::new(VoxelGridConfig::default()).unwrap();
+        let mut module = PlanningModule::new(
+            Box::new(StraightLinePlanner),
+            false,
+            TrajectoryConfig::default(),
+        );
+        let planned = module
+            .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(10.0, 0.0, 5.0))
+            .unwrap();
+        assert!(!planned.used_fallback);
+        assert!(planned.trajectory.duration() > 0.0);
+        assert_eq!(module.plans_attempted(), 1);
+        assert_eq!(module.plans_failed(), 0);
+    }
+
+    #[test]
+    fn v2_falls_back_to_straight_line_when_pool_exhausts() {
+        let grid = map_with_huge_wall();
+        let mut module = PlanningModule::new(
+            Box::new(AStarPlanner::with_config(AStarConfig {
+                max_expansions: 800,
+                ..AStarConfig::default()
+            })),
+            true,
+            TrajectoryConfig::default(),
+        );
+        let planned = module
+            .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0))
+            .unwrap();
+        assert!(planned.used_fallback, "bounded A* must fail against the wall");
+        assert_eq!(module.fallbacks_used(), 1);
+        // The fallback path goes straight at the goal — through the wall.
+        assert_eq!(planned.trajectory.waypoints().len(), 2);
+    }
+
+    #[test]
+    fn v3_reports_failure_instead_of_falling_back() {
+        let grid = map_with_huge_wall();
+        // An RRT* with a tiny budget will fail on the oversized wall.
+        let mut module = PlanningModule::new(
+            Box::new(RrtStarPlanner::with_config(mls_planning::RrtStarConfig {
+                max_iterations: 50,
+                ..mls_planning::RrtStarConfig::default()
+            })),
+            false,
+            TrajectoryConfig::default(),
+        );
+        let err = module
+            .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0))
+            .unwrap_err();
+        assert!(matches!(err, MlsError::Planning(_)));
+        assert_eq!(module.plans_failed(), 1);
+        assert_eq!(module.fallbacks_used(), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Assembly of the three landing-system generations evaluated in the paper.
+//!
+//! | Variant  | Detection            | Mapping        | Planning                    |
+//! |----------|----------------------|----------------|-----------------------------|
+//! | MLS-V1   | classical (OpenCV)   | none           | straight line               |
+//! | MLS-V2   | learned (TPH-YOLO)   | local grid     | bounded A* (+ straight-line fallback) |
+//! | MLS-V3   | learned (TPH-YOLO)   | global octree  | RRT*                        |
+
+use mls_geom::Vec3;
+use mls_planning::{AStarConfig, AStarPlanner, RrtStarConfig, RrtStarPlanner, StraightLinePlanner};
+use mls_vision::{ClassicalDetector, LearnedDetector, MarkerDictionary};
+use serde::{Deserialize, Serialize};
+
+use crate::config::LandingConfig;
+use crate::decision::DecisionModule;
+use crate::detection::DetectionModule;
+use crate::mapping::{MappingBackend, MappingModule};
+use crate::planning::PlanningModule;
+use crate::MlsError;
+
+/// The three generations of the marker-based landing system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemVariant {
+    /// First generation: OpenCV detection, no obstacle avoidance.
+    MlsV1,
+    /// Second generation: TPH-YOLO detection, local grid, EGO-Planner-style A*.
+    MlsV2,
+    /// Third generation: TPH-YOLO detection, OctoMap-style octree, RRT*.
+    MlsV3,
+}
+
+impl SystemVariant {
+    /// All variants in benchmark order.
+    pub const ALL: [SystemVariant; 3] = [SystemVariant::MlsV1, SystemVariant::MlsV2, SystemVariant::MlsV3];
+
+    /// Report label ("MLS-V1").
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemVariant::MlsV1 => "MLS-V1",
+            SystemVariant::MlsV2 => "MLS-V2",
+            SystemVariant::MlsV3 => "MLS-V3",
+        }
+    }
+
+    /// Which mapping backend the variant uses.
+    pub fn mapping_backend(self) -> MappingBackend {
+        match self {
+            SystemVariant::MlsV1 => MappingBackend::None,
+            SystemVariant::MlsV2 => MappingBackend::LocalGrid,
+            SystemVariant::MlsV3 => MappingBackend::GlobalOctree,
+        }
+    }
+
+    /// `true` when the variant uses the learned (TPH-YOLO surrogate)
+    /// detector.
+    pub fn uses_learned_detector(self) -> bool {
+        !matches!(self, SystemVariant::MlsV1)
+    }
+}
+
+/// One assembled landing system: all four software modules of Fig. 1.
+#[derive(Debug)]
+pub struct LandingSystem {
+    /// Which generation this is.
+    pub variant: SystemVariant,
+    /// Marker-detection module.
+    pub detection: DetectionModule,
+    /// Mapping module.
+    pub mapping: MappingModule,
+    /// Path-planning module.
+    pub planning: PlanningModule,
+    /// Decision-making module (Fig. 2 state machine).
+    pub decision: DecisionModule,
+    /// Mission configuration.
+    pub config: LandingConfig,
+}
+
+impl LandingSystem {
+    /// Assembles a landing system for one mission.
+    ///
+    /// `target_id` and `gps_target` come from the scenario; `seed` makes the
+    /// sampling-based planner deterministic per mission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlsError::InvalidConfig`] when the configuration is
+    /// inconsistent, or a mapping error if a map rejects its parameters.
+    pub fn new(
+        variant: SystemVariant,
+        dictionary: MarkerDictionary,
+        config: LandingConfig,
+        target_id: u32,
+        gps_target: Vec3,
+        seed: u64,
+    ) -> Result<Self, MlsError> {
+        config.validate()?;
+
+        let detection = if variant.uses_learned_detector() {
+            DetectionModule::new(
+                Box::new(LearnedDetector::new(dictionary)),
+                target_id,
+                config.min_detection_confidence,
+            )
+        } else {
+            DetectionModule::new(
+                Box::new(ClassicalDetector::new(dictionary)),
+                target_id,
+                config.min_detection_confidence,
+            )
+        };
+
+        let mapping = MappingModule::new(variant.mapping_backend()).map_err(MlsError::Mapping)?;
+
+        let planning = match variant {
+            SystemVariant::MlsV1 => PlanningModule::new(
+                Box::new(StraightLinePlanner),
+                false,
+                config.trajectory,
+            ),
+            SystemVariant::MlsV2 => PlanningModule::new(
+                Box::new(AStarPlanner::with_config(AStarConfig {
+                    inflation_radius: config.inflation_radius,
+                    ..AStarConfig::default()
+                })),
+                true,
+                config.trajectory,
+            ),
+            SystemVariant::MlsV3 => PlanningModule::new(
+                Box::new(RrtStarPlanner::with_config(RrtStarConfig {
+                    inflation_radius: config.inflation_radius,
+                    seed,
+                    ..RrtStarConfig::default()
+                })),
+                false,
+                config.trajectory,
+            ),
+        };
+
+        let decision = DecisionModule::new(config.clone(), target_id, gps_target);
+
+        Ok(Self {
+            variant,
+            detection,
+            mapping,
+            planning,
+            decision,
+            config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_assemble_the_documented_module_mix() {
+        let dict = MarkerDictionary::standard();
+        let v1 = LandingSystem::new(
+            SystemVariant::MlsV1,
+            dict.clone(),
+            LandingConfig::default(),
+            3,
+            Vec3::new(40.0, 0.0, 0.0),
+            1,
+        )
+        .unwrap();
+        assert_eq!(v1.detection.detector_name(), "opencv-aruco");
+        assert!(!v1.mapping.is_enabled());
+        assert_eq!(v1.planning.planner_name(), "straight-line");
+
+        let v2 = LandingSystem::new(
+            SystemVariant::MlsV2,
+            dict.clone(),
+            LandingConfig::default(),
+            3,
+            Vec3::new(40.0, 0.0, 0.0),
+            1,
+        )
+        .unwrap();
+        assert_eq!(v2.detection.detector_name(), "tph-yolo-surrogate");
+        assert_eq!(v2.mapping.backend(), MappingBackend::LocalGrid);
+        assert_eq!(v2.planning.planner_name(), "astar");
+
+        let v3 = LandingSystem::new(
+            SystemVariant::MlsV3,
+            dict,
+            LandingConfig::default(),
+            3,
+            Vec3::new(40.0, 0.0, 0.0),
+            1,
+        )
+        .unwrap();
+        assert_eq!(v3.detection.detector_name(), "tph-yolo-surrogate");
+        assert_eq!(v3.mapping.backend(), MappingBackend::GlobalOctree);
+        assert_eq!(v3.planning.planner_name(), "rrt-star");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_assembly() {
+        let mut cfg = LandingConfig::default();
+        cfg.validation_frames = 0;
+        cfg.validation_threshold = 0;
+        let err = LandingSystem::new(
+            SystemVariant::MlsV3,
+            MarkerDictionary::standard(),
+            cfg,
+            3,
+            Vec3::ZERO,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MlsError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn variant_labels_are_stable() {
+        assert_eq!(SystemVariant::MlsV1.label(), "MLS-V1");
+        assert_eq!(SystemVariant::MlsV3.label(), "MLS-V3");
+        assert_eq!(SystemVariant::ALL.len(), 3);
+        assert!(!SystemVariant::MlsV1.uses_learned_detector());
+        assert!(SystemVariant::MlsV2.uses_learned_detector());
+    }
+}

@@ -1,0 +1,363 @@
+//! Bounded-pool grid A* (the EGO-Planner-style front end of MLS-V2).
+//!
+//! The planner searches a 26-connected voxel lattice at a configurable
+//! resolution. Two design choices intentionally mirror the paper's V2
+//! system and its documented weaknesses:
+//!
+//! * the open/closed sets are capped at [`AStarConfig::max_expansions`]
+//!   ("the A* algorithm often failed to find viable solutions within the
+//!   constraints of the search pool size"), so a large building between the
+//!   start and the goal exhausts the pool and the query fails;
+//! * `Unknown` space is treated as traversable, so paths can cut through
+//!   volumes the local map has simply never observed — which is how V2 ends
+//!   up inside tree canopies.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use mls_geom::{Vec3, VoxelIndex};
+use mls_mapping::{CellState, OccupancyQuery};
+use serde::{Deserialize, Serialize};
+
+use crate::{Path, PathPlanner, PlanOutcome, PlanningError};
+
+/// Configuration of the A* planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AStarConfig {
+    /// Lattice resolution, metres (usually a small multiple of the map
+    /// resolution).
+    pub resolution: f64,
+    /// Maximum number of node expansions before the search gives up — the
+    /// "search pool" bound.
+    pub max_expansions: usize,
+    /// Obstacle inflation radius applied at every lattice node, metres.
+    pub inflation_radius: f64,
+    /// Treat unknown cells as free (optimistic, V2 behaviour) or as occupied
+    /// (conservative).
+    pub optimistic_unknown: bool,
+    /// Minimum flight altitude of planned nodes, metres.
+    pub min_altitude: f64,
+    /// Maximum flight altitude of planned nodes, metres.
+    pub max_altitude: f64,
+    /// Tolerance for reaching the goal, metres.
+    pub goal_tolerance: f64,
+}
+
+impl Default for AStarConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 0.8,
+            max_expansions: 6_000,
+            inflation_radius: 0.8,
+            optimistic_unknown: true,
+            min_altitude: 1.0,
+            max_altitude: 30.0,
+            goal_tolerance: 1.2,
+        }
+    }
+}
+
+impl AStarConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanningError::InvalidConfig`] for non-positive resolution or
+    /// an empty expansion budget.
+    pub fn validate(&self) -> Result<(), PlanningError> {
+        if self.resolution <= 0.0 {
+            return Err(PlanningError::InvalidConfig {
+                reason: "resolution must be positive".to_string(),
+            });
+        }
+        if self.max_expansions == 0 {
+            return Err(PlanningError::InvalidConfig {
+                reason: "max_expansions must be at least 1".to_string(),
+            });
+        }
+        if self.min_altitude >= self.max_altitude {
+            return Err(PlanningError::InvalidConfig {
+                reason: "min_altitude must be below max_altitude".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Grid A* planner.
+#[derive(Debug, Clone)]
+pub struct AStarPlanner {
+    config: AStarConfig,
+}
+
+impl AStarPlanner {
+    /// Creates a planner with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(AStarConfig::default())
+    }
+
+    /// Creates a planner with an explicit configuration.
+    pub fn with_config(config: AStarConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AStarConfig {
+        &self.config
+    }
+
+    fn node_blocked(&self, map: &dyn OccupancyQuery, point: Vec3) -> bool {
+        if point.z < self.config.min_altitude || point.z > self.config.max_altitude {
+            return true;
+        }
+        match map.state_at(point) {
+            CellState::Occupied => true,
+            CellState::Unknown if !self.config.optimistic_unknown => true,
+            _ => map.occupied_within(point, self.config.inflation_radius, !self.config.optimistic_unknown),
+        }
+    }
+}
+
+impl Default for AStarPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Open-set entry ordered by lowest f-cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OpenEntry {
+    f_cost: f64,
+    index: VoxelIndex,
+}
+
+impl Eq for OpenEntry {}
+
+impl Ord for OpenEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the lowest f-cost first.
+        other
+            .f_cost
+            .partial_cmp(&self.f_cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+impl PartialOrd for OpenEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PathPlanner for AStarPlanner {
+    fn plan(
+        &mut self,
+        map: &dyn OccupancyQuery,
+        start: Vec3,
+        goal: Vec3,
+    ) -> Result<PlanOutcome, PlanningError> {
+        self.config.validate()?;
+        let res = self.config.resolution;
+        if self.node_blocked(map, start) {
+            return Err(PlanningError::InvalidEndpoint { endpoint: "start" });
+        }
+        if self.node_blocked(map, goal) {
+            return Err(PlanningError::InvalidEndpoint { endpoint: "goal" });
+        }
+
+        let start_index = VoxelIndex::from_point(start, res);
+        let goal_index = VoxelIndex::from_point(goal, res);
+
+        let mut open = BinaryHeap::new();
+        let mut g_cost: HashMap<VoxelIndex, f64> = HashMap::new();
+        let mut parent: HashMap<VoxelIndex, VoxelIndex> = HashMap::new();
+        g_cost.insert(start_index, 0.0);
+        open.push(OpenEntry {
+            f_cost: start.distance(goal),
+            index: start_index,
+        });
+
+        let mut expansions = 0usize;
+        while let Some(OpenEntry { index, .. }) = open.pop() {
+            expansions += 1;
+            if expansions > self.config.max_expansions {
+                return Err(PlanningError::NoPathFound {
+                    reason: "search pool exhausted".to_string(),
+                    iterations: expansions,
+                });
+            }
+            let center = index.center(res);
+            if index == goal_index || center.distance(goal) <= self.config.goal_tolerance {
+                // Reconstruct.
+                let mut waypoints = vec![goal];
+                let mut cursor = index;
+                while cursor != start_index {
+                    waypoints.push(cursor.center(res));
+                    cursor = parent[&cursor];
+                }
+                waypoints.push(start);
+                waypoints.reverse();
+                return Ok(PlanOutcome {
+                    path: Path::new(waypoints).simplified(),
+                    iterations: expansions,
+                });
+            }
+
+            let current_g = g_cost[&index];
+            for neighbor in index.all_neighbors() {
+                let neighbor_center = neighbor.center(res);
+                if self.node_blocked(map, neighbor_center) {
+                    continue;
+                }
+                let step = center.distance(neighbor_center);
+                let tentative = current_g + step;
+                if g_cost.get(&neighbor).map(|&g| tentative < g).unwrap_or(true) {
+                    g_cost.insert(neighbor, tentative);
+                    parent.insert(neighbor, index);
+                    open.push(OpenEntry {
+                        f_cost: tentative + neighbor_center.distance(goal),
+                        index: neighbor,
+                    });
+                }
+            }
+        }
+
+        Err(PlanningError::NoPathFound {
+            reason: "open set exhausted (goal unreachable)".to_string(),
+            iterations: expansions,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "astar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_mapping::{VoxelGridConfig, VoxelGridMap};
+
+    /// Builds a local grid with a wall of the given width/height in front of
+    /// the start.
+    fn wall_world(width: f64, height: f64) -> VoxelGridMap {
+        let mut grid = VoxelGridMap::new(VoxelGridConfig {
+            resolution: 0.4,
+            half_extent_xy: 25.0,
+            height: 26.0,
+            carve_free_space: false,
+            max_range: 100.0,
+        })
+        .unwrap();
+        let mut y = -width / 2.0;
+        while y <= width / 2.0 {
+            let mut z = 0.2;
+            while z <= height {
+                grid.mark_occupied(Vec3::new(10.0, y, z));
+                grid.mark_occupied(Vec3::new(10.4, y, z));
+                z += 0.4;
+            }
+            y += 0.4;
+        }
+        grid
+    }
+
+    #[test]
+    fn plans_straight_in_free_space() {
+        let grid = VoxelGridMap::new(VoxelGridConfig::default()).unwrap();
+        let mut planner = AStarPlanner::new();
+        let outcome = planner
+            .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(12.0, 0.0, 5.0))
+            .unwrap();
+        assert!(outcome.path.length() < 14.0);
+        assert!(outcome.iterations < 200);
+        assert_eq!(planner.name(), "astar");
+    }
+
+    #[test]
+    fn routes_around_a_small_wall() {
+        let grid = wall_world(6.0, 8.0);
+        let mut planner = AStarPlanner::new();
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(20.0, 0.0, 5.0);
+        let outcome = planner.plan(&grid, start, goal).unwrap();
+        // The path must detour: longer than the straight line.
+        assert!(outcome.path.length() > 20.5);
+        // And it must not pass through the wall.
+        assert!(!grid.segment_blocked(start, outcome.path.waypoints[1], 0.2, false) || outcome.path.len() > 2);
+        for pair in outcome.path.waypoints.windows(2) {
+            assert!(
+                !grid.segment_blocked(pair[0], pair[1], 0.2, false),
+                "segment {pair:?} crosses the wall"
+            );
+        }
+    }
+
+    #[test]
+    fn large_building_exhausts_the_search_pool() {
+        // The V2 failure: a wall much larger than the search pool can
+        // circumnavigate within its expansion budget.
+        let grid = wall_world(40.0, 24.0);
+        let mut planner = AStarPlanner::with_config(AStarConfig {
+            max_expansions: 1_500,
+            ..AStarConfig::default()
+        });
+        let err = planner
+            .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0))
+            .unwrap_err();
+        assert!(matches!(err, PlanningError::NoPathFound { .. }));
+        assert!(err.to_string().contains("pool"));
+    }
+
+    #[test]
+    fn plans_through_unknown_space_when_optimistic() {
+        // Completely unobserved map: the optimistic planner sails through it,
+        // the conservative one refuses.
+        let grid = VoxelGridMap::new(VoxelGridConfig::default()).unwrap();
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(10.0, 0.0, 5.0);
+        let mut optimistic = AStarPlanner::new();
+        assert!(optimistic.plan(&grid, start, goal).is_ok());
+        let mut conservative = AStarPlanner::with_config(AStarConfig {
+            optimistic_unknown: false,
+            ..AStarConfig::default()
+        });
+        assert!(conservative.plan(&grid, start, goal).is_err());
+    }
+
+    #[test]
+    fn blocked_endpoints_are_rejected() {
+        let mut grid = wall_world(4.0, 8.0);
+        grid.mark_occupied(Vec3::new(0.0, 0.0, 5.0));
+        let mut planner = AStarPlanner::new();
+        let err = planner
+            .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0))
+            .unwrap_err();
+        assert!(matches!(err, PlanningError::InvalidEndpoint { endpoint: "start" }));
+    }
+
+    #[test]
+    fn altitude_bounds_are_respected() {
+        let grid = VoxelGridMap::new(VoxelGridConfig::default()).unwrap();
+        let mut planner = AStarPlanner::new();
+        let outcome = planner
+            .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(8.0, 0.0, 5.0))
+            .unwrap();
+        for w in &outcome.path.waypoints {
+            assert!(w.z >= 1.0 - 1e-9 && w.z <= 30.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = AStarConfig::default();
+        cfg.resolution = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = AStarConfig::default();
+        cfg.max_expansions = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = AStarConfig::default();
+        cfg.min_altitude = 50.0;
+        assert!(cfg.validate().is_err());
+        assert!(AStarConfig::default().validate().is_ok());
+    }
+}

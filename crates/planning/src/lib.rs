@@ -1,0 +1,275 @@
+//! Path-planning substrates.
+//!
+//! Two planners mirror the paper's two planning generations:
+//!
+//! * [`AStarPlanner`] — a bounded-pool grid A* in the spirit of EGO-Planner's
+//!   front end (MLS-V2). Fast in open space, but the bounded search pool can
+//!   be exhausted by large obstacles, and planning through `Unknown` space is
+//!   allowed — both documented V2 failure modes.
+//! * [`RrtStarPlanner`] — a goal-biased RRT* with rewiring and shortcutting
+//!   in the spirit of OMPL's implementation (MLS-V3), run against the global
+//!   octree map.
+//!
+//! [`Trajectory`] turns waypoint paths into time-parameterised setpoints and
+//! [`safety`] holds the corridor/clearance checks the decision-making module
+//! applies before and during the landing descent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use mls_geom::Vec3;
+use mls_mapping::OccupancyQuery;
+use serde::{Deserialize, Serialize};
+
+mod astar;
+mod rrt_star;
+pub mod safety;
+mod trajectory;
+
+pub use astar::{AStarConfig, AStarPlanner};
+pub use rrt_star::{RrtStarConfig, RrtStarPlanner};
+pub use trajectory::{Trajectory, TrajectoryConfig, TrajectorySample};
+
+/// Errors produced by the planners.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlanningError {
+    /// No collision-free path was found within the planner's budget.
+    NoPathFound {
+        /// What ran out (search pool, iterations, ...).
+        reason: String,
+        /// Number of expansions / samples spent before giving up.
+        iterations: usize,
+    },
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The start or goal is itself in collision (after inflation).
+    InvalidEndpoint {
+        /// Which endpoint is in collision.
+        endpoint: &'static str,
+    },
+}
+
+impl fmt::Display for PlanningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanningError::NoPathFound { reason, iterations } => {
+                write!(f, "no path found after {iterations} iterations: {reason}")
+            }
+            PlanningError::InvalidConfig { reason } => write!(f, "invalid planner configuration: {reason}"),
+            PlanningError::InvalidEndpoint { endpoint } => {
+                write!(f, "{endpoint} position is in collision")
+            }
+        }
+    }
+}
+
+impl Error for PlanningError {}
+
+/// A waypoint path through free space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// Ordered waypoints from start to goal (inclusive).
+    pub waypoints: Vec<Vec3>,
+}
+
+impl Path {
+    /// Creates a path from waypoints.
+    pub fn new(waypoints: Vec<Vec3>) -> Self {
+        Self { waypoints }
+    }
+
+    /// A direct two-point path (what MLS-V1 flies).
+    pub fn straight_line(start: Vec3, goal: Vec3) -> Self {
+        Self {
+            waypoints: vec![start, goal],
+        }
+    }
+
+    /// Total path length, metres.
+    pub fn length(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.waypoints.len()
+    }
+
+    /// `true` when the path has fewer than two waypoints.
+    pub fn is_empty(&self) -> bool {
+        self.waypoints.len() < 2
+    }
+
+    /// The final waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path.
+    pub fn goal(&self) -> Vec3 {
+        *self.waypoints.last().expect("path has at least one waypoint")
+    }
+
+    /// The sharpest turn along the path, radians (0 for straight paths).
+    /// Sharp RRT* corners are the V3 trajectory-following failure mode.
+    pub fn sharpest_corner(&self) -> f64 {
+        let mut sharpest = 0.0f64;
+        for w in self.waypoints.windows(3) {
+            let a = (w[1] - w[0]).normalized();
+            let b = (w[2] - w[1]).normalized();
+            if let (Some(a), Some(b)) = (a, b) {
+                let angle = a.dot(b).clamp(-1.0, 1.0).acos();
+                sharpest = sharpest.max(angle);
+            }
+        }
+        sharpest
+    }
+
+    /// Returns the path with collinear intermediate waypoints removed.
+    pub fn simplified(&self) -> Path {
+        if self.waypoints.len() <= 2 {
+            return self.clone();
+        }
+        let mut out = vec![self.waypoints[0]];
+        for w in self.waypoints.windows(3) {
+            let a = (w[1] - w[0]).normalized();
+            let b = (w[2] - w[1]).normalized();
+            let collinear = match (a, b) {
+                (Some(a), Some(b)) => a.dot(b) > 1.0 - 1e-9,
+                _ => true,
+            };
+            if !collinear {
+                out.push(w[1]);
+            }
+        }
+        out.push(*self.waypoints.last().expect("non-empty"));
+        Path::new(out)
+    }
+}
+
+/// Result of a successful planning query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanOutcome {
+    /// The collision-free path.
+    pub path: Path,
+    /// Number of node expansions (A*) or samples (RRT*) consumed; drives the
+    /// compute model's planning cost.
+    pub iterations: usize,
+}
+
+/// Common interface of the A* and RRT* planners (and the straight-line
+/// "planner" of MLS-V1).
+pub trait PathPlanner: Send {
+    /// Plans a path from `start` to `goal` over `map`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanningError::NoPathFound`] when the budget is exhausted,
+    /// or [`PlanningError::InvalidEndpoint`] when an endpoint is already in
+    /// collision.
+    fn plan(
+        &mut self,
+        map: &dyn OccupancyQuery,
+        start: Vec3,
+        goal: Vec3,
+    ) -> Result<PlanOutcome, PlanningError>;
+
+    /// Short name used in reports ("astar", "rrt-star", "straight-line").
+    fn name(&self) -> &str;
+}
+
+/// The MLS-V1 "planner": fly straight at the goal, no map consulted.
+#[derive(Debug, Clone, Default)]
+pub struct StraightLinePlanner;
+
+impl PathPlanner for StraightLinePlanner {
+    fn plan(
+        &mut self,
+        _map: &dyn OccupancyQuery,
+        start: Vec3,
+        goal: Vec3,
+    ) -> Result<PlanOutcome, PlanningError> {
+        Ok(PlanOutcome {
+            path: Path::straight_line(start, goal),
+            iterations: 1,
+        })
+    }
+
+    fn name(&self) -> &str {
+        "straight-line"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_mapping::CellState;
+
+    struct EmptyMap;
+    impl OccupancyQuery for EmptyMap {
+        fn resolution(&self) -> f64 {
+            0.5
+        }
+        fn state_at(&self, _point: Vec3) -> CellState {
+            CellState::Free
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn path_length_and_simplification() {
+        let path = Path::new(vec![
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(2.0, 3.0, 0.0),
+        ]);
+        assert!((path.length() - 5.0).abs() < 1e-9);
+        let simplified = path.simplified();
+        assert_eq!(simplified.len(), 3);
+        assert!((simplified.length() - 5.0).abs() < 1e-9);
+        assert!((path.sharpest_corner() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_line_planner_ignores_the_map() {
+        let mut planner = StraightLinePlanner;
+        let outcome = planner
+            .plan(&EmptyMap, Vec3::ZERO, Vec3::new(10.0, 0.0, 5.0))
+            .unwrap();
+        assert_eq!(outcome.path.len(), 2);
+        assert_eq!(planner.name(), "straight-line");
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = PlanningError::NoPathFound {
+            reason: "search pool exhausted".to_string(),
+            iterations: 8000,
+        };
+        assert!(e.to_string().contains("8000"));
+        assert!(e.to_string().contains("pool"));
+        let e = PlanningError::InvalidEndpoint { endpoint: "goal" };
+        assert!(e.to_string().contains("goal"));
+    }
+
+    #[test]
+    fn empty_and_straight_paths_have_no_corners() {
+        assert_eq!(Path::new(vec![]).sharpest_corner(), 0.0);
+        assert!(Path::new(vec![]).is_empty());
+        let straight = Path::straight_line(Vec3::ZERO, Vec3::new(5.0, 0.0, 0.0));
+        assert_eq!(straight.sharpest_corner(), 0.0);
+        assert_eq!(straight.goal(), Vec3::new(5.0, 0.0, 0.0));
+    }
+}

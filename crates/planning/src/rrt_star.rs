@@ -1,0 +1,449 @@
+//! Goal-biased RRT* with rewiring and shortcutting (the OMPL-style planner of
+//! MLS-V3).
+//!
+//! Sampling-based planning over the *global* octree map is what fixed the V2
+//! failure modes: large obstacles no longer exhaust a fixed search pool, and
+//! the global map means previously-seen obstacles stay in the collision
+//! checker. The well-known cost is geometric path quality — RRT* paths have
+//! sharp corners unless smoothed, which interacts with the vehicle's
+//! trajectory-following lag (the residual V3 failure mode the paper reports).
+
+use mls_geom::{Aabb, Vec3};
+use mls_mapping::OccupancyQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Path, PathPlanner, PlanOutcome, PlanningError};
+
+/// Configuration of the RRT* planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RrtStarConfig {
+    /// Maximum number of samples.
+    pub max_iterations: usize,
+    /// Steering step length, metres.
+    pub step_length: f64,
+    /// Probability of sampling the goal instead of a random point.
+    pub goal_bias: f64,
+    /// Neighbourhood radius used for choosing parents and rewiring, metres.
+    pub rewire_radius: f64,
+    /// Obstacle inflation radius applied to every edge, metres.
+    pub inflation_radius: f64,
+    /// Treat unknown space as free (optimistic) or occupied (conservative).
+    pub optimistic_unknown: bool,
+    /// Margin added around the start/goal bounding box for sampling, metres.
+    pub sampling_margin: f64,
+    /// Minimum flight altitude, metres.
+    pub min_altitude: f64,
+    /// Maximum flight altitude, metres.
+    pub max_altitude: f64,
+    /// Tolerance for connecting to the goal, metres.
+    pub goal_tolerance: f64,
+    /// Continue sampling after the first solution to improve it, as a
+    /// fraction of `max_iterations`.
+    pub refinement_fraction: f64,
+    /// Number of shortcutting passes applied to the final path.
+    pub shortcut_passes: usize,
+    /// RNG seed (planning is deterministic given the seed and the map).
+    pub seed: u64,
+}
+
+impl Default for RrtStarConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 1_500,
+            step_length: 2.5,
+            goal_bias: 0.12,
+            rewire_radius: 3.5,
+            inflation_radius: 0.9,
+            optimistic_unknown: true,
+            sampling_margin: 12.0,
+            min_altitude: 1.0,
+            max_altitude: 30.0,
+            goal_tolerance: 1.2,
+            refinement_fraction: 0.3,
+            shortcut_passes: 40,
+            seed: 7,
+        }
+    }
+}
+
+impl RrtStarConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanningError::InvalidConfig`] for empty budgets or
+    /// non-positive steps/radii.
+    pub fn validate(&self) -> Result<(), PlanningError> {
+        if self.max_iterations == 0 {
+            return Err(PlanningError::InvalidConfig {
+                reason: "max_iterations must be at least 1".to_string(),
+            });
+        }
+        if self.step_length <= 0.0 || self.rewire_radius <= 0.0 {
+            return Err(PlanningError::InvalidConfig {
+                reason: "step_length and rewire_radius must be positive".to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.goal_bias) {
+            return Err(PlanningError::InvalidConfig {
+                reason: "goal_bias must be in [0, 1]".to_string(),
+            });
+        }
+        if self.min_altitude >= self.max_altitude {
+            return Err(PlanningError::InvalidConfig {
+                reason: "min_altitude must be below max_altitude".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TreeNode {
+    position: Vec3,
+    parent: usize,
+    cost: f64,
+}
+
+/// RRT* planner.
+#[derive(Debug, Clone)]
+pub struct RrtStarPlanner {
+    config: RrtStarConfig,
+    rng: StdRng,
+}
+
+impl RrtStarPlanner {
+    /// Creates a planner with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(RrtStarConfig::default())
+    }
+
+    /// Creates a planner with an explicit configuration.
+    pub fn with_config(config: RrtStarConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RrtStarConfig {
+        &self.config
+    }
+
+    fn point_blocked(&self, map: &dyn OccupancyQuery, point: Vec3) -> bool {
+        if point.z < self.config.min_altitude || point.z > self.config.max_altitude {
+            return true;
+        }
+        map.occupied_within(point, self.config.inflation_radius, !self.config.optimistic_unknown)
+    }
+
+    fn edge_blocked(&self, map: &dyn OccupancyQuery, a: Vec3, b: Vec3) -> bool {
+        map.segment_blocked(a, b, self.config.inflation_radius, !self.config.optimistic_unknown)
+            || b.z < self.config.min_altitude
+            || b.z > self.config.max_altitude
+    }
+
+    fn sample(&mut self, bounds: &Aabb, goal: Vec3) -> Vec3 {
+        if self.rng.random::<f64>() < self.config.goal_bias {
+            return goal;
+        }
+        let min = bounds.min();
+        let max = bounds.max();
+        // The full altitude band is always sampled so the planner can climb
+        // over obstacles taller than the start/goal altitudes.
+        Vec3::new(
+            self.rng.random_range(min.x..=max.x),
+            self.rng.random_range(min.y..=max.y),
+            self.rng
+                .random_range(self.config.min_altitude..=self.config.max_altitude),
+        )
+    }
+
+    /// Repeatedly tries to replace intermediate waypoints with direct
+    /// connections.
+    fn shortcut(&mut self, map: &dyn OccupancyQuery, path: Path) -> Path {
+        let mut waypoints = path.waypoints;
+        for _ in 0..self.config.shortcut_passes {
+            if waypoints.len() <= 2 {
+                break;
+            }
+            let i = self.rng.random_range(0..waypoints.len() - 2);
+            let j = self.rng.random_range(i + 2..waypoints.len());
+            if !self.edge_blocked(map, waypoints[i], waypoints[j]) {
+                waypoints.drain(i + 1..j);
+            }
+        }
+        Path::new(waypoints).simplified()
+    }
+}
+
+impl Default for RrtStarPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PathPlanner for RrtStarPlanner {
+    fn plan(
+        &mut self,
+        map: &dyn OccupancyQuery,
+        start: Vec3,
+        goal: Vec3,
+    ) -> Result<PlanOutcome, PlanningError> {
+        self.config.validate()?;
+        if self.point_blocked(map, start) {
+            return Err(PlanningError::InvalidEndpoint { endpoint: "start" });
+        }
+        if self.point_blocked(map, goal) {
+            return Err(PlanningError::InvalidEndpoint { endpoint: "goal" });
+        }
+
+        let bounds = Aabb::new(start, goal).inflated(self.config.sampling_margin);
+        let mut nodes = vec![TreeNode {
+            position: start,
+            parent: 0,
+            cost: 0.0,
+        }];
+        let mut best_goal_node: Option<usize> = None;
+        let mut best_goal_cost = f64::INFINITY;
+        let mut iterations = 0usize;
+
+        for i in 0..self.config.max_iterations {
+            iterations = i + 1;
+            let target = self.sample(&bounds, goal);
+
+            // Nearest node.
+            let (nearest_idx, nearest_distance) = nodes
+                .iter()
+                .enumerate()
+                .map(|(idx, n)| (idx, n.position.distance(target)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("tree is never empty");
+            if nearest_distance < 1e-9 {
+                continue;
+            }
+
+            // Steer.
+            let direction = (target - nodes[nearest_idx].position)
+                .normalized()
+                .unwrap_or(Vec3::UNIT_X);
+            let step = nearest_distance.min(self.config.step_length);
+            let new_position = nodes[nearest_idx].position + direction * step;
+            if self.point_blocked(map, new_position) {
+                continue;
+            }
+
+            // Choose the best parent within the rewire radius.
+            let mut parent_idx = nearest_idx;
+            let mut parent_cost =
+                nodes[nearest_idx].cost + nodes[nearest_idx].position.distance(new_position);
+            let neighbor_indices: Vec<usize> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.position.distance(new_position) <= self.config.rewire_radius)
+                .map(|(idx, _)| idx)
+                .collect();
+            for &idx in &neighbor_indices {
+                let candidate_cost = nodes[idx].cost + nodes[idx].position.distance(new_position);
+                if candidate_cost < parent_cost
+                    && !self.edge_blocked(map, nodes[idx].position, new_position)
+                {
+                    parent_idx = idx;
+                    parent_cost = candidate_cost;
+                }
+            }
+            if self.edge_blocked(map, nodes[parent_idx].position, new_position) {
+                continue;
+            }
+            let new_idx = nodes.len();
+            nodes.push(TreeNode {
+                position: new_position,
+                parent: parent_idx,
+                cost: parent_cost,
+            });
+
+            // Rewire neighbours through the new node when cheaper.
+            for &idx in &neighbor_indices {
+                let through_new = parent_cost + new_position.distance(nodes[idx].position);
+                if through_new + 1e-9 < nodes[idx].cost
+                    && !self.edge_blocked(map, new_position, nodes[idx].position)
+                {
+                    nodes[idx].parent = new_idx;
+                    nodes[idx].cost = through_new;
+                }
+            }
+
+            // Try to connect to the goal.
+            if new_position.distance(goal) <= self.config.goal_tolerance
+                || (new_position.distance(goal) <= self.config.step_length
+                    && !self.edge_blocked(map, new_position, goal))
+            {
+                let goal_cost = parent_cost + new_position.distance(goal);
+                if goal_cost < best_goal_cost {
+                    best_goal_cost = goal_cost;
+                    best_goal_node = Some(new_idx);
+                }
+                // Keep refining for a fraction of the budget, then stop.
+                let refine_budget = (self.config.max_iterations as f64
+                    * self.config.refinement_fraction) as usize;
+                if i > refine_budget && best_goal_node.is_some() {
+                    break;
+                }
+            }
+        }
+
+        let Some(goal_node) = best_goal_node else {
+            return Err(PlanningError::NoPathFound {
+                reason: "sampling budget exhausted without reaching the goal".to_string(),
+                iterations,
+            });
+        };
+
+        // Reconstruct.
+        let mut waypoints = vec![goal];
+        let mut cursor = goal_node;
+        while cursor != 0 {
+            waypoints.push(nodes[cursor].position);
+            cursor = nodes[cursor].parent;
+        }
+        waypoints.push(start);
+        waypoints.reverse();
+        let path = self.shortcut(map, Path::new(waypoints));
+        Ok(PlanOutcome { path, iterations })
+    }
+
+    fn name(&self) -> &str {
+        "rrt-star"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_mapping::{OctreeConfig, OctreeMap};
+
+    /// A global octree with a wide wall between start and goal.
+    fn walled_octree(width: f64, height: f64) -> OctreeMap {
+        let mut tree = OctreeMap::new(OctreeConfig {
+            resolution: 0.4,
+            half_extent: 64.0,
+            ..OctreeConfig::default()
+        })
+        .unwrap();
+        let mut y = -width / 2.0;
+        while y <= width / 2.0 {
+            let mut z = 0.2;
+            while z <= height {
+                tree.mark_occupied(Vec3::new(10.0, y, z));
+                tree.mark_occupied(Vec3::new(10.4, y, z));
+                z += 0.4;
+            }
+            y += 0.4;
+        }
+        tree
+    }
+
+    #[test]
+    fn plans_in_free_space() {
+        let tree = OctreeMap::new(OctreeConfig::default()).unwrap();
+        let mut planner = RrtStarPlanner::new();
+        let outcome = planner
+            .plan(&tree, Vec3::new(0.0, 0.0, 5.0), Vec3::new(15.0, 5.0, 8.0))
+            .unwrap();
+        assert!(!outcome.path.is_empty());
+        assert!(outcome.path.length() < 25.0);
+        assert_eq!(planner.name(), "rrt-star");
+    }
+
+    #[test]
+    fn routes_around_a_large_wall_where_bounded_astar_fails() {
+        // The headline V3 improvement: the same 40 m wall that exhausts the
+        // bounded A* pool is handled by RRT*.
+        let tree = walled_octree(40.0, 24.0);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(20.0, 0.0, 5.0);
+
+        let mut astar = crate::AStarPlanner::with_config(crate::AStarConfig {
+            max_expansions: 1_500,
+            ..crate::AStarConfig::default()
+        });
+        assert!(astar.plan(&tree, start, goal).is_err());
+
+        let mut rrt = RrtStarPlanner::new();
+        let outcome = rrt.plan(&tree, start, goal).expect("rrt* should find a way");
+        for pair in outcome.path.waypoints.windows(2) {
+            assert!(
+                !tree.segment_blocked(pair[0], pair[1], 0.3, false),
+                "planned edge crosses the wall: {pair:?}"
+            );
+        }
+        assert!(outcome.path.length() > 20.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let tree = walled_octree(10.0, 10.0);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(20.0, 0.0, 5.0);
+        let a = RrtStarPlanner::new().plan(&tree, start, goal).unwrap();
+        let b = RrtStarPlanner::new().plan(&tree, start, goal).unwrap();
+        assert_eq!(a.path, b.path);
+    }
+
+    #[test]
+    fn blocked_goal_is_rejected() {
+        let mut tree = walled_octree(4.0, 6.0);
+        for dz in 0..5 {
+            tree.mark_occupied(Vec3::new(20.0, 0.0, 4.0 + dz as f64 * 0.4));
+        }
+        let mut planner = RrtStarPlanner::new();
+        let err = planner
+            .plan(&tree, Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0))
+            .unwrap_err();
+        assert!(matches!(err, PlanningError::InvalidEndpoint { endpoint: "goal" }));
+    }
+
+    #[test]
+    fn shortcutting_shortens_paths() {
+        let tree = walled_octree(12.0, 10.0);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(20.0, 0.0, 5.0);
+        let mut no_shortcut = RrtStarPlanner::with_config(RrtStarConfig {
+            shortcut_passes: 0,
+            ..RrtStarConfig::default()
+        });
+        let mut with_shortcut = RrtStarPlanner::new();
+        let raw = no_shortcut.plan(&tree, start, goal).unwrap();
+        let cut = with_shortcut.plan(&tree, start, goal).unwrap();
+        assert!(cut.path.length() <= raw.path.length() + 1e-6);
+    }
+
+    #[test]
+    fn respects_altitude_band() {
+        let tree = OctreeMap::new(OctreeConfig::default()).unwrap();
+        let mut planner = RrtStarPlanner::new();
+        let outcome = planner
+            .plan(&tree, Vec3::new(0.0, 0.0, 5.0), Vec3::new(30.0, 0.0, 5.0))
+            .unwrap();
+        for w in &outcome.path.waypoints {
+            assert!(w.z >= 1.0 - 1e-9 && w.z <= 30.0 + 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = RrtStarConfig::default();
+        cfg.max_iterations = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RrtStarConfig::default();
+        cfg.goal_bias = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RrtStarConfig::default();
+        cfg.step_length = 0.0;
+        assert!(cfg.validate().is_err());
+        assert!(RrtStarConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,243 @@
+//! Safety checks applied by the decision-making module before committing to a
+//! trajectory and during the landing descent.
+//!
+//! These are the knobs behind the paper's safety/availability trade-off
+//! (§III-D): larger clearances and stricter corridor checks abort more
+//! landings in clutter (lower availability) but collide less (higher safety).
+//! The Fig. 6 harness sweeps the inflation radius through these functions to
+//! show how aggressive inflation "swallows" the free space next to buildings.
+
+use mls_geom::Vec3;
+use mls_mapping::OccupancyQuery;
+use serde::{Deserialize, Serialize};
+
+use crate::Path;
+
+/// Safety-check configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyConfig {
+    /// Required clearance around the vehicle along planned paths, metres.
+    pub path_clearance: f64,
+    /// Required clearance around the descent corridor, metres.
+    pub descent_clearance: f64,
+    /// Treat unknown cells as obstacles during the final descent.
+    pub conservative_descent: bool,
+    /// Maximum acceptable sharpest corner in a committed path, radians.
+    pub max_corner_angle: f64,
+}
+
+impl Default for SafetyConfig {
+    fn default() -> Self {
+        Self {
+            path_clearance: 0.9,
+            descent_clearance: 1.2,
+            conservative_descent: false,
+            max_corner_angle: 2.6,
+        }
+    }
+}
+
+/// Outcome of validating a path or corridor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SafetyVerdict {
+    /// The path / corridor satisfies every check.
+    Safe,
+    /// A segment of the path intersects (inflated) occupied space.
+    PathBlocked {
+        /// Index of the first offending segment.
+        segment: usize,
+    },
+    /// The descent corridor to the ground is not clear.
+    CorridorBlocked,
+    /// The path contains a corner sharper than the configured limit.
+    CornerTooSharp {
+        /// The sharpest corner found, radians.
+        angle: f64,
+    },
+}
+
+impl SafetyVerdict {
+    /// `true` for [`SafetyVerdict::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, SafetyVerdict::Safe)
+    }
+}
+
+/// Validates a planned path against the map.
+pub fn validate_path(map: &dyn OccupancyQuery, path: &Path, config: &SafetyConfig) -> SafetyVerdict {
+    let sharpest = path.sharpest_corner();
+    if sharpest > config.max_corner_angle {
+        return SafetyVerdict::CornerTooSharp { angle: sharpest };
+    }
+    for (i, pair) in path.waypoints.windows(2).enumerate() {
+        if map.segment_blocked(pair[0], pair[1], config.path_clearance, false) {
+            return SafetyVerdict::PathBlocked { segment: i };
+        }
+    }
+    SafetyVerdict::Safe
+}
+
+/// Validates the vertical descent corridor from `from` down to `ground`.
+pub fn validate_descent_corridor(
+    map: &dyn OccupancyQuery,
+    from: Vec3,
+    ground: Vec3,
+    config: &SafetyConfig,
+) -> SafetyVerdict {
+    // The corridor must stay clear all the way down (excluding the last half
+    // metre above the pad, which the vehicle itself will occupy).
+    let end = Vec3::new(ground.x, ground.y, ground.z + 0.5);
+    if map.segment_blocked(from, end, config.descent_clearance, config.conservative_descent) {
+        SafetyVerdict::CorridorBlocked
+    } else {
+        SafetyVerdict::Safe
+    }
+}
+
+/// Fraction of candidate descent positions around `center` (radius `radius`,
+/// eight compass offsets plus the centre) whose corridor down to the ground
+/// is clear — the metric the Fig. 6 inflation sweep reports.
+pub fn descent_availability(
+    map: &dyn OccupancyQuery,
+    center: Vec3,
+    radius: f64,
+    from_altitude: f64,
+    config: &SafetyConfig,
+) -> f64 {
+    let mut offsets = vec![Vec3::ZERO];
+    for i in 0..8 {
+        let angle = i as f64 * std::f64::consts::FRAC_PI_4;
+        offsets.push(Vec3::new(angle.cos() * radius, angle.sin() * radius, 0.0));
+    }
+    let clear = offsets
+        .iter()
+        .filter(|offset| {
+            let ground = center + **offset;
+            let from = Vec3::new(ground.x, ground.y, from_altitude);
+            validate_descent_corridor(map, from, ground, config).is_safe()
+        })
+        .count();
+    clear as f64 / offsets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_mapping::{VoxelGridConfig, VoxelGridMap};
+
+    fn map_with_wall() -> VoxelGridMap {
+        let mut grid = VoxelGridMap::new(VoxelGridConfig {
+            resolution: 0.4,
+            half_extent_xy: 20.0,
+            height: 20.0,
+            carve_free_space: false,
+            max_range: 100.0,
+        })
+        .unwrap();
+        for y in -10..=10 {
+            for z in 0..20 {
+                grid.mark_occupied(Vec3::new(8.0, y as f64 * 0.4, z as f64 * 0.4));
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn clear_path_is_safe() {
+        let grid = map_with_wall();
+        let path = Path::straight_line(Vec3::new(0.0, 0.0, 5.0), Vec3::new(5.0, 0.0, 5.0));
+        assert!(validate_path(&grid, &path, &SafetyConfig::default()).is_safe());
+    }
+
+    #[test]
+    fn path_through_wall_is_blocked() {
+        let grid = map_with_wall();
+        let path = Path::straight_line(Vec3::new(0.0, 0.0, 5.0), Vec3::new(15.0, 0.0, 5.0));
+        assert_eq!(
+            validate_path(&grid, &path, &SafetyConfig::default()),
+            SafetyVerdict::PathBlocked { segment: 0 }
+        );
+    }
+
+    #[test]
+    fn hairpin_corners_are_rejected() {
+        let grid = VoxelGridMap::new(VoxelGridConfig::default()).unwrap();
+        let path = Path::new(vec![
+            Vec3::new(0.0, 0.0, 5.0),
+            Vec3::new(10.0, 0.0, 5.0),
+            Vec3::new(0.5, 0.1, 5.0),
+        ]);
+        let verdict = validate_path(&grid, &path, &SafetyConfig::default());
+        assert!(matches!(verdict, SafetyVerdict::CornerTooSharp { .. }));
+        assert!(!verdict.is_safe());
+    }
+
+    #[test]
+    fn descent_corridor_near_wall_depends_on_clearance() {
+        let grid = map_with_wall();
+        // A pad 1.5 m from the wall face: clear with a small clearance,
+        // swallowed by a large one (the Fig. 6 effect).
+        let ground = Vec3::new(6.3, 0.0, 0.0);
+        let from = Vec3::new(6.3, 0.0, 10.0);
+        let tight = SafetyConfig {
+            descent_clearance: 0.5,
+            ..SafetyConfig::default()
+        };
+        let wide = SafetyConfig {
+            descent_clearance: 2.5,
+            ..SafetyConfig::default()
+        };
+        assert!(validate_descent_corridor(&grid, from, ground, &tight).is_safe());
+        assert_eq!(
+            validate_descent_corridor(&grid, from, ground, &wide),
+            SafetyVerdict::CorridorBlocked
+        );
+    }
+
+    #[test]
+    fn availability_decreases_with_inflation_radius() {
+        let grid = map_with_wall();
+        let center = Vec3::new(5.0, 0.0, 0.0);
+        let small = descent_availability(
+            &grid,
+            center,
+            2.0,
+            10.0,
+            &SafetyConfig {
+                descent_clearance: 0.4,
+                ..SafetyConfig::default()
+            },
+        );
+        let large = descent_availability(
+            &grid,
+            center,
+            2.0,
+            10.0,
+            &SafetyConfig {
+                descent_clearance: 2.8,
+                ..SafetyConfig::default()
+            },
+        );
+        assert!(small > large, "small {small} vs large {large}");
+        assert!(small > 0.5);
+    }
+
+    #[test]
+    fn conservative_descent_blocks_unknown_space() {
+        // A completely unobserved map: optimistic descent is "clear",
+        // conservative descent refuses.
+        let grid = VoxelGridMap::new(VoxelGridConfig::default()).unwrap();
+        let ground = Vec3::new(0.0, 0.0, 0.0);
+        let from = Vec3::new(0.0, 0.0, 8.0);
+        let optimistic = SafetyConfig::default();
+        let conservative = SafetyConfig {
+            conservative_descent: true,
+            ..SafetyConfig::default()
+        };
+        assert!(validate_descent_corridor(&grid, from, ground, &optimistic).is_safe());
+        assert_eq!(
+            validate_descent_corridor(&grid, from, ground, &conservative),
+            SafetyVerdict::CorridorBlocked
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Time-parameterised trajectories over waypoint paths.
+//!
+//! The planners produce geometric paths; the vehicle follows *trajectories*:
+//! position/velocity setpoints sampled at the control rate. The
+//! parameterisation slows down into sharp corners (up to a floor), which is
+//! exactly where the paper still lost vehicles in V3 — the airframe's
+//! acceleration lag makes it overshoot tight RRT* corners even at reduced
+//! speed, into inflated obstacle boundaries.
+
+use mls_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+use crate::{Path, PlanningError};
+
+/// Trajectory generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryConfig {
+    /// Cruise speed along straight segments, m/s.
+    pub cruise_speed: f64,
+    /// Minimum speed at sharp corners, m/s.
+    pub corner_speed: f64,
+    /// Corner angle (radians) above which the speed is reduced to
+    /// `corner_speed`.
+    pub sharp_corner_angle: f64,
+    /// Distance before/after a corner over which the slowdown applies, m.
+    pub corner_window: f64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        Self {
+            cruise_speed: 4.0,
+            corner_speed: 1.2,
+            sharp_corner_angle: 0.6,
+            corner_window: 2.5,
+        }
+    }
+}
+
+/// One sampled setpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectorySample {
+    /// Position setpoint.
+    pub position: Vec3,
+    /// Feed-forward velocity.
+    pub velocity: Vec3,
+    /// Progress along the path, metres.
+    pub arc_length: f64,
+}
+
+/// A time-parameterised trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    waypoints: Vec<Vec3>,
+    /// Cumulative arc length at each waypoint.
+    cumulative: Vec<f64>,
+    /// Speed assigned to each segment.
+    segment_speed: Vec<f64>,
+    /// Time at which each waypoint is reached.
+    waypoint_time: Vec<f64>,
+    config: TrajectoryConfig,
+}
+
+impl Trajectory {
+    /// Builds a trajectory over `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanningError::InvalidConfig`] when the path has fewer than
+    /// two waypoints or the speeds are non-positive.
+    pub fn from_path(path: &Path, config: TrajectoryConfig) -> Result<Self, PlanningError> {
+        if path.is_empty() {
+            return Err(PlanningError::InvalidConfig {
+                reason: "trajectory needs at least two waypoints".to_string(),
+            });
+        }
+        if config.cruise_speed <= 0.0 || config.corner_speed <= 0.0 {
+            return Err(PlanningError::InvalidConfig {
+                reason: "speeds must be positive".to_string(),
+            });
+        }
+        let waypoints = path.waypoints.clone();
+        let n = waypoints.len();
+
+        // Corner angle at each interior waypoint.
+        let mut corner_angle = vec![0.0f64; n];
+        for i in 1..n - 1 {
+            let a = (waypoints[i] - waypoints[i - 1]).normalized();
+            let b = (waypoints[i + 1] - waypoints[i]).normalized();
+            if let (Some(a), Some(b)) = (a, b) {
+                corner_angle[i] = a.dot(b).clamp(-1.0, 1.0).acos();
+            }
+        }
+
+        // Segment speeds: slow down when either end is a sharp corner.
+        let mut segment_speed = Vec::with_capacity(n - 1);
+        for i in 0..n - 1 {
+            let sharp = corner_angle[i].max(corner_angle[i + 1]);
+            let speed = if sharp >= config.sharp_corner_angle {
+                config.corner_speed
+            } else {
+                // Interpolate between cruise and corner speed.
+                let t = (sharp / config.sharp_corner_angle).clamp(0.0, 1.0);
+                config.cruise_speed * (1.0 - t) + config.corner_speed * t
+            };
+            segment_speed.push(speed.max(config.corner_speed.min(config.cruise_speed)));
+        }
+
+        let mut cumulative = vec![0.0f64; n];
+        let mut waypoint_time = vec![0.0f64; n];
+        for i in 1..n {
+            let length = waypoints[i - 1].distance(waypoints[i]);
+            cumulative[i] = cumulative[i - 1] + length;
+            waypoint_time[i] = waypoint_time[i - 1] + length / segment_speed[i - 1];
+        }
+
+        Ok(Self {
+            waypoints,
+            cumulative,
+            segment_speed,
+            waypoint_time,
+            config,
+        })
+    }
+
+    /// Total duration, seconds.
+    pub fn duration(&self) -> f64 {
+        *self.waypoint_time.last().unwrap_or(&0.0)
+    }
+
+    /// Total length, metres.
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().unwrap_or(&0.0)
+    }
+
+    /// The generation parameters.
+    pub fn config(&self) -> &TrajectoryConfig {
+        &self.config
+    }
+
+    /// The underlying waypoints.
+    pub fn waypoints(&self) -> &[Vec3] {
+        &self.waypoints
+    }
+
+    /// The final waypoint.
+    pub fn goal(&self) -> Vec3 {
+        *self.waypoints.last().expect("trajectory has waypoints")
+    }
+
+    /// Samples the setpoint at time `t` seconds (clamped to the duration).
+    pub fn sample(&self, t: f64) -> TrajectorySample {
+        let t = t.clamp(0.0, self.duration());
+        // Find the active segment.
+        let mut segment = 0;
+        while segment + 1 < self.waypoint_time.len() - 1 && self.waypoint_time[segment + 1] <= t {
+            segment += 1;
+        }
+        let t0 = self.waypoint_time[segment];
+        let t1 = self.waypoint_time[segment + 1];
+        let frac = if t1 > t0 { (t - t0) / (t1 - t0) } else { 1.0 };
+        let a = self.waypoints[segment];
+        let b = self.waypoints[segment + 1];
+        let position = a.lerp(b, frac);
+        let velocity = (b - a)
+            .normalized()
+            .map(|dir| dir * self.segment_speed[segment])
+            .unwrap_or(Vec3::ZERO);
+        TrajectorySample {
+            position,
+            velocity,
+            arc_length: self.cumulative[segment] + (self.cumulative[segment + 1] - self.cumulative[segment]) * frac,
+        }
+    }
+
+    /// `true` once `t` has passed the end of the trajectory.
+    pub fn finished(&self, t: f64) -> bool {
+        t >= self.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shaped_path() -> Path {
+        Path::new(vec![
+            Vec3::ZERO,
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::new(10.0, 10.0, 0.0),
+        ])
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(Trajectory::from_path(&Path::new(vec![Vec3::ZERO]), TrajectoryConfig::default()).is_err());
+        let mut cfg = TrajectoryConfig::default();
+        cfg.cruise_speed = 0.0;
+        assert!(Trajectory::from_path(&l_shaped_path(), cfg).is_err());
+    }
+
+    #[test]
+    fn start_and_end_match_the_path() {
+        let traj = Trajectory::from_path(&l_shaped_path(), TrajectoryConfig::default()).unwrap();
+        assert_eq!(traj.sample(0.0).position, Vec3::ZERO);
+        let end = traj.sample(traj.duration());
+        assert!(end.position.distance(Vec3::new(10.0, 10.0, 0.0)) < 1e-9);
+        assert!(traj.finished(traj.duration() + 0.1));
+        assert!(!traj.finished(traj.duration() * 0.5));
+        assert!((traj.length() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharp_corner_slows_the_trajectory_down() {
+        let straight = Path::straight_line(Vec3::ZERO, Vec3::new(20.0, 0.0, 0.0));
+        let cfg = TrajectoryConfig::default();
+        let straight_traj = Trajectory::from_path(&straight, cfg).unwrap();
+        let corner_traj = Trajectory::from_path(&l_shaped_path(), cfg).unwrap();
+        // Same total length (20 m) but the cornered path takes longer.
+        assert!(corner_traj.duration() > straight_traj.duration() * 1.5);
+        // Velocity magnitude near the corner is the corner speed.
+        let corner_time = corner_traj.waypoint_time[1];
+        let v = corner_traj.sample(corner_time - 0.1).velocity.norm();
+        assert!((v - cfg.corner_speed).abs() < 0.5, "corner speed {v}");
+    }
+
+    #[test]
+    fn samples_progress_monotonically() {
+        let traj = Trajectory::from_path(&l_shaped_path(), TrajectoryConfig::default()).unwrap();
+        let mut prev = -1.0;
+        let mut t = 0.0;
+        while t <= traj.duration() {
+            let s = traj.sample(t);
+            assert!(s.arc_length >= prev - 1e-9);
+            prev = s.arc_length;
+            t += 0.1;
+        }
+    }
+
+    #[test]
+    fn sampling_beyond_duration_clamps_to_goal() {
+        let traj = Trajectory::from_path(&l_shaped_path(), TrajectoryConfig::default()).unwrap();
+        let s = traj.sample(traj.duration() + 100.0);
+        assert!(s.position.distance(traj.goal()) < 1e-9);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests of the planners: any returned path is collision-free
+//! with respect to the map it was planned against, connects the endpoints,
+//! and stays within the altitude band.
+
+use mls_geom::Vec3;
+use mls_mapping::{OccupancyQuery, OctreeConfig, OctreeMap};
+use mls_planning::{AStarPlanner, PathPlanner, RrtStarConfig, RrtStarPlanner};
+use proptest::prelude::*;
+
+/// Builds an octree containing a handful of solid pillars.
+fn world_with_pillars(pillars: &[(f64, f64)]) -> OctreeMap {
+    let mut tree = OctreeMap::new(OctreeConfig {
+        resolution: 0.4,
+        half_extent: 64.0,
+        ..OctreeConfig::default()
+    })
+    .unwrap();
+    for &(x, y) in pillars {
+        for dz in 0..40 {
+            for (dx, dy) in [(0.0, 0.0), (0.4, 0.0), (0.0, 0.4), (0.4, 0.4)] {
+                tree.mark_occupied(Vec3::new(x + dx, y + dy, dz as f64 * 0.4));
+            }
+        }
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// RRT* paths over randomly cluttered worlds are connected, collision
+    /// free (against the planning map) and respect the altitude band.
+    #[test]
+    fn rrt_star_paths_are_safe_and_connected(
+        pillars in prop::collection::vec((6.0f64..22.0, -10.0f64..10.0), 0..10),
+        goal_y in -8.0f64..8.0,
+        seed in 0u64..500,
+    ) {
+        let world = world_with_pillars(&pillars);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(28.0, goal_y, 6.0);
+        prop_assume!(!world.occupied_within(goal, 1.0, false));
+        let mut planner = RrtStarPlanner::with_config(RrtStarConfig { seed, ..RrtStarConfig::default() });
+        if let Ok(outcome) = planner.plan(&world, start, goal) {
+            let path = &outcome.path;
+            prop_assert!(path.waypoints[0].distance(start) < 1e-9);
+            prop_assert!(path.goal().distance(goal) < 1e-9);
+            for w in &path.waypoints {
+                prop_assert!(w.z >= 1.0 - 1e-9 && w.z <= 30.0 + 1e-9);
+            }
+            for pair in path.waypoints.windows(2) {
+                prop_assert!(
+                    !world.segment_blocked(pair[0], pair[1], 0.3, false),
+                    "edge {pair:?} collides with the planning map"
+                );
+            }
+        }
+    }
+
+    /// A* in completely free space produces near-optimal paths (within 15 %
+    /// of the straight-line distance) for any goal in range.
+    #[test]
+    fn astar_is_near_optimal_in_free_space(
+        gx in 4.0f64..18.0,
+        gy in -12.0f64..12.0,
+        gz in 3.0f64..14.0,
+    ) {
+        let world = world_with_pillars(&[]);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(gx, gy, gz);
+        let mut planner = AStarPlanner::new();
+        let outcome = planner.plan(&world, start, goal).unwrap();
+        let straight = start.distance(goal);
+        prop_assert!(outcome.path.length() <= straight * 1.15 + 1.5,
+            "A* path {:.1} m vs straight {:.1} m", outcome.path.length(), straight);
+    }
+}

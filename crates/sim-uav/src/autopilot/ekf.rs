@@ -1,0 +1,291 @@
+//! State estimator fusing IMU, GNSS, barometer and rangefinder.
+//!
+//! PX4 runs a full 24-state EKF; the behaviours the paper's evaluation
+//! depends on are much narrower: (a) the position/velocity estimate follows
+//! the GNSS solution, so GNSS random-walk drift in poor weather corrupts the
+//! estimate and with it the map and the landing accuracy (Fig. 5c/5d), and
+//! (b) lower-grade IMUs (Pixhawk 2.4.8 vs Cuav X7+) produce noisier local
+//! estimates. A decoupled per-axis Kalman filter over `[position, velocity]`
+//! with acceleration as the control input captures both effects while staying
+//! small enough to unit-test exhaustively.
+
+use mls_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Process / measurement noise configuration of the estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EkfConfig {
+    /// Acceleration (process) noise density, m/s² per √Hz.
+    pub accel_noise: f64,
+    /// GNSS horizontal position noise, metres (1σ).
+    pub gps_position_noise: f64,
+    /// GNSS velocity noise, m/s (1σ).
+    pub gps_velocity_noise: f64,
+    /// Barometric altitude noise, metres (1σ).
+    pub baro_noise: f64,
+    /// Rangefinder altitude noise, metres (1σ).
+    pub range_noise: f64,
+    /// Initial position uncertainty, metres (1σ).
+    pub initial_position_sigma: f64,
+    /// Initial velocity uncertainty, m/s (1σ).
+    pub initial_velocity_sigma: f64,
+}
+
+impl Default for EkfConfig {
+    fn default() -> Self {
+        Self {
+            accel_noise: 0.35,
+            gps_position_noise: 0.8,
+            gps_velocity_noise: 0.25,
+            baro_noise: 0.5,
+            range_noise: 0.08,
+            initial_position_sigma: 1.0,
+            initial_velocity_sigma: 0.5,
+        }
+    }
+}
+
+/// Per-axis `[position, velocity]` Kalman filter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct AxisFilter {
+    position: f64,
+    velocity: f64,
+    // Covariance [[p_pp, p_pv], [p_pv, p_vv]].
+    p_pp: f64,
+    p_pv: f64,
+    p_vv: f64,
+}
+
+impl AxisFilter {
+    fn new(position: f64, config: &EkfConfig) -> Self {
+        Self {
+            position,
+            velocity: 0.0,
+            p_pp: config.initial_position_sigma.powi(2),
+            p_pv: 0.0,
+            p_vv: config.initial_velocity_sigma.powi(2),
+        }
+    }
+
+    fn predict(&mut self, accel: f64, dt: f64, accel_noise: f64) {
+        self.position += self.velocity * dt + 0.5 * accel * dt * dt;
+        self.velocity += accel * dt;
+        // P = F P Fᵀ + Q with F = [[1, dt], [0, 1]].
+        let p_pp = self.p_pp + 2.0 * dt * self.p_pv + dt * dt * self.p_vv;
+        let p_pv = self.p_pv + dt * self.p_vv;
+        let p_vv = self.p_vv;
+        let q = accel_noise * accel_noise;
+        self.p_pp = p_pp + 0.25 * dt.powi(4) * q;
+        self.p_pv = p_pv + 0.5 * dt.powi(3) * q;
+        self.p_vv = p_vv + dt * dt * q;
+    }
+
+    fn update_position(&mut self, measurement: f64, noise: f64) {
+        let r = noise * noise;
+        let s = self.p_pp + r;
+        if s <= 0.0 {
+            return;
+        }
+        let k_p = self.p_pp / s;
+        let k_v = self.p_pv / s;
+        let innovation = measurement - self.position;
+        self.position += k_p * innovation;
+        self.velocity += k_v * innovation;
+        let p_pp = (1.0 - k_p) * self.p_pp;
+        let p_pv = (1.0 - k_p) * self.p_pv;
+        let p_vv = self.p_vv - k_v * self.p_pv;
+        self.p_pp = p_pp;
+        self.p_pv = p_pv;
+        self.p_vv = p_vv;
+    }
+
+    fn update_velocity(&mut self, measurement: f64, noise: f64) {
+        let r = noise * noise;
+        let s = self.p_vv + r;
+        if s <= 0.0 {
+            return;
+        }
+        let k_p = self.p_pv / s;
+        let k_v = self.p_vv / s;
+        let innovation = measurement - self.velocity;
+        self.position += k_p * innovation;
+        self.velocity += k_v * innovation;
+        let p_pp = self.p_pp - k_p * self.p_pv;
+        let p_pv = (1.0 - k_v) * self.p_pv;
+        let p_vv = (1.0 - k_v) * self.p_vv;
+        self.p_pp = p_pp;
+        self.p_pv = p_pv;
+        self.p_vv = p_vv;
+    }
+}
+
+/// Decoupled-axis position/velocity estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ekf {
+    config: EkfConfig,
+    x: AxisFilter,
+    y: AxisFilter,
+    z: AxisFilter,
+}
+
+impl Ekf {
+    /// Creates an estimator initialised at `position` with zero velocity.
+    pub fn new(config: EkfConfig, position: Vec3) -> Self {
+        Self {
+            config,
+            x: AxisFilter::new(position.x, &config),
+            y: AxisFilter::new(position.y, &config),
+            z: AxisFilter::new(position.z, &config),
+        }
+    }
+
+    /// The noise configuration.
+    pub fn config(&self) -> &EkfConfig {
+        &self.config
+    }
+
+    /// Estimated position.
+    pub fn position(&self) -> Vec3 {
+        Vec3::new(self.x.position, self.y.position, self.z.position)
+    }
+
+    /// Estimated velocity.
+    pub fn velocity(&self) -> Vec3 {
+        Vec3::new(self.x.velocity, self.y.velocity, self.z.velocity)
+    }
+
+    /// 1σ position uncertainty per axis.
+    pub fn position_sigma(&self) -> Vec3 {
+        Vec3::new(
+            self.x.p_pp.max(0.0).sqrt(),
+            self.y.p_pp.max(0.0).sqrt(),
+            self.z.p_pp.max(0.0).sqrt(),
+        )
+    }
+
+    /// Prediction step with the measured world-frame acceleration.
+    pub fn predict(&mut self, accel: Vec3, dt: f64) {
+        let q = self.config.accel_noise;
+        self.x.predict(accel.x, dt, q);
+        self.y.predict(accel.y, dt, q);
+        self.z.predict(accel.z, dt, q);
+    }
+
+    /// GNSS position + velocity update. `quality` in `(0, 1]` scales the
+    /// trusted noise (lower quality → measurements weighted less).
+    pub fn update_gps(&mut self, position: Vec3, velocity: Vec3, quality: f64) {
+        let quality = quality.clamp(0.05, 1.0);
+        let pos_noise = self.config.gps_position_noise / quality;
+        let vel_noise = self.config.gps_velocity_noise / quality;
+        self.x.update_position(position.x, pos_noise);
+        self.y.update_position(position.y, pos_noise);
+        self.z.update_position(position.z, pos_noise * 1.5);
+        self.x.update_velocity(velocity.x, vel_noise);
+        self.y.update_velocity(velocity.y, vel_noise);
+        self.z.update_velocity(velocity.z, vel_noise * 1.5);
+    }
+
+    /// Barometric altitude update.
+    pub fn update_baro(&mut self, altitude: f64) {
+        self.z.update_position(altitude, self.config.baro_noise);
+    }
+
+    /// Rangefinder altitude-above-ground update (only valid over flat ground
+    /// within sensor range, which is how the landing phase uses it).
+    pub fn update_range(&mut self, altitude: f64) {
+        self.z.update_position(altitude, self.config.range_noise);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_static_truth_from_offset_start() {
+        let mut ekf = Ekf::new(EkfConfig::default(), Vec3::new(5.0, -5.0, 2.0));
+        let truth = Vec3::new(0.0, 0.0, 10.0);
+        for _ in 0..200 {
+            ekf.predict(Vec3::ZERO, 0.02);
+            ekf.update_gps(truth, Vec3::ZERO, 1.0);
+            ekf.update_baro(truth.z);
+        }
+        assert!(ekf.position().distance(truth) < 0.1, "{:?}", ekf.position());
+        assert!(ekf.velocity().norm() < 0.1);
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_measurements_and_grows_without() {
+        let mut ekf = Ekf::new(EkfConfig::default(), Vec3::ZERO);
+        let initial = ekf.position_sigma().x;
+        for _ in 0..50 {
+            ekf.predict(Vec3::ZERO, 0.02);
+            ekf.update_gps(Vec3::ZERO, Vec3::ZERO, 1.0);
+        }
+        let converged = ekf.position_sigma().x;
+        assert!(converged < initial);
+        for _ in 0..500 {
+            ekf.predict(Vec3::ZERO, 0.02);
+        }
+        assert!(ekf.position_sigma().x > converged);
+    }
+
+    #[test]
+    fn tracks_constant_velocity_motion() {
+        let mut ekf = Ekf::new(EkfConfig::default(), Vec3::ZERO);
+        let mut truth = Vec3::ZERO;
+        let v = Vec3::new(2.0, 0.0, 0.0);
+        for i in 0..500 {
+            truth += v * 0.02;
+            ekf.predict(Vec3::ZERO, 0.02);
+            if i % 10 == 0 {
+                ekf.update_gps(truth, v, 1.0);
+            }
+        }
+        assert!(ekf.position().distance(truth) < 0.5);
+        assert!((ekf.velocity().x - 2.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn gps_drift_pulls_the_estimate_away_from_truth() {
+        // The Fig. 5d failure: a drifting GNSS solution drags the estimate
+        // with it even though the vehicle is stationary.
+        let mut ekf = Ekf::new(EkfConfig::default(), Vec3::ZERO);
+        let mut drift = Vec3::ZERO;
+        for _ in 0..600 {
+            drift += Vec3::new(0.01, 0.005, 0.0);
+            ekf.predict(Vec3::ZERO, 0.02);
+            ekf.update_gps(drift, Vec3::ZERO, 0.6);
+        }
+        assert!(
+            ekf.position().horizontal_distance(Vec3::ZERO) > 2.0,
+            "drifting GPS should corrupt the estimate, got {:?}",
+            ekf.position()
+        );
+    }
+
+    #[test]
+    fn rangefinder_tightens_altitude_during_descent() {
+        let mut ekf = Ekf::new(EkfConfig::default(), Vec3::new(0.0, 0.0, 8.0));
+        for _ in 0..100 {
+            ekf.predict(Vec3::ZERO, 0.02);
+            ekf.update_baro(8.4); // biased baro
+            ekf.update_range(8.0); // accurate lidar
+        }
+        assert!((ekf.position().z - 8.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn low_quality_gps_is_down_weighted() {
+        let mut good = Ekf::new(EkfConfig::default(), Vec3::ZERO);
+        let mut poor = Ekf::new(EkfConfig::default(), Vec3::ZERO);
+        let bogus = Vec3::new(3.0, 0.0, 0.0);
+        for _ in 0..5 {
+            good.predict(Vec3::ZERO, 0.02);
+            poor.predict(Vec3::ZERO, 0.02);
+            good.update_gps(bogus, Vec3::ZERO, 1.0);
+            poor.update_gps(bogus, Vec3::ZERO, 0.1);
+        }
+        assert!(good.position().x > poor.position().x);
+    }
+}

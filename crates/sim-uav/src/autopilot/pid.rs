@@ -1,0 +1,161 @@
+//! Scalar PID controller with output limiting and anti-windup, the building
+//! block of the cascaded position/velocity controller (the role PX4's
+//! multicopter position controller plays on the paper's vehicles).
+
+use serde::{Deserialize, Serialize};
+
+/// Gains and limits of a scalar PID loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Symmetric output limit (absolute value).
+    pub output_limit: f64,
+    /// Symmetric integral-term limit (anti-windup).
+    pub integral_limit: f64,
+}
+
+impl PidConfig {
+    /// A proportional-only controller.
+    pub fn p(kp: f64, output_limit: f64) -> Self {
+        Self {
+            kp,
+            ki: 0.0,
+            kd: 0.0,
+            output_limit,
+            integral_limit: 0.0,
+        }
+    }
+
+    /// A PD controller.
+    pub fn pd(kp: f64, kd: f64, output_limit: f64) -> Self {
+        Self {
+            kp,
+            ki: 0.0,
+            kd,
+            output_limit,
+            integral_limit: 0.0,
+        }
+    }
+
+    /// A full PID controller.
+    pub fn pid(kp: f64, ki: f64, kd: f64, output_limit: f64, integral_limit: f64) -> Self {
+        Self {
+            kp,
+            ki,
+            kd,
+            output_limit,
+            integral_limit,
+        }
+    }
+}
+
+/// A stateful scalar PID loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pid {
+    config: PidConfig,
+    integral: f64,
+    previous_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a PID loop with zeroed state.
+    pub fn new(config: PidConfig) -> Self {
+        Self {
+            config,
+            integral: 0.0,
+            previous_error: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PidConfig {
+        &self.config
+    }
+
+    /// Resets the integral and derivative memory.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.previous_error = None;
+    }
+
+    /// Advances the loop with the current `error` over `dt` seconds and
+    /// returns the limited output.
+    pub fn update(&mut self, error: f64, dt: f64) -> f64 {
+        let dt = dt.max(1e-6);
+        let cfg = self.config;
+        self.integral = (self.integral + error * dt * cfg.ki)
+            .clamp(-cfg.integral_limit, cfg.integral_limit);
+        let derivative = match self.previous_error {
+            Some(prev) => (error - prev) / dt,
+            None => 0.0,
+        };
+        self.previous_error = Some(error);
+        let output = cfg.kp * error + self.integral + cfg.kd * derivative;
+        output.clamp(-cfg.output_limit, cfg.output_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_response_is_linear_until_limit() {
+        let mut pid = Pid::new(PidConfig::p(2.0, 5.0));
+        assert!((pid.update(1.0, 0.02) - 2.0).abs() < 1e-12);
+        assert!((pid.update(10.0, 0.02) - 5.0).abs() < 1e-12, "limited");
+        assert!((pid.update(-10.0, 0.02) + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_winds_up_to_limit_only() {
+        let mut pid = Pid::new(PidConfig::pid(0.0, 1.0, 0.0, 10.0, 0.5));
+        for _ in 0..1000 {
+            pid.update(1.0, 0.1);
+        }
+        let out = pid.update(1.0, 0.1);
+        assert!(out <= 0.5 + 1e-9, "integral must be clamped, got {out}");
+    }
+
+    #[test]
+    fn derivative_damps_fast_changes() {
+        let mut pid = Pid::new(PidConfig::pd(1.0, 0.5, 100.0));
+        pid.update(0.0, 0.1);
+        let out = pid.update(1.0, 0.1);
+        // P term 1.0 plus D term (1.0 - 0.0)/0.1 * 0.5 = 5.0.
+        assert!((out - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let mut pid = Pid::new(PidConfig::pid(1.0, 1.0, 1.0, 100.0, 10.0));
+        pid.update(5.0, 0.1);
+        pid.update(3.0, 0.1);
+        pid.reset();
+        let out = pid.update(1.0, 0.1);
+        // After reset the derivative term is zero and the integral restarts.
+        assert!((out - (1.0 + 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_loop_converges_on_first_order_plant() {
+        // Plant: velocity follows commanded acceleration; PID drives position
+        // to a setpoint.
+        let mut pid = Pid::new(PidConfig::pd(1.2, 1.8, 4.0));
+        let mut position = 0.0;
+        let mut velocity = 0.0;
+        let dt = 0.02;
+        for _ in 0..2500 {
+            let accel = pid.update(10.0 - position, dt);
+            velocity += accel * dt;
+            velocity *= 0.995;
+            position += velocity * dt;
+        }
+        assert!((position - 10.0).abs() < 0.3, "position {position}");
+    }
+}

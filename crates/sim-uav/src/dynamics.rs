@@ -1,0 +1,386 @@
+//! Simplified quadrotor rigid-body dynamics.
+//!
+//! The reproduction does not need blade-element aerodynamics: the behaviours
+//! that matter to the paper's evaluation are (a) bounded acceleration and
+//! tilt, (b) a first-order lag between commanded and achieved acceleration
+//! (which makes the vehicle cut or overshoot sharp RRT* corners — the V3
+//! failure mode), and (c) susceptibility to wind, especially during the final
+//! descent (the real-world accuracy degradation of §V-C).
+
+use mls_geom::{Attitude, Pose, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Standard gravity, m/s².
+pub const GRAVITY: f64 = 9.81;
+
+/// Physical and actuation limits of the simulated airframe (defaults model
+/// the paper's F450 quadrotor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AirframeConfig {
+    /// Vehicle mass, kg.
+    pub mass: f64,
+    /// Collision radius used for clearance checks, metres.
+    pub radius: f64,
+    /// Maximum horizontal acceleration, m/s².
+    pub max_horizontal_accel: f64,
+    /// Maximum vertical acceleration (up or down), m/s².
+    pub max_vertical_accel: f64,
+    /// Maximum horizontal speed, m/s.
+    pub max_horizontal_speed: f64,
+    /// Maximum climb/descent speed, m/s.
+    pub max_vertical_speed: f64,
+    /// Maximum tilt angle, radians.
+    pub max_tilt: f64,
+    /// First-order lag time constant between commanded and achieved
+    /// acceleration, seconds.
+    pub accel_time_constant: f64,
+    /// Aerodynamic drag coefficient (per-axis, relative to airspeed).
+    pub drag_coefficient: f64,
+    /// Yaw slew rate, rad/s.
+    pub max_yaw_rate: f64,
+}
+
+impl Default for AirframeConfig {
+    fn default() -> Self {
+        Self {
+            mass: 1.6,
+            radius: 0.35,
+            max_horizontal_accel: 4.0,
+            max_vertical_accel: 3.0,
+            max_horizontal_speed: 8.0,
+            max_vertical_speed: 2.5,
+            max_tilt: 0.5,
+            accel_time_constant: 0.35,
+            drag_coefficient: 0.25,
+            max_yaw_rate: 1.2,
+        }
+    }
+}
+
+/// Instantaneous true state of the vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleState {
+    /// World-frame position, metres (ENU).
+    pub position: Vec3,
+    /// World-frame velocity, m/s.
+    pub velocity: Vec3,
+    /// World-frame acceleration achieved on the last step, m/s².
+    pub acceleration: Vec3,
+    /// Attitude (roll, pitch, yaw).
+    pub attitude: Attitude,
+    /// `true` once the vehicle has touched the ground with low speed.
+    pub landed: bool,
+}
+
+impl VehicleState {
+    /// A vehicle at rest on the ground at `position`.
+    pub fn grounded(position: Vec3) -> Self {
+        Self {
+            position,
+            velocity: Vec3::ZERO,
+            acceleration: Vec3::ZERO,
+            attitude: Attitude::LEVEL,
+            landed: true,
+        }
+    }
+
+    /// The vehicle pose (position + attitude).
+    pub fn pose(&self) -> Pose {
+        Pose::new(self.position, self.attitude)
+    }
+
+    /// Ground speed, m/s.
+    pub fn ground_speed(&self) -> f64 {
+        self.velocity.horizontal().norm()
+    }
+}
+
+/// Acceleration-level command produced by the autopilot's cascades.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlCommand {
+    /// Desired world-frame acceleration (gravity-compensated), m/s².
+    pub acceleration: Vec3,
+    /// Desired yaw, radians.
+    pub yaw: f64,
+}
+
+impl ControlCommand {
+    /// Hover in place with the given yaw.
+    pub fn hover(yaw: f64) -> Self {
+        Self {
+            acceleration: Vec3::ZERO,
+            yaw,
+        }
+    }
+}
+
+/// Point-mass quadrotor dynamics with actuation lag, drag and wind.
+#[derive(Debug, Clone)]
+pub struct QuadrotorDynamics {
+    config: AirframeConfig,
+    state: VehicleState,
+    commanded_accel: Vec3,
+}
+
+impl QuadrotorDynamics {
+    /// Creates the dynamics with a vehicle resting at `start`.
+    pub fn new(config: AirframeConfig, start: Vec3) -> Self {
+        Self {
+            config,
+            state: VehicleState::grounded(start),
+            commanded_accel: Vec3::ZERO,
+        }
+    }
+
+    /// The airframe configuration.
+    pub fn config(&self) -> &AirframeConfig {
+        &self.config
+    }
+
+    /// The current true state.
+    pub fn state(&self) -> &VehicleState {
+        &self.state
+    }
+
+    /// Overrides the true state (used by failure-injection tests).
+    pub fn set_state(&mut self, state: VehicleState) {
+        self.state = state;
+    }
+
+    /// Advances the dynamics by `dt` seconds under `command` and `wind`
+    /// (world-frame wind velocity, m/s), over ground at `ground_z`.
+    ///
+    /// Returns the new state. Ground contact below ~0.3 m/s vertical speed is
+    /// treated as a landing; faster contact still clamps to the ground but
+    /// keeps `landed = false` so the caller can classify it as a hard impact.
+    pub fn step(&mut self, command: &ControlCommand, wind: Vec3, ground_z: f64, dt: f64) -> VehicleState {
+        let cfg = &self.config;
+        let dt = dt.max(1e-4);
+
+        // A landed vehicle stays put until a clear climb command arrives:
+        // ground friction dominates the small residual forces, so gusts do
+        // not shuffle a disarmed vehicle around.
+        if self.state.landed && command.acceleration.z <= 0.5 {
+            self.commanded_accel = Vec3::ZERO;
+            self.state.velocity = Vec3::ZERO;
+            self.state.acceleration = Vec3::ZERO;
+            self.state.position.z = ground_z;
+            return self.state;
+        }
+
+        // Saturate the commanded acceleration to the airframe envelope.
+        let mut desired = command.acceleration;
+        let horizontal = desired.horizontal().clamp_norm(cfg.max_horizontal_accel);
+        desired = Vec3::new(
+            horizontal.x,
+            horizontal.y,
+            desired.z.clamp(-cfg.max_vertical_accel, cfg.max_vertical_accel),
+        );
+        // Tilt limit: horizontal acceleration implies tilt atan(a_h / g).
+        let max_h_from_tilt = GRAVITY * cfg.max_tilt.tan();
+        let limited_h = desired.horizontal().clamp_norm(max_h_from_tilt);
+        desired = Vec3::new(limited_h.x, limited_h.y, desired.z);
+
+        // First-order actuation lag.
+        let alpha = (dt / (cfg.accel_time_constant + dt)).clamp(0.0, 1.0);
+        self.commanded_accel = self.commanded_accel.lerp(desired, alpha);
+
+        // Drag acts on airspeed (velocity relative to the wind).
+        let airspeed = self.state.velocity - wind;
+        let drag = airspeed * (-cfg.drag_coefficient);
+
+        let accel = self.commanded_accel + drag;
+
+        // Integrate.
+        let mut velocity = self.state.velocity + accel * dt;
+        let horizontal_v = velocity.horizontal().clamp_norm(cfg.max_horizontal_speed);
+        velocity = Vec3::new(
+            horizontal_v.x,
+            horizontal_v.y,
+            velocity.z.clamp(-cfg.max_vertical_speed, cfg.max_vertical_speed),
+        );
+        let mut position = self.state.position + velocity * dt;
+
+        // Yaw slew.
+        let yaw_error = mls_geom::wrap_angle(command.yaw - self.state.attitude.yaw);
+        let yaw_step = yaw_error.clamp(-cfg.max_yaw_rate * dt, cfg.max_yaw_rate * dt);
+        let yaw = mls_geom::wrap_angle(self.state.attitude.yaw + yaw_step);
+
+        // Attitude follows the achieved horizontal acceleration.
+        let pitch = (-self.commanded_accel.x / GRAVITY).atan().clamp(-cfg.max_tilt, cfg.max_tilt);
+        let roll = (self.commanded_accel.y / GRAVITY).atan().clamp(-cfg.max_tilt, cfg.max_tilt);
+
+        // Ground contact.
+        let mut landed = false;
+        if position.z <= ground_z {
+            position.z = ground_z;
+            landed = velocity.z.abs() <= 1.0;
+            velocity = Vec3::ZERO;
+        }
+
+        self.state = VehicleState {
+            position,
+            velocity,
+            acceleration: accel,
+            attitude: Attitude::new(roll, pitch, yaw),
+            landed,
+        };
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hover_dynamics() -> QuadrotorDynamics {
+        let mut d = QuadrotorDynamics::new(AirframeConfig::default(), Vec3::ZERO);
+        d.set_state(VehicleState {
+            position: Vec3::new(0.0, 0.0, 10.0),
+            velocity: Vec3::ZERO,
+            acceleration: Vec3::ZERO,
+            attitude: Attitude::LEVEL,
+            landed: false,
+        });
+        d
+    }
+
+    #[test]
+    fn grounded_vehicle_stays_put_without_commands() {
+        let mut d = QuadrotorDynamics::new(AirframeConfig::default(), Vec3::ZERO);
+        for _ in 0..100 {
+            d.step(&ControlCommand::hover(0.0), Vec3::ZERO, 0.0, 0.02);
+        }
+        assert!(d.state().position.norm() < 1e-6);
+        assert!(d.state().landed);
+    }
+
+    #[test]
+    fn commanded_acceleration_moves_vehicle_forward() {
+        let mut d = hover_dynamics();
+        let cmd = ControlCommand {
+            acceleration: Vec3::new(2.0, 0.0, 0.0),
+            yaw: 0.0,
+        };
+        for _ in 0..100 {
+            d.step(&cmd, Vec3::ZERO, 0.0, 0.02);
+        }
+        assert!(d.state().position.x > 1.0);
+        assert!(d.state().velocity.x > 0.5);
+        // Pitch should be non-zero while accelerating forward.
+        assert!(d.state().attitude.pitch.abs() > 0.01);
+    }
+
+    #[test]
+    fn acceleration_lag_delays_response() {
+        let mut d = hover_dynamics();
+        let cmd = ControlCommand {
+            acceleration: Vec3::new(3.0, 0.0, 0.0),
+            yaw: 0.0,
+        };
+        d.step(&cmd, Vec3::ZERO, 0.0, 0.02);
+        // After a single 20 ms step the achieved acceleration is far below
+        // the commanded 3 m/s² because of the actuation lag.
+        assert!(d.state().acceleration.x < 1.0);
+    }
+
+    #[test]
+    fn speed_limits_are_enforced() {
+        let mut d = hover_dynamics();
+        let cmd = ControlCommand {
+            acceleration: Vec3::new(10.0, 0.0, 5.0),
+            yaw: 0.0,
+        };
+        for _ in 0..1000 {
+            d.step(&cmd, Vec3::ZERO, 0.0, 0.02);
+        }
+        let cfg = AirframeConfig::default();
+        assert!(d.state().ground_speed() <= cfg.max_horizontal_speed + 1e-6);
+        assert!(d.state().velocity.z <= cfg.max_vertical_speed + 1e-6);
+    }
+
+    #[test]
+    fn wind_pushes_a_hovering_vehicle() {
+        let mut d = hover_dynamics();
+        let wind = Vec3::new(6.0, 0.0, 0.0);
+        for _ in 0..250 {
+            d.step(&ControlCommand::hover(0.0), wind, 0.0, 0.02);
+        }
+        assert!(
+            d.state().position.x > 0.5,
+            "steady wind should displace an uncontrolled hover, got {:?}",
+            d.state().position
+        );
+    }
+
+    #[test]
+    fn gentle_descent_lands_hard_descent_does_not() {
+        let mut d = hover_dynamics();
+        // Gentle descent.
+        let cmd = ControlCommand {
+            acceleration: Vec3::new(0.0, 0.0, -0.4),
+            yaw: 0.0,
+        };
+        let mut landed = false;
+        for _ in 0..4000 {
+            let s = d.step(&cmd, Vec3::ZERO, 0.0, 0.02);
+            if s.landed {
+                landed = true;
+                break;
+            }
+        }
+        assert!(landed, "gentle descent should land");
+
+        // Hard descent: start high with a large downward velocity.
+        let mut d = hover_dynamics();
+        d.set_state(VehicleState {
+            position: Vec3::new(0.0, 0.0, 3.0),
+            velocity: Vec3::new(0.0, 0.0, -2.5),
+            acceleration: Vec3::ZERO,
+            attitude: Attitude::LEVEL,
+            landed: false,
+        });
+        let cmd = ControlCommand {
+            acceleration: Vec3::new(0.0, 0.0, -3.0),
+            yaw: 0.0,
+        };
+        let mut hard_contact = false;
+        for _ in 0..500 {
+            let s = d.step(&cmd, Vec3::ZERO, 0.0, 0.02);
+            if s.position.z <= 0.0 {
+                hard_contact = !s.landed;
+                break;
+            }
+        }
+        assert!(hard_contact, "fast contact should not count as a clean landing");
+    }
+
+    #[test]
+    fn yaw_tracks_command_at_limited_rate() {
+        let mut d = hover_dynamics();
+        let cmd = ControlCommand {
+            acceleration: Vec3::ZERO,
+            yaw: 1.5,
+        };
+        d.step(&cmd, Vec3::ZERO, 0.0, 0.02);
+        let after_one = d.state().attitude.yaw;
+        assert!(after_one < 0.1, "yaw must slew, not jump");
+        for _ in 0..200 {
+            d.step(&cmd, Vec3::ZERO, 0.0, 0.02);
+        }
+        assert!((d.state().attitude.yaw - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn tilt_never_exceeds_limit() {
+        let mut d = hover_dynamics();
+        let cmd = ControlCommand {
+            acceleration: Vec3::new(50.0, 50.0, 0.0),
+            yaw: 0.0,
+        };
+        for _ in 0..200 {
+            let s = d.step(&cmd, Vec3::ZERO, 0.0, 0.02);
+            assert!(s.attitude.tilt() <= AirframeConfig::default().max_tilt + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Barometric altimeter with slow pressure drift.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dynamics::VehicleState;
+
+/// Barometer characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BarometerConfig {
+    /// White altitude noise, metres (1σ).
+    pub noise: f64,
+    /// Pressure-drift rate, metres per √second.
+    pub drift_rate: f64,
+    /// Maximum accumulated drift, metres.
+    pub drift_limit: f64,
+}
+
+impl Default for BarometerConfig {
+    fn default() -> Self {
+        Self {
+            noise: 0.35,
+            drift_rate: 0.02,
+            drift_limit: 1.5,
+        }
+    }
+}
+
+/// Stateful barometric altimeter.
+#[derive(Debug, Clone)]
+pub struct Barometer {
+    config: BarometerConfig,
+    drift: f64,
+    rng: StdRng,
+}
+
+impl Barometer {
+    /// Creates a barometer.
+    pub fn new(config: BarometerConfig, seed: u64) -> Self {
+        Self {
+            config,
+            drift: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BarometerConfig {
+        &self.config
+    }
+
+    /// Measured altitude for the true state after `dt` seconds.
+    pub fn sample(&mut self, truth: &VehicleState, dt: f64) -> f64 {
+        let cfg = self.config;
+        self.drift = (self.drift + self.gaussian() * cfg.drift_rate * dt.max(1e-4).sqrt())
+            .clamp(-cfg.drift_limit, cfg.drift_limit);
+        truth.position.z + self.drift + self.gaussian() * cfg.noise
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_geom::Vec3;
+
+    #[test]
+    fn altitude_is_near_truth_with_bounded_drift() {
+        let mut truth = VehicleState::grounded(Vec3::new(0.0, 0.0, 25.0));
+        truth.landed = false;
+        let mut baro = Barometer::new(BarometerConfig::default(), 4);
+        let mut worst = 0.0f64;
+        for _ in 0..5000 {
+            let alt = baro.sample(&truth, 0.05);
+            worst = worst.max((alt - 25.0).abs());
+        }
+        assert!(worst < 1.5 + 4.0 * BarometerConfig::default().noise, "worst {worst}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let truth = VehicleState::grounded(Vec3::ZERO);
+        let mut a = Barometer::new(BarometerConfig::default(), 7);
+        let mut b = Barometer::new(BarometerConfig::default(), 7);
+        for _ in 0..10 {
+            assert_eq!(a.sample(&truth, 0.05), b.sample(&truth, 0.05));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Forward-facing depth camera (RealSense D435 class) producing world-frame
+//! point clouds.
+//!
+//! Two modelling decisions matter for reproducing the paper's failure modes:
+//!
+//! * rays are cast from the vehicle's **true** pose (physics), but the
+//!   returned points are reconstructed through the **estimated** pose — so a
+//!   drifting EKF paints obstacles in the wrong place, exactly the
+//!   "erroneous pointclouds" of Fig. 5c;
+//! * porous tree canopy returns are dropped with high probability, so the
+//!   map only learns about foliage late — the V2 trap-in-the-tree failure.
+
+use mls_geom::{Pose, Vec3};
+use mls_sim_world::WorldMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A world-frame point cloud with the sensor origin it was captured from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointCloud {
+    /// Sensor origin in the frame the points are expressed in (the estimated
+    /// world frame).
+    pub origin: Vec3,
+    /// Reconstructed obstacle points.
+    pub points: Vec<Vec3>,
+    /// Maximum sensor range, metres, used by mapping for free-space carving.
+    pub max_range: f64,
+}
+
+impl PointCloud {
+    /// An empty cloud from the given origin.
+    pub fn empty(origin: Vec3, max_range: f64) -> Self {
+        Self {
+            origin,
+            points: Vec::new(),
+            max_range,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no point was returned.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Depth camera configuration (defaults follow the D435's field of view at a
+/// companion-computer-friendly resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthCameraConfig {
+    /// Horizontal field of view, radians.
+    pub horizontal_fov: f64,
+    /// Vertical field of view, radians.
+    pub vertical_fov: f64,
+    /// Number of ray columns.
+    pub columns: usize,
+    /// Number of ray rows.
+    pub rows: usize,
+    /// Maximum range, metres.
+    pub max_range: f64,
+    /// Range noise, metres (1σ).
+    pub range_noise: f64,
+    /// Probability that a valid return is dropped.
+    pub dropout: f64,
+    /// Probability that a porous (canopy) surface produces a return at all.
+    pub canopy_return_probability: f64,
+    /// Camera pitch below the horizon, radians (a slight down-tilt so the
+    /// sensor sees obstacles at and below flight altitude).
+    pub down_tilt: f64,
+}
+
+impl Default for DepthCameraConfig {
+    fn default() -> Self {
+        Self {
+            horizontal_fov: 87.0f64.to_radians(),
+            vertical_fov: 58.0f64.to_radians(),
+            columns: 24,
+            rows: 18,
+            max_range: 18.0,
+            range_noise: 0.05,
+            dropout: 0.02,
+            canopy_return_probability: 0.25,
+            down_tilt: 0.35,
+        }
+    }
+}
+
+/// Stateful depth camera.
+#[derive(Debug, Clone)]
+pub struct DepthCamera {
+    config: DepthCameraConfig,
+    rng: StdRng,
+}
+
+impl DepthCamera {
+    /// Creates a depth camera.
+    pub fn new(config: DepthCameraConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DepthCameraConfig {
+        &self.config
+    }
+
+    /// Captures a point cloud.
+    ///
+    /// `true_pose` drives the physical ray casting; `estimated_pose` is the
+    /// frame the points are reconstructed in (pass the same pose for an
+    /// idealised sensor).
+    pub fn capture(&mut self, world: &WorldMap, true_pose: &Pose, estimated_pose: &Pose) -> PointCloud {
+        let cfg = self.config;
+        let mut cloud = PointCloud::empty(estimated_pose.position, cfg.max_range);
+        for row in 0..cfg.rows {
+            for col in 0..cfg.columns {
+                let azimuth = (col as f64 / (cfg.columns - 1).max(1) as f64 - 0.5) * cfg.horizontal_fov;
+                let elevation =
+                    (0.5 - row as f64 / (cfg.rows - 1).max(1) as f64) * cfg.vertical_fov - cfg.down_tilt;
+                // Body-frame direction: +x forward, +y left, +z up.
+                let dir_body = Vec3::new(
+                    azimuth.cos() * elevation.cos(),
+                    azimuth.sin() * elevation.cos(),
+                    elevation.sin(),
+                );
+                let dir_world_true = true_pose.transform_direction(dir_body);
+                let ray = mls_geom::Ray::new(true_pose.position, dir_world_true);
+                let Some(hit) = world.raycast(&ray, cfg.max_range) else {
+                    continue;
+                };
+                if hit.porous && self.rng.random::<f64>() > cfg.canopy_return_probability {
+                    continue;
+                }
+                if self.rng.random::<f64>() < cfg.dropout {
+                    continue;
+                }
+                let distance = (hit.distance + self.gaussian() * cfg.range_noise).max(0.05);
+                // Reconstruct through the *estimated* pose.
+                let dir_world_est = estimated_pose.transform_direction(dir_body);
+                cloud.points.push(estimated_pose.position + dir_world_est * distance);
+            }
+        }
+        cloud
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_sim_world::{MapStyle, Obstacle};
+
+    fn world_with_building() -> WorldMap {
+        WorldMap::empty("t", MapStyle::Urban, 60.0)
+            .with_obstacle(Obstacle::building(Vec3::new(12.0, 0.0, 0.0), 8.0, 8.0, 12.0))
+    }
+
+    #[test]
+    fn sees_building_ahead() {
+        let world = world_with_building();
+        let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 6.0), 0.0);
+        let mut cam = DepthCamera::new(DepthCameraConfig::default(), 1);
+        let cloud = cam.capture(&world, &pose, &pose);
+        assert!(!cloud.is_empty());
+        // A good fraction of the returns should lie on the building's front
+        // face (x ≈ 8 m).
+        let on_face = cloud
+            .points
+            .iter()
+            .filter(|p| (p.x - 8.0).abs() < 0.5 && p.z > 0.5)
+            .count();
+        assert!(on_face > 20, "only {on_face} returns on the building face");
+    }
+
+    #[test]
+    fn empty_world_returns_only_ground() {
+        let world = WorldMap::empty("flat", MapStyle::Rural, 60.0);
+        let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 5.0), 0.0);
+        let mut cam = DepthCamera::new(DepthCameraConfig::default(), 1);
+        let cloud = cam.capture(&world, &pose, &pose);
+        for p in &cloud.points {
+            assert!(p.z < 0.6, "ground returns only, got {p:?}");
+        }
+    }
+
+    #[test]
+    fn pose_error_displaces_the_reconstruction() {
+        let world = world_with_building();
+        let true_pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 6.0), 0.0);
+        // The estimate is 3 m off to the left: every point shifts with it.
+        let est_pose = Pose::from_position_yaw(Vec3::new(0.0, 3.0, 6.0), 0.0);
+        let mut cam = DepthCamera::new(DepthCameraConfig::default(), 1);
+        let cloud = cam.capture(&world, &true_pose, &est_pose);
+        let mean_y: f64 = cloud.points.iter().map(|p| p.y).sum::<f64>() / cloud.len() as f64;
+        assert!(mean_y > 1.5, "reconstructed cloud should shift with the estimate, mean y {mean_y}");
+    }
+
+    #[test]
+    fn canopy_returns_are_sparse() {
+        let world = WorldMap::empty("trees", MapStyle::Rural, 60.0)
+            .with_obstacle(Obstacle::tree(Vec3::new(10.0, 0.0, 0.0), 4.0, 3.0));
+        let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 6.0), 0.0);
+        let mut sparse_cam = DepthCamera::new(DepthCameraConfig::default(), 2);
+        let mut solid_cfg = DepthCameraConfig::default();
+        solid_cfg.canopy_return_probability = 1.0;
+        let mut solid_cam = DepthCamera::new(solid_cfg, 2);
+        let canopy_points = |cloud: &PointCloud| {
+            cloud
+                .points
+                .iter()
+                .filter(|p| p.z > 3.0 && (p.x - 10.0).abs() < 4.0)
+                .count()
+        };
+        let sparse = canopy_points(&sparse_cam.capture(&world, &pose, &pose));
+        let solid = canopy_points(&solid_cam.capture(&world, &pose, &pose));
+        assert!(
+            sparse * 2 < solid.max(1),
+            "porous canopy should return far fewer points ({sparse} vs {solid})"
+        );
+    }
+
+    #[test]
+    fn respects_max_range() {
+        let world = world_with_building();
+        let pose = Pose::from_position_yaw(Vec3::new(-30.0, 0.0, 6.0), 0.0);
+        let mut cfg = DepthCameraConfig::default();
+        cfg.max_range = 10.0;
+        let mut cam = DepthCamera::new(cfg, 1);
+        let cloud = cam.capture(&world, &pose, &pose);
+        for p in &cloud.points {
+            assert!(p.distance(pose.position) <= 10.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let world = world_with_building();
+        let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 6.0), 0.0);
+        let a = DepthCamera::new(DepthCameraConfig::default(), 5).capture(&world, &pose, &pose);
+        let b = DepthCamera::new(DepthCameraConfig::default(), 5).capture(&world, &pose, &pose);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,41 @@
+//! Sensor simulation: GNSS, IMU, barometer, rangefinder, depth camera and the
+//! downward RGB camera.
+//!
+//! Each sensor consumes the *true* vehicle state and produces the imperfect
+//! measurement the flight stack actually sees. The imperfections are the ones
+//! the paper's campaigns ran into: GNSS random-walk drift in poor weather,
+//! low-grade IMU noise on the Pixhawk 2.4.8, porous tree canopies that the
+//! depth camera only registers sporadically, and point clouds that end up in
+//! the wrong place because they are projected through a drifting pose
+//! estimate (Fig. 5c).
+
+mod baro;
+mod depth_camera;
+mod gps;
+mod imu;
+mod rangefinder;
+mod rgb_camera;
+
+pub use baro::{Barometer, BarometerConfig};
+pub use depth_camera::{DepthCamera, DepthCameraConfig, PointCloud};
+pub use gps::{GpsConfig, GpsFix, GpsSensor};
+pub use imu::{ImuConfig, ImuSample, ImuSensor};
+pub use rangefinder::{Rangefinder, RangefinderConfig};
+pub use rgb_camera::{RgbCamera, RgbCameraConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpsSensor>();
+        assert_send_sync::<ImuSensor>();
+        assert_send_sync::<Barometer>();
+        assert_send_sync::<Rangefinder>();
+        assert_send_sync::<DepthCamera>();
+        assert_send_sync::<RgbCamera>();
+        assert_send_sync::<PointCloud>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Downward-facing single-beam LiDAR rangefinder (TFMini Plus class).
+//!
+//! Used for accurate altitude above ground during the final descent; limited
+//! range and a single beam mean it only helps below ~12 m and over whatever
+//! is directly beneath the vehicle (a roof counts!).
+
+use mls_geom::{Ray, Vec3};
+use mls_sim_world::WorldMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dynamics::VehicleState;
+
+/// Rangefinder characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangefinderConfig {
+    /// Maximum measurable range, metres.
+    pub max_range: f64,
+    /// Minimum measurable range, metres.
+    pub min_range: f64,
+    /// White range noise, metres (1σ).
+    pub noise: f64,
+}
+
+impl Default for RangefinderConfig {
+    fn default() -> Self {
+        Self {
+            max_range: 12.0,
+            min_range: 0.1,
+            noise: 0.04,
+        }
+    }
+}
+
+/// Stateful rangefinder.
+#[derive(Debug, Clone)]
+pub struct Rangefinder {
+    config: RangefinderConfig,
+    rng: StdRng,
+}
+
+impl Rangefinder {
+    /// Creates a rangefinder.
+    pub fn new(config: RangefinderConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RangefinderConfig {
+        &self.config
+    }
+
+    /// Measures the distance straight down from the vehicle (along body -z,
+    /// approximated as world -z because the vehicle is near-level whenever
+    /// the reading matters). Returns `None` when nothing is within range.
+    pub fn sample(&mut self, truth: &VehicleState, world: &WorldMap) -> Option<f64> {
+        let cfg = self.config;
+        if truth.position.z <= world.ground_z + cfg.min_range {
+            return Some(cfg.min_range);
+        }
+        let ray = Ray::new(truth.position, Vec3::new(0.0, 0.0, -1.0));
+        let hit = world.raycast(&ray, cfg.max_range)?;
+        let noisy = hit.distance + self.gaussian() * cfg.noise;
+        Some(noisy.clamp(cfg.min_range, cfg.max_range))
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_sim_world::{MapStyle, Obstacle};
+
+    fn world_with_building() -> WorldMap {
+        WorldMap::empty("t", MapStyle::Suburban, 50.0)
+            .with_obstacle(Obstacle::building(Vec3::new(10.0, 0.0, 0.0), 6.0, 6.0, 8.0))
+    }
+
+    fn state_at(p: Vec3) -> VehicleState {
+        let mut s = VehicleState::grounded(p);
+        s.landed = false;
+        s
+    }
+
+    #[test]
+    fn reads_height_above_open_ground() {
+        let world = world_with_building();
+        let mut rf = Rangefinder::new(RangefinderConfig::default(), 1);
+        let d = rf.sample(&state_at(Vec3::new(0.0, 0.0, 6.0)), &world).unwrap();
+        assert!((d - 6.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn reads_height_above_roof_not_ground() {
+        let world = world_with_building();
+        let mut rf = Rangefinder::new(RangefinderConfig::default(), 1);
+        let d = rf.sample(&state_at(Vec3::new(10.0, 0.0, 11.0)), &world).unwrap();
+        assert!((d - 3.0).abs() < 0.3, "roof at 8 m, vehicle at 11 m, got {d}");
+    }
+
+    #[test]
+    fn out_of_range_returns_none() {
+        let world = world_with_building();
+        let mut rf = Rangefinder::new(RangefinderConfig::default(), 1);
+        assert!(rf.sample(&state_at(Vec3::new(0.0, 0.0, 30.0)), &world).is_none());
+    }
+
+    #[test]
+    fn very_low_altitude_clamps_to_min_range() {
+        let world = world_with_building();
+        let mut rf = Rangefinder::new(RangefinderConfig::default(), 1);
+        let d = rf.sample(&state_at(Vec3::new(0.0, 0.0, 0.05)), &world).unwrap();
+        assert!((d - RangefinderConfig::default().min_range).abs() < 1e-9);
+    }
+}

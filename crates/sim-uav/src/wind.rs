@@ -1,0 +1,124 @@
+//! Wind model: steady mean wind plus correlated gusts.
+//!
+//! The paper attributes part of the real-world landing error ("60 cm ...
+//! primarily due to GPS inaccuracies and wind during the final descent") to
+//! wind disturbance. The model is a mean wind vector from the scenario
+//! weather plus an Ornstein–Uhlenbeck gust process, so gusts are temporally
+//! correlated instead of white noise.
+
+use mls_geom::Vec3;
+use mls_sim_world::Weather;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the gust process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindConfig {
+    /// Gust correlation time constant, seconds.
+    pub gust_time_constant: f64,
+    /// Fraction of the gust magnitude applied vertically.
+    pub vertical_fraction: f64,
+}
+
+impl Default for WindConfig {
+    fn default() -> Self {
+        Self {
+            gust_time_constant: 2.5,
+            vertical_fraction: 0.25,
+        }
+    }
+}
+
+/// Stateful wind generator.
+#[derive(Debug, Clone)]
+pub struct WindModel {
+    config: WindConfig,
+    mean: Vec3,
+    gust_magnitude: f64,
+    gust_state: Vec3,
+    rng: StdRng,
+}
+
+impl WindModel {
+    /// Creates a wind model from scenario weather.
+    pub fn from_weather(weather: &Weather, seed: u64) -> Self {
+        Self::new(WindConfig::default(), weather.wind_mean, weather.wind_gust, seed)
+    }
+
+    /// Creates a wind model with explicit mean and gust magnitude.
+    pub fn new(config: WindConfig, mean: Vec3, gust_magnitude: f64, seed: u64) -> Self {
+        Self {
+            config,
+            mean,
+            gust_magnitude: gust_magnitude.max(0.0),
+            gust_state: Vec3::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured mean wind.
+    pub fn mean(&self) -> Vec3 {
+        self.mean
+    }
+
+    /// Advances the gust process and returns the instantaneous wind vector.
+    pub fn sample(&mut self, dt: f64) -> Vec3 {
+        let tau = self.config.gust_time_constant.max(1e-3);
+        let alpha = (dt / tau).clamp(0.0, 1.0);
+        let noise = Vec3::new(
+            self.gaussian(),
+            self.gaussian(),
+            self.gaussian() * self.config.vertical_fraction,
+        ) * self.gust_magnitude;
+        self.gust_state = self.gust_state * (1.0 - alpha) + noise * alpha;
+        self.mean + self.gust_state
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_weather_gives_near_mean_wind() {
+        let mut model = WindModel::new(WindConfig::default(), Vec3::new(1.0, 0.0, 0.0), 0.0, 1);
+        for _ in 0..100 {
+            let w = model.sample(0.02);
+            assert!((w - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gusts_stay_bounded_and_correlated() {
+        let mut model = WindModel::from_weather(&Weather::windy(), 3);
+        let mut prev = model.sample(0.02);
+        let mut max_step = 0.0f64;
+        let mut max_speed = 0.0f64;
+        for _ in 0..2000 {
+            let w = model.sample(0.02);
+            max_step = max_step.max((w - prev).norm());
+            max_speed = max_speed.max(w.norm());
+            prev = w;
+        }
+        let weather = Weather::windy();
+        assert!(max_speed < weather.wind_mean.norm() + 6.0 * weather.wind_gust + 1.0);
+        // Correlated gusts change slowly step to step.
+        assert!(max_step < 1.0, "gust step {max_step} too jumpy");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = WindModel::from_weather(&Weather::rain(), 7);
+        let mut b = WindModel::from_weather(&Weather::rain(), 7);
+        for _ in 0..50 {
+            assert_eq!(a.sample(0.02), b.sample(0.02));
+        }
+    }
+}

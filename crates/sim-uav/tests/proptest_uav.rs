@@ -1,0 +1,83 @@
+//! Property-based tests of the vehicle substrate: dynamics envelopes, EKF
+//! boundedness and closed-loop tracking over randomly drawn commands.
+
+use mls_geom::Vec3;
+use mls_sim_uav::{
+    AirframeConfig, Autopilot, AutopilotConfig, ControlCommand, GpsFix, ImuSample,
+    QuadrotorDynamics, VehicleState,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whatever acceleration is commanded, the airframe never exceeds its
+    /// speed and tilt envelopes and its state stays finite.
+    #[test]
+    fn dynamics_respect_the_envelope(
+        ax in -50.0f64..50.0,
+        ay in -50.0f64..50.0,
+        az in -50.0f64..50.0,
+        wind_x in -10.0f64..10.0,
+        wind_y in -10.0f64..10.0,
+    ) {
+        let config = AirframeConfig::default();
+        let mut dynamics = QuadrotorDynamics::new(config.clone(), Vec3::ZERO);
+        let mut state = VehicleState::grounded(Vec3::new(0.0, 0.0, 20.0));
+        state.landed = false;
+        dynamics.set_state(state);
+        let command = ControlCommand { acceleration: Vec3::new(ax, ay, az), yaw: 0.3 };
+        let wind = Vec3::new(wind_x, wind_y, 0.0);
+        for _ in 0..500 {
+            let s = dynamics.step(&command, wind, 0.0, 0.02);
+            prop_assert!(s.position.is_finite());
+            prop_assert!(s.velocity.is_finite());
+            prop_assert!(s.ground_speed() <= config.max_horizontal_speed + 1e-6);
+            prop_assert!(s.velocity.z.abs() <= config.max_vertical_speed + 1e-6);
+            prop_assert!(s.attitude.tilt() <= config.max_tilt + 1e-6);
+            prop_assert!(s.position.z >= -1e-9);
+        }
+    }
+
+    /// The closed-loop autopilot reaches any reasonable setpoint within the
+    /// arena and holds it, whatever the (bounded) wind.
+    #[test]
+    fn autopilot_tracks_setpoints_under_wind(
+        gx in -25.0f64..25.0,
+        gy in -25.0f64..25.0,
+        gz in 6.0f64..18.0,
+        wind_x in -3.0f64..3.0,
+        wind_y in -3.0f64..3.0,
+    ) {
+        let mut autopilot = Autopilot::new(AutopilotConfig::default(), Vec3::ZERO);
+        let mut dynamics = QuadrotorDynamics::new(AirframeConfig::default(), Vec3::ZERO);
+        autopilot.arm_and_takeoff(gz);
+        let goal = Vec3::new(gx, gy, gz);
+        let wind = Vec3::new(wind_x, wind_y, 0.0);
+        let dt = 0.02;
+        let mut commanded_goto = false;
+        for i in 0..4500 {
+            let state = *dynamics.state();
+            let imu = ImuSample {
+                linear_acceleration: state.acceleration,
+                angular_rate: Vec3::ZERO,
+                attitude: state.attitude,
+            };
+            let fix = GpsFix { position: state.position, velocity: state.velocity, hdop: 0.9, vdop: 1.3 };
+            autopilot.sense(&imu, (i % 10 == 0).then_some(&fix), Some(state.position.z), None, dt);
+            if i == 1000 {
+                autopilot.goto(goal, 0.0);
+                commanded_goto = true;
+            }
+            let command = autopilot.control(dt);
+            dynamics.step(&command, wind, 0.0, dt);
+        }
+        prop_assert!(commanded_goto);
+        prop_assert!(
+            dynamics.state().position.distance(goal) < 2.5,
+            "final position {:?} too far from goal {:?}",
+            dynamics.state().position,
+            goal
+        );
+    }
+}

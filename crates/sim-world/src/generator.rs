@@ -1,0 +1,188 @@
+//! Procedural map generation.
+//!
+//! The paper built ten custom AirSim / Unreal maps spanning rural, suburban
+//! and urban areas. This generator reproduces the *statistical structure* of
+//! those maps — obstacle class mix, footprint sizes, heights and densities —
+//! from a seed, so the whole benchmark is regenerable and every run sees the
+//! same worlds.
+
+use mls_geom::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::map::{MapStyle, WorldMap};
+use crate::obstacle::Obstacle;
+
+/// Parameters controlling procedural map generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapGeneratorConfig {
+    /// Half-extent of the square map, metres.
+    pub half_extent: f64,
+    /// Radius around the origin kept free of obstacles (take-off area).
+    pub clear_start_radius: f64,
+    /// Number of buildings for (rural, suburban, urban) styles.
+    pub buildings: (usize, usize, usize),
+    /// Number of trees for (rural, suburban, urban) styles.
+    pub trees: (usize, usize, usize),
+    /// Number of poles for (rural, suburban, urban) styles.
+    pub poles: (usize, usize, usize),
+    /// Building footprint side range, metres.
+    pub building_size: (f64, f64),
+    /// Building height range for (low, high) construction, metres.
+    pub building_height: (f64, f64),
+    /// Extra height multiplier applied to urban buildings.
+    pub urban_height_factor: f64,
+    /// Tree trunk height range, metres.
+    pub trunk_height: (f64, f64),
+    /// Tree canopy radius range, metres.
+    pub canopy_radius: (f64, f64),
+}
+
+impl Default for MapGeneratorConfig {
+    fn default() -> Self {
+        Self {
+            half_extent: 80.0,
+            clear_start_radius: 6.0,
+            buildings: (1, 6, 14),
+            trees: (18, 10, 4),
+            poles: (1, 6, 8),
+            building_size: (6.0, 18.0),
+            building_height: (4.0, 14.0),
+            urban_height_factor: 2.2,
+            trunk_height: (3.0, 6.0),
+            canopy_radius: (1.5, 3.5),
+        }
+    }
+}
+
+/// Deterministic procedural map generator.
+#[derive(Debug, Clone)]
+pub struct MapGenerator {
+    config: MapGeneratorConfig,
+}
+
+impl Default for MapGenerator {
+    fn default() -> Self {
+        Self::new(MapGeneratorConfig::default())
+    }
+}
+
+impl MapGenerator {
+    /// Creates a generator with an explicit configuration.
+    pub fn new(config: MapGeneratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MapGeneratorConfig {
+        &self.config
+    }
+
+    /// Generates a map of the given style from a seed. Markers are *not*
+    /// placed here; scenario generation adds them once the landing target is
+    /// chosen.
+    pub fn generate(&self, name: impl Into<String>, style: MapStyle, seed: u64) -> WorldMap {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut map = WorldMap::empty(name, style, cfg.half_extent);
+
+        let (n_buildings, n_trees, n_poles) = match style {
+            MapStyle::Rural => (cfg.buildings.0, cfg.trees.0, cfg.poles.0),
+            MapStyle::Suburban => (cfg.buildings.1, cfg.trees.1, cfg.poles.1),
+            MapStyle::Urban => (cfg.buildings.2, cfg.trees.2, cfg.poles.2),
+        };
+
+        for _ in 0..n_buildings {
+            let center = self.sample_clear_position(&mut rng, cfg);
+            let width = rng.random_range(cfg.building_size.0..=cfg.building_size.1);
+            let depth = rng.random_range(cfg.building_size.0..=cfg.building_size.1);
+            let mut height = rng.random_range(cfg.building_height.0..=cfg.building_height.1);
+            if style == MapStyle::Urban {
+                height *= rng.random_range(1.0..=cfg.urban_height_factor);
+            }
+            map.obstacles.push(Obstacle::building(center, width, depth, height));
+        }
+        for _ in 0..n_trees {
+            let base = self.sample_clear_position(&mut rng, cfg);
+            let trunk = rng.random_range(cfg.trunk_height.0..=cfg.trunk_height.1);
+            let canopy = rng.random_range(cfg.canopy_radius.0..=cfg.canopy_radius.1);
+            map.obstacles.push(Obstacle::tree(base, trunk, canopy));
+        }
+        for _ in 0..n_poles {
+            let base = self.sample_clear_position(&mut rng, cfg);
+            let height = rng.random_range(4.0..=9.0);
+            map.obstacles.push(Obstacle::pole(base, height));
+        }
+        map
+    }
+
+    /// Samples a ground position outside the protected take-off area.
+    fn sample_clear_position(&self, rng: &mut StdRng, cfg: &MapGeneratorConfig) -> Vec3 {
+        loop {
+            let margin = 4.0;
+            let x = rng.random_range(-(cfg.half_extent - margin)..=(cfg.half_extent - margin));
+            let y = rng.random_range(-(cfg.half_extent - margin)..=(cfg.half_extent - margin));
+            let p = Vec3::new(x, y, 0.0);
+            if p.horizontal_distance(Vec3::ZERO) > cfg.clear_start_radius + margin {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let generator = MapGenerator::default();
+        let a = generator.generate("m", MapStyle::Urban, 9);
+        let b = generator.generate("m", MapStyle::Urban, 9);
+        let c = generator.generate("m", MapStyle::Urban, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn urban_maps_are_denser_and_taller_than_rural() {
+        let generator = MapGenerator::default();
+        let urban = generator.generate("u", MapStyle::Urban, 3);
+        let rural = generator.generate("r", MapStyle::Rural, 3);
+        assert!(urban.obstacle_density() > rural.obstacle_density());
+        assert!(urban.max_obstacle_height() >= rural.max_obstacle_height());
+    }
+
+    #[test]
+    fn rural_maps_have_more_trees_than_buildings() {
+        let map = MapGenerator::default().generate("r", MapStyle::Rural, 5);
+        let trees = map.obstacles.iter().filter(|o| o.has_porous_volume()).count();
+        let solids = map.obstacles.len() - trees;
+        assert!(trees > solids);
+    }
+
+    #[test]
+    fn takeoff_area_is_kept_clear() {
+        let generator = MapGenerator::default();
+        for seed in 0..5 {
+            let map = generator.generate("m", MapStyle::Urban, seed);
+            for z in [1.0, 3.0, 6.0] {
+                assert!(
+                    !map.occupied(Vec3::new(0.0, 0.0, z)),
+                    "origin column must stay free (seed {seed}, z {z})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn obstacles_stay_inside_bounds() {
+        let map = MapGenerator::default().generate("m", MapStyle::Suburban, 12);
+        for o in &map.obstacles {
+            let bb = o.bounding_box();
+            assert!(bb.center().x.abs() <= map.bounds.max().x);
+            assert!(bb.center().y.abs() <= map.bounds.max().y);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Procedural simulation worlds for the autonomous-landing reproduction.
+//!
+//! The paper evaluates its landing systems in AirSim/Unreal Engine maps that
+//! we cannot run here. This crate supplies the substitute: procedurally
+//! generated rural/suburban/urban worlds ([`WorldMap`]) populated with
+//! buildings, trees and poles ([`Obstacle`]), landing markers
+//! ([`MarkerSite`]), continuous weather conditions ([`Weather`]) and a
+//! benchmark [`ScenarioGenerator`] reproducing the paper's 10-maps ×
+//! 10-scenarios evaluation grid (half normal, half adverse weather).
+//!
+//! # Examples
+//!
+//! ```
+//! use mls_sim_world::{MapStyle, ScenarioConfig, ScenarioGenerator};
+//!
+//! # fn main() -> Result<(), mls_sim_world::SimWorldError> {
+//! let config = ScenarioConfig { maps: 2, scenarios_per_map: 2, ..ScenarioConfig::default() };
+//! let scenarios = ScenarioGenerator::new(config).generate_benchmark(42)?;
+//! assert_eq!(scenarios.len(), 4);
+//! assert!(scenarios.iter().any(|s| s.map.style == MapStyle::Suburban));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+mod generator;
+mod map;
+mod obstacle;
+mod scenario;
+mod weather;
+
+pub use generator::{MapGenerator, MapGeneratorConfig};
+pub use map::{MapStyle, MarkerSite, WorldMap};
+pub use obstacle::{Obstacle, RayHit};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioGenerator, DICTIONARY_SIZE};
+pub use weather::Weather;
+
+/// Errors produced while generating worlds and scenarios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimWorldError {
+    /// A generation parameter was out of range.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// No clear spot could be found for the landing target in a map.
+    TargetPlacement {
+        /// Name of the offending map.
+        map: String,
+    },
+}
+
+impl fmt::Display for SimWorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimWorldError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimWorldError::TargetPlacement { map } => {
+                write!(f, "could not place a clear landing target in map {map}")
+            }
+        }
+    }
+}
+
+impl Error for SimWorldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimWorldError>();
+        let e = SimWorldError::TargetPlacement { map: "urban-03".to_string() };
+        assert!(e.to_string().contains("urban-03"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Static obstacles populating the simulation worlds.
+//!
+//! The paper's failure analysis revolves around two obstacle classes:
+//! *buildings* — large solid boxes that exhaust the V2 A* search pool — and
+//! *trees*, whose foliage is porous to the depth sensor so the planner only
+//! discovers the occupied space late ("the planner would create an optimal
+//! path that went through at-the-time unseen obstacles and could then become
+//! trapped within the foliage of a tree").
+
+use mls_geom::{Aabb, Ray, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and class of one obstacle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Obstacle {
+    /// A solid box: building, shed, wall, parked vehicle.
+    Building {
+        /// Solid extent of the structure.
+        aabb: Aabb,
+    },
+    /// A tree: a thin solid trunk plus a porous spherical canopy.
+    Tree {
+        /// Solid trunk extent.
+        trunk: Aabb,
+        /// Centre of the canopy sphere.
+        canopy_center: Vec3,
+        /// Radius of the canopy sphere.
+        canopy_radius: f64,
+    },
+    /// A thin vertical pole (lamp post, power pole); hard to see, solid.
+    Pole {
+        /// Solid extent of the pole.
+        aabb: Aabb,
+    },
+}
+
+/// Result of casting a ray against an obstacle or a whole map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RayHit {
+    /// Distance along the ray to the hit point.
+    pub distance: f64,
+    /// World-frame hit point.
+    pub point: Vec3,
+    /// `true` when the surface belongs to porous canopy rather than a solid
+    /// structure; the depth sensor only registers such returns
+    /// probabilistically.
+    pub porous: bool,
+}
+
+impl Obstacle {
+    /// Convenience constructor for a building footprint.
+    pub fn building(center_xy: Vec3, width: f64, depth: f64, height: f64) -> Self {
+        let center = Vec3::new(center_xy.x, center_xy.y, height / 2.0);
+        Obstacle::Building {
+            aabb: Aabb::from_center_half_extents(center, Vec3::new(width / 2.0, depth / 2.0, height / 2.0)),
+        }
+    }
+
+    /// Convenience constructor for a tree at a ground position.
+    pub fn tree(base: Vec3, trunk_height: f64, canopy_radius: f64) -> Self {
+        let trunk = Aabb::from_center_half_extents(
+            Vec3::new(base.x, base.y, trunk_height / 2.0),
+            Vec3::new(0.25, 0.25, trunk_height / 2.0),
+        );
+        Obstacle::Tree {
+            trunk,
+            canopy_center: Vec3::new(base.x, base.y, trunk_height + canopy_radius * 0.6),
+            canopy_radius,
+        }
+    }
+
+    /// Convenience constructor for a thin pole.
+    pub fn pole(base: Vec3, height: f64) -> Self {
+        Obstacle::Pole {
+            aabb: Aabb::from_center_half_extents(
+                Vec3::new(base.x, base.y, height / 2.0),
+                Vec3::new(0.15, 0.15, height / 2.0),
+            ),
+        }
+    }
+
+    /// Axis-aligned bounding box enclosing the whole obstacle.
+    pub fn bounding_box(&self) -> Aabb {
+        match self {
+            Obstacle::Building { aabb } | Obstacle::Pole { aabb } => *aabb,
+            Obstacle::Tree {
+                trunk,
+                canopy_center,
+                canopy_radius,
+            } => trunk.union(&Aabb::from_center_half_extents(
+                *canopy_center,
+                Vec3::splat(*canopy_radius),
+            )),
+        }
+    }
+
+    /// `true` when `point` is inside occupied space (canopy counts as
+    /// occupied: flying into foliage is the failure the paper describes).
+    pub fn contains(&self, point: Vec3) -> bool {
+        match self {
+            Obstacle::Building { aabb } | Obstacle::Pole { aabb } => aabb.contains(point),
+            Obstacle::Tree {
+                trunk,
+                canopy_center,
+                canopy_radius,
+            } => trunk.contains(point) || point.distance(*canopy_center) <= *canopy_radius,
+        }
+    }
+
+    /// Shortest distance from `point` to the obstacle surface (0 inside).
+    pub fn distance_to(&self, point: Vec3) -> f64 {
+        match self {
+            Obstacle::Building { aabb } | Obstacle::Pole { aabb } => aabb.distance_to_point(point),
+            Obstacle::Tree {
+                trunk,
+                canopy_center,
+                canopy_radius,
+            } => {
+                let trunk_d = trunk.distance_to_point(point);
+                let canopy_d = (point.distance(*canopy_center) - canopy_radius).max(0.0);
+                trunk_d.min(canopy_d)
+            }
+        }
+    }
+
+    /// First intersection of `ray` with the obstacle within `max_range`.
+    pub fn raycast(&self, ray: &Ray, max_range: f64) -> Option<RayHit> {
+        match self {
+            Obstacle::Building { aabb } | Obstacle::Pole { aabb } => {
+                let t = aabb.ray_intersection(ray)?;
+                (t <= max_range).then(|| RayHit {
+                    distance: t,
+                    point: ray.point_at(t),
+                    porous: false,
+                })
+            }
+            Obstacle::Tree {
+                trunk,
+                canopy_center,
+                canopy_radius,
+            } => {
+                let trunk_hit = trunk.ray_intersection(ray).filter(|t| *t <= max_range).map(|t| RayHit {
+                    distance: t,
+                    point: ray.point_at(t),
+                    porous: false,
+                });
+                let canopy_hit = ray_sphere_intersection(ray, *canopy_center, *canopy_radius)
+                    .filter(|t| *t <= max_range)
+                    .map(|t| RayHit {
+                        distance: t,
+                        point: ray.point_at(t),
+                        porous: true,
+                    });
+                match (trunk_hit, canopy_hit) {
+                    (Some(a), Some(b)) => Some(if a.distance <= b.distance { a } else { b }),
+                    (Some(a), None) => Some(a),
+                    (None, Some(b)) => Some(b),
+                    (None, None) => None,
+                }
+            }
+        }
+    }
+
+    /// `true` when the obstacle is (or includes) porous canopy.
+    pub fn has_porous_volume(&self) -> bool {
+        matches!(self, Obstacle::Tree { .. })
+    }
+
+    /// Height of the obstacle's top above the ground.
+    pub fn top_height(&self) -> f64 {
+        self.bounding_box().max().z
+    }
+}
+
+/// First positive intersection parameter of a ray and a sphere.
+pub(crate) fn ray_sphere_intersection(ray: &Ray, center: Vec3, radius: f64) -> Option<f64> {
+    let oc = ray.origin - center;
+    let b = oc.dot(ray.direction);
+    let c = oc.norm_squared() - radius * radius;
+    let disc = b * b - c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sqrt_disc = disc.sqrt();
+    let t0 = -b - sqrt_disc;
+    let t1 = -b + sqrt_disc;
+    if t0 > 1e-9 {
+        Some(t0)
+    } else if t1 > 1e-9 {
+        Some(t1)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_contains_and_distance() {
+        let b = Obstacle::building(Vec3::new(10.0, 0.0, 0.0), 8.0, 6.0, 12.0);
+        assert!(b.contains(Vec3::new(10.0, 0.0, 5.0)));
+        assert!(!b.contains(Vec3::new(10.0, 0.0, 13.0)));
+        assert!((b.distance_to(Vec3::new(10.0, 0.0, 14.0)) - 2.0).abs() < 1e-9);
+        assert!((b.top_height() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_contains_trunk_and_canopy() {
+        let t = Obstacle::tree(Vec3::new(0.0, 0.0, 0.0), 4.0, 2.5);
+        assert!(t.contains(Vec3::new(0.0, 0.0, 2.0)), "trunk point");
+        assert!(t.contains(Vec3::new(0.0, 0.0, 5.5)), "canopy point");
+        assert!(!t.contains(Vec3::new(5.0, 5.0, 5.0)));
+        assert!(t.has_porous_volume());
+        assert!(!Obstacle::building(Vec3::ZERO, 1.0, 1.0, 1.0).has_porous_volume());
+    }
+
+    #[test]
+    fn raycast_hits_building_face() {
+        let b = Obstacle::building(Vec3::new(10.0, 0.0, 0.0), 4.0, 4.0, 10.0);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::new(1.0, 0.0, 0.0));
+        let hit = b.raycast(&ray, 50.0).expect("must hit");
+        assert!((hit.distance - 8.0).abs() < 1e-9);
+        assert!(!hit.porous);
+        assert!(b.raycast(&ray, 5.0).is_none(), "range-limited");
+    }
+
+    #[test]
+    fn raycast_canopy_is_marked_porous() {
+        let t = Obstacle::tree(Vec3::new(10.0, 0.0, 0.0), 4.0, 2.0);
+        // Aim at the canopy centre (z = 4 + 1.2 = 5.2).
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 5.2), Vec3::new(1.0, 0.0, 0.0));
+        let hit = t.raycast(&ray, 50.0).expect("must hit canopy");
+        assert!(hit.porous);
+        assert!((hit.distance - 8.0).abs() < 1e-6);
+        // Aim at the trunk.
+        let ray = Ray::new(Vec3::new(0.0, 0.0, 2.0), Vec3::new(1.0, 0.0, 0.0));
+        let hit = t.raycast(&ray, 50.0).expect("must hit trunk");
+        assert!(!hit.porous);
+    }
+
+    #[test]
+    fn ray_sphere_misses_and_hits() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        assert!(ray_sphere_intersection(&ray, Vec3::new(5.0, 3.0, 0.0), 1.0).is_none());
+        let t = ray_sphere_intersection(&ray, Vec3::new(5.0, 0.0, 0.0), 1.0).unwrap();
+        assert!((t - 4.0).abs() < 1e-9);
+        // Ray starting inside the sphere returns the exit point.
+        let t = ray_sphere_intersection(&ray, Vec3::new(0.2, 0.0, 0.0), 1.0).unwrap();
+        assert!(t > 0.0 && t < 1.5);
+    }
+
+    #[test]
+    fn bounding_box_covers_canopy() {
+        let t = Obstacle::tree(Vec3::new(0.0, 0.0, 0.0), 4.0, 2.0);
+        let bb = t.bounding_box();
+        assert!(bb.max().z >= 6.0);
+        assert!(bb.min().z <= 0.0 + 1e-9);
+        assert!(bb.max().x >= 2.0);
+    }
+
+    #[test]
+    fn pole_is_thin_and_solid() {
+        let p = Obstacle::pole(Vec3::new(1.0, 1.0, 0.0), 6.0);
+        assert!(p.contains(Vec3::new(1.0, 1.0, 3.0)));
+        assert!(!p.contains(Vec3::new(1.5, 1.0, 3.0)));
+        assert!((p.top_height() - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,401 @@
+//! ArUco-style fiducial marker dictionary.
+//!
+//! Markers carry a 4x4 payload of black/white cells surrounded by a one-cell
+//! black border (6x6 cells total), mirroring OpenCV's `DICT_4X4_*`
+//! dictionaries used by the paper. The dictionary is generated
+//! deterministically so every crate in the workspace (renderer, detectors,
+//! benchmarks) agrees on the marker appearance of a given id.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::VisionError;
+
+/// Number of payload cells along one marker side.
+pub const PAYLOAD_CELLS: usize = 4;
+/// Number of cells along one marker side including the black border.
+pub const MARKER_CELLS: usize = PAYLOAD_CELLS + 2;
+
+/// The 16 payload bits of a marker, row major, bit 0 = top-left cell.
+///
+/// A set bit renders as a **white** cell; a cleared bit renders as black.
+pub type MarkerCode = u16;
+
+/// Rotates a 4x4 bit pattern by 90° clockwise.
+fn rotate90(code: MarkerCode) -> MarkerCode {
+    let mut out = 0u16;
+    for r in 0..PAYLOAD_CELLS {
+        for c in 0..PAYLOAD_CELLS {
+            if code & (1 << (r * PAYLOAD_CELLS + c)) != 0 {
+                // (r, c) -> (c, N-1-r)
+                let nr = c;
+                let nc = PAYLOAD_CELLS - 1 - r;
+                out |= 1 << (nr * PAYLOAD_CELLS + nc);
+            }
+        }
+    }
+    out
+}
+
+/// Hamming distance between two 16-bit payloads.
+fn hamming(a: MarkerCode, b: MarkerCode) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// The four rotations of a payload (0°, 90°, 180°, 270° clockwise).
+fn rotations(code: MarkerCode) -> [MarkerCode; 4] {
+    let r1 = rotate90(code);
+    let r2 = rotate90(r1);
+    let r3 = rotate90(r2);
+    [code, r1, r2, r3]
+}
+
+/// A successful dictionary match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DictionaryMatch {
+    /// Identifier of the matched marker within the dictionary.
+    pub id: u32,
+    /// Number of clockwise 90° rotations applied to the observed bits to
+    /// match the canonical orientation.
+    pub rotation: u8,
+    /// Number of corrected (mismatching) bits.
+    pub hamming_distance: u32,
+}
+
+/// A deterministic ArUco-style marker dictionary.
+///
+/// # Examples
+///
+/// ```
+/// use mls_vision::MarkerDictionary;
+///
+/// let dict = MarkerDictionary::standard();
+/// let code = dict.code(7).unwrap();
+/// let m = dict.match_code(code, 0).unwrap();
+/// assert_eq!(m.id, 7);
+/// assert_eq!(m.hamming_distance, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarkerDictionary {
+    codes: Vec<MarkerCode>,
+    min_distance: u32,
+}
+
+impl MarkerDictionary {
+    /// Generation seed for [`MarkerDictionary::standard`]. Fixed so that every
+    /// component of the workspace sees identical markers.
+    const STANDARD_SEED: u64 = 0x4152_5543_4f31_3233; // "ARUCO123"
+
+    /// The workspace-standard dictionary: 50 markers with a minimum pairwise
+    /// (rotation-aware) Hamming distance of 4, analogous to `DICT_4X4_50`.
+    pub fn standard() -> Self {
+        Self::generate(50, 4, Self::STANDARD_SEED)
+            .expect("standard dictionary parameters are satisfiable")
+    }
+
+    /// Generates a dictionary of `count` markers whose pairwise
+    /// rotation-aware Hamming distance is at least `min_distance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VisionError::DictionaryGeneration`] when the requested
+    /// `count` cannot be reached (distance constraint too strict).
+    pub fn generate(count: usize, min_distance: u32, seed: u64) -> Result<Self, VisionError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut codes: Vec<MarkerCode> = Vec::with_capacity(count);
+        // Generous attempt budget: the 16-bit space is small, so give up
+        // rather than loop forever when the constraints are unsatisfiable.
+        let max_attempts = 200_000usize;
+        let mut attempts = 0usize;
+        while codes.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let candidate: MarkerCode = rng.random();
+            if !Self::is_acceptable(candidate) {
+                continue;
+            }
+            let ok = codes.iter().all(|&existing| {
+                rotations(candidate)
+                    .iter()
+                    .all(|&rot| hamming(rot, existing) >= min_distance)
+            })
+            // Also require the candidate to be rotation-asymmetric enough to
+            // give an unambiguous orientation.
+            && rotations(candidate)[1..]
+                .iter()
+                .all(|&rot| hamming(rot, candidate) >= min_distance.min(2));
+            if ok {
+                codes.push(candidate);
+            }
+        }
+        if codes.len() < count {
+            return Err(VisionError::DictionaryGeneration {
+                requested: count,
+                generated: codes.len(),
+            });
+        }
+        Ok(Self { codes, min_distance })
+    }
+
+    /// Rejects degenerate codes (nearly all black or all white payloads),
+    /// which would be easy to confuse with plain dark or bright squares in
+    /// the environment.
+    fn is_acceptable(code: MarkerCode) -> bool {
+        let ones = code.count_ones();
+        (4..=12).contains(&ones)
+    }
+
+    /// Number of markers in the dictionary.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` if the dictionary holds no markers.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The minimum rotation-aware pairwise Hamming distance the dictionary
+    /// was generated with.
+    pub fn min_distance(&self) -> u32 {
+        self.min_distance
+    }
+
+    /// The payload code of marker `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VisionError::UnknownMarkerId`] for ids outside the
+    /// dictionary.
+    pub fn code(&self, id: u32) -> Result<MarkerCode, VisionError> {
+        self.codes
+            .get(id as usize)
+            .copied()
+            .ok_or(VisionError::UnknownMarkerId { id })
+    }
+
+    /// Matches observed payload bits against the dictionary, tolerating up to
+    /// `max_correction` bit errors. Returns the best match or `None`.
+    pub fn match_code(&self, observed: MarkerCode, max_correction: u32) -> Option<DictionaryMatch> {
+        let mut best: Option<DictionaryMatch> = None;
+        for (id, &code) in self.codes.iter().enumerate() {
+            for (rotation, &rot) in rotations(observed).iter().enumerate() {
+                let d = hamming(rot, code);
+                if d <= max_correction && best.map_or(true, |b| d < b.hamming_distance) {
+                    best = Some(DictionaryMatch {
+                        id: id as u32,
+                        rotation: rotation as u8,
+                        hamming_distance: d,
+                    });
+                    if d == 0 {
+                        return best;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The full 6x6 cell luminance pattern (including the black border) of
+    /// marker `id`: `1.0` for white cells, `0.0` for black cells. Row major,
+    /// `cells[row][col]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VisionError::UnknownMarkerId`] for ids outside the
+    /// dictionary.
+    pub fn cells(&self, id: u32) -> Result<[[f32; MARKER_CELLS]; MARKER_CELLS], VisionError> {
+        let code = self.code(id)?;
+        let mut cells = [[0.0f32; MARKER_CELLS]; MARKER_CELLS];
+        for r in 0..PAYLOAD_CELLS {
+            for c in 0..PAYLOAD_CELLS {
+                if code & (1 << (r * PAYLOAD_CELLS + c)) != 0 {
+                    cells[r + 1][c + 1] = 1.0;
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Extracts payload bits from a sampled 6x6 cell grid (luminance values),
+    /// verifying the black border. `threshold` separates black from white.
+    ///
+    /// Returns `None` when too many border cells read as white (i.e. the
+    /// candidate is probably not a marker).
+    pub fn decode_cells(
+        grid: &[[f32; MARKER_CELLS]; MARKER_CELLS],
+        threshold: f32,
+        max_border_violations: usize,
+    ) -> Option<MarkerCode> {
+        let mut border_violations = 0usize;
+        for r in 0..MARKER_CELLS {
+            for c in 0..MARKER_CELLS {
+                let is_border = r == 0 || c == 0 || r == MARKER_CELLS - 1 || c == MARKER_CELLS - 1;
+                if is_border && grid[r][c] > threshold {
+                    border_violations += 1;
+                }
+            }
+        }
+        if border_violations > max_border_violations {
+            return None;
+        }
+        let mut code: MarkerCode = 0;
+        for r in 0..PAYLOAD_CELLS {
+            for c in 0..PAYLOAD_CELLS {
+                if grid[r + 1][c + 1] > threshold {
+                    code |= 1 << (r * PAYLOAD_CELLS + c);
+                }
+            }
+        }
+        Some(code)
+    }
+
+    /// Iterates over `(id, code)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, MarkerCode)> + '_ {
+        self.codes.iter().enumerate().map(|(i, &c)| (i as u32, c))
+    }
+}
+
+impl Default for MarkerDictionary {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotate_four_times_is_identity() {
+        for code in [0x0000u16, 0xFFFF, 0x1234, 0xA5A5, 0x8001] {
+            let mut c = code;
+            for _ in 0..4 {
+                c = rotate90(c);
+            }
+            assert_eq!(c, code);
+        }
+    }
+
+    #[test]
+    fn rotate_moves_corner_bit() {
+        // Bit 0 is the top-left cell (row 0, col 0); after a 90° clockwise
+        // rotation it becomes the top-right cell (row 0, col 3).
+        let rotated = rotate90(1);
+        assert_eq!(rotated, 1 << 3);
+    }
+
+    #[test]
+    fn standard_dictionary_has_fifty_unique_markers() {
+        let dict = MarkerDictionary::standard();
+        assert_eq!(dict.len(), 50);
+        assert!(!dict.is_empty());
+        let mut codes: Vec<_> = dict.iter().map(|(_, c)| c).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 50);
+    }
+
+    #[test]
+    fn standard_dictionary_is_deterministic() {
+        let a = MarkerDictionary::standard();
+        let b = MarkerDictionary::standard();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pairwise_distance_respects_minimum() {
+        let dict = MarkerDictionary::standard();
+        for (i, a) in dict.iter() {
+            for (j, b) in dict.iter() {
+                if i == j {
+                    continue;
+                }
+                for rot in rotations(a) {
+                    assert!(
+                        hamming(rot, b) >= dict.min_distance(),
+                        "markers {i} and {j} are too close"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_match_roundtrip_all_ids_and_rotations() {
+        let dict = MarkerDictionary::standard();
+        for (id, code) in dict.iter() {
+            for (rot_idx, rotated) in rotations(code).iter().enumerate() {
+                // The observation is the marker rotated *forward*; matching
+                // reports how many further rotations were needed.
+                let m = dict.match_code(*rotated, 0).unwrap();
+                assert_eq!(m.id, id, "id mismatch at rotation {rot_idx}");
+                assert_eq!(m.hamming_distance, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_error_is_corrected() {
+        let dict = MarkerDictionary::standard();
+        let code = dict.code(3).unwrap();
+        let corrupted = code ^ 0b100; // flip one payload bit
+        let m = dict.match_code(corrupted, 1).unwrap();
+        assert_eq!(m.id, 3);
+        assert_eq!(m.hamming_distance, 1);
+        // With no correction budget the corrupted code must not match.
+        assert!(dict.match_code(corrupted, 0).is_none());
+    }
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let dict = MarkerDictionary::standard();
+        assert!(dict.code(49).is_ok());
+        assert!(matches!(dict.code(50), Err(VisionError::UnknownMarkerId { id: 50 })));
+        assert!(dict.cells(1000).is_err());
+    }
+
+    #[test]
+    fn cells_have_black_border_and_match_code() {
+        let dict = MarkerDictionary::standard();
+        let id = 11;
+        let cells = dict.cells(id).unwrap();
+        for i in 0..MARKER_CELLS {
+            assert_eq!(cells[0][i], 0.0);
+            assert_eq!(cells[MARKER_CELLS - 1][i], 0.0);
+            assert_eq!(cells[i][0], 0.0);
+            assert_eq!(cells[i][MARKER_CELLS - 1], 0.0);
+        }
+        let decoded = MarkerDictionary::decode_cells(&cells, 0.5, 0).unwrap();
+        assert_eq!(decoded, dict.code(id).unwrap());
+    }
+
+    #[test]
+    fn decode_rejects_white_borders() {
+        let grid = [[1.0f32; MARKER_CELLS]; MARKER_CELLS];
+        assert!(MarkerDictionary::decode_cells(&grid, 0.5, 2).is_none());
+        // But tolerates a small number of violations.
+        let dict = MarkerDictionary::standard();
+        let mut cells = dict.cells(0).unwrap();
+        cells[0][0] = 1.0;
+        cells[0][1] = 1.0;
+        let decoded = MarkerDictionary::decode_cells(&cells, 0.5, 2).unwrap();
+        assert_eq!(decoded, dict.code(0).unwrap());
+    }
+
+    #[test]
+    fn impossible_generation_fails_cleanly() {
+        // 16-bit payloads cannot support 5000 codewords at distance 8.
+        let err = MarkerDictionary::generate(5000, 8, 1).unwrap_err();
+        assert!(matches!(err, VisionError::DictionaryGeneration { .. }));
+    }
+
+    #[test]
+    fn generation_respects_seed() {
+        let a = MarkerDictionary::generate(10, 4, 42).unwrap();
+        let b = MarkerDictionary::generate(10, 4, 42).unwrap();
+        let c = MarkerDictionary::generate(10, 4, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,219 @@
+//! Planar homography estimation and application.
+//!
+//! Both detectors unwarp candidate quadrilaterals into a canonical square
+//! before sampling marker bits; the unwarp is a 3x3 planar homography
+//! estimated from the four point correspondences (the classic DLT
+//! formulation solved with Gaussian elimination).
+
+use mls_geom::Vec2;
+
+use crate::VisionError;
+
+/// A 3x3 planar homography mapping source points to destination points in
+/// homogeneous coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use mls_geom::Vec2;
+/// use mls_vision::Homography;
+///
+/// // Map the unit square onto a shifted, scaled square.
+/// let src = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(1.0, 1.0), Vec2::new(0.0, 1.0)];
+/// let dst = [Vec2::new(10.0, 10.0), Vec2::new(14.0, 10.0), Vec2::new(14.0, 14.0), Vec2::new(10.0, 14.0)];
+/// let h = Homography::from_correspondences(&src, &dst)?;
+/// let mapped = h.apply(Vec2::new(0.5, 0.5));
+/// assert!((mapped - Vec2::new(12.0, 12.0)).norm() < 1e-9);
+/// # Ok::<(), mls_vision::VisionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Homography {
+    // Row-major 3x3 matrix with h[2][2] normalised to 1.
+    m: [[f64; 3]; 3],
+}
+
+impl Homography {
+    /// The identity homography.
+    pub fn identity() -> Self {
+        Self {
+            m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        }
+    }
+
+    /// Estimates the homography mapping each `src[i]` to `dst[i]` from four
+    /// point correspondences (direct linear transform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VisionError::DegenerateGeometry`] when the correspondences
+    /// are degenerate (three collinear points, coincident points, ...).
+    pub fn from_correspondences(src: &[Vec2; 4], dst: &[Vec2; 4]) -> Result<Self, VisionError> {
+        // Build the 8x8 linear system A * h = b for the 8 unknowns of H
+        // (h33 fixed at 1).
+        let mut a = [[0.0f64; 9]; 8];
+        for i in 0..4 {
+            let (x, y) = (src[i].x, src[i].y);
+            let (u, v) = (dst[i].x, dst[i].y);
+            a[2 * i] = [x, y, 1.0, 0.0, 0.0, 0.0, -u * x, -u * y, u];
+            a[2 * i + 1] = [0.0, 0.0, 0.0, x, y, 1.0, -v * x, -v * y, v];
+        }
+        let h = solve_8x8(&mut a).ok_or(VisionError::DegenerateGeometry)?;
+        let m = [[h[0], h[1], h[2]], [h[3], h[4], h[5]], [h[6], h[7], 1.0]];
+        if m.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(VisionError::DegenerateGeometry);
+        }
+        Ok(Self { m })
+    }
+
+    /// Applies the homography to a point.
+    pub fn apply(&self, p: Vec2) -> Vec2 {
+        let w = self.m[2][0] * p.x + self.m[2][1] * p.y + self.m[2][2];
+        let x = self.m[0][0] * p.x + self.m[0][1] * p.y + self.m[0][2];
+        let y = self.m[1][0] * p.x + self.m[1][1] * p.y + self.m[1][2];
+        if w.abs() < 1e-15 {
+            Vec2::new(f64::INFINITY, f64::INFINITY)
+        } else {
+            Vec2::new(x / w, y / w)
+        }
+    }
+
+    /// The underlying row-major 3x3 matrix.
+    pub fn matrix(&self) -> [[f64; 3]; 3] {
+        self.m
+    }
+}
+
+/// Solves the 8-unknown DLT system with partial-pivot Gaussian elimination.
+/// `a` holds the augmented 8x9 system. Returns `None` for singular systems.
+fn solve_8x8(a: &mut [[f64; 9]; 8]) -> Option<[f64; 8]> {
+    const N: usize = 8;
+    for col in 0..N {
+        // Partial pivoting.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col][col].abs();
+        for row in (col + 1)..N {
+            if a[row][col].abs() > pivot_val {
+                pivot_val = a[row][col].abs();
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        // Eliminate below.
+        for row in (col + 1)..N {
+            let factor = a[row][col] / a[col][col];
+            for k in col..=N {
+                a[row][k] -= factor * a[col][k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0f64; N];
+    for row in (0..N).rev() {
+        let mut sum = a[row][N];
+        for k in (row + 1)..N {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> [Vec2; 4] {
+        [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn identity_maps_points_unchanged() {
+        let h = Homography::identity();
+        let p = Vec2::new(3.3, -1.2);
+        assert!((h.apply(p) - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn affine_mapping_is_recovered() {
+        let src = unit_square();
+        let dst = [
+            Vec2::new(5.0, 5.0),
+            Vec2::new(9.0, 5.0),
+            Vec2::new(9.0, 9.0),
+            Vec2::new(5.0, 9.0),
+        ];
+        let h = Homography::from_correspondences(&src, &dst).unwrap();
+        for (s, d) in src.iter().zip(dst.iter()) {
+            assert!((h.apply(*s) - *d).norm() < 1e-9);
+        }
+        // Interior point maps proportionally for this affine case.
+        assert!((h.apply(Vec2::new(0.25, 0.75)) - Vec2::new(6.0, 8.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn perspective_mapping_is_recovered() {
+        let src = unit_square();
+        // A genuinely projective quad (trapezoid).
+        let dst = [
+            Vec2::new(10.0, 10.0),
+            Vec2::new(30.0, 12.0),
+            Vec2::new(26.0, 28.0),
+            Vec2::new(12.0, 24.0),
+        ];
+        let h = Homography::from_correspondences(&src, &dst).unwrap();
+        for (s, d) in src.iter().zip(dst.iter()) {
+            assert!((h.apply(*s) - *d).norm() < 1e-6, "corner {s:?} mapped to {:?}", h.apply(*s));
+        }
+    }
+
+    #[test]
+    fn rotated_square_corners_map() {
+        let src = unit_square();
+        let c = Vec2::new(50.0, 40.0);
+        let dst_vec: Vec<Vec2> = src
+            .iter()
+            .map(|p| c + (*p - Vec2::new(0.5, 0.5)).rotated(0.7) * 20.0)
+            .collect();
+        let dst = [dst_vec[0], dst_vec[1], dst_vec[2], dst_vec[3]];
+        let h = Homography::from_correspondences(&src, &dst).unwrap();
+        let center = h.apply(Vec2::new(0.5, 0.5));
+        assert!((center - c).norm() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_correspondences_fail() {
+        let src = unit_square();
+        // All destination points identical -> degenerate.
+        let dst = [Vec2::new(1.0, 1.0); 4];
+        assert!(Homography::from_correspondences(&src, &dst).is_err());
+        // Three collinear destination points plus duplicate.
+        let dst2 = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(1.0, 0.0),
+        ];
+        assert!(Homography::from_correspondences(&src, &dst2).is_err());
+    }
+
+    #[test]
+    fn matrix_is_normalised() {
+        let src = unit_square();
+        let dst = [
+            Vec2::new(2.0, 3.0),
+            Vec2::new(7.0, 3.5),
+            Vec2::new(6.5, 8.0),
+            Vec2::new(2.5, 7.0),
+        ];
+        let h = Homography::from_correspondences(&src, &dst).unwrap();
+        assert!((h.matrix()[2][2] - 1.0).abs() < 1e-12);
+    }
+}

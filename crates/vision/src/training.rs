@@ -1,0 +1,335 @@
+//! Offline synthetic training / calibration of the learned-detector
+//! surrogate.
+//!
+//! The paper trains TPH-YOLO on images rendered from five customised AirSim
+//! maps with markers "placed in unique positions and orientations, various
+//! weather conditions ... the drone operated at various orientations and
+//! heights", augmented with brightness/contrast jitter and Gaussian noise.
+//!
+//! This module reproduces that workflow for the surrogate detector: it
+//! renders a synthetic dataset (marker poses × altitudes × weather ×
+//! lighting, plus marker-free negatives), scores every frame with the
+//! surrogate's raw soft-decoder, and then *calibrates the acceptance
+//! threshold* so that a target false-positive rate is met while keeping the
+//! true-positive rate as high as possible — the surrogate's equivalent of
+//! training the detection head.
+
+use mls_geom::{Pose, Vec2, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Camera, DegradationConfig, GroundScene, ImageDegrader, LearnedDetector, LightingCondition,
+    MarkerDictionary, MarkerPlacement, MarkerRenderer, VisionError, WeatherKind,
+};
+
+/// Configuration of the synthetic calibration pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// Number of frames rendered with a marker present.
+    pub positive_samples: usize,
+    /// Number of frames rendered without any marker (plus decoy squares).
+    pub negative_samples: usize,
+    /// Altitude range the synthetic drone flies at, metres.
+    pub altitude_range: (f64, f64),
+    /// Physical marker side length, metres.
+    pub marker_size: f64,
+    /// Acceptable false-positive rate on the negative set.
+    pub target_false_positive_rate: f64,
+    /// RNG seed for the whole dataset.
+    pub seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            positive_samples: 80,
+            negative_samples: 30,
+            altitude_range: (5.0, 14.0),
+            marker_size: 1.5,
+            target_false_positive_rate: 0.02,
+            seed: 2025,
+        }
+    }
+}
+
+impl TrainingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VisionError::InvalidConfig`] for empty datasets, inverted
+    /// altitude ranges, or out-of-range false-positive targets.
+    pub fn validate(&self) -> Result<(), VisionError> {
+        if self.positive_samples == 0 {
+            return Err(VisionError::InvalidConfig {
+                reason: "positive_samples must be > 0".to_string(),
+            });
+        }
+        if self.altitude_range.0 <= 0.0 || self.altitude_range.1 < self.altitude_range.0 {
+            return Err(VisionError::InvalidConfig {
+                reason: format!("invalid altitude range {:?}", self.altitude_range),
+            });
+        }
+        if !(0.0..1.0).contains(&self.target_false_positive_rate) {
+            return Err(VisionError::InvalidConfig {
+                reason: "target_false_positive_rate must be in [0, 1)".to_string(),
+            });
+        }
+        if self.marker_size <= 0.0 {
+            return Err(VisionError::InvalidConfig {
+                reason: "marker_size must be positive".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One rendered calibration frame and the scores the surrogate assigned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSample {
+    /// Weather the frame was rendered under.
+    pub weather: WeatherKind,
+    /// Lighting the frame was rendered under.
+    pub lighting: LightingCondition,
+    /// Vehicle altitude for this frame, metres.
+    pub altitude: f64,
+    /// Id of the marker present in the frame, if any.
+    pub marker_id: Option<u32>,
+    /// Best score of a candidate matching the true marker id (positives).
+    pub best_true_score: Option<f64>,
+    /// Best score among spurious candidates (wrong id or marker-free frame).
+    pub best_false_score: Option<f64>,
+}
+
+/// Outcome of the calibration pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Every rendered sample with its scores.
+    pub samples: Vec<TrainingSample>,
+    /// The acceptance threshold selected for the detector.
+    pub chosen_threshold: f64,
+    /// Fraction of positive samples whose true marker scores above the
+    /// threshold.
+    pub true_positive_rate: f64,
+    /// Fraction of samples containing a spurious candidate above the
+    /// threshold.
+    pub false_positive_rate: f64,
+}
+
+/// Renders the synthetic dataset, scores it, and returns a detector whose
+/// acceptance threshold has been calibrated to the dataset.
+///
+/// # Errors
+///
+/// Returns [`VisionError::InvalidConfig`] when the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use mls_vision::{training, MarkerDictionary, TrainingConfig};
+///
+/// # fn main() -> Result<(), mls_vision::VisionError> {
+/// let config = TrainingConfig { positive_samples: 6, negative_samples: 3, ..TrainingConfig::default() };
+/// let (detector, report) = training::calibrate(MarkerDictionary::standard(), &config)?;
+/// assert!(report.true_positive_rate > 0.5);
+/// assert!(detector.config().acceptance_threshold > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn calibrate(
+    dictionary: MarkerDictionary,
+    config: &TrainingConfig,
+) -> Result<(LearnedDetector, TrainingReport), VisionError> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let camera = Camera::downward();
+    let renderer = MarkerRenderer::new(dictionary.clone());
+    let mut detector = LearnedDetector::new(dictionary.clone());
+    let mut samples = Vec::new();
+
+    for i in 0..(config.positive_samples + config.negative_samples) {
+        let positive = i < config.positive_samples;
+        let altitude = rng.random_range(config.altitude_range.0..=config.altitude_range.1);
+        let weather = WeatherKind::ALL[rng.random_range(0..WeatherKind::ALL.len())];
+        let lighting = LightingCondition::ALL[rng.random_range(0..LightingCondition::ALL.len())];
+        let yaw = rng.random_range(-std::f64::consts::PI..std::f64::consts::PI);
+
+        // Keep the marker comfortably inside the footprint of the camera.
+        let footprint = altitude * 0.4;
+        let offset = Vec2::new(
+            rng.random_range(-footprint..footprint),
+            rng.random_range(-footprint..footprint),
+        );
+        let marker_id = if positive {
+            Some(rng.random_range(0..dictionary.len() as u32))
+        } else {
+            None
+        };
+
+        let mut scene = GroundScene::new();
+        if let Some(id) = marker_id {
+            scene = scene.with_marker(MarkerPlacement::new(id, offset, config.marker_size, yaw));
+        } else if rng.random::<f64>() < 0.5 {
+            // Half of the negatives contain a decoy: a plain bright square
+            // (an id outside the dictionary renders as featureless white).
+            scene = scene.with_marker(MarkerPlacement::new(
+                dictionary.len() as u32 + 10,
+                offset,
+                config.marker_size,
+                yaw,
+            ));
+        }
+
+        let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, altitude), rng.random_range(-0.2..0.2));
+        let frame = renderer.render(&camera, &pose, &scene);
+        let degradation = DegradationConfig::for_conditions(weather, lighting);
+        let degraded = ImageDegrader::new(degradation, config.seed.wrapping_add(i as u64)).apply(&frame);
+
+        let candidates = detector.score_candidates(&degraded);
+        let best_true_score = marker_id.and_then(|id| {
+            candidates
+                .iter()
+                .filter(|c| c.id == id)
+                .map(|c| c.score)
+                .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+        });
+        let best_false_score = candidates
+            .iter()
+            .filter(|c| Some(c.id) != marker_id)
+            .map(|c| c.score)
+            .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))));
+
+        samples.push(TrainingSample {
+            weather,
+            lighting,
+            altitude,
+            marker_id,
+            best_true_score,
+            best_false_score,
+        });
+    }
+
+    let chosen_threshold = select_threshold(&samples, config.target_false_positive_rate);
+    detector.set_acceptance_threshold(chosen_threshold);
+
+    let positives = samples.iter().filter(|s| s.marker_id.is_some()).count().max(1);
+    let true_positive_rate = samples
+        .iter()
+        .filter(|s| s.best_true_score.map(|v| v >= chosen_threshold).unwrap_or(false))
+        .count() as f64
+        / positives as f64;
+    let false_positive_rate = samples
+        .iter()
+        .filter(|s| s.best_false_score.map(|v| v >= chosen_threshold).unwrap_or(false))
+        .count() as f64
+        / samples.len().max(1) as f64;
+
+    Ok((
+        detector,
+        TrainingReport {
+            samples,
+            chosen_threshold,
+            true_positive_rate,
+            false_positive_rate,
+        },
+    ))
+}
+
+/// Picks the lowest threshold whose false-positive rate on the dataset stays
+/// below the target, bounded below so trivially-low thresholds are never
+/// selected.
+fn select_threshold(samples: &[TrainingSample], target_fpr: f64) -> f64 {
+    let mut false_scores: Vec<f64> = samples.iter().filter_map(|s| s.best_false_score).collect();
+    false_scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let floor: f64 = 0.55;
+    if false_scores.is_empty() {
+        return floor.max(0.6);
+    }
+    let allowed = (samples.len() as f64 * target_fpr).floor() as usize;
+    // Keep at most `allowed` false candidates above the threshold.
+    let idx = false_scores.len().saturating_sub(allowed + 1).min(false_scores.len() - 1);
+    let threshold = false_scores[idx] + 1e-3;
+    threshold.max(floor).min(0.95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = TrainingConfig::default();
+        cfg.positive_samples = 0;
+        assert!(matches!(cfg.validate(), Err(VisionError::InvalidConfig { .. })));
+
+        let mut cfg = TrainingConfig::default();
+        cfg.altitude_range = (10.0, 5.0);
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TrainingConfig::default();
+        cfg.target_false_positive_rate = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TrainingConfig::default();
+        cfg.marker_size = 0.0;
+        assert!(cfg.validate().is_err());
+
+        assert!(TrainingConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn calibration_produces_usable_detector() {
+        let cfg = TrainingConfig {
+            positive_samples: 10,
+            negative_samples: 4,
+            altitude_range: (6.0, 12.0),
+            ..TrainingConfig::default()
+        };
+        let (detector, report) = calibrate(MarkerDictionary::standard(), &cfg).unwrap();
+        assert_eq!(report.samples.len(), 14);
+        assert!(report.chosen_threshold >= 0.5 && report.chosen_threshold <= 0.95);
+        assert!(report.true_positive_rate >= 0.5, "tpr {}", report.true_positive_rate);
+        assert!(report.false_positive_rate <= 0.3, "fpr {}", report.false_positive_rate);
+        assert!((detector.config().acceptance_threshold - report.chosen_threshold).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_is_deterministic_for_a_seed() {
+        let cfg = TrainingConfig {
+            positive_samples: 6,
+            negative_samples: 2,
+            ..TrainingConfig::default()
+        };
+        let (_, a) = calibrate(MarkerDictionary::standard(), &cfg).unwrap();
+        let (_, b) = calibrate(MarkerDictionary::standard(), &cfg).unwrap();
+        assert_eq!(a.chosen_threshold, b.chosen_threshold);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn threshold_selection_respects_false_scores() {
+        let samples = vec![
+            TrainingSample {
+                weather: WeatherKind::Clear,
+                lighting: LightingCondition::Normal,
+                altitude: 8.0,
+                marker_id: Some(1),
+                best_true_score: Some(0.9),
+                best_false_score: Some(0.6),
+            },
+            TrainingSample {
+                weather: WeatherKind::Fog,
+                lighting: LightingCondition::Normal,
+                altitude: 8.0,
+                marker_id: None,
+                best_true_score: None,
+                best_false_score: Some(0.65),
+            },
+        ];
+        let t = select_threshold(&samples, 0.0);
+        assert!(t > 0.65);
+        assert!(t <= 0.95);
+    }
+}

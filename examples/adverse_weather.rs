@@ -1,0 +1,98 @@
+//! Adverse weather: how fog, rain, glare and low light affect marker
+//! detection (Table II's concern) and the end-to-end landing.
+//!
+//! ```bash
+//! cargo run --release --example adverse_weather
+//! ```
+
+use mls_landing::compute::{ComputeModel, ComputeProfile};
+use mls_landing::core::{ExecutorConfig, LandingConfig, MissionExecutor, SystemVariant};
+use mls_landing::geom::{Pose, Vec2, Vec3};
+use mls_landing::sim_world::{ScenarioConfig, ScenarioGenerator};
+use mls_landing::vision::{
+    Camera, ClassicalDetector, DegradationConfig, GroundScene, ImageDegrader, LearnedDetector,
+    LightingCondition, MarkerDetector, MarkerDictionary, MarkerPlacement, MarkerRenderer,
+    WeatherKind,
+};
+
+fn detection_sweep() {
+    println!("Detection robustness sweep (marker at 10 m altitude, 1.5 m marker):");
+    println!(
+        "{:<12} {:<14} {:>12} {:>12}",
+        "weather", "lighting", "classical", "learned"
+    );
+    let dictionary = MarkerDictionary::standard();
+    let renderer = MarkerRenderer::new(dictionary.clone());
+    let camera = Camera::downward();
+    let classical = ClassicalDetector::new(dictionary.clone());
+    let learned = LearnedDetector::new(dictionary);
+    let scene = GroundScene::new().with_marker(MarkerPlacement::new(5, Vec2::new(0.4, -0.6), 1.5, 0.3));
+    let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 10.0), 0.0);
+    let frame = renderer.render(&camera, &pose, &scene);
+
+    for weather in WeatherKind::ALL {
+        for lighting in [LightingCondition::Normal, LightingCondition::LowLight] {
+            let config = DegradationConfig::for_conditions(weather, lighting);
+            let degraded = ImageDegrader::new(config, 3).apply(&frame);
+            let hit = |d: &dyn MarkerDetector| {
+                if d.detect(&degraded).iter().any(|det| det.id == 5) {
+                    "detected"
+                } else {
+                    "MISSED"
+                }
+            };
+            println!(
+                "{:<12} {:<14} {:>12} {:>12}",
+                format!("{weather:?}"),
+                format!("{lighting:?}"),
+                hit(&classical),
+                hit(&learned)
+            );
+        }
+    }
+}
+
+fn adverse_mission() -> Result<(), Box<dyn std::error::Error>> {
+    // Find an adverse-weather scenario and fly V3 through it.
+    let scenarios = ScenarioGenerator::new(ScenarioConfig {
+        maps: 2,
+        scenarios_per_map: 6,
+        ..ScenarioConfig::default()
+    })
+    .generate_benchmark(55)?;
+    let scenario = scenarios
+        .iter()
+        .find(|s| s.is_adverse())
+        .expect("half of the benchmark is adverse weather");
+    println!();
+    println!(
+        "Adverse-weather mission: `{}` ({}, GPS degradation {:.2}, wind {:.1} m/s)",
+        scenario.name,
+        scenario.weather.label,
+        scenario.weather.gps_degradation,
+        scenario.weather.nominal_wind_speed()
+    );
+    let compute = ComputeModel::new(ComputeProfile::desktop_sil())?;
+    let executor = MissionExecutor::for_variant(
+        scenario,
+        SystemVariant::MlsV3,
+        LandingConfig::default(),
+        compute,
+        ExecutorConfig::default(),
+        8,
+    )?;
+    let outcome = executor.run();
+    println!(
+        "  result {:?}, landing error {:?} m, false-negative rate {:.1}%, GPS drift {:.2} m",
+        outcome.result,
+        outcome.landing_error.map(|e| (e * 100.0).round() / 100.0),
+        outcome.detection_stats.false_negative_rate() * 100.0,
+        outcome.gps_drift
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    detection_sweep();
+    adverse_mission()
+}

@@ -1,0 +1,67 @@
+//! Quickstart: fly MLS-V3 through one benchmark scenario and print what
+//! happened.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use mls_landing::compute::{ComputeModel, ComputeProfile};
+use mls_landing::core::{ExecutorConfig, LandingConfig, MissionExecutor, SystemVariant};
+use mls_landing::sim_world::{ScenarioConfig, ScenarioGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate one scenario of the paper-style benchmark: a procedural
+    //    map, a weather condition, a GPS landing target and a marker placed
+    //    nearby (plus decoys).
+    let scenarios = ScenarioGenerator::new(ScenarioConfig {
+        maps: 1,
+        scenarios_per_map: 1,
+        ..ScenarioConfig::default()
+    })
+    .generate_benchmark(7)?;
+    let scenario = &scenarios[0];
+    println!("scenario: {}", scenario.name);
+    println!("  weather           : {}", scenario.weather.label);
+    println!("  obstacles         : {}", scenario.map.obstacles.len());
+    println!("  true marker       : {:?}", scenario.true_target());
+    println!("  GPS target (given): {:?}", scenario.gps_target);
+
+    // 2. Assemble the third-generation system (TPH-YOLO surrogate + octree +
+    //    RRT*) and fly it on the SIL desktop compute profile.
+    let compute = ComputeModel::new(ComputeProfile::desktop_sil())?;
+    let executor = MissionExecutor::for_variant(
+        scenario,
+        SystemVariant::MlsV3,
+        LandingConfig::default(),
+        compute,
+        ExecutorConfig::default(),
+        42,
+    )?;
+    let outcome = executor.run();
+
+    // 3. Inspect the outcome.
+    println!();
+    println!("mission result      : {:?}", outcome.result);
+    println!("duration            : {:.1} s", outcome.duration);
+    if let Some(error) = outcome.landing_error {
+        println!("landing error       : {:.2} m from the true marker", error);
+    }
+    if let Some(error) = outcome.mean_detection_error {
+        println!("mean detection error: {:.2} m", error);
+    }
+    println!(
+        "detections          : {} frames processed, false-negative rate {:.1}%",
+        outcome.detection_stats.total_frames,
+        outcome.detection_stats.false_negative_rate() * 100.0
+    );
+    println!(
+        "planning            : {} failures, {} fallbacks, {} landing aborts",
+        outcome.planning_failures, outcome.planning_fallbacks, outcome.landing_aborts
+    );
+    println!(
+        "compute             : mean CPU {:.0}%, peak memory {:.0} MiB",
+        outcome.mean_cpu * 100.0,
+        outcome.peak_memory_mb
+    );
+    Ok(())
+}

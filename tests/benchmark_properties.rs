@@ -1,0 +1,124 @@
+//! Property-based integration tests over the benchmark generator and the
+//! substrates it feeds, using randomly drawn seeds and workloads.
+
+use mls_landing::geom::Vec3;
+use mls_landing::mapping::{CellState, OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap};
+use mls_landing::planning::{Path, Trajectory, TrajectoryConfig};
+use mls_landing::sim_uav::{Ekf, EkfConfig};
+use mls_landing::sim_world::{ScenarioConfig, ScenarioGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every generated benchmark, for any seed, satisfies the structural
+    /// invariants the paper's evaluation relies on.
+    #[test]
+    fn benchmark_invariants_hold_for_any_seed(seed in 0u64..10_000) {
+        let scenarios = ScenarioGenerator::new(ScenarioConfig {
+            maps: 2,
+            scenarios_per_map: 4,
+            ..ScenarioConfig::default()
+        })
+        .generate_benchmark(seed)
+        .unwrap();
+        prop_assert_eq!(scenarios.len(), 8);
+        for s in &scenarios {
+            // A target marker always exists and sits inside the map bounds.
+            let target = s.true_target();
+            prop_assert!(s.map.bounds.contains(target + Vec3::new(0.0, 0.0, 1.0)));
+            // The GPS target is within the configured survey error.
+            prop_assert!(s.gps_target.horizontal_distance(target) <= 5.0 + 1e-9);
+            // Decoys never reuse the target id.
+            for decoy in s.map.decoy_markers() {
+                prop_assert_ne!(decoy.id, s.target_marker_id);
+            }
+            // The take-off column is clear.
+            prop_assert!(!s.map.occupied(Vec3::new(0.0, 0.0, 2.0)));
+            // The marker pad itself has landing clearance.
+            prop_assert!(s.map.has_clearance(target + Vec3::new(0.0, 0.0, 0.5), 1.0));
+        }
+    }
+
+    /// Inserting any cloud into both map backends never makes the octree
+    /// *miss* an endpoint the dense grid recorded (they may disagree about
+    /// free space carving, never about hits), and memory stays bounded.
+    #[test]
+    fn grid_and_octree_agree_on_observed_endpoints(
+        points in prop::collection::vec((2.0f64..18.0, -10.0f64..10.0, 0.5f64..9.5), 1..60)
+    ) {
+        let mut grid = VoxelGridMap::new(VoxelGridConfig {
+            resolution: 0.5,
+            half_extent_xy: 24.0,
+            height: 12.0,
+            carve_free_space: true,
+            max_range: 30.0,
+        })
+        .unwrap();
+        let mut tree = OctreeMap::new(OctreeConfig {
+            resolution: 0.5,
+            half_extent: 32.0,
+            ..OctreeConfig::default()
+        })
+        .unwrap();
+        let origin = Vec3::new(0.0, 0.0, 5.0);
+        let cloud: Vec<Vec3> = points.iter().map(|(x, y, z)| Vec3::new(*x, *y, *z)).collect();
+        // Repeat the observation so the probabilistic octree saturates.
+        for _ in 0..3 {
+            grid.insert_cloud(origin, &cloud);
+            tree.insert_cloud(origin, &cloud);
+        }
+        for p in &cloud {
+            if grid.state_at(*p) == CellState::Occupied {
+                prop_assert_eq!(
+                    tree.state_at(*p),
+                    CellState::Occupied,
+                    "octree lost an endpoint at {:?}",
+                    p
+                );
+            }
+        }
+        prop_assert!(tree.memory_bytes() < grid.memory_bytes());
+    }
+
+    /// Trajectories preserve the geometric path: same endpoints, same length,
+    /// monotone progress, bounded speed.
+    #[test]
+    fn trajectories_preserve_their_path(
+        waypoints in prop::collection::vec((-30.0f64..30.0, -30.0f64..30.0, 2.0f64..15.0), 2..8)
+    ) {
+        let path = Path::new(waypoints.iter().map(|(x, y, z)| Vec3::new(*x, *y, *z)).collect());
+        prop_assume!(path.length() > 1.0);
+        let config = TrajectoryConfig::default();
+        let trajectory = Trajectory::from_path(&path, config).unwrap();
+        prop_assert!((trajectory.length() - path.length()).abs() < 1e-6);
+        prop_assert!(trajectory.sample(0.0).position.distance(path.waypoints[0]) < 1e-9);
+        prop_assert!(trajectory.sample(trajectory.duration()).position.distance(path.goal()) < 1e-9);
+        let mut previous_arc = -1.0;
+        let mut t = 0.0;
+        while t <= trajectory.duration() {
+            let sample = trajectory.sample(t);
+            prop_assert!(sample.arc_length >= previous_arc - 1e-9);
+            prop_assert!(sample.velocity.norm() <= config.cruise_speed + 1e-6);
+            previous_arc = sample.arc_length;
+            t += 0.25;
+        }
+    }
+
+    /// The EKF never diverges when fed consistent measurements of a
+    /// stationary vehicle, whatever the measurement noise draw.
+    #[test]
+    fn ekf_remains_bounded_for_stationary_truth(
+        offsets in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 50..150)
+    ) {
+        let truth = Vec3::new(3.0, -2.0, 10.0);
+        let mut ekf = Ekf::new(EkfConfig::default(), Vec3::ZERO);
+        for (ox, oy, oz) in &offsets {
+            ekf.predict(Vec3::ZERO, 0.02);
+            ekf.update_gps(truth + Vec3::new(*ox, *oy, *oz) * 0.3, Vec3::ZERO, 0.9);
+        }
+        prop_assert!(ekf.position().distance(truth) < 2.0);
+        prop_assert!(ekf.velocity().norm() < 1.0);
+        prop_assert!(ekf.position_sigma().norm() < 3.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Integration tests of the perception → mapping → planning and
+//! camera → detection → decision pipelines across crate boundaries, without
+//! running whole missions.
+
+use mls_landing::core::{
+    DecisionInputs, DecisionModule, DecisionState, DetectionModule, Directive, LandingConfig,
+    MappingBackend, MappingModule,
+};
+use mls_landing::geom::{Pose, Vec3};
+use mls_landing::mapping::{CellState, OccupancyQuery};
+use mls_landing::planning::{PathPlanner, RrtStarPlanner};
+use mls_landing::sim_uav::{DepthCamera, DepthCameraConfig, RgbCamera, RgbCameraConfig};
+use mls_landing::sim_world::{MapStyle, MarkerSite, Obstacle, Weather, WorldMap};
+use mls_landing::vision::{LearnedDetector, MarkerDictionary, MarkerObservation};
+
+/// Depth capture → octree mapping → RRT* planning must route around a
+/// building that only exists in the sensor data.
+#[test]
+fn perception_to_planning_avoids_a_sensed_building() {
+    let world = WorldMap::empty("pipeline", MapStyle::Urban, 80.0)
+        .with_obstacle(Obstacle::building(Vec3::new(12.0, 0.0, 0.0), 10.0, 14.0, 16.0));
+    let mut mapping = MappingModule::new(MappingBackend::GlobalOctree).unwrap();
+    let mut depth = DepthCamera::new(DepthCameraConfig::default(), 3);
+
+    // Observe the building from several poses along the approach.
+    for x in [-6.0, -3.0, 0.0, 2.0] {
+        let pose = Pose::from_position_yaw(Vec3::new(x, 0.0, 6.0), 0.0);
+        for _ in 0..3 {
+            let cloud = depth.capture(&world, &pose, &pose);
+            mapping.integrate(pose.position, &cloud, 0.0);
+        }
+    }
+    // The map must have learned the front face of the building.
+    assert_eq!(
+        mapping.as_query().state_at(Vec3::new(7.2, 0.0, 4.0)),
+        CellState::Occupied
+    );
+
+    // Planning through the mapped world must route around or over it.
+    let mut planner = RrtStarPlanner::new();
+    let outcome = planner
+        .plan(mapping.as_query(), Vec3::new(0.0, 0.0, 6.0), Vec3::new(24.0, 0.0, 6.0))
+        .expect("a route exists around the building");
+    for pair in outcome.path.waypoints.windows(2) {
+        assert!(
+            !world.segment_occupied(pair[0], pair[1], 0.25),
+            "planned segment {pair:?} passes through the real building"
+        );
+    }
+}
+
+/// Camera render → learned detection → world-frame observation → decision
+/// validation must latch onto the true marker, not the decoy.
+#[test]
+fn detection_to_decision_validates_the_true_marker() {
+    let dictionary = MarkerDictionary::standard();
+    let target_id = 9;
+    let world = WorldMap::empty("markers", MapStyle::Rural, 80.0)
+        .with_marker(MarkerSite::target(target_id, Vec3::new(30.0, 5.0, 0.0), 1.5, 0.4))
+        .with_marker(MarkerSite::decoy(23, Vec3::new(36.0, -2.0, 0.0), 1.5, 0.0));
+
+    let mut camera = RgbCamera::new(dictionary.clone(), RgbCameraConfig::default(), 5);
+    let mut detection = DetectionModule::new(Box::new(LearnedDetector::new(dictionary)), target_id, 0.3);
+    let mut decision = DecisionModule::new(LandingConfig::default(), target_id, Vec3::new(30.0, 5.0, 0.0));
+    let mapping = MappingModule::new(MappingBackend::GlobalOctree).unwrap();
+
+    // Hover over the target at validation altitude and feed frames through
+    // the full pipeline.
+    let pose = Pose::from_position_yaw(Vec3::new(30.0, 5.0, 9.0), 0.2);
+    let mut time = 0.0;
+    let mut state_reached_landing = false;
+    for _ in 0..(LandingConfig::default().validation_frames + 4) {
+        time += 0.5;
+        let frame = camera.capture(&world, &Weather::clear(), &pose, 0.0);
+        let observations: Vec<MarkerObservation> =
+            detection.process_frame(camera.camera(), &frame, &pose, 0.0, time, true);
+        let inputs = DecisionInputs {
+            time,
+            position: pose.position,
+            observations: &observations,
+            frames_processed: 1,
+            landed: false,
+            ground_z: 0.0,
+        };
+        let directive = decision.update(&inputs, mapping.as_query());
+        match decision.state() {
+            DecisionState::Landing | DecisionState::FinalDescent => {
+                state_reached_landing = true;
+                break;
+            }
+            DecisionState::Search => assert!(matches!(directive, Directive::FlyTo { .. })),
+            DecisionState::Validation => assert_eq!(directive, Directive::Hover),
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+    assert!(state_reached_landing, "validation should succeed over the true marker");
+    let validated = decision.validated_target().expect("target validated");
+    assert!(
+        validated.horizontal_distance(Vec3::new(30.0, 5.0, 0.0)) < 1.0,
+        "validated position {validated:?} should match the true marker, not the decoy"
+    );
+    assert!(detection.stats().false_negative_rate() < 0.5);
+}
+
+/// The V2 local grid forgets obstacles the V3 octree remembers, across the
+/// real sensing pipeline (not just synthetic clouds).
+#[test]
+fn local_grid_forgets_what_the_octree_remembers_through_real_sensing() {
+    let world = WorldMap::empty("forget", MapStyle::Suburban, 120.0)
+        .with_obstacle(Obstacle::building(Vec3::new(10.0, 0.0, 0.0), 6.0, 6.0, 10.0));
+    let mut grid = MappingModule::new(MappingBackend::LocalGrid).unwrap();
+    let mut octree = MappingModule::new(MappingBackend::GlobalOctree).unwrap();
+    let mut depth = DepthCamera::new(DepthCameraConfig::default(), 8);
+
+    let observe_pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 5.0), 0.0);
+    for _ in 0..4 {
+        let cloud = depth.capture(&world, &observe_pose, &observe_pose);
+        grid.integrate(observe_pose.position, &cloud, 0.0);
+        octree.integrate(observe_pose.position, &cloud, 0.0);
+    }
+    let wall_probe = Vec3::new(7.2, 0.0, 4.0);
+    assert_eq!(grid.as_query().state_at(wall_probe), CellState::Occupied);
+    assert_eq!(octree.as_query().state_at(wall_probe), CellState::Occupied);
+
+    // Fly 60 m away looking the other way; the grid recenters and forgets.
+    let far_pose = Pose::from_position_yaw(Vec3::new(60.0, 0.0, 5.0), std::f64::consts::PI);
+    for _ in 0..4 {
+        let cloud = depth.capture(&world, &far_pose, &far_pose);
+        grid.integrate(far_pose.position, &cloud, 0.0);
+        octree.integrate(far_pose.position, &cloud, 0.0);
+    }
+    assert_eq!(grid.as_query().state_at(wall_probe), CellState::Unknown);
+    assert_eq!(octree.as_query().state_at(wall_probe), CellState::Occupied);
+}

