@@ -15,11 +15,13 @@ use mls_vision::{
 fn rendered_frame(altitude: f64, degraded: bool) -> mls_vision::GrayImage {
     let dictionary = MarkerDictionary::standard();
     let renderer = MarkerRenderer::new(dictionary);
-    let scene = GroundScene::new().with_marker(MarkerPlacement::new(7, Vec2::new(0.5, -0.3), 1.5, 0.4));
+    let scene =
+        GroundScene::new().with_marker(MarkerPlacement::new(7, Vec2::new(0.5, -0.3), 1.5, 0.4));
     let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, altitude), 0.1);
     let frame = renderer.render(&Camera::downward(), &pose, &scene);
     if degraded {
-        let config = DegradationConfig::for_conditions(WeatherKind::Fog, LightingCondition::LowLight);
+        let config =
+            DegradationConfig::for_conditions(WeatherKind::Fog, LightingCondition::LowLight);
         ImageDegrader::new(config, 5).apply(&frame)
     } else {
         frame

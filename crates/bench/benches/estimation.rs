@@ -37,9 +37,19 @@ fn bench_sensors(c: &mut Criterion) {
 
 fn bench_depth_capture(c: &mut Criterion) {
     let world = WorldMap::empty("bench", MapStyle::Urban, 80.0)
-        .with_obstacle(Obstacle::building(Vec3::new(12.0, 0.0, 0.0), 8.0, 8.0, 15.0))
+        .with_obstacle(Obstacle::building(
+            Vec3::new(12.0, 0.0, 0.0),
+            8.0,
+            8.0,
+            15.0,
+        ))
         .with_obstacle(Obstacle::tree(Vec3::new(8.0, -6.0, 0.0), 5.0, 3.0))
-        .with_obstacle(Obstacle::building(Vec3::new(20.0, 8.0, 0.0), 10.0, 6.0, 20.0));
+        .with_obstacle(Obstacle::building(
+            Vec3::new(20.0, 8.0, 0.0),
+            10.0,
+            6.0,
+            20.0,
+        ));
     let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 8.0), 0.0);
     c.bench_function("depth_camera_capture_24x18", |b| {
         let mut camera = DepthCamera::new(DepthCameraConfig::default(), 1);

@@ -1,0 +1,53 @@
+use mls_geom::Vec3;
+use mls_sim_uav::{Uav, UavConfig};
+use mls_sim_world::{MapStyle, MarkerSite, WorldMap};
+use mls_vision::MarkerDictionary;
+
+fn main() {
+    let world = WorldMap::empty("flat", MapStyle::Rural, 100.0).with_marker(MarkerSite::target(
+        2,
+        Vec3::new(10.0, 5.0, 0.0),
+        1.5,
+        0.0,
+    ));
+    let mut uav = Uav::new(
+        UavConfig::default(),
+        mls_sim_world::Weather::clear(),
+        Vec3::ZERO,
+        MarkerDictionary::standard(),
+        42,
+    );
+    uav.autopilot_mut().arm_and_takeoff(10.0);
+    for _ in 0..(20.0 / uav.physics_dt()) as usize {
+        uav.step(&world);
+    }
+    println!(
+        "after takeoff z={:.2} mode={:?}",
+        uav.true_state().position.z,
+        uav.autopilot().mode()
+    );
+    uav.autopilot_mut().goto(Vec3::new(10.0, 5.0, 10.0), 0.0);
+    for _ in 0..(25.0 / uav.physics_dt()) as usize {
+        uav.step(&world);
+    }
+    println!(
+        "after goto pos={:?} mode={:?}",
+        uav.true_state().position,
+        uav.autopilot().mode()
+    );
+    uav.autopilot_mut().land();
+    for i in 0..(40.0 / uav.physics_dt()) as usize {
+        uav.step(&world);
+        if i % 100 == 0 {
+            println!(
+                "t={:.1} z={:.3} vz={:.3} landed={} mode={:?} est_z={:.3}",
+                uav.time(),
+                uav.true_state().position.z,
+                uav.true_state().velocity.z,
+                uav.true_state().landed,
+                uav.autopilot().mode(),
+                uav.estimated_pose().position.z
+            );
+        }
+    }
+}

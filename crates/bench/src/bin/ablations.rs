@@ -12,7 +12,7 @@ use mls_core::{ExecutorConfig, LandingConfig, MissionResult, SystemVariant};
 use mls_geom::Vec3;
 use mls_mapping::{OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap};
 use mls_planning::{PathPlanner, RrtStarConfig, RrtStarPlanner};
-use mls_sim_uav::{GpsConfig, GpsSensor, ImuConfig, UavConfig, Uav};
+use mls_sim_uav::{GpsConfig, GpsSensor, ImuConfig, Uav, UavConfig};
 use mls_sim_world::Weather;
 use mls_vision::MarkerDictionary;
 
@@ -41,7 +41,14 @@ fn ablation_safety_availability() {
         ("default", LandingConfig::default()),
         ("safety-biased", LandingConfig::safety_biased()),
     ] {
-        let outcomes = run_missions(&scenarios, SystemVariant::MlsV3, &profile, &config, &executor, &options);
+        let outcomes = run_missions(
+            &scenarios,
+            SystemVariant::MlsV3,
+            &profile,
+            &config,
+            &executor,
+            &options,
+        );
         let rate = |r: MissionResult| {
             outcomes.iter().filter(|o| o.result == r).count() as f64 / outcomes.len() as f64
         };
@@ -85,7 +92,11 @@ fn ablation_map_memory() {
         let mut points = Vec::new();
         for i in 0..400 {
             let a = i as f64 * 0.02;
-            points.push(Vec3::new(15.0 + (a * 3.0).sin() * 4.0, a * 10.0 - 4.0, 1.0 + (i % 12) as f64 * 0.5));
+            points.push(Vec3::new(
+                15.0 + (a * 3.0).sin() * 4.0,
+                a * 10.0 - 4.0,
+                1.0 + (i % 12) as f64 * 0.5,
+            ));
         }
         grid.insert_cloud(origin, &points);
         tree.insert_cloud(origin, &points);
@@ -123,7 +134,10 @@ fn ablation_rrt_budget() {
     }
     let start = Vec3::new(0.0, 0.0, 5.0);
     let goal = Vec3::new(28.0, 0.0, 5.0);
-    println!("{:>12} {:>10} {:>14} {:>18}", "iterations", "found", "path length", "sharpest corner");
+    println!(
+        "{:>12} {:>10} {:>14} {:>18}",
+        "iterations", "found", "path length", "sharpest corner"
+    );
     for budget in [200usize, 600, 1500, 4000] {
         let mut planner = RrtStarPlanner::with_config(RrtStarConfig {
             max_iterations: budget,
@@ -149,18 +163,41 @@ fn ablation_rrt_budget() {
 fn ablation_sensors() {
     print_header("Ablation 4 — Sensor upgrades: Pixhawk 2.4.8 vs Cuav X7+, RTK GNSS");
     let world = mls_sim_world::WorldMap::empty("ablation", mls_sim_world::MapStyle::Rural, 100.0);
-    println!("{:<44} {:>22}", "Configuration", "EKF error after 60 s hover");
+    println!(
+        "{:<44} {:>22}",
+        "Configuration", "EKF error after 60 s hover"
+    );
     for (label, imu, rtk) in [
-        ("Pixhawk 2.4.8 IMU, standard GNSS (rain)", ImuConfig::pixhawk_2_4_8(), false),
-        ("Cuav X7+ IMU, standard GNSS (rain)", ImuConfig::cuav_x7_pro(), false),
-        ("Cuav X7+ IMU, RTK GNSS (rain)", ImuConfig::cuav_x7_pro(), true),
+        (
+            "Pixhawk 2.4.8 IMU, standard GNSS (rain)",
+            ImuConfig::pixhawk_2_4_8(),
+            false,
+        ),
+        (
+            "Cuav X7+ IMU, standard GNSS (rain)",
+            ImuConfig::cuav_x7_pro(),
+            false,
+        ),
+        (
+            "Cuav X7+ IMU, RTK GNSS (rain)",
+            ImuConfig::cuav_x7_pro(),
+            true,
+        ),
     ] {
-        let mut config = UavConfig::default();
-        config.imu = imu;
+        let mut config = UavConfig {
+            imu,
+            ..UavConfig::default()
+        };
         if rtk {
             config.gps_override = Some(GpsConfig::from_weather(&Weather::rain()).with_rtk());
         }
-        let mut uav = Uav::new(config, Weather::rain(), Vec3::ZERO, MarkerDictionary::standard(), 17);
+        let mut uav = Uav::new(
+            config,
+            Weather::rain(),
+            Vec3::ZERO,
+            MarkerDictionary::standard(),
+            17,
+        );
         uav.autopilot_mut().arm_and_takeoff(10.0);
         for _ in 0..(60.0 / uav.physics_dt()) as usize {
             uav.step(&world);
@@ -190,12 +227,27 @@ fn ablation_detection_rate() {
     let scenarios = generate_scenarios(&options);
     let executor = ExecutorConfig::default();
     let profile = ComputeProfile::jetson_nano_maxn();
-    println!("{:>16} {:>10} {:>12} {:>12}", "detection rate", "success", "collision", "mean CPU");
+    println!(
+        "{:>16} {:>10} {:>12} {:>12}",
+        "detection rate", "success", "collision", "mean CPU"
+    );
     for rate in [0.5, 1.0, 2.0, 4.0] {
-        let mut landing = LandingConfig::default();
-        landing.detection_rate_hz = rate;
-        let outcomes = run_missions(&scenarios, SystemVariant::MlsV3, &profile, &landing, &executor, &options);
-        let success = outcomes.iter().filter(|o| o.result == MissionResult::Success).count() as f64
+        let landing = LandingConfig {
+            detection_rate_hz: rate,
+            ..LandingConfig::default()
+        };
+        let outcomes = run_missions(
+            &scenarios,
+            SystemVariant::MlsV3,
+            &profile,
+            &landing,
+            &executor,
+            &options,
+        );
+        let success = outcomes
+            .iter()
+            .filter(|o| o.result == MissionResult::Success)
+            .count() as f64
             / outcomes.len() as f64;
         let collision = outcomes
             .iter()

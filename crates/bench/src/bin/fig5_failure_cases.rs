@@ -10,8 +10,12 @@
 
 use mls_bench::print_header;
 use mls_geom::{Pose, Vec3};
-use mls_mapping::{CellState, OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap};
-use mls_planning::{AStarConfig, AStarPlanner, PathPlanner, RrtStarPlanner, Trajectory, TrajectoryConfig, Path};
+use mls_mapping::{
+    CellState, OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap,
+};
+use mls_planning::{
+    AStarConfig, AStarPlanner, Path, PathPlanner, RrtStarPlanner, Trajectory, TrajectoryConfig,
+};
 use mls_sim_uav::{
     AirframeConfig, ControlCommand, DepthCamera, DepthCameraConfig, GpsSensor, QuadrotorDynamics,
     VehicleState,
@@ -57,10 +61,15 @@ fn case_a_planning_failure() {
         ..AStarConfig::default()
     });
     match v2.plan(&grid, start, goal) {
-        Ok(outcome) => println!("  bounded A*: unexpectedly found a path of {:.1} m", outcome.path.length()),
+        Ok(outcome) => println!(
+            "  bounded A*: unexpectedly found a path of {:.1} m",
+            outcome.path.length()
+        ),
         Err(err) => println!("  bounded A* (search pool 2000): FAILED — {err}"),
     }
-    println!("  MLS-V2 behaviour on failure: fall back to the straight line (crosses the building).");
+    println!(
+        "  MLS-V2 behaviour on failure: fall back to the straight line (crosses the building)."
+    );
 
     let mut v3 = RrtStarPlanner::new();
     match v3.plan(&octree, start, goal) {
@@ -87,7 +96,11 @@ fn case_b_turning_collision() {
         "  commanded path: L-shaped, corner angle {:.0}°",
         corner_path.sharpest_corner().to_degrees()
     );
-    for (label, cruise) in [("cautious (2 m/s)", 2.0), ("nominal (4 m/s)", 4.0), ("aggressive (6 m/s)", 6.0)] {
+    for (label, cruise) in [
+        ("cautious (2 m/s)", 2.0),
+        ("nominal (4 m/s)", 4.0),
+        ("aggressive (6 m/s)", 6.0),
+    ] {
         let trajectory = Trajectory::from_path(
             &corner_path,
             TrajectoryConfig {
@@ -97,7 +110,8 @@ fn case_b_turning_collision() {
             },
         )
         .unwrap();
-        let mut dynamics = QuadrotorDynamics::new(AirframeConfig::default(), Vec3::new(0.0, 0.0, 6.0));
+        let mut dynamics =
+            QuadrotorDynamics::new(AirframeConfig::default(), Vec3::new(0.0, 0.0, 6.0));
         let mut state = VehicleState::grounded(Vec3::new(0.0, 0.0, 6.0));
         state.landed = false;
         dynamics.set_state(state);
@@ -133,8 +147,12 @@ fn case_b_turning_collision() {
 /// estimate, painting the building in the wrong place.
 fn case_c_erroneous_pointclouds() {
     println!("\n(c) Erroneous point clouds under pose-estimate drift");
-    let world = WorldMap::empty("case-c", MapStyle::Urban, 80.0)
-        .with_obstacle(Obstacle::building(Vec3::new(12.0, 0.0, 0.0), 8.0, 8.0, 12.0));
+    let world = WorldMap::empty("case-c", MapStyle::Urban, 80.0).with_obstacle(Obstacle::building(
+        Vec3::new(12.0, 0.0, 0.0),
+        8.0,
+        8.0,
+        12.0,
+    ));
     let true_pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 6.0), 0.0);
     for drift in [0.0, 1.0, 2.5, 4.0] {
         let est_pose = Pose::from_position_yaw(Vec3::new(0.0, drift, 6.0), 0.0);
@@ -172,7 +190,11 @@ fn case_d_gps_drift() {
     println!("\n(d) GPS drift during poor weather");
     let mut state = VehicleState::grounded(Vec3::new(0.0, 0.0, 10.0));
     state.landed = false;
-    for (label, weather) in [("clear", Weather::clear()), ("rain", Weather::rain()), ("fog", Weather::fog())] {
+    for (label, weather) in [
+        ("clear", Weather::clear()),
+        ("rain", Weather::rain()),
+        ("fog", Weather::fog()),
+    ] {
         let mut gps = GpsSensor::from_weather(&weather, 21);
         let mut worst_hdop: f64 = 0.0;
         let mut drift_at = Vec::new();

@@ -66,12 +66,18 @@ fn main() {
     let mut mean_cpu = Vec::new();
     for (label, profile) in [
         ("HIL (jetson-nano-maxn)", ComputeProfile::jetson_nano_maxn()),
-        ("Real-world (jetson-nano-realworld)", ComputeProfile::jetson_nano_realworld()),
+        (
+            "Real-world (jetson-nano-realworld)",
+            ComputeProfile::jetson_nano_realworld(),
+        ),
     ] {
         let (outcome, model) = run_trace(profile, 5);
         let cpu = per_second_cpu(&model);
         println!();
-        println!("{label} — scenario `{}`, result {:?}", outcome.scenario_name, outcome.result);
+        println!(
+            "{label} — scenario `{}`, result {:?}",
+            outcome.scenario_name, outcome.result
+        );
         println!("  CPU trace ({} s):", cpu.len());
         println!("  {}", sparkline(&cpu));
         println!(

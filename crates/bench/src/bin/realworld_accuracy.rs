@@ -10,7 +10,9 @@
 //! * **Real-world** — Jetson Nano with the live camera pipeline, plus field
 //!   conditions: degraded GNSS geometry and gusty wind (the §V-C flights).
 
-use mls_bench::{generate_scenarios, percent, print_comparison, print_header, run_missions, HarnessOptions};
+use mls_bench::{
+    generate_scenarios, percent, print_comparison, print_header, run_missions, HarnessOptions,
+};
 use mls_compute::ComputeProfile;
 use mls_core::{ExecutorConfig, LandingConfig, MissionOutcome, SystemVariant};
 use mls_geom::Vec3;
@@ -55,7 +57,11 @@ fn main() {
 
     let cases = [
         ("SIL (desktop)", &scenarios, ComputeProfile::desktop_sil()),
-        ("HIL (Jetson Nano)", &scenarios, ComputeProfile::jetson_nano_maxn()),
+        (
+            "HIL (Jetson Nano)",
+            &scenarios,
+            ComputeProfile::jetson_nano_maxn(),
+        ),
         (
             "Real-world (Jetson + field weather)",
             &field_scenarios,
@@ -91,11 +97,23 @@ fn main() {
     }
 
     println!();
-    print_comparison("SIL/HIL mean landing deviation", "~0.25 m", &format!("{:.2} m", means[0]));
-    print_comparison("Real-world mean landing deviation", "~0.60 m", &format!("{:.2} m", means[2]));
+    print_comparison(
+        "SIL/HIL mean landing deviation",
+        "~0.25 m",
+        &format!("{:.2} m", means[0]),
+    );
+    print_comparison(
+        "Real-world mean landing deviation",
+        "~0.60 m",
+        &format!("{:.2} m", means[2]),
+    );
     println!();
     println!(
         "Expected shape: real-world deviation exceeds SIL/HIL deviation. Measured: {}",
-        if means[2] > means[0] { "reproduced" } else { "check the table above" }
+        if means[2] > means[0] {
+            "reproduced"
+        } else {
+            "check the table above"
+        }
     );
 }

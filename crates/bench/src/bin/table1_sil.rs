@@ -5,14 +5,19 @@
 //! repetitions) on the desktop compute profile, and the landing outcomes are
 //! bucketed into success / collision failure / poor-landing failure.
 //!
+//! Runs on the `mls-campaign` engine: the benchmark is expressed as a
+//! baseline-only [`CampaignSpec`] (three variants × one profile × no fault)
+//! and flown by the sharded [`CampaignRunner`].
+//!
 //! Paper values (Table I):
 //! MLS-V1 24.67% / 71.33% / 4.00%,
 //! MLS-V2 42.00% / 48.67% / 9.34%,
 //! MLS-V3 84.00% / 3.33% / 12.67%.
 
-use mls_bench::{generate_scenarios, percent, print_comparison, print_header, run_and_summarise, HarnessOptions};
+use mls_bench::{percent, print_comparison, print_header, HarnessOptions};
+use mls_campaign::{CampaignRunner, CampaignSpec, CellReport};
 use mls_compute::ComputeProfile;
-use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+use mls_core::SystemVariant;
 
 fn main() {
     let options = HarnessOptions::from_env();
@@ -26,10 +31,19 @@ fn main() {
         options.threads
     );
 
-    let scenarios = generate_scenarios(&options);
-    let profile = ComputeProfile::desktop_sil();
-    let landing = LandingConfig::default();
-    let executor = ExecutorConfig::default();
+    let spec = CampaignSpec {
+        name: "table1-sil".to_string(),
+        seed: options.seed,
+        maps: options.maps,
+        scenarios_per_map: options.scenarios_per_map,
+        repeats: options.repeats,
+        variants: SystemVariant::ALL.to_vec(),
+        profiles: vec![ComputeProfile::desktop_sil()],
+        ..CampaignSpec::default()
+    };
+    let report = CampaignRunner::new(options.threads)
+        .run(&spec)
+        .expect("the Table I campaign specification is valid");
 
     let paper_rows = [
         (SystemVariant::MlsV1, (24.67, 71.33, 4.00)),
@@ -42,43 +56,41 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>12} {:>14} {:>14}",
         "System", "Success", "Collision", "PoorLanding", "Landing err", "Detection err"
     );
-    let mut summaries = Vec::new();
+    let mut cells: Vec<&CellReport> = Vec::new();
     for (variant, paper) in paper_rows {
-        let (summary, outcomes) =
-            run_and_summarise(&scenarios, variant, &profile, &landing, &executor, &options);
+        let cell = report
+            .cell(variant, "desktop-sil", None)
+            .expect("the campaign grid contains every variant's baseline cell");
         println!(
             "{:<8} {:>12} {:>12} {:>12} {:>13.2}m {:>13.2}m",
             variant.label(),
-            percent(summary.success_rate),
-            percent(summary.collision_rate),
-            percent(summary.poor_landing_rate),
-            summary.mean_landing_error.unwrap_or(f64::NAN),
-            summary.mean_detection_error.unwrap_or(f64::NAN),
+            percent(cell.success_rate),
+            percent(cell.collision_rate),
+            percent(cell.poor_landing_rate),
+            cell.landing_error.mean.unwrap_or(f64::NAN),
+            cell.detection_error.mean.unwrap_or(f64::NAN),
         );
         print_comparison(
             &format!("{} successful landing rate", variant.label()),
             &format!("{:.2}%", paper.0),
-            &percent(summary.success_rate),
+            &percent(cell.success_rate),
         );
         print_comparison(
             &format!("{} failure rate due to collision", variant.label()),
             &format!("{:.2}%", paper.1),
-            &percent(summary.collision_rate),
+            &percent(cell.collision_rate),
         );
         print_comparison(
             &format!("{} failure rate due to poor landing", variant.label()),
             &format!("{:.2}%", paper.2),
-            &percent(summary.poor_landing_rate),
+            &percent(cell.poor_landing_rate),
         );
-        let _ = outcomes;
-        summaries.push(summary);
+        cells.push(cell);
     }
 
     println!();
     println!("Shape checks (the reproduction targets ordering, not absolute numbers):");
-    let v1 = &summaries[0];
-    let v2 = &summaries[1];
-    let v3 = &summaries[2];
+    let (v1, v2, v3) = (cells[0], cells[1], cells[2]);
     println!(
         "  success ordering V1 < V2 < V3:      {}",
         v1.success_rate < v2.success_rate && v2.success_rate < v3.success_rate

@@ -9,7 +9,9 @@
 //! 2. the in-mission rates pooled from a (reduced) benchmark run of each
 //!    system variant.
 
-use mls_bench::{generate_scenarios, percent, print_comparison, print_header, run_and_summarise, HarnessOptions};
+use mls_bench::{
+    generate_scenarios, percent, print_comparison, print_header, run_and_summarise, HarnessOptions,
+};
 use mls_compute::ComputeProfile;
 use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
 use mls_geom::{Pose, Vec2, Vec3};
@@ -27,7 +29,11 @@ fn standalone_false_negative_rate(detector: &dyn MarkerDetector, seed: u64) -> f
     let mut misses = 0usize;
     let mut frames = 0usize;
     let altitudes = [6.0, 8.0, 10.0, 12.0, 14.0];
-    let offsets = [Vec2::new(0.0, 0.0), Vec2::new(1.5, -1.0), Vec2::new(-2.0, 1.5)];
+    let offsets = [
+        Vec2::new(0.0, 0.0),
+        Vec2::new(1.5, -1.0),
+        Vec2::new(-2.0, 1.5),
+    ];
     for (wi, weather) in WeatherKind::ALL.iter().enumerate() {
         for (li, lighting) in LightingCondition::ALL.iter().enumerate() {
             for (ai, altitude) in altitudes.iter().enumerate() {
@@ -61,8 +67,14 @@ fn main() {
     println!("Standalone condition sweep (5 weather x 4 lighting x 5 altitudes x 3 offsets):");
     let classical_fnr = standalone_false_negative_rate(&classical, 11);
     let learned_fnr = standalone_false_negative_rate(&learned, 11);
-    println!("  OpenCV-style classical pipeline : {}", percent(classical_fnr));
-    println!("  TPH-YOLO surrogate              : {}", percent(learned_fnr));
+    println!(
+        "  OpenCV-style classical pipeline : {}",
+        percent(classical_fnr)
+    );
+    println!(
+        "  TPH-YOLO surrogate              : {}",
+        percent(learned_fnr)
+    );
     println!(
         "  learned detector more robust    : {}",
         learned_fnr < classical_fnr

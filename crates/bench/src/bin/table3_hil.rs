@@ -7,13 +7,14 @@
 //! row of the paper is 72.00% / 14.00% / 6.00% (the remaining 8% of runs end
 //! in other aborts).
 //!
-//! This harness flies the same benchmark as Table I but on the
-//! `jetson_nano_maxn` compute profile, whose contention model inflates
-//! planning latency, and compares the resulting rates plus resource usage.
+//! Runs on the `mls-campaign` engine as a two-cell campaign — MLS-V3 on the
+//! SIL desktop and on `jetson_nano_maxn`, whose contention model inflates
+//! planning latency — and compares the resulting rates plus resource usage.
 
-use mls_bench::{generate_scenarios, percent, print_comparison, print_header, run_and_summarise, HarnessOptions};
+use mls_bench::{percent, print_comparison, print_header, HarnessOptions};
+use mls_campaign::{CampaignRunner, CampaignSpec};
 use mls_compute::ComputeProfile;
-use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+use mls_core::SystemVariant;
 
 fn main() {
     let options = HarnessOptions::from_env();
@@ -24,55 +25,69 @@ fn main() {
         options.threads
     );
 
-    let scenarios = generate_scenarios(&options);
-    let landing = LandingConfig::default();
-    let executor = ExecutorConfig::default();
-
-    // Reference: the same system on the SIL desktop profile.
-    let (sil, _) = run_and_summarise(
-        &scenarios,
-        SystemVariant::MlsV3,
-        &ComputeProfile::desktop_sil(),
-        &landing,
-        &executor,
-        &options,
-    );
-    let (hil, hil_outcomes) = run_and_summarise(
-        &scenarios,
-        SystemVariant::MlsV3,
-        &ComputeProfile::jetson_nano_maxn(),
-        &landing,
-        &executor,
-        &options,
-    );
+    let spec = CampaignSpec {
+        name: "table3-hil".to_string(),
+        seed: options.seed,
+        maps: options.maps,
+        scenarios_per_map: options.scenarios_per_map,
+        repeats: options.repeats,
+        variants: vec![SystemVariant::MlsV3],
+        profiles: vec![
+            ComputeProfile::desktop_sil(),
+            ComputeProfile::jetson_nano_maxn(),
+        ],
+        ..CampaignSpec::default()
+    };
+    let report = CampaignRunner::new(options.threads)
+        .run(&spec)
+        .expect("the Table III campaign specification is valid");
+    let sil = report
+        .cell(SystemVariant::MlsV3, "desktop-sil", None)
+        .expect("the grid contains the SIL cell");
+    let hil = report
+        .cell(SystemVariant::MlsV3, "jetson-nano-maxn", None)
+        .expect("the grid contains the HIL cell");
 
     println!();
     println!(
         "{:<14} {:>12} {:>12} {:>12} {:>10} {:>12}",
         "Profile", "Success", "Collision", "PoorLanding", "CPU", "Peak mem"
     );
-    for (label, summary) in [("SIL desktop", &sil), ("HIL Jetson", &hil)] {
+    for (label, cell) in [("SIL desktop", sil), ("HIL Jetson", hil)] {
         println!(
             "{:<14} {:>12} {:>12} {:>12} {:>9.0}% {:>9.0} MiB",
             label,
-            percent(summary.success_rate),
-            percent(summary.collision_rate),
-            percent(summary.poor_landing_rate),
-            summary.mean_cpu * 100.0,
-            summary.peak_memory_mb,
+            percent(cell.success_rate),
+            percent(cell.collision_rate),
+            percent(cell.poor_landing_rate),
+            cell.mean_cpu.mean.unwrap_or(0.0) * 100.0,
+            cell.peak_memory_mb.max.unwrap_or(0.0),
         );
     }
 
     println!();
-    print_comparison("MLS-V3 HIL successful landing rate", "72.00%", &percent(hil.success_rate));
-    print_comparison("MLS-V3 HIL failure rate due to collision", "14.00%", &percent(hil.collision_rate));
-    print_comparison("MLS-V3 HIL failure rate due to poor landing", "6.00%", &percent(hil.poor_landing_rate));
-    print_comparison("HIL memory consumption", "~2.2 GB of 2.9 GB", &format!("{:.1} GB", hil.peak_memory_mb / 1024.0));
+    print_comparison(
+        "MLS-V3 HIL successful landing rate",
+        "72.00%",
+        &percent(hil.success_rate),
+    );
+    print_comparison(
+        "MLS-V3 HIL failure rate due to collision",
+        "14.00%",
+        &percent(hil.collision_rate),
+    );
+    print_comparison(
+        "MLS-V3 HIL failure rate due to poor landing",
+        "6.00%",
+        &percent(hil.poor_landing_rate),
+    );
+    print_comparison(
+        "HIL memory consumption",
+        "~2.2 GB of 2.9 GB",
+        &format!("{:.1} GB", hil.peak_memory_mb.max.unwrap_or(0.0) / 1024.0),
+    );
 
-    let worst_latency = hil_outcomes
-        .iter()
-        .map(|o| o.worst_planning_latency)
-        .fold(0.0f64, f64::max);
+    let worst_latency = hil.worst_planning_latency.max.unwrap_or(0.0);
     println!();
     println!("Shape checks:");
     println!(

@@ -6,6 +6,11 @@
 //! profile (in parallel across OS threads), aggregate the outcomes, and print
 //! a plain-text table next to the values the paper reports.
 //!
+//! Mission sharding is delegated to the `mls-campaign` engine's
+//! self-scheduling worker pool ([`mls_campaign::execute_sharded`]); the
+//! campaign-grid binaries (`table1_sil`, `table3_hil`) go further and run
+//! entirely on [`mls_campaign::CampaignRunner`].
+//!
 //! The workload size is controlled by environment variables so the same
 //! binaries serve both quick smoke runs and the full reproduction:
 //!
@@ -14,9 +19,12 @@
 //! | `MLS_MAPS` | number of benchmark maps | 10 |
 //! | `MLS_SCENARIOS_PER_MAP` | scenarios per map | 10 |
 //! | `MLS_REPEATS` | repetitions per scenario | 1 (paper: 3) |
-//! | `MLS_THREADS` | worker threads | available parallelism |
+//! | `MLS_THREADS` | worker threads (capped at 512) | available parallelism |
 //! | `MLS_SEED` | benchmark seed | 2025 |
 //! | `MLS_QUICK` | set to `1` for a 3×4 smoke benchmark | unset |
+//!
+//! A value of `0` for any `MLS_*` sizing variable means "use the default",
+//! consistently across variables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +34,11 @@ use mls_core::{
     BenchmarkSummary, ExecutorConfig, LandingConfig, MissionExecutor, MissionOutcome, SystemVariant,
 };
 use mls_sim_world::{Scenario, ScenarioConfig, ScenarioGenerator};
+
+/// Upper bound on the worker-thread count accepted from `MLS_THREADS`; a
+/// typo like `MLS_THREADS=10000` would otherwise ask the OS for ten thousand
+/// stacks.
+pub const MAX_THREADS: usize = 512;
 
 /// Workload sizing for a harness run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +61,9 @@ impl Default for HarnessOptions {
             maps: 10,
             scenarios_per_map: 10,
             repeats: 1,
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             seed: 2025,
         }
     }
@@ -67,25 +82,42 @@ impl HarnessOptions {
 
     /// Reads the workload size from the `MLS_*` environment variables.
     pub fn from_env() -> Self {
-        let mut options = if std::env::var("MLS_QUICK").map(|v| v == "1").unwrap_or(false) {
+        Self::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// Reads the workload size through an arbitrary variable lookup (the
+    /// seam the unit tests use; [`HarnessOptions::from_env`] passes
+    /// `std::env::var`).
+    ///
+    /// Parsing is strict but forgiving in effect: unset, unparsable and `0`
+    /// values all mean "keep the default", and the thread count is clamped
+    /// to [`MAX_THREADS`].
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let mut options = if lookup("MLS_QUICK").map(|v| v == "1").unwrap_or(false) {
             Self::quick()
         } else {
             Self::default()
         };
-        let read = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<usize>().ok());
+        // `0` is treated as "unset" for every sizing variable: a disabled
+        // knob falls back to the default instead of silently becoming 1.
+        let read = |name: &str| {
+            lookup(name)
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&v| v > 0)
+        };
         if let Some(v) = read("MLS_MAPS") {
-            options.maps = v.max(1);
+            options.maps = v;
         }
         if let Some(v) = read("MLS_SCENARIOS_PER_MAP") {
-            options.scenarios_per_map = v.max(1);
+            options.scenarios_per_map = v;
         }
         if let Some(v) = read("MLS_REPEATS") {
-            options.repeats = v.max(1);
+            options.repeats = v;
         }
         if let Some(v) = read("MLS_THREADS") {
-            options.threads = v.max(1);
+            options.threads = v.min(MAX_THREADS);
         }
-        if let Some(v) = std::env::var("MLS_SEED").ok().and_then(|v| v.parse::<u64>().ok()) {
+        if let Some(v) = lookup("MLS_SEED").and_then(|v| v.trim().parse::<u64>().ok()) {
             options.seed = v;
         }
         options
@@ -114,8 +146,13 @@ pub fn generate_scenarios(options: &HarnessOptions) -> Vec<Scenario> {
         .expect("benchmark scenario generation cannot fail for validated options")
 }
 
-/// Flies one system variant over every scenario (times `repeats`), spreading
-/// the missions over `threads` OS threads.
+/// Flies one system variant over every scenario (times `repeats`) on the
+/// campaign engine's self-scheduling worker pool.
+///
+/// Outcomes are returned in job order (scenario-major within each repeat)
+/// regardless of how the pool schedules them; mission seeds are pure
+/// functions of (benchmark seed, scenario id, repeat), so results are
+/// independent of the thread count.
 pub fn run_missions(
     scenarios: &[Scenario],
     variant: SystemVariant,
@@ -124,7 +161,7 @@ pub fn run_missions(
     executor: &ExecutorConfig,
     options: &HarnessOptions,
 ) -> Vec<MissionOutcome> {
-    let mut jobs: Vec<(usize, &Scenario, u64)> = Vec::new();
+    let mut jobs: Vec<(&Scenario, u64)> = Vec::new();
     for repeat in 0..options.repeats {
         for scenario in scenarios {
             let seed = options
@@ -132,51 +169,25 @@ pub fn run_missions(
                 .wrapping_mul(31)
                 .wrapping_add(scenario.id as u64)
                 .wrapping_add((repeat as u64) << 24);
-            jobs.push((jobs.len(), scenario, seed));
+            jobs.push((scenario, seed));
         }
     }
 
-    let threads = options.threads.max(1).min(jobs.len().max(1));
-    let mut outcomes: Vec<Option<MissionOutcome>> = vec![None; jobs.len()];
-    let chunk_size = jobs.len().div_ceil(threads);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_index, chunk) in jobs.chunks(chunk_size).enumerate() {
-            let profile = profile.clone();
-            let landing = landing.clone();
-            let executor_config = executor.clone();
-            handles.push((
-                chunk_index,
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|(job_index, scenario, seed)| {
-                            let compute = ComputeModel::new(profile.clone())
-                                .expect("benchmark compute profiles are valid");
-                            let mission = MissionExecutor::for_variant(
-                                scenario,
-                                variant,
-                                landing.clone(),
-                                compute,
-                                executor_config.clone(),
-                                *seed,
-                            )
-                            .expect("benchmark landing configuration is valid");
-                            (*job_index, mission.run())
-                        })
-                        .collect::<Vec<(usize, MissionOutcome)>>()
-                }),
-            ));
-        }
-        for (_, handle) in handles {
-            for (job_index, outcome) in handle.join().expect("mission worker thread panicked") {
-                outcomes[job_index] = Some(outcome);
-            }
-        }
-    });
-
-    outcomes.into_iter().map(|o| o.expect("every job ran")).collect()
+    mls_campaign::execute_sharded(jobs.len(), options.threads, |index| {
+        let (scenario, seed) = jobs[index];
+        let compute =
+            ComputeModel::new(profile.clone()).expect("benchmark compute profiles are valid");
+        MissionExecutor::for_variant(
+            scenario,
+            variant,
+            landing.clone(),
+            compute,
+            executor.clone(),
+            seed,
+        )
+        .expect("benchmark landing configuration is valid")
+        .run()
+    })
 }
 
 /// Runs a variant and aggregates it into a summary in one call.
@@ -189,7 +200,10 @@ pub fn run_and_summarise(
     options: &HarnessOptions,
 ) -> (BenchmarkSummary, Vec<MissionOutcome>) {
     let outcomes = run_missions(scenarios, variant, profile, landing, executor, options);
-    (BenchmarkSummary::from_outcomes(variant, &outcomes), outcomes)
+    (
+        BenchmarkSummary::from_outcomes(variant, &outcomes),
+        outcomes,
+    )
 }
 
 /// Prints a boxed section header.
@@ -237,6 +251,81 @@ mod tests {
     fn percent_formatting() {
         assert_eq!(percent(0.8432), "84.32%");
         assert_eq!(percent(0.0), "0.00%");
+    }
+
+    fn lookup_from<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(key, _)| *key == name)
+                .map(|(_, value)| (*value).to_string())
+        }
+    }
+
+    #[test]
+    fn from_lookup_with_nothing_set_is_the_default() {
+        let options = HarnessOptions::from_lookup(lookup_from(&[]));
+        assert_eq!(options, HarnessOptions::default());
+    }
+
+    #[test]
+    fn from_lookup_reads_every_variable() {
+        let options = HarnessOptions::from_lookup(lookup_from(&[
+            ("MLS_MAPS", "4"),
+            ("MLS_SCENARIOS_PER_MAP", "5"),
+            ("MLS_REPEATS", "2"),
+            ("MLS_THREADS", "3"),
+            ("MLS_SEED", "99"),
+        ]));
+        assert_eq!(options.maps, 4);
+        assert_eq!(options.scenarios_per_map, 5);
+        assert_eq!(options.repeats, 2);
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.seed, 99);
+    }
+
+    #[test]
+    fn zero_means_default_for_every_sizing_variable() {
+        let defaults = HarnessOptions::default();
+        let options = HarnessOptions::from_lookup(lookup_from(&[
+            ("MLS_MAPS", "0"),
+            ("MLS_SCENARIOS_PER_MAP", "0"),
+            ("MLS_REPEATS", "0"),
+            ("MLS_THREADS", "0"),
+        ]));
+        assert_eq!(options, defaults);
+    }
+
+    #[test]
+    fn garbage_values_fall_back_to_the_default() {
+        let defaults = HarnessOptions::default();
+        let options = HarnessOptions::from_lookup(lookup_from(&[
+            ("MLS_MAPS", "many"),
+            ("MLS_THREADS", "-3"),
+            ("MLS_SEED", "12.5"),
+        ]));
+        assert_eq!(options, defaults);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_whitespace_tolerated() {
+        let options = HarnessOptions::from_lookup(lookup_from(&[
+            ("MLS_THREADS", "1000000"),
+            ("MLS_MAPS", " 7 "),
+        ]));
+        assert_eq!(options.threads, MAX_THREADS);
+        assert_eq!(options.maps, 7);
+    }
+
+    #[test]
+    fn quick_flag_composes_with_overrides() {
+        let options =
+            HarnessOptions::from_lookup(lookup_from(&[("MLS_QUICK", "1"), ("MLS_REPEATS", "2")]));
+        assert_eq!(options.maps, HarnessOptions::quick().maps);
+        assert_eq!(options.repeats, 2);
+        // MLS_QUICK values other than "1" are ignored.
+        let options = HarnessOptions::from_lookup(lookup_from(&[("MLS_QUICK", "yes")]));
+        assert_eq!(options.maps, HarnessOptions::default().maps);
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Deterministic, seed-driven fault model.
+//!
+//! A [`FaultPlan`] is a *declarative* description — fault kind plus a scalar
+//! intensity in `[0, 1]` — that a campaign spec serializes and sweeps. At
+//! mission time the runner instantiates it into a [`FaultInjector`], the
+//! stateful [`FaultHook`] the `mls-core` executor consults. Every stochastic
+//! element of the injection (burst placement, bias direction, dropout
+//! decisions) derives from the mission seed, so the same (plan, seed) pair
+//! replays byte-identically.
+//!
+//! The kinds cover the failure-space axes the paper's campaign and the
+//! falsification literature probe:
+//!
+//! | Kind | Injection point | Intensity 1.0 means |
+//! |---|---|---|
+//! | [`FaultKind::MarkerOcclusion`] | camera image | ~half the mission occluded |
+//! | [`FaultKind::DetectionDropout`] | observation stream | every frame dropped |
+//! | [`FaultKind::MarkerSpoof`] | observation stream | confident decoy 20 m off target |
+//! | [`FaultKind::GpsBias`] | GNSS fixes | 10 m bias step |
+//! | [`FaultKind::WindGust`] | airframe | 12 m/s gust spikes |
+//! | [`FaultKind::ComputeThrottle`] | compute platform | platform at 5 % speed |
+
+use mls_core::{FaultHook, TickFaults};
+use mls_geom::{Vec2, Vec3};
+use mls_vision::{Detection, GrayImage, MarkerObservation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The fault-space axes the campaign engine can inject along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Bursts during which the downward camera image is washed out (tarps,
+    /// glare, dust clouds over the marker): the detector genuinely misses.
+    MarkerOcclusion,
+    /// Frames whose observations are lost between the detector and the
+    /// decision module (pipeline congestion, dropped messages).
+    DetectionDropout,
+    /// Windows during which a confident decoy observation carrying the
+    /// target's id is injected at a wrong position (adversarial marker).
+    MarkerSpoof,
+    /// A GNSS position-bias step that the reported DOP values do not reveal.
+    GpsBias,
+    /// Wind-gust spikes beyond what the scenario weather already applies.
+    WindGust,
+    /// Intervals during which the compute platform is thermally throttled.
+    ComputeThrottle,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a stable reporting order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::MarkerOcclusion,
+        FaultKind::DetectionDropout,
+        FaultKind::MarkerSpoof,
+        FaultKind::GpsBias,
+        FaultKind::WindGust,
+        FaultKind::ComputeThrottle,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::MarkerOcclusion => "marker-occlusion",
+            FaultKind::DetectionDropout => "detection-dropout",
+            FaultKind::MarkerSpoof => "marker-spoof",
+            FaultKind::GpsBias => "gps-bias",
+            FaultKind::WindGust => "wind-gust",
+            FaultKind::ComputeThrottle => "compute-throttle",
+        }
+    }
+}
+
+/// A declarative fault: kind plus intensity in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The fault-space axis.
+    pub kind: FaultKind,
+    /// Severity in `[0, 1]`; `0.0` is a no-op, `1.0` the worst injection the
+    /// kind models.
+    pub intensity: f64,
+}
+
+impl FaultPlan {
+    /// Builds a plan, clamping the intensity into `[0, 1]`.
+    pub fn new(kind: FaultKind, intensity: f64) -> Self {
+        Self {
+            kind,
+            intensity: intensity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Stable label (`kind@intensity`) used in report rows.
+    pub fn label(&self) -> String {
+        format!("{}@{:.3}", self.kind.label(), self.intensity)
+    }
+
+    /// Instantiates the plan into a mission-scoped injector whose entire
+    /// behaviour is determined by `seed` and the mission context.
+    pub fn injector(&self, seed: u64, context: &MissionFaultContext) -> FaultInjector {
+        FaultInjector::new(*self, seed, context)
+    }
+}
+
+/// What the injector needs to know about the mission it perturbs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissionFaultContext {
+    /// Dictionary id of the genuine landing marker (spoofing forges it).
+    pub target_marker_id: u32,
+    /// The nominal GPS landing target (spoofed markers are placed around
+    /// it, where the decision module is actually looking).
+    pub gps_target: Vec3,
+    /// Physical marker side length, metres (forged observations mimic it).
+    pub marker_size: f64,
+    /// Mission duration bound, seconds (bursts are placed inside it).
+    pub max_duration: f64,
+}
+
+/// An active injection interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Window {
+    start: f64,
+    end: f64,
+}
+
+impl Window {
+    fn contains(&self, time: f64) -> bool {
+        time >= self.start && time < self.end
+    }
+}
+
+/// The stateful per-mission fault hook a [`FaultPlan`] instantiates.
+///
+/// All randomness is drawn either at construction (window placement, bias and
+/// gust directions) or in the strictly ordered per-frame callbacks (dropout
+/// decisions), so a given (plan, seed, context) triple replays identically.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    context: MissionFaultContext,
+    windows: Vec<Window>,
+    /// Fixed horizontal direction for GPS bias / wind gusts / spoof offset.
+    direction: Vec3,
+    /// Time the GPS bias step engages, seconds.
+    onset: f64,
+    /// Per-frame RNG stream (detection dropout).
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Window placement bounds: faults act after the initial climb and
+    /// before the mission deadline.
+    const ACTIVE_FROM: f64 = 25.0;
+
+    fn new(plan: FaultPlan, seed: u64, context: &MissionFaultContext) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA_17_5E_ED);
+        let heading: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        let direction = Vec3::new(heading.cos(), heading.sin(), 0.0);
+        let active_until = context.max_duration.max(Self::ACTIVE_FROM + 10.0);
+        let onset = rng.random_range(Self::ACTIVE_FROM..(Self::ACTIVE_FROM + 40.0));
+
+        let windows = match plan.kind {
+            FaultKind::MarkerOcclusion
+            | FaultKind::MarkerSpoof
+            | FaultKind::ComputeThrottle
+            | FaultKind::WindGust => {
+                // Both burst count and burst length scale with intensity, and
+                // both vanish at 0: intensity 0.0 must be a true no-op so the
+                // falsification search's lower anchor equals the baseline.
+                let bursts = (plan.intensity * 8.0).ceil() as usize;
+                let duration = 2.0 + 16.0 * plan.intensity;
+                let mut windows: Vec<Window> = (0..bursts)
+                    .map(|_| {
+                        let start = rng.random_range(
+                            Self::ACTIVE_FROM
+                                ..(active_until - duration).max(Self::ACTIVE_FROM + 1.0),
+                        );
+                        Window {
+                            start,
+                            end: start + duration,
+                        }
+                    })
+                    .collect();
+                windows.sort_by(|a, b| a.start.total_cmp(&b.start));
+                windows
+            }
+            FaultKind::DetectionDropout | FaultKind::GpsBias => Vec::new(),
+        };
+
+        Self {
+            plan,
+            context: *context,
+            windows,
+            direction,
+            onset,
+            rng,
+        }
+    }
+
+    /// The plan this injector realises.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    fn in_window(&self, time: f64) -> bool {
+        self.windows.iter().any(|w| w.contains(time))
+    }
+
+    /// Forges a confident observation of the target marker id near the GPS
+    /// target, displaced by an intensity-scaled offset (zero displacement at
+    /// zero intensity, where no spoof window exists anyway).
+    fn spoofed_observation(&self) -> MarkerObservation {
+        let offset = 20.0 * self.plan.intensity;
+        let position = self.context.gps_target + self.direction * offset;
+        let half = 24.0;
+        let center = Vec2::new(320.0, 240.0);
+        let corners = [
+            Vec2::new(center.x - half, center.y - half),
+            Vec2::new(center.x + half, center.y - half),
+            Vec2::new(center.x + half, center.y + half),
+            Vec2::new(center.x - half, center.y + half),
+        ];
+        let detection = Detection::from_corners(self.context.target_marker_id, corners, 0.95);
+        MarkerObservation {
+            id: self.context.target_marker_id,
+            world_position: position,
+            confidence: 0.95,
+            apparent_size: half * 2.0,
+            estimated_size: self.context.marker_size,
+            detection,
+        }
+    }
+}
+
+impl FaultHook for FaultInjector {
+    fn tick(&mut self, time: f64) -> TickFaults {
+        let mut faults = TickFaults::NONE;
+        match self.plan.kind {
+            FaultKind::GpsBias if time >= self.onset => {
+                // A bias step with a short ramp, as receivers re-converge
+                // onto a wrong solution over a few seconds.
+                let ramp = ((time - self.onset) / 5.0).clamp(0.0, 1.0);
+                faults.gps_bias = self.direction * (10.0 * self.plan.intensity * ramp);
+            }
+            FaultKind::WindGust => {
+                // Sinusoidal gust profile inside each window: peaks at the
+                // middle, zero at the edges.
+                if let Some(window) = self.windows.iter().find(|w| w.contains(time)) {
+                    let phase = (time - window.start) / (window.end - window.start).max(1e-6);
+                    let envelope = (phase * std::f64::consts::PI).sin();
+                    faults.wind_disturbance =
+                        self.direction * (12.0 * self.plan.intensity * envelope);
+                }
+            }
+            FaultKind::ComputeThrottle if self.in_window(time) => {
+                faults.compute_throttle = (1.0 - 0.95 * self.plan.intensity).max(0.05);
+            }
+            _ => {}
+        }
+        faults
+    }
+
+    fn pre_detection(&mut self, time: f64, image: &mut GrayImage) {
+        if self.plan.kind == FaultKind::MarkerOcclusion && self.in_window(time) {
+            // Wash the frame out to a uniform mid-grey: no gradients, no
+            // marker codes, nothing for either detector to latch onto.
+            image.data_mut().fill(0.5);
+        }
+    }
+
+    fn post_detection(&mut self, time: f64, observations: &mut Vec<MarkerObservation>) {
+        match self.plan.kind {
+            // One RNG draw per frame, in frame order: deterministic.
+            FaultKind::DetectionDropout if self.rng.random_bool(self.plan.intensity) => {
+                observations.clear();
+            }
+            FaultKind::MarkerSpoof if self.in_window(time) => {
+                observations.push(self.spoofed_observation());
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context() -> MissionFaultContext {
+        MissionFaultContext {
+            target_marker_id: 7,
+            gps_target: Vec3::new(40.0, 10.0, 0.0),
+            marker_size: 1.5,
+            max_duration: 300.0,
+        }
+    }
+
+    #[test]
+    fn zero_intensity_is_a_true_noop_for_every_kind() {
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::new(kind, 0.0);
+            let mut injector = plan.injector(13, &context());
+            assert!(injector.windows.is_empty(), "{kind:?} has no windows at 0");
+            for time in [0.0, 50.0, 150.0, 299.0] {
+                assert_eq!(injector.tick(time), TickFaults::NONE, "{kind:?} at {time}");
+                let mut image = GrayImage::filled(4, 4, 0.7);
+                injector.pre_detection(time, &mut image);
+                assert!(image.data().iter().all(|&v| (v - 0.7).abs() < 1e-9));
+                let mut observations = vec![dummy_observation()];
+                injector.post_detection(time, &mut observations);
+                assert_eq!(observations.len(), 1, "{kind:?} must not tamper at 0");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_clamps_intensity_and_labels() {
+        let plan = FaultPlan::new(FaultKind::GpsBias, 1.7);
+        assert_eq!(plan.intensity, 1.0);
+        assert_eq!(plan.label(), "gps-bias@1.000");
+        assert_eq!(FaultKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let plan = FaultPlan::new(FaultKind::DetectionDropout, 0.5);
+        let mut a = plan.injector(9, &context());
+        let mut b = plan.injector(9, &context());
+        for frame in 0..50 {
+            let mut obs_a = vec![dummy_observation()];
+            let mut obs_b = vec![dummy_observation()];
+            a.post_detection(frame as f64, &mut obs_a);
+            b.post_detection(frame as f64, &mut obs_b);
+            assert_eq!(obs_a.len(), obs_b.len(), "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn occlusion_blanks_frames_inside_windows_only() {
+        let plan = FaultPlan::new(FaultKind::MarkerOcclusion, 0.8);
+        let mut injector = plan.injector(3, &context());
+        assert!(!injector.windows.is_empty());
+        let window_time = injector.windows[0].start + 0.1;
+
+        let mut image = GrayImage::filled(8, 8, 0.9);
+        injector.pre_detection(window_time, &mut image);
+        assert!(image.data().iter().all(|&v| (v - 0.5).abs() < 1e-9));
+
+        let mut image = GrayImage::filled(8, 8, 0.9);
+        injector.pre_detection(1.0, &mut image);
+        assert!(image.data().iter().all(|&v| (v - 0.9).abs() < 1e-6));
+    }
+
+    #[test]
+    fn gps_bias_ramps_to_intensity_scaled_magnitude() {
+        let plan = FaultPlan::new(FaultKind::GpsBias, 0.5);
+        let mut injector = plan.injector(5, &context());
+        assert_eq!(injector.tick(0.0).gps_bias, Vec3::ZERO);
+        let late = injector.tick(290.0).gps_bias;
+        assert!((late.norm() - 5.0).abs() < 1e-9, "bias {late:?}");
+        assert_eq!(late.z, 0.0);
+    }
+
+    #[test]
+    fn spoof_injects_target_id_near_gps_target() {
+        let plan = FaultPlan::new(FaultKind::MarkerSpoof, 1.0);
+        let mut injector = plan.injector(11, &context());
+        let time = injector.windows[0].start + 0.1;
+        let mut observations = Vec::new();
+        injector.post_detection(time, &mut observations);
+        assert_eq!(observations.len(), 1);
+        let spoof = &observations[0];
+        assert_eq!(spoof.id, 7);
+        let distance = spoof
+            .world_position
+            .horizontal_distance(context().gps_target);
+        assert!((distance - 20.0).abs() < 1e-9, "offset {distance}");
+    }
+
+    #[test]
+    fn throttle_and_gusts_act_only_inside_windows() {
+        for kind in [FaultKind::ComputeThrottle, FaultKind::WindGust] {
+            let plan = FaultPlan::new(kind, 1.0);
+            let mut injector = plan.injector(2, &context());
+            let idle = injector.tick(1.0);
+            assert_eq!(idle, TickFaults::NONE);
+            let window = injector.windows[0];
+            let active = injector.tick((window.start + window.end) / 2.0);
+            match kind {
+                FaultKind::ComputeThrottle => assert!(active.compute_throttle < 0.1),
+                _ => assert!(active.wind_disturbance.norm() > 6.0),
+            }
+        }
+    }
+
+    fn dummy_observation() -> MarkerObservation {
+        FaultPlan::new(FaultKind::MarkerSpoof, 0.2)
+            .injector(1, &context())
+            .spoofed_observation()
+    }
+}

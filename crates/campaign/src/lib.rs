@@ -1,0 +1,133 @@
+//! Sharded fault-injection campaign engine with falsification search.
+//!
+//! The paper's evaluation is a *campaign*: hundreds of missions swept over
+//! scenario suites, weather, system generations and compute platforms
+//! (Tables I–III, Fig. 5). This crate is the engine those sweeps run on, and
+//! the natural extension the falsification literature suggests — actively
+//! searching the fault space for the smallest perturbation that breaks a
+//! landing system.
+//!
+//! The engine has four parts:
+//!
+//! * [`faults`] — a deterministic, seed-driven fault model: marker-occlusion
+//!   bursts, detection dropout, spoofed markers, GNSS bias steps, wind-gust
+//!   spikes and compute throttling, each a [`FaultPlan`](faults::FaultPlan)
+//!   the `mls-core` executor consumes through its fault hook.
+//! * [`spec`] — a declarative, serde-serializable
+//!   [`CampaignSpec`](spec::CampaignSpec): scenarios × system variants ×
+//!   compute profiles × fault plans.
+//! * [`runner`] — a work-stealing worker pool over OS threads with
+//!   per-mission deterministic RNG streams, plus the streaming
+//!   [`stats`] accumulators (Welford mean/variance, P² percentiles) the
+//!   per-cell aggregates are built from. Reports are byte-identical for a
+//!   given spec and seed regardless of thread count.
+//! * [`search`] — per-(variant, fault) bisection on fault intensity that
+//!   reports the minimal intensity at which landing reliably fails, and
+//!   [`report`] — JSON/CSV campaign reports.
+//!
+//! # Examples
+//!
+//! Run a small fault campaign end to end:
+//!
+//! ```no_run
+//! use mls_campaign::spec::CampaignSpec;
+//! use mls_campaign::runner::CampaignRunner;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = CampaignSpec::smoke();
+//! let report = CampaignRunner::new(4).run(&spec)?;
+//! println!("{}", report.to_json()?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+pub mod faults;
+pub mod report;
+pub mod runner;
+pub mod search;
+pub mod spec;
+pub mod stats;
+
+pub use faults::{FaultInjector, FaultKind, FaultPlan, MissionFaultContext};
+pub use report::{CampaignReport, CellReport, MetricSummary};
+pub use runner::{execute_sharded, CampaignRunner};
+pub use search::{FalsificationConfig, FalsificationResult, FalsificationSearch};
+pub use spec::{CampaignCell, CampaignSpec};
+pub use stats::{MetricAccumulator, P2Quantile, Welford};
+
+/// Errors produced by the campaign engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The campaign specification was rejected.
+    InvalidSpec {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Scenario generation failed.
+    World(mls_sim_world::SimWorldError),
+    /// Assembling a landing system failed.
+    Mls(mls_core::MlsError),
+    /// Serialising a report failed.
+    Serialize(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidSpec { reason } => {
+                write!(f, "invalid campaign specification: {reason}")
+            }
+            CampaignError::World(err) => write!(f, "scenario generation failed: {err}"),
+            CampaignError::Mls(err) => write!(f, "landing-system assembly failed: {err}"),
+            CampaignError::Serialize(reason) => write!(f, "report serialisation failed: {reason}"),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::World(err) => Some(err),
+            CampaignError::Mls(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<mls_sim_world::SimWorldError> for CampaignError {
+    fn from(err: mls_sim_world::SimWorldError) -> Self {
+        CampaignError::World(err)
+    }
+}
+
+impl From<mls_core::MlsError> for CampaignError {
+    fn from(err: mls_core::MlsError) -> Self {
+        CampaignError::Mls(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_source() {
+        let err = CampaignError::InvalidSpec {
+            reason: "zero maps".to_string(),
+        };
+        assert!(err.to_string().contains("zero maps"));
+        assert!(err.source().is_none());
+        let err: CampaignError = mls_core::MlsError::InvalidConfig {
+            reason: "bad".to_string(),
+        }
+        .into();
+        assert!(err.source().is_some());
+    }
+}

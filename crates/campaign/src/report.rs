@@ -1,0 +1,267 @@
+//! Campaign reports: per-cell aggregates, JSON and CSV serialisation.
+//!
+//! A report is a deterministic function of (spec, seed): the runner feeds
+//! mission records into the streaming accumulators in global job order, so
+//! the same campaign produces byte-identical JSON regardless of how many
+//! worker threads flew it — the property the determinism integration tests
+//! pin down.
+
+use mls_core::SystemVariant;
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::CampaignError;
+
+/// Streaming summary of one scalar metric over a cell's missions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: Option<f64>,
+    /// Population standard deviation.
+    pub std_dev: Option<f64>,
+    /// Smallest sample.
+    pub min: Option<f64>,
+    /// Largest sample.
+    pub max: Option<f64>,
+    /// Median (P² estimate; exact below five samples).
+    pub p50: Option<f64>,
+    /// 95th percentile (P² estimate; exact below five samples).
+    pub p95: Option<f64>,
+}
+
+impl MetricSummary {
+    /// A summary of zero samples.
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            mean: None,
+            std_dev: None,
+            min: None,
+            max: None,
+            p50: None,
+            p95: None,
+        }
+    }
+}
+
+/// Aggregates for one (variant, profile, fault) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Cell position in the campaign grid.
+    pub index: usize,
+    /// System generation flown.
+    pub variant: SystemVariant,
+    /// Compute-profile name.
+    pub profile: String,
+    /// The fault injected, or `None` for the baseline cell.
+    pub fault: Option<FaultPlan>,
+    /// Missions flown in the cell.
+    pub missions: usize,
+    /// Fraction of missions ending in [`mls_core::MissionResult::Success`].
+    pub success_rate: f64,
+    /// Fraction ending in a collision.
+    pub collision_rate: f64,
+    /// Fraction ending in the poor-landing bucket.
+    pub poor_landing_rate: f64,
+    /// Fraction of missions a failsafe terminated (V3's safety valve).
+    pub failsafe_rate: f64,
+    /// Detection false-negative rate pooled over the cell.
+    pub false_negative_rate: f64,
+    /// Touchdown distance from the true marker, metres (landed missions).
+    pub landing_error: MetricSummary,
+    /// Mean target-marker detection error per mission, metres.
+    pub detection_error: MetricSummary,
+    /// Mission duration, seconds.
+    pub duration: MetricSummary,
+    /// Mean CPU utilisation of the compute platform.
+    pub mean_cpu: MetricSummary,
+    /// Peak resident memory on the compute platform, MiB.
+    pub peak_memory_mb: MetricSummary,
+    /// Worst planning latency per mission, seconds.
+    pub worst_planning_latency: MetricSummary,
+    /// Final GNSS drift magnitude, metres.
+    pub gps_drift: MetricSummary,
+}
+
+impl CellReport {
+    /// Stable row label (`MLS-V3/desktop-sil/gps-bias@0.500`).
+    pub fn label(&self) -> String {
+        let fault = self
+            .fault
+            .map_or_else(|| "baseline".to_string(), |f| f.label());
+        format!("{}/{}/{}", self.variant.label(), self.profile, fault)
+    }
+}
+
+/// A complete campaign result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name, copied from the spec.
+    pub name: String,
+    /// Master seed the campaign ran under.
+    pub seed: u64,
+    /// Total missions flown.
+    pub missions: usize,
+    /// Per-cell aggregates, in grid order.
+    pub cells: Vec<CellReport>,
+}
+
+impl CampaignReport {
+    /// Serialises the report as pretty JSON (deterministic for a given
+    /// spec + seed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Serialize`] when serde rejects the value.
+    pub fn to_json(&self) -> Result<String, CampaignError> {
+        serde_json::to_string_pretty(self).map_err(|e| CampaignError::Serialize(e.to_string()))
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Serialize`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        serde_json::from_str(text).map_err(|e| CampaignError::Serialize(e.to_string()))
+    }
+
+    /// Renders the headline columns as CSV (one row per cell).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "cell,variant,profile,fault,intensity,missions,success_rate,collision_rate,\
+             poor_landing_rate,failsafe_rate,false_negative_rate,mean_landing_error,\
+             p95_landing_error,mean_duration,mean_cpu,p95_planning_latency\n",
+        );
+        for cell in &self.cells {
+            let (fault, intensity) = match cell.fault {
+                Some(plan) => (
+                    plan.kind.label().to_string(),
+                    format!("{:.3}", plan.intensity),
+                ),
+                None => ("baseline".to_string(), String::new()),
+            };
+            let opt = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.4}"));
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{}\n",
+                cell.index,
+                cell.variant.label(),
+                cell.profile,
+                fault,
+                intensity,
+                cell.missions,
+                cell.success_rate,
+                cell.collision_rate,
+                cell.poor_landing_rate,
+                cell.failsafe_rate,
+                cell.false_negative_rate,
+                opt(cell.landing_error.mean),
+                opt(cell.landing_error.p95),
+                opt(cell.duration.mean),
+                opt(cell.mean_cpu.mean),
+                opt(cell.worst_planning_latency.p95),
+            ));
+        }
+        out
+    }
+
+    /// Finds a cell by variant, profile name and fault kind (`None` for the
+    /// baseline cell). When several intensities of the same kind exist, the
+    /// first in grid order is returned.
+    pub fn cell(
+        &self,
+        variant: SystemVariant,
+        profile: &str,
+        fault: Option<FaultKind>,
+    ) -> Option<&CellReport> {
+        self.cells.iter().find(|c| {
+            c.variant == variant && c.profile == profile && c.fault.map(|f| f.kind) == fault
+        })
+    }
+
+    /// All cells of one variant, in grid order.
+    pub fn cells_for(&self, variant: SystemVariant) -> impl Iterator<Item = &CellReport> {
+        self.cells.iter().filter(move |c| c.variant == variant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(index: usize, variant: SystemVariant, fault: Option<FaultPlan>) -> CellReport {
+        CellReport {
+            index,
+            variant,
+            profile: "desktop-sil".to_string(),
+            fault,
+            missions: 4,
+            success_rate: 0.75,
+            collision_rate: 0.25,
+            poor_landing_rate: 0.0,
+            failsafe_rate: 0.0,
+            false_negative_rate: 0.1,
+            landing_error: MetricSummary::empty(),
+            detection_error: MetricSummary::empty(),
+            duration: MetricSummary::empty(),
+            mean_cpu: MetricSummary::empty(),
+            peak_memory_mb: MetricSummary::empty(),
+            worst_planning_latency: MetricSummary::empty(),
+            gps_drift: MetricSummary::empty(),
+        }
+    }
+
+    fn report() -> CampaignReport {
+        CampaignReport {
+            name: "t".to_string(),
+            seed: 1,
+            missions: 8,
+            cells: vec![
+                cell(0, SystemVariant::MlsV1, None),
+                cell(
+                    1,
+                    SystemVariant::MlsV1,
+                    Some(FaultPlan::new(FaultKind::GpsBias, 0.5)),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let report = report();
+        let json = report.to_json().unwrap();
+        let parsed = CampaignReport::from_json(&json).unwrap();
+        assert_eq!(report, parsed);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_plus_header() {
+        let csv = report().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(2).unwrap().contains("gps-bias"));
+    }
+
+    #[test]
+    fn cell_lookup_by_fault_kind() {
+        let report = report();
+        assert!(report
+            .cell(SystemVariant::MlsV1, "desktop-sil", None)
+            .is_some());
+        let gps = report
+            .cell(
+                SystemVariant::MlsV1,
+                "desktop-sil",
+                Some(FaultKind::GpsBias),
+            )
+            .unwrap();
+        assert_eq!(gps.index, 1);
+        assert!(report
+            .cell(SystemVariant::MlsV3, "desktop-sil", None)
+            .is_none());
+        assert_eq!(report.cells_for(SystemVariant::MlsV1).count(), 2);
+        assert!(report.cells[1].label().contains("gps-bias@0.500"));
+    }
+}

@@ -1,0 +1,369 @@
+//! The sharded campaign runner: a self-scheduling worker pool over OS
+//! threads.
+//!
+//! Missions are independent, but their costs vary wildly (a V1 mission that
+//! crashes in 40 s is an order of magnitude cheaper than a V3 mission that
+//! searches, validates and descends). Static chunking therefore leaves
+//! workers idle; instead every worker claims the next job off a shared
+//! atomic cursor until the queue drains, so load balances automatically.
+//!
+//! Determinism is preserved by separating *execution* order from
+//! *aggregation* order: each mission's seed is a pure function of its grid
+//! coordinates ([`CampaignSpec::mission_seed`]), and the per-cell streaming
+//! accumulators are fed in global job order after all workers have joined.
+//! The resulting [`CampaignReport`] is byte-identical for a given spec
+//! regardless of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mls_compute::ComputeModel;
+use mls_core::{FailsafeReason, MissionExecutor, MissionOutcome, MissionResult};
+use mls_sim_world::{Scenario, ScenarioConfig, ScenarioGenerator};
+
+use crate::faults::MissionFaultContext;
+use crate::report::{CampaignReport, CellReport};
+use crate::spec::{CampaignCell, CampaignSpec};
+use crate::stats::MetricAccumulator;
+use crate::CampaignError;
+
+/// Runs `count` independent jobs on a self-scheduling pool of `threads` OS
+/// threads and returns the results in job order.
+///
+/// The closure receives the job index. Jobs are claimed dynamically off a
+/// shared cursor (no static chunking), so heterogeneous job costs balance
+/// across workers; results are re-sorted by index before returning, so the
+/// output order never depends on scheduling.
+///
+/// # Panics
+///
+/// Panics when a worker thread panics.
+pub fn execute_sharded<R, F>(count: usize, threads: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, count);
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        break;
+                    }
+                    local.push((index, job(index)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            collected.extend(handle.join().expect("campaign worker thread panicked"));
+        }
+    });
+    collected.sort_by_key(|(index, _)| *index);
+    collected.into_iter().map(|(_, result)| result).collect()
+}
+
+/// The compact per-mission record the aggregation stage consumes.
+#[derive(Debug, Clone, PartialEq)]
+struct MissionRecord {
+    result: MissionResult,
+    failsafe: Option<FailsafeReason>,
+    landing_error: Option<f64>,
+    detection_error: Option<f64>,
+    duration: f64,
+    mean_cpu: f64,
+    peak_memory_mb: f64,
+    worst_planning_latency: f64,
+    gps_drift: f64,
+    visible_frames: usize,
+    missed_frames: usize,
+}
+
+impl MissionRecord {
+    fn from_outcome(outcome: &MissionOutcome) -> Self {
+        Self {
+            result: outcome.result,
+            failsafe: outcome.failsafe,
+            landing_error: outcome.landing_error,
+            detection_error: outcome.mean_detection_error,
+            duration: outcome.duration,
+            mean_cpu: outcome.mean_cpu,
+            peak_memory_mb: outcome.peak_memory_mb,
+            worst_planning_latency: outcome.worst_planning_latency,
+            gps_drift: outcome.gps_drift,
+            visible_frames: outcome.detection_stats.visible_frames,
+            missed_frames: outcome.detection_stats.missed_frames,
+        }
+    }
+}
+
+/// The campaign engine: expands a spec, flies it on the worker pool and
+/// aggregates a deterministic report.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    threads: usize,
+}
+
+impl CampaignRunner {
+    /// Upper bound on the worker-thread count: a typo'd `threads` value must
+    /// not ask the OS for thousands of stacks.
+    pub const MAX_THREADS: usize = 512;
+
+    /// Creates a runner using `threads` worker threads (clamped to
+    /// `1..=`[`CampaignRunner::MAX_THREADS`]).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.clamp(1, Self::MAX_THREADS),
+        }
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        )
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the campaign end to end: scenario generation, the sharded
+    /// mission sweep, and per-cell aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec is invalid, scenario generation fails,
+    /// or a landing system cannot be assembled.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
+        spec.validate()?;
+        let scenarios = self.generate_scenarios(spec)?;
+        self.run_with_scenarios(spec, &scenarios)
+    }
+
+    /// Runs the campaign over an already-generated scenario suite (callers
+    /// sweeping many specs over the same suite — e.g. the falsification
+    /// search — generate it once and reuse it).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec is invalid or a landing system cannot
+    /// be assembled.
+    pub fn run_with_scenarios(
+        &self,
+        spec: &CampaignSpec,
+        scenarios: &[Scenario],
+    ) -> Result<CampaignReport, CampaignError> {
+        spec.validate()?;
+        if scenarios.len() != spec.maps * spec.scenarios_per_map {
+            return Err(CampaignError::InvalidSpec {
+                reason: format!(
+                    "scenario suite has {} scenarios but the spec's grid needs {}",
+                    scenarios.len(),
+                    spec.maps * spec.scenarios_per_map
+                ),
+            });
+        }
+        let cells = spec.cells();
+        let missions_per_cell = spec.missions_per_cell();
+        let total = missions_per_cell * cells.len();
+
+        // Job `i` maps to (cell, repeat, scenario) in row-major order, so a
+        // cell's missions occupy one contiguous, ordered slice of the
+        // results.
+        let results: Vec<Result<MissionRecord, CampaignError>> =
+            execute_sharded(total, self.threads, |index| {
+                let cell = &cells[index / missions_per_cell];
+                let within = index % missions_per_cell;
+                let scenario = &scenarios[within % scenarios.len()];
+                let repeat = within / scenarios.len();
+                self.fly(spec, cell, scenario, repeat)
+                    .map(|outcome| MissionRecord::from_outcome(&outcome))
+            });
+
+        let mut records = Vec::with_capacity(total);
+        for result in results {
+            records.push(result?);
+        }
+
+        let cell_reports = cells
+            .iter()
+            .map(|cell| {
+                let slice =
+                    &records[cell.index * missions_per_cell..(cell.index + 1) * missions_per_cell];
+                aggregate_cell(cell, slice)
+            })
+            .collect();
+
+        Ok(CampaignReport {
+            name: spec.name.clone(),
+            seed: spec.seed,
+            missions: total,
+            cells: cell_reports,
+        })
+    }
+
+    /// Generates the benchmark scenario suite a spec sweeps over.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scenario generator rejects the dimensions.
+    pub fn generate_scenarios(&self, spec: &CampaignSpec) -> Result<Vec<Scenario>, CampaignError> {
+        let config = ScenarioConfig {
+            maps: spec.maps,
+            scenarios_per_map: spec.scenarios_per_map,
+            ..ScenarioConfig::default()
+        };
+        Ok(ScenarioGenerator::new(config).generate_benchmark(spec.seed)?)
+    }
+
+    /// Flies one mission of one cell.
+    fn fly(
+        &self,
+        spec: &CampaignSpec,
+        cell: &CampaignCell,
+        scenario: &Scenario,
+        repeat: usize,
+    ) -> Result<MissionOutcome, CampaignError> {
+        let seed = spec.mission_seed(scenario.id, repeat);
+        let compute =
+            ComputeModel::new(spec.profiles[cell.profile_index].clone()).map_err(|err| {
+                CampaignError::InvalidSpec {
+                    reason: err.to_string(),
+                }
+            })?;
+        let mut executor = MissionExecutor::for_variant(
+            scenario,
+            cell.variant,
+            spec.landing.clone(),
+            compute,
+            spec.executor.clone(),
+            seed,
+        )?;
+        if let Some(plan) = cell.fault {
+            let context = MissionFaultContext {
+                target_marker_id: scenario.target_marker_id,
+                gps_target: scenario.gps_target,
+                marker_size: scenario.marker_size,
+                max_duration: spec.executor.max_duration,
+            };
+            executor = executor.with_fault_hook(Box::new(plan.injector(seed, &context)));
+        }
+        Ok(executor.run())
+    }
+}
+
+/// Aggregates one cell's records (already in deterministic job order) into a
+/// [`CellReport`] via the streaming accumulators.
+fn aggregate_cell(cell: &CampaignCell, records: &[MissionRecord]) -> CellReport {
+    let n = records.len().max(1) as f64;
+    let rate = |predicate: &dyn Fn(&MissionRecord) -> bool| {
+        records.iter().filter(|r| predicate(r)).count() as f64 / n
+    };
+
+    let mut landing_error = MetricAccumulator::new();
+    let mut detection_error = MetricAccumulator::new();
+    let mut duration = MetricAccumulator::new();
+    let mut mean_cpu = MetricAccumulator::new();
+    let mut peak_memory_mb = MetricAccumulator::new();
+    let mut worst_planning_latency = MetricAccumulator::new();
+    let mut gps_drift = MetricAccumulator::new();
+    let mut visible = 0usize;
+    let mut missed = 0usize;
+    for record in records {
+        if let Some(error) = record.landing_error {
+            landing_error.push(error);
+        }
+        if let Some(error) = record.detection_error {
+            detection_error.push(error);
+        }
+        duration.push(record.duration);
+        mean_cpu.push(record.mean_cpu);
+        peak_memory_mb.push(record.peak_memory_mb);
+        worst_planning_latency.push(record.worst_planning_latency);
+        gps_drift.push(record.gps_drift);
+        visible += record.visible_frames;
+        missed += record.missed_frames;
+    }
+
+    CellReport {
+        index: cell.index,
+        variant: cell.variant,
+        profile: cell.profile.clone(),
+        fault: cell.fault,
+        missions: records.len(),
+        success_rate: rate(&|r| r.result == MissionResult::Success),
+        collision_rate: rate(&|r| r.result == MissionResult::CollisionFailure),
+        poor_landing_rate: rate(&|r| r.result == MissionResult::PoorLanding),
+        failsafe_rate: rate(&|r| r.failsafe.is_some()),
+        false_negative_rate: if visible == 0 {
+            0.0
+        } else {
+            missed as f64 / visible as f64
+        },
+        landing_error: landing_error.summary(),
+        detection_error: detection_error.summary(),
+        duration: duration.summary(),
+        mean_cpu: mean_cpu.summary(),
+        peak_memory_mb: peak_memory_mb.summary(),
+        worst_planning_latency: worst_planning_latency.summary(),
+        gps_drift: gps_drift.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_sharded_preserves_job_order() {
+        let results = execute_sharded(100, 7, |i| i * 2);
+        assert_eq!(results.len(), 100);
+        for (i, value) in results.iter().enumerate() {
+            assert_eq!(*value, i * 2);
+        }
+    }
+
+    #[test]
+    fn execute_sharded_handles_degenerate_sizes() {
+        assert!(execute_sharded(0, 4, |i| i).is_empty());
+        assert_eq!(execute_sharded(1, 16, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn runner_clamps_threads() {
+        assert_eq!(CampaignRunner::new(0).threads(), 1);
+        assert_eq!(
+            CampaignRunner::new(1_000_000).threads(),
+            CampaignRunner::MAX_THREADS
+        );
+        assert!(CampaignRunner::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn mismatched_scenario_suite_is_rejected() {
+        let spec = CampaignSpec::smoke();
+        let err = CampaignRunner::new(1)
+            .run_with_scenarios(&spec, &[])
+            .unwrap_err();
+        assert!(err.to_string().contains("scenario suite"));
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_any_mission_flies() {
+        let mut spec = CampaignSpec::smoke();
+        spec.variants.clear();
+        assert!(CampaignRunner::new(1).run(&spec).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Falsification search: the minimal fault intensity that breaks a system.
+//!
+//! Fixed benchmark grids answer "how often does the system land under fault
+//! X at intensity Y"; falsification asks the sharper dependability question —
+//! *how small a perturbation suffices to make landing fail?* Following the
+//! approach of "Falsification of a Vision-based Automatic Landing System",
+//! the search treats the campaign engine as a black-box oracle and bisects
+//! the intensity axis per (variant, fault kind), assuming the failure
+//! response is monotone in intensity (the fault model is built that way:
+//! every kind's severity scales monotonically with its intensity knob).
+//!
+//! Each probe is itself a deterministic mini-campaign, so the whole search is
+//! reproducible from one seed.
+
+use mls_compute::ComputeProfile;
+use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::runner::CampaignRunner;
+use crate::spec::CampaignSpec;
+use crate::CampaignError;
+
+/// Configuration of a falsification search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FalsificationConfig {
+    /// Master seed (probes derive their campaign seeds from it).
+    pub seed: u64,
+    /// Maps per probe campaign.
+    pub maps: usize,
+    /// Scenarios per map per probe campaign.
+    pub scenarios_per_map: usize,
+    /// Repetitions per scenario per probe.
+    pub repeats: usize,
+    /// Bisection refinement steps after the initial bracket (each halves the
+    /// intensity interval; 6 steps give a resolution of ~0.016).
+    pub iterations: usize,
+    /// A probe "fails" when its success rate drops below this threshold.
+    pub failure_threshold: f64,
+    /// Compute platform the probes fly on.
+    pub profile: ComputeProfile,
+    /// Landing-system configuration.
+    pub landing: LandingConfig,
+    /// Mission-executor configuration.
+    pub executor: ExecutorConfig,
+}
+
+impl Default for FalsificationConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2025,
+            maps: 2,
+            scenarios_per_map: 4,
+            repeats: 1,
+            iterations: 5,
+            failure_threshold: 0.5,
+            profile: ComputeProfile::desktop_sil(),
+            landing: LandingConfig::default(),
+            executor: ExecutorConfig::default(),
+        }
+    }
+}
+
+/// One evaluated point of the search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbePoint {
+    /// Fault intensity probed.
+    pub intensity: f64,
+    /// Landing success rate observed at that intensity.
+    pub success_rate: f64,
+}
+
+/// The outcome of falsifying one (variant, fault kind) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FalsificationResult {
+    /// System generation probed.
+    pub variant: SystemVariant,
+    /// Fault axis probed.
+    pub kind: FaultKind,
+    /// Success rate with no fault injected.
+    pub baseline_success_rate: f64,
+    /// The minimal intensity at which the success rate falls below the
+    /// failure threshold, to bisection resolution; `None` when even
+    /// intensity 1.0 does not falsify the system.
+    pub minimal_intensity: Option<f64>,
+    /// Success rate observed at `minimal_intensity`.
+    pub success_at_minimal: Option<f64>,
+    /// Every probe evaluated, in evaluation order.
+    pub probes: Vec<ProbePoint>,
+}
+
+impl FalsificationResult {
+    /// Width of the final intensity bracket (the search's resolution).
+    pub fn resolution(iterations: usize) -> f64 {
+        1.0 / (1u64 << iterations.min(53)) as f64
+    }
+}
+
+/// Bisection-based falsification search over the fault-intensity axis.
+#[derive(Debug, Clone)]
+pub struct FalsificationSearch {
+    config: FalsificationConfig,
+    runner: CampaignRunner,
+}
+
+impl FalsificationSearch {
+    /// Creates a search executing probes on `threads` worker threads.
+    pub fn new(config: FalsificationConfig, threads: usize) -> Self {
+        Self {
+            config,
+            runner: CampaignRunner::new(threads),
+        }
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &FalsificationConfig {
+        &self.config
+    }
+
+    /// Falsifies every (variant, kind) pair of the cartesian product,
+    /// returning results in sweep order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a probe campaign fails to run.
+    pub fn run(
+        &self,
+        variants: &[SystemVariant],
+        kinds: &[FaultKind],
+    ) -> Result<Vec<FalsificationResult>, CampaignError> {
+        // One scenario suite serves every probe of the search: probes differ
+        // only in variant and fault plan, never in the world flown over.
+        let scenarios = self
+            .runner
+            .generate_scenarios(&self.probe_spec(None, None))?;
+        let mut results = Vec::with_capacity(variants.len() * kinds.len());
+        for &variant in variants {
+            let baseline = self.probe(variant, None, &scenarios)?;
+            for &kind in kinds {
+                results.push(self.bisect(variant, kind, baseline, &scenarios)?);
+            }
+        }
+        Ok(results)
+    }
+
+    /// Falsifies a single (variant, kind) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a probe campaign fails to run.
+    pub fn minimal_intensity(
+        &self,
+        variant: SystemVariant,
+        kind: FaultKind,
+    ) -> Result<FalsificationResult, CampaignError> {
+        let scenarios = self
+            .runner
+            .generate_scenarios(&self.probe_spec(None, None))?;
+        let baseline = self.probe(variant, None, &scenarios)?;
+        self.bisect(variant, kind, baseline, &scenarios)
+    }
+
+    fn bisect(
+        &self,
+        variant: SystemVariant,
+        kind: FaultKind,
+        baseline_success_rate: f64,
+        scenarios: &[mls_sim_world::Scenario],
+    ) -> Result<FalsificationResult, CampaignError> {
+        let mut probes = Vec::new();
+        let threshold = self.config.failure_threshold;
+        let mut record = |intensity: f64, success_rate: f64| {
+            probes.push(ProbePoint {
+                intensity,
+                success_rate,
+            });
+        };
+
+        // The baseline itself failing means intensity 0 already falsifies:
+        // the fault axis is irrelevant for this variant.
+        if baseline_success_rate < threshold {
+            return Ok(FalsificationResult {
+                variant,
+                kind,
+                baseline_success_rate,
+                minimal_intensity: Some(0.0),
+                success_at_minimal: Some(baseline_success_rate),
+                probes,
+            });
+        }
+
+        // Bracket: does the worst-case injection falsify at all?
+        let at_max = self.probe(variant, Some(FaultPlan::new(kind, 1.0)), scenarios)?;
+        record(1.0, at_max);
+        if at_max >= threshold {
+            return Ok(FalsificationResult {
+                variant,
+                kind,
+                baseline_success_rate,
+                minimal_intensity: None,
+                success_at_minimal: None,
+                probes,
+            });
+        }
+
+        // Invariant: `lo` passes (success ≥ threshold), `hi` fails.
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        let mut success_at_hi = at_max;
+        for _ in 0..self.config.iterations {
+            let mid = (lo + hi) / 2.0;
+            let success = self.probe(variant, Some(FaultPlan::new(kind, mid)), scenarios)?;
+            record(mid, success);
+            if success < threshold {
+                hi = mid;
+                success_at_hi = success;
+            } else {
+                lo = mid;
+            }
+        }
+
+        Ok(FalsificationResult {
+            variant,
+            kind,
+            baseline_success_rate,
+            minimal_intensity: Some(hi),
+            success_at_minimal: Some(success_at_hi),
+            probes,
+        })
+    }
+
+    /// The spec of one probe campaign. `variant: None` yields a template
+    /// spec (used only for scenario generation, which ignores the variant).
+    fn probe_spec(&self, variant: Option<SystemVariant>, fault: Option<FaultPlan>) -> CampaignSpec {
+        let config = &self.config;
+        CampaignSpec {
+            name: "falsification-probe".to_string(),
+            seed: config.seed,
+            maps: config.maps,
+            scenarios_per_map: config.scenarios_per_map,
+            repeats: config.repeats,
+            variants: vec![variant.unwrap_or(SystemVariant::MlsV1)],
+            profiles: vec![config.profile.clone()],
+            baseline: fault.is_none(),
+            faults: fault.into_iter().collect(),
+            landing: config.landing.clone(),
+            executor: config.executor.clone(),
+        }
+    }
+
+    /// Runs one probe campaign over the shared suite and returns its landing
+    /// success rate.
+    fn probe(
+        &self,
+        variant: SystemVariant,
+        fault: Option<FaultPlan>,
+        scenarios: &[mls_sim_world::Scenario],
+    ) -> Result<f64, CampaignError> {
+        let spec = self.probe_spec(Some(variant), fault);
+        let report = self.runner.run_with_scenarios(&spec, scenarios)?;
+        Ok(report.cells[0].success_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_halves_per_iteration() {
+        assert_eq!(FalsificationResult::resolution(0), 1.0);
+        assert_eq!(FalsificationResult::resolution(5), 1.0 / 32.0);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = FalsificationConfig::default();
+        assert!(config.failure_threshold > 0.0 && config.failure_threshold < 1.0);
+        assert!(config.iterations >= 1);
+        let search = FalsificationSearch::new(config, 2);
+        assert_eq!(search.config().maps, 2);
+    }
+}

@@ -1,0 +1,312 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] describes a full dependability sweep — scenario suite ×
+//! system variants × compute profiles × fault plans — as plain serializable
+//! data, so campaigns can be versioned, diffed and replayed. The spec itself
+//! never runs anything; the [`runner`](crate::runner) expands it into
+//! missions with per-mission deterministic seeds.
+
+use mls_compute::ComputeProfile;
+use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{FaultKind, FaultPlan};
+use crate::CampaignError;
+
+/// A declarative fault-injection campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name, embedded in reports.
+    pub name: String,
+    /// Master seed every mission seed derives from.
+    pub seed: u64,
+    /// Number of benchmark maps.
+    pub maps: usize,
+    /// Scenarios generated per map (half normal, half adverse weather).
+    pub scenarios_per_map: usize,
+    /// Repetitions of every scenario per cell.
+    pub repeats: usize,
+    /// System generations under test.
+    pub variants: Vec<SystemVariant>,
+    /// Compute platforms under test.
+    pub profiles: Vec<ComputeProfile>,
+    /// Whether a fault-free baseline cell is included per (variant, profile).
+    pub baseline: bool,
+    /// Fault plans swept per (variant, profile).
+    pub faults: Vec<FaultPlan>,
+    /// Landing-system configuration flown in every mission.
+    pub landing: LandingConfig,
+    /// Mission-executor configuration.
+    pub executor: ExecutorConfig,
+}
+
+/// One cell of the campaign grid: a (variant, profile, fault) combination
+/// flown over the whole scenario suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignCell {
+    /// Position of the cell in the expanded grid.
+    pub index: usize,
+    /// System generation.
+    pub variant: SystemVariant,
+    /// Index into [`CampaignSpec::profiles`].
+    pub profile_index: usize,
+    /// Profile name (for reports).
+    pub profile: String,
+    /// The fault injected, or `None` for the baseline cell.
+    pub fault: Option<FaultPlan>,
+}
+
+impl CampaignCell {
+    /// Stable row label (`MLS-V3/jetson-nano-maxn/gps-bias@0.500`).
+    pub fn label(&self) -> String {
+        let fault = self
+            .fault
+            .map_or_else(|| "baseline".to_string(), |f| f.label());
+        format!("{}/{}/{}", self.variant.label(), self.profile, fault)
+    }
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        Self {
+            name: "campaign".to_string(),
+            seed: 2025,
+            maps: 3,
+            scenarios_per_map: 4,
+            repeats: 1,
+            variants: SystemVariant::ALL.to_vec(),
+            profiles: vec![ComputeProfile::desktop_sil()],
+            baseline: true,
+            faults: Vec::new(),
+            landing: LandingConfig::default(),
+            executor: ExecutorConfig::default(),
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// A minimal smoke campaign: one map, two scenarios, three variants,
+    /// three fault kinds at a single mid intensity — small enough for tests
+    /// and examples, broad enough to exercise every engine stage.
+    pub fn smoke() -> Self {
+        Self {
+            name: "smoke".to_string(),
+            maps: 1,
+            scenarios_per_map: 2,
+            faults: vec![
+                FaultPlan::new(FaultKind::MarkerOcclusion, 0.6),
+                FaultPlan::new(FaultKind::GpsBias, 0.6),
+                FaultPlan::new(FaultKind::ComputeThrottle, 0.6),
+            ],
+            ..Self::default()
+        }
+    }
+
+    /// The paper-scale fault study: the full 10×10 benchmark, every variant,
+    /// SIL and HIL compute profiles, every fault kind at three intensities.
+    pub fn full_fault_study() -> Self {
+        let mut faults = Vec::new();
+        for kind in FaultKind::ALL {
+            for intensity in [0.25, 0.5, 1.0] {
+                faults.push(FaultPlan::new(kind, intensity));
+            }
+        }
+        Self {
+            name: "full-fault-study".to_string(),
+            maps: 10,
+            scenarios_per_map: 10,
+            profiles: vec![
+                ComputeProfile::desktop_sil(),
+                ComputeProfile::jetson_nano_maxn(),
+            ],
+            faults,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidSpec`] when the grid is empty or a
+    /// parameter is out of range.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        let reject = |reason: &str| {
+            Err(CampaignError::InvalidSpec {
+                reason: reason.to_string(),
+            })
+        };
+        if self.maps == 0 || self.scenarios_per_map == 0 || self.repeats == 0 {
+            return reject("maps, scenarios_per_map and repeats must be positive");
+        }
+        if self.variants.is_empty() {
+            return reject("at least one system variant is required");
+        }
+        if self.profiles.is_empty() {
+            return reject("at least one compute profile is required");
+        }
+        if !self.baseline && self.faults.is_empty() {
+            return reject("a campaign needs a baseline cell or at least one fault plan");
+        }
+        for profile in &self.profiles {
+            profile
+                .validate()
+                .map_err(|err| CampaignError::InvalidSpec {
+                    reason: format!("profile {}: {err}", profile.name),
+                })?;
+        }
+        for fault in &self.faults {
+            if !(0.0..=1.0).contains(&fault.intensity) {
+                return reject("fault intensities must lie in [0, 1]");
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into its cells, in deterministic order:
+    /// variant-major, then profile, then baseline followed by the fault list.
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        let mut cells = Vec::new();
+        for variant in &self.variants {
+            for (profile_index, profile) in self.profiles.iter().enumerate() {
+                let faults = self
+                    .baseline
+                    .then_some(None)
+                    .into_iter()
+                    .chain(self.faults.iter().copied().map(Some));
+                for fault in faults {
+                    cells.push(CampaignCell {
+                        index: cells.len(),
+                        variant: *variant,
+                        profile_index,
+                        profile: profile.name.clone(),
+                        fault,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Missions flown per cell.
+    pub fn missions_per_cell(&self) -> usize {
+        self.maps * self.scenarios_per_map * self.repeats
+    }
+
+    /// Total missions in the campaign.
+    pub fn total_missions(&self) -> usize {
+        self.missions_per_cell() * self.cells().len()
+    }
+
+    /// The deterministic seed of one mission, a pure function of the
+    /// campaign seed and the (scenario, repeat) coordinates — independent of
+    /// execution order and thread count.
+    ///
+    /// Deliberately *not* a function of the cell: every cell flies the same
+    /// scenario with the same vehicle/sensor noise streams (common random
+    /// numbers), so variant-vs-variant, profile-vs-profile and
+    /// baseline-vs-fault contrasts are paired comparisons, exactly like the
+    /// paper's benchmark reruns.
+    pub fn mission_seed(&self, scenario_id: usize, repeat: usize) -> u64 {
+        let mut state = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for salt in [scenario_id as u64, repeat as u64] {
+            state ^= salt
+                .wrapping_add(0x2545_F491_4F6C_DD1D)
+                .wrapping_mul(state | 1);
+            state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            state ^= state >> 27;
+        }
+        state
+    }
+
+    /// Serialises the spec as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Serialize`] when serde rejects the value.
+    pub fn to_json(&self) -> Result<String, CampaignError> {
+        serde_json::to_string_pretty(self).map_err(|e| CampaignError::Serialize(e.to_string()))
+    }
+
+    /// Parses a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Serialize`] when the JSON does not describe a
+    /// valid spec.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        serde_json::from_str(text).map_err(|e| CampaignError::Serialize(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_spec_validates_and_expands() {
+        let spec = CampaignSpec::smoke();
+        spec.validate().unwrap();
+        let cells = spec.cells();
+        // 3 variants × 1 profile × (baseline + 3 faults).
+        assert_eq!(cells.len(), 12);
+        assert_eq!(spec.total_missions(), 12 * 2);
+        assert!(cells[0].fault.is_none(), "baseline cell comes first");
+        assert_eq!(cells[0].index, 0);
+        assert!(cells[1].label().contains("marker-occlusion"));
+    }
+
+    #[test]
+    fn validation_rejects_empty_grids() {
+        let mut spec = CampaignSpec::smoke();
+        spec.variants.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = CampaignSpec::smoke();
+        spec.maps = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = CampaignSpec::smoke();
+        spec.baseline = false;
+        spec.faults.clear();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn mission_seeds_are_coordinate_pure_and_distinct() {
+        let spec = CampaignSpec::smoke();
+        let a = spec.mission_seed(3, 1);
+        assert_eq!(a, spec.mission_seed(3, 1));
+        let mut seeds = std::collections::HashSet::new();
+        for scenario in 0..100 {
+            for repeat in 0..3 {
+                seeds.insert(spec.mission_seed(scenario, repeat));
+            }
+        }
+        assert_eq!(seeds.len(), 100 * 3, "seed collisions");
+        // Common random numbers: the seed does not depend on the spec's
+        // grid, only on (campaign seed, scenario, repeat).
+        let reseeded = CampaignSpec {
+            seed: spec.seed + 1,
+            ..spec.clone()
+        };
+        assert_ne!(spec.mission_seed(3, 1), reseeded.mission_seed(3, 1));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = CampaignSpec::smoke();
+        let json = spec.to_json().unwrap();
+        let parsed = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(spec, parsed);
+    }
+
+    #[test]
+    fn full_fault_study_covers_every_kind() {
+        let spec = CampaignSpec::full_fault_study();
+        spec.validate().unwrap();
+        assert_eq!(spec.faults.len(), 18);
+        // 3 variants × 2 profiles × (1 + 18) cells.
+        assert_eq!(spec.cells().len(), 3 * 2 * 19);
+    }
+}

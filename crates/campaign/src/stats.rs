@@ -1,0 +1,323 @@
+//! Streaming statistics: Welford mean/variance and P² quantile estimation.
+//!
+//! Campaign cells can hold thousands of missions; the accumulators here
+//! summarise a metric stream in O(1) memory. Both are deterministic functions
+//! of the *ordered* input stream, which is why the runner always feeds them
+//! in global job order — the resulting report bytes are then independent of
+//! how many worker threads flew the missions.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Population standard deviation; `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// The P² (Jain & Chlamtac) streaming quantile estimator: tracks one
+/// quantile with five markers and no sample storage.
+///
+/// Exact for the first five samples, then a piecewise-parabolic
+/// approximation. Deterministic in the input order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    quantile: f64,
+    /// Marker heights (estimates of the quantile positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per sample.
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for `quantile` in `(0, 1)`.
+    pub fn new(quantile: f64) -> Self {
+        let q = quantile.clamp(1e-6, 1.0 - 1e-6);
+        Self {
+            quantile: q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile(&self) -> f64 {
+        self.quantile
+    }
+
+    /// Number of samples fed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, value: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = value;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell the sample falls into and bump the end markers.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if value >= self.heights[i] && value < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for position in self.positions.iter_mut().skip(k + 1) {
+            *position += 1.0;
+        }
+        for (desired, increment) in self.desired.iter_mut().zip(self.increments) {
+            *desired += increment;
+        }
+
+        // Adjust the three interior markers towards their desired positions.
+        for i in 1..4 {
+            let delta = self.desired[i] - self.positions[i];
+            let ahead = self.positions[i + 1] - self.positions[i];
+            let behind = self.positions[i - 1] - self.positions[i];
+            if (delta >= 1.0 && ahead > 1.0) || (delta <= -1.0 && behind < -1.0) {
+                let direction = delta.signum();
+                let parabolic = self.parabolic(i, direction);
+                if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    self.heights[i] = parabolic;
+                } else {
+                    self.heights[i] = self.linear(i, direction);
+                }
+                self.positions[i] += direction;
+            }
+        }
+    }
+
+    /// Current estimate; `None` when empty. Exact while fewer than five
+    /// samples have been seen.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut sorted = self.heights[..self.count].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            let rank = (self.quantile * (self.count - 1) as f64).round() as usize;
+            return Some(sorted[rank.min(self.count - 1)]);
+        }
+        Some(self.heights[2])
+    }
+
+    fn parabolic(&self, i: usize, direction: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + direction / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + direction) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - direction) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, direction: f64) -> f64 {
+        let j = (i as f64 + direction) as usize;
+        self.heights[i]
+            + direction * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i])
+    }
+}
+
+/// One metric's full streaming summary: mean/std/min/max plus the median and
+/// the 95th percentile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricAccumulator {
+    welford: Welford,
+    p50: P2Quantile,
+    p95: P2Quantile,
+}
+
+impl Default for MetricAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            welford: Welford::new(),
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+        }
+    }
+
+    /// Feeds one sample into every statistic.
+    pub fn push(&mut self, value: f64) {
+        self.welford.push(value);
+        self.p50.push(value);
+        self.p95.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Snapshot of the summary statistics.
+    pub fn summary(&self) -> crate::report::MetricSummary {
+        crate::report::MetricSummary {
+            count: self.welford.count(),
+            mean: self.welford.mean(),
+            std_dev: self.welford.std_dev(),
+            min: self.welford.min(),
+            max: self.welford.max(),
+            p50: self.p50.estimate(),
+            p95: self.p95.estimate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for s in samples {
+            w.push(s);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((w.std_dev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+        assert_eq!(Welford::new().mean(), None);
+    }
+
+    #[test]
+    fn p2_median_tracks_a_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        // Deterministic pseudo-uniform stream in [0, 1000).
+        let mut state = 1u64;
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            q.push((state >> 11) as f64 % 1000.0);
+        }
+        let median = q.estimate().unwrap();
+        assert!((median - 500.0).abs() < 50.0, "median {median}");
+    }
+
+    #[test]
+    fn p2_exact_for_small_streams() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.push(10.0);
+        assert_eq!(q.estimate(), Some(10.0));
+        q.push(30.0);
+        q.push(20.0);
+        assert_eq!(q.estimate(), Some(20.0));
+    }
+
+    #[test]
+    fn p2_p95_on_a_ramp() {
+        let mut q = P2Quantile::new(0.95);
+        for i in 0..1000 {
+            q.push(i as f64);
+        }
+        let p95 = q.estimate().unwrap();
+        assert!((p95 - 950.0).abs() < 25.0, "p95 {p95}");
+    }
+
+    #[test]
+    fn metric_accumulator_summarises() {
+        let mut m = MetricAccumulator::new();
+        for i in 1..=100 {
+            m.push(i as f64);
+        }
+        let summary = m.summary();
+        assert_eq!(summary.count, 100);
+        assert!((summary.mean.unwrap() - 50.5).abs() < 1e-12);
+        assert!((summary.p50.unwrap() - 50.0).abs() < 5.0);
+        assert!((summary.p95.unwrap() - 95.0).abs() < 5.0);
+        assert_eq!(summary.min, Some(1.0));
+        assert_eq!(summary.max, Some(100.0));
+    }
+}

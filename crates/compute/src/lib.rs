@@ -39,7 +39,9 @@ pub enum ComputeError {
 impl fmt::Display for ComputeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ComputeError::InvalidProfile { reason } => write!(f, "invalid compute profile: {reason}"),
+            ComputeError::InvalidProfile { reason } => {
+                write!(f, "invalid compute profile: {reason}")
+            }
         }
     }
 }
@@ -217,6 +219,7 @@ pub struct ComputeModel {
     tick_dt: f64,
     trace: Vec<ResourceSample>,
     time: f64,
+    throttle: f64,
 }
 
 impl ComputeModel {
@@ -235,7 +238,20 @@ impl ComputeModel {
             tick_dt: 0.02,
             trace: Vec::new(),
             time: 0.0,
+            throttle: 1.0,
         })
+    }
+
+    /// Sets the platform throttle factor (thermal / power capping): `1.0` is
+    /// full speed, lower values scale down both per-core speed and total
+    /// capacity. Clamped to `[0.05, 1.0]`.
+    pub fn set_throttle(&mut self, throttle: f64) {
+        self.throttle = throttle.clamp(0.05, 1.0);
+    }
+
+    /// The current throttle factor.
+    pub fn throttle(&self) -> f64 {
+        self.throttle
     }
 
     /// The platform profile.
@@ -282,7 +298,7 @@ impl ComputeModel {
         // Contention: when the work submitted this tick exceeds what the
         // platform can execute within the tick, every task slows down
         // proportionally.
-        let capacity_per_tick = self.profile.capacity() * self.tick_dt;
+        let capacity_per_tick = self.profile.capacity() * self.throttle * self.tick_dt;
         let contention = (self.tick_submitted / capacity_per_tick.max(1e-9)).max(1.0);
 
         // Memory pressure beyond 90 % causes additional thrashing latency.
@@ -294,8 +310,11 @@ impl ComputeModel {
         };
 
         // A task runs on one core: base latency is its cost divided by the
-        // per-core speed, inflated by contention and memory pressure.
-        let latency = (effective_cost / self.profile.core_speed) * contention * memory_penalty;
+        // (possibly throttled) per-core speed, inflated by contention and
+        // memory pressure.
+        let latency = (effective_cost / (self.profile.core_speed * self.throttle))
+            * contention
+            * memory_penalty;
 
         self.tick_worst_latency = self.tick_worst_latency.max(latency);
         TaskOutcome {
@@ -307,9 +326,10 @@ impl ComputeModel {
     /// Ends the tick, recording a trace sample at `time` seconds.
     pub fn end_tick(&mut self, time: f64) -> ResourceSample {
         self.time = time;
-        let capacity_per_tick = self.profile.capacity() * self.tick_dt;
+        let capacity_per_tick = self.profile.capacity() * self.throttle * self.tick_dt;
         let busy = (self.tick_submitted / capacity_per_tick.max(1e-9)).min(1.0);
-        let cpu = (self.profile.background_cpu + busy * (1.0 - self.profile.background_cpu)).min(1.0);
+        let cpu =
+            (self.profile.background_cpu + busy * (1.0 - self.profile.background_cpu)).min(1.0);
         let sample = ResourceSample {
             time,
             cpu,
@@ -410,7 +430,10 @@ mod tests {
         ] {
             p.validate().unwrap();
         }
-        assert!(ComputeProfile::desktop_sil().capacity() > ComputeProfile::jetson_nano_maxn().capacity());
+        assert!(
+            ComputeProfile::desktop_sil().capacity()
+                > ComputeProfile::jetson_nano_maxn().capacity()
+        );
         assert!(
             ComputeProfile::jetson_nano_maxn().capacity()
                 > ComputeProfile::jetson_nano_realworld().capacity()
@@ -438,7 +461,12 @@ mod tests {
         jetson.begin_tick(0.02);
         let d = desktop.submit(TaskKind::PathPlanning, 0.01);
         let j = jetson.submit(TaskKind::PathPlanning, 0.01);
-        assert!(j.latency > d.latency * 2.0, "jetson {} vs desktop {}", j.latency, d.latency);
+        assert!(
+            j.latency > d.latency * 2.0,
+            "jetson {} vs desktop {}",
+            j.latency,
+            d.latency
+        );
     }
 
     #[test]
@@ -530,7 +558,9 @@ mod tests {
     fn errors_are_send_sync_and_display() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ComputeError>();
-        let e = ComputeError::InvalidProfile { reason: "x".to_string() };
+        let e = ComputeError::InvalidProfile {
+            reason: "x".to_string(),
+        };
         assert!(e.to_string().contains('x'));
     }
 }

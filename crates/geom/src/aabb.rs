@@ -255,7 +255,10 @@ mod tests {
     fn closest_point_and_distance() {
         let b = unit_box();
         assert_eq!(b.closest_point(Vec3::splat(0.5)), Vec3::splat(0.5));
-        assert_eq!(b.closest_point(Vec3::new(2.0, 0.5, 0.5)), Vec3::new(1.0, 0.5, 0.5));
+        assert_eq!(
+            b.closest_point(Vec3::new(2.0, 0.5, 0.5)),
+            Vec3::new(1.0, 0.5, 0.5)
+        );
         assert!((b.distance_to_point(Vec3::new(2.0, 0.5, 0.5)) - 1.0).abs() < 1e-12);
         assert_eq!(b.distance_to_point(Vec3::splat(0.5)), 0.0);
     }

@@ -81,7 +81,10 @@ mod tests {
         for i in -100..100 {
             let a = i as f64 * 0.37;
             let w = wrap_angle(a);
-            assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "angle {a} wrapped to {w}");
+            assert!(
+                w > -PI - 1e-12 && w <= PI + 1e-12,
+                "angle {a} wrapped to {w}"
+            );
             assert!((wrap_angle(w) - w).abs() < 1e-12);
         }
     }

@@ -36,7 +36,11 @@ pub struct Attitude {
 
 impl Attitude {
     /// The level attitude with zero yaw.
-    pub const LEVEL: Attitude = Attitude { roll: 0.0, pitch: 0.0, yaw: 0.0 };
+    pub const LEVEL: Attitude = Attitude {
+        roll: 0.0,
+        pitch: 0.0,
+        yaw: 0.0,
+    };
 
     /// Creates an attitude from roll, pitch and yaw in radians.
     #[inline]
@@ -47,7 +51,11 @@ impl Attitude {
     /// Creates a level attitude with the given yaw.
     #[inline]
     pub const fn from_yaw(yaw: f64) -> Self {
-        Self { roll: 0.0, pitch: 0.0, yaw }
+        Self {
+            roll: 0.0,
+            pitch: 0.0,
+            yaw,
+        }
     }
 
     /// Returns the attitude with every angle wrapped into `(-π, π]`.
@@ -145,7 +153,12 @@ mod tests {
     #[test]
     fn level_attitude_is_identity() {
         let att = Attitude::LEVEL;
-        for v in [Vec3::UNIT_X, Vec3::UNIT_Y, Vec3::UNIT_Z, Vec3::new(1.0, 2.0, 3.0)] {
+        for v in [
+            Vec3::UNIT_X,
+            Vec3::UNIT_Y,
+            Vec3::UNIT_Z,
+            Vec3::new(1.0, 2.0, 3.0),
+        ] {
             assert!(approx(att.body_to_world(v), v));
             assert!(approx(att.world_to_body(v), v));
         }
@@ -171,7 +184,11 @@ mod tests {
     #[test]
     fn world_to_body_inverts_body_to_world() {
         let att = Attitude::new(0.1, -0.2, 2.2);
-        for v in [Vec3::new(1.0, -2.0, 0.5), Vec3::UNIT_Z, Vec3::new(-3.0, 7.0, -1.0)] {
+        for v in [
+            Vec3::new(1.0, -2.0, 0.5),
+            Vec3::UNIT_Z,
+            Vec3::new(-3.0, 7.0, -1.0),
+        ] {
             let roundtrip = att.world_to_body(att.body_to_world(v));
             assert!(approx(roundtrip, v));
         }

@@ -127,7 +127,11 @@ mod tests {
     #[test]
     fn transform_roundtrip() {
         let p = Pose::new(Vec3::new(3.0, -2.0, 8.0), Attitude::new(0.05, -0.1, 1.0));
-        for point in [Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0), Vec3::new(-4.0, 0.5, -2.0)] {
+        for point in [
+            Vec3::ZERO,
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-4.0, 0.5, -2.0),
+        ] {
             let rt = p.inverse_transform_point(p.transform_point(point));
             assert!((rt - point).norm() < 1e-9);
         }

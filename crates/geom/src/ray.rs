@@ -159,7 +159,10 @@ mod tests {
         // Point beyond the end of the segment measures to the endpoint.
         assert!((segment_point_distance(Vec3::new(3.0, 0.0, 0.0), a, b) - 2.0).abs() < 1e-12);
         // Degenerate segment is a point.
-        assert!((segment_point_distance(Vec3::new(0.0, 2.0, 0.0), a, a) - (5.0f64).sqrt()).abs() < 1e-12);
+        assert!(
+            (segment_point_distance(Vec3::new(0.0, 2.0, 0.0), a, a) - (5.0f64).sqrt()).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -30,13 +30,29 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +x (east).
-    pub const UNIT_X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const UNIT_X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +y (north).
-    pub const UNIT_Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const UNIT_Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit vector along +z (up).
-    pub const UNIT_Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const UNIT_Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a new vector from its components.
     #[inline]
@@ -133,13 +149,21 @@ impl Vec3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, other: Vec3) -> Vec3 {
-        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Vec3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, other: Vec3) -> Vec3 {
-        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Vec3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Component-wise absolute value.
@@ -400,7 +424,10 @@ mod tests {
         assert!((clamped.norm() - 5.0).abs() < 1e-12);
         assert!((clamped.normalized().unwrap() - v.normalized().unwrap()).norm() < 1e-12);
         // Shorter vectors are unchanged.
-        assert_eq!(Vec3::new(1.0, 0.0, 0.0).clamp_norm(5.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(
+            Vec3::new(1.0, 0.0, 0.0).clamp_norm(5.0),
+            Vec3::new(1.0, 0.0, 0.0)
+        );
         assert_eq!(Vec3::ZERO.clamp_norm(5.0), Vec3::ZERO);
     }
 

@@ -150,10 +150,22 @@ mod tests {
 
     #[test]
     fn point_to_voxel_floor_semantics() {
-        assert_eq!(VoxelIndex::from_point(Vec3::new(0.0, 0.0, 0.0), 1.0), VoxelIndex::new(0, 0, 0));
-        assert_eq!(VoxelIndex::from_point(Vec3::new(0.99, 0.0, 0.0), 1.0), VoxelIndex::new(0, 0, 0));
-        assert_eq!(VoxelIndex::from_point(Vec3::new(1.0, 0.0, 0.0), 1.0), VoxelIndex::new(1, 0, 0));
-        assert_eq!(VoxelIndex::from_point(Vec3::new(-0.01, 0.0, 0.0), 1.0), VoxelIndex::new(-1, 0, 0));
+        assert_eq!(
+            VoxelIndex::from_point(Vec3::new(0.0, 0.0, 0.0), 1.0),
+            VoxelIndex::new(0, 0, 0)
+        );
+        assert_eq!(
+            VoxelIndex::from_point(Vec3::new(0.99, 0.0, 0.0), 1.0),
+            VoxelIndex::new(0, 0, 0)
+        );
+        assert_eq!(
+            VoxelIndex::from_point(Vec3::new(1.0, 0.0, 0.0), 1.0),
+            VoxelIndex::new(1, 0, 0)
+        );
+        assert_eq!(
+            VoxelIndex::from_point(Vec3::new(-0.01, 0.0, 0.0), 1.0),
+            VoxelIndex::new(-1, 0, 0)
+        );
     }
 
     #[test]

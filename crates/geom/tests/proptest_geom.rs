@@ -1,6 +1,8 @@
 //! Property-based tests for the geometry primitives.
 
-use mls_geom::{segment_point_distance, wrap_angle, Aabb, Attitude, Pose, Ray, Vec2, Vec3, VoxelIndex};
+use mls_geom::{
+    segment_point_distance, wrap_angle, Aabb, Attitude, Pose, Ray, Vec2, Vec3, VoxelIndex,
+};
 use proptest::prelude::*;
 
 fn finite() -> impl Strategy<Value = f64> {

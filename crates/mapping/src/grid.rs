@@ -94,12 +94,7 @@ impl VoxelGridMap {
 
     /// World position of the window centre.
     pub fn center(&self) -> Vec3 {
-        self.origin
-            + Vec3::new(
-                self.config.half_extent_xy,
-                self.config.half_extent_xy,
-                0.0,
-            )
+        self.origin + Vec3::new(self.config.half_extent_xy, self.config.half_extent_xy, 0.0)
     }
 
     /// Number of cells currently marked occupied.
@@ -118,8 +113,14 @@ impl VoxelGridMap {
     /// paper calls out.
     pub fn recenter(&mut self, center: Vec3) {
         let new_origin = Vec3::new(
-            snap(center.x - self.config.half_extent_xy, self.config.resolution),
-            snap(center.y - self.config.half_extent_xy, self.config.resolution),
+            snap(
+                center.x - self.config.half_extent_xy,
+                self.config.resolution,
+            ),
+            snap(
+                center.y - self.config.half_extent_xy,
+                self.config.resolution,
+            ),
             0.0,
         );
         if (new_origin - self.origin).norm() < self.config.resolution * 0.5 {
@@ -133,7 +134,8 @@ impl VoxelGridMap {
                 for x in 0..self.nx {
                     let old_x = x as i64 + shift_x;
                     let old_y = y as i64 + shift_y;
-                    if old_x < 0 || old_y < 0 || old_x >= self.nx as i64 || old_y >= self.ny as i64 {
+                    if old_x < 0 || old_y < 0 || old_x >= self.nx as i64 || old_y >= self.ny as i64
+                    {
                         continue;
                     }
                     let old_idx = (z * self.ny + old_y as usize) * self.nx + old_x as usize;
@@ -233,11 +235,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = VoxelGridConfig::default();
-        cfg.resolution = 0.0;
+        let cfg = VoxelGridConfig {
+            resolution: 0.0,
+            ..VoxelGridConfig::default()
+        };
         assert!(VoxelGridMap::new(cfg).is_err());
-        let mut cfg = VoxelGridConfig::default();
-        cfg.height = -1.0;
+        let cfg = VoxelGridConfig {
+            height: -1.0,
+            ..VoxelGridConfig::default()
+        };
         assert!(VoxelGridMap::new(cfg).is_err());
     }
 
@@ -288,8 +294,14 @@ mod tests {
         let mut grid = small_grid();
         let origin = Vec3::new(0.0, 0.0, 2.0);
         // An obstacle close by and one near the trailing edge of the window.
-        grid.insert_cloud(origin, &[Vec3::new(4.0, 0.0, 2.0), Vec3::new(-9.0, 0.0, 2.0)]);
-        assert_eq!(grid.state_at(Vec3::new(-9.0, 0.0, 2.0)), CellState::Occupied);
+        grid.insert_cloud(
+            origin,
+            &[Vec3::new(4.0, 0.0, 2.0), Vec3::new(-9.0, 0.0, 2.0)],
+        );
+        assert_eq!(
+            grid.state_at(Vec3::new(-9.0, 0.0, 2.0)),
+            CellState::Occupied
+        );
 
         // Move the window 12 m forward: the obstacle behind falls outside and
         // is forgotten; the one ahead is preserved.

@@ -47,7 +47,9 @@ pub enum MappingError {
 impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MappingError::InvalidConfig { reason } => write!(f, "invalid map configuration: {reason}"),
+            MappingError::InvalidConfig { reason } => {
+                write!(f, "invalid map configuration: {reason}")
+            }
         }
     }
 }
@@ -136,7 +138,13 @@ pub trait OccupancyQuery: Send + Sync {
 
     /// `true` when the straight segment from `a` to `b`, inflated by
     /// `radius`, touches occupied space.
-    fn segment_blocked(&self, a: Vec3, b: Vec3, radius: f64, treat_unknown_as_occupied: bool) -> bool {
+    fn segment_blocked(
+        &self,
+        a: Vec3,
+        b: Vec3,
+        radius: f64,
+        treat_unknown_as_occupied: bool,
+    ) -> bool {
         let length = a.distance(b);
         let step = self.resolution().max(0.1);
         let samples = (length / step).ceil().max(1.0) as usize;
@@ -203,7 +211,9 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = MappingError::InvalidConfig { reason: "resolution".to_string() };
+        let e = MappingError::InvalidConfig {
+            reason: "resolution".to_string(),
+        };
         assert!(e.to_string().contains("resolution"));
     }
 }

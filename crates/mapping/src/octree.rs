@@ -146,12 +146,27 @@ impl OctreeMap {
 
     /// Inserts a point cloud captured from `origin`.
     pub fn insert_cloud(&mut self, origin: Vec3, points: &[Vec3]) {
+        // Endpoint cells of this scan: like OctoMap's batch insert, a cell
+        // that received a hit in the scan is exempt from the scan's own
+        // free-space updates, so a ray grazing past one endpoint cannot erase
+        // another endpoint observed a moment earlier.
+        let endpoints: std::collections::HashSet<(u64, u64, u64)> = points
+            .iter()
+            .filter(|p| origin.distance(**p) <= self.config.max_range)
+            .filter_map(|p| self.leaf_coordinates(*p))
+            .collect();
         for &point in points {
             if origin.distance(point) > self.config.max_range {
                 continue;
             }
             for cell in voxel_traversal(origin, point, self.config.resolution) {
                 let world = cell.center(self.config.resolution);
+                if self
+                    .leaf_coordinates(world)
+                    .is_some_and(|coords| endpoints.contains(&coords))
+                {
+                    continue;
+                }
                 self.update_cell(world, self.config.miss_log_odds);
             }
             self.update_cell(point, self.config.hit_log_odds);
@@ -176,7 +191,8 @@ impl OctreeMap {
         let mut path = Vec::with_capacity(self.depth as usize);
         let mut node_idx = 0u32;
         for level in (0..self.depth).rev() {
-            let octant = (((ix >> level) & 1) << 2 | ((iy >> level) & 1) << 1 | ((iz >> level) & 1)) as usize;
+            let octant = (((ix >> level) & 1) << 2 | ((iy >> level) & 1) << 1 | ((iz >> level) & 1))
+                as usize;
             path.push((node_idx, octant));
             let node = self.nodes[node_idx as usize];
             if node.is_leaf() && node.observed {
@@ -217,7 +233,7 @@ impl OctreeMap {
     fn prune_path(&mut self, path: &[(u32, usize)]) {
         for &(parent_idx, _) in path.iter().rev() {
             let parent = self.nodes[parent_idx as usize];
-            if parent.children.iter().any(|&c| c == 0) {
+            if parent.children.contains(&0) {
                 return;
             }
             let mut state: Option<CellState> = None;
@@ -315,7 +331,8 @@ impl OccupancyQuery for OctreeMap {
             if node.is_leaf() {
                 return self.classify(node.log_odds as f64, node.observed);
             }
-            let octant = (((ix >> level) & 1) << 2 | ((iy >> level) & 1) << 1 | ((iz >> level) & 1)) as usize;
+            let octant = (((ix >> level) & 1) << 2 | ((iy >> level) & 1) << 1 | ((iz >> level) & 1))
+                as usize;
             let child = node.children[octant];
             if child == 0 {
                 return CellState::Unknown;
@@ -350,15 +367,21 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = OctreeConfig::default();
-        cfg.resolution = 0.0;
+        let cfg = OctreeConfig {
+            resolution: 0.0,
+            ..OctreeConfig::default()
+        };
         assert!(OctreeMap::new(cfg).is_err());
-        let mut cfg = OctreeConfig::default();
-        cfg.miss_log_odds = 0.1;
+        let cfg = OctreeConfig {
+            miss_log_odds: 0.1,
+            ..OctreeConfig::default()
+        };
         assert!(OctreeMap::new(cfg).is_err());
-        let mut cfg = OctreeConfig::default();
-        cfg.resolution = 0.001;
-        cfg.half_extent = 500.0;
+        let cfg = OctreeConfig {
+            resolution: 0.001,
+            half_extent: 500.0,
+            ..OctreeConfig::default()
+        };
         assert!(OctreeMap::new(cfg).is_err(), "depth limit");
     }
 
@@ -417,7 +440,10 @@ mod tests {
             tree.update_cell(cell, tree.config.miss_log_odds);
             flips += 1;
         }
-        assert!(flips < 30, "clamping should bound the flip count, took {flips}");
+        assert!(
+            flips < 30,
+            "clamping should bound the flip count, took {flips}"
+        );
     }
 
     #[test]
@@ -457,7 +483,9 @@ mod tests {
         for dz in 0..2 {
             for dy in 0..2 {
                 for dx in 0..2 {
-                    tree.mark_occupied(base + Vec3::new(dx as f64 * res, dy as f64 * res, dz as f64 * res));
+                    tree.mark_occupied(
+                        base + Vec3::new(dx as f64 * res, dy as f64 * res, dz as f64 * res),
+                    );
                     peak_nodes = peak_nodes.max(tree.node_count());
                 }
             }
@@ -494,7 +522,11 @@ mod tests {
         let mut points = Vec::new();
         for i in 0..200 {
             let angle = i as f64 * 0.05;
-            points.push(Vec3::new(10.0 + angle.cos() * 3.0, angle.sin() * 3.0, 2.0 + (i % 5) as f64));
+            points.push(Vec3::new(
+                10.0 + angle.cos() * 3.0,
+                angle.sin() * 3.0,
+                2.0 + (i % 5) as f64,
+            ));
         }
         tree.insert_cloud(origin, &points);
         grid.insert_cloud(origin, &points);
@@ -511,7 +543,10 @@ mod tests {
         let mut tree = small_octree();
         tree.insert_cloud(Vec3::new(0.0, 0.0, 2.0), &[Vec3::new(500.0, 0.0, 2.0)]);
         tree.mark_occupied(Vec3::new(0.0, 0.0, -5.0));
-        assert_eq!(tree.state_at(Vec3::new(500.0, 0.0, 2.0)), CellState::Unknown);
+        assert_eq!(
+            tree.state_at(Vec3::new(500.0, 0.0, 2.0)),
+            CellState::Unknown
+        );
         assert_eq!(tree.node_count(), 1);
     }
 }

@@ -49,9 +49,21 @@ pub fn voxel_traversal(from: Vec3, to: Vec3, resolution: f64) -> Vec<VoxelIndex>
     let mut t_max_x = t_for_axis(from.x, dir.x, next_boundary(current.x, step_x));
     let mut t_max_y = t_for_axis(from.y, dir.y, next_boundary(current.y, step_y));
     let mut t_max_z = t_for_axis(from.z, dir.z, next_boundary(current.z, step_z));
-    let t_delta_x = if dir.x.abs() < 1e-12 { f64::INFINITY } else { resolution / dir.x.abs() };
-    let t_delta_y = if dir.y.abs() < 1e-12 { f64::INFINITY } else { resolution / dir.y.abs() };
-    let t_delta_z = if dir.z.abs() < 1e-12 { f64::INFINITY } else { resolution / dir.z.abs() };
+    let t_delta_x = if dir.x.abs() < 1e-12 {
+        f64::INFINITY
+    } else {
+        resolution / dir.x.abs()
+    };
+    let t_delta_y = if dir.y.abs() < 1e-12 {
+        f64::INFINITY
+    } else {
+        resolution / dir.y.abs()
+    };
+    let t_delta_z = if dir.z.abs() < 1e-12 {
+        f64::INFINITY
+    } else {
+        resolution / dir.z.abs()
+    };
 
     // Generous bound on the number of crossed cells.
     let max_cells = (3.0 * length / resolution).ceil() as usize + 6;
@@ -80,7 +92,11 @@ mod tests {
 
     #[test]
     fn straight_x_ray_visits_consecutive_cells() {
-        let cells = voxel_traversal(Vec3::new(0.05, 0.05, 0.05), Vec3::new(1.05, 0.05, 0.05), 0.1);
+        let cells = voxel_traversal(
+            Vec3::new(0.05, 0.05, 0.05),
+            Vec3::new(1.05, 0.05, 0.05),
+            0.1,
+        );
         assert_eq!(cells.len(), 10);
         for (i, c) in cells.iter().enumerate() {
             assert_eq!(*c, VoxelIndex::new(i as i32, 0, 0));
@@ -102,12 +118,18 @@ mod tests {
 
     #[test]
     fn same_cell_returns_empty() {
-        assert!(voxel_traversal(Vec3::new(0.01, 0.0, 0.0), Vec3::new(0.02, 0.0, 0.0), 0.1).is_empty());
+        assert!(
+            voxel_traversal(Vec3::new(0.01, 0.0, 0.0), Vec3::new(0.02, 0.0, 0.0), 0.1).is_empty()
+        );
     }
 
     #[test]
     fn negative_direction_works() {
-        let cells = voxel_traversal(Vec3::new(1.05, 0.05, 0.05), Vec3::new(-0.95, 0.05, 0.05), 0.1);
+        let cells = voxel_traversal(
+            Vec3::new(1.05, 0.05, 0.05),
+            Vec3::new(-0.95, 0.05, 0.05),
+            0.1,
+        );
         assert!(cells.len() >= 19);
         assert_eq!(cells[0], VoxelIndex::new(10, 0, 0));
         assert!(cells.iter().all(|c| c.y == 0 && c.z == 0));
@@ -116,6 +138,9 @@ mod tests {
     #[test]
     fn traversal_starts_at_start_cell() {
         let cells = voxel_traversal(Vec3::new(-0.35, 0.2, 0.0), Vec3::new(0.8, -0.4, 0.3), 0.25);
-        assert_eq!(cells[0], VoxelIndex::from_point(Vec3::new(-0.35, 0.2, 0.0), 0.25));
+        assert_eq!(
+            cells[0],
+            VoxelIndex::from_point(Vec3::new(-0.35, 0.2, 0.0), 0.25)
+        );
     }
 }

@@ -53,7 +53,9 @@ proptest! {
             carve_free_space: true,
             max_range: 40.0,
         }).unwrap();
-        let mut tree = OctreeMap::new(OctreeConfig { resolution: 0.5, half_extent: 32.0, ..OctreeConfig::default() }).unwrap();
+        // max_range must cover the sampled endpoints (up to ~22 m away) and
+        // match the grid, or the octree silently drops what the grid records.
+        let mut tree = OctreeMap::new(OctreeConfig { resolution: 0.5, half_extent: 32.0, max_range: 40.0, ..OctreeConfig::default() }).unwrap();
         for _ in 0..3 {
             grid.insert_cloud(origin, &endpoints);
             tree.insert_cloud(origin, &endpoints);

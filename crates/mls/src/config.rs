@@ -94,7 +94,8 @@ impl LandingConfig {
     pub fn validate(&self) -> Result<(), MlsError> {
         if self.validation_threshold > self.validation_frames || self.validation_frames == 0 {
             return Err(MlsError::InvalidConfig {
-                reason: "validation threshold must be <= validation frames (and frames > 0)".to_string(),
+                reason: "validation threshold must be <= validation frames (and frames > 0)"
+                    .to_string(),
             });
         }
         if self.cruise_altitude <= self.final_descent_altitude {
@@ -102,7 +103,10 @@ impl LandingConfig {
                 reason: "cruise altitude must exceed the final-descent altitude".to_string(),
             });
         }
-        if self.detection_rate_hz <= 0.0 || self.mapping_rate_hz <= 0.0 || self.decision_rate_hz <= 0.0 {
+        if self.detection_rate_hz <= 0.0
+            || self.mapping_rate_hz <= 0.0
+            || self.decision_rate_hz <= 0.0
+        {
             return Err(MlsError::InvalidConfig {
                 reason: "module rates must be positive".to_string(),
             });
@@ -170,26 +174,36 @@ mod tests {
 
     #[test]
     fn inconsistent_thresholds_are_rejected() {
-        let mut cfg = LandingConfig::default();
-        cfg.validation_threshold = 10;
-        cfg.validation_frames = 5;
+        let cfg = LandingConfig {
+            validation_threshold: 10,
+            validation_frames: 5,
+            ..LandingConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = LandingConfig::default();
-        cfg.validation_frames = 0;
-        cfg.validation_threshold = 0;
+        let cfg = LandingConfig {
+            validation_frames: 0,
+            validation_threshold: 0,
+            ..LandingConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = LandingConfig::default();
-        cfg.cruise_altitude = 1.0;
+        let cfg = LandingConfig {
+            cruise_altitude: 1.0,
+            ..LandingConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = LandingConfig::default();
-        cfg.detection_rate_hz = 0.0;
+        let cfg = LandingConfig {
+            detection_rate_hz: 0.0,
+            ..LandingConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = LandingConfig::default();
-        cfg.min_detection_confidence = 2.0;
+        let cfg = LandingConfig {
+            min_detection_confidence: 2.0,
+            ..LandingConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

@@ -166,7 +166,11 @@ impl DecisionModule {
 
     /// Spiral search legs: the GPS estimate first, then an outward spiral.
     fn build_search_legs(config: &LandingConfig, gps_target: Vec3) -> Vec<Vec3> {
-        let mut legs = vec![Vec3::new(gps_target.x, gps_target.y, config.cruise_altitude)];
+        let mut legs = vec![Vec3::new(
+            gps_target.x,
+            gps_target.y,
+            config.cruise_altitude,
+        )];
         let turns = config.max_search_legs.max(1);
         for i in 0..turns {
             let angle = i as f64 * std::f64::consts::FRAC_PI_2 * 1.5;
@@ -194,8 +198,14 @@ impl DecisionModule {
     ) -> Option<&'a MarkerObservation> {
         observations
             .iter()
-            .filter(|o| o.id == self.target_id && o.confidence >= self.config.min_detection_confidence)
-            .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).unwrap_or(std::cmp::Ordering::Equal))
+            .filter(|o| {
+                o.id == self.target_id && o.confidence >= self.config.min_detection_confidence
+            })
+            .max_by(|a, b| {
+                a.confidence
+                    .partial_cmp(&b.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// Advances the state machine by one decision tick.
@@ -206,9 +216,15 @@ impl DecisionModule {
         }
         let elapsed = inputs.time - self.mission_start.unwrap_or(0.0);
         if elapsed > self.config.mission_timeout
-            && !matches!(self.state, DecisionState::Landed | DecisionState::Failsafe(_))
+            && !matches!(
+                self.state,
+                DecisionState::Landed | DecisionState::Failsafe(_)
+            )
         {
-            self.transition(inputs.time, DecisionState::Failsafe(FailsafeReason::MissionTimeout));
+            self.transition(
+                inputs.time,
+                DecisionState::Failsafe(FailsafeReason::MissionTimeout),
+            );
         }
 
         let target_observation = self.best_target_observation(inputs.observations).cloned();
@@ -315,7 +331,9 @@ impl DecisionModule {
 
                 // Corridor safety check from the waypoint down to the pad.
                 let corridor_from = Vec3::new(target.x, target.y, inputs.position.z.max(goal.z));
-                if !validate_descent_corridor(map, corridor_from, target, &self.config.safety).is_safe() {
+                if !validate_descent_corridor(map, corridor_from, target, &self.config.safety)
+                    .is_safe()
+                {
                     return self.abort_attempt(inputs.time, FailsafeReason::UnsafeDescent);
                 }
                 if matches!(
@@ -354,7 +372,10 @@ impl DecisionModule {
                         goal: self.search_legs[self.current_leg],
                     }
                 } else {
-                    self.transition(time, DecisionState::Failsafe(FailsafeReason::PlanningFailure));
+                    self.transition(
+                        time,
+                        DecisionState::Failsafe(FailsafeReason::PlanningFailure),
+                    );
                     Directive::Abort {
                         reason: FailsafeReason::PlanningFailure,
                     }
@@ -431,7 +452,7 @@ mod tests {
         match directive {
             Directive::FlyTo { goal } => {
                 assert!((goal.x - 40.0).abs() < 1e-9);
-                assert!((goal.z - 12.0).abs() < 1e-9);
+                assert!((goal.z - LandingConfig::default().cruise_altitude).abs() < 1e-9);
             }
             other => panic!("expected FlyTo, got {other:?}"),
         }
@@ -440,8 +461,10 @@ mod tests {
 
     #[test]
     fn spiral_advances_when_legs_are_reached_and_eventually_gives_up() {
-        let mut cfg = LandingConfig::default();
-        cfg.max_search_legs = 3;
+        let cfg = LandingConfig {
+            max_search_legs: 3,
+            ..LandingConfig::default()
+        };
         let mut dm = DecisionModule::new(cfg, 7, Vec3::new(40.0, 0.0, 0.0));
         let mut time = 0.0;
         let mut aborted = false;
@@ -542,9 +565,11 @@ mod tests {
 
     #[test]
     fn marker_loss_during_descent_aborts_the_attempt() {
-        let mut cfg = LandingConfig::default();
-        cfg.marker_loss_timeout = 2.0;
-        cfg.max_landing_aborts = 0;
+        let cfg = LandingConfig {
+            marker_loss_timeout: 2.0,
+            max_landing_aborts: 0,
+            ..LandingConfig::default()
+        };
         let mut dm = DecisionModule::new(cfg, 7, Vec3::new(40.0, 0.0, 0.0));
         let marker = Vec3::new(42.0, 1.0, 0.0);
         let obs = [observation(7, marker, 0.9)];
@@ -556,8 +581,16 @@ mod tests {
         }
         assert_eq!(dm.state(), DecisionState::Landing);
         // Marker disappears for longer than the loss timeout.
-        let d = dm.update(&inputs(time + 5.0, Vec3::new(42.0, 1.0, 10.0), &[], 1), &NoMap);
-        assert!(matches!(d, Directive::Abort { reason: FailsafeReason::MarkerLost }));
+        let d = dm.update(
+            &inputs(time + 5.0, Vec3::new(42.0, 1.0, 10.0), &[], 1),
+            &NoMap,
+        );
+        assert!(matches!(
+            d,
+            Directive::Abort {
+                reason: FailsafeReason::MarkerLost
+            }
+        ));
     }
 
     #[test]
@@ -565,13 +598,20 @@ mod tests {
         let mut dm = module();
         dm.update(&inputs(0.0, Vec3::new(0.0, 0.0, 12.0), &[], 0), &NoMap);
         let d = dm.update(&inputs(1000.0, Vec3::new(0.0, 0.0, 12.0), &[], 0), &NoMap);
-        assert!(matches!(d, Directive::Abort { reason: FailsafeReason::MissionTimeout }));
+        assert!(matches!(
+            d,
+            Directive::Abort {
+                reason: FailsafeReason::MissionTimeout
+            }
+        ));
     }
 
     #[test]
     fn planning_failure_in_search_skips_leg_then_gives_up() {
-        let mut cfg = LandingConfig::default();
-        cfg.max_search_legs = 1;
+        let cfg = LandingConfig {
+            max_search_legs: 1,
+            ..LandingConfig::default()
+        };
         let mut dm = DecisionModule::new(cfg, 7, Vec3::new(40.0, 0.0, 0.0));
         dm.update(&inputs(0.0, Vec3::new(0.0, 0.0, 12.0), &[], 0), &NoMap);
         // First failure: skip to the next leg.
@@ -579,7 +619,12 @@ mod tests {
         assert!(matches!(d, Directive::FlyTo { .. }));
         // Second failure: nothing left, abort.
         let d = dm.notify_planning_failure(2.0);
-        assert!(matches!(d, Directive::Abort { reason: FailsafeReason::PlanningFailure }));
+        assert!(matches!(
+            d,
+            Directive::Abort {
+                reason: FailsafeReason::PlanningFailure
+            }
+        ));
     }
 
     #[test]

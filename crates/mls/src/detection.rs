@@ -211,7 +211,10 @@ mod tests {
             0.999,
         );
         let obs = strict.process_frame(&camera, &image, &pose, 0.0, 1.0, true);
-        assert!(obs.is_empty(), "no detection should clear a 0.999 confidence bar");
+        assert!(
+            obs.is_empty(),
+            "no detection should clear a 0.999 confidence bar"
+        );
         assert_eq!(strict.stats().missed_frames, 1);
     }
 

@@ -9,14 +9,15 @@
 
 use mls_compute::{ComputeModel, TaskKind, WorkloadModel};
 use mls_geom::Vec3;
-use mls_sim_world::Scenario;
-use mls_sim_uav::{Uav, UavConfig};
-use mls_vision::{MarkerDictionary, MarkerObservation};
 use mls_planning::Trajectory;
+use mls_sim_uav::{Uav, UavConfig};
+use mls_sim_world::Scenario;
+use mls_vision::{MarkerDictionary, MarkerObservation};
 use serde::{Deserialize, Serialize};
 
 use crate::decision::{Directive, FailsafeReason};
 use crate::detection::DetectionStats;
+use crate::fault::{FaultHook, TickFaults};
 use crate::system::{LandingSystem, SystemVariant};
 use crate::MlsError;
 
@@ -116,6 +117,7 @@ pub struct MissionExecutor {
     uav: Uav,
     compute: ComputeModel,
     config: ExecutorConfig,
+    fault_hook: Option<Box<dyn FaultHook>>,
 }
 
 impl MissionExecutor {
@@ -144,7 +146,17 @@ impl MissionExecutor {
             uav,
             compute,
             config,
+            fault_hook: None,
         })
+    }
+
+    /// Attaches a fault injector the mission loop consults every tick (see
+    /// [`FaultHook`] for the injection points). Missions run fault-free when
+    /// no hook is attached.
+    #[must_use]
+    pub fn with_fault_hook(mut self, hook: Box<dyn FaultHook>) -> Self {
+        self.fault_hook = Some(hook);
+        self
     }
 
     /// Convenience constructor: assembles the named system variant with the
@@ -203,10 +215,14 @@ impl MissionExecutor {
         } else {
             90.0
         };
-        self.compute.set_resident_memory(TaskKind::MarkerDetection, detector_memory);
-        self.compute.set_resident_memory(TaskKind::CameraPipeline, 250.0);
-        self.compute.set_resident_memory(TaskKind::StateEstimation, 120.0);
-        self.compute.set_resident_memory(TaskKind::DecisionMaking, 40.0);
+        self.compute
+            .set_resident_memory(TaskKind::MarkerDetection, detector_memory);
+        self.compute
+            .set_resident_memory(TaskKind::CameraPipeline, 250.0);
+        self.compute
+            .set_resident_memory(TaskKind::StateEstimation, 120.0);
+        self.compute
+            .set_resident_memory(TaskKind::DecisionMaking, 40.0);
 
         // Take off before the mission modules start (the paper's missions
         // begin with a climb from the origin).
@@ -241,11 +257,19 @@ impl MissionExecutor {
         let mut hard_impact = false;
 
         while time < self.config.max_duration {
+            if let Some(hook) = self.fault_hook.as_mut() {
+                let faults: TickFaults = hook.tick(time);
+                self.uav.set_gps_bias(faults.gps_bias);
+                self.uav.set_wind_disturbance(faults.wind_disturbance);
+                self.compute.set_throttle(faults.compute_throttle);
+            }
             self.compute.begin_tick(dt);
             let state = self.uav.step(&world);
             time = self.uav.time();
-            self.compute
-                .submit(TaskKind::StateEstimation, self.config.workload.estimation_tick);
+            self.compute.submit(
+                TaskKind::StateEstimation,
+                self.config.workload.estimation_tick,
+            );
 
             // Collision check against obstacles (the ground is handled by the
             // landing logic).
@@ -270,9 +294,14 @@ impl MissionExecutor {
             if self.system.mapping.is_enabled() && time >= next_mapping {
                 next_mapping = time + 1.0 / self.system.config.mapping_rate_hz;
                 let cloud = self.uav.capture_depth(&world);
-                let inserted = self.system.mapping.integrate(estimated_pose.position, &cloud, ground_z);
-                self.compute
-                    .submit(TaskKind::Mapping, self.config.workload.mapping_cost(inserted));
+                let inserted =
+                    self.system
+                        .mapping
+                        .integrate(estimated_pose.position, &cloud, ground_z);
+                self.compute.submit(
+                    TaskKind::Mapping,
+                    self.config.workload.mapping_cost(inserted),
+                );
                 self.compute.set_resident_memory(
                     TaskKind::Mapping,
                     80.0 + self.system.mapping.memory_bytes() as f64 / (1024.0 * 1024.0),
@@ -282,7 +311,10 @@ impl MissionExecutor {
             // Detection module.
             if time >= next_detection {
                 next_detection = time + 1.0 / self.system.config.detection_rate_hz;
-                let image = self.uav.capture_image(&world);
+                let mut image = self.uav.capture_image(&world);
+                if let Some(hook) = self.fault_hook.as_mut() {
+                    hook.pre_detection(time, &mut image);
+                }
                 let true_pose = self.uav.true_state().pose();
                 let target_visible = self
                     .uav
@@ -291,7 +323,7 @@ impl MissionExecutor {
                     .map(|px| self.uav.downward_camera().intrinsics.in_bounds(px))
                     .unwrap_or(false)
                     && true_pose.position.distance(true_target) <= self.config.visibility_range;
-                let observations = self.system.detection.process_frame(
+                let mut observations = self.system.detection.process_frame(
                     self.uav.downward_camera(),
                     &image,
                     &estimated_pose,
@@ -299,6 +331,9 @@ impl MissionExecutor {
                     time,
                     target_visible,
                 );
+                if let Some(hook) = self.fault_hook.as_mut() {
+                    hook.post_detection(time, &mut observations);
+                }
                 for obs in &observations {
                     if obs.id == self.scenario.target_marker_id {
                         detection_errors.push(obs.world_position.horizontal_distance(true_target));
@@ -312,8 +347,10 @@ impl MissionExecutor {
                         .workload
                         .detection_cost(self.system.detection.inference_cost()),
                 );
-                self.compute
-                    .submit(TaskKind::CameraPipeline, self.config.workload.camera_per_frame);
+                self.compute.submit(
+                    TaskKind::CameraPipeline,
+                    self.config.workload.camera_per_frame,
+                );
             }
 
             // Decision module.
@@ -341,10 +378,11 @@ impl MissionExecutor {
                 // as the target estimate is refined, and replanning at the
                 // decision rate for that would swamp the planner (and, on the
                 // Jetson profile, the whole CPU).
-                let goal_changed = match (directive_goal(&new_directive), directive_goal(&directive)) {
-                    (Some(new), Some(old)) => new.distance(old) > 0.75,
-                    (new, old) => new.is_some() != old.is_some(),
-                };
+                let goal_changed =
+                    match (directive_goal(&new_directive), directive_goal(&directive)) {
+                        (Some(new), Some(old)) => new.distance(old) > 0.75,
+                        (new, old) => new.is_some() != old.is_some(),
+                    };
                 directive = new_directive;
 
                 match &directive {
@@ -383,9 +421,10 @@ impl MissionExecutor {
                     Directive::CommitFinalDescent { target } => {
                         active_trajectory = None;
                         pending_trajectory = None;
-                        self.uav
-                            .autopilot_mut()
-                            .goto(Vec3::new(target.x, target.y, ground_z), estimated_pose.yaw());
+                        self.uav.autopilot_mut().goto(
+                            Vec3::new(target.x, target.y, ground_z),
+                            estimated_pose.yaw(),
+                        );
                     }
                     Directive::Abort { reason } => {
                         failsafe = Some(*reason);
@@ -405,7 +444,10 @@ impl MissionExecutor {
                     pending_trajectory = None;
                 }
             }
-            if matches!(directive, Directive::FlyTo { .. } | Directive::DescendTo { .. }) {
+            if matches!(
+                directive,
+                Directive::FlyTo { .. } | Directive::DescendTo { .. }
+            ) {
                 if let Some((trajectory, started_at)) = &active_trajectory {
                     let sample = trajectory.sample(time - started_at);
                     let yaw = if sample.velocity.horizontal().norm() > 0.3 {
@@ -431,7 +473,9 @@ impl MissionExecutor {
             MissionResult::CollisionFailure
         } else if landed
             && failsafe.is_none()
-            && landing_error.map(|e| e <= self.config.success_radius).unwrap_or(false)
+            && landing_error
+                .map(|e| e <= self.config.success_radius)
+                .unwrap_or(false)
         {
             MissionResult::Success
         } else {

@@ -1,0 +1,106 @@
+//! Fault-injection hook: the seam through which a dependability campaign
+//! perturbs a running mission.
+//!
+//! The paper's evaluation is a fault-and-stress study — adverse weather,
+//! starved compute, sensor drift — but the seed executor could only vary
+//! those conditions *between* missions, never inject a fault *into* one.
+//! [`FaultHook`] closes that gap: the [`MissionExecutor`](crate::MissionExecutor)
+//! consults the hook at three well-defined points of its loop, and a campaign
+//! engine (the `mls-campaign` crate) supplies deterministic, seed-driven
+//! implementations.
+//!
+//! The three injection points, in loop order:
+//!
+//! 1. [`FaultHook::tick`] — once per physics tick, before the vehicle steps.
+//!    Returns [`TickFaults`]: a GNSS position bias, an additive wind
+//!    disturbance, and a compute-throttle factor.
+//! 2. [`FaultHook::pre_detection`] — once per detection frame, after the
+//!    camera capture but before the detector runs. May corrupt the image
+//!    (marker occlusion): the detector genuinely misses, so the Table II
+//!    false-negative statistics see the fault.
+//! 3. [`FaultHook::post_detection`] — after the detector, before the
+//!    observations reach the decision module. May drop the frame's
+//!    observations (pipeline dropout downstream of the detector) or inject
+//!    spoofed ones.
+
+use mls_geom::Vec3;
+use mls_vision::{GrayImage, MarkerObservation};
+
+/// Per-tick fault effects applied to the vehicle and compute platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickFaults {
+    /// Additive bias on every GNSS fix, metres.
+    pub gps_bias: Vec3,
+    /// Additional wind velocity applied to the airframe, m/s.
+    pub wind_disturbance: Vec3,
+    /// Compute-capacity factor in `(0, 1]`; `1.0` is the unthrottled
+    /// platform, lower values model thermal or power throttling.
+    pub compute_throttle: f64,
+}
+
+impl TickFaults {
+    /// No fault: zero bias, zero disturbance, full compute capacity.
+    pub const NONE: TickFaults = TickFaults {
+        gps_bias: Vec3::ZERO,
+        wind_disturbance: Vec3::ZERO,
+        compute_throttle: 1.0,
+    };
+}
+
+impl Default for TickFaults {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
+/// A mission-scoped fault injector consulted by the executor.
+///
+/// Implementations must be deterministic functions of their construction
+/// parameters (plan + seed): the executor calls the hook in a fixed order, so
+/// any internal RNG consumption replays identically for identical missions.
+pub trait FaultHook: Send {
+    /// Fault effects for the physics tick at `time` seconds.
+    fn tick(&mut self, time: f64) -> TickFaults {
+        let _ = time;
+        TickFaults::NONE
+    }
+
+    /// Invoked on every captured detection frame before the detector runs;
+    /// may mutate the image in place.
+    fn pre_detection(&mut self, time: f64, image: &mut GrayImage) {
+        let _ = (time, image);
+    }
+
+    /// Invoked after the detector; may drop or inject observations.
+    fn post_detection(&mut self, time: f64, observations: &mut Vec<MarkerObservation>) {
+        let _ = (time, observations);
+    }
+}
+
+/// The trivial hook: injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_neutral() {
+        let mut hook = NoFaults;
+        let faults = hook.tick(3.0);
+        assert_eq!(faults, TickFaults::NONE);
+        assert_eq!(faults.compute_throttle, 1.0);
+        assert_eq!(TickFaults::default(), TickFaults::NONE);
+
+        let mut image = GrayImage::filled(4, 4, 0.5);
+        hook.pre_detection(0.0, &mut image);
+        assert!(image.data().iter().all(|&v| (v - 0.5).abs() < 1e-9));
+
+        let mut observations = Vec::new();
+        hook.post_detection(0.0, &mut observations);
+        assert!(observations.is_empty());
+    }
+}

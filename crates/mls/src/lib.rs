@@ -48,6 +48,7 @@ mod config;
 mod decision;
 mod detection;
 mod executor;
+mod fault;
 mod mapping;
 mod metrics;
 mod planning;
@@ -57,6 +58,7 @@ pub use config::LandingConfig;
 pub use decision::{DecisionInputs, DecisionModule, DecisionState, Directive, FailsafeReason};
 pub use detection::{DetectionEvent, DetectionModule, DetectionStats};
 pub use executor::{ExecutorConfig, MissionExecutor, MissionOutcome, MissionResult};
+pub use fault::{FaultHook, NoFaults, TickFaults};
 pub use mapping::{MappingBackend, MappingModule, NoMap};
 pub use metrics::BenchmarkSummary;
 pub use planning::{PlannedTrajectory, PlanningModule};
@@ -80,7 +82,9 @@ pub enum MlsError {
 impl fmt::Display for MlsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MlsError::InvalidConfig { reason } => write!(f, "invalid landing configuration: {reason}"),
+            MlsError::InvalidConfig { reason } => {
+                write!(f, "invalid landing configuration: {reason}")
+            }
             MlsError::Mapping(err) => write!(f, "mapping error: {err}"),
             MlsError::Planning(err) => write!(f, "planning error: {err}"),
         }
@@ -117,12 +121,20 @@ mod tests {
     fn errors_are_send_sync_display_and_sourced() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<MlsError>();
-        let err = MlsError::InvalidConfig { reason: "x".to_string() };
+        let err = MlsError::InvalidConfig {
+            reason: "x".to_string(),
+        };
         assert!(err.to_string().contains('x'));
         assert!(err.source().is_none());
-        let err: MlsError = mls_planning::PlanningError::InvalidConfig { reason: "bad".to_string() }.into();
+        let err: MlsError = mls_planning::PlanningError::InvalidConfig {
+            reason: "bad".to_string(),
+        }
+        .into();
         assert!(err.source().is_some());
-        let err: MlsError = mls_mapping::MappingError::InvalidConfig { reason: "bad".to_string() }.into();
+        let err: MlsError = mls_mapping::MappingError::InvalidConfig {
+            reason: "bad".to_string(),
+        }
+        .into();
         assert!(err.to_string().contains("mapping"));
     }
 }

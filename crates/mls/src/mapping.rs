@@ -6,7 +6,9 @@
 //! probabilistic octree.
 
 use mls_geom::Vec3;
-use mls_mapping::{CellState, MappingError, OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap};
+use mls_mapping::{
+    CellState, MappingError, OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap,
+};
 use mls_sim_uav::PointCloud;
 use serde::{Deserialize, Serialize};
 
@@ -58,7 +60,9 @@ impl MappingModule {
     pub fn new(backend: MappingBackend) -> Result<Self, MappingError> {
         Ok(match backend {
             MappingBackend::None => MappingModule::Disabled(NoMap),
-            MappingBackend::LocalGrid => MappingModule::Grid(VoxelGridMap::new(VoxelGridConfig::default())?),
+            MappingBackend::LocalGrid => {
+                MappingModule::Grid(VoxelGridMap::new(VoxelGridConfig::default())?)
+            }
             MappingBackend::GlobalOctree => {
                 MappingModule::Octree(OctreeMap::new(OctreeConfig::default())?)
             }
@@ -89,7 +93,12 @@ impl MappingModule {
     /// absorbs most of the spurious near-ground points that a drifting pose
     /// estimate produces (Fig. 5c); drift beyond it still corrupts the map,
     /// exactly as the paper observed in the field.
-    pub fn integrate(&mut self, vehicle_position: Vec3, cloud: &PointCloud, ground_z: f64) -> usize {
+    pub fn integrate(
+        &mut self,
+        vehicle_position: Vec3,
+        cloud: &PointCloud,
+        ground_z: f64,
+    ) -> usize {
         if matches!(self, MappingModule::Disabled(_)) {
             return 0;
         }
@@ -150,7 +159,10 @@ mod tests {
     fn disabled_backend_maps_nothing() {
         let mut module = MappingModule::new(MappingBackend::None).unwrap();
         assert_eq!(module.integrate(Vec3::ZERO, &cloud_with_wall(), 0.0), 0);
-        assert_eq!(module.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)), CellState::Unknown);
+        assert_eq!(
+            module.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)),
+            CellState::Unknown
+        );
         assert_eq!(module.memory_bytes(), 0);
         assert!(!module.is_enabled());
         assert_eq!(module.backend(), MappingBackend::None);
@@ -190,7 +202,13 @@ mod tests {
         let empty = PointCloud::empty(Vec3::new(60.0, 0.0, 3.0), 18.0);
         grid.integrate(Vec3::new(60.0, 0.0, 3.0), &empty, 0.0);
         octree.integrate(Vec3::new(60.0, 0.0, 3.0), &empty, 0.0);
-        assert_eq!(grid.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)), CellState::Unknown);
-        assert_eq!(octree.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)), CellState::Occupied);
+        assert_eq!(
+            grid.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)),
+            CellState::Unknown
+        );
+        assert_eq!(
+            octree.as_query().state_at(Vec3::new(10.0, 0.0, 2.0)),
+            CellState::Occupied
+        );
     }
 }

@@ -49,11 +49,19 @@ impl BenchmarkSummary {
         };
 
         let landing_errors: Vec<f64> = outcomes.iter().filter_map(|o| o.landing_error).collect();
-        let detection_errors: Vec<f64> =
-            outcomes.iter().filter_map(|o| o.mean_detection_error).collect();
+        let detection_errors: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.mean_detection_error)
+            .collect();
 
-        let visible: usize = outcomes.iter().map(|o| o.detection_stats.visible_frames).sum();
-        let missed: usize = outcomes.iter().map(|o| o.detection_stats.missed_frames).sum();
+        let visible: usize = outcomes
+            .iter()
+            .map(|o| o.detection_stats.visible_frames)
+            .sum();
+        let missed: usize = outcomes
+            .iter()
+            .map(|o| o.detection_stats.missed_frames)
+            .sum();
 
         Self {
             variant,
@@ -63,11 +71,26 @@ impl BenchmarkSummary {
             poor_landing_rate: count(MissionResult::PoorLanding),
             mean_landing_error: mean(&landing_errors),
             mean_detection_error: mean(&detection_errors),
-            false_negative_rate: if visible == 0 { 0.0 } else { missed as f64 / visible as f64 },
+            false_negative_rate: if visible == 0 {
+                0.0
+            } else {
+                missed as f64 / visible as f64
+            },
             mean_cpu: outcomes.iter().map(|o| o.mean_cpu).sum::<f64>() / n,
-            peak_memory_mb: outcomes.iter().map(|o| o.peak_memory_mb).fold(0.0, f64::max),
-            mean_planning_failures: outcomes.iter().map(|o| o.planning_failures as f64).sum::<f64>() / n,
-            mean_landing_aborts: outcomes.iter().map(|o| o.landing_aborts as f64).sum::<f64>() / n,
+            peak_memory_mb: outcomes
+                .iter()
+                .map(|o| o.peak_memory_mb)
+                .fold(0.0, f64::max),
+            mean_planning_failures: outcomes
+                .iter()
+                .map(|o| o.planning_failures as f64)
+                .sum::<f64>()
+                / n,
+            mean_landing_aborts: outcomes
+                .iter()
+                .map(|o| o.landing_aborts as f64)
+                .sum::<f64>()
+                / n,
         }
     }
 

@@ -186,7 +186,10 @@ mod tests {
         let planned = module
             .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0))
             .unwrap();
-        assert!(planned.used_fallback, "bounded A* must fail against the wall");
+        assert!(
+            planned.used_fallback,
+            "bounded A* must fail against the wall"
+        );
         assert_eq!(module.fallbacks_used(), 1);
         // The fallback path goes straight at the goal — through the wall.
         assert_eq!(planned.trajectory.waypoints().len(), 2);

@@ -31,7 +31,11 @@ pub enum SystemVariant {
 
 impl SystemVariant {
     /// All variants in benchmark order.
-    pub const ALL: [SystemVariant; 3] = [SystemVariant::MlsV1, SystemVariant::MlsV2, SystemVariant::MlsV3];
+    pub const ALL: [SystemVariant; 3] = [
+        SystemVariant::MlsV1,
+        SystemVariant::MlsV2,
+        SystemVariant::MlsV3,
+    ];
 
     /// Report label ("MLS-V1").
     pub fn label(self) -> &'static str {
@@ -112,11 +116,9 @@ impl LandingSystem {
         let mapping = MappingModule::new(variant.mapping_backend()).map_err(MlsError::Mapping)?;
 
         let planning = match variant {
-            SystemVariant::MlsV1 => PlanningModule::new(
-                Box::new(StraightLinePlanner),
-                false,
-                config.trajectory,
-            ),
+            SystemVariant::MlsV1 => {
+                PlanningModule::new(Box::new(StraightLinePlanner), false, config.trajectory)
+            }
             SystemVariant::MlsV2 => PlanningModule::new(
                 Box::new(AStarPlanner::with_config(AStarConfig {
                     inflation_radius: config.inflation_radius,
@@ -198,9 +200,11 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected_at_assembly() {
-        let mut cfg = LandingConfig::default();
-        cfg.validation_frames = 0;
-        cfg.validation_threshold = 0;
+        let cfg = LandingConfig {
+            validation_frames: 0,
+            validation_threshold: 0,
+            ..LandingConfig::default()
+        };
         let err = LandingSystem::new(
             SystemVariant::MlsV3,
             MarkerDictionary::standard(),

@@ -112,7 +112,11 @@ impl AStarPlanner {
         match map.state_at(point) {
             CellState::Occupied => true,
             CellState::Unknown if !self.config.optimistic_unknown => true,
-            _ => map.occupied_within(point, self.config.inflation_radius, !self.config.optimistic_unknown),
+            _ => map.occupied_within(
+                point,
+                self.config.inflation_radius,
+                !self.config.optimistic_unknown,
+            ),
         }
     }
 }
@@ -210,7 +214,11 @@ impl PathPlanner for AStarPlanner {
                 }
                 let step = center.distance(neighbor_center);
                 let tentative = current_g + step;
-                if g_cost.get(&neighbor).map(|&g| tentative < g).unwrap_or(true) {
+                if g_cost
+                    .get(&neighbor)
+                    .map(|&g| tentative < g)
+                    .unwrap_or(true)
+                {
                     g_cost.insert(neighbor, tentative);
                     parent.insert(neighbor, index);
                     open.push(OpenEntry {
@@ -283,7 +291,10 @@ mod tests {
         // The path must detour: longer than the straight line.
         assert!(outcome.path.length() > 20.5);
         // And it must not pass through the wall.
-        assert!(!grid.segment_blocked(start, outcome.path.waypoints[1], 0.2, false) || outcome.path.len() > 2);
+        assert!(
+            !grid.segment_blocked(start, outcome.path.waypoints[1], 0.2, false)
+                || outcome.path.len() > 2
+        );
         for pair in outcome.path.waypoints.windows(2) {
             assert!(
                 !grid.segment_blocked(pair[0], pair[1], 0.2, false),
@@ -332,7 +343,10 @@ mod tests {
         let err = planner
             .plan(&grid, Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0))
             .unwrap_err();
-        assert!(matches!(err, PlanningError::InvalidEndpoint { endpoint: "start" }));
+        assert!(matches!(
+            err,
+            PlanningError::InvalidEndpoint { endpoint: "start" }
+        ));
     }
 
     #[test]
@@ -349,14 +363,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = AStarConfig::default();
-        cfg.resolution = 0.0;
+        let cfg = AStarConfig {
+            resolution: 0.0,
+            ..AStarConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = AStarConfig::default();
-        cfg.max_expansions = 0;
+        let cfg = AStarConfig {
+            max_expansions: 0,
+            ..AStarConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = AStarConfig::default();
-        cfg.min_altitude = 50.0;
+        let cfg = AStarConfig {
+            min_altitude: 50.0,
+            ..AStarConfig::default()
+        };
         assert!(cfg.validate().is_err());
         assert!(AStarConfig::default().validate().is_ok());
     }

@@ -62,7 +62,9 @@ impl fmt::Display for PlanningError {
             PlanningError::NoPathFound { reason, iterations } => {
                 write!(f, "no path found after {iterations} iterations: {reason}")
             }
-            PlanningError::InvalidConfig { reason } => write!(f, "invalid planner configuration: {reason}"),
+            PlanningError::InvalidConfig { reason } => {
+                write!(f, "invalid planner configuration: {reason}")
+            }
             PlanningError::InvalidEndpoint { endpoint } => {
                 write!(f, "{endpoint} position is in collision")
             }
@@ -94,10 +96,7 @@ impl Path {
 
     /// Total path length, metres.
     pub fn length(&self) -> f64 {
-        self.waypoints
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.waypoints.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 
     /// Number of waypoints.
@@ -116,7 +115,10 @@ impl Path {
     ///
     /// Panics on an empty path.
     pub fn goal(&self) -> Vec3 {
-        *self.waypoints.last().expect("path has at least one waypoint")
+        *self
+            .waypoints
+            .last()
+            .expect("path has at least one waypoint")
     }
 
     /// The sharpest turn along the path, radians (0 for straight paths).

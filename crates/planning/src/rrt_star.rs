@@ -137,12 +137,20 @@ impl RrtStarPlanner {
         if point.z < self.config.min_altitude || point.z > self.config.max_altitude {
             return true;
         }
-        map.occupied_within(point, self.config.inflation_radius, !self.config.optimistic_unknown)
+        map.occupied_within(
+            point,
+            self.config.inflation_radius,
+            !self.config.optimistic_unknown,
+        )
     }
 
     fn edge_blocked(&self, map: &dyn OccupancyQuery, a: Vec3, b: Vec3) -> bool {
-        map.segment_blocked(a, b, self.config.inflation_radius, !self.config.optimistic_unknown)
-            || b.z < self.config.min_altitude
+        map.segment_blocked(
+            a,
+            b,
+            self.config.inflation_radius,
+            !self.config.optimistic_unknown,
+        ) || b.z < self.config.min_altitude
             || b.z > self.config.max_altitude
     }
 
@@ -287,8 +295,8 @@ impl PathPlanner for RrtStarPlanner {
                     best_goal_node = Some(new_idx);
                 }
                 // Keep refining for a fraction of the budget, then stop.
-                let refine_budget = (self.config.max_iterations as f64
-                    * self.config.refinement_fraction) as usize;
+                let refine_budget =
+                    (self.config.max_iterations as f64 * self.config.refinement_fraction) as usize;
                 if i > refine_budget && best_goal_node.is_some() {
                     break;
                 }
@@ -373,7 +381,9 @@ mod tests {
         assert!(astar.plan(&tree, start, goal).is_err());
 
         let mut rrt = RrtStarPlanner::new();
-        let outcome = rrt.plan(&tree, start, goal).expect("rrt* should find a way");
+        let outcome = rrt
+            .plan(&tree, start, goal)
+            .expect("rrt* should find a way");
         for pair in outcome.path.waypoints.windows(2) {
             assert!(
                 !tree.segment_blocked(pair[0], pair[1], 0.3, false),
@@ -403,7 +413,10 @@ mod tests {
         let err = planner
             .plan(&tree, Vec3::new(0.0, 0.0, 5.0), Vec3::new(20.0, 0.0, 5.0))
             .unwrap_err();
-        assert!(matches!(err, PlanningError::InvalidEndpoint { endpoint: "goal" }));
+        assert!(matches!(
+            err,
+            PlanningError::InvalidEndpoint { endpoint: "goal" }
+        ));
     }
 
     #[test]
@@ -435,14 +448,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = RrtStarConfig::default();
-        cfg.max_iterations = 0;
+        let cfg = RrtStarConfig {
+            max_iterations: 0,
+            ..RrtStarConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = RrtStarConfig::default();
-        cfg.goal_bias = 1.5;
+        let cfg = RrtStarConfig {
+            goal_bias: 1.5,
+            ..RrtStarConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let mut cfg = RrtStarConfig::default();
-        cfg.step_length = 0.0;
+        let cfg = RrtStarConfig {
+            step_length: 0.0,
+            ..RrtStarConfig::default()
+        };
         assert!(cfg.validate().is_err());
         assert!(RrtStarConfig::default().validate().is_ok());
     }

@@ -64,7 +64,11 @@ impl SafetyVerdict {
 }
 
 /// Validates a planned path against the map.
-pub fn validate_path(map: &dyn OccupancyQuery, path: &Path, config: &SafetyConfig) -> SafetyVerdict {
+pub fn validate_path(
+    map: &dyn OccupancyQuery,
+    path: &Path,
+    config: &SafetyConfig,
+) -> SafetyVerdict {
     let sharpest = path.sharpest_corner();
     if sharpest > config.max_corner_angle {
         return SafetyVerdict::CornerTooSharp { angle: sharpest };
@@ -87,7 +91,12 @@ pub fn validate_descent_corridor(
     // The corridor must stay clear all the way down (excluding the last half
     // metre above the pad, which the vehicle itself will occupy).
     let end = Vec3::new(ground.x, ground.y, ground.z + 0.5);
-    if map.segment_blocked(from, end, config.descent_clearance, config.conservative_descent) {
+    if map.segment_blocked(
+        from,
+        end,
+        config.descent_clearance,
+        config.conservative_descent,
+    ) {
         SafetyVerdict::CorridorBlocked
     } else {
         SafetyVerdict::Safe

@@ -169,7 +169,8 @@ impl Trajectory {
         TrajectorySample {
             position,
             velocity,
-            arc_length: self.cumulative[segment] + (self.cumulative[segment + 1] - self.cumulative[segment]) * frac,
+            arc_length: self.cumulative[segment]
+                + (self.cumulative[segment + 1] - self.cumulative[segment]) * frac,
         }
     }
 
@@ -193,9 +194,14 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_inputs() {
-        assert!(Trajectory::from_path(&Path::new(vec![Vec3::ZERO]), TrajectoryConfig::default()).is_err());
-        let mut cfg = TrajectoryConfig::default();
-        cfg.cruise_speed = 0.0;
+        assert!(
+            Trajectory::from_path(&Path::new(vec![Vec3::ZERO]), TrajectoryConfig::default())
+                .is_err()
+        );
+        let cfg = TrajectoryConfig {
+            cruise_speed: 0.0,
+            ..TrajectoryConfig::default()
+        };
         assert!(Trajectory::from_path(&l_shaped_path(), cfg).is_err());
     }
 

@@ -216,7 +216,8 @@ impl Autopilot {
         self.attitude = imu.attitude;
         self.ekf.predict(imu.linear_acceleration, dt);
         if let Some(fix) = gps {
-            self.ekf.update_gps(fix.position, fix.velocity, fix.quality());
+            self.ekf
+                .update_gps(fix.position, fix.velocity, fix.quality());
         }
         if let Some(alt) = baro_altitude {
             self.ekf.update_baro(alt);
@@ -239,14 +240,25 @@ impl Autopilot {
             FlightMode::Takeoff => {
                 if position.z >= self.takeoff_target - cfg.takeoff_tolerance {
                     self.mode = FlightMode::Hold;
-                    self.hold_position = Vec3::new(self.hold_position.x, self.hold_position.y, self.takeoff_target);
+                    self.hold_position = Vec3::new(
+                        self.hold_position.x,
+                        self.hold_position.y,
+                        self.takeoff_target,
+                    );
                 }
-                let target = Vec3::new(self.hold_position.x, self.hold_position.y, self.takeoff_target);
+                let target = Vec3::new(
+                    self.hold_position.x,
+                    self.hold_position.y,
+                    self.takeoff_target,
+                );
                 let mut v = self.position_loop(target, position);
                 v.z = v.z.clamp(0.0, cfg.takeoff_climb_rate);
                 (v, self.attitude.yaw)
             }
-            FlightMode::Hold => (self.position_loop(self.hold_position, position), self.attitude.yaw),
+            FlightMode::Hold => (
+                self.position_loop(self.hold_position, position),
+                self.attitude.yaw,
+            ),
             FlightMode::Offboard => match self.setpoint {
                 Setpoint::Position { target, yaw } => (self.position_loop(target, position), yaw),
                 Setpoint::Velocity { velocity, yaw } => (
@@ -278,7 +290,8 @@ impl Autopilot {
         let cfg = &self.config;
         let error = target - position;
         let horizontal = (error.horizontal() * cfg.position_gain).clamp_norm(cfg.cruise_speed);
-        let vertical = (error.z * cfg.vertical_position_gain).clamp(-cfg.vertical_speed, cfg.vertical_speed);
+        let vertical =
+            (error.z * cfg.vertical_position_gain).clamp(-cfg.vertical_speed, cfg.vertical_speed);
         Vec3::new(horizontal.x, horizontal.y, vertical)
     }
 
@@ -329,7 +342,11 @@ mod tests {
         ap.arm_and_takeoff(10.0);
         fly(&mut ap, &mut dyn_, 20.0);
         assert_eq!(ap.mode(), FlightMode::Hold);
-        assert!((dyn_.state().position.z - 10.0).abs() < 1.0, "{:?}", dyn_.state().position);
+        assert!(
+            (dyn_.state().position.z - 10.0).abs() < 1.0,
+            "{:?}",
+            dyn_.state().position
+        );
     }
 
     #[test]
@@ -341,7 +358,11 @@ mod tests {
         let target = Vec3::new(20.0, -10.0, 12.0);
         ap.goto(target, 0.5);
         fly(&mut ap, &mut dyn_, 30.0);
-        assert!(dyn_.state().position.distance(target) < 1.5, "{:?}", dyn_.state().position);
+        assert!(
+            dyn_.state().position.distance(target) < 1.5,
+            "{:?}",
+            dyn_.state().position
+        );
         assert!(ap.reached(target, 2.0));
     }
 
@@ -353,7 +374,11 @@ mod tests {
         fly(&mut ap, &mut dyn_, 12.0);
         ap.set_velocity(Vec3::new(2.0, 0.0, 0.0), 0.0);
         fly(&mut ap, &mut dyn_, 10.0);
-        assert!(dyn_.state().position.x > 10.0, "{:?}", dyn_.state().position);
+        assert!(
+            dyn_.state().position.x > 10.0,
+            "{:?}",
+            dyn_.state().position
+        );
     }
 
     #[test]
@@ -401,7 +426,13 @@ mod tests {
                 hdop: 0.8,
                 vdop: 1.2,
             };
-            ap.sense(&imu, (i % 10 == 0).then_some(&gps), Some(state.position.z), None, dt);
+            ap.sense(
+                &imu,
+                (i % 10 == 0).then_some(&gps),
+                Some(state.position.z),
+                None,
+                dt,
+            );
             let cmd = ap.control(dt);
             dyn_.step(&cmd, Vec3::new(3.0, 1.0, 0.0), 0.0, dt);
         }

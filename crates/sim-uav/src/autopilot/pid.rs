@@ -88,8 +88,8 @@ impl Pid {
     pub fn update(&mut self, error: f64, dt: f64) -> f64 {
         let dt = dt.max(1e-6);
         let cfg = self.config;
-        self.integral = (self.integral + error * dt * cfg.ki)
-            .clamp(-cfg.integral_limit, cfg.integral_limit);
+        self.integral =
+            (self.integral + error * dt * cfg.ki).clamp(-cfg.integral_limit, cfg.integral_limit);
         let derivative = match self.previous_error {
             Some(prev) => (error - prev) / dt,
             None => 0.0,

@@ -153,7 +153,13 @@ impl QuadrotorDynamics {
     /// Returns the new state. Ground contact below ~0.3 m/s vertical speed is
     /// treated as a landing; faster contact still clamps to the ground but
     /// keeps `landed = false` so the caller can classify it as a hard impact.
-    pub fn step(&mut self, command: &ControlCommand, wind: Vec3, ground_z: f64, dt: f64) -> VehicleState {
+    pub fn step(
+        &mut self,
+        command: &ControlCommand,
+        wind: Vec3,
+        ground_z: f64,
+        dt: f64,
+    ) -> VehicleState {
         let cfg = &self.config;
         let dt = dt.max(1e-4);
 
@@ -174,7 +180,9 @@ impl QuadrotorDynamics {
         desired = Vec3::new(
             horizontal.x,
             horizontal.y,
-            desired.z.clamp(-cfg.max_vertical_accel, cfg.max_vertical_accel),
+            desired
+                .z
+                .clamp(-cfg.max_vertical_accel, cfg.max_vertical_accel),
         );
         // Tilt limit: horizontal acceleration implies tilt atan(a_h / g).
         let max_h_from_tilt = GRAVITY * cfg.max_tilt.tan();
@@ -197,7 +205,9 @@ impl QuadrotorDynamics {
         velocity = Vec3::new(
             horizontal_v.x,
             horizontal_v.y,
-            velocity.z.clamp(-cfg.max_vertical_speed, cfg.max_vertical_speed),
+            velocity
+                .z
+                .clamp(-cfg.max_vertical_speed, cfg.max_vertical_speed),
         );
         let mut position = self.state.position + velocity * dt;
 
@@ -207,8 +217,12 @@ impl QuadrotorDynamics {
         let yaw = mls_geom::wrap_angle(self.state.attitude.yaw + yaw_step);
 
         // Attitude follows the achieved horizontal acceleration.
-        let pitch = (-self.commanded_accel.x / GRAVITY).atan().clamp(-cfg.max_tilt, cfg.max_tilt);
-        let roll = (self.commanded_accel.y / GRAVITY).atan().clamp(-cfg.max_tilt, cfg.max_tilt);
+        let pitch = (-self.commanded_accel.x / GRAVITY)
+            .atan()
+            .clamp(-cfg.max_tilt, cfg.max_tilt);
+        let roll = (self.commanded_accel.y / GRAVITY)
+            .atan()
+            .clamp(-cfg.max_tilt, cfg.max_tilt);
 
         // Ground contact.
         let mut landed = false;
@@ -352,7 +366,10 @@ mod tests {
                 break;
             }
         }
-        assert!(hard_contact, "fast contact should not count as a clean landing");
+        assert!(
+            hard_contact,
+            "fast contact should not count as a clean landing"
+        );
     }
 
     #[test]

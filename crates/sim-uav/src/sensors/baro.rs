@@ -80,7 +80,10 @@ mod tests {
             let alt = baro.sample(&truth, 0.05);
             worst = worst.max((alt - 25.0).abs());
         }
-        assert!(worst < 1.5 + 4.0 * BarometerConfig::default().noise, "worst {worst}");
+        assert!(
+            worst < 1.5 + 4.0 * BarometerConfig::default().noise,
+            "worst {worst}"
+        );
     }
 
     #[test]

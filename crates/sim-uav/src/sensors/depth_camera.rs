@@ -116,14 +116,21 @@ impl DepthCamera {
     /// `true_pose` drives the physical ray casting; `estimated_pose` is the
     /// frame the points are reconstructed in (pass the same pose for an
     /// idealised sensor).
-    pub fn capture(&mut self, world: &WorldMap, true_pose: &Pose, estimated_pose: &Pose) -> PointCloud {
+    pub fn capture(
+        &mut self,
+        world: &WorldMap,
+        true_pose: &Pose,
+        estimated_pose: &Pose,
+    ) -> PointCloud {
         let cfg = self.config;
         let mut cloud = PointCloud::empty(estimated_pose.position, cfg.max_range);
         for row in 0..cfg.rows {
             for col in 0..cfg.columns {
-                let azimuth = (col as f64 / (cfg.columns - 1).max(1) as f64 - 0.5) * cfg.horizontal_fov;
-                let elevation =
-                    (0.5 - row as f64 / (cfg.rows - 1).max(1) as f64) * cfg.vertical_fov - cfg.down_tilt;
+                let azimuth =
+                    (col as f64 / (cfg.columns - 1).max(1) as f64 - 0.5) * cfg.horizontal_fov;
+                let elevation = (0.5 - row as f64 / (cfg.rows - 1).max(1) as f64)
+                    * cfg.vertical_fov
+                    - cfg.down_tilt;
                 // Body-frame direction: +x forward, +y left, +z up.
                 let dir_body = Vec3::new(
                     azimuth.cos() * elevation.cos(),
@@ -144,7 +151,9 @@ impl DepthCamera {
                 let distance = (hit.distance + self.gaussian() * cfg.range_noise).max(0.05);
                 // Reconstruct through the *estimated* pose.
                 let dir_world_est = estimated_pose.transform_direction(dir_body);
-                cloud.points.push(estimated_pose.position + dir_world_est * distance);
+                cloud
+                    .points
+                    .push(estimated_pose.position + dir_world_est * distance);
             }
         }
         cloud
@@ -163,8 +172,12 @@ mod tests {
     use mls_sim_world::{MapStyle, Obstacle};
 
     fn world_with_building() -> WorldMap {
-        WorldMap::empty("t", MapStyle::Urban, 60.0)
-            .with_obstacle(Obstacle::building(Vec3::new(12.0, 0.0, 0.0), 8.0, 8.0, 12.0))
+        WorldMap::empty("t", MapStyle::Urban, 60.0).with_obstacle(Obstacle::building(
+            Vec3::new(12.0, 0.0, 0.0),
+            8.0,
+            8.0,
+            12.0,
+        ))
     }
 
     #[test]
@@ -204,17 +217,25 @@ mod tests {
         let mut cam = DepthCamera::new(DepthCameraConfig::default(), 1);
         let cloud = cam.capture(&world, &true_pose, &est_pose);
         let mean_y: f64 = cloud.points.iter().map(|p| p.y).sum::<f64>() / cloud.len() as f64;
-        assert!(mean_y > 1.5, "reconstructed cloud should shift with the estimate, mean y {mean_y}");
+        assert!(
+            mean_y > 1.5,
+            "reconstructed cloud should shift with the estimate, mean y {mean_y}"
+        );
     }
 
     #[test]
     fn canopy_returns_are_sparse() {
-        let world = WorldMap::empty("trees", MapStyle::Rural, 60.0)
-            .with_obstacle(Obstacle::tree(Vec3::new(10.0, 0.0, 0.0), 4.0, 3.0));
+        let world = WorldMap::empty("trees", MapStyle::Rural, 60.0).with_obstacle(Obstacle::tree(
+            Vec3::new(10.0, 0.0, 0.0),
+            4.0,
+            3.0,
+        ));
         let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 6.0), 0.0);
         let mut sparse_cam = DepthCamera::new(DepthCameraConfig::default(), 2);
-        let mut solid_cfg = DepthCameraConfig::default();
-        solid_cfg.canopy_return_probability = 1.0;
+        let solid_cfg = DepthCameraConfig {
+            canopy_return_probability: 1.0,
+            ..DepthCameraConfig::default()
+        };
         let mut solid_cam = DepthCamera::new(solid_cfg, 2);
         let canopy_points = |cloud: &PointCloud| {
             cloud
@@ -235,8 +256,10 @@ mod tests {
     fn respects_max_range() {
         let world = world_with_building();
         let pose = Pose::from_position_yaw(Vec3::new(-30.0, 0.0, 6.0), 0.0);
-        let mut cfg = DepthCameraConfig::default();
-        cfg.max_range = 10.0;
+        let cfg = DepthCameraConfig {
+            max_range: 10.0,
+            ..DepthCameraConfig::default()
+        };
         let mut cam = DepthCamera::new(cfg, 1);
         let cloud = cam.capture(&world, &pose, &pose);
         for p in &cloud.points {

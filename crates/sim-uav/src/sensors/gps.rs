@@ -77,12 +77,13 @@ impl GpsConfig {
     /// Derives a configuration from the scenario weather (the drift rate and
     /// reported DOPs grow with the GNSS degradation).
     pub fn from_weather(weather: &Weather) -> Self {
-        let mut cfg = Self::default();
-        cfg.drift_rate = weather.gps_drift_rate();
-        cfg.position_noise = 0.25 + 0.5 * weather.gps_degradation;
-        cfg.base_hdop = 0.9 + 5.0 * weather.gps_degradation;
-        cfg.base_vdop = 1.4 + 6.0 * weather.gps_degradation;
-        cfg
+        Self {
+            drift_rate: weather.gps_drift_rate(),
+            position_noise: 0.25 + 0.5 * weather.gps_degradation,
+            base_hdop: 0.9 + 5.0 * weather.gps_degradation,
+            base_vdop: 1.4 + 6.0 * weather.gps_degradation,
+            ..Self::default()
+        }
     }
 
     /// Returns the same configuration with RTK corrections enabled (§V-C's
@@ -135,7 +136,11 @@ impl GpsSensor {
     /// fix.
     pub fn sample(&mut self, truth: &VehicleState, dt: f64) -> GpsFix {
         let cfg = self.config;
-        let effective_drift_rate = if cfg.rtk { cfg.drift_rate * 0.02 } else { cfg.drift_rate };
+        let effective_drift_rate = if cfg.rtk {
+            cfg.drift_rate * 0.02
+        } else {
+            cfg.drift_rate
+        };
         let scale = effective_drift_rate * dt.max(1e-3).sqrt();
         let step = Vec3::new(
             self.gaussian() * scale,

@@ -81,8 +81,12 @@ mod tests {
     use mls_sim_world::{MapStyle, Obstacle};
 
     fn world_with_building() -> WorldMap {
-        WorldMap::empty("t", MapStyle::Suburban, 50.0)
-            .with_obstacle(Obstacle::building(Vec3::new(10.0, 0.0, 0.0), 6.0, 6.0, 8.0))
+        WorldMap::empty("t", MapStyle::Suburban, 50.0).with_obstacle(Obstacle::building(
+            Vec3::new(10.0, 0.0, 0.0),
+            6.0,
+            6.0,
+            8.0,
+        ))
     }
 
     fn state_at(p: Vec3) -> VehicleState {
@@ -95,7 +99,9 @@ mod tests {
     fn reads_height_above_open_ground() {
         let world = world_with_building();
         let mut rf = Rangefinder::new(RangefinderConfig::default(), 1);
-        let d = rf.sample(&state_at(Vec3::new(0.0, 0.0, 6.0)), &world).unwrap();
+        let d = rf
+            .sample(&state_at(Vec3::new(0.0, 0.0, 6.0)), &world)
+            .unwrap();
         assert!((d - 6.0).abs() < 0.3);
     }
 
@@ -103,22 +109,31 @@ mod tests {
     fn reads_height_above_roof_not_ground() {
         let world = world_with_building();
         let mut rf = Rangefinder::new(RangefinderConfig::default(), 1);
-        let d = rf.sample(&state_at(Vec3::new(10.0, 0.0, 11.0)), &world).unwrap();
-        assert!((d - 3.0).abs() < 0.3, "roof at 8 m, vehicle at 11 m, got {d}");
+        let d = rf
+            .sample(&state_at(Vec3::new(10.0, 0.0, 11.0)), &world)
+            .unwrap();
+        assert!(
+            (d - 3.0).abs() < 0.3,
+            "roof at 8 m, vehicle at 11 m, got {d}"
+        );
     }
 
     #[test]
     fn out_of_range_returns_none() {
         let world = world_with_building();
         let mut rf = Rangefinder::new(RangefinderConfig::default(), 1);
-        assert!(rf.sample(&state_at(Vec3::new(0.0, 0.0, 30.0)), &world).is_none());
+        assert!(rf
+            .sample(&state_at(Vec3::new(0.0, 0.0, 30.0)), &world)
+            .is_none());
     }
 
     #[test]
     fn very_low_altitude_clamps_to_min_range() {
         let world = world_with_building();
         let mut rf = Rangefinder::new(RangefinderConfig::default(), 1);
-        let d = rf.sample(&state_at(Vec3::new(0.0, 0.0, 0.05)), &world).unwrap();
+        let d = rf
+            .sample(&state_at(Vec3::new(0.0, 0.0, 0.05)), &world)
+            .unwrap();
         assert!((d - RangefinderConfig::default().min_range).abs() < 1e-9);
     }
 }

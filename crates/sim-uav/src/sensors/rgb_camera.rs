@@ -92,7 +92,8 @@ impl RgbCamera {
     ) -> GrayImage {
         let mut scene = GroundScene::new();
         for marker in &world.markers {
-            if marker.position.horizontal_distance(true_pose.position) <= self.config.render_radius {
+            if marker.position.horizontal_distance(true_pose.position) <= self.config.render_radius
+            {
                 scene = scene.with_marker(MarkerPlacement::new(
                     marker.id,
                     marker.position.xy(),
@@ -125,8 +126,12 @@ mod tests {
     use mls_vision::{ClassicalDetector, MarkerDetector};
 
     fn world_with_marker() -> WorldMap {
-        WorldMap::empty("t", MapStyle::Rural, 60.0)
-            .with_marker(MarkerSite::target(4, Vec3::new(0.0, 0.0, 0.0), 1.5, 0.1))
+        WorldMap::empty("t", MapStyle::Rural, 60.0).with_marker(MarkerSite::target(
+            4,
+            Vec3::new(0.0, 0.0, 0.0),
+            1.5,
+            0.1,
+        ))
     }
 
     #[test]
@@ -144,12 +149,18 @@ mod tests {
     #[test]
     fn distant_markers_are_culled() {
         let dict = MarkerDictionary::standard();
-        let mut cfg = RgbCameraConfig::default();
-        cfg.render_radius = 5.0;
-        cfg.degrade = false;
+        let cfg = RgbCameraConfig {
+            render_radius: 5.0,
+            degrade: false,
+            ..RgbCameraConfig::default()
+        };
         let mut cam = RgbCamera::new(dict, cfg, 1);
-        let world = WorldMap::empty("t", MapStyle::Rural, 200.0)
-            .with_marker(MarkerSite::target(4, Vec3::new(100.0, 0.0, 0.0), 1.5, 0.0));
+        let world = WorldMap::empty("t", MapStyle::Rural, 200.0).with_marker(MarkerSite::target(
+            4,
+            Vec3::new(100.0, 0.0, 0.0),
+            1.5,
+            0.0,
+        ));
         let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 8.0), 0.0);
         let frame = cam.capture(&world, &Weather::clear(), &pose, 0.0);
         // Frame is pure ground texture; its contrast is low.

@@ -43,7 +43,12 @@ pub struct WindModel {
 impl WindModel {
     /// Creates a wind model from scenario weather.
     pub fn from_weather(weather: &Weather, seed: u64) -> Self {
-        Self::new(WindConfig::default(), weather.wind_mean, weather.wind_gust, seed)
+        Self::new(
+            WindConfig::default(),
+            weather.wind_mean,
+            weather.wind_gust,
+            seed,
+        )
     }
 
     /// Creates a wind model with explicit mean and gust magnitude.

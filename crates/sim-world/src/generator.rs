@@ -101,7 +101,8 @@ impl MapGenerator {
             if style == MapStyle::Urban {
                 height *= rng.random_range(1.0..=cfg.urban_height_factor);
             }
-            map.obstacles.push(Obstacle::building(center, width, depth, height));
+            map.obstacles
+                .push(Obstacle::building(center, width, depth, height));
         }
         for _ in 0..n_trees {
             let base = self.sample_clear_position(&mut rng, cfg);
@@ -157,7 +158,11 @@ mod tests {
     #[test]
     fn rural_maps_have_more_trees_than_buildings() {
         let map = MapGenerator::default().generate("r", MapStyle::Rural, 5);
-        let trees = map.obstacles.iter().filter(|o| o.has_porous_volume()).count();
+        let trees = map
+            .obstacles
+            .iter()
+            .filter(|o| o.has_porous_volume())
+            .count();
         let solids = map.obstacles.len() - trees;
         assert!(trees > solids);
     }

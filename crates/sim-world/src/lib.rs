@@ -77,7 +77,9 @@ mod tests {
     fn errors_display_and_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimWorldError>();
-        let e = SimWorldError::TargetPlacement { map: "urban-03".to_string() };
+        let e = SimWorldError::TargetPlacement {
+            map: "urban-03".to_string(),
+        };
         assert!(e.to_string().contains("urban-03"));
     }
 }

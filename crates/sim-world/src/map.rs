@@ -202,7 +202,11 @@ impl WorldMap {
                 }
             }
             if let Some(hit) = obstacle.raycast(ray, max_range) {
-                if best.as_ref().map(|b| hit.distance < b.distance).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|b| hit.distance < b.distance)
+                    .unwrap_or(true)
+                {
                     best = Some(hit);
                 }
             }
@@ -250,7 +254,12 @@ mod tests {
 
     fn simple_map() -> WorldMap {
         WorldMap::empty("test", MapStyle::Suburban, 50.0)
-            .with_obstacle(Obstacle::building(Vec3::new(20.0, 0.0, 0.0), 10.0, 10.0, 15.0))
+            .with_obstacle(Obstacle::building(
+                Vec3::new(20.0, 0.0, 0.0),
+                10.0,
+                10.0,
+                15.0,
+            ))
             .with_obstacle(Obstacle::tree(Vec3::new(-15.0, 5.0, 0.0), 5.0, 3.0))
             .with_marker(MarkerSite::target(3, Vec3::new(30.0, 10.0, 0.0), 1.5, 0.2))
             .with_marker(MarkerSite::decoy(7, Vec3::new(25.0, -8.0, 0.0), 1.5, 0.0))
@@ -290,7 +299,10 @@ mod tests {
         assert!(map.segment_occupied(a, b, 0.25), "crosses the building");
         let c = Vec3::new(0.0, 0.0, 20.0);
         let d = Vec3::new(40.0, 0.0, 20.0);
-        assert!(!map.segment_occupied(c, d, 0.25), "passes above the building");
+        assert!(
+            !map.segment_occupied(c, d, 0.25),
+            "passes above the building"
+        );
     }
 
     #[test]
@@ -329,7 +341,8 @@ mod tests {
     #[test]
     fn obstacles_in_region_counts_intersections() {
         let map = simple_map();
-        let near_building = Aabb::from_center_half_extents(Vec3::new(20.0, 0.0, 5.0), Vec3::splat(8.0));
+        let near_building =
+            Aabb::from_center_half_extents(Vec3::new(20.0, 0.0, 5.0), Vec3::splat(8.0));
         assert_eq!(map.obstacles_in_region(&near_building), 1);
         let everything = map.bounds;
         assert_eq!(map.obstacles_in_region(&everything), 2);

@@ -52,7 +52,10 @@ impl Obstacle {
     pub fn building(center_xy: Vec3, width: f64, depth: f64, height: f64) -> Self {
         let center = Vec3::new(center_xy.x, center_xy.y, height / 2.0);
         Obstacle::Building {
-            aabb: Aabb::from_center_half_extents(center, Vec3::new(width / 2.0, depth / 2.0, height / 2.0)),
+            aabb: Aabb::from_center_half_extents(
+                center,
+                Vec3::new(width / 2.0, depth / 2.0, height / 2.0),
+            ),
         }
     }
 
@@ -139,11 +142,14 @@ impl Obstacle {
                 canopy_center,
                 canopy_radius,
             } => {
-                let trunk_hit = trunk.ray_intersection(ray).filter(|t| *t <= max_range).map(|t| RayHit {
-                    distance: t,
-                    point: ray.point_at(t),
-                    porous: false,
-                });
+                let trunk_hit = trunk
+                    .ray_intersection(ray)
+                    .filter(|t| *t <= max_range)
+                    .map(|t| RayHit {
+                        distance: t,
+                        point: ray.point_at(t),
+                        porous: false,
+                    });
                 let canopy_hit = ray_sphere_intersection(ray, *canopy_center, *canopy_radius)
                     .filter(|t| *t <= max_range)
                     .map(|t| RayHit {

@@ -223,7 +223,10 @@ impl ScenarioGenerator {
                 let angle = rng.random_range(0.0..std::f64::consts::TAU);
                 let radius = rng.random_range(6.0..cfg.decoy_radius);
                 let p = target + Vec3::new(angle.cos() * radius, angle.sin() * radius, 0.0);
-                if (map.has_clearance(p + Vec3::new(0.0, 0.0, 0.5), 1.5) && map.bounds.contains(p + Vec3::new(0.0, 0.0, 1.0)))
+                // Probe above the pad: `has_clearance` also enforces ground
+                // distance, so a probe at marker height would always fail.
+                if (map.has_clearance(p + Vec3::new(0.0, 0.0, 2.0), 1.5)
+                    && map.bounds.contains(p + Vec3::new(0.0, 0.0, 1.0)))
                     || attempts > 40
                 {
                     break p;
@@ -252,7 +255,11 @@ impl ScenarioGenerator {
         let weather_label = weather.label.clone();
         Ok(Scenario {
             id,
-            name: format!("{map_name}/s{:02}-{}", id % cfg.scenarios_per_map.max(1), weather_label),
+            name: format!(
+                "{map_name}/s{:02}-{}",
+                id % cfg.scenarios_per_map.max(1),
+                weather_label
+            ),
             map,
             weather,
             start: Vec3::ZERO,
@@ -319,7 +326,9 @@ mod tests {
 
     #[test]
     fn full_paper_benchmark_is_100_scenarios() {
-        let scenarios = ScenarioGenerator::default().generate_benchmark(2025).unwrap();
+        let scenarios = ScenarioGenerator::default()
+            .generate_benchmark(2025)
+            .unwrap();
         assert_eq!(scenarios.len(), 100);
         // Every scenario has a target marker and at least one decoy or none,
         // and the GPS target is within the configured error of the truth.
@@ -357,7 +366,9 @@ mod tests {
 
     #[test]
     fn target_area_is_clear_of_obstacles() {
-        let scenarios = ScenarioGenerator::new(small_config()).generate_benchmark(3).unwrap();
+        let scenarios = ScenarioGenerator::new(small_config())
+            .generate_benchmark(3)
+            .unwrap();
         for s in &scenarios {
             let t = s.true_target() + Vec3::new(0.0, 0.0, 0.5);
             for o in &s.map.obstacles {
@@ -382,7 +393,9 @@ mod tests {
 
     #[test]
     fn decoy_ids_differ_from_target_or_are_blank() {
-        let scenarios = ScenarioGenerator::new(small_config()).generate_benchmark(9).unwrap();
+        let scenarios = ScenarioGenerator::new(small_config())
+            .generate_benchmark(9)
+            .unwrap();
         for s in &scenarios {
             for decoy in s.map.decoy_markers() {
                 assert!(

@@ -181,12 +181,11 @@ impl Weather {
         self.low_light = j(self.low_light);
         self.gps_degradation = j(self.gps_degradation);
         self.wind_gust = (self.wind_gust + rng.random_range(-amount..amount) * 2.0).max(0.0);
-        self.wind_mean = self.wind_mean
-            + Vec3::new(
-                rng.random_range(-amount..amount) * 3.0,
-                rng.random_range(-amount..amount) * 3.0,
-                0.0,
-            );
+        self.wind_mean += Vec3::new(
+            rng.random_range(-amount..amount) * 3.0,
+            rng.random_range(-amount..amount) * 3.0,
+            0.0,
+        );
     }
 
     /// `true` when the condition counts as adverse weather in the benchmark
@@ -258,7 +257,10 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let mut a = StdRng::seed_from_u64(5);
         let mut b = StdRng::seed_from_u64(5);
-        assert_eq!(Weather::sample_adverse(&mut a), Weather::sample_adverse(&mut b));
+        assert_eq!(
+            Weather::sample_adverse(&mut a),
+            Weather::sample_adverse(&mut b)
+        );
     }
 
     #[test]
@@ -270,7 +272,10 @@ mod tests {
                 adverse_count += 1;
             }
         }
-        assert!(adverse_count >= 45, "adverse sampling should stay adverse: {adverse_count}/50");
+        assert!(
+            adverse_count >= 45,
+            "adverse sampling should stay adverse: {adverse_count}/50"
+        );
     }
 
     #[test]

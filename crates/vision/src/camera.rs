@@ -42,7 +42,14 @@ pub struct CameraIntrinsics {
 impl CameraIntrinsics {
     /// Creates intrinsics from explicit parameters.
     pub fn new(width: usize, height: usize, fx: f64, fy: f64, cx: f64, cy: f64) -> Self {
-        Self { width, height, fx, fy, cx, cy }
+        Self {
+            width,
+            height,
+            fx,
+            fy,
+            cx,
+            cy,
+        }
     }
 
     /// Creates intrinsics from a horizontal field of view (radians) with the
@@ -52,7 +59,10 @@ impl CameraIntrinsics {
     ///
     /// Panics (in debug builds) if the field of view is not in `(0, π)`.
     pub fn with_horizontal_fov(width: usize, height: usize, fov: f64) -> Self {
-        debug_assert!(fov > 0.0 && fov < std::f64::consts::PI, "fov must be in (0, pi)");
+        debug_assert!(
+            fov > 0.0 && fov < std::f64::consts::PI,
+            "fov must be in (0, pi)"
+        );
         let fx = width as f64 / (2.0 * (fov / 2.0).tan());
         Self {
             width,
@@ -182,10 +192,16 @@ impl Camera {
     ///
     /// Returns [`VisionError::BehindCamera`] when the point is behind the
     /// image plane.
-    pub fn project_world_point(&self, vehicle_pose: &Pose, world: Vec3) -> Result<Vec2, VisionError> {
+    pub fn project_world_point(
+        &self,
+        vehicle_pose: &Pose,
+        world: Vec3,
+    ) -> Result<Vec2, VisionError> {
         let body = vehicle_pose.inverse_transform_point(world);
         let cam = self.body_to_camera(body);
-        self.intrinsics.project(cam).ok_or(VisionError::BehindCamera)
+        self.intrinsics
+            .project(cam)
+            .ok_or(VisionError::BehindCamera)
     }
 }
 
@@ -232,10 +248,7 @@ mod tests {
     fn downward_camera_center_ray_points_down_in_level_flight() {
         let camera = Camera::downward();
         let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 10.0), 0.3);
-        let center = Vec2::new(
-            camera.intrinsics.cx,
-            camera.intrinsics.cy,
-        );
+        let center = Vec2::new(camera.intrinsics.cx, camera.intrinsics.cy);
         let ray = camera.pixel_ray(&pose, center);
         assert!((ray.direction - Vec3::new(0.0, 0.0, -1.0)).norm() < 1e-9);
         assert_eq!(ray.origin, pose.position);

@@ -131,11 +131,9 @@ impl ClassicalDetector {
             let Some(cells) = sample_cells(image, &corners, cfg.cell_subsamples) else {
                 continue;
             };
-            let Some(decoded) = decode_cells(
-                &cells,
-                cfg.min_cell_contrast,
-                cfg.min_border_fraction,
-            ) else {
+            let Some(decoded) =
+                decode_cells(&cells, cfg.min_cell_contrast, cfg.min_border_fraction)
+            else {
                 continue;
             };
             let Some(matched) = self
@@ -147,12 +145,18 @@ impl ClassicalDetector {
             let confidence = (decoded.contrast as f64).min(1.0)
                 * (1.0 - matched.hamming_distance as f64 * 0.25)
                 * decoded.border_black_fraction;
-            let orientation = quad_orientation(&corners) + matched.rotation as f64 * std::f64::consts::FRAC_PI_2;
-            let detection = Detection::from_corners(matched.id, corners, confidence.clamp(0.05, 1.0))
-                .with_orientation(mls_geom::wrap_angle(orientation));
+            let orientation =
+                quad_orientation(&corners) + matched.rotation as f64 * std::f64::consts::FRAC_PI_2;
+            let detection =
+                Detection::from_corners(matched.id, corners, confidence.clamp(0.05, 1.0))
+                    .with_orientation(mls_geom::wrap_angle(orientation));
             detections.push(detection);
         }
-        detections.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+        detections.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         dedupe_detections(detections)
     }
 }
@@ -191,12 +195,8 @@ pub(crate) fn adaptive_dark_mask(image: &GrayImage, window: usize, constant: f32
     let r = window as i64;
     for y in 0..h {
         for x in 0..w {
-            let local_mean = integral.region_mean(
-                x as i64 - r,
-                y as i64 - r,
-                x as i64 + r,
-                y as i64 + r,
-            );
+            let local_mean =
+                integral.region_mean(x as i64 - r, y as i64 - r, x as i64 + r, y as i64 + r);
             if image.get(x, y) < local_mean - constant {
                 mask[y * w + x] = true;
             }
@@ -303,31 +303,31 @@ pub(crate) fn quad_from_points(points: &[Vec2]) -> Option<[Vec2; 4]> {
     let cx = hull.iter().map(|p| p.x).sum::<f64>() / hull.len() as f64;
     let cy = hull.iter().map(|p| p.y).sum::<f64>() / hull.len() as f64;
     let centroid = Vec2::new(cx, cy);
-    let a = *hull
-        .iter()
-        .max_by(|p, q| {
-            p.distance(centroid)
-                .partial_cmp(&q.distance(centroid))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })?;
+    let a = *hull.iter().max_by(|p, q| {
+        p.distance(centroid)
+            .partial_cmp(&q.distance(centroid))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })?;
     // Corner 2: farthest from corner 1 (the opposite diagonal corner).
-    let b = *hull
-        .iter()
-        .max_by(|p, q| {
-            p.distance(a)
-                .partial_cmp(&q.distance(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })?;
+    let b = *hull.iter().max_by(|p, q| {
+        p.distance(a)
+            .partial_cmp(&q.distance(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })?;
     // Corners 3 and 4: extreme signed distance to the diagonal a-b on either
     // side.
     let dir = (b - a).normalized()?;
     let signed = |p: Vec2| dir.cross(p - a);
-    let c = *hull
-        .iter()
-        .max_by(|p, q| signed(**p).partial_cmp(&signed(**q)).unwrap_or(std::cmp::Ordering::Equal))?;
-    let d = *hull
-        .iter()
-        .min_by(|p, q| signed(**p).partial_cmp(&signed(**q)).unwrap_or(std::cmp::Ordering::Equal))?;
+    let c = *hull.iter().max_by(|p, q| {
+        signed(**p)
+            .partial_cmp(&signed(**q))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })?;
+    let d = *hull.iter().min_by(|p, q| {
+        signed(**p)
+            .partial_cmp(&signed(**q))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })?;
     if signed(c).abs() < 1.0 || signed(d).abs() < 1.0 {
         // Degenerate: all hull points essentially collinear.
         return None;
@@ -371,6 +371,7 @@ pub(crate) fn quad_is_plausible(corners: &[Vec2; 4], min_side: f64, max_side_rat
 
 /// Samples the 6x6 marker-cell means inside the quad using a homography from
 /// canonical marker coordinates to image coordinates.
+#[allow(clippy::needless_range_loop)] // row/col index a fixed 2-D cell grid
 pub(crate) fn sample_cells(
     image: &GrayImage,
     corners: &[Vec2; 4],
@@ -405,6 +406,7 @@ pub(crate) fn sample_cells(
 
 /// Hard-decodes a 6x6 cell grid: checks contrast, checks the black border,
 /// and extracts the 16-bit payload.
+#[allow(clippy::needless_range_loop)] // row/col index a fixed 2-D cell grid
 pub(crate) fn decode_cells(
     cells: &[[f32; MARKER_CELLS]; MARKER_CELLS],
     min_contrast: f32,
@@ -468,9 +470,9 @@ pub(crate) fn quad_orientation(corners: &[Vec2; 4]) -> f64 {
 pub(crate) fn dedupe_detections(detections: Vec<Detection>) -> Vec<Detection> {
     let mut kept: Vec<Detection> = Vec::new();
     for d in detections {
-        let overlaps = kept.iter().any(|k| {
-            k.center.distance(d.center) < 0.5 * (k.apparent_size + d.apparent_size) * 0.5
-        });
+        let overlaps = kept
+            .iter()
+            .any(|k| k.center.distance(d.center) < 0.5 * (k.apparent_size + d.apparent_size) * 0.5);
         if !overlaps {
             kept.push(d);
         }
@@ -487,8 +489,12 @@ mod tests {
     fn render(id: u32, altitude: f64, marker_size: f64, yaw: f64) -> GrayImage {
         let dict = MarkerDictionary::standard();
         let renderer = MarkerRenderer::new(dict);
-        let scene =
-            GroundScene::new().with_marker(MarkerPlacement::new(id, Vec2::new(0.0, 0.0), marker_size, yaw));
+        let scene = GroundScene::new().with_marker(MarkerPlacement::new(
+            id,
+            Vec2::new(0.0, 0.0),
+            marker_size,
+            yaw,
+        ));
         let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, altitude), 0.0);
         renderer.render(&Camera::downward(), &pose, &scene)
     }
@@ -532,7 +538,9 @@ mod tests {
         let obs = crate::MarkerObservation::from_detection(&camera, &pose, &detections[0], 0.0)
             .expect("must hit the ground");
         assert!(
-            obs.world_position.horizontal_distance(Vec3::new(1.5, 1.0, 0.0)) < 0.3,
+            obs.world_position
+                .horizontal_distance(Vec3::new(1.5, 1.0, 0.0))
+                < 0.3,
             "lifted position {:?} too far from truth",
             obs.world_position
         );
@@ -650,10 +658,8 @@ mod tests {
 
         // Breaking the border (white frame) must fail.
         let mut broken = cells;
-        for c in 0..MARKER_CELLS {
-            broken[0][c] = 1.0;
-            broken[MARKER_CELLS - 1][c] = 1.0;
-        }
+        broken[0] = [1.0; MARKER_CELLS];
+        broken[MARKER_CELLS - 1] = [1.0; MARKER_CELLS];
         assert!(decode_cells(&broken, 0.1, 0.9).is_none());
     }
 

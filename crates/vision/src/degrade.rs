@@ -412,7 +412,10 @@ mod tests {
         for (a, b) in img.data().iter().zip(out.data()) {
             max_diff = max_diff.max((a - b).abs());
         }
-        assert!(max_diff < 0.08, "clear weather should be almost noise-free, got {max_diff}");
+        assert!(
+            max_diff < 0.08,
+            "clear weather should be almost noise-free, got {max_diff}"
+        );
     }
 
     #[test]
@@ -479,8 +482,9 @@ mod tests {
         let clear = DegradationConfig::clear().severity();
         let fog = DegradationConfig::for_conditions(WeatherKind::Fog, LightingCondition::Normal)
             .severity();
-        let fog_low = DegradationConfig::for_conditions(WeatherKind::Fog, LightingCondition::LowLight)
-            .severity();
+        let fog_low =
+            DegradationConfig::for_conditions(WeatherKind::Fog, LightingCondition::LowLight)
+                .severity();
         assert!(clear < fog);
         assert!(fog < fog_low);
     }

@@ -248,7 +248,11 @@ mod tests {
         let d = square_detection(center, 8.0);
         let obs = MarkerObservation::from_detection(&camera, &pose, &d, 0.0)
             .expect("nadir ray must hit the ground");
-        assert!(obs.world_position.horizontal_distance(Vec3::new(2.0, -3.0, 0.0)) < 1e-6);
+        assert!(
+            obs.world_position
+                .horizontal_distance(Vec3::new(2.0, -3.0, 0.0))
+                < 1e-6
+        );
         assert!((obs.world_position.z - 0.0).abs() < 1e-9);
         assert!(obs.estimated_size > 0.0);
     }

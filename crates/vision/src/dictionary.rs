@@ -134,7 +134,10 @@ impl MarkerDictionary {
                 generated: codes.len(),
             });
         }
-        Ok(Self { codes, min_distance })
+        Ok(Self {
+            codes,
+            min_distance,
+        })
     }
 
     /// Rejects degenerate codes (nearly all black or all white payloads),
@@ -181,7 +184,7 @@ impl MarkerDictionary {
         for (id, &code) in self.codes.iter().enumerate() {
             for (rotation, &rot) in rotations(observed).iter().enumerate() {
                 let d = hamming(rot, code);
-                if d <= max_correction && best.map_or(true, |b| d < b.hamming_distance) {
+                if d <= max_correction && best.is_none_or(|b| d < b.hamming_distance) {
                     best = Some(DictionaryMatch {
                         id: id as u32,
                         rotation: rotation as u8,
@@ -222,6 +225,7 @@ impl MarkerDictionary {
     ///
     /// Returns `None` when too many border cells read as white (i.e. the
     /// candidate is probably not a marker).
+    #[allow(clippy::needless_range_loop)] // r/c index a fixed 2-D cell grid
     pub fn decode_cells(
         grid: &[[f32; MARKER_CELLS]; MARKER_CELLS],
         threshold: f32,
@@ -351,7 +355,10 @@ mod tests {
     fn unknown_id_is_an_error() {
         let dict = MarkerDictionary::standard();
         assert!(dict.code(49).is_ok());
-        assert!(matches!(dict.code(50), Err(VisionError::UnknownMarkerId { id: 50 })));
+        assert!(matches!(
+            dict.code(50),
+            Err(VisionError::UnknownMarkerId { id: 50 })
+        ));
         assert!(dict.cells(1000).is_err());
     }
 
@@ -360,11 +367,11 @@ mod tests {
         let dict = MarkerDictionary::standard();
         let id = 11;
         let cells = dict.cells(id).unwrap();
-        for i in 0..MARKER_CELLS {
+        for (i, row) in cells.iter().enumerate() {
             assert_eq!(cells[0][i], 0.0);
             assert_eq!(cells[MARKER_CELLS - 1][i], 0.0);
-            assert_eq!(cells[i][0], 0.0);
-            assert_eq!(cells[i][MARKER_CELLS - 1], 0.0);
+            assert_eq!(row[0], 0.0);
+            assert_eq!(row[MARKER_CELLS - 1], 0.0);
         }
         let decoded = MarkerDictionary::decode_cells(&cells, 0.5, 0).unwrap();
         assert_eq!(decoded, dict.code(id).unwrap());

@@ -85,6 +85,7 @@ impl Homography {
 
 /// Solves the 8-unknown DLT system with partial-pivot Gaussian elimination.
 /// `a` holds the augmented 8x9 system. Returns `None` for singular systems.
+#[allow(clippy::needless_range_loop)] // textbook Gaussian elimination indexing
 fn solve_8x8(a: &mut [[f64; 9]; 8]) -> Option<[f64; 8]> {
     const N: usize = 8;
     for col in 0..N {
@@ -170,7 +171,11 @@ mod tests {
         ];
         let h = Homography::from_correspondences(&src, &dst).unwrap();
         for (s, d) in src.iter().zip(dst.iter()) {
-            assert!((h.apply(*s) - *d).norm() < 1e-6, "corner {s:?} mapped to {:?}", h.apply(*s));
+            assert!(
+                (h.apply(*s) - *d).norm() < 1e-6,
+                "corner {s:?} mapped to {:?}",
+                h.apply(*s)
+            );
         }
     }
 

@@ -65,7 +65,11 @@ impl GrayImage {
                 actual: data.len(),
             });
         }
-        Ok(Self { width, height, data })
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Image width in pixels.
@@ -99,7 +103,10 @@ impl GrayImage {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn get(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -119,7 +126,10 @@ impl GrayImage {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
         self.data[y * self.width + x] = value.clamp(0.0, 1.0);
     }
 
@@ -224,7 +234,10 @@ impl GrayImage {
     ///
     /// Panics if `factor` is zero or larger than either dimension.
     pub fn downsampled(&self, factor: usize) -> GrayImage {
-        assert!(factor > 0 && factor <= self.width && factor <= self.height, "invalid downsample factor");
+        assert!(
+            factor > 0 && factor <= self.width && factor <= self.height,
+            "invalid downsample factor"
+        );
         let nw = self.width / factor;
         let nh = self.height / factor;
         let mut out = GrayImage::new(nw, nh);
@@ -260,7 +273,13 @@ impl GrayImage {
 
 impl fmt::Display for GrayImage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GrayImage {}x{} (mean {:.3})", self.width, self.height, self.mean())
+        write!(
+            f,
+            "GrayImage {}x{} (mean {:.3})",
+            self.width,
+            self.height,
+            self.mean()
+        )
     }
 }
 
@@ -297,7 +316,11 @@ impl IntegralImage {
                 table[(y + 1) * stride + (x + 1)] = table[y * stride + (x + 1)] + row_sum;
             }
         }
-        Self { width: w, height: h, table }
+        Self {
+            width: w,
+            height: h,
+            table,
+        }
     }
 
     /// Sum of the luminance in the rectangle `[x0, x1) x [y0, y1)` clipped to
@@ -400,7 +423,10 @@ mod tests {
         for (x0, y0, x1, y1) in [(0, 0, 16, 16), (2, 3, 10, 12), (5, 5, 6, 6)] {
             let direct = img.region_mean(x0, y0, x1, y1);
             let fast = integral.region_mean(x0, y0, x1, y1);
-            assert!((direct - fast).abs() < 1e-5, "mismatch for ({x0},{y0},{x1},{y1})");
+            assert!(
+                (direct - fast).abs() < 1e-5,
+                "mismatch for ({x0},{y0},{x1},{y1})"
+            );
         }
     }
 
@@ -432,7 +458,10 @@ mod tests {
         }
         let blurred = img.box_blurred(2);
         let edge = blurred.get(5, 0);
-        assert!(edge > 0.1 && edge < 0.9, "edge should be smoothed, got {edge}");
+        assert!(
+            edge > 0.1 && edge < 0.9,
+            "edge should be smoothed, got {edge}"
+        );
     }
 
     #[test]

@@ -213,7 +213,11 @@ impl LearnedDetector {
                 candidates.push(scored);
             }
         }
-        candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         candidates
     }
 
@@ -289,7 +293,8 @@ impl LearnedDetector {
                         score += w * agreement + (1.0 - w) * 0.5;
                     }
                 }
-                best_rotation_score = best_rotation_score.max(score / (payload_cells * payload_cells) as f64);
+                best_rotation_score =
+                    best_rotation_score.max(score / (payload_cells * payload_cells) as f64);
             }
             scored_codes.push((id, best_rotation_score));
         }

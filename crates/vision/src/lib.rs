@@ -118,7 +118,10 @@ impl fmt::Display for VisionError {
             VisionError::DimensionMismatch { expected, actual } => {
                 write!(f, "pixel buffer has {actual} samples, expected {expected}")
             }
-            VisionError::DictionaryGeneration { requested, generated } => write!(
+            VisionError::DictionaryGeneration {
+                requested,
+                generated,
+            } => write!(
                 f,
                 "could only generate {generated} of {requested} dictionary codes"
             ),
@@ -144,7 +147,10 @@ mod tests {
         assert_send_sync::<VisionError>();
         let err = VisionError::UnknownMarkerId { id: 7 };
         assert!(err.to_string().contains('7'));
-        let err = VisionError::DimensionMismatch { expected: 4, actual: 3 };
+        let err = VisionError::DimensionMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(err.to_string().contains("expected 4"));
     }
 }

@@ -28,7 +28,12 @@ pub struct MarkerPlacement {
 impl MarkerPlacement {
     /// Creates a marker placement.
     pub fn new(id: u32, center: Vec2, size: f64, yaw: f64) -> Self {
-        Self { id, center, size, yaw }
+        Self {
+            id,
+            center,
+            size,
+            yaw,
+        }
     }
 }
 
@@ -201,7 +206,13 @@ impl MarkerRenderer {
     }
 
     /// Luminance seen along the ray through a single (sub)pixel.
-    fn shade_pixel(&self, camera: &Camera, vehicle_pose: &Pose, scene: &GroundScene, pixel: Vec2) -> f32 {
+    fn shade_pixel(
+        &self,
+        camera: &Camera,
+        vehicle_pose: &Pose,
+        scene: &GroundScene,
+        pixel: Vec2,
+    ) -> f32 {
         let ray = camera.pixel_ray(vehicle_pose, pixel);
         let Some(t) = ray.intersect_horizontal_plane(scene.ground.ground_z) else {
             return self.config.sky_luminance;
@@ -269,8 +280,10 @@ impl MarkerRenderer {
         }
         // Inside the printed pattern: which cell?
         let cell_size = marker.size / MARKER_CELLS as f64;
-        let col = (((local.x + half) / cell_size).floor() as i64).clamp(0, MARKER_CELLS as i64 - 1) as usize;
-        let row = (((half - local.y) / cell_size).floor() as i64).clamp(0, MARKER_CELLS as i64 - 1) as usize;
+        let col = (((local.x + half) / cell_size).floor() as i64).clamp(0, MARKER_CELLS as i64 - 1)
+            as usize;
+        let row = (((half - local.y) / cell_size).floor() as i64).clamp(0, MARKER_CELLS as i64 - 1)
+            as usize;
         let value = match self.dictionary.cells(marker.id) {
             Ok(cells) => cells[row][col],
             // Unknown ids render as a blank white square (decoy marker).
@@ -287,7 +300,8 @@ impl MarkerRenderer {
 
 /// Deterministic per-cell noise in `[0, 1]` from integer coordinates.
 fn hash_noise(x: i64, y: i64) -> f32 {
-    let mut h = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut h = (x as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (y as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
     h ^= h >> 33;
     h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     h ^= h >> 33;
@@ -351,10 +365,15 @@ mod tests {
         let mut diff = 0.0f32;
         for dy in 0..10 {
             for dx in 0..10 {
-                diff += (with.get(cx - 5 + dx, cy - 5 + dy) - without.get(cx - 5 + dx, cy - 5 + dy)).abs();
+                diff += (with.get(cx - 5 + dx, cy - 5 + dy)
+                    - without.get(cx - 5 + dx, cy - 5 + dy))
+                .abs();
             }
         }
-        assert!(diff > 1.0, "marker should alter the image center, diff {diff}");
+        assert!(
+            diff > 1.0,
+            "marker should alter the image center, diff {diff}"
+        );
     }
 
     #[test]
@@ -388,7 +407,8 @@ mod tests {
     #[test]
     fn unknown_marker_id_renders_as_blank_square() {
         let (renderer, camera, pose) = setup();
-        let scene = GroundScene::new().with_marker(MarkerPlacement::new(9999, Vec2::ZERO, 1.2, 0.0));
+        let scene =
+            GroundScene::new().with_marker(MarkerPlacement::new(9999, Vec2::ZERO, 1.2, 0.0));
         let frame = renderer.render(&camera, &pose, &scene);
         // Center of the image should be bright (white square), never panic.
         let cx = camera.intrinsics.width / 2;
@@ -408,7 +428,10 @@ mod tests {
         };
         let low = count_dark(4.0);
         let high = count_dark(16.0);
-        assert!(low > high * 4, "marker should cover many more pixels at low altitude ({low} vs {high})");
+        assert!(
+            low > high * 4,
+            "marker should cover many more pixels at low altitude ({low} vs {high})"
+        );
     }
 
     #[test]

@@ -131,7 +131,7 @@ pub struct TrainingReport {
 /// use mls_vision::{training, MarkerDictionary, TrainingConfig};
 ///
 /// # fn main() -> Result<(), mls_vision::VisionError> {
-/// let config = TrainingConfig { positive_samples: 6, negative_samples: 3, ..TrainingConfig::default() };
+/// let config = TrainingConfig { positive_samples: 20, negative_samples: 8, ..TrainingConfig::default() };
 /// let (detector, report) = training::calibrate(MarkerDictionary::standard(), &config)?;
 /// assert!(report.true_positive_rate > 0.5);
 /// assert!(detector.config().acceptance_threshold > 0.0);
@@ -182,10 +182,12 @@ pub fn calibrate(
             ));
         }
 
-        let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, altitude), rng.random_range(-0.2..0.2));
+        let pose =
+            Pose::from_position_yaw(Vec3::new(0.0, 0.0, altitude), rng.random_range(-0.2..0.2));
         let frame = renderer.render(&camera, &pose, &scene);
         let degradation = DegradationConfig::for_conditions(weather, lighting);
-        let degraded = ImageDegrader::new(degradation, config.seed.wrapping_add(i as u64)).apply(&frame);
+        let degraded =
+            ImageDegrader::new(degradation, config.seed.wrapping_add(i as u64)).apply(&frame);
 
         let candidates = detector.score_candidates(&degraded);
         let best_true_score = marker_id.and_then(|id| {
@@ -193,13 +195,17 @@ pub fn calibrate(
                 .iter()
                 .filter(|c| c.id == id)
                 .map(|c| c.score)
-                .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+                .fold(None, |acc: Option<f64>, s| {
+                    Some(acc.map_or(s, |a| a.max(s)))
+                })
         });
         let best_false_score = candidates
             .iter()
             .filter(|c| Some(c.id) != marker_id)
             .map(|c| c.score)
-            .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))));
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            });
 
         samples.push(TrainingSample {
             weather,
@@ -214,15 +220,27 @@ pub fn calibrate(
     let chosen_threshold = select_threshold(&samples, config.target_false_positive_rate);
     detector.set_acceptance_threshold(chosen_threshold);
 
-    let positives = samples.iter().filter(|s| s.marker_id.is_some()).count().max(1);
+    let positives = samples
+        .iter()
+        .filter(|s| s.marker_id.is_some())
+        .count()
+        .max(1);
     let true_positive_rate = samples
         .iter()
-        .filter(|s| s.best_true_score.map(|v| v >= chosen_threshold).unwrap_or(false))
+        .filter(|s| {
+            s.best_true_score
+                .map(|v| v >= chosen_threshold)
+                .unwrap_or(false)
+        })
         .count() as f64
         / positives as f64;
     let false_positive_rate = samples
         .iter()
-        .filter(|s| s.best_false_score.map(|v| v >= chosen_threshold).unwrap_or(false))
+        .filter(|s| {
+            s.best_false_score
+                .map(|v| v >= chosen_threshold)
+                .unwrap_or(false)
+        })
         .count() as f64
         / samples.len().max(1) as f64;
 
@@ -249,7 +267,10 @@ fn select_threshold(samples: &[TrainingSample], target_fpr: f64) -> f64 {
     }
     let allowed = (samples.len() as f64 * target_fpr).floor() as usize;
     // Keep at most `allowed` false candidates above the threshold.
-    let idx = false_scores.len().saturating_sub(allowed + 1).min(false_scores.len() - 1);
+    let idx = false_scores
+        .len()
+        .saturating_sub(allowed + 1)
+        .min(false_scores.len() - 1);
     let threshold = false_scores[idx] + 1e-3;
     threshold.max(floor).min(0.95)
 }
@@ -260,20 +281,31 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = TrainingConfig::default();
-        cfg.positive_samples = 0;
-        assert!(matches!(cfg.validate(), Err(VisionError::InvalidConfig { .. })));
+        let cfg = TrainingConfig {
+            positive_samples: 0,
+            ..TrainingConfig::default()
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(VisionError::InvalidConfig { .. })
+        ));
 
-        let mut cfg = TrainingConfig::default();
-        cfg.altitude_range = (10.0, 5.0);
+        let cfg = TrainingConfig {
+            altitude_range: (10.0, 5.0),
+            ..TrainingConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = TrainingConfig::default();
-        cfg.target_false_positive_rate = 1.5;
+        let cfg = TrainingConfig {
+            target_false_positive_rate: 1.5,
+            ..TrainingConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = TrainingConfig::default();
-        cfg.marker_size = 0.0;
+        let cfg = TrainingConfig {
+            marker_size: 0.0,
+            ..TrainingConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
         assert!(TrainingConfig::default().validate().is_ok());
@@ -290,8 +322,16 @@ mod tests {
         let (detector, report) = calibrate(MarkerDictionary::standard(), &cfg).unwrap();
         assert_eq!(report.samples.len(), 14);
         assert!(report.chosen_threshold >= 0.5 && report.chosen_threshold <= 0.95);
-        assert!(report.true_positive_rate >= 0.5, "tpr {}", report.true_positive_rate);
-        assert!(report.false_positive_rate <= 0.3, "fpr {}", report.false_positive_rate);
+        assert!(
+            report.true_positive_rate >= 0.5,
+            "tpr {}",
+            report.true_positive_rate
+        );
+        assert!(
+            report.false_positive_rate <= 0.3,
+            "fpr {}",
+            report.false_positive_rate
+        );
         assert!((detector.config().acceptance_threshold - report.chosen_threshold).abs() < 1e-12);
     }
 

@@ -26,7 +26,8 @@ fn detection_sweep() {
     let camera = Camera::downward();
     let classical = ClassicalDetector::new(dictionary.clone());
     let learned = LearnedDetector::new(dictionary);
-    let scene = GroundScene::new().with_marker(MarkerPlacement::new(5, Vec2::new(0.4, -0.6), 1.5, 0.3));
+    let scene =
+        GroundScene::new().with_marker(MarkerPlacement::new(5, Vec2::new(0.4, -0.6), 1.5, 0.3));
     let pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 10.0), 0.0);
     let frame = renderer.render(&camera, &pose, &scene);
 

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  trace samples {}   GPU-accelerated tasks: {:?}",
             model.trace().len(),
-            TaskKind::ALL.iter().filter(|t| t.gpu_accelerated()).collect::<Vec<_>>()
+            TaskKind::ALL
+                .iter()
+                .filter(|t| t.gpu_accelerated())
+                .collect::<Vec<_>>()
         );
         println!();
     }

@@ -20,6 +20,10 @@
 //! * [`compute`] — desktop / Jetson Nano compute-platform models.
 //! * [`core`] — the landing system itself: modules, state machine, the
 //!   MLS-V1/V2/V3 variants, mission executor and metrics.
+//! * [`campaign`] — the sharded fault-injection campaign engine: declarative
+//!   sweeps over scenarios × variants × compute profiles × fault plans,
+//!   deterministic JSON/CSV reports, and falsification search for the
+//!   minimal failure-inducing fault intensity.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mls_campaign as campaign;
 pub use mls_compute as compute;
 pub use mls_core as core;
 pub use mls_geom as geom;

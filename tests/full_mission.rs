@@ -20,7 +20,12 @@ fn benchmark(maps: usize, scenarios_per_map: usize, seed: u64) -> Vec<Scenario> 
     .expect("scenario generation succeeds")
 }
 
-fn fly(scenario: &Scenario, variant: SystemVariant, profile: ComputeProfile, seed: u64) -> MissionOutcome {
+fn fly(
+    scenario: &Scenario,
+    variant: SystemVariant,
+    profile: ComputeProfile,
+    seed: u64,
+) -> MissionOutcome {
     let compute = ComputeModel::new(profile).expect("profile is valid");
     MissionExecutor::for_variant(
         scenario,
@@ -38,7 +43,12 @@ fn fly(scenario: &Scenario, variant: SystemVariant, profile: ComputeProfile, see
 fn v3_lands_successfully_on_a_benign_scenario() {
     let scenarios = benchmark(1, 1, 77);
     assert_eq!(scenarios[0].map.style, MapStyle::Rural);
-    let outcome = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::desktop_sil(), 11);
+    let outcome = fly(
+        &scenarios[0],
+        SystemVariant::MlsV3,
+        ComputeProfile::desktop_sil(),
+        11,
+    );
     assert_eq!(outcome.result, MissionResult::Success, "{outcome:?}");
     let error = outcome.landing_error.expect("vehicle landed");
     assert!(error < 1.0, "landing error {error}");
@@ -49,8 +59,18 @@ fn v3_lands_successfully_on_a_benign_scenario() {
 #[test]
 fn missions_are_deterministic_for_a_fixed_seed() {
     let scenarios = benchmark(1, 1, 31);
-    let a = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::desktop_sil(), 5);
-    let b = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::desktop_sil(), 5);
+    let a = fly(
+        &scenarios[0],
+        SystemVariant::MlsV3,
+        ComputeProfile::desktop_sil(),
+        5,
+    );
+    let b = fly(
+        &scenarios[0],
+        SystemVariant::MlsV3,
+        ComputeProfile::desktop_sil(),
+        5,
+    );
     assert_eq!(a.result, b.result);
     assert_eq!(a.landing_error, b.landing_error);
     assert_eq!(a.collisions, b.collisions);
@@ -82,9 +102,27 @@ fn every_variant_produces_a_classified_outcome_on_an_urban_scenario() {
 #[test]
 fn hil_profile_runs_and_reports_higher_load_than_sil() {
     let scenarios = benchmark(1, 1, 55);
-    let sil = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::desktop_sil(), 4);
-    let hil = fly(&scenarios[0], SystemVariant::MlsV3, ComputeProfile::jetson_nano_maxn(), 4);
-    assert!(hil.mean_cpu > sil.mean_cpu, "hil {} vs sil {}", hil.mean_cpu, sil.mean_cpu);
-    assert!(hil.peak_memory_mb < 2_900.0, "memory must fit the Jetson budget");
+    let sil = fly(
+        &scenarios[0],
+        SystemVariant::MlsV3,
+        ComputeProfile::desktop_sil(),
+        4,
+    );
+    let hil = fly(
+        &scenarios[0],
+        SystemVariant::MlsV3,
+        ComputeProfile::jetson_nano_maxn(),
+        4,
+    );
+    assert!(
+        hil.mean_cpu > sil.mean_cpu,
+        "hil {} vs sil {}",
+        hil.mean_cpu,
+        sil.mean_cpu
+    );
+    assert!(
+        hil.peak_memory_mb < 2_900.0,
+        "memory must fit the Jetson budget"
+    );
     assert!(hil.worst_planning_latency >= sil.worst_planning_latency);
 }

@@ -1,0 +1,203 @@
+//! Vendored stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The micro-benchmarks keep their upstream structure (`criterion_group!`,
+//! `criterion_main!`, groups, `BenchmarkId`, `Bencher::iter`) but run as a
+//! plain timing harness: every benchmark executes a fixed warm-up plus a
+//! measured batch and prints mean wall-clock time per iteration. There is no
+//! statistical analysis, HTML report or regression tracking.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier of one parameterised benchmark (`"astar/18"`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into an id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    measured: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also primes caches so the measured batch is stable-ish.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if iterations >= self.iterations || start.elapsed() > Duration::from_millis(500) {
+                break;
+            }
+        }
+        self.measured = Some(start.elapsed() / iterations.max(1) as u32);
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up budget (accepted for upstream-API compatibility;
+    /// this lightweight driver does not warm up).
+    #[must_use]
+    pub fn warm_up_time(self, _duration: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Sets the measurement budget (accepted for upstream-API compatibility;
+    /// this driver measures a fixed iteration count instead).
+    #[must_use]
+    pub fn measurement_time(self, _duration: std::time::Duration) -> Self {
+        self
+    }
+
+    /// Sets the iteration budget per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, size: usize) -> Self {
+        self.sample_size = size as u64;
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, mut f: F) {
+        run_one(&name.to_string(), self.sample_size, &mut f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration budget for this group.
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = Some(size as u64);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&format!("  {id}"), samples, &mut f);
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(&format!("  {id}"), samples, &mut wrapped);
+    }
+
+    /// Ends the group (upstream-API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iterations: u64, f: &mut F) {
+    let mut bencher = Bencher {
+        measured: None,
+        iterations,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some(duration) => println!("{label}: {:.3} µs/iter", duration.as_secs_f64() * 1e6),
+        None => println!("{label}: no measurement recorded"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring the upstream macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring the upstream macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run_their_closures() {
+        let mut criterion = Criterion::default();
+        let mut runs = 0u32;
+        criterion.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("inner", |b| {
+            runs += 1;
+            b.iter(|| std::hint::black_box(2 * 2))
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3, |b, &n| {
+            b.iter(|| std::hint::black_box(n * n))
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}

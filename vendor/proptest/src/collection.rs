@@ -1,0 +1,49 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing vectors with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.random_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_elements_respect_bounds() {
+        let strategy = vec(0.0f64..2.0, 1..7);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = strategy.sample(&mut rng);
+            assert!((1..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..2.0).contains(x)));
+        }
+    }
+}

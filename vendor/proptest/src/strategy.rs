@@ -1,0 +1,97 @@
+//! Input strategies: how property arguments are sampled.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// A recipe for sampling values of one type.
+pub trait Strategy {
+    /// The type of value the strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, map }
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $index:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$index.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let strategy = (0.0f64..1.0, 1u32..5).prop_map(|(x, n)| x * n as f64);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = strategy.sample(&mut rng);
+            assert!((0.0..5.0).contains(&v));
+        }
+    }
+}

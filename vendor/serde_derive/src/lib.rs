@@ -1,0 +1,405 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (no registry access): the input item is
+//! parsed with a small hand-rolled scanner over `proc_macro::TokenTree`s and
+//! the generated impls are emitted as source text. Supported shapes are the
+//! ones this workspace derives: non-generic named-field structs, unit
+//! structs, and enums whose variants are unit, newtype, tuple or
+//! struct-like. `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+enum Variant {
+    Unit(String),
+    /// Tuple variant with its arity (arity 1 is serde's newtype form).
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// A parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (vendored data-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\
+                     }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|variant| match variant {
+                    Variant::Unit(v) => format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Variant::Tuple(v, 1) => format!(
+                        "{name}::{v}(inner) => ::serde::Value::Object(vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(inner))]),"
+                    ),
+                    Variant::Tuple(v, arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("v{i}")).collect();
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Array(vec![{items}]))]),",
+                            binders.join(", ")
+                        )
+                    }
+                    Variant::Struct(v, fields) => {
+                        let binders = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "inner.push((::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binders} }} => {{\
+                                 let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                                     ::std::vec::Vec::new();\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![(\
+                                     ::std::string::String::from(\"{v}\"), \
+                                     ::serde::Value::Object(inner))])\
+                             }}"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored data-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(value, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn from_value(_value: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\
+                     ::std::result::Result::Ok(Self)\
+                 }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|variant| match variant {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(v, 1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok(\
+                             {name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Variant::Tuple(v, arity) => {
+                        let elems: String = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                                     ::serde::Error::new(\"tuple variant too short\"))?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match inner {{\
+                                 ::serde::Value::Array(items) => \
+                                     ::std::result::Result::Ok({name}::{v}({elems})),\
+                                 _ => ::std::result::Result::Err(\
+                                     ::serde::Error::new(\"expected array for tuple variant\")),\
+                             }},"
+                        ))
+                    }
+                    Variant::Struct(v, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(inner, \"{f}\")?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),"
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\
+                         match value {{\
+                             ::serde::Value::String(tag) => match tag.as_str() {{\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::new(\
+                                     format!(\"unknown variant `{{other}}` of {name}\"))),\
+                             }},\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\
+                                 let (tag, inner) = &entries[0];\
+                                 match tag.as_str() {{\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(::serde::Error::new(\
+                                         format!(\"unknown variant `{{other}}` of {name}\"))),\
+                                 }}\
+                             }}\
+                             other => ::std::result::Result::Err(::serde::Error::new(\
+                                 format!(\"expected {name} variant, got {{other:?}}\"))),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token scanning
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip attributes and visibility ahead of the `struct` / `enum` keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // `#`
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // the `[...]` group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let kw = ident.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+                i += 1;
+            }
+            other => panic!("serde_derive: unexpected token before item keyword: {other:?}"),
+        }
+    }
+    let keyword = tokens[i].to_string();
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported");
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = group.stream().into_iter().collect();
+            if keyword == "struct" {
+                Item::Struct {
+                    name,
+                    fields: parse_named_fields(&body),
+                }
+            } else {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(&body),
+                }
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && keyword == "struct" => {
+            Item::UnitStruct { name }
+        }
+        other => panic!("serde_derive (vendored): unsupported item body: {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, returning the field names.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(ident)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(ident.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        i = skip_type(tokens, i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(ident)) = tokens.get(i) else {
+            break;
+        };
+        let name = ident.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = group.stream().into_iter().collect();
+                variants.push(Variant::Struct(name, parse_named_fields(&body)));
+                i += 1;
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = group.stream().into_iter().collect();
+                variants.push(Variant::Tuple(name, count_tuple_elems(&body)));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Optional explicit discriminant, then the separating comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 2;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket aware;
+/// parens/brackets arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(i) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Counts the top-level elements of a tuple-variant body.
+fn count_tuple_elems(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut i = 0usize;
+    loop {
+        i = skip_type(tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        // We stopped on a top-level comma; a trailing comma ends the list.
+        i += 1;
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+    }
+    count
+}
