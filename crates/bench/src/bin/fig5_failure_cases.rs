@@ -1,228 +1,229 @@
-//! Figure 5 — the four failure-mode case studies the paper illustrates.
+//! Figure 5 — the four failure-mode case studies the paper illustrates,
+//! rebuilt as replayable campaign artifacts.
 //!
-//! (a) MLS-V2 path-planning failure in front of a large building (bounded A*
+//! (a) MLS-V2 path-planning failure in front of a large obstacle (bounded A*
 //!     search-pool exhaustion, straight-line fallback).
-//! (b) Collision while turning close to an obstacle (trajectory-following lag
-//!     at a sharp corner overshoots into the inflated boundary).
+//! (b) Collision while manoeuvring close to an obstacle (trajectory-
+//!     following lag overshoots into the inflated boundary).
 //! (c) Erroneous point clouds when the pose estimate drifts (points painted
-//!     in the wrong place).
+//!     in the wrong place, dropped returns).
 //! (d) GPS drift during poor weather despite healthy-looking DOP values.
+//!
+//! Each case is a small fault-injection campaign flown with the flight
+//! recorder on: the runner persists a trace for every failed mission, the
+//! triage classifier assigns it a Fig. 5 class, and the first trace matching
+//! the case's class becomes the exhibit — which is then *replayed* to prove
+//! the artifact regenerates byte-identically from (seed, spec). A failure
+//! narrative is no longer a hand-rolled loop; it is a file you can re-run.
 
-use mls_bench::print_header;
-use mls_geom::{Pose, Vec3};
-use mls_mapping::{
-    CellState, OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap,
-};
-use mls_planning::{
-    AStarConfig, AStarPlanner, Path, PathPlanner, RrtStarPlanner, Trajectory, TrajectoryConfig,
-};
-use mls_sim_uav::{
-    AirframeConfig, ControlCommand, DepthCamera, DepthCameraConfig, GpsSensor, QuadrotorDynamics,
-    VehicleState,
-};
-use mls_sim_world::{MapStyle, Obstacle, Weather, WorldMap};
+use std::path::Path;
+use std::process::ExitCode;
 
-/// Case (a): a building wide and tall enough to exhaust the bounded search
-/// pool of the V2 planner, while the V3 planner still finds a route.
-fn case_a_planning_failure() {
-    println!("\n(a) Path-planning failure of MLS-V2 due to a large obstacle");
-    let mut grid = VoxelGridMap::new(VoxelGridConfig {
-        resolution: 0.4,
-        half_extent_xy: 25.0,
-        height: 30.0,
-        carve_free_space: false,
-        max_range: 100.0,
-    })
-    .unwrap();
-    let mut octree = OctreeMap::new(OctreeConfig {
-        resolution: 0.4,
-        half_extent: 64.0,
-        ..OctreeConfig::default()
-    })
-    .unwrap();
-    // A 40 m wide, 26 m tall building face 10 m ahead.
-    let mut y = -20.0;
-    while y <= 20.0 {
-        let mut z = 0.2;
-        while z <= 26.0 {
-            grid.mark_occupied(Vec3::new(10.0, y, z));
-            grid.mark_occupied(Vec3::new(10.4, y, z));
-            octree.mark_occupied(Vec3::new(10.0, y, z));
-            octree.mark_occupied(Vec3::new(10.4, y, z));
-            z += 0.4;
-        }
-        y += 0.4;
-    }
-    let start = Vec3::new(0.0, 0.0, 6.0);
-    let goal = Vec3::new(20.0, 0.0, 6.0);
+use mls_bench::{print_header, HarnessOptions};
+use mls_campaign::{CampaignRunner, CampaignSpec, FaultKind, FaultPlan, TracePolicy};
+use mls_core::SystemVariant;
+use mls_trace::{triage, Fig5Class, Trace};
 
-    let mut v2 = AStarPlanner::with_config(AStarConfig {
-        max_expansions: 2_000,
-        ..AStarConfig::default()
-    });
-    match v2.plan(&grid, start, goal) {
-        Ok(outcome) => println!(
-            "  bounded A*: unexpectedly found a path of {:.1} m",
-            outcome.path.length()
-        ),
-        Err(err) => println!("  bounded A* (search pool 2000): FAILED — {err}"),
-    }
-    println!(
-        "  MLS-V2 behaviour on failure: fall back to the straight line (crosses the building)."
+/// One Fig. 5 panel: the campaign that provokes it and the class its
+/// exhibit trace must triage to.
+struct CaseStudy {
+    class: Fig5Class,
+    title: &'static str,
+    narrative: &'static str,
+    spec: CampaignSpec,
+}
+
+/// Common sizing for every case campaign: small scenario suites, bounded
+/// mission durations, traces kept for failures only.
+fn case_spec(
+    name: &str,
+    maps: usize,
+    variant: SystemVariant,
+    fault: Option<FaultPlan>,
+) -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        name: name.to_string(),
+        seed: 2025,
+        maps,
+        scenarios_per_map: 4,
+        repeats: 1,
+        variants: vec![variant],
+        baseline: fault.is_none(),
+        faults: fault.into_iter().collect(),
+        capture: TracePolicy::FailuresOnly,
+        ..CampaignSpec::default()
+    };
+    spec.landing.mission_timeout = 150.0;
+    spec.executor.max_duration = 180.0;
+    spec
+}
+
+fn cases() -> Vec<CaseStudy> {
+    // (a) Choke the bounded A*: a fat inflation radius turns urban canyons
+    // into walls the 6000-expansion pool cannot get around, and MLS-V2
+    // falls back to unchecked straight lines.
+    let mut planner_spec = case_spec("fig5a-planner", 2, SystemVariant::MlsV2, None);
+    planner_spec.landing.inflation_radius = 1.6;
+
+    // (b) Trajectory-following lag: MLS-V1 flies fast, unchecked straight
+    // lines; every plan is "healthy", and the airframe ploughs into
+    // obstacles the trajectory never avoided. Three maps cycle the styles
+    // so the sweep includes a built-up urban map.
+    let mut lag_spec = case_spec("fig5b-lag", 3, SystemVariant::MlsV1, None);
+    lag_spec.landing.trajectory.cruise_speed = 6.0;
+
+    // (c) Mis-painted point clouds: the depth-corruption fault displaces
+    // every return by a pose-drift offset and drops a fraction, so the
+    // MLS-V3 octree fills with phantom obstacles in the wrong place.
+    let cloud_spec = case_spec(
+        "fig5c-clouds",
+        3,
+        SystemVariant::MlsV3,
+        Some(FaultPlan::new(FaultKind::DepthCorruption, 1.0)),
     );
 
-    let mut v3 = RrtStarPlanner::new();
-    match v3.plan(&octree, start, goal) {
-        Ok(outcome) => println!(
-            "  RRT* on the global octree: path of {:.1} m with {} waypoints (sharpest corner {:.0}°)",
-            outcome.path.length(),
-            outcome.path.len(),
-            outcome.path.sharpest_corner().to_degrees()
-        ),
-        Err(err) => println!("  RRT*: failed — {err}"),
-    }
-}
-
-/// Case (b): follow a trajectory with a sharp corner next to an obstacle and
-/// measure how far the airframe overshoots the corner.
-fn case_b_turning_collision() {
-    println!("\n(b) Collision during a turning action close to an obstacle");
-    let corner_path = Path::new(vec![
-        Vec3::new(0.0, 0.0, 6.0),
-        Vec3::new(14.0, 0.0, 6.0),
-        Vec3::new(14.0, 12.0, 6.0),
-    ]);
-    println!(
-        "  commanded path: L-shaped, corner angle {:.0}°",
-        corner_path.sharpest_corner().to_degrees()
+    // (d) Silent GPS drift: an 8 m bias step that no DOP value reveals;
+    // mapless MLS-V1 lands confidently in the wrong place.
+    let gps_spec = case_spec(
+        "fig5d-gps",
+        1,
+        SystemVariant::MlsV1,
+        Some(FaultPlan::new(FaultKind::GpsBias, 0.8)),
     );
-    for (label, cruise) in [
-        ("cautious (2 m/s)", 2.0),
-        ("nominal (4 m/s)", 4.0),
-        ("aggressive (6 m/s)", 6.0),
-    ] {
-        let trajectory = Trajectory::from_path(
-            &corner_path,
-            TrajectoryConfig {
-                cruise_speed: cruise,
-                corner_speed: cruise.min(1.2),
-                ..TrajectoryConfig::default()
-            },
-        )
-        .unwrap();
-        let mut dynamics =
-            QuadrotorDynamics::new(AirframeConfig::default(), Vec3::new(0.0, 0.0, 6.0));
-        let mut state = VehicleState::grounded(Vec3::new(0.0, 0.0, 6.0));
-        state.landed = false;
-        dynamics.set_state(state);
-        let dt = 0.02;
-        let mut t = 0.0;
-        let mut worst_overshoot = 0.0f64;
-        while t < trajectory.duration() + 3.0 {
-            let sample = trajectory.sample(t);
-            // Simple position P-controller, as the autopilot cascade would do.
-            let error = sample.position - dynamics.state().position;
-            let command = ControlCommand {
-                acceleration: error * 1.2 + (sample.velocity - dynamics.state().velocity) * 1.6,
-                yaw: 0.0,
-            };
-            dynamics.step(&command, Vec3::ZERO, 0.0, dt);
-            // Overshoot: how far past the corner line (x = 14) the vehicle gets.
-            worst_overshoot = worst_overshoot.max(dynamics.state().position.x - 14.0);
-            t += dt;
+
+    vec![
+        CaseStudy {
+            class: Fig5Class::PlannerExhaustion,
+            title: "(a) Path-planning failure of MLS-V2 due to a large obstacle",
+            narrative: "bounded A* exhausts its search pool; the V2 fallback flies an \
+                        unchecked straight line",
+            spec: planner_spec,
+        },
+        CaseStudy {
+            class: Fig5Class::TrajectoryLagCollision,
+            title: "(b) Collision while manoeuvring close to an obstacle",
+            narrative: "every planning query healthy, yet the airframe lags the commanded \
+                        trajectory into an obstacle",
+            spec: lag_spec,
+        },
+        CaseStudy {
+            class: Fig5Class::MapCorruption,
+            title: "(c) Erroneous point clouds under pose-estimate drift",
+            narrative: "depth returns are painted 3 m off and partially dropped; the map \
+                        no longer matches the world",
+            spec: cloud_spec,
+        },
+        CaseStudy {
+            class: Fig5Class::GpsDrift,
+            title: "(d) GPS drift during poor weather",
+            narrative: "a GNSS bias step the DOP values do not reveal steers the landing \
+                        metres off the marker",
+            spec: gps_spec,
+        },
+    ]
+}
+
+/// Runs one case end to end; returns `true` when an exhibit trace with the
+/// expected class was produced and replayed byte-identically.
+fn run_case(case: &CaseStudy, threads: usize) -> bool {
+    println!("\n{}", case.title);
+    println!("  {}", case.narrative);
+
+    let runner = CampaignRunner::new(threads);
+    let report = match runner.run(&case.spec) {
+        Ok(report) => report,
+        Err(err) => {
+            println!("  campaign failed: {err}");
+            return false;
         }
+    };
+    let failures = report.traces.len();
+    println!(
+        "  campaign: {} missions, {} failure traces captured under {}",
+        report.missions,
+        failures,
+        runner.trace_dir(&case.spec).display()
+    );
+
+    let Some(link) = report
+        .traces
+        .iter()
+        .find(|link| link.triage.as_deref() == Some(case.class.label()))
+    else {
         println!(
-            "  {label:<20} corner overshoot {:.2} m {}",
-            worst_overshoot,
-            if worst_overshoot > 0.9 {
-                "→ inside a 0.9 m inflated obstacle boundary (collision)"
-            } else {
-                "→ stays clear of the inflated boundary"
-            }
+            "  NO trace triaged as {} (saw: {:?})",
+            case.class.label(),
+            report
+                .traces
+                .iter()
+                .map(|t| t.triage.clone().unwrap_or_else(|| "unclassified".into()))
+                .collect::<Vec<_>>()
         );
+        return false;
+    };
+
+    let trace = match Trace::read_from(Path::new(&link.path)) {
+        Ok(trace) => trace,
+        Err(err) => {
+            println!("  exhibit unreadable: {err}");
+            return false;
+        }
+    };
+    let verdict = triage(&trace);
+    println!(
+        "  exhibit: {} (cell {}, scenario {}, seed {})",
+        link.path, link.cell_index, link.scenario_id, link.seed
+    );
+    println!(
+        "  triage → {} [Fig. 5{}], {} events",
+        case.class.label(),
+        case.class.panel(),
+        trace.events.len()
+    );
+    for line in &verdict.evidence {
+        println!("    evidence: {line}");
+    }
+
+    // Replay the exhibit: re-execute its (seed, spec) and demand a
+    // byte-identical event stream.
+    let scenarios = match runner.generate_scenarios(&case.spec) {
+        Ok(scenarios) => scenarios,
+        Err(err) => {
+            println!("  scenario regeneration failed: {err}");
+            return false;
+        }
+    };
+    match runner.replay(&case.spec, &scenarios, &trace) {
+        Ok(replay_verdict) if replay_verdict.is_identical() => {
+            println!("  replay: {replay_verdict}");
+            true
+        }
+        Ok(replay_verdict) => {
+            println!("  replay DIVERGED: {replay_verdict}");
+            false
+        }
+        Err(err) => {
+            println!("  replay failed: {err}");
+            false
+        }
     }
 }
 
-/// Case (c): the depth camera reconstructs returns through a drifted pose
-/// estimate, painting the building in the wrong place.
-fn case_c_erroneous_pointclouds() {
-    println!("\n(c) Erroneous point clouds under pose-estimate drift");
-    let world = WorldMap::empty("case-c", MapStyle::Urban, 80.0).with_obstacle(Obstacle::building(
-        Vec3::new(12.0, 0.0, 0.0),
-        8.0,
-        8.0,
-        12.0,
-    ));
-    let true_pose = Pose::from_position_yaw(Vec3::new(0.0, 0.0, 6.0), 0.0);
-    for drift in [0.0, 1.0, 2.5, 4.0] {
-        let est_pose = Pose::from_position_yaw(Vec3::new(0.0, drift, 6.0), 0.0);
-        let mut camera = DepthCamera::new(DepthCameraConfig::default(), 9);
-        let cloud = camera.capture(&world, &true_pose, &est_pose);
-        // Fraction of returns that land farther than 0.5 m from the true
-        // building surface (x in [8, 16], |y| <= 4).
-        let erroneous = cloud
-            .points
-            .iter()
-            .filter(|p| p.z > 0.5)
-            .filter(|p| p.y.abs() > 4.5 || p.x < 7.5 || p.x > 16.5)
-            .count();
-        let wall_returns = cloud.points.iter().filter(|p| p.z > 0.5).count().max(1);
-        // Insert into a fresh octree and check where the map thinks the wall is.
-        let mut map = OctreeMap::new(OctreeConfig::default()).unwrap();
-        for _ in 0..3 {
-            map.insert_cloud(cloud.origin, &cloud.points);
-        }
-        let true_wall_occupied = map.state_at(Vec3::new(8.2, 0.0, 3.0)) == CellState::Occupied;
-        let shifted_wall_occupied = map.state_at(Vec3::new(8.2, drift, 3.0)) == CellState::Occupied;
-        println!(
-            "  estimate drift {:.1} m: {:>5.1}% of wall returns displaced; map marks true wall: {}, drifted wall: {}",
-            drift,
-            100.0 * erroneous as f64 / wall_returns as f64,
-            true_wall_occupied,
-            shifted_wall_occupied
-        );
-    }
-}
+fn main() -> ExitCode {
+    print_header("Figure 5 — Failure-mode case studies (replayable campaign artifacts)");
+    let threads = HarnessOptions::from_env().threads;
 
-/// Case (d): GNSS random-walk drift in poor weather, with DOPs that still
-/// look acceptable (2–8).
-fn case_d_gps_drift() {
-    println!("\n(d) GPS drift during poor weather");
-    let mut state = VehicleState::grounded(Vec3::new(0.0, 0.0, 10.0));
-    state.landed = false;
-    for (label, weather) in [
-        ("clear", Weather::clear()),
-        ("rain", Weather::rain()),
-        ("fog", Weather::fog()),
-    ] {
-        let mut gps = GpsSensor::from_weather(&weather, 21);
-        let mut worst_hdop: f64 = 0.0;
-        let mut drift_at = Vec::new();
-        for minute in 1..=10 {
-            for _ in 0..(60.0 / gps.interval()) as usize {
-                let fix = gps.sample(&state, gps.interval());
-                worst_hdop = worst_hdop.max(fix.hdop);
-            }
-            drift_at.push((minute, gps.drift().horizontal().norm()));
-        }
-        let series: Vec<String> = drift_at
-            .iter()
-            .filter(|(m, _)| m % 2 == 0)
-            .map(|(m, d)| format!("{m}min:{d:.2}m"))
-            .collect();
-        println!(
-            "  {label:<6} worst HDOP {:.1}  drift over time  {}",
-            worst_hdop,
-            series.join("  ")
-        );
+    let mut all_good = true;
+    for case in cases() {
+        all_good &= run_case(&case, threads);
     }
-    println!("  (the paper observed drift while VDOP/HDOP stayed within 2–8)");
-}
 
-fn main() {
-    print_header("Figure 5 — Failure-mode case studies");
-    case_a_planning_failure();
-    case_b_turning_collision();
-    case_c_erroneous_pointclouds();
-    case_d_gps_drift();
+    println!();
+    if all_good {
+        println!("All four Fig. 5 classes captured, triaged and replayed byte-identically.");
+        ExitCode::SUCCESS
+    } else {
+        println!("At least one case study failed to capture, triage or replay.");
+        ExitCode::FAILURE
+    }
 }

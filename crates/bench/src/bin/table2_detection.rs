@@ -7,13 +7,14 @@
 //! 1. a controlled standalone sweep — the same scene rendered over a grid of
 //!    altitudes × weather × lighting conditions, decoded by both detectors;
 //! 2. the in-mission rates pooled from a (reduced) benchmark run of each
-//!    system variant.
+//!    system variant, expressed as a baseline-only [`CampaignSpec`] and
+//!    flown by the sharded [`CampaignRunner`] — the same replayable campaign
+//!    grid the Table I/III harnesses run on.
 
-use mls_bench::{
-    generate_scenarios, percent, print_comparison, print_header, run_and_summarise, HarnessOptions,
-};
+use mls_bench::{percent, print_comparison, print_header, HarnessOptions};
+use mls_campaign::{CampaignRunner, CampaignSpec};
 use mls_compute::ComputeProfile;
-use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+use mls_core::SystemVariant;
 use mls_geom::{Pose, Vec2, Vec3};
 use mls_vision::{
     Camera, ClassicalDetector, DegradationConfig, GroundScene, ImageDegrader, LearnedDetector,
@@ -81,15 +82,24 @@ fn main() {
     );
 
     println!();
-    println!("In-mission false-negative rates (pooled over a benchmark run):");
+    println!("In-mission false-negative rates (pooled over a campaign run):");
     let mut options = HarnessOptions::from_env();
     // Detection statistics converge with far fewer missions than Table I.
     options.maps = options.maps.min(4);
     options.scenarios_per_map = options.scenarios_per_map.min(5);
-    let scenarios = generate_scenarios(&options);
-    let profile = ComputeProfile::desktop_sil();
-    let landing = LandingConfig::default();
-    let executor = ExecutorConfig::default();
+    let spec = CampaignSpec {
+        name: "table2-detection".to_string(),
+        seed: options.seed,
+        maps: options.maps,
+        scenarios_per_map: options.scenarios_per_map,
+        repeats: options.repeats,
+        variants: SystemVariant::ALL.to_vec(),
+        profiles: vec![ComputeProfile::desktop_sil()],
+        ..CampaignSpec::default()
+    };
+    let report = CampaignRunner::new(options.threads)
+        .run(&spec)
+        .expect("the Table II campaign specification is valid");
 
     let paper = [
         (SystemVariant::MlsV1, "OpenCV", 4.00),
@@ -97,12 +107,13 @@ fn main() {
         (SystemVariant::MlsV3, "TPH-YOLO", 2.00),
     ];
     for (variant, implementation, paper_fnr) in paper {
-        let (summary, _) =
-            run_and_summarise(&scenarios, variant, &profile, &landing, &executor, &options);
+        let cell = report
+            .cell(variant, "desktop-sil", None)
+            .expect("the campaign grid contains every variant's baseline cell");
         print_comparison(
             &format!("{} ({implementation}) false-negative rate", variant.label()),
             &format!("{paper_fnr:.2}%"),
-            &percent(summary.false_negative_rate),
+            &percent(cell.false_negative_rate),
         );
     }
     println!();

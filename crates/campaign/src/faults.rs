@@ -19,9 +19,11 @@
 //! | [`FaultKind::GpsBias`] | GNSS fixes | 10 m bias step |
 //! | [`FaultKind::WindGust`] | airframe | 12 m/s gust spikes |
 //! | [`FaultKind::ComputeThrottle`] | compute platform | platform at 5 % speed |
+//! | [`FaultKind::DepthCorruption`] | depth clouds | 40 % dropout, 3 m mis-painting |
 
 use mls_core::{FaultHook, TickFaults};
 use mls_geom::{Vec2, Vec3};
+use mls_sim_uav::PointCloud;
 use mls_vision::{Detection, GrayImage, MarkerObservation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,17 +47,22 @@ pub enum FaultKind {
     WindGust,
     /// Intervals during which the compute platform is thermally throttled.
     ComputeThrottle,
+    /// Depth-cloud corruption after an onset: per-point dropout plus
+    /// pose-drift painting (every return displaced by a fixed horizontal
+    /// offset), reproducing the paper's Fig. 5c erroneous point clouds.
+    DepthCorruption,
 }
 
 impl FaultKind {
     /// Every fault kind, in a stable reporting order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::MarkerOcclusion,
         FaultKind::DetectionDropout,
         FaultKind::MarkerSpoof,
         FaultKind::GpsBias,
         FaultKind::WindGust,
         FaultKind::ComputeThrottle,
+        FaultKind::DepthCorruption,
     ];
 
     /// Short label used in reports.
@@ -67,6 +74,7 @@ impl FaultKind {
             FaultKind::GpsBias => "gps-bias",
             FaultKind::WindGust => "wind-gust",
             FaultKind::ComputeThrottle => "compute-throttle",
+            FaultKind::DepthCorruption => "depth-corruption",
         }
     }
 }
@@ -157,7 +165,15 @@ impl FaultInjector {
         let heading: f64 = rng.random_range(0.0..std::f64::consts::TAU);
         let direction = Vec3::new(heading.cos(), heading.sin(), 0.0);
         let active_until = context.max_duration.max(Self::ACTIVE_FROM + 10.0);
-        let onset = rng.random_range(Self::ACTIVE_FROM..(Self::ACTIVE_FROM + 40.0));
+        // Bias/corruption onsets: GPS bias steps in anywhere over the first
+        // leg; depth corruption engages right after the climb, because pose
+        // drift corrupts every cloud from the moment mapping matters.
+        let onset = match plan.kind {
+            FaultKind::DepthCorruption => {
+                rng.random_range(Self::ACTIVE_FROM..(Self::ACTIVE_FROM + 5.0))
+            }
+            _ => rng.random_range(Self::ACTIVE_FROM..(Self::ACTIVE_FROM + 40.0)),
+        };
 
         let windows = match plan.kind {
             FaultKind::MarkerOcclusion
@@ -184,7 +200,9 @@ impl FaultInjector {
                 windows.sort_by(|a, b| a.start.total_cmp(&b.start));
                 windows
             }
-            FaultKind::DetectionDropout | FaultKind::GpsBias => Vec::new(),
+            FaultKind::DetectionDropout | FaultKind::GpsBias | FaultKind::DepthCorruption => {
+                Vec::new()
+            }
         };
 
         Self {
@@ -260,6 +278,30 @@ impl FaultHook for FaultInjector {
         faults
     }
 
+    fn corrupts_depth_clouds(&self) -> bool {
+        self.plan.kind == FaultKind::DepthCorruption && self.plan.intensity > 0.0
+    }
+
+    fn pre_mapping(&mut self, time: f64, cloud: &mut PointCloud) {
+        if self.plan.kind != FaultKind::DepthCorruption
+            || self.plan.intensity <= 0.0
+            || time < self.onset
+        {
+            return;
+        }
+        // Pose-drift painting: every return is reconstructed through a
+        // drifted pose estimate, shifting the whole cloud sideways (Fig. 5c).
+        let offset = self.direction * (3.0 * self.plan.intensity);
+        for point in &mut cloud.points {
+            *point += offset;
+        }
+        // Per-point dropout, one RNG draw per point in cloud order:
+        // deterministic for a given (plan, seed, capture sequence).
+        let dropout = 0.4 * self.plan.intensity;
+        let rng = &mut self.rng;
+        cloud.points.retain(|_| !rng.random_bool(dropout));
+    }
+
     fn pre_detection(&mut self, time: f64, image: &mut GrayImage) {
         if self.plan.kind == FaultKind::MarkerOcclusion && self.in_window(time) {
             // Wash the frame out to a uniform mid-grey: no gradients, no
@@ -309,6 +351,17 @@ mod tests {
                 let mut observations = vec![dummy_observation()];
                 injector.post_detection(time, &mut observations);
                 assert_eq!(observations.len(), 1, "{kind:?} must not tamper at 0");
+                let mut cloud = PointCloud {
+                    origin: Vec3::ZERO,
+                    points: vec![Vec3::new(5.0, 1.0, 2.0)],
+                    max_range: 18.0,
+                };
+                injector.pre_mapping(time, &mut cloud);
+                assert_eq!(
+                    cloud.points,
+                    vec![Vec3::new(5.0, 1.0, 2.0)],
+                    "{kind:?} must not tamper with clouds at 0"
+                );
             }
         }
     }
@@ -318,7 +371,7 @@ mod tests {
         let plan = FaultPlan::new(FaultKind::GpsBias, 1.7);
         assert_eq!(plan.intensity, 1.0);
         assert_eq!(plan.label(), "gps-bias@1.000");
-        assert_eq!(FaultKind::ALL.len(), 6);
+        assert_eq!(FaultKind::ALL.len(), 7);
     }
 
     #[test]
@@ -391,6 +444,65 @@ mod tests {
                 _ => assert!(active.wind_disturbance.norm() > 6.0),
             }
         }
+    }
+
+    #[test]
+    fn only_depth_corruption_declares_cloud_tampering() {
+        for kind in FaultKind::ALL {
+            let injector = FaultPlan::new(kind, 0.8).injector(3, &context());
+            assert_eq!(
+                injector.corrupts_depth_clouds(),
+                kind == FaultKind::DepthCorruption,
+                "{kind:?}"
+            );
+        }
+        let zero = FaultPlan::new(FaultKind::DepthCorruption, 0.0).injector(3, &context());
+        assert!(!zero.corrupts_depth_clouds());
+    }
+
+    #[test]
+    fn depth_corruption_displaces_and_drops_after_onset() {
+        let plan = FaultPlan::new(FaultKind::DepthCorruption, 1.0);
+        let mut injector = plan.injector(17, &context());
+        let points: Vec<Vec3> = (0..200)
+            .map(|i| Vec3::new(10.0, i as f64 * 0.2 - 20.0, 3.0))
+            .collect();
+        let make_cloud = || PointCloud {
+            origin: Vec3::new(0.0, 0.0, 6.0),
+            points: points.clone(),
+            max_range: 18.0,
+        };
+
+        // Before the onset the cloud is untouched.
+        let mut early = make_cloud();
+        injector.pre_mapping(1.0, &mut early);
+        assert_eq!(early.points, points);
+
+        // After the onset points are displaced by 3 m and a large fraction
+        // is dropped.
+        let mut late = make_cloud();
+        injector.pre_mapping(injector.onset + 1.0, &mut late);
+        assert!(
+            late.points.len() < points.len(),
+            "dropout must remove points"
+        );
+        assert!(late.points.len() > points.len() / 5, "dropout is partial");
+        let displaced = late
+            .points
+            .iter()
+            .all(|p| points.iter().any(|q| (p.distance(*q) - 3.0).abs() < 1e-9));
+        assert!(displaced, "surviving points sit 3 m from an original");
+
+        // Determinism: the same (plan, seed, call sequence) replays the
+        // exact same corruption.
+        let mut a = plan.injector(17, &context());
+        let mut b = plan.injector(17, &context());
+        let mut cloud_a = make_cloud();
+        let mut cloud_b = make_cloud();
+        let t = a.onset + 1.0;
+        a.pre_mapping(t, &mut cloud_a);
+        b.pre_mapping(t, &mut cloud_b);
+        assert_eq!(cloud_a.points, cloud_b.points);
     }
 
     fn dummy_observation() -> MarkerObservation {

@@ -25,6 +25,14 @@
 //!   reports the minimal intensity at which landing reliably fails, and
 //!   [`report`] — JSON/CSV campaign reports.
 //!
+//! Campaigns can additionally fly with the `mls-trace` flight recorder
+//! attached: a [`TracePolicy`] on the spec (`Off` / `FailuresOnly` / `All`)
+//! makes the runner persist per-mission traces, link them from the
+//! [`CampaignReport`](report::CampaignReport) with their Fig. 5 triage
+//! class, and [`CampaignRunner::replay`](runner::CampaignRunner::replay)
+//! re-executes any recorded trace and byte-compares the regenerated event
+//! stream.
+//!
 //! # Examples
 //!
 //! Run a small fault campaign end to end:
@@ -55,7 +63,8 @@ pub mod spec;
 pub mod stats;
 
 pub use faults::{FaultInjector, FaultKind, FaultPlan, MissionFaultContext};
-pub use report::{CampaignReport, CellReport, MetricSummary};
+pub use mls_trace::TracePolicy;
+pub use report::{CampaignReport, CellReport, MetricSummary, TraceLink};
 pub use runner::{execute_sharded, CampaignRunner};
 pub use search::{FalsificationConfig, FalsificationResult, FalsificationSearch};
 pub use spec::{CampaignCell, CampaignSpec};
@@ -74,6 +83,8 @@ pub enum CampaignError {
     World(mls_sim_world::SimWorldError),
     /// Assembling a landing system failed.
     Mls(mls_core::MlsError),
+    /// Capturing, persisting or parsing a mission trace failed.
+    Trace(mls_trace::TraceError),
     /// Serialising a report failed.
     Serialize(String),
 }
@@ -86,6 +97,7 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::World(err) => write!(f, "scenario generation failed: {err}"),
             CampaignError::Mls(err) => write!(f, "landing-system assembly failed: {err}"),
+            CampaignError::Trace(err) => write!(f, "trace capture failed: {err}"),
             CampaignError::Serialize(reason) => write!(f, "report serialisation failed: {reason}"),
         }
     }
@@ -96,6 +108,7 @@ impl Error for CampaignError {
         match self {
             CampaignError::World(err) => Some(err),
             CampaignError::Mls(err) => Some(err),
+            CampaignError::Trace(err) => Some(err),
             _ => None,
         }
     }
@@ -110,6 +123,12 @@ impl From<mls_sim_world::SimWorldError> for CampaignError {
 impl From<mls_core::MlsError> for CampaignError {
     fn from(err: mls_core::MlsError) -> Self {
         CampaignError::Mls(err)
+    }
+}
+
+impl From<mls_trace::TraceError> for CampaignError {
+    fn from(err: mls_trace::TraceError) -> Self {
+        CampaignError::Trace(err)
     }
 }
 

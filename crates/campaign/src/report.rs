@@ -95,8 +95,34 @@ impl CellReport {
     }
 }
 
-/// A complete campaign result.
+/// One persisted mission trace, linked from the report so forensics can go
+/// straight from an aggregate row to the replayable artifact behind it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLink {
+    /// Campaign-grid cell the mission belonged to.
+    pub cell_index: usize,
+    /// Cell row label (`MLS-V2/desktop-sil/gps-bias@0.500`).
+    pub cell_label: String,
+    /// Scenario flown.
+    pub scenario_id: usize,
+    /// Repeat index within the cell.
+    pub repeat: usize,
+    /// The mission seed (also in the trace header).
+    pub seed: u64,
+    /// Final mission classification.
+    pub result: mls_core::MissionResult,
+    /// Fig. 5 triage class assigned to the trace, when one matched.
+    pub triage: Option<String>,
+    /// Path of the trace file on disk.
+    pub path: String,
+}
+
+/// A complete campaign result.
+///
+/// `Deserialize` is implemented by hand so report JSONs persisted before
+/// the trace subsystem existed (no `traces` key) still parse with an empty
+/// trace list — the vendored serde has no `#[serde(default)]`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignReport {
     /// Campaign name, copied from the spec.
     pub name: String,
@@ -106,6 +132,25 @@ pub struct CampaignReport {
     pub missions: usize,
     /// Per-cell aggregates, in grid order.
     pub cells: Vec<CellReport>,
+    /// Persisted mission traces, in grid order (empty when the spec's
+    /// capture policy is `Off`).
+    pub traces: Vec<TraceLink>,
+}
+
+impl serde::Deserialize for CampaignReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            name: serde::de_field(value, "name")?,
+            seed: serde::de_field(value, "seed")?,
+            missions: serde::de_field(value, "missions")?,
+            cells: serde::de_field(value, "cells")?,
+            // Reports predating the trace subsystem have no traces key.
+            traces: match value.get("traces") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl CampaignReport {
@@ -185,6 +230,13 @@ impl CampaignReport {
     pub fn cells_for(&self, variant: SystemVariant) -> impl Iterator<Item = &CellReport> {
         self.cells.iter().filter(move |c| c.variant == variant)
     }
+
+    /// All persisted traces of one cell, in grid order.
+    pub fn traces_for_cell(&self, cell_index: usize) -> impl Iterator<Item = &TraceLink> {
+        self.traces
+            .iter()
+            .filter(move |t| t.cell_index == cell_index)
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +278,16 @@ mod tests {
                     Some(FaultPlan::new(FaultKind::GpsBias, 0.5)),
                 ),
             ],
+            traces: vec![TraceLink {
+                cell_index: 1,
+                cell_label: "MLS-V1/desktop-sil/gps-bias@0.500".to_string(),
+                scenario_id: 3,
+                repeat: 0,
+                seed: 99,
+                result: mls_core::MissionResult::PoorLanding,
+                triage: Some("gps-drift".to_string()),
+                path: "traces/t/c001-s003-r0.jsonl".to_string(),
+            }],
         }
     }
 
@@ -235,6 +297,19 @@ mod tests {
         let json = report.to_json().unwrap();
         let parsed = CampaignReport::from_json(&json).unwrap();
         assert_eq!(report, parsed);
+    }
+
+    #[test]
+    fn reports_without_a_traces_key_parse_with_an_empty_list() {
+        let json = report().to_json().unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("report serialises to an object");
+        };
+        fields.retain(|(key, _)| key != "traces");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed = CampaignReport::from_json(&legacy).unwrap();
+        assert!(parsed.traces.is_empty());
+        assert_eq!(parsed.cells.len(), 2);
     }
 
     #[test]
@@ -263,5 +338,15 @@ mod tests {
             .is_none());
         assert_eq!(report.cells_for(SystemVariant::MlsV1).count(), 2);
         assert!(report.cells[1].label().contains("gps-bias@0.500"));
+    }
+
+    #[test]
+    fn trace_links_are_queryable_per_cell() {
+        let report = report();
+        assert_eq!(report.traces_for_cell(1).count(), 1);
+        assert_eq!(report.traces_for_cell(0).count(), 0);
+        let link = report.traces_for_cell(1).next().unwrap();
+        assert_eq!(link.triage.as_deref(), Some("gps-drift"));
+        assert!(link.path.ends_with(".jsonl"));
     }
 }

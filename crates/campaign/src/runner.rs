@@ -14,14 +14,18 @@
 //! The resulting [`CampaignReport`] is byte-identical for a given spec
 //! regardless of thread count.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mls_compute::ComputeModel;
 use mls_core::{FailsafeReason, MissionExecutor, MissionOutcome, MissionResult};
 use mls_sim_world::{Scenario, ScenarioConfig, ScenarioGenerator};
+use mls_trace::{
+    triage, verify_replay, RecorderConfig, ReplayVerdict, Trace, TraceHeader, TraceRecorder,
+};
 
 use crate::faults::MissionFaultContext;
-use crate::report::{CampaignReport, CellReport};
+use crate::report::{CampaignReport, CellReport, TraceLink};
 use crate::spec::{CampaignCell, CampaignSpec};
 use crate::stats::MetricAccumulator;
 use crate::CampaignError;
@@ -85,6 +89,8 @@ struct MissionRecord {
     gps_drift: f64,
     visible_frames: usize,
     missed_frames: usize,
+    /// The mission's captured trace, when the spec's policy kept it.
+    trace: Option<Box<Trace>>,
 }
 
 impl MissionRecord {
@@ -101,6 +107,7 @@ impl MissionRecord {
             gps_drift: outcome.gps_drift,
             visible_frames: outcome.detection_stats.visible_frames,
             missed_frames: outcome.detection_stats.missed_frames,
+            trace: None,
         }
     }
 }
@@ -110,6 +117,8 @@ impl MissionRecord {
 #[derive(Debug, Clone)]
 pub struct CampaignRunner {
     threads: usize,
+    trace_dir: Option<PathBuf>,
+    recorder: RecorderConfig,
 }
 
 impl CampaignRunner {
@@ -122,7 +131,31 @@ impl CampaignRunner {
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.clamp(1, Self::MAX_THREADS),
+            trace_dir: None,
+            recorder: RecorderConfig::default(),
         }
+    }
+
+    /// Overrides the directory captured traces are persisted in (default:
+    /// `traces/<campaign name>`).
+    #[must_use]
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the flight-recorder sizing (ring capacity, decimations).
+    #[must_use]
+    pub fn with_recorder_config(mut self, config: RecorderConfig) -> Self {
+        self.recorder = config;
+        self
+    }
+
+    /// Where a spec's traces land on disk.
+    pub fn trace_dir(&self, spec: &CampaignSpec) -> PathBuf {
+        self.trace_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("traces").join(&spec.name))
     }
 
     /// A runner sized to the machine's available parallelism.
@@ -178,6 +211,8 @@ impl CampaignRunner {
         let cells = spec.cells();
         let missions_per_cell = spec.missions_per_cell();
         let total = missions_per_cell * cells.len();
+        let config_hash = spec.config_hash()?;
+        let recorder = spec.capture.captures().then_some(self.recorder);
 
         // Job `i` maps to (cell, repeat, scenario) in row-major order, so a
         // cell's missions occupy one contiguous, ordered slice of the
@@ -188,13 +223,46 @@ impl CampaignRunner {
                 let within = index % missions_per_cell;
                 let scenario = &scenarios[within % scenarios.len()];
                 let repeat = within / scenarios.len();
-                self.fly(spec, cell, scenario, repeat)
-                    .map(|outcome| MissionRecord::from_outcome(&outcome))
+                self.fly(spec, cell, scenario, repeat, config_hash, recorder.as_ref())
+                    .map(|(outcome, trace)| {
+                        let mut record = MissionRecord::from_outcome(&outcome);
+                        record.trace = trace
+                            .filter(|_| spec.capture.keeps(outcome.result))
+                            .map(Box::new);
+                        record
+                    })
             });
 
         let mut records = Vec::with_capacity(total);
         for result in results {
             records.push(result?);
+        }
+
+        // Persist the kept traces (in deterministic grid order) and link
+        // them from the report, each with its triage verdict.
+        let trace_dir = self.trace_dir(spec);
+        let mut traces = Vec::new();
+        for (index, record) in records.iter().enumerate() {
+            let Some(trace) = &record.trace else {
+                continue;
+            };
+            let cell = &cells[index / missions_per_cell];
+            let header = &trace.header;
+            let path = trace_dir.join(format!(
+                "c{:03}-s{:03}-r{}.jsonl",
+                cell.index, header.scenario_id, header.repeat
+            ));
+            trace.write_to(&path)?;
+            traces.push(TraceLink {
+                cell_index: cell.index,
+                cell_label: cell.label(),
+                scenario_id: header.scenario_id,
+                repeat: header.repeat,
+                seed: header.seed,
+                result: record.result,
+                triage: triage(trace).class.map(|class| class.label().to_string()),
+                path: path.display().to_string(),
+            });
         }
 
         let cell_reports = cells
@@ -211,6 +279,7 @@ impl CampaignRunner {
             seed: spec.seed,
             missions: total,
             cells: cell_reports,
+            traces,
         })
     }
 
@@ -228,14 +297,17 @@ impl CampaignRunner {
         Ok(ScenarioGenerator::new(config).generate_benchmark(spec.seed)?)
     }
 
-    /// Flies one mission of one cell.
+    /// Flies one mission of one cell, attaching a flight recorder when
+    /// `recorder` is given.
     fn fly(
         &self,
         spec: &CampaignSpec,
         cell: &CampaignCell,
         scenario: &Scenario,
         repeat: usize,
-    ) -> Result<MissionOutcome, CampaignError> {
+        config_hash: u64,
+        recorder: Option<&RecorderConfig>,
+    ) -> Result<(MissionOutcome, Option<Trace>), CampaignError> {
         let seed = spec.mission_seed(scenario.id, repeat);
         let compute =
             ComputeModel::new(spec.profiles[cell.profile_index].clone()).map_err(|err| {
@@ -260,7 +332,102 @@ impl CampaignRunner {
             };
             executor = executor.with_fault_hook(Box::new(plan.injector(seed, &context)));
         }
-        Ok(executor.run())
+        let mut handle = None;
+        if let Some(config) = recorder {
+            let header = config.header(
+                &spec.name,
+                seed,
+                cell.variant,
+                scenario.id,
+                &scenario.name,
+                cell.index,
+                repeat,
+                config_hash,
+            );
+            let trace_recorder = TraceRecorder::new(header);
+            handle = Some(trace_recorder.handle());
+            executor = executor.with_trace_sink(Box::new(trace_recorder));
+        }
+        let outcome = executor.run();
+        Ok((outcome, handle.map(mls_trace::TraceHandle::finish)))
+    }
+
+    /// Re-executes the mission a trace header describes and returns the
+    /// regenerated trace — the (seed, spec)-pure re-run behind replay
+    /// verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidSpec`] when the header does not match
+    /// the spec: drifted configuration hash, unknown cell, missing scenario
+    /// or a seed that the spec's schedule does not produce.
+    pub fn refly(
+        &self,
+        spec: &CampaignSpec,
+        scenarios: &[Scenario],
+        header: &TraceHeader,
+    ) -> Result<Trace, CampaignError> {
+        spec.validate()?;
+        let reject = |reason: String| CampaignError::InvalidSpec { reason };
+        let config_hash = spec.config_hash()?;
+        if config_hash != header.config_hash {
+            return Err(reject(format!(
+                "trace was captured under config hash {:#x}, the spec hashes to {:#x}",
+                header.config_hash, config_hash
+            )));
+        }
+        let cells = spec.cells();
+        let cell = cells
+            .get(header.cell_index)
+            .ok_or_else(|| reject(format!("cell {} is outside the grid", header.cell_index)))?;
+        if cell.variant != header.variant {
+            return Err(reject(format!(
+                "cell {} flies {:?}, the trace recorded {:?}",
+                header.cell_index, cell.variant, header.variant
+            )));
+        }
+        let scenario = scenarios
+            .iter()
+            .find(|s| s.id == header.scenario_id)
+            .ok_or_else(|| {
+                reject(format!(
+                    "scenario {} is not in the suite",
+                    header.scenario_id
+                ))
+            })?;
+        if spec.mission_seed(scenario.id, header.repeat) != header.seed {
+            return Err(reject(format!(
+                "seed {} is not the spec's seed for scenario {} repeat {}",
+                header.seed, header.scenario_id, header.repeat
+            )));
+        }
+        let recorder = RecorderConfig::from_header(header);
+        let (_, trace) = self.fly(
+            spec,
+            cell,
+            scenario,
+            header.repeat,
+            config_hash,
+            Some(&recorder),
+        )?;
+        trace.ok_or_else(|| reject("refly produced no trace".to_string()))
+    }
+
+    /// Replays a recorded trace and byte-compares the regenerated event
+    /// stream against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CampaignRunner::refly`] errors when the trace does not
+    /// belong to this (spec, scenario suite).
+    pub fn replay(
+        &self,
+        spec: &CampaignSpec,
+        scenarios: &[Scenario],
+        recorded: &Trace,
+    ) -> Result<ReplayVerdict, CampaignError> {
+        let regenerated = self.refly(spec, scenarios, &recorded.header)?;
+        Ok(verify_replay(recorded, &regenerated))
     }
 }
 

@@ -244,6 +244,7 @@ impl FalsificationSearch {
             faults: fault.into_iter().collect(),
             landing: config.landing.clone(),
             executor: config.executor.clone(),
+            capture: mls_trace::TracePolicy::Off,
         }
     }
 

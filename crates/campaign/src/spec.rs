@@ -8,13 +8,18 @@
 
 use mls_compute::ComputeProfile;
 use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+use mls_trace::TracePolicy;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{FaultKind, FaultPlan};
 use crate::CampaignError;
 
 /// A declarative fault-injection campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand so spec JSONs written before the
+/// trace subsystem existed (no `capture` key) still parse, defaulting to
+/// [`TracePolicy::Off`] — the vendored serde has no `#[serde(default)]`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignSpec {
     /// Campaign name, embedded in reports.
     pub name: String,
@@ -38,6 +43,32 @@ pub struct CampaignSpec {
     pub landing: LandingConfig,
     /// Mission-executor configuration.
     pub executor: ExecutorConfig,
+    /// Which missions fly with a flight recorder attached and keep their
+    /// traces ([`TracePolicy::Off`] records nothing).
+    pub capture: TracePolicy,
+}
+
+impl serde::Deserialize for CampaignSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            name: serde::de_field(value, "name")?,
+            seed: serde::de_field(value, "seed")?,
+            maps: serde::de_field(value, "maps")?,
+            scenarios_per_map: serde::de_field(value, "scenarios_per_map")?,
+            repeats: serde::de_field(value, "repeats")?,
+            variants: serde::de_field(value, "variants")?,
+            profiles: serde::de_field(value, "profiles")?,
+            baseline: serde::de_field(value, "baseline")?,
+            faults: serde::de_field(value, "faults")?,
+            landing: serde::de_field(value, "landing")?,
+            executor: serde::de_field(value, "executor")?,
+            // Specs predating the trace subsystem have no capture key.
+            capture: match value.get("capture") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => TracePolicy::Off,
+            },
+        })
+    }
 }
 
 /// One cell of the campaign grid: a (variant, profile, fault) combination
@@ -80,6 +111,7 @@ impl Default for CampaignSpec {
             faults: Vec::new(),
             landing: LandingConfig::default(),
             executor: ExecutorConfig::default(),
+            capture: TracePolicy::Off,
         }
     }
 }
@@ -219,6 +251,17 @@ impl CampaignSpec {
         state
     }
 
+    /// FNV-1a hash of the spec's canonical JSON, embedded in trace headers
+    /// so a replay against a drifted spec is rejected instead of silently
+    /// diverging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Serialize`] when serde rejects the value.
+    pub fn config_hash(&self) -> Result<u64, CampaignError> {
+        Ok(mls_trace::config_hash(&self.to_json()?))
+    }
+
     /// Serialises the spec as pretty JSON.
     ///
     /// # Errors
@@ -302,11 +345,28 @@ mod tests {
     }
 
     #[test]
+    fn specs_without_a_capture_key_parse_with_capture_off() {
+        let mut spec = CampaignSpec::smoke();
+        spec.capture = TracePolicy::All;
+        // Strip the capture key, as any spec JSON written before the trace
+        // subsystem would lack it.
+        let json = spec.to_json().unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("spec serialises to an object");
+        };
+        fields.retain(|(key, _)| key != "capture");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed = CampaignSpec::from_json(&legacy).unwrap();
+        assert_eq!(parsed.capture, TracePolicy::Off);
+        assert_eq!(parsed.maps, spec.maps);
+    }
+
+    #[test]
     fn full_fault_study_covers_every_kind() {
         let spec = CampaignSpec::full_fault_study();
         spec.validate().unwrap();
-        assert_eq!(spec.faults.len(), 18);
-        // 3 variants × 2 profiles × (1 + 18) cells.
-        assert_eq!(spec.cells().len(), 3 * 2 * 19);
+        assert_eq!(spec.faults.len(), 21);
+        // 3 variants × 2 profiles × (1 + 21) cells.
+        assert_eq!(spec.cells().len(), 3 * 2 * 22);
     }
 }

@@ -1,0 +1,126 @@
+//! Integration tests for trace capture and deterministic replay: a
+//! `FailuresOnly` campaign persists exactly the failed missions, the
+//! recorded streams are independent of the worker-thread count, and
+//! replaying a trace regenerates it byte for byte.
+//!
+//! Traces land under `target/test-traces/` so CI can upload them as a
+//! workflow artifact for post-mortem inspection.
+
+use std::path::PathBuf;
+
+use mls_campaign::{CampaignRunner, CampaignSpec, FaultKind, FaultPlan, TracePolicy};
+use mls_core::{MissionResult, SystemVariant};
+use mls_trace::Trace;
+
+/// Stable artifact directory (uploaded by the CI workflow).
+fn trace_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-traces")
+        .join(name)
+}
+
+/// A small captured campaign: MLS-V1 under a strong GNSS bias over four
+/// scenarios — a sweep known to land several missions metres off the marker
+/// (the Fig. 5d configuration), so `FailuresOnly` has something to keep.
+fn captured_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        name: "trace-replay".to_string(),
+        seed: 2025,
+        maps: 1,
+        scenarios_per_map: 4,
+        repeats: 1,
+        variants: vec![SystemVariant::MlsV1],
+        baseline: false,
+        faults: vec![FaultPlan::new(FaultKind::GpsBias, 0.8)],
+        capture: TracePolicy::FailuresOnly,
+        ..CampaignSpec::default()
+    };
+    spec.landing.mission_timeout = 150.0;
+    spec.executor.max_duration = 180.0;
+    spec
+}
+
+#[test]
+fn failures_only_persists_exactly_the_failed_missions() {
+    let spec = captured_spec();
+    let dir = trace_root("failures-only");
+    let report = CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .run(&spec)
+        .unwrap();
+
+    // Count the non-successes the aggregates promise.
+    let expected_failures: usize = report
+        .cells
+        .iter()
+        .map(|cell| cell.missions - (cell.success_rate * cell.missions as f64).round() as usize)
+        .sum();
+    assert_eq!(
+        report.traces.len(),
+        expected_failures,
+        "FailuresOnly must keep exactly the non-Success missions"
+    );
+    assert!(
+        !report.traces.is_empty(),
+        "a heavily biased MLS-V1 campaign must fail somewhere"
+    );
+
+    for link in &report.traces {
+        assert_ne!(link.result, MissionResult::Success);
+        let trace = Trace::read_from(std::path::Path::new(&link.path)).unwrap();
+        assert_eq!(trace.header.seed, link.seed);
+        assert_eq!(trace.header.scenario_id, link.scenario_id);
+        assert_eq!(trace.header.cell_index, link.cell_index);
+        assert!(
+            !trace.events.is_empty(),
+            "persisted traces carry the event stream"
+        );
+    }
+}
+
+#[test]
+fn recorded_streams_are_thread_count_independent_and_replayable() {
+    let spec = captured_spec();
+    let single_dir = trace_root("replay-1thread");
+    let sharded_dir = trace_root("replay-4threads");
+    let single = CampaignRunner::new(1)
+        .with_trace_dir(&single_dir)
+        .run(&spec)
+        .unwrap();
+    let sharded = CampaignRunner::new(4)
+        .with_trace_dir(&sharded_dir)
+        .run(&spec)
+        .unwrap();
+
+    // The reports (minus the differing directories) agree on which missions
+    // were kept.
+    assert_eq!(single.traces.len(), sharded.traces.len());
+    assert!(!single.traces.is_empty());
+    for (a, b) in single.traces.iter().zip(sharded.traces.iter()) {
+        assert_eq!(
+            (a.cell_index, a.scenario_id, a.repeat),
+            (b.cell_index, b.scenario_id, b.repeat)
+        );
+        let trace_a = Trace::read_from(std::path::Path::new(&a.path)).unwrap();
+        let trace_b = Trace::read_from(std::path::Path::new(&b.path)).unwrap();
+        assert_eq!(
+            trace_a.to_jsonl().unwrap(),
+            trace_b.to_jsonl().unwrap(),
+            "the recorded stream must not depend on the worker-thread count"
+        );
+    }
+
+    // Deterministic replay: re-executing the (seed, spec) of a recorded
+    // trace regenerates a byte-identical event stream.
+    let runner = CampaignRunner::new(1);
+    let scenarios = runner.generate_scenarios(&spec).unwrap();
+    let recorded = Trace::read_from(std::path::Path::new(&single.traces[0].path)).unwrap();
+    let verdict = runner.replay(&spec, &scenarios, &recorded).unwrap();
+    assert!(verdict.is_identical(), "replay diverged: {verdict}");
+
+    // A drifted spec is rejected instead of silently diverging.
+    let mut drifted = spec.clone();
+    drifted.landing.mission_timeout = 99.0;
+    let err = runner.replay(&drifted, &scenarios, &recorded).unwrap_err();
+    assert!(err.to_string().contains("config hash"), "{err}");
+}

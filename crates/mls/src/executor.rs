@@ -19,6 +19,7 @@ use crate::decision::{Directive, FailsafeReason};
 use crate::detection::DetectionStats;
 use crate::fault::{FaultHook, TickFaults};
 use crate::system::{LandingSystem, SystemVariant};
+use crate::trace::{ObservationStage, TraceSink};
 use crate::MlsError;
 
 /// Final classification of one mission (the Table I categories).
@@ -40,6 +41,9 @@ pub struct MissionOutcome {
     pub scenario_id: usize,
     /// Scenario name.
     pub scenario_name: String,
+    /// The seed the mission ran under, so outcomes, report rows and trace
+    /// files can be correlated without re-deriving the seed schedule.
+    pub seed: u64,
     /// Whether the scenario counts as adverse weather.
     pub adverse_weather: bool,
     /// System generation flown.
@@ -117,7 +121,9 @@ pub struct MissionExecutor {
     uav: Uav,
     compute: ComputeModel,
     config: ExecutorConfig,
+    seed: u64,
     fault_hook: Option<Box<dyn FaultHook>>,
+    trace_sink: Option<Box<dyn TraceSink>>,
 }
 
 impl MissionExecutor {
@@ -146,7 +152,9 @@ impl MissionExecutor {
             uav,
             compute,
             config,
+            seed,
             fault_hook: None,
+            trace_sink: None,
         })
     }
 
@@ -156,6 +164,15 @@ impl MissionExecutor {
     #[must_use]
     pub fn with_fault_hook(mut self, hook: Box<dyn FaultHook>) -> Self {
         self.fault_hook = Some(hook);
+        self
+    }
+
+    /// Attaches a flight recorder the mission loop feeds at every module
+    /// boundary (see [`TraceSink`] for the callbacks). Missions run
+    /// trace-free when no sink is attached.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
         self
     }
 
@@ -262,10 +279,22 @@ impl MissionExecutor {
                 self.uav.set_gps_bias(faults.gps_bias);
                 self.uav.set_wind_disturbance(faults.wind_disturbance);
                 self.compute.set_throttle(faults.compute_throttle);
+                if let Some(sink) = self.trace_sink.as_mut() {
+                    sink.on_fault(time, &faults);
+                }
             }
             self.compute.begin_tick(dt);
             let state = self.uav.step(&world);
             time = self.uav.time();
+            if let Some(sink) = self.trace_sink.as_mut() {
+                sink.on_tick(
+                    time,
+                    &state,
+                    self.uav.estimated_pose().position,
+                    self.uav.gps_drift().norm(),
+                    self.uav.estimation_error(),
+                );
+            }
             self.compute.submit(
                 TaskKind::StateEstimation,
                 self.config.workload.estimation_tick,
@@ -293,11 +322,30 @@ impl MissionExecutor {
             // Mapping module.
             if self.system.mapping.is_enabled() && time >= next_mapping {
                 next_mapping = time + 1.0 / self.system.config.mapping_rate_hz;
-                let cloud = self.uav.capture_depth(&world);
+                let mut cloud = self.uav.capture_depth(&world);
+                // The pristine cloud is snapshotted for trace
+                // tamper-accounting only when a recorder is attached AND the
+                // hook can actually corrupt clouds — every other fault kind
+                // maps at full speed while tracing.
+                let pristine = match (&self.fault_hook, &self.trace_sink) {
+                    (Some(hook), Some(_)) if hook.corrupts_depth_clouds() => {
+                        Some(cloud.points.clone())
+                    }
+                    _ => None,
+                };
+                if let Some(hook) = self.fault_hook.as_mut() {
+                    hook.pre_mapping(time, &mut cloud);
+                }
+                let (dropped, displaced) = pristine
+                    .map(|before| cloud_tampering(&before, &cloud.points))
+                    .unwrap_or((0, 0));
                 let inserted =
                     self.system
                         .mapping
                         .integrate(estimated_pose.position, &cloud, ground_z);
+                if let Some(sink) = self.trace_sink.as_mut() {
+                    sink.on_mapping(time, inserted, dropped, displaced);
+                }
                 self.compute.submit(
                     TaskKind::Mapping,
                     self.config.workload.mapping_cost(inserted),
@@ -315,6 +363,7 @@ impl MissionExecutor {
                 if let Some(hook) = self.fault_hook.as_mut() {
                     hook.pre_detection(time, &mut image);
                 }
+                let faulted = self.fault_hook.is_some();
                 let true_pose = self.uav.true_state().pose();
                 let target_visible = self
                     .uav
@@ -331,8 +380,16 @@ impl MissionExecutor {
                     time,
                     target_visible,
                 );
+                if let Some(sink) = self.trace_sink.as_mut() {
+                    sink.on_observations(time, ObservationStage::PreFault, &observations);
+                }
                 if let Some(hook) = self.fault_hook.as_mut() {
                     hook.post_detection(time, &mut observations);
+                }
+                if faulted {
+                    if let Some(sink) = self.trace_sink.as_mut() {
+                        sink.on_observations(time, ObservationStage::PostFault, &observations);
+                    }
                 }
                 for obs in &observations {
                     if obs.id == self.scenario.target_marker_id {
@@ -384,6 +441,9 @@ impl MissionExecutor {
                         (new, old) => new.is_some() != old.is_some(),
                     };
                 directive = new_directive;
+                if let Some(sink) = self.trace_sink.as_mut() {
+                    sink.on_directive(time, &directive);
+                }
 
                 match &directive {
                     Directive::FlyTo { goal } | Directive::DescendTo { goal } => {
@@ -392,6 +452,9 @@ impl MissionExecutor {
                             || time - last_replan > self.system.config.replan_interval;
                         if need_replan {
                             last_replan = time;
+                            if let Some(sink) = self.trace_sink.as_mut() {
+                                sink.on_plan_request(time, estimated_pose.position, *goal);
+                            }
                             match self.system.planning.plan(
                                 self.system.mapping.as_query(),
                                 estimated_pose.position,
@@ -404,11 +467,24 @@ impl MissionExecutor {
                                     );
                                     worst_planning_latency =
                                         worst_planning_latency.max(outcome.latency);
+                                    if let Some(sink) = self.trace_sink.as_mut() {
+                                        sink.on_plan_result(
+                                            time,
+                                            true,
+                                            planned.used_fallback,
+                                            outcome.latency,
+                                            planned.iterations,
+                                        );
+                                    }
                                     pending_trajectory =
                                         Some((planned.trajectory, time + outcome.latency));
                                 }
                                 Err(_) => {
                                     directive = self.system.decision.notify_planning_failure(time);
+                                    if let Some(sink) = self.trace_sink.as_mut() {
+                                        sink.on_plan_result(time, false, false, 0.0, 0);
+                                        sink.on_directive(time, &directive);
+                                    }
                                 }
                             }
                         }
@@ -428,6 +504,9 @@ impl MissionExecutor {
                     }
                     Directive::Abort { reason } => {
                         failsafe = Some(*reason);
+                        if let Some(sink) = self.trace_sink.as_mut() {
+                            sink.on_failsafe(time, *reason);
+                        }
                         break;
                     }
                     Directive::MissionComplete => {
@@ -488,9 +567,14 @@ impl MissionExecutor {
             Some(detection_errors.iter().sum::<f64>() / detection_errors.len() as f64)
         };
 
+        if let Some(sink) = self.trace_sink.as_mut() {
+            sink.on_mission_end(time, result);
+        }
+
         let outcome = MissionOutcome {
             scenario_id: self.scenario.id,
             scenario_name: self.scenario.name.clone(),
+            seed: self.seed,
             adverse_weather: self.scenario.is_adverse(),
             variant: self.system.variant,
             result,
@@ -512,6 +596,21 @@ impl MissionExecutor {
         };
         (outcome, self.compute)
     }
+}
+
+/// Index-aligned approximation of how much a fault hook tampered with a
+/// depth cloud: `dropped` is the point-count difference, `displaced` the
+/// number of index-aligned pairs that moved. Exact when the hook displaces
+/// in place and drops from the tail; an upper bound on `displaced` when
+/// dropout shuffles indices — either way, a non-zero count means tampering.
+fn cloud_tampering(before: &[Vec3], after: &[Vec3]) -> (usize, usize) {
+    let dropped = before.len().saturating_sub(after.len());
+    let displaced = before
+        .iter()
+        .zip(after.iter())
+        .filter(|(b, a)| b.distance(**a) > 1e-9)
+        .count();
+    (dropped, displaced)
 }
 
 /// The goal position a directive points at, for change detection.
@@ -561,6 +660,140 @@ mod tests {
         executor.run()
     }
 
+    /// A sink that counts what it saw, for seam tests.
+    #[derive(Debug, Default)]
+    struct CountingSink {
+        ticks: usize,
+        directives: usize,
+        plans: usize,
+        mappings: usize,
+        observations: usize,
+        ended: Option<MissionResult>,
+    }
+
+    impl crate::trace::TraceSink for CountingSink {
+        fn on_tick(
+            &mut self,
+            _time: f64,
+            _state: &mls_sim_uav::VehicleState,
+            _estimated: Vec3,
+            _gps_drift: f64,
+            _estimation_error: f64,
+        ) {
+            self.ticks += 1;
+        }
+        fn on_mapping(&mut self, _time: f64, _inserted: usize, _dropped: usize, _displaced: usize) {
+            self.mappings += 1;
+        }
+        fn on_observations(
+            &mut self,
+            _time: f64,
+            _stage: crate::trace::ObservationStage,
+            _observations: &[MarkerObservation],
+        ) {
+            self.observations += 1;
+        }
+        fn on_directive(&mut self, _time: f64, _directive: &Directive) {
+            self.directives += 1;
+        }
+        fn on_plan_request(&mut self, _time: f64, _start: Vec3, _goal: Vec3) {
+            self.plans += 1;
+        }
+        fn on_mission_end(&mut self, _time: f64, result: MissionResult) {
+            self.ended = Some(result);
+        }
+    }
+
+    #[test]
+    fn trace_sink_sees_every_module_boundary() {
+        use std::sync::{Arc, Mutex};
+
+        /// Forwards to a shared counter so the test can inspect it after
+        /// `run()` consumed the executor.
+        struct SharedSink(Arc<Mutex<CountingSink>>);
+        impl crate::trace::TraceSink for SharedSink {
+            fn on_tick(
+                &mut self,
+                time: f64,
+                state: &mls_sim_uav::VehicleState,
+                estimated: Vec3,
+                gps_drift: f64,
+                estimation_error: f64,
+            ) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .on_tick(time, state, estimated, gps_drift, estimation_error);
+            }
+            fn on_mapping(&mut self, time: f64, inserted: usize, dropped: usize, displaced: usize) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .on_mapping(time, inserted, dropped, displaced);
+            }
+            fn on_observations(
+                &mut self,
+                time: f64,
+                stage: crate::trace::ObservationStage,
+                observations: &[MarkerObservation],
+            ) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .on_observations(time, stage, observations);
+            }
+            fn on_directive(&mut self, time: f64, directive: &Directive) {
+                self.0.lock().unwrap().on_directive(time, directive);
+            }
+            fn on_plan_request(&mut self, time: f64, start: Vec3, goal: Vec3) {
+                self.0.lock().unwrap().on_plan_request(time, start, goal);
+            }
+            fn on_mission_end(&mut self, time: f64, result: MissionResult) {
+                self.0.lock().unwrap().on_mission_end(time, result);
+            }
+        }
+
+        let counters = Arc::new(Mutex::new(CountingSink::default()));
+        let scenario = easy_scenario();
+        let compute = ComputeModel::new(ComputeProfile::desktop_sil()).unwrap();
+        let outcome = MissionExecutor::for_variant(
+            &scenario,
+            SystemVariant::MlsV3,
+            LandingConfig::default(),
+            compute,
+            ExecutorConfig::default(),
+            11,
+        )
+        .unwrap()
+        .with_trace_sink(Box::new(SharedSink(Arc::clone(&counters))))
+        .run();
+
+        let seen = counters.lock().unwrap();
+        assert!(seen.ticks > 100, "physics ticks observed: {}", seen.ticks);
+        assert!(seen.directives > 0);
+        assert!(seen.plans > 0);
+        assert!(seen.mappings > 0, "V3 maps, so mapping events must appear");
+        assert!(seen.observations > 0);
+        assert_eq!(seen.ended, Some(outcome.result));
+    }
+
+    #[test]
+    fn cloud_tampering_counts_drops_and_displacements() {
+        let before = vec![
+            Vec3::new(1.0, 0.0, 2.0),
+            Vec3::new(2.0, 0.0, 2.0),
+            Vec3::new(3.0, 0.0, 2.0),
+        ];
+        assert_eq!(cloud_tampering(&before, &before), (0, 0));
+        let shifted: Vec<Vec3> = before
+            .iter()
+            .map(|p| *p + Vec3::new(0.5, 0.0, 0.0))
+            .collect();
+        assert_eq!(cloud_tampering(&before, &shifted), (0, 3));
+        let truncated = &shifted[..2];
+        assert_eq!(cloud_tampering(&before, truncated), (1, 2));
+    }
+
     #[test]
     fn v3_lands_a_benign_rural_scenario() {
         let outcome = run_variant(SystemVariant::MlsV3);
@@ -579,6 +812,7 @@ mod tests {
     fn outcome_records_scenario_metadata() {
         let outcome = run_variant(SystemVariant::MlsV1);
         assert_eq!(outcome.variant, SystemVariant::MlsV1);
+        assert_eq!(outcome.seed, 11, "the mission seed rides on the outcome");
         assert!(!outcome.scenario_name.is_empty());
         // Whatever happened, the classification is one of the three buckets.
         assert!(matches!(

@@ -9,21 +9,26 @@
 //! engine (the `mls-campaign` crate) supplies deterministic, seed-driven
 //! implementations.
 //!
-//! The three injection points, in loop order:
+//! The four injection points, in loop order:
 //!
 //! 1. [`FaultHook::tick`] — once per physics tick, before the vehicle steps.
 //!    Returns [`TickFaults`]: a GNSS position bias, an additive wind
 //!    disturbance, and a compute-throttle factor.
-//! 2. [`FaultHook::pre_detection`] — once per detection frame, after the
+//! 2. [`FaultHook::pre_mapping`] — once per mapping frame, after the depth
+//!    capture but before the cloud is integrated. May corrupt the cloud
+//!    (per-point dropout, pose-drift painting): the map genuinely degrades,
+//!    reproducing the paper's Fig. 5c mis-painted point clouds.
+//! 3. [`FaultHook::pre_detection`] — once per detection frame, after the
 //!    camera capture but before the detector runs. May corrupt the image
 //!    (marker occlusion): the detector genuinely misses, so the Table II
 //!    false-negative statistics see the fault.
-//! 3. [`FaultHook::post_detection`] — after the detector, before the
+//! 4. [`FaultHook::post_detection`] — after the detector, before the
 //!    observations reach the decision module. May drop the frame's
 //!    observations (pipeline dropout downstream of the detector) or inject
 //!    spoofed ones.
 
 use mls_geom::Vec3;
+use mls_sim_uav::PointCloud;
 use mls_vision::{GrayImage, MarkerObservation};
 
 /// Per-tick fault effects applied to the vehicle and compute platform.
@@ -65,6 +70,20 @@ pub trait FaultHook: Send {
         TickFaults::NONE
     }
 
+    /// Invoked on every captured depth cloud before the mapping module
+    /// integrates it; may drop or displace points in place.
+    fn pre_mapping(&mut self, time: f64, cloud: &mut PointCloud) {
+        let _ = (time, cloud);
+    }
+
+    /// `true` when this hook's [`FaultHook::pre_mapping`] may ever alter a
+    /// cloud. The executor only snapshots pristine clouds for trace
+    /// tamper-accounting when this returns `true`, so the six fault kinds
+    /// that never touch clouds cost nothing extra while tracing.
+    fn corrupts_depth_clouds(&self) -> bool {
+        false
+    }
+
     /// Invoked on every captured detection frame before the detector runs;
     /// may mutate the image in place.
     fn pre_detection(&mut self, time: f64, image: &mut GrayImage) {
@@ -98,6 +117,14 @@ mod tests {
         let mut image = GrayImage::filled(4, 4, 0.5);
         hook.pre_detection(0.0, &mut image);
         assert!(image.data().iter().all(|&v| (v - 0.5).abs() < 1e-9));
+
+        let mut cloud = PointCloud {
+            origin: Vec3::ZERO,
+            points: vec![Vec3::new(1.0, 2.0, 3.0)],
+            max_range: 18.0,
+        };
+        hook.pre_mapping(0.0, &mut cloud);
+        assert_eq!(cloud.points, vec![Vec3::new(1.0, 2.0, 3.0)]);
 
         let mut observations = Vec::new();
         hook.post_detection(0.0, &mut observations);

@@ -53,6 +53,7 @@ mod mapping;
 mod metrics;
 mod planning;
 mod system;
+mod trace;
 
 pub use config::LandingConfig;
 pub use decision::{DecisionInputs, DecisionModule, DecisionState, Directive, FailsafeReason};
@@ -63,6 +64,7 @@ pub use mapping::{MappingBackend, MappingModule, NoMap};
 pub use metrics::BenchmarkSummary;
 pub use planning::{PlannedTrajectory, PlanningModule};
 pub use system::{LandingSystem, SystemVariant};
+pub use trace::{NoTrace, ObservationStage, TraceSink};
 
 /// Errors produced by the landing-system crate.
 #[derive(Debug)]

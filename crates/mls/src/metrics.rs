@@ -124,6 +124,7 @@ mod tests {
         MissionOutcome {
             scenario_id: 0,
             scenario_name: "test".to_string(),
+            seed: 0,
             adverse_weather: false,
             variant: SystemVariant::MlsV3,
             result,

@@ -1,0 +1,162 @@
+//! Trace-capture hook: the seam through which a flight recorder observes a
+//! running mission.
+//!
+//! Mirrors [`FaultHook`](crate::FaultHook): the
+//! [`MissionExecutor`](crate::MissionExecutor) invokes the sink at each
+//! module boundary of its loop, and missions run trace-free (zero cost
+//! beyond an `Option` check) when no sink is attached. The `mls-trace` crate
+//! provides the ring-buffered [`TraceRecorder`] implementation plus the
+//! on-disk format, replay verification and failure triage built on top of
+//! this seam.
+//!
+//! The callbacks, in loop order:
+//!
+//! 1. [`TraceSink::on_fault`] — the fault effects applied this tick (only
+//!    invoked when a fault hook is attached).
+//! 2. [`TraceSink::on_tick`] — the physics state after the vehicle stepped.
+//! 3. [`TraceSink::on_mapping`] — after a depth cloud was integrated,
+//!    including how much of it the `pre_mapping` fault hook tampered with.
+//! 4. [`TraceSink::on_observations`] — the detection frame's marker
+//!    observations, once before ([`ObservationStage::PreFault`]) and, when a
+//!    fault hook is attached, once after ([`ObservationStage::PostFault`])
+//!    observation tampering.
+//! 5. [`TraceSink::on_directive`] — the decision module's directive for this
+//!    decision tick.
+//! 6. [`TraceSink::on_plan_request`] / [`TraceSink::on_plan_result`] — around
+//!    every planning query.
+//! 7. [`TraceSink::on_failsafe`] — when an abort directive ends the mission.
+//! 8. [`TraceSink::on_mission_end`] — the final classification.
+//!
+//! [`TraceRecorder`]: https://docs.rs/mls-trace
+
+use mls_geom::Vec3;
+use mls_sim_uav::VehicleState;
+use mls_vision::MarkerObservation;
+use serde::{Deserialize, Serialize};
+
+use crate::decision::{Directive, FailsafeReason};
+use crate::executor::MissionResult;
+use crate::fault::TickFaults;
+
+/// Whether an observation batch was captured before or after the fault
+/// hook's observation tampering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObservationStage {
+    /// Straight out of the detector, before `post_detection` faults.
+    PreFault,
+    /// After the fault hook possibly dropped or injected observations.
+    PostFault,
+}
+
+/// A mission-scoped trace consumer the executor feeds at every module
+/// boundary.
+///
+/// All methods default to no-ops so implementations subscribe only to the
+/// boundaries they care about. Implementations must not perturb the mission:
+/// the executor hands them read-only views, and a recording mission must
+/// replay byte-identically with or without a sink attached.
+pub trait TraceSink: Send {
+    /// Fault effects applied to this physics tick (fault hook attached only).
+    fn on_fault(&mut self, time: f64, faults: &TickFaults) {
+        let _ = (time, faults);
+    }
+
+    /// Physics state after the vehicle stepped.
+    ///
+    /// `estimated` is the EKF position estimate, `gps_drift` the accumulated
+    /// natural GNSS random-walk drift (excluding injected bias) and
+    /// `estimation_error` the horizontal distance between the estimated and
+    /// true positions — the signal that exposes both silent GPS drift and
+    /// injected bias.
+    fn on_tick(
+        &mut self,
+        time: f64,
+        state: &VehicleState,
+        estimated: Vec3,
+        gps_drift: f64,
+        estimation_error: f64,
+    ) {
+        let _ = (time, state, estimated, gps_drift, estimation_error);
+    }
+
+    /// A depth cloud was integrated into the map. `dropped` and `displaced`
+    /// count points the `pre_mapping` fault hook removed or moved.
+    fn on_mapping(&mut self, time: f64, inserted: usize, dropped: usize, displaced: usize) {
+        let _ = (time, inserted, dropped, displaced);
+    }
+
+    /// A detection frame's marker observations at the given stage.
+    fn on_observations(
+        &mut self,
+        time: f64,
+        stage: ObservationStage,
+        observations: &[MarkerObservation],
+    ) {
+        let _ = (time, stage, observations);
+    }
+
+    /// The directive the decision module emitted this decision tick.
+    fn on_directive(&mut self, time: f64, directive: &Directive) {
+        let _ = (time, directive);
+    }
+
+    /// A planning query is about to run from `start` to `goal`.
+    fn on_plan_request(&mut self, time: f64, start: Vec3, goal: Vec3) {
+        let _ = (time, start, goal);
+    }
+
+    /// A planning query finished. `fallback` marks the V2 straight-line
+    /// fallback; failed queries report zero latency and iterations.
+    fn on_plan_result(
+        &mut self,
+        time: f64,
+        success: bool,
+        fallback: bool,
+        latency: f64,
+        iterations: usize,
+    ) {
+        let _ = (time, success, fallback, latency, iterations);
+    }
+
+    /// A failsafe abort ended the mission.
+    fn on_failsafe(&mut self, time: f64, reason: FailsafeReason) {
+        let _ = (time, reason);
+    }
+
+    /// The mission is over with its final classification.
+    fn on_mission_end(&mut self, time: f64, result: MissionResult) {
+        let _ = (time, result);
+    }
+}
+
+/// The trivial sink: records nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_trace_accepts_every_callback() {
+        let mut sink = NoTrace;
+        sink.on_fault(0.0, &TickFaults::NONE);
+        let state = VehicleState::grounded(Vec3::ZERO);
+        sink.on_tick(0.0, &state, Vec3::ZERO, 0.0, 0.0);
+        sink.on_mapping(0.0, 10, 0, 0);
+        sink.on_observations(0.0, ObservationStage::PreFault, &[]);
+        sink.on_directive(0.0, &Directive::Hover);
+        sink.on_plan_request(0.0, Vec3::ZERO, Vec3::new(1.0, 0.0, 5.0));
+        sink.on_plan_result(0.0, true, false, 0.1, 40);
+        sink.on_failsafe(0.0, FailsafeReason::MissionTimeout);
+        sink.on_mission_end(0.0, MissionResult::PoorLanding);
+        assert_eq!(
+            ObservationStage::PreFault,
+            ObservationStage::PreFault,
+            "stages compare by value"
+        );
+        assert_ne!(ObservationStage::PreFault, ObservationStage::PostFault);
+    }
+}

@@ -1,0 +1,234 @@
+//! The typed event model of the flight recorder.
+//!
+//! A trace is a chronological stream of [`TraceEvent`]s, one per notable
+//! moment of a mission: decimated physics snapshots, directive transitions,
+//! marker observations before and after fault tampering, planning queries
+//! and their latencies, failsafe triggers, fault activations and the final
+//! classification. Events are plain serializable data — the triage
+//! classifier and the replay comparator both work on this representation
+//! alone, never on live mission state.
+
+use mls_core::{Directive, FailsafeReason, MissionResult, ObservationStage};
+use mls_geom::Vec3;
+use mls_vision::MarkerObservation;
+use serde::{Deserialize, Serialize};
+
+/// A compact record of one marker observation (the full pixel-space
+/// detection is deliberately not captured; traces stay small).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkerSighting {
+    /// Decoded marker id.
+    pub id: u32,
+    /// Estimated world position of the marker centre.
+    pub position: Vec3,
+    /// Detector confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+impl MarkerSighting {
+    /// Compresses a full observation into a sighting.
+    pub fn from_observation(observation: &MarkerObservation) -> Self {
+        Self {
+            id: observation.id,
+            position: observation.world_position,
+            confidence: observation.confidence,
+        }
+    }
+}
+
+/// One recorded moment of a mission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Decimated physics-tick snapshot.
+    Tick {
+        /// Simulation time, seconds.
+        time: f64,
+        /// True world-frame position, metres.
+        position: Vec3,
+        /// True world-frame velocity, m/s.
+        velocity: Vec3,
+        /// EKF position estimate, metres.
+        estimated: Vec3,
+        /// Accumulated natural GNSS drift magnitude, metres.
+        gps_drift: f64,
+        /// Horizontal distance between the estimated and true positions,
+        /// metres (exposes both silent drift and injected bias).
+        estimation_error: f64,
+    },
+    /// The decision module switched to a new directive (or moved an
+    /// existing goal appreciably).
+    DirectiveChange {
+        /// Simulation time, seconds.
+        time: f64,
+        /// The new directive.
+        directive: Directive,
+    },
+    /// A detection frame's marker observations at one tampering stage.
+    Markers {
+        /// Simulation time, seconds.
+        time: f64,
+        /// Before or after the fault hook's observation tampering.
+        stage: ObservationStage,
+        /// The observations, compressed.
+        markers: Vec<MarkerSighting>,
+    },
+    /// A planning query is about to run.
+    PlanRequest {
+        /// Simulation time, seconds.
+        time: f64,
+        /// Query start (the position estimate), metres.
+        start: Vec3,
+        /// Query goal, metres.
+        goal: Vec3,
+    },
+    /// A planning query finished.
+    PlanResult {
+        /// Simulation time, seconds.
+        time: f64,
+        /// `false` when the planner failed outright.
+        success: bool,
+        /// `true` when the V2 straight-line fallback was taken.
+        fallback: bool,
+        /// Compute latency charged to the plan, seconds.
+        latency: f64,
+        /// Planner iterations consumed.
+        iterations: usize,
+    },
+    /// A failsafe abort ended the mission.
+    Failsafe {
+        /// Simulation time, seconds.
+        time: f64,
+        /// Why the failsafe fired.
+        reason: FailsafeReason,
+    },
+    /// Fault injection became active (an edge, not a per-tick sample).
+    FaultActive {
+        /// Simulation time, seconds.
+        time: f64,
+        /// Injected GNSS bias at activation, metres.
+        gps_bias: Vec3,
+        /// Injected wind disturbance at activation, m/s.
+        wind: Vec3,
+        /// Compute-capacity factor at activation, `(0, 1]`.
+        compute_throttle: f64,
+    },
+    /// Fault injection returned to neutral.
+    FaultCleared {
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// A depth cloud was integrated into the map.
+    MapUpdate {
+        /// Simulation time, seconds.
+        time: f64,
+        /// Points integrated.
+        inserted: usize,
+        /// Points the `pre_mapping` fault hook removed.
+        dropped: usize,
+        /// Points the `pre_mapping` fault hook displaced.
+        displaced: usize,
+    },
+    /// The mission is over.
+    MissionEnd {
+        /// Simulation time, seconds.
+        time: f64,
+        /// Final classification.
+        result: MissionResult,
+    },
+}
+
+impl TraceEvent {
+    /// The simulation time the event was recorded at, seconds.
+    pub fn time(&self) -> f64 {
+        match self {
+            TraceEvent::Tick { time, .. }
+            | TraceEvent::DirectiveChange { time, .. }
+            | TraceEvent::Markers { time, .. }
+            | TraceEvent::PlanRequest { time, .. }
+            | TraceEvent::PlanResult { time, .. }
+            | TraceEvent::Failsafe { time, .. }
+            | TraceEvent::FaultActive { time, .. }
+            | TraceEvent::FaultCleared { time }
+            | TraceEvent::MapUpdate { time, .. }
+            | TraceEvent::MissionEnd { time, .. } => *time,
+        }
+    }
+
+    /// Short label of the event kind, for narratives and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Tick { .. } => "tick",
+            TraceEvent::DirectiveChange { .. } => "directive",
+            TraceEvent::Markers { .. } => "markers",
+            TraceEvent::PlanRequest { .. } => "plan-request",
+            TraceEvent::PlanResult { .. } => "plan-result",
+            TraceEvent::Failsafe { .. } => "failsafe",
+            TraceEvent::FaultActive { .. } => "fault-active",
+            TraceEvent::FaultCleared { .. } => "fault-cleared",
+            TraceEvent::MapUpdate { .. } => "map-update",
+            TraceEvent::MissionEnd { .. } => "mission-end",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_expose_time_and_kind() {
+        let event = TraceEvent::PlanResult {
+            time: 12.5,
+            success: true,
+            fallback: false,
+            latency: 0.08,
+            iterations: 300,
+        };
+        assert_eq!(event.time(), 12.5);
+        assert_eq!(event.kind(), "plan-result");
+        let end = TraceEvent::MissionEnd {
+            time: 90.0,
+            result: MissionResult::Success,
+        };
+        assert_eq!(end.kind(), "mission-end");
+    }
+
+    #[test]
+    fn events_round_trip_through_the_serde_data_model() {
+        let events = vec![
+            TraceEvent::Tick {
+                time: 1.0,
+                position: Vec3::new(1.0, 2.0, 3.0),
+                velocity: Vec3::new(0.1, 0.0, -0.2),
+                estimated: Vec3::new(1.1, 2.0, 3.0),
+                gps_drift: 0.4,
+                estimation_error: 0.12,
+            },
+            TraceEvent::DirectiveChange {
+                time: 2.0,
+                directive: Directive::FlyTo {
+                    goal: Vec3::new(40.0, 0.0, 10.0),
+                },
+            },
+            TraceEvent::Markers {
+                time: 3.0,
+                stage: ObservationStage::PreFault,
+                markers: vec![MarkerSighting {
+                    id: 7,
+                    position: Vec3::new(40.0, 1.0, 0.0),
+                    confidence: 0.9,
+                }],
+            },
+            TraceEvent::Failsafe {
+                time: 4.0,
+                reason: FailsafeReason::MarkerLost,
+            },
+            TraceEvent::FaultCleared { time: 5.0 },
+        ];
+        for event in &events {
+            let json = serde_json::to_string(event).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, event, "event {json} must round-trip");
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The ring-buffered flight recorder.
+//!
+//! [`TraceRecorder`] implements the `mls-core` [`TraceSink`] seam and
+//! condenses the firehose of executor callbacks into the typed event stream:
+//! physics ticks are decimated, directives are recorded only on transitions,
+//! fault effects only on activation edges, and observation batches only when
+//! they carry information (non-empty, or emptied by a fault). The buffer is
+//! a fixed-capacity ring — when a mission outlives it, the oldest events are
+//! evicted and counted, flight-recorder style, so the final approach is
+//! always preserved.
+//!
+//! The recorder shares its state with a [`TraceHandle`]: the executor owns
+//! the boxed sink for the duration of `run()`, and the caller collects the
+//! finished [`Trace`] from the handle afterwards.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use mls_core::{Directive, FailsafeReason, MissionResult, ObservationStage, TickFaults, TraceSink};
+use mls_geom::Vec3;
+use mls_sim_uav::VehicleState;
+use mls_vision::MarkerObservation;
+use serde::{Deserialize, Serialize};
+
+use crate::event::{MarkerSighting, TraceEvent};
+use crate::format::{Trace, TraceHeader, TRACE_FORMAT_VERSION};
+
+/// When a campaign persists mission traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TracePolicy {
+    /// No capture at all (the recorder is never attached).
+    #[default]
+    Off,
+    /// Capture every mission, keep only those that did not end in
+    /// `MissionResult::Success` — the forensic default.
+    FailuresOnly,
+    /// Keep every mission's trace.
+    All,
+}
+
+impl TracePolicy {
+    /// `true` when missions should fly with a recorder attached.
+    pub fn captures(self) -> bool {
+        !matches!(self, TracePolicy::Off)
+    }
+
+    /// `true` when a mission with the given result should be kept.
+    pub fn keeps(self, result: MissionResult) -> bool {
+        match self {
+            TracePolicy::Off => false,
+            TracePolicy::FailuresOnly => result != MissionResult::Success,
+            TracePolicy::All => true,
+        }
+    }
+}
+
+/// Sizing of the recorder's condensation and ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecorderConfig {
+    /// Ring-buffer capacity, events.
+    pub capacity: usize,
+    /// Record every Nth physics tick (25 ≈ 2 Hz at the 50 Hz physics rate).
+    pub tick_decimation: usize,
+    /// Record every Nth untampered map update (tampered ones always record).
+    pub map_decimation: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 8192,
+            tick_decimation: 25,
+            map_decimation: 8,
+        }
+    }
+}
+
+impl RecorderConfig {
+    /// Builds a trace header carrying this recorder configuration, so a
+    /// replay reconstructs the exact same condensation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn header(
+        &self,
+        campaign: &str,
+        seed: u64,
+        variant: mls_core::SystemVariant,
+        scenario_id: usize,
+        scenario_name: &str,
+        cell_index: usize,
+        repeat: usize,
+        config_hash: u64,
+    ) -> TraceHeader {
+        TraceHeader {
+            version: TRACE_FORMAT_VERSION,
+            campaign: campaign.to_string(),
+            seed,
+            variant,
+            scenario_id,
+            scenario_name: scenario_name.to_string(),
+            cell_index,
+            repeat,
+            config_hash,
+            tick_decimation: self.tick_decimation.max(1),
+            map_decimation: self.map_decimation.max(1),
+            capacity: self.capacity.max(1),
+            dropped_events: 0,
+        }
+    }
+
+    /// Recovers the recorder configuration a header was captured with.
+    pub fn from_header(header: &TraceHeader) -> Self {
+        Self {
+            capacity: header.capacity.max(1),
+            tick_decimation: header.tick_decimation.max(1),
+            map_decimation: header.map_decimation.max(1),
+        }
+    }
+}
+
+/// Shared recorder state behind the sink and its handle.
+#[derive(Debug)]
+struct RecorderState {
+    header: TraceHeader,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    ticks_seen: u64,
+    maps_seen: u64,
+    fault_active: bool,
+    last_faults: TickFaults,
+    last_directive: Option<Directive>,
+    last_pre_nonempty: bool,
+}
+
+impl RecorderState {
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.header.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// The ring-buffered flight recorder; attach with
+/// `MissionExecutor::with_trace_sink`.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    state: Arc<Mutex<RecorderState>>,
+}
+
+/// The caller-side handle a recorder leaves behind: collects the finished
+/// trace once the mission (which owns the boxed recorder) has run.
+#[derive(Debug)]
+pub struct TraceHandle {
+    state: Arc<Mutex<RecorderState>>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder for a mission described by `header` (which also
+    /// carries the condensation parameters; see [`RecorderConfig::header`]).
+    pub fn new(header: TraceHeader) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(RecorderState {
+                header,
+                events: VecDeque::new(),
+                dropped: 0,
+                ticks_seen: 0,
+                maps_seen: 0,
+                fault_active: false,
+                last_faults: TickFaults::NONE,
+                last_directive: None,
+                last_pre_nonempty: false,
+            })),
+        }
+    }
+
+    /// A handle that outlives the mission and yields the finished trace.
+    pub fn handle(&self) -> TraceHandle {
+        TraceHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+impl TraceHandle {
+    /// Collects the captured trace, stamping the eviction count into the
+    /// header.
+    pub fn finish(self) -> Trace {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        let mut header = state.header.clone();
+        header.dropped_events = state.dropped;
+        Trace {
+            header,
+            events: state.events.drain(..).collect(),
+        }
+    }
+}
+
+/// The goal a directive points at, for transition detection.
+fn directive_goal(directive: &Directive) -> Option<Vec3> {
+    match directive {
+        Directive::FlyTo { goal } | Directive::DescendTo { goal } => Some(*goal),
+        Directive::CommitFinalDescent { target } => Some(*target),
+        _ => None,
+    }
+}
+
+/// Whether two directives are close enough to count as "the same" for the
+/// transition log: identical shape and a goal that moved under half a metre
+/// (the staged-descent goal drifts centimetres every decision tick).
+fn same_directive(a: &Directive, b: &Directive) -> bool {
+    if std::mem::discriminant(a) != std::mem::discriminant(b) {
+        return false;
+    }
+    match (directive_goal(a), directive_goal(b)) {
+        (Some(ga), Some(gb)) => ga.distance(gb) <= 0.5,
+        _ => a == b,
+    }
+}
+
+impl TraceSink for TraceRecorder {
+    fn on_fault(&mut self, time: f64, faults: &TickFaults) {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        let active = *faults != TickFaults::NONE;
+        // Activation edges always record; while active, a fresh edge is
+        // recorded whenever the injected magnitudes moved materially since
+        // the last one (a GNSS bias ramping in, a gust swelling) — so the
+        // trace shows the profile, not just a near-zero onset sample.
+        let last = state.last_faults;
+        let moved = (faults.gps_bias - last.gps_bias).norm() > 1.0
+            || (faults.wind_disturbance - last.wind_disturbance).norm() > 2.0
+            || (faults.compute_throttle - last.compute_throttle).abs() > 0.2;
+        if active && (!state.fault_active || moved) {
+            state.push(TraceEvent::FaultActive {
+                time,
+                gps_bias: faults.gps_bias,
+                wind: faults.wind_disturbance,
+                compute_throttle: faults.compute_throttle,
+            });
+            state.last_faults = *faults;
+        } else if !active && state.fault_active {
+            state.push(TraceEvent::FaultCleared { time });
+            state.last_faults = TickFaults::NONE;
+        }
+        state.fault_active = active;
+    }
+
+    fn on_tick(
+        &mut self,
+        time: f64,
+        state: &VehicleState,
+        estimated: Vec3,
+        gps_drift: f64,
+        estimation_error: f64,
+    ) {
+        let mut recorder = self.state.lock().expect("trace recorder state poisoned");
+        let decimation = recorder.header.tick_decimation as u64;
+        let index = recorder.ticks_seen;
+        recorder.ticks_seen += 1;
+        if index.is_multiple_of(decimation) {
+            recorder.push(TraceEvent::Tick {
+                time,
+                position: state.position,
+                velocity: state.velocity,
+                estimated,
+                gps_drift,
+                estimation_error,
+            });
+        }
+    }
+
+    fn on_mapping(&mut self, time: f64, inserted: usize, dropped: usize, displaced: usize) {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        let decimation = state.map_decimation();
+        let index = state.maps_seen;
+        state.maps_seen += 1;
+        let tampered = dropped + displaced > 0;
+        if tampered || index.is_multiple_of(decimation) {
+            state.push(TraceEvent::MapUpdate {
+                time,
+                inserted,
+                dropped,
+                displaced,
+            });
+        }
+    }
+
+    fn on_observations(
+        &mut self,
+        time: f64,
+        stage: ObservationStage,
+        observations: &[MarkerObservation],
+    ) {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        let record = match stage {
+            ObservationStage::PreFault => {
+                state.last_pre_nonempty = !observations.is_empty();
+                !observations.is_empty()
+            }
+            // An empty post-fault batch is still evidence when the pre-fault
+            // batch had sightings: the fault hook swallowed a frame.
+            ObservationStage::PostFault => !observations.is_empty() || state.last_pre_nonempty,
+        };
+        if record {
+            state.push(TraceEvent::Markers {
+                time,
+                stage,
+                markers: observations
+                    .iter()
+                    .map(MarkerSighting::from_observation)
+                    .collect(),
+            });
+        }
+    }
+
+    fn on_directive(&mut self, time: f64, directive: &Directive) {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        let changed = state
+            .last_directive
+            .as_ref()
+            .map(|last| !same_directive(last, directive))
+            .unwrap_or(true);
+        if changed {
+            state.last_directive = Some(directive.clone());
+            state.push(TraceEvent::DirectiveChange {
+                time,
+                directive: directive.clone(),
+            });
+        }
+    }
+
+    fn on_plan_request(&mut self, time: f64, start: Vec3, goal: Vec3) {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        state.push(TraceEvent::PlanRequest { time, start, goal });
+    }
+
+    fn on_plan_result(
+        &mut self,
+        time: f64,
+        success: bool,
+        fallback: bool,
+        latency: f64,
+        iterations: usize,
+    ) {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        state.push(TraceEvent::PlanResult {
+            time,
+            success,
+            fallback,
+            latency,
+            iterations,
+        });
+    }
+
+    fn on_failsafe(&mut self, time: f64, reason: FailsafeReason) {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        state.push(TraceEvent::Failsafe { time, reason });
+    }
+
+    fn on_mission_end(&mut self, time: f64, result: MissionResult) {
+        let mut state = self.state.lock().expect("trace recorder state poisoned");
+        state.push(TraceEvent::MissionEnd { time, result });
+    }
+}
+
+impl RecorderState {
+    fn map_decimation(&self) -> u64 {
+        self.header.map_decimation as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::config_hash;
+    use mls_core::SystemVariant;
+
+    fn recorder(config: RecorderConfig) -> (TraceRecorder, TraceHandle) {
+        let header = config.header(
+            "unit",
+            7,
+            SystemVariant::MlsV3,
+            0,
+            "rural-00/s00",
+            0,
+            0,
+            config_hash("{}"),
+        );
+        let recorder = TraceRecorder::new(header);
+        let handle = recorder.handle();
+        (recorder, handle)
+    }
+
+    fn tick(recorder: &mut TraceRecorder, time: f64) {
+        let state = VehicleState::grounded(Vec3::new(0.0, 0.0, 10.0));
+        recorder.on_tick(time, &state, Vec3::ZERO, 0.1, 0.05);
+    }
+
+    #[test]
+    fn ticks_are_decimated() {
+        let (mut rec, handle) = recorder(RecorderConfig {
+            tick_decimation: 10,
+            ..RecorderConfig::default()
+        });
+        for i in 0..100 {
+            tick(&mut rec, i as f64 * 0.02);
+        }
+        let trace = handle.finish();
+        assert_eq!(trace.events.len(), 10);
+        assert_eq!(trace.header.dropped_events, 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts() {
+        let (mut rec, handle) = recorder(RecorderConfig {
+            capacity: 5,
+            tick_decimation: 1,
+            ..RecorderConfig::default()
+        });
+        for i in 0..12 {
+            tick(&mut rec, i as f64);
+        }
+        let trace = handle.finish();
+        assert_eq!(trace.events.len(), 5);
+        assert_eq!(trace.header.dropped_events, 7);
+        // The newest events survive.
+        assert_eq!(trace.events.last().unwrap().time(), 11.0);
+        assert_eq!(trace.events.first().unwrap().time(), 7.0);
+    }
+
+    #[test]
+    fn directives_record_transitions_not_jitter() {
+        let (mut rec, handle) = recorder(RecorderConfig::default());
+        let fly = Directive::FlyTo {
+            goal: Vec3::new(40.0, 0.0, 10.0),
+        };
+        rec.on_directive(0.0, &fly);
+        // Centimetre goal jitter is not a transition.
+        rec.on_directive(
+            1.0,
+            &Directive::FlyTo {
+                goal: Vec3::new(40.05, 0.0, 10.0),
+            },
+        );
+        // A different shape is.
+        rec.on_directive(2.0, &Directive::Hover);
+        // A large goal move is too.
+        rec.on_directive(
+            3.0,
+            &Directive::FlyTo {
+                goal: Vec3::new(10.0, 0.0, 10.0),
+            },
+        );
+        let trace = handle.finish();
+        assert_eq!(trace.events.len(), 3, "{:?}", trace.events);
+    }
+
+    #[test]
+    fn fault_edges_are_recorded_once() {
+        let (mut rec, handle) = recorder(RecorderConfig::default());
+        rec.on_fault(0.0, &TickFaults::NONE);
+        let active = TickFaults {
+            gps_bias: Vec3::new(5.0, 0.0, 0.0),
+            ..TickFaults::NONE
+        };
+        for t in 1..50 {
+            rec.on_fault(t as f64, &active);
+        }
+        rec.on_fault(50.0, &TickFaults::NONE);
+        let trace = handle.finish();
+        assert_eq!(trace.events.len(), 2);
+        assert!(matches!(trace.events[0], TraceEvent::FaultActive { .. }));
+        assert!(matches!(trace.events[1], TraceEvent::FaultCleared { time } if time == 50.0));
+    }
+
+    #[test]
+    fn ramping_faults_re_record_material_changes_only() {
+        let (mut rec, handle) = recorder(RecorderConfig::default());
+        // A bias ramping 0 → 8 m in 0.4 m steps: edges land roughly every
+        // metre of movement, not every tick.
+        for i in 0..21 {
+            let faults = TickFaults {
+                gps_bias: Vec3::new(0.4 * i as f64, 0.0, 0.0),
+                ..TickFaults::NONE
+            };
+            rec.on_fault(i as f64, &faults);
+        }
+        let trace = handle.finish();
+        let recorded: Vec<f64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::FaultActive { gps_bias, .. } => Some(gps_bias.norm()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            recorded.len() > 2 && recorded.len() < 21,
+            "ramp edges: {recorded:?}"
+        );
+        assert!(
+            recorded.last().unwrap() > &7.0,
+            "the trace must show the ramp reaching its plateau: {recorded:?}"
+        );
+    }
+
+    #[test]
+    fn empty_observation_batches_record_only_fault_swallows() {
+        let (mut rec, handle) = recorder(RecorderConfig::default());
+        // Nothing seen, nothing recorded.
+        rec.on_observations(0.0, ObservationStage::PreFault, &[]);
+        rec.on_observations(0.0, ObservationStage::PostFault, &[]);
+        // A sighting dropped by the fault hook records both stages.
+        let sighting = MarkerObservation {
+            id: 7,
+            world_position: Vec3::new(40.0, 1.0, 0.0),
+            confidence: 0.9,
+            apparent_size: 24.0,
+            estimated_size: 1.5,
+            detection: mls_vision::Detection::from_corners(7, [mls_geom::Vec2::ZERO; 4], 0.9),
+        };
+        rec.on_observations(1.0, ObservationStage::PreFault, &[sighting]);
+        rec.on_observations(1.0, ObservationStage::PostFault, &[]);
+        let trace = handle.finish();
+        assert_eq!(trace.events.len(), 2);
+        assert!(
+            matches!(&trace.events[1], TraceEvent::Markers { stage: ObservationStage::PostFault, markers, .. } if markers.is_empty())
+        );
+    }
+
+    #[test]
+    fn tampered_map_updates_always_record() {
+        let (mut rec, handle) = recorder(RecorderConfig {
+            map_decimation: 100,
+            ..RecorderConfig::default()
+        });
+        for i in 0..10 {
+            rec.on_mapping(i as f64, 50, 0, 0);
+        }
+        rec.on_mapping(10.0, 40, 10, 40);
+        let trace = handle.finish();
+        // One decimated clean update (index 0) plus the tampered one.
+        assert_eq!(trace.events.len(), 2);
+        assert!(matches!(
+            trace.events[1],
+            TraceEvent::MapUpdate {
+                dropped: 10,
+                displaced: 40,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn policy_semantics() {
+        assert!(!TracePolicy::Off.captures());
+        assert!(TracePolicy::FailuresOnly.captures());
+        assert!(TracePolicy::All.captures());
+        assert!(!TracePolicy::Off.keeps(MissionResult::CollisionFailure));
+        assert!(!TracePolicy::FailuresOnly.keeps(MissionResult::Success));
+        assert!(TracePolicy::FailuresOnly.keeps(MissionResult::PoorLanding));
+        assert!(TracePolicy::All.keeps(MissionResult::Success));
+        assert_eq!(TracePolicy::default(), TracePolicy::Off);
+    }
+
+    #[test]
+    fn header_round_trips_recorder_config() {
+        let config = RecorderConfig {
+            capacity: 100,
+            tick_decimation: 5,
+            map_decimation: 3,
+        };
+        let header = config.header("c", 1, SystemVariant::MlsV1, 2, "s", 3, 4, 9);
+        assert_eq!(RecorderConfig::from_header(&header), config);
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic replay verification.
+//!
+//! Every mission in this workspace is a pure function of (seed, spec), so a
+//! genuine replay does not *approximately* match the recording — it matches
+//! byte for byte. [`verify_replay`] compares a recorded trace against a
+//! freshly regenerated one at that standard: the headers must agree on the
+//! mission identity and recorder parameters, and the serialized event
+//! streams must be identical strings. Any divergence is reported with the
+//! first offending line, which is exactly the forensic breadcrumb a
+//! nondeterminism bug needs.
+//!
+//! Re-executing the mission itself requires the campaign machinery (spec,
+//! scenario suite, fault plans), so the glue that produces the regenerated
+//! trace lives in `mls-campaign`; this module owns only the verdict.
+
+use crate::format::Trace;
+
+/// Outcome of comparing a recorded trace against its replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayVerdict {
+    /// The replay reproduced the recording byte for byte.
+    Identical {
+        /// Number of events compared.
+        events: usize,
+    },
+    /// The headers disagree — the traces describe different missions or
+    /// recorder configurations, so the event streams were not compared.
+    HeaderMismatch {
+        /// The recorded header, serialized.
+        recorded: String,
+        /// The replayed header, serialized.
+        replayed: String,
+    },
+    /// The event streams diverge.
+    Diverged {
+        /// 1-based index of the first differing event line.
+        line: usize,
+        /// The recorded line at that index (`None` when the recording is
+        /// shorter).
+        recorded: Option<String>,
+        /// The replayed line at that index (`None` when the replay is
+        /// shorter).
+        replayed: Option<String>,
+    },
+}
+
+impl ReplayVerdict {
+    /// `true` for [`ReplayVerdict::Identical`].
+    pub fn is_identical(&self) -> bool {
+        matches!(self, ReplayVerdict::Identical { .. })
+    }
+}
+
+impl std::fmt::Display for ReplayVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayVerdict::Identical { events } => {
+                write!(f, "replay identical over {events} events")
+            }
+            ReplayVerdict::HeaderMismatch { .. } => write!(f, "replay header mismatch"),
+            ReplayVerdict::Diverged { line, .. } => {
+                write!(f, "replay diverged at event line {line}")
+            }
+        }
+    }
+}
+
+/// Byte-compares a recorded trace against its regenerated replay.
+pub fn verify_replay(recorded: &Trace, replayed: &Trace) -> ReplayVerdict {
+    if recorded.header != replayed.header {
+        return ReplayVerdict::HeaderMismatch {
+            recorded: serde_json::to_string(&recorded.header).unwrap_or_default(),
+            replayed: serde_json::to_string(&replayed.header).unwrap_or_default(),
+        };
+    }
+    let original = recorded.events_jsonl().unwrap_or_default();
+    let regenerated = replayed.events_jsonl().unwrap_or_default();
+    if original == regenerated {
+        return ReplayVerdict::Identical {
+            events: recorded.events.len(),
+        };
+    }
+    let mut original_lines = original.lines();
+    let mut regenerated_lines = regenerated.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (original_lines.next(), regenerated_lines.next()) {
+            (Some(a), Some(b)) if a == b => continue,
+            (a, b) => {
+                return ReplayVerdict::Diverged {
+                    line,
+                    recorded: a.map(str::to_string),
+                    replayed: b.map(str::to_string),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::format::{config_hash, TraceHeader, TRACE_FORMAT_VERSION};
+    use mls_core::{MissionResult, SystemVariant};
+
+    fn trace() -> Trace {
+        Trace {
+            header: TraceHeader {
+                version: TRACE_FORMAT_VERSION,
+                campaign: "replay-test".to_string(),
+                seed: 5,
+                variant: SystemVariant::MlsV2,
+                scenario_id: 1,
+                scenario_name: "s".to_string(),
+                cell_index: 0,
+                repeat: 0,
+                config_hash: config_hash("spec"),
+                tick_decimation: 25,
+                map_decimation: 8,
+                capacity: 1024,
+                dropped_events: 0,
+            },
+            events: vec![
+                TraceEvent::FaultCleared { time: 30.0 },
+                TraceEvent::MissionEnd {
+                    time: 80.0,
+                    result: MissionResult::PoorLanding,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn identical_traces_verify() {
+        let a = trace();
+        let verdict = verify_replay(&a, &a.clone());
+        assert!(verdict.is_identical());
+        assert_eq!(verdict, ReplayVerdict::Identical { events: 2 });
+        assert!(verdict.to_string().contains("2 events"));
+    }
+
+    #[test]
+    fn event_divergence_reports_the_first_line() {
+        let a = trace();
+        let mut b = a.clone();
+        b.events[1] = TraceEvent::MissionEnd {
+            time: 80.0,
+            result: MissionResult::Success,
+        };
+        match verify_replay(&a, &b) {
+            ReplayVerdict::Diverged {
+                line,
+                recorded,
+                replayed,
+            } => {
+                assert_eq!(line, 2);
+                assert!(recorded.unwrap().contains("PoorLanding"));
+                assert!(replayed.unwrap().contains("Success"));
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_tail_is_a_divergence() {
+        let a = trace();
+        let mut b = a.clone();
+        b.events.pop();
+        match verify_replay(&a, &b) {
+            ReplayVerdict::Diverged { line, replayed, .. } => {
+                assert_eq!(line, 2);
+                assert!(replayed.is_none());
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_drift_is_rejected_before_events_are_compared() {
+        let a = trace();
+        let mut b = a.clone();
+        b.header.seed = 6;
+        assert!(matches!(
+            verify_replay(&a, &b),
+            ReplayVerdict::HeaderMismatch { .. }
+        ));
+    }
+}

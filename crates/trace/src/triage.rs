@@ -1,0 +1,396 @@
+//! Automated failure triage: maps a trace onto the paper's Fig. 5 failure
+//! taxonomy.
+//!
+//! The paper's most instructive artifacts are its four failure narratives —
+//! (a) path-planning failure in front of a large obstacle, (b) collision
+//! while turning close to an obstacle, (c) erroneous point clouds under pose
+//! drift, (d) silent GPS drift in poor weather. Each leaves a distinctive
+//! signature in the event stream, so a failed mission's trace can be
+//! classified without a human re-flying it:
+//!
+//! | Class | Signature |
+//! |---|---|
+//! | [`Fig5Class::MapCorruption`] | tampered map updates (dropped/displaced points) |
+//! | [`Fig5Class::PlannerExhaustion`] | failed planning queries or straight-line fallbacks |
+//! | [`Fig5Class::TrajectoryLagCollision`] | a collision with every plan healthy |
+//! | [`Fig5Class::GpsDrift`] | an injected GNSS bias, or drift / estimation error beyond thresholds |
+//!
+//! Signatures are checked in that order: corruption and exhaustion explain a
+//! downstream collision better than "the controller lagged", and drift only
+//! claims missions nothing structural explains. Successful missions are
+//! never classified.
+
+use mls_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+use crate::event::TraceEvent;
+use crate::format::Trace;
+use mls_core::MissionResult;
+
+/// Natural GNSS random-walk drift, metres, beyond which a mission is
+/// drift-suspect even without an injected bias.
+const DRIFT_THRESHOLD: f64 = 2.5;
+
+/// Estimation error, metres, beyond which the pose estimate is considered
+/// broken (an injected bias shows up here even when the natural drift is
+/// small).
+const ESTIMATION_ERROR_THRESHOLD: f64 = 4.0;
+
+/// Injected GNSS bias, metres, that counts as a GPS fault signature.
+const GPS_BIAS_THRESHOLD: f64 = 0.1;
+
+/// The four Fig. 5 failure classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fig5Class {
+    /// (a) The bounded planner exhausted its search pool (or fell back to an
+    /// unchecked straight line).
+    PlannerExhaustion,
+    /// (b) The airframe collided while every planning query was healthy —
+    /// trajectory-following lag cut the corner.
+    TrajectoryLagCollision,
+    /// (c) The occupancy map was built from corrupted point clouds.
+    MapCorruption,
+    /// (d) The GNSS solution drifted (or was biased) without a visible
+    /// health indication.
+    GpsDrift,
+}
+
+impl Fig5Class {
+    /// Every class, in the paper's (a)–(d) order.
+    pub const ALL: [Fig5Class; 4] = [
+        Fig5Class::PlannerExhaustion,
+        Fig5Class::TrajectoryLagCollision,
+        Fig5Class::MapCorruption,
+        Fig5Class::GpsDrift,
+    ];
+
+    /// Stable label used in reports ("planner-exhaustion").
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig5Class::PlannerExhaustion => "planner-exhaustion",
+            Fig5Class::TrajectoryLagCollision => "trajectory-lag-collision",
+            Fig5Class::MapCorruption => "map-corruption",
+            Fig5Class::GpsDrift => "gps-drift",
+        }
+    }
+
+    /// The paper's Fig. 5 panel letter.
+    pub fn panel(self) -> char {
+        match self {
+            Fig5Class::PlannerExhaustion => 'a',
+            Fig5Class::TrajectoryLagCollision => 'b',
+            Fig5Class::MapCorruption => 'c',
+            Fig5Class::GpsDrift => 'd',
+        }
+    }
+}
+
+/// What the classifier concluded about one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriageReport {
+    /// The assigned class, or `None` for successful / unexplained missions.
+    pub class: Option<Fig5Class>,
+    /// The mission's final result, if the trace recorded one.
+    pub result: Option<MissionResult>,
+    /// Human-readable evidence lines backing the verdict.
+    pub evidence: Vec<String>,
+    /// Failed planning queries.
+    pub plan_failures: usize,
+    /// Straight-line fallbacks taken.
+    pub plan_fallbacks: usize,
+    /// Tampered map updates.
+    pub tampered_map_updates: usize,
+    /// Maximum natural GNSS drift seen, metres.
+    pub max_gps_drift: f64,
+    /// Maximum estimation error seen, metres.
+    pub max_estimation_error: f64,
+    /// `true` when a GNSS bias fault was active at some point.
+    pub gps_fault_active: bool,
+}
+
+/// Classifies a trace against the Fig. 5 taxonomy.
+pub fn triage(trace: &Trace) -> TriageReport {
+    let mut result = None;
+    let mut plan_failures = 0usize;
+    let mut plan_fallbacks = 0usize;
+    let mut tampered = 0usize;
+    let mut max_drift = 0.0f64;
+    let mut max_estimation_error = 0.0f64;
+    let mut gps_fault = false;
+    let mut failsafes: Vec<String> = Vec::new();
+
+    for event in &trace.events {
+        match event {
+            TraceEvent::PlanResult {
+                success, fallback, ..
+            } => {
+                if !success {
+                    plan_failures += 1;
+                }
+                if *fallback {
+                    plan_fallbacks += 1;
+                }
+            }
+            TraceEvent::MapUpdate {
+                dropped, displaced, ..
+            } if dropped + displaced > 0 => tampered += 1,
+            TraceEvent::Tick {
+                gps_drift,
+                estimation_error,
+                ..
+            } => {
+                max_drift = max_drift.max(*gps_drift);
+                max_estimation_error = max_estimation_error.max(*estimation_error);
+            }
+            TraceEvent::FaultActive { gps_bias, .. } if gps_bias.norm() > GPS_BIAS_THRESHOLD => {
+                gps_fault = true;
+            }
+            TraceEvent::Failsafe { time, reason } => {
+                failsafes.push(format!("failsafe {reason:?} at t={time:.1}s"));
+            }
+            TraceEvent::MissionEnd { result: r, .. } => result = Some(*r),
+            _ => {}
+        }
+    }
+
+    let collision = result == Some(MissionResult::CollisionFailure);
+    let mut evidence = Vec::new();
+    if trace.header.dropped_events > 0 {
+        // Eviction can remove the discriminating early events (a lone
+        // fallback plan, the fault-activation edge), so a class assigned to
+        // a truncated trace deserves scepticism.
+        evidence.push(format!(
+            "CAUTION: the ring buffer evicted {} events; early signatures may be missing",
+            trace.header.dropped_events
+        ));
+    }
+    evidence.extend(failsafes);
+    let class = if result == Some(MissionResult::Success) {
+        evidence.push("mission succeeded; nothing to triage".to_string());
+        None
+    } else if tampered > 0 {
+        evidence.push(format!(
+            "{tampered} map updates carried dropped or displaced points"
+        ));
+        Some(Fig5Class::MapCorruption)
+    } else if plan_failures + plan_fallbacks > 0 {
+        evidence.push(format!(
+            "{plan_failures} planning queries failed, {plan_fallbacks} straight-line fallbacks"
+        ));
+        Some(Fig5Class::PlannerExhaustion)
+    } else if collision {
+        evidence.push(
+            "collision with every planning query healthy: trajectory-following lag".to_string(),
+        );
+        Some(Fig5Class::TrajectoryLagCollision)
+    } else if gps_fault
+        || max_drift > DRIFT_THRESHOLD
+        || max_estimation_error > ESTIMATION_ERROR_THRESHOLD
+    {
+        evidence.push(format!(
+            "GNSS bias fault active: {gps_fault}; max drift {max_drift:.2} m; \
+             max estimation error {max_estimation_error:.2} m"
+        ));
+        Some(Fig5Class::GpsDrift)
+    } else {
+        evidence.push("no Fig. 5 signature matched".to_string());
+        None
+    };
+
+    TriageReport {
+        class,
+        result,
+        evidence,
+        plan_failures,
+        plan_fallbacks,
+        tampered_map_updates: tampered,
+        max_gps_drift: max_drift,
+        max_estimation_error,
+        gps_fault_active: gps_fault,
+    }
+}
+
+/// Convenience constructor for tests and synthetic traces.
+#[doc(hidden)]
+pub fn fault_active_event(time: f64, gps_bias: Vec3) -> TraceEvent {
+    TraceEvent::FaultActive {
+        time,
+        gps_bias,
+        wind: Vec3::ZERO,
+        compute_throttle: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{config_hash, TraceHeader, TRACE_FORMAT_VERSION};
+    use mls_core::{FailsafeReason, SystemVariant};
+
+    fn trace_with(events: Vec<TraceEvent>) -> Trace {
+        Trace {
+            header: TraceHeader {
+                version: TRACE_FORMAT_VERSION,
+                campaign: "triage-test".to_string(),
+                seed: 1,
+                variant: SystemVariant::MlsV2,
+                scenario_id: 0,
+                scenario_name: "s".to_string(),
+                cell_index: 0,
+                repeat: 0,
+                config_hash: config_hash("{}"),
+                tick_decimation: 25,
+                map_decimation: 8,
+                capacity: 1024,
+                dropped_events: 0,
+            },
+            events,
+        }
+    }
+
+    fn tick(time: f64, gps_drift: f64, estimation_error: f64) -> TraceEvent {
+        TraceEvent::Tick {
+            time,
+            position: Vec3::new(0.0, 0.0, 10.0),
+            velocity: Vec3::ZERO,
+            estimated: Vec3::new(0.0, 0.0, 10.0),
+            gps_drift,
+            estimation_error,
+        }
+    }
+
+    fn end(result: MissionResult) -> TraceEvent {
+        TraceEvent::MissionEnd {
+            time: 100.0,
+            result,
+        }
+    }
+
+    #[test]
+    fn planner_exhaustion_is_case_a() {
+        let report = triage(&trace_with(vec![
+            TraceEvent::PlanRequest {
+                time: 40.0,
+                start: Vec3::new(0.0, 0.0, 10.0),
+                goal: Vec3::new(40.0, 0.0, 10.0),
+            },
+            TraceEvent::PlanResult {
+                time: 40.0,
+                success: true,
+                fallback: true,
+                latency: 0.2,
+                iterations: 2000,
+            },
+            end(MissionResult::CollisionFailure),
+        ]));
+        assert_eq!(report.class, Some(Fig5Class::PlannerExhaustion));
+        assert_eq!(report.plan_fallbacks, 1);
+        assert_eq!(report.class.unwrap().panel(), 'a');
+    }
+
+    #[test]
+    fn clean_collision_is_case_b() {
+        let report = triage(&trace_with(vec![
+            TraceEvent::PlanResult {
+                time: 40.0,
+                success: true,
+                fallback: false,
+                latency: 0.1,
+                iterations: 500,
+            },
+            tick(41.0, 0.3, 0.2),
+            end(MissionResult::CollisionFailure),
+        ]));
+        assert_eq!(report.class, Some(Fig5Class::TrajectoryLagCollision));
+        assert_eq!(report.class.unwrap().panel(), 'b');
+    }
+
+    #[test]
+    fn tampered_map_updates_are_case_c() {
+        let report = triage(&trace_with(vec![
+            TraceEvent::MapUpdate {
+                time: 35.0,
+                inserted: 120,
+                dropped: 30,
+                displaced: 90,
+            },
+            end(MissionResult::PoorLanding),
+        ]));
+        assert_eq!(report.class, Some(Fig5Class::MapCorruption));
+        assert_eq!(report.tampered_map_updates, 1);
+        assert_eq!(report.class.unwrap().panel(), 'c');
+    }
+
+    #[test]
+    fn gps_bias_fault_or_raw_drift_is_case_d() {
+        let biased = triage(&trace_with(vec![
+            fault_active_event(50.0, Vec3::new(6.0, 0.0, 0.0)),
+            tick(60.0, 0.4, 6.1),
+            end(MissionResult::PoorLanding),
+        ]));
+        assert_eq!(biased.class, Some(Fig5Class::GpsDrift));
+        assert!(biased.gps_fault_active);
+
+        let drifted = triage(&trace_with(vec![
+            tick(60.0, 3.2, 3.0),
+            end(MissionResult::PoorLanding),
+        ]));
+        assert_eq!(drifted.class, Some(Fig5Class::GpsDrift));
+        assert_eq!(drifted.class.unwrap().panel(), 'd');
+    }
+
+    #[test]
+    fn successful_missions_are_never_classified() {
+        let report = triage(&trace_with(vec![
+            TraceEvent::MapUpdate {
+                time: 35.0,
+                inserted: 120,
+                dropped: 30,
+                displaced: 90,
+            },
+            end(MissionResult::Success),
+        ]));
+        assert_eq!(report.class, None);
+        assert_eq!(report.result, Some(MissionResult::Success));
+    }
+
+    #[test]
+    fn unexplained_failures_stay_unclassified_with_failsafe_evidence() {
+        let report = triage(&trace_with(vec![
+            TraceEvent::Failsafe {
+                time: 90.0,
+                reason: FailsafeReason::SearchExhausted,
+            },
+            end(MissionResult::PoorLanding),
+        ]));
+        assert_eq!(report.class, None);
+        assert!(report
+            .evidence
+            .iter()
+            .any(|line| line.contains("SearchExhausted")));
+    }
+
+    #[test]
+    fn evicted_events_are_flagged_in_the_evidence() {
+        let mut trace = trace_with(vec![end(MissionResult::CollisionFailure)]);
+        trace.header.dropped_events = 137;
+        let report = triage(&trace);
+        assert_eq!(report.class, Some(Fig5Class::TrajectoryLagCollision));
+        assert!(
+            report
+                .evidence
+                .iter()
+                .any(|line| line.contains("evicted 137 events")),
+            "{:?}",
+            report.evidence
+        );
+    }
+
+    #[test]
+    fn labels_and_order_are_stable() {
+        assert_eq!(Fig5Class::ALL.len(), 4);
+        assert_eq!(Fig5Class::MapCorruption.label(), "map-corruption");
+        let panels: Vec<char> = Fig5Class::ALL.iter().map(|c| c.panel()).collect();
+        assert_eq!(panels, vec!['a', 'b', 'c', 'd']);
+    }
+}

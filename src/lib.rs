@@ -24,6 +24,9 @@
 //!   sweeps over scenarios × variants × compute profiles × fault plans,
 //!   deterministic JSON/CSV reports, and falsification search for the
 //!   minimal failure-inducing fault intensity.
+//! * [`trace`] — the flight recorder: ring-buffered per-mission trace
+//!   capture, a versioned JSON-lines format, byte-exact replay verification
+//!   and the Fig. 5 failure-triage classifier.
 //!
 //! # Examples
 //!
@@ -59,4 +62,5 @@ pub use mls_mapping as mapping;
 pub use mls_planning as planning;
 pub use mls_sim_uav as sim_uav;
 pub use mls_sim_world as sim_world;
+pub use mls_trace as trace;
 pub use mls_vision as vision;
