@@ -1,0 +1,254 @@
+//! falsify — multi-dimensional falsification with replayable minimal
+//! counterexamples.
+//!
+//! The paper's core lesson is that landing failures live at the
+//! *intersection* of stressors; the scalar fault sweeps of Tables I–III
+//! cannot see those intersections. This harness searches two-axis fault
+//! spaces for the lowest-severity point that breaks each system generation,
+//! shrinks the point onto the failure frontier, and ships it as a flight
+//! trace that replays byte-identically — a failure you can re-run, not just
+//! a coordinate.
+//!
+//! Three spaces are configured, one per generation:
+//!
+//! * MLS-V1 — marker-occlusion bursts × GNSS bias (the Fig. 5d mechanism
+//!   under intermittent blindness), grid-refinement searcher;
+//! * MLS-V2 — planner search-budget starvation × wind gusts (the Fig. 5a
+//!   mechanism under disturbance), grid-refinement searcher;
+//! * MLS-V3 — detection-stream dropout × GNSS bias (the validated descent
+//!   loses its marker and trusts a biased solution), CMA-ES searcher.
+//!
+//! The combined report is written as JSON and CSV under `target/falsify/`;
+//! counterexample traces land under `traces/falsify-<space>/`. The exit
+//! code enforces the contract: every space must produce a counterexample
+//! whose trace exists, carries a triage class and replays byte-identically.
+//!
+//! `MLS_MAPS` / `MLS_SCENARIOS_PER_MAP` / `MLS_REPEATS` / `MLS_SEED` /
+//! `MLS_THREADS` rescale the probe campaigns as usual (defaults here are
+//! deliberately small: falsification flies hundreds of missions per space).
+
+use std::fs;
+use std::process::ExitCode;
+
+use mls_bench::{percent, print_header, HarnessOptions};
+use mls_campaign::{
+    CmaEsConfig, FalsificationConfig, FalsificationSearch, FaultAxis, FaultKind, FaultSpace,
+    GridRefinementConfig, Searcher, SpaceFalsification,
+};
+use mls_core::SystemVariant;
+
+/// One falsification target: a system generation, the fault space to search
+/// over it, and the searcher to use.
+struct Target {
+    variant: SystemVariant,
+    space: FaultSpace,
+    searcher: Searcher,
+    narrative: &'static str,
+}
+
+fn targets() -> Vec<Target> {
+    vec![
+        Target {
+            variant: SystemVariant::MlsV1,
+            // The GNSS axis is floored at intensity 0.15 (a 1.5 m bias):
+            // below that the bias is physically negligible, and the floor
+            // guarantees every counterexample carries the Fig. 5d signature.
+            space: FaultSpace::new(
+                "v1-occlusion-x-gps-bias",
+                vec![
+                    FaultAxis::full(FaultKind::MarkerOcclusion),
+                    FaultAxis::new(FaultKind::GpsBias, 0.15, 1.0),
+                ],
+            ),
+            searcher: Searcher::GridRefinement(GridRefinementConfig {
+                resolution: 3,
+                rounds: 1,
+            }),
+            narrative: "occlusion bursts while the GNSS solution is biased: mapless MLS-V1 \
+                        descends on a wrong, intermittently invisible target",
+        },
+        Target {
+            variant: SystemVariant::MlsV2,
+            space: FaultSpace::new(
+                "v2-starvation-x-wind",
+                vec![
+                    FaultAxis::new(FaultKind::PlannerStarvation, 0.5, 1.0),
+                    FaultAxis::full(FaultKind::WindGust),
+                ],
+            ),
+            searcher: Searcher::GridRefinement(GridRefinementConfig {
+                resolution: 3,
+                rounds: 1,
+            }),
+            narrative: "a starved A* pool falls back to unchecked straight lines exactly when \
+                        gusts push the airframe off them",
+        },
+        Target {
+            variant: SystemVariant::MlsV3,
+            // The GNSS axis is floored as in the V1 space, so every
+            // counterexample carries the drift signature.
+            space: FaultSpace::new(
+                "v3-dropout-x-gps-bias",
+                vec![
+                    FaultAxis::full(FaultKind::DetectionDropout),
+                    FaultAxis::new(FaultKind::GpsBias, 0.15, 1.0),
+                ],
+            ),
+            searcher: Searcher::CmaEs(CmaEsConfig {
+                population: 6,
+                generations: 4,
+                initial_step: 0.3,
+                seed: 7,
+            }),
+            narrative: "detection-stream dropouts blind the validated descent exactly while the \
+                        GNSS solution it falls back on is biased",
+        },
+    ]
+}
+
+/// Prints one result and returns whether it satisfies the contract:
+/// counterexample found, trace persisted with a triage class, replay
+/// byte-identical.
+fn assess(result: &SpaceFalsification) -> bool {
+    println!(
+        "  baseline success {}, {} probes",
+        percent(result.baseline_success_rate),
+        result.probes.len(),
+    );
+    let Some(ce) = &result.counterexample else {
+        println!("  NOT falsified: no point of the space broke the system");
+        return false;
+    };
+    println!(
+        "  minimal counterexample: {} (success rate {})",
+        mls_campaign::fault_point_label(&ce.plans),
+        percent(ce.success_rate),
+    );
+    let Some(link) = &ce.trace else {
+        println!("  NO trace captured for the counterexample");
+        return false;
+    };
+    println!(
+        "  trace: {} (result {:?}, triage {})",
+        link.path,
+        link.result,
+        link.triage.as_deref().unwrap_or("unclassified"),
+    );
+    match ce.replay_identical {
+        Some(true) => println!("  replay: byte-identical"),
+        other => {
+            println!("  replay FAILED to verify: {other:?}");
+            return false;
+        }
+    }
+    if link.triage.is_none() {
+        println!("  trace carries NO triage class");
+        return false;
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    print_header("Falsification — minimal multi-axis failures as replayable traces");
+    let options = HarnessOptions::from_env();
+    // Falsification flies a whole campaign per probe and dozens of probes
+    // per space, so the default probe suite is tiny (1 map × 2 scenarios);
+    // an explicitly set variable wins over the smallness default, because
+    // the harness-wide defaults (10×10) would make every probe a Table I.
+    let env_set = |name: &str| std::env::var(name).is_ok();
+    let maps = if env_set("MLS_MAPS") { options.maps } else { 1 };
+    let scenarios_per_map = if env_set("MLS_SCENARIOS_PER_MAP") {
+        options.scenarios_per_map
+    } else {
+        2
+    };
+    // The default benchmark seed generates a 1×2 suite whose baselines are
+    // marginal; seed 3 yields a suite every generation lands clean, which is
+    // what a falsification baseline needs. An explicit MLS_SEED still wins,
+    // even when it names the default value.
+    let seed = if env_set("MLS_SEED") { options.seed } else { 3 };
+    let mut config = FalsificationConfig {
+        seed,
+        maps,
+        scenarios_per_map,
+        repeats: options.repeats,
+        // With two missions per probe, a probe fails once either mission
+        // fails — the single-trajectory falsification standard of the
+        // literature, and every failing probe leaves a replayable trace.
+        failure_threshold: 0.75,
+        minimizer_passes: 1,
+        minimizer_bisections: 3,
+        ..FalsificationConfig::default()
+    };
+    // Bounded missions keep timed-out probes from dominating the search.
+    config.landing.mission_timeout = 120.0;
+    config.executor.max_duration = 150.0;
+    let missions_per_probe = maps * scenarios_per_map * options.repeats;
+    let search = FalsificationSearch::new(config, options.threads);
+    println!(
+        "probe suite: {} missions per probe, threshold {}, {} threads",
+        missions_per_probe,
+        search.config().failure_threshold,
+        options.threads,
+    );
+
+    let mut results = Vec::new();
+    let mut all_good = true;
+    for target in targets() {
+        println!(
+            "\n{} over '{}' [{}]",
+            target.variant.label(),
+            target.space.name,
+            target.searcher.label(),
+        );
+        println!("  {}", target.narrative);
+        match search.falsify(target.variant, &target.space, &target.searcher) {
+            Ok(result) => {
+                all_good &= assess(&result);
+                results.push(result);
+            }
+            Err(err) => {
+                println!("  search failed: {err}");
+                all_good = false;
+            }
+        }
+    }
+
+    let report = mls_campaign::FalsificationReport { results };
+    println!();
+    match report.to_json() {
+        Ok(json) => {
+            let dir = std::path::Path::new("target/falsify");
+            if let Err(err) = fs::create_dir_all(dir) {
+                println!("cannot create {}: {err}", dir.display());
+                all_good = false;
+            } else {
+                let json_path = dir.join("report.json");
+                let csv_path = dir.join("report.csv");
+                let wrote = fs::write(&json_path, json)
+                    .and_then(|()| fs::write(&csv_path, report.to_csv()));
+                match wrote {
+                    Ok(()) => {
+                        println!("report: {} and {}", json_path.display(), csv_path.display())
+                    }
+                    Err(err) => {
+                        println!("cannot write the report: {err}");
+                        all_good = false;
+                    }
+                }
+            }
+        }
+        Err(err) => {
+            println!("cannot serialise the report: {err}");
+            all_good = false;
+        }
+    }
+
+    if all_good {
+        println!("All spaces falsified; every counterexample is a triaged, replayable trace.");
+        ExitCode::SUCCESS
+    } else {
+        println!("At least one space failed to falsify, capture, triage or replay.");
+        ExitCode::FAILURE
+    }
+}

@@ -8,11 +8,14 @@
 //!
 //! Mission sharding is delegated to the `mls-campaign` engine's
 //! self-scheduling worker pool ([`mls_campaign::execute_sharded`]); the
-//! campaign-grid binaries (`table1_sil`, `table2_detection`, `table3_hil`)
-//! go further and run entirely on [`mls_campaign::CampaignRunner`], and
-//! `fig5_failure_cases` adds the `mls-trace` flight recorder on top:
-//! capture → triage → byte-exact replay of the paper's four failure
-//! narratives.
+//! campaign-grid binaries (`table1_sil`, `table2_detection`, `table3_hil`,
+//! `fig6_inflation`) go further and run entirely on
+//! [`mls_campaign::CampaignRunner`], `fig5_failure_cases` adds the
+//! `mls-trace` flight recorder on top (capture → triage → byte-exact replay
+//! of the paper's four failure narratives), and `falsify` runs the
+//! multi-dimensional falsification engine end to end: search three two-axis
+//! fault spaces, minimize each counterexample onto the failure frontier,
+//! and ship it as a triaged, replay-verified trace.
 //!
 //! The workload size is controlled by environment variables so the same
 //! binaries serve both quick smoke runs and the full reproduction:

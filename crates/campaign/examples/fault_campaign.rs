@@ -1,15 +1,16 @@
 //! End-to-end fault-injection campaign demo.
 //!
 //! Sweeps three fault kinds over the three system generations on the smoke
-//! benchmark, prints the per-cell grid, then bisects the gps-bias axis for
-//! MLS-V1 to its minimal failure-inducing intensity.
+//! benchmark, prints the per-cell grid, then falsifies MLS-V1 over the
+//! occlusion × GPS-bias fault space and minimizes the counterexample.
 //!
 //! Run with `cargo run --release --example fault_campaign`. Set
 //! `MLS_THREADS` to bound the worker pool and `MLS_FULL=1` to fly the
 //! paper-scale fault study instead of the smoke grid.
 
 use mls_campaign::{
-    CampaignRunner, CampaignSpec, FalsificationConfig, FalsificationSearch, FaultKind,
+    CampaignRunner, CampaignSpec, FalsificationConfig, FalsificationSearch, FaultAxis, FaultKind,
+    FaultSpace, GridRefinementConfig, Searcher,
 };
 use mls_core::SystemVariant;
 
@@ -60,29 +61,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!();
-    println!("falsification: minimal gps-bias intensity that breaks MLS-V1");
+    println!("falsification: minimal occlusion x gps-bias point that breaks MLS-V1");
     let search = FalsificationSearch::new(
         FalsificationConfig {
             maps: 1,
             scenarios_per_map: 2,
-            iterations: 4,
+            minimizer_bisections: 4,
             ..Default::default()
         },
         threads,
     );
-    let result = search.minimal_intensity(SystemVariant::MlsV1, FaultKind::GpsBias)?;
+    let space = FaultSpace::new(
+        "occlusion-x-gps-bias",
+        vec![
+            FaultAxis::full(FaultKind::MarkerOcclusion),
+            FaultAxis::full(FaultKind::GpsBias),
+        ],
+    );
+    let searcher = Searcher::GridRefinement(GridRefinementConfig::default());
+    let result = search.falsify(SystemVariant::MlsV1, &space, &searcher)?;
     println!(
         "  baseline success rate: {:.1}%",
         result.baseline_success_rate * 100.0
     );
-    match result.minimal_intensity {
-        Some(intensity) => println!(
-            "  falsified at intensity {:.3} (success rate there: {:.1}%, {} probes)",
-            intensity,
-            result.success_at_minimal.unwrap_or(0.0) * 100.0,
-            result.probes.len(),
-        ),
-        None => println!("  not falsified: success stayed above threshold up to intensity 1.0"),
+    match &result.counterexample {
+        Some(ce) => {
+            println!(
+                "  falsified at {} (success rate there: {:.1}%, {} probes)",
+                space.label_point(&ce.point),
+                ce.success_rate * 100.0,
+                result.probes.len(),
+            );
+            if let Some(link) = &ce.trace {
+                println!(
+                    "  counterexample trace: {} (triage: {}, replay identical: {})",
+                    link.path,
+                    link.triage.as_deref().unwrap_or("unclassified"),
+                    ce.replay_identical.unwrap_or(false),
+                );
+            }
+        }
+        None => println!("  not falsified: success stayed above threshold over the whole space"),
     }
 
     println!();

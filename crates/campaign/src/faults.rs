@@ -20,6 +20,13 @@
 //! | [`FaultKind::WindGust`] | airframe | 12 m/s gust spikes |
 //! | [`FaultKind::ComputeThrottle`] | compute platform | platform at 5 % speed |
 //! | [`FaultKind::DepthCorruption`] | depth clouds | 40 % dropout, 3 m mis-painting |
+//! | [`FaultKind::PlannerStarvation`] | planner budget | 1 % of the search pool |
+//!
+//! Faults compose: a [`CompositeInjector`] activates several plans inside one
+//! mission (each on its own derived RNG stream), which is how the
+//! multi-dimensional falsification search ([`crate::search`]) flies a point
+//! of a [`FaultSpace`] — named intensity axes like occlusion × GPS bias —
+//! as a single mission.
 
 use mls_core::{FaultHook, TickFaults};
 use mls_geom::{Vec2, Vec3};
@@ -51,11 +58,16 @@ pub enum FaultKind {
     /// pose-drift painting (every return displaced by a fixed horizontal
     /// offset), reproducing the paper's Fig. 5c erroneous point clouds.
     DepthCorruption,
+    /// Intervals during which the planner's search budget is starved
+    /// (contended CPU, deadline pressure): the bounded A* pool exhausts and
+    /// MLS-V2 falls back to unchecked straight lines, RRT* queries fail —
+    /// the paper's planner-exhaustion failure mode on demand.
+    PlannerStarvation,
 }
 
 impl FaultKind {
     /// Every fault kind, in a stable reporting order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::MarkerOcclusion,
         FaultKind::DetectionDropout,
         FaultKind::MarkerSpoof,
@@ -63,6 +75,7 @@ impl FaultKind {
         FaultKind::WindGust,
         FaultKind::ComputeThrottle,
         FaultKind::DepthCorruption,
+        FaultKind::PlannerStarvation,
     ];
 
     /// Short label used in reports.
@@ -75,6 +88,7 @@ impl FaultKind {
             FaultKind::WindGust => "wind-gust",
             FaultKind::ComputeThrottle => "compute-throttle",
             FaultKind::DepthCorruption => "depth-corruption",
+            FaultKind::PlannerStarvation => "planner-starvation",
         }
     }
 }
@@ -179,7 +193,8 @@ impl FaultInjector {
             FaultKind::MarkerOcclusion
             | FaultKind::MarkerSpoof
             | FaultKind::ComputeThrottle
-            | FaultKind::WindGust => {
+            | FaultKind::WindGust
+            | FaultKind::PlannerStarvation => {
                 // Both burst count and burst length scale with intensity, and
                 // both vanish at 0: intensity 0.0 must be a true no-op so the
                 // falsification search's lower anchor equals the baseline.
@@ -322,6 +337,222 @@ impl FaultHook for FaultInjector {
             _ => {}
         }
     }
+
+    fn pre_planning(&mut self, time: f64) -> f64 {
+        if self.plan.kind == FaultKind::PlannerStarvation && self.in_window(time) {
+            // Intensity 1.0 leaves the planner 1 % of its pool; no query
+            // ever loses its budget entirely (the floor mirrors the
+            // compute-throttle floor).
+            (1.0 - 0.99 * self.plan.intensity).max(0.01)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Several concurrently active fault plans, composed into one [`FaultHook`].
+///
+/// This is how a mission flies a *point* of a multi-dimensional fault space:
+/// each plan gets its own [`FaultInjector`] on a deterministically derived
+/// sub-seed (so axes perturb independent RNG streams and adding an axis does
+/// not reshuffle the others), and the composite merges their effects —
+/// biases and disturbances add, throttles and budget scales multiply, and
+/// the frame/cloud tampering callbacks chain in plan order.
+#[derive(Debug, Clone)]
+pub struct CompositeInjector {
+    injectors: Vec<FaultInjector>,
+}
+
+impl CompositeInjector {
+    /// Instantiates one injector per plan, each on a sub-seed derived from
+    /// (`seed`, plan position) with a SplitMix64-style mix.
+    pub fn new(plans: &[FaultPlan], seed: u64, context: &MissionFaultContext) -> Self {
+        Self {
+            injectors: plans
+                .iter()
+                .enumerate()
+                .map(|(index, plan)| plan.injector(Self::sub_seed(seed, index), context))
+                .collect(),
+        }
+    }
+
+    /// The deterministic per-plan seed stream.
+    fn sub_seed(seed: u64, index: usize) -> u64 {
+        let mut state = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        state = (state ^ (state >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        state ^ (state >> 31)
+    }
+
+    /// The plans this composite realises, in activation order.
+    pub fn plans(&self) -> Vec<FaultPlan> {
+        self.injectors.iter().map(FaultInjector::plan).collect()
+    }
+}
+
+impl FaultHook for CompositeInjector {
+    fn tick(&mut self, time: f64) -> TickFaults {
+        let mut merged = TickFaults::NONE;
+        for injector in &mut self.injectors {
+            let faults = injector.tick(time);
+            merged.gps_bias += faults.gps_bias;
+            merged.wind_disturbance += faults.wind_disturbance;
+            merged.compute_throttle *= faults.compute_throttle;
+        }
+        merged.compute_throttle = merged.compute_throttle.max(0.05);
+        merged
+    }
+
+    fn corrupts_depth_clouds(&self) -> bool {
+        self.injectors
+            .iter()
+            .any(FaultInjector::corrupts_depth_clouds)
+    }
+
+    fn pre_mapping(&mut self, time: f64, cloud: &mut PointCloud) {
+        for injector in &mut self.injectors {
+            injector.pre_mapping(time, cloud);
+        }
+    }
+
+    fn pre_detection(&mut self, time: f64, image: &mut GrayImage) {
+        for injector in &mut self.injectors {
+            injector.pre_detection(time, image);
+        }
+    }
+
+    fn post_detection(&mut self, time: f64, observations: &mut Vec<MarkerObservation>) {
+        for injector in &mut self.injectors {
+            injector.post_detection(time, observations);
+        }
+    }
+
+    fn pre_planning(&mut self, time: f64) -> f64 {
+        self.injectors
+            .iter_mut()
+            .map(|injector| injector.pre_planning(time))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+}
+
+/// One axis of a fault space: a fault kind swept over an intensity interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultAxis {
+    /// The fault kind this axis modulates.
+    pub kind: FaultKind,
+    /// Intensity at the low end of the axis (normalized coordinate 0).
+    pub min: f64,
+    /// Intensity at the high end of the axis (normalized coordinate 1).
+    pub max: f64,
+}
+
+impl FaultAxis {
+    /// Builds an axis, clamping both bounds into `[0, 1]` and ordering them.
+    pub fn new(kind: FaultKind, min: f64, max: f64) -> Self {
+        let (min, max) = (min.clamp(0.0, 1.0), max.clamp(0.0, 1.0));
+        Self {
+            kind,
+            min: min.min(max),
+            max: min.max(max),
+        }
+    }
+
+    /// The full `[0, 1]` intensity range of a kind.
+    pub fn full(kind: FaultKind) -> Self {
+        Self::new(kind, 0.0, 1.0)
+    }
+
+    /// Maps a normalized coordinate `t` in `[0, 1]` onto the axis intensity.
+    pub fn intensity(&self, t: f64) -> f64 {
+        self.min + (self.max - self.min) * t.clamp(0.0, 1.0)
+    }
+
+    /// The axis label (its kind's report label).
+    pub fn label(&self) -> &'static str {
+        self.kind.label()
+    }
+}
+
+/// A named, multi-dimensional fault space: the search domain of the
+/// falsification engine ([`crate::search`]).
+///
+/// A *point* of the space is a vector of normalized coordinates in
+/// `[0, 1]^d`, one per axis; [`FaultSpace::plans`] maps it onto the concrete
+/// [`FaultPlan`]s a mission flies (via a [`CompositeInjector`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpace {
+    /// Space name, embedded in reports and trace directories.
+    pub name: String,
+    /// The axes, in coordinate order.
+    pub axes: Vec<FaultAxis>,
+}
+
+impl FaultSpace {
+    /// Builds a named space over the given axes.
+    pub fn new(name: impl Into<String>, axes: Vec<FaultAxis>) -> Self {
+        Self {
+            name: name.into(),
+            axes,
+        }
+    }
+
+    /// Number of axes.
+    pub fn dim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Validates the space: at least one axis, no kind twice (two plans of
+    /// the same kind in one mission would shadow each other).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CampaignError::InvalidSpec`] when the space is
+    /// degenerate.
+    pub fn validate(&self) -> Result<(), crate::CampaignError> {
+        let reject = |reason: String| Err(crate::CampaignError::InvalidSpec { reason });
+        if self.axes.is_empty() {
+            return reject(format!("fault space '{}' has no axes", self.name));
+        }
+        for (i, axis) in self.axes.iter().enumerate() {
+            if self.axes[..i].iter().any(|other| other.kind == axis.kind) {
+                return reject(format!(
+                    "fault space '{}' lists {} twice",
+                    self.name,
+                    axis.kind.label()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps a normalized point onto the fault plans a mission flies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `point` does not have one coordinate per axis.
+    pub fn plans(&self, point: &[f64]) -> Vec<FaultPlan> {
+        assert_eq!(
+            point.len(),
+            self.axes.len(),
+            "point dimensionality must match the space"
+        );
+        self.axes
+            .iter()
+            .zip(point)
+            .map(|(axis, &t)| FaultPlan::new(axis.kind, axis.intensity(t)))
+            .collect()
+    }
+
+    /// Human-readable rendering of a normalized point
+    /// (`marker-occlusion@0.450 + gps-bias@0.300`).
+    pub fn label_point(&self, point: &[f64]) -> String {
+        self.plans(point)
+            .iter()
+            .map(FaultPlan::label)
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +593,11 @@ mod tests {
                     vec![Vec3::new(5.0, 1.0, 2.0)],
                     "{kind:?} must not tamper with clouds at 0"
                 );
+                assert_eq!(
+                    injector.pre_planning(time),
+                    1.0,
+                    "{kind:?} must not starve the planner at 0"
+                );
             }
         }
     }
@@ -371,7 +607,7 @@ mod tests {
         let plan = FaultPlan::new(FaultKind::GpsBias, 1.7);
         assert_eq!(plan.intensity, 1.0);
         assert_eq!(plan.label(), "gps-bias@1.000");
-        assert_eq!(FaultKind::ALL.len(), 7);
+        assert_eq!(FaultKind::ALL.len(), 8);
     }
 
     #[test]
@@ -509,5 +745,136 @@ mod tests {
         FaultPlan::new(FaultKind::MarkerSpoof, 0.2)
             .injector(1, &context())
             .spoofed_observation()
+    }
+
+    #[test]
+    fn planner_starvation_scales_budget_inside_windows_only() {
+        let plan = FaultPlan::new(FaultKind::PlannerStarvation, 1.0);
+        let mut injector = plan.injector(4, &context());
+        assert!(!injector.windows.is_empty());
+        assert_eq!(injector.pre_planning(1.0), 1.0, "idle outside windows");
+        let window = injector.windows[0];
+        let starved = injector.pre_planning((window.start + window.end) / 2.0);
+        assert!((starved - 0.01).abs() < 1e-12, "scale {starved}");
+        // Half intensity starves to roughly half the pool.
+        let mut half = FaultPlan::new(FaultKind::PlannerStarvation, 0.5).injector(4, &context());
+        let window = half.windows[0];
+        let scale = half.pre_planning(window.start + 0.1);
+        assert!((scale - 0.505).abs() < 1e-12, "scale {scale}");
+        // Starvation touches nothing else.
+        assert_eq!(injector.tick(window.start + 0.1), TickFaults::NONE);
+    }
+
+    #[test]
+    fn composite_injector_merges_tick_effects_and_chains_callbacks() {
+        let plans = [
+            FaultPlan::new(FaultKind::GpsBias, 0.5),
+            FaultPlan::new(FaultKind::WindGust, 1.0),
+            FaultPlan::new(FaultKind::PlannerStarvation, 1.0),
+        ];
+        let mut composite = CompositeInjector::new(&plans, 11, &context());
+        assert_eq!(composite.plans().len(), 3);
+        // Late in the mission the GPS bias has ramped in fully.
+        let late = composite.tick(290.0);
+        assert!((late.gps_bias.norm() - 5.0).abs() < 1e-9, "{late:?}");
+        // Inside a starvation window the budget scale drops to the floor.
+        let windows = composite.injectors[2].windows.clone();
+        let starved = composite.pre_planning((windows[0].start + windows[0].end) / 2.0);
+        assert!((starved - 0.01).abs() < 1e-12);
+        // Determinism: the same (plans, seed, context) replays identically.
+        let mut twin = CompositeInjector::new(&plans, 11, &context());
+        for t in 0..300 {
+            assert_eq!(composite.tick(t as f64), twin.tick(t as f64), "t={t}");
+        }
+        // A different seed produces a different realisation.
+        let mut other = CompositeInjector::new(&plans, 12, &context());
+        let diverged = (0..300).any(|t| {
+            composite.injectors[0].tick(t as f64).gps_bias
+                != other.injectors[0].tick(t as f64).gps_bias
+        });
+        assert!(diverged, "seed must steer the composite realisation");
+    }
+
+    #[test]
+    fn composite_sub_seeds_are_stable_per_position() {
+        // Adding an axis must not reshuffle the streams of earlier axes.
+        assert_eq!(
+            CompositeInjector::sub_seed(7, 0),
+            CompositeInjector::sub_seed(7, 0)
+        );
+        assert_ne!(
+            CompositeInjector::sub_seed(7, 0),
+            CompositeInjector::sub_seed(7, 1)
+        );
+        assert_ne!(
+            CompositeInjector::sub_seed(7, 0),
+            CompositeInjector::sub_seed(8, 0)
+        );
+    }
+
+    #[test]
+    fn composite_only_corrupts_clouds_when_a_member_does() {
+        let benign = CompositeInjector::new(
+            &[
+                FaultPlan::new(FaultKind::GpsBias, 0.5),
+                FaultPlan::new(FaultKind::WindGust, 0.5),
+            ],
+            3,
+            &context(),
+        );
+        assert!(!benign.corrupts_depth_clouds());
+        let corrupting = CompositeInjector::new(
+            &[
+                FaultPlan::new(FaultKind::GpsBias, 0.5),
+                FaultPlan::new(FaultKind::DepthCorruption, 0.5),
+            ],
+            3,
+            &context(),
+        );
+        assert!(corrupting.corrupts_depth_clouds());
+    }
+
+    #[test]
+    fn fault_axes_clamp_order_and_interpolate() {
+        let axis = FaultAxis::new(FaultKind::GpsBias, 1.2, 0.25);
+        assert_eq!(axis.min, 0.25);
+        assert_eq!(axis.max, 1.0);
+        assert_eq!(axis.intensity(0.0), 0.25);
+        assert_eq!(axis.intensity(1.0), 1.0);
+        assert!((axis.intensity(0.5) - 0.625).abs() < 1e-12);
+        assert_eq!(axis.intensity(7.0), 1.0, "coordinates clamp");
+        assert_eq!(FaultAxis::full(FaultKind::WindGust).min, 0.0);
+        assert_eq!(axis.label(), "gps-bias");
+    }
+
+    #[test]
+    fn fault_spaces_validate_and_map_points_to_plans() {
+        let space = FaultSpace::new(
+            "occlusion-x-gps",
+            vec![
+                FaultAxis::full(FaultKind::MarkerOcclusion),
+                FaultAxis::new(FaultKind::GpsBias, 0.2, 0.8),
+            ],
+        );
+        space.validate().unwrap();
+        assert_eq!(space.dim(), 2);
+        let plans = space.plans(&[0.5, 0.5]);
+        assert_eq!(plans[0], FaultPlan::new(FaultKind::MarkerOcclusion, 0.5));
+        assert_eq!(plans[1], FaultPlan::new(FaultKind::GpsBias, 0.5));
+        assert_eq!(
+            space.label_point(&[0.5, 0.5]),
+            "marker-occlusion@0.500 + gps-bias@0.500"
+        );
+
+        let empty = FaultSpace::new("empty", vec![]);
+        assert!(empty.validate().is_err());
+        let duplicated = FaultSpace::new(
+            "dup",
+            vec![
+                FaultAxis::full(FaultKind::GpsBias),
+                FaultAxis::new(FaultKind::GpsBias, 0.0, 0.5),
+            ],
+        );
+        assert!(duplicated.validate().is_err());
     }
 }

@@ -1,50 +1,84 @@
-//! Sharded fault-injection campaign engine with falsification search.
+//! Sharded fault-injection campaign engine with multi-dimensional
+//! falsification search.
 //!
 //! The paper's evaluation is a *campaign*: hundreds of missions swept over
 //! scenario suites, weather, system generations and compute platforms
 //! (Tables I–III, Fig. 5). This crate is the engine those sweeps run on, and
-//! the natural extension the falsification literature suggests — actively
-//! searching the fault space for the smallest perturbation that breaks a
-//! landing system.
+//! the extension the falsification literature suggests — actively searching
+//! the *joint* fault space for the smallest perturbation that breaks a
+//! landing system, because failures live at the intersection of stressors.
 //!
-//! The engine has four parts:
+//! # Module map
 //!
-//! * [`faults`] — a deterministic, seed-driven fault model: marker-occlusion
-//!   bursts, detection dropout, spoofed markers, GNSS bias steps, wind-gust
-//!   spikes and compute throttling, each a [`FaultPlan`](faults::FaultPlan)
-//!   the `mls-core` executor consumes through its fault hook.
-//! * [`spec`] — a declarative, serde-serializable
-//!   [`CampaignSpec`](spec::CampaignSpec): scenarios × system variants ×
-//!   compute profiles × fault plans.
-//! * [`runner`] — a work-stealing worker pool over OS threads with
-//!   per-mission deterministic RNG streams, plus the streaming
-//!   [`stats`] accumulators (Welford mean/variance, P² percentiles) the
-//!   per-cell aggregates are built from. Reports are byte-identical for a
-//!   given spec and seed regardless of thread count.
-//! * [`search`] — per-(variant, fault) bisection on fault intensity that
-//!   reports the minimal intensity at which landing reliably fails, and
-//!   [`report`] — JSON/CSV campaign reports.
-//!
-//! Campaigns can additionally fly with the `mls-trace` flight recorder
-//! attached: a [`TracePolicy`] on the spec (`Off` / `FailuresOnly` / `All`)
-//! makes the runner persist per-mission traces, link them from the
-//! [`CampaignReport`](report::CampaignReport) with their Fig. 5 triage
-//! class, and [`CampaignRunner::replay`](runner::CampaignRunner::replay)
-//! re-executes any recorded trace and byte-compares the regenerated event
-//! stream.
+//! * [`faults`] — the deterministic, seed-driven fault model: eight
+//!   [`FaultKind`] axes (occlusion bursts, detection dropout, spoofed
+//!   markers, GNSS bias, wind gusts, compute throttling, depth-cloud
+//!   corruption, planner starvation), each a declarative [`FaultPlan`]
+//!   instantiated into a [`FaultInjector`]; a [`CompositeInjector`] flies
+//!   several plans concurrently, and a [`FaultSpace`] names the intensity
+//!   axes the falsification engine searches over.
+//! * [`spec`] — the declarative, serde-serializable [`CampaignSpec`]:
+//!   scenario-suite dimensions × system variants × compute profiles ×
+//!   single-fault plans and multi-fault `combos`, plus the [`TracePolicy`]
+//!   deciding which missions keep their traces.
+//! * [`runner`] — the self-scheduling worker pool over OS threads with
+//!   per-mission deterministic RNG streams, plus the streaming [`stats`]
+//!   accumulators (Welford mean/variance, P² percentiles) the per-cell
+//!   aggregates are built from. Reports are byte-identical for a given spec
+//!   and seed regardless of thread count, and
+//!   [`CampaignRunner::replay`](runner::CampaignRunner::replay) re-executes
+//!   any recorded trace and byte-compares the regenerated stream.
+//! * [`search`] — the falsification engine: pluggable [`Searcher`]s
+//!   (coarse-to-fine grid refinement, a small self-contained diagonal
+//!   CMA-ES), counterexample minimization onto the failure frontier, and
+//!   capture of each minimal failing point as a triaged, replay-verified
+//!   trace linked from the [`FalsificationReport`].
+//! * [`report`] — JSON/CSV campaign reports ([`CampaignReport`]) with
+//!   per-trace links ([`TraceLink`]) carrying Fig. 5 triage classes.
 //!
 //! # Examples
 //!
 //! Run a small fault campaign end to end:
 //!
 //! ```no_run
-//! use mls_campaign::spec::CampaignSpec;
-//! use mls_campaign::runner::CampaignRunner;
+//! use mls_campaign::{CampaignRunner, CampaignSpec};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let spec = CampaignSpec::smoke();
 //! let report = CampaignRunner::new(4).run(&spec)?;
 //! println!("{}", report.to_json()?);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Falsify a system generation over a two-axis fault space and ship the
+//! minimal counterexample as a replayable trace:
+//!
+//! ```no_run
+//! use mls_campaign::{
+//!     FalsificationConfig, FalsificationSearch, FaultAxis, FaultKind, FaultSpace,
+//!     GridRefinementConfig, Searcher,
+//! };
+//! use mls_core::SystemVariant;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let search = FalsificationSearch::new(FalsificationConfig::default(), 4);
+//! let space = FaultSpace::new(
+//!     "occlusion-x-gps-bias",
+//!     vec![
+//!         FaultAxis::full(FaultKind::MarkerOcclusion),
+//!         FaultAxis::full(FaultKind::GpsBias),
+//!     ],
+//! );
+//! let searcher = Searcher::GridRefinement(GridRefinementConfig::default());
+//! let result = search.falsify(SystemVariant::MlsV1, &space, &searcher)?;
+//! if let Some(ce) = &result.counterexample {
+//!     println!(
+//!         "minimal failure at {} → {:?}",
+//!         space.label_point(&ce.point),
+//!         ce.trace.as_ref().map(|t| &t.path),
+//!     );
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -62,12 +96,18 @@ pub mod search;
 pub mod spec;
 pub mod stats;
 
-pub use faults::{FaultInjector, FaultKind, FaultPlan, MissionFaultContext};
+pub use faults::{
+    CompositeInjector, FaultAxis, FaultInjector, FaultKind, FaultPlan, FaultSpace,
+    MissionFaultContext,
+};
 pub use mls_trace::TracePolicy;
 pub use report::{CampaignReport, CellReport, MetricSummary, TraceLink};
 pub use runner::{execute_sharded, CampaignRunner};
-pub use search::{FalsificationConfig, FalsificationResult, FalsificationSearch};
-pub use spec::{CampaignCell, CampaignSpec};
+pub use search::{
+    CmaEsConfig, Counterexample, FalsificationConfig, FalsificationReport, FalsificationSearch,
+    GridRefinementConfig, ProbePoint, Searcher, SpaceFalsification,
+};
+pub use spec::{fault_point_label, CampaignCell, CampaignSpec};
 pub use stats::{MetricAccumulator, P2Quantile, Welford};
 
 /// Errors produced by the campaign engine.

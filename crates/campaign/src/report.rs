@@ -10,6 +10,7 @@ use mls_core::SystemVariant;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{FaultKind, FaultPlan};
+use crate::spec::fault_point_label;
 use crate::CampaignError;
 
 /// Streaming summary of one scalar metric over a cell's missions.
@@ -46,8 +47,12 @@ impl MetricSummary {
     }
 }
 
-/// Aggregates for one (variant, profile, fault) cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Aggregates for one (variant, profile, fault point) cell.
+///
+/// `Deserialize` is implemented by hand so report JSONs persisted before
+/// multi-fault cells existed (a scalar `fault` key instead of the `faults`
+/// list) still parse — the vendored serde has no `#[serde(default)]`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CellReport {
     /// Cell position in the campaign grid.
     pub index: usize,
@@ -55,8 +60,8 @@ pub struct CellReport {
     pub variant: SystemVariant,
     /// Compute-profile name.
     pub profile: String,
-    /// The fault injected, or `None` for the baseline cell.
-    pub fault: Option<FaultPlan>,
+    /// The fault plans concurrently injected; empty for the baseline cell.
+    pub faults: Vec<FaultPlan>,
     /// Missions flown in the cell.
     pub missions: usize,
     /// Fraction of missions ending in [`mls_core::MissionResult::Success`].
@@ -85,13 +90,51 @@ pub struct CellReport {
     pub gps_drift: MetricSummary,
 }
 
+impl serde::Deserialize for CellReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            index: serde::de_field(value, "index")?,
+            variant: serde::de_field(value, "variant")?,
+            profile: serde::de_field(value, "profile")?,
+            // Reports predating multi-fault cells carry a scalar
+            // `fault: Option<FaultPlan>` instead of the `faults` list.
+            faults: match value.get("faults") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => match value.get("fault") {
+                    Some(inner) => {
+                        let legacy: Option<FaultPlan> = serde::Deserialize::from_value(inner)?;
+                        legacy.into_iter().collect()
+                    }
+                    None => Vec::new(),
+                },
+            },
+            missions: serde::de_field(value, "missions")?,
+            success_rate: serde::de_field(value, "success_rate")?,
+            collision_rate: serde::de_field(value, "collision_rate")?,
+            poor_landing_rate: serde::de_field(value, "poor_landing_rate")?,
+            failsafe_rate: serde::de_field(value, "failsafe_rate")?,
+            false_negative_rate: serde::de_field(value, "false_negative_rate")?,
+            landing_error: serde::de_field(value, "landing_error")?,
+            detection_error: serde::de_field(value, "detection_error")?,
+            duration: serde::de_field(value, "duration")?,
+            mean_cpu: serde::de_field(value, "mean_cpu")?,
+            peak_memory_mb: serde::de_field(value, "peak_memory_mb")?,
+            worst_planning_latency: serde::de_field(value, "worst_planning_latency")?,
+            gps_drift: serde::de_field(value, "gps_drift")?,
+        })
+    }
+}
+
 impl CellReport {
-    /// Stable row label (`MLS-V3/desktop-sil/gps-bias@0.500`).
+    /// Stable row label (`MLS-V3/desktop-sil/gps-bias@0.500`, multi-fault
+    /// plans joined with `+`).
     pub fn label(&self) -> String {
-        let fault = self
-            .fault
-            .map_or_else(|| "baseline".to_string(), |f| f.label());
-        format!("{}/{}/{}", self.variant.label(), self.profile, fault)
+        format!(
+            "{}/{}/{}",
+            self.variant.label(),
+            self.profile,
+            fault_point_label(&self.faults)
+        )
     }
 }
 
@@ -181,12 +224,21 @@ impl CampaignReport {
              p95_landing_error,mean_duration,mean_cpu,p95_planning_latency\n",
         );
         for cell in &self.cells {
-            let (fault, intensity) = match cell.fault {
-                Some(plan) => (
-                    plan.kind.label().to_string(),
-                    format!("{:.3}", plan.intensity),
-                ),
-                None => ("baseline".to_string(), String::new()),
+            let (fault, intensity) = if cell.faults.is_empty() {
+                ("baseline".to_string(), String::new())
+            } else {
+                (
+                    cell.faults
+                        .iter()
+                        .map(|plan| plan.kind.label())
+                        .collect::<Vec<_>>()
+                        .join("+"),
+                    cell.faults
+                        .iter()
+                        .map(|plan| format!("{:.3}", plan.intensity))
+                        .collect::<Vec<_>>()
+                        .join("+"),
+                )
             };
             let opt = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.4}"));
             out.push_str(&format!(
@@ -212,17 +264,37 @@ impl CampaignReport {
         out
     }
 
-    /// Finds a cell by variant, profile name and fault kind (`None` for the
-    /// baseline cell). When several intensities of the same kind exist, the
-    /// first in grid order is returned.
+    /// Finds a cell by variant, profile name and single fault kind (`None`
+    /// for the baseline cell; multi-fault cells never match). When several
+    /// intensities of the same kind exist, the first in grid order is
+    /// returned.
     pub fn cell(
         &self,
         variant: SystemVariant,
         profile: &str,
         fault: Option<FaultKind>,
     ) -> Option<&CellReport> {
+        self.cell_with_kinds(variant, profile, fault.as_slice())
+    }
+
+    /// Finds a cell by variant, profile name and the exact fault-kind
+    /// sequence injected, compared in activation order (`&[]` for the
+    /// baseline cell). When several cells share the kinds at different
+    /// intensities, the first in grid order is returned.
+    pub fn cell_with_kinds(
+        &self,
+        variant: SystemVariant,
+        profile: &str,
+        kinds: &[FaultKind],
+    ) -> Option<&CellReport> {
         self.cells.iter().find(|c| {
-            c.variant == variant && c.profile == profile && c.fault.map(|f| f.kind) == fault
+            c.variant == variant
+                && c.profile == profile
+                && c.faults.len() == kinds.len()
+                && c.faults
+                    .iter()
+                    .zip(kinds)
+                    .all(|(plan, kind)| plan.kind == *kind)
         })
     }
 
@@ -248,7 +320,7 @@ mod tests {
             index,
             variant,
             profile: "desktop-sil".to_string(),
-            fault,
+            faults: fault.into_iter().collect(),
             missions: 4,
             success_rate: 0.75,
             collision_rate: 0.25,
@@ -310,6 +382,77 @@ mod tests {
         let parsed = CampaignReport::from_json(&legacy).unwrap();
         assert!(parsed.traces.is_empty());
         assert_eq!(parsed.cells.len(), 2);
+    }
+
+    #[test]
+    fn legacy_cells_with_a_scalar_fault_key_still_parse() {
+        // A report cell persisted before multi-fault cells existed: the
+        // `faults` list replaced a scalar `fault: Option<FaultPlan>`.
+        let json = report().to_json().unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("report serialises to an object");
+        };
+        for (key, value) in &mut fields {
+            if key != "cells" {
+                continue;
+            }
+            let serde::Value::Array(cells) = value else {
+                panic!("cells serialise to an array");
+            };
+            for cell in cells {
+                let serde::Value::Object(cell_fields) = cell else {
+                    panic!("a cell serialises to an object");
+                };
+                for (cell_key, cell_value) in cell_fields.iter_mut() {
+                    if cell_key == "faults" {
+                        let serde::Value::Array(plans) = &*cell_value else {
+                            panic!("faults serialise to an array");
+                        };
+                        *cell_key = "fault".to_string();
+                        *cell_value = plans.first().cloned().unwrap_or(serde::Value::Null);
+                    }
+                }
+            }
+        }
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed = CampaignReport::from_json(&legacy).unwrap();
+        assert!(parsed.cells[0].faults.is_empty());
+        assert_eq!(
+            parsed.cells[1].faults,
+            vec![FaultPlan::new(FaultKind::GpsBias, 0.5)]
+        );
+    }
+
+    #[test]
+    fn multi_fault_cells_render_joined_labels_and_csv_columns() {
+        let mut report = report();
+        report.cells[1].faults = vec![
+            FaultPlan::new(FaultKind::MarkerOcclusion, 0.4),
+            FaultPlan::new(FaultKind::GpsBias, 0.6),
+        ];
+        assert_eq!(
+            report.cells[1].label(),
+            "MLS-V1/desktop-sil/marker-occlusion@0.400+gps-bias@0.600"
+        );
+        let csv = report.to_csv();
+        let row = csv.lines().nth(2).unwrap();
+        assert!(row.contains("marker-occlusion+gps-bias"), "{row}");
+        assert!(row.contains("0.400+0.600"), "{row}");
+        // The exact-kinds lookup finds it; the single-kind lookup does not.
+        assert!(report
+            .cell_with_kinds(
+                SystemVariant::MlsV1,
+                "desktop-sil",
+                &[FaultKind::MarkerOcclusion, FaultKind::GpsBias],
+            )
+            .is_some());
+        assert!(report
+            .cell(
+                SystemVariant::MlsV1,
+                "desktop-sil",
+                Some(FaultKind::GpsBias)
+            )
+            .is_none());
     }
 
     #[test]

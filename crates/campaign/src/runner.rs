@@ -24,7 +24,7 @@ use mls_trace::{
     triage, verify_replay, RecorderConfig, ReplayVerdict, Trace, TraceHeader, TraceRecorder,
 };
 
-use crate::faults::MissionFaultContext;
+use crate::faults::{CompositeInjector, MissionFaultContext};
 use crate::report::{CampaignReport, CellReport, TraceLink};
 use crate::spec::{CampaignCell, CampaignSpec};
 use crate::stats::MetricAccumulator;
@@ -323,18 +323,26 @@ impl CampaignRunner {
             spec.executor.clone(),
             seed,
         )?;
-        if let Some(plan) = cell.fault {
+        if !cell.faults.is_empty() {
             let context = MissionFaultContext {
                 target_marker_id: scenario.target_marker_id,
                 gps_target: scenario.gps_target,
                 marker_size: scenario.marker_size,
                 max_duration: spec.executor.max_duration,
             };
-            executor = executor.with_fault_hook(Box::new(plan.injector(seed, &context)));
+            // A single plan keeps the raw mission seed for its injector
+            // stream (the composite sub-seed derivation only engages when
+            // plans actually compose); several plans compose on derived
+            // per-plan sub-seeds.
+            executor = match cell.faults.as_slice() {
+                [plan] => executor.with_fault_hook(Box::new(plan.injector(seed, &context))),
+                plans => executor
+                    .with_fault_hook(Box::new(CompositeInjector::new(plans, seed, &context))),
+            };
         }
         let mut handle = None;
         if let Some(config) = recorder {
-            let header = config.header(
+            let mut header = config.header(
                 &spec.name,
                 seed,
                 cell.variant,
@@ -344,6 +352,18 @@ impl CampaignRunner {
                 repeat,
                 config_hash,
             );
+            // Stamp the fault-space point the mission flies, so the trace is
+            // self-describing about its falsification coordinates. Replay
+            // regenerates the same stamp from the spec's cell, keeping the
+            // header byte-comparison exact.
+            header.coordinates = cell
+                .faults
+                .iter()
+                .map(|plan| mls_trace::AxisCoordinate {
+                    axis: plan.kind.label().to_string(),
+                    value: plan.intensity,
+                })
+                .collect();
             let trace_recorder = TraceRecorder::new(header);
             handle = Some(trace_recorder.handle());
             executor = executor.with_trace_sink(Box::new(trace_recorder));
@@ -468,7 +488,7 @@ fn aggregate_cell(cell: &CampaignCell, records: &[MissionRecord]) -> CellReport 
         index: cell.index,
         variant: cell.variant,
         profile: cell.profile.clone(),
-        fault: cell.fault,
+        faults: cell.faults.clone(),
         missions: records.len(),
         success_rate: rate(&|r| r.result == MissionResult::Success),
         collision_rate: rate(&|r| r.result == MissionResult::CollisionFailure),

@@ -1,22 +1,43 @@
-//! Falsification search: the minimal fault intensity that breaks a system.
+//! Multi-dimensional falsification search with replayable counterexamples.
 //!
 //! Fixed benchmark grids answer "how often does the system land under fault
 //! X at intensity Y"; falsification asks the sharper dependability question —
-//! *how small a perturbation suffices to make landing fail?* Following the
-//! approach of "Falsification of a Vision-based Automatic Landing System",
-//! the search treats the campaign engine as a black-box oracle and bisects
-//! the intensity axis per (variant, fault kind), assuming the failure
-//! response is monotone in intensity (the fault model is built that way:
-//! every kind's severity scales monotonically with its intensity knob).
+//! *what is the smallest perturbation that makes landing fail?* The paper's
+//! core lesson is that failures live at the *intersection* of stressors
+//! (marker occlusion during GPS drift, wind on a starved planner), so the
+//! search domain here is a [`FaultSpace`]: named intensity axes searched
+//! jointly, following the optimization-based approach of "Falsification of a
+//! Vision-based Automatic Landing System" (arXiv:2307.01925).
 //!
-//! Each probe is itself a deterministic mini-campaign, so the whole search is
-//! reproducible from one seed.
+//! The engine has three stages, all driven through one memoised oracle (a
+//! deterministic mini-campaign per probe, so the whole search reproduces
+//! from one seed):
+//!
+//! 1. **Search** — a pluggable [`Searcher`] hunts a failing point in the
+//!    normalized unit cube: [`Searcher::GridRefinement`] sweeps a coarse
+//!    lattice and recursively refines around the lowest-severity failure;
+//!    [`Searcher::CmaEs`] runs a small, self-contained (diagonal) CMA-ES on
+//!    the workspace's deterministic RNG.
+//! 2. **Minimization** — coordinate-descent shrinking: each axis of the
+//!    failing point is bisected toward zero while the failure persists, for
+//!    several passes, leaving a point *on the failure frontier* (lowering
+//!    any single axis further makes the system pass again).
+//! 3. **Capture** — the minimal point is re-flown with the flight recorder
+//!    on; the first failing mission's trace is persisted, triaged against
+//!    the Fig. 5 taxonomy, linked into the result and replay-verified
+//!    byte-for-byte. A minimal counterexample ships as a file, not a number.
+
+use std::collections::HashMap;
+use std::path::Path;
 
 use mls_compute::ComputeProfile;
 use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::faults::{FaultKind, FaultPlan};
+use crate::faults::{FaultPlan, FaultSpace};
+use crate::report::TraceLink;
 use crate::runner::CampaignRunner;
 use crate::spec::CampaignSpec;
 use crate::CampaignError;
@@ -32,11 +53,13 @@ pub struct FalsificationConfig {
     pub scenarios_per_map: usize,
     /// Repetitions per scenario per probe.
     pub repeats: usize,
-    /// Bisection refinement steps after the initial bracket (each halves the
-    /// intensity interval; 6 steps give a resolution of ~0.016).
-    pub iterations: usize,
     /// A probe "fails" when its success rate drops below this threshold.
     pub failure_threshold: f64,
+    /// Coordinate-descent passes of the counterexample minimizer.
+    pub minimizer_passes: usize,
+    /// Bisection steps per axis per minimizer pass (5 steps resolve an axis
+    /// to ~3 % of its span).
+    pub minimizer_bisections: usize,
     /// Compute platform the probes fly on.
     pub profile: ComputeProfile,
     /// Landing-system configuration.
@@ -52,8 +75,9 @@ impl Default for FalsificationConfig {
             maps: 2,
             scenarios_per_map: 4,
             repeats: 1,
-            iterations: 5,
             failure_threshold: 0.5,
+            minimizer_passes: 2,
+            minimizer_bisections: 5,
             profile: ComputeProfile::desktop_sil(),
             landing: LandingConfig::default(),
             executor: ExecutorConfig::default(),
@@ -61,46 +85,473 @@ impl Default for FalsificationConfig {
     }
 }
 
-/// One evaluated point of the search.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ProbePoint {
-    /// Fault intensity probed.
-    pub intensity: f64,
-    /// Landing success rate observed at that intensity.
-    pub success_rate: f64,
+/// Coarse-to-fine lattice refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridRefinementConfig {
+    /// Lattice points per axis (≥ 2); 3 probes each axis at 0, ½ and 1.
+    pub resolution: usize,
+    /// Refinement rounds after the initial lattice; each halves the span of
+    /// the lattice around the lowest-severity failing point.
+    pub rounds: usize,
 }
 
-/// The outcome of falsifying one (variant, fault kind) pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FalsificationResult {
-    /// System generation probed.
-    pub variant: SystemVariant,
-    /// Fault axis probed.
-    pub kind: FaultKind,
-    /// Success rate with no fault injected.
-    pub baseline_success_rate: f64,
-    /// The minimal intensity at which the success rate falls below the
-    /// failure threshold, to bisection resolution; `None` when even
-    /// intensity 1.0 does not falsify the system.
-    pub minimal_intensity: Option<f64>,
-    /// Success rate observed at `minimal_intensity`.
-    pub success_at_minimal: Option<f64>,
-    /// Every probe evaluated, in evaluation order.
-    pub probes: Vec<ProbePoint>,
-}
-
-impl FalsificationResult {
-    /// Width of the final intensity bracket (the search's resolution).
-    pub fn resolution(iterations: usize) -> f64 {
-        1.0 / (1u64 << iterations.min(53)) as f64
+impl Default for GridRefinementConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 3,
+            rounds: 2,
+        }
     }
 }
 
-/// Bisection-based falsification search over the fault-intensity axis.
+/// A small, self-contained (μ/μ-weighted, λ) evolution strategy with
+/// diagonal covariance adaptation — the CMA-ES variant that needs no
+/// eigendecomposition, which keeps it dependency-free on the vendored RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CmaEsConfig {
+    /// Candidates per generation (λ).
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Initial global step size σ, in normalized axis units.
+    pub initial_step: f64,
+    /// RNG seed of the sampler (independent of the campaign seed, so the
+    /// same probe suite can be searched with different exploration streams).
+    pub seed: u64,
+}
+
+impl Default for CmaEsConfig {
+    fn default() -> Self {
+        Self {
+            population: 8,
+            generations: 8,
+            initial_step: 0.3,
+            seed: 7,
+        }
+    }
+}
+
+/// The pluggable search strategy hunting a failing point in `[0, 1]^d`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Searcher {
+    /// Coarse lattice sweep with recursive refinement around the
+    /// lowest-severity failure.
+    GridRefinement(GridRefinementConfig),
+    /// Diagonal CMA-ES steered toward low-success, low-severity points.
+    CmaEs(CmaEsConfig),
+}
+
+impl Searcher {
+    /// Stable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Searcher::GridRefinement(_) => "grid-refinement",
+            Searcher::CmaEs(_) => "cma-es",
+        }
+    }
+}
+
+/// One evaluated point of the search, in evaluation order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbePoint {
+    /// Normalized coordinates in `[0, 1]^d` (one per space axis).
+    pub point: Vec<f64>,
+    /// Landing success rate observed at that point.
+    pub success_rate: f64,
+}
+
+/// A minimal failing point of a fault space, with its replayable artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// Normalized coordinates of the minimized failing point.
+    pub point: Vec<f64>,
+    /// The concrete fault plans the point maps onto (axis intensities).
+    pub plans: Vec<FaultPlan>,
+    /// Success rate measured at the minimized point — below the failure
+    /// threshold, except in the degenerate case of a failing baseline on a
+    /// space whose floored axes make even the origin a genuine injection.
+    pub success_rate: f64,
+    /// The first failing mission's persisted trace, with its triage class.
+    pub trace: Option<TraceLink>,
+    /// Whether the trace replayed byte-identically when re-executed from
+    /// its (seed, spec); `None` when no trace was captured.
+    pub replay_identical: Option<bool>,
+}
+
+/// The outcome of falsifying one (variant, fault space) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceFalsification {
+    /// The fault space searched.
+    pub space: FaultSpace,
+    /// System generation probed.
+    pub variant: SystemVariant,
+    /// Label of the searcher used.
+    pub searcher: String,
+    /// Success rate with no fault injected.
+    pub baseline_success_rate: f64,
+    /// The minimized counterexample, or `None` when no point of the space
+    /// falsified the system (not even the all-axes-at-max corner).
+    pub counterexample: Option<Counterexample>,
+    /// Every distinct point evaluated, in evaluation order (memoised
+    /// re-visits are not repeated).
+    pub probes: Vec<ProbePoint>,
+}
+
+/// A complete falsification study over several (variant, space) pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FalsificationReport {
+    /// One result per searched (variant, space) pair, in input order.
+    pub results: Vec<SpaceFalsification>,
+}
+
+impl FalsificationReport {
+    /// Serialises the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Serialize`] when serde rejects the value.
+    pub fn to_json(&self) -> Result<String, CampaignError> {
+        serde_json::to_string_pretty(self).map_err(|e| CampaignError::Serialize(e.to_string()))
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Serialize`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        serde_json::from_str(text).map_err(|e| CampaignError::Serialize(e.to_string()))
+    }
+
+    /// Renders the headline columns as CSV (one row per searched space).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "space,variant,searcher,axes,baseline_success_rate,probes,falsified,\
+             counterexample,success_at_counterexample,triage,replay_identical,trace\n",
+        );
+        for result in &self.results {
+            let (counterexample, success, triage, replay, trace) = match &result.counterexample {
+                Some(ce) => (
+                    crate::spec::fault_point_label(&ce.plans),
+                    format!("{:.4}", ce.success_rate),
+                    ce.trace
+                        .as_ref()
+                        .and_then(|t| t.triage.clone())
+                        .unwrap_or_default(),
+                    ce.replay_identical
+                        .map(|ok| ok.to_string())
+                        .unwrap_or_default(),
+                    ce.trace
+                        .as_ref()
+                        .map(|t| t.path.clone())
+                        .unwrap_or_default(),
+                ),
+                None => Default::default(),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{:.4},{},{},{},{},{},{},{}\n",
+                result.space.name,
+                result.variant.label(),
+                result.searcher,
+                result.space.dim(),
+                result.baseline_success_rate,
+                result.probes.len(),
+                result.counterexample.is_some(),
+                counterexample,
+                success,
+                triage,
+                replay,
+                trace,
+            ));
+        }
+        out
+    }
+}
+
+/// The probe evaluation a searcher drives: normalized point → success rate.
+type ProbeFn<'a> = Box<dyn FnMut(&[f64]) -> Result<f64, CampaignError> + 'a>;
+
+/// The memoised probe oracle: maps a normalized point onto a landing success
+/// rate, evaluating each distinct point at most once.
+struct Oracle<'a> {
+    evaluate: ProbeFn<'a>,
+    cache: HashMap<Vec<u64>, f64>,
+    probes: Vec<ProbePoint>,
+}
+
+impl<'a> Oracle<'a> {
+    fn new(evaluate: impl FnMut(&[f64]) -> Result<f64, CampaignError> + 'a) -> Self {
+        Self {
+            evaluate: Box::new(evaluate),
+            cache: HashMap::new(),
+            probes: Vec::new(),
+        }
+    }
+
+    /// Cache key: coordinates quantized to 1e-9 (far below any searcher's
+    /// resolution), so float jitter cannot double-fly a probe.
+    fn key(point: &[f64]) -> Vec<u64> {
+        point.iter().map(|&x| (x * 1e9).round() as u64).collect()
+    }
+
+    /// Seeds the cache with an externally measured rate (the baseline
+    /// campaign standing in for the all-no-op origin probe).
+    fn prime(&mut self, point: &[f64], success_rate: f64) {
+        self.cache.insert(Self::key(point), success_rate);
+    }
+
+    fn success_rate(&mut self, point: &[f64]) -> Result<f64, CampaignError> {
+        let key = Self::key(point);
+        if let Some(&rate) = self.cache.get(&key) {
+            return Ok(rate);
+        }
+        let rate = (self.evaluate)(point)?;
+        self.cache.insert(key, rate);
+        self.probes.push(ProbePoint {
+            point: point.to_vec(),
+            success_rate: rate,
+        });
+        Ok(rate)
+    }
+
+    fn fails(&mut self, point: &[f64], threshold: f64) -> Result<bool, CampaignError> {
+        Ok(self.success_rate(point)? < threshold)
+    }
+}
+
+/// Euclidean norm of a normalized point — the severity order the searchers
+/// and the minimizer prefer lower values of.
+fn severity(point: &[f64]) -> f64 {
+    point.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+impl Searcher {
+    /// Hunts a failing point in `[0, 1]^dim`, preferring low severity.
+    fn find_failure(
+        &self,
+        dim: usize,
+        threshold: f64,
+        oracle: &mut Oracle,
+    ) -> Result<Option<Vec<f64>>, CampaignError> {
+        match self {
+            Searcher::GridRefinement(config) => grid_refinement(config, dim, threshold, oracle),
+            Searcher::CmaEs(config) => cma_es(config, dim, threshold, oracle),
+        }
+    }
+}
+
+/// Sweeps a `resolution^dim` lattice over the given box and returns the
+/// lowest-severity failing point.
+fn sweep_lattice(
+    center: &[f64],
+    span: f64,
+    resolution: usize,
+    threshold: f64,
+    oracle: &mut Oracle,
+) -> Result<Option<Vec<f64>>, CampaignError> {
+    let dim = center.len();
+    let resolution = resolution.max(2);
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut index = vec![0usize; dim];
+    loop {
+        let point: Vec<f64> = index
+            .iter()
+            .zip(center)
+            .map(|(&i, &c)| {
+                let offset = i as f64 / (resolution - 1) as f64 - 0.5;
+                (c + offset * span).clamp(0.0, 1.0)
+            })
+            .collect();
+        if oracle.fails(&point, threshold)? {
+            let norm = severity(&point);
+            if best.as_ref().map(|(b, _)| norm < *b).unwrap_or(true) {
+                best = Some((norm, point));
+            }
+        }
+        // Odometer increment over the lattice indices.
+        let mut axis = 0;
+        loop {
+            if axis == dim {
+                return Ok(best.map(|(_, point)| point));
+            }
+            index[axis] += 1;
+            if index[axis] < resolution {
+                break;
+            }
+            index[axis] = 0;
+            axis += 1;
+        }
+    }
+}
+
+/// Coarse-to-fine refinement: a full-cube lattice, then progressively
+/// halved lattices centred on the lowest-severity failing point.
+fn grid_refinement(
+    config: &GridRefinementConfig,
+    dim: usize,
+    threshold: f64,
+    oracle: &mut Oracle,
+) -> Result<Option<Vec<f64>>, CampaignError> {
+    let center = vec![0.5; dim];
+    let Some(mut best) = sweep_lattice(&center, 1.0, config.resolution, threshold, oracle)? else {
+        return Ok(None);
+    };
+    let mut span = 1.0;
+    for _ in 0..config.rounds {
+        span /= 2.0;
+        if let Some(better) = sweep_lattice(&best, span, config.resolution, threshold, oracle)? {
+            if severity(&better) < severity(&best) {
+                best = better;
+            }
+        }
+    }
+    Ok(Some(best))
+}
+
+/// One standard-normal draw (Box–Muller on the vendored uniform stream).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = (1.0 - rng.random::<f64>()).max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Diagonal CMA-ES: weighted-recombination mean update, per-axis variance
+/// adaptation, multiplicative step-size control. The objective ranks failing
+/// points by severity (lower is better) strictly below passing points, and
+/// passing points by how close their success rate is to the threshold — so
+/// the population walks downhill toward the failure frontier and then along
+/// it toward the origin.
+fn cma_es(
+    config: &CmaEsConfig,
+    dim: usize,
+    threshold: f64,
+    oracle: &mut Oracle,
+) -> Result<Option<Vec<f64>>, CampaignError> {
+    let population = config.population.max(4);
+    let parents = population / 2;
+    // Log-rank recombination weights, normalized.
+    let raw: Vec<f64> = (0..parents)
+        .map(|i| ((parents + 1) as f64).ln() - ((i + 1) as f64).ln())
+        .collect();
+    let total: f64 = raw.iter().sum();
+    let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
+    let variance_rate = 0.3;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut mean = vec![0.5; dim];
+    let mut axis_scale = vec![1.0; dim];
+    let mut sigma = config.initial_step.clamp(1e-3, 1.0);
+    let mut best: Option<(f64, Vec<f64>)> = None;
+
+    for _ in 0..config.generations.max(1) {
+        // Sample and score one generation.
+        let mut scored: Vec<(f64, Vec<f64>, Vec<f64>)> = Vec::with_capacity(population);
+        for _ in 0..population {
+            let steps: Vec<f64> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+            let candidate: Vec<f64> = (0..dim)
+                .map(|j| (mean[j] + sigma * axis_scale[j] * steps[j]).clamp(0.0, 1.0))
+                .collect();
+            let success = oracle.success_rate(&candidate)?;
+            let score = if success < threshold {
+                // Failing: strictly better than any passing point, ranked by
+                // severity so the strategy minimizes the counterexample.
+                let norm = severity(&candidate);
+                if best.as_ref().map(|(b, _)| norm < *b).unwrap_or(true) {
+                    best = Some((norm, candidate.clone()));
+                }
+                norm / (dim as f64).sqrt() - 2.0
+            } else {
+                success - threshold
+            };
+            scored.push((score, candidate, steps));
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Weighted recombination of the μ best.
+        let old_mean = mean.clone();
+        for j in 0..dim {
+            mean[j] = scored
+                .iter()
+                .take(parents)
+                .zip(&weights)
+                .map(|((_, candidate, _), w)| w * candidate[j])
+                .sum();
+        }
+        // Per-axis variance adaptation from the selected steps.
+        for j in 0..dim {
+            let selected: f64 = scored
+                .iter()
+                .take(parents)
+                .zip(&weights)
+                .map(|((_, _, steps), w)| w * steps[j] * steps[j])
+                .sum();
+            let adapted = (1.0 - variance_rate) * axis_scale[j] * axis_scale[j]
+                + variance_rate * axis_scale[j] * axis_scale[j] * selected;
+            axis_scale[j] = adapted.sqrt().clamp(1e-3, 10.0);
+        }
+        // Step-size control: expand while exploring, contract once the mean
+        // settles (mean displacement against the expected step).
+        let displacement: f64 = mean
+            .iter()
+            .zip(&old_mean)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        if displacement > sigma * 0.5 {
+            sigma = (sigma * 1.2).min(1.0);
+        } else {
+            sigma = (sigma * 0.8).max(1e-3);
+        }
+    }
+    Ok(best.map(|(_, point)| point))
+}
+
+/// Coordinate-descent minimization: bisect each axis toward zero while the
+/// failure persists, for the configured number of passes. The invariant is
+/// that the returned point always fails; after the final pass every axis
+/// sits on the failure frontier at the bisection resolution.
+fn minimize(
+    point: Vec<f64>,
+    threshold: f64,
+    passes: usize,
+    bisections: usize,
+    oracle: &mut Oracle,
+) -> Result<Vec<f64>, CampaignError> {
+    let mut minimal = point;
+    for _ in 0..passes.max(1) {
+        for axis in 0..minimal.len() {
+            if minimal[axis] <= 0.0 {
+                continue;
+            }
+            let mut probe = minimal.clone();
+            probe[axis] = 0.0;
+            if oracle.fails(&probe, threshold)? {
+                minimal[axis] = 0.0;
+                continue;
+            }
+            // Invariant: `lo` passes, `hi` fails.
+            let (mut lo, mut hi) = (0.0, minimal[axis]);
+            for _ in 0..bisections.max(1) {
+                let mid = (lo + hi) / 2.0;
+                probe[axis] = mid;
+                if oracle.fails(&probe, threshold)? {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            minimal[axis] = hi;
+        }
+    }
+    Ok(minimal)
+}
+
+/// The multi-dimensional falsification engine.
 #[derive(Debug, Clone)]
 pub struct FalsificationSearch {
     config: FalsificationConfig,
     runner: CampaignRunner,
+    trace_dir: Option<std::path::PathBuf>,
 }
 
 impl FalsificationSearch {
@@ -109,6 +560,7 @@ impl FalsificationSearch {
         Self {
             config,
             runner: CampaignRunner::new(threads),
+            trace_dir: None,
         }
     }
 
@@ -117,167 +569,398 @@ impl FalsificationSearch {
         &self.config
     }
 
-    /// Falsifies every (variant, kind) pair of the cartesian product,
-    /// returning results in sweep order.
+    /// The campaign runner probes fly on (shared with replay verification).
+    pub fn runner(&self) -> &CampaignRunner {
+        &self.runner
+    }
+
+    /// Overrides the base directory counterexample traces are persisted in:
+    /// each space still gets its own `falsify-<space name>` subdirectory, so
+    /// searching several spaces never collides on trace filenames (default
+    /// base: `traces/`).
+    #[must_use]
+    pub fn with_trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Falsifies one (variant, fault space) pair: search, minimize, capture.
     ///
     /// # Errors
     ///
-    /// Returns an error when a probe campaign fails to run.
-    pub fn run(
+    /// Returns an error when the space is degenerate or a probe campaign
+    /// fails to run.
+    pub fn falsify(
         &self,
-        variants: &[SystemVariant],
-        kinds: &[FaultKind],
-    ) -> Result<Vec<FalsificationResult>, CampaignError> {
+        variant: SystemVariant,
+        space: &FaultSpace,
+        searcher: &Searcher,
+    ) -> Result<SpaceFalsification, CampaignError> {
+        space.validate()?;
         // One scenario suite serves every probe of the search: probes differ
-        // only in variant and fault plan, never in the world flown over.
+        // only in their fault point, never in the world flown over.
         let scenarios = self
             .runner
-            .generate_scenarios(&self.probe_spec(None, None))?;
-        let mut results = Vec::with_capacity(variants.len() * kinds.len());
-        for &variant in variants {
-            let baseline = self.probe(variant, None, &scenarios)?;
-            for &kind in kinds {
-                results.push(self.bisect(variant, kind, baseline, &scenarios)?);
-            }
-        }
-        Ok(results)
-    }
+            .generate_scenarios(&self.probe_spec(variant, space, &[]))?;
 
-    /// Falsifies a single (variant, kind) pair.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when a probe campaign fails to run.
-    pub fn minimal_intensity(
-        &self,
-        variant: SystemVariant,
-        kind: FaultKind,
-    ) -> Result<FalsificationResult, CampaignError> {
-        let scenarios = self
-            .runner
-            .generate_scenarios(&self.probe_spec(None, None))?;
-        let baseline = self.probe(variant, None, &scenarios)?;
-        self.bisect(variant, kind, baseline, &scenarios)
-    }
-
-    fn bisect(
-        &self,
-        variant: SystemVariant,
-        kind: FaultKind,
-        baseline_success_rate: f64,
-        scenarios: &[mls_sim_world::Scenario],
-    ) -> Result<FalsificationResult, CampaignError> {
-        let mut probes = Vec::new();
         let threshold = self.config.failure_threshold;
-        let mut record = |intensity: f64, success_rate: f64| {
-            probes.push(ProbePoint {
-                intensity,
-                success_rate,
-            });
+        let runner = &self.runner;
+        let config = &self.config;
+        let mut oracle = Oracle::new(|point: &[f64]| {
+            let spec = probe_spec_for(config, variant, space, &space.plans(point));
+            let report = runner.run_with_scenarios(&spec, &scenarios)?;
+            Ok(report.cells[0].success_rate)
+        });
+
+        let baseline_spec = self.probe_spec(variant, space, &[]);
+        let baseline_success_rate = self
+            .runner
+            .run_with_scenarios(&baseline_spec, &scenarios)?
+            .cells[0]
+            .success_rate;
+
+        // Intensity 0 is a guaranteed no-op for every fault kind, so when
+        // the space's origin maps onto all-zero intensities its probe is the
+        // baseline campaign — prime the cache instead of re-flying it.
+        let origin = vec![0.0; space.dim()];
+        let origin_is_noop = space
+            .plans(&origin)
+            .iter()
+            .all(|plan| plan.intensity == 0.0);
+        if origin_is_noop {
+            oracle.prime(&origin, baseline_success_rate);
+        }
+
+        // A failing baseline means the origin already falsifies: the space
+        // is degenerate for this variant, and the origin is trivially the
+        // minimal counterexample.
+        let found = if baseline_success_rate < threshold {
+            Some(origin)
+        } else {
+            match searcher.find_failure(space.dim(), threshold, &mut oracle)? {
+                Some(point) => Some(point),
+                // Bracket before concluding "unfalsifiable": a stochastic
+                // searcher (CMA-ES) may exhaust its budget without ever
+                // sampling the worst corner, and `counterexample: None`
+                // promises that not even all-axes-at-max breaks the system.
+                None => {
+                    let corner = vec![1.0; space.dim()];
+                    oracle.fails(&corner, threshold)?.then_some(corner)
+                }
+            }
         };
 
-        // The baseline itself failing means intensity 0 already falsifies:
-        // the fault axis is irrelevant for this variant.
-        if baseline_success_rate < threshold {
-            return Ok(FalsificationResult {
-                variant,
-                kind,
-                baseline_success_rate,
-                minimal_intensity: Some(0.0),
-                success_at_minimal: Some(baseline_success_rate),
-                probes,
-            });
-        }
-
-        // Bracket: does the worst-case injection falsify at all?
-        let at_max = self.probe(variant, Some(FaultPlan::new(kind, 1.0)), scenarios)?;
-        record(1.0, at_max);
-        if at_max >= threshold {
-            return Ok(FalsificationResult {
-                variant,
-                kind,
-                baseline_success_rate,
-                minimal_intensity: None,
-                success_at_minimal: None,
-                probes,
-            });
-        }
-
-        // Invariant: `lo` passes (success ≥ threshold), `hi` fails.
-        let (mut lo, mut hi) = (0.0f64, 1.0f64);
-        let mut success_at_hi = at_max;
-        for _ in 0..self.config.iterations {
-            let mid = (lo + hi) / 2.0;
-            let success = self.probe(variant, Some(FaultPlan::new(kind, mid)), scenarios)?;
-            record(mid, success);
-            if success < threshold {
-                hi = mid;
-                success_at_hi = success;
-            } else {
-                lo = mid;
+        let counterexample = match found {
+            None => None,
+            Some(point) => {
+                let minimal = minimize(
+                    point,
+                    threshold,
+                    self.config.minimizer_passes,
+                    self.config.minimizer_bisections,
+                    &mut oracle,
+                )?;
+                // The memoised oracle reports the success rate actually
+                // measured at the minimized point; with a primed origin this
+                // is the baseline rate exactly when the point injects
+                // nothing, and a real measurement when floored axes make
+                // even the origin a genuine injection.
+                let success_rate = oracle.success_rate(&minimal)?;
+                let (trace, replay_identical) =
+                    self.capture(variant, space, &minimal, &scenarios)?;
+                Some(Counterexample {
+                    plans: space.plans(&minimal),
+                    point: minimal,
+                    success_rate,
+                    trace,
+                    replay_identical,
+                })
             }
-        }
+        };
 
-        Ok(FalsificationResult {
+        Ok(SpaceFalsification {
+            space: space.clone(),
             variant,
-            kind,
+            searcher: searcher.label().to_string(),
             baseline_success_rate,
-            minimal_intensity: Some(hi),
-            success_at_minimal: Some(success_at_hi),
-            probes,
+            counterexample,
+            probes: oracle.probes,
         })
     }
 
-    /// The spec of one probe campaign. `variant: None` yields a template
-    /// spec (used only for scenario generation, which ignores the variant).
-    fn probe_spec(&self, variant: Option<SystemVariant>, fault: Option<FaultPlan>) -> CampaignSpec {
-        let config = &self.config;
-        CampaignSpec {
-            name: "falsification-probe".to_string(),
-            seed: config.seed,
-            maps: config.maps,
-            scenarios_per_map: config.scenarios_per_map,
-            repeats: config.repeats,
-            variants: vec![variant.unwrap_or(SystemVariant::MlsV1)],
-            profiles: vec![config.profile.clone()],
-            baseline: fault.is_none(),
-            faults: fault.into_iter().collect(),
-            landing: config.landing.clone(),
-            executor: config.executor.clone(),
-            capture: mls_trace::TracePolicy::Off,
+    /// Falsifies several (variant, space) pairs with one searcher, returning
+    /// a combined report in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FalsificationSearch::falsify`] errors.
+    pub fn falsify_all(
+        &self,
+        targets: &[(SystemVariant, FaultSpace)],
+        searcher: &Searcher,
+    ) -> Result<FalsificationReport, CampaignError> {
+        let mut results = Vec::with_capacity(targets.len());
+        for (variant, space) in targets {
+            results.push(self.falsify(*variant, space, searcher)?);
         }
+        Ok(FalsificationReport { results })
     }
 
-    /// Runs one probe campaign over the shared suite and returns its landing
-    /// success rate.
-    fn probe(
+    /// Re-flies the minimized point with the flight recorder on, persists
+    /// the first failing mission's trace and verifies it replays
+    /// byte-identically.
+    fn capture(
         &self,
         variant: SystemVariant,
-        fault: Option<FaultPlan>,
+        space: &FaultSpace,
+        point: &[f64],
         scenarios: &[mls_sim_world::Scenario],
-    ) -> Result<f64, CampaignError> {
-        let spec = self.probe_spec(Some(variant), fault);
-        let report = self.runner.run_with_scenarios(&spec, scenarios)?;
-        Ok(report.cells[0].success_rate)
+    ) -> Result<(Option<TraceLink>, Option<bool>), CampaignError> {
+        let mut spec = self.probe_spec(variant, space, &space.plans(point));
+        spec.capture = mls_trace::TracePolicy::FailuresOnly;
+        // Under a custom base dir every space keeps its own subdirectory
+        // (the spec name), matching the runner's per-spec default layout.
+        let runner = match &self.trace_dir {
+            Some(base) => self.runner.clone().with_trace_dir(base.join(&spec.name)),
+            None => self.runner.clone(),
+        };
+        let report = runner.run_with_scenarios(&spec, scenarios)?;
+        let Some(link) = report.traces.first().cloned() else {
+            return Ok((None, None));
+        };
+        let trace = mls_trace::Trace::read_from(Path::new(&link.path))?;
+        let verdict = runner.replay(&spec, scenarios, &trace)?;
+        Ok((Some(link), Some(verdict.is_identical())))
+    }
+
+    /// The spec of one probe campaign at a fault point (`plans` empty for
+    /// the baseline probe).
+    fn probe_spec(
+        &self,
+        variant: SystemVariant,
+        space: &FaultSpace,
+        plans: &[FaultPlan],
+    ) -> CampaignSpec {
+        probe_spec_for(&self.config, variant, space, plans)
+    }
+}
+
+/// Free-function form of the probe spec so the oracle closure can borrow the
+/// config while the search object stays shared.
+fn probe_spec_for(
+    config: &FalsificationConfig,
+    variant: SystemVariant,
+    space: &FaultSpace,
+    plans: &[FaultPlan],
+) -> CampaignSpec {
+    CampaignSpec {
+        name: format!("falsify-{}", space.name),
+        seed: config.seed,
+        maps: config.maps,
+        scenarios_per_map: config.scenarios_per_map,
+        repeats: config.repeats,
+        variants: vec![variant],
+        profiles: vec![config.profile.clone()],
+        baseline: plans.is_empty(),
+        faults: Vec::new(),
+        combos: if plans.is_empty() {
+            Vec::new()
+        } else {
+            vec![plans.to_vec()]
+        },
+        landing: config.landing.clone(),
+        executor: config.executor.clone(),
+        capture: mls_trace::TracePolicy::Off,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultAxis, FaultKind};
 
-    #[test]
-    fn resolution_halves_per_iteration() {
-        assert_eq!(FalsificationResult::resolution(0), 1.0);
-        assert_eq!(FalsificationResult::resolution(5), 1.0 / 32.0);
+    /// A synthetic oracle with a planar failure boundary: the system fails
+    /// (success rate 0) wherever `a·x > limit`, passes (success 1.0 − margin
+    /// shrinking toward the boundary) elsewhere.
+    fn planar_oracle<'a>(weights: &'a [f64], limit: f64, evaluations: &'a mut usize) -> Oracle<'a> {
+        Oracle::new(move |point: &[f64]| {
+            *evaluations += 1;
+            let dot: f64 = point.iter().zip(weights).map(|(x, w)| x * w).sum();
+            Ok(if dot > limit {
+                0.0
+            } else {
+                1.0 - 0.4 * (dot / limit).clamp(0.0, 1.0)
+            })
+        })
     }
 
     #[test]
-    fn default_config_is_sane() {
+    fn grid_refinement_converges_onto_a_planted_boundary() {
+        let weights = [1.0, 1.0];
+        let mut evaluations = 0;
+        let mut oracle = planar_oracle(&weights, 1.2, &mut evaluations);
+        let config = GridRefinementConfig {
+            resolution: 3,
+            rounds: 3,
+        };
+        let found = grid_refinement(&config, 2, 0.5, &mut oracle)
+            .unwrap()
+            .expect("the corner (1,1) fails, so the lattice must find a failure");
+        let dot: f64 = found.iter().sum();
+        assert!(dot > 1.2, "found point must actually fail: {found:?}");
+        // Refinement pulls the failure toward the boundary: within half the
+        // final lattice spacing of it.
+        assert!(dot < 1.2 + 0.3, "refined point too deep: {found:?}");
+        // And the severity is near the boundary's minimal-norm point
+        // (0.6, 0.6), not the initial (1, 1) corner.
+        assert!(severity(&found) < 1.1, "severity {found:?}");
+    }
+
+    #[test]
+    fn grid_refinement_reports_unfalsifiable_spaces() {
+        let mut oracle = Oracle::new(|_: &[f64]| Ok(1.0));
+        let config = GridRefinementConfig::default();
+        assert!(grid_refinement(&config, 2, 0.5, &mut oracle)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn cma_es_finds_a_failure_and_is_deterministic_per_seed() {
+        let weights = [1.0, 0.8];
+        let config = CmaEsConfig {
+            population: 8,
+            generations: 6,
+            initial_step: 0.3,
+            seed: 11,
+        };
+        let run = |seed: u64| {
+            let mut evaluations = 0;
+            let mut oracle = planar_oracle(&weights, 1.1, &mut evaluations);
+            let config = CmaEsConfig { seed, ..config };
+            (
+                cma_es(&config, 2, 0.5, &mut oracle).unwrap(),
+                oracle.probes.clone(),
+            )
+        };
+        let (a_point, a_probes) = run(11);
+        let (b_point, b_probes) = run(11);
+        assert_eq!(a_point, b_point, "same seed, same search");
+        assert_eq!(a_probes, b_probes, "same seed, same probe sequence");
+        let found = a_point
+            .clone()
+            .expect("the strategy must walk into the failing half-space");
+        let dot: f64 = found.iter().zip(&weights).map(|(x, w)| x * w).sum();
+        assert!(dot > 1.1, "returned point must fail: {found:?}");
+
+        let (c_point, c_probes) = run(12);
+        assert!(
+            c_point != a_point || c_probes != a_probes,
+            "a different seed must explore differently"
+        );
+    }
+
+    #[test]
+    fn minimizer_lands_on_the_failure_frontier() {
+        let weights = [1.0, 1.0];
+        let mut evaluations = 0;
+        let mut oracle = planar_oracle(&weights, 1.2, &mut evaluations);
+        let minimal = minimize(vec![1.0, 1.0], 0.5, 2, 8, &mut oracle).unwrap();
+        let dot: f64 = minimal.iter().sum();
+        // Still failing...
+        assert!(dot > 1.2, "minimized point must keep failing: {minimal:?}");
+        // ...but on the frontier: within the bisection resolution of it.
+        assert!(dot < 1.2 + 0.02, "not minimal: {minimal:?}");
+        // Lowering either axis by more than the resolution makes it pass.
+        for axis in 0..2 {
+            let mut nudged = minimal.clone();
+            nudged[axis] = (nudged[axis] - 0.02).max(0.0);
+            let passes = !oracle.fails(&nudged, 0.5).unwrap();
+            assert!(passes, "axis {axis} is not on the frontier: {minimal:?}");
+        }
+    }
+
+    #[test]
+    fn minimizer_zeroes_irrelevant_axes() {
+        // Only axis 0 matters: fail iff x0 > 0.3.
+        let mut oracle = Oracle::new(|point: &[f64]| Ok(if point[0] > 0.3 { 0.0 } else { 1.0 }));
+        let minimal = minimize(vec![0.9, 0.9], 0.5, 2, 8, &mut oracle).unwrap();
+        assert_eq!(minimal[1], 0.0, "the irrelevant axis must collapse to 0");
+        assert!(minimal[0] > 0.3 && minimal[0] < 0.32, "{minimal:?}");
+    }
+
+    #[test]
+    fn oracle_memoises_repeat_probes() {
+        let mut count = 0usize;
+        let mut oracle = Oracle::new(|_: &[f64]| {
+            count += 1;
+            Ok(1.0)
+        });
+        oracle.success_rate(&[0.5, 0.5]).unwrap();
+        oracle.success_rate(&[0.5, 0.5]).unwrap();
+        oracle.success_rate(&[0.5, 0.5000000001]).unwrap();
+        assert_eq!(oracle.probes.len(), 1, "quantized revisits are cached");
+        drop(oracle);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn default_config_is_sane_and_searchers_label() {
         let config = FalsificationConfig::default();
         assert!(config.failure_threshold > 0.0 && config.failure_threshold < 1.0);
-        assert!(config.iterations >= 1);
+        assert!(config.minimizer_bisections >= 1);
         let search = FalsificationSearch::new(config, 2);
         assert_eq!(search.config().maps, 2);
+        assert_eq!(
+            Searcher::GridRefinement(GridRefinementConfig::default()).label(),
+            "grid-refinement"
+        );
+        assert_eq!(Searcher::CmaEs(CmaEsConfig::default()).label(), "cma-es");
+    }
+
+    #[test]
+    fn probe_specs_embed_the_point_as_a_combo_cell() {
+        let config = FalsificationConfig::default();
+        let space = FaultSpace::new(
+            "s",
+            vec![
+                FaultAxis::full(FaultKind::MarkerOcclusion),
+                FaultAxis::full(FaultKind::GpsBias),
+            ],
+        );
+        let plans = space.plans(&[0.25, 0.75]);
+        let spec = probe_spec_for(&config, SystemVariant::MlsV2, &space, &plans);
+        spec.validate().unwrap();
+        assert_eq!(spec.cells().len(), 1);
+        assert_eq!(spec.cells()[0].faults.len(), 2);
+        assert!(!spec.baseline);
+        let baseline = probe_spec_for(&config, SystemVariant::MlsV2, &space, &[]);
+        assert!(baseline.baseline);
+        assert!(baseline.combos.is_empty());
+        // The searched report round-trips.
+        let report = FalsificationReport {
+            results: vec![SpaceFalsification {
+                space,
+                variant: SystemVariant::MlsV2,
+                searcher: "grid-refinement".to_string(),
+                baseline_success_rate: 0.9,
+                counterexample: Some(Counterexample {
+                    point: vec![0.25, 0.75],
+                    plans,
+                    success_rate: 0.25,
+                    trace: None,
+                    replay_identical: None,
+                }),
+                probes: vec![ProbePoint {
+                    point: vec![0.25, 0.75],
+                    success_rate: 0.25,
+                }],
+            }],
+        };
+        let json = report.to_json().unwrap();
+        assert_eq!(FalsificationReport::from_json(&json).unwrap(), report);
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("marker-occlusion@0.250+gps-bias@0.750"));
     }
 }

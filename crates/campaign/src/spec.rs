@@ -17,8 +17,9 @@ use crate::CampaignError;
 /// A declarative fault-injection campaign.
 ///
 /// `Deserialize` is implemented by hand so spec JSONs written before the
-/// trace subsystem existed (no `capture` key) still parse, defaulting to
-/// [`TracePolicy::Off`] — the vendored serde has no `#[serde(default)]`.
+/// trace subsystem (no `capture` key) or the falsification subsystem (no
+/// `combos` key) still parse with the old semantics — the vendored serde has
+/// no `#[serde(default)]`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignSpec {
     /// Campaign name, embedded in reports.
@@ -37,8 +38,13 @@ pub struct CampaignSpec {
     pub profiles: Vec<ComputeProfile>,
     /// Whether a fault-free baseline cell is included per (variant, profile).
     pub baseline: bool,
-    /// Fault plans swept per (variant, profile).
+    /// Single-fault plans swept per (variant, profile): one cell each.
     pub faults: Vec<FaultPlan>,
+    /// Multi-fault combinations swept per (variant, profile): one cell each,
+    /// all plans of a combo active concurrently in every mission of the cell
+    /// — a *point* of a multi-dimensional fault space
+    /// ([`crate::faults::FaultSpace`]).
+    pub combos: Vec<Vec<FaultPlan>>,
     /// Landing-system configuration flown in every mission.
     pub landing: LandingConfig,
     /// Mission-executor configuration.
@@ -60,6 +66,11 @@ impl serde::Deserialize for CampaignSpec {
             profiles: serde::de_field(value, "profiles")?,
             baseline: serde::de_field(value, "baseline")?,
             faults: serde::de_field(value, "faults")?,
+            // Specs predating the falsification subsystem have no combos.
+            combos: match value.get("combos") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => Vec::new(),
+            },
             landing: serde::de_field(value, "landing")?,
             executor: serde::de_field(value, "executor")?,
             // Specs predating the trace subsystem have no capture key.
@@ -71,8 +82,8 @@ impl serde::Deserialize for CampaignSpec {
     }
 }
 
-/// One cell of the campaign grid: a (variant, profile, fault) combination
-/// flown over the whole scenario suite.
+/// One cell of the campaign grid: a (variant, profile, fault point)
+/// combination flown over the whole scenario suite.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignCell {
     /// Position of the cell in the expanded grid.
@@ -83,17 +94,36 @@ pub struct CampaignCell {
     pub profile_index: usize,
     /// Profile name (for reports).
     pub profile: String,
-    /// The fault injected, or `None` for the baseline cell.
-    pub fault: Option<FaultPlan>,
+    /// The fault plans active concurrently in every mission of the cell;
+    /// empty for the baseline cell, one entry for a classic single-fault
+    /// sweep cell, several for a multi-dimensional fault-space point.
+    pub faults: Vec<FaultPlan>,
 }
 
 impl CampaignCell {
-    /// Stable row label (`MLS-V3/jetson-nano-maxn/gps-bias@0.500`).
+    /// Stable row label (`MLS-V3/jetson-nano-maxn/gps-bias@0.500`,
+    /// multi-fault plans joined with `+`).
     pub fn label(&self) -> String {
-        let fault = self
-            .fault
-            .map_or_else(|| "baseline".to_string(), |f| f.label());
-        format!("{}/{}/{}", self.variant.label(), self.profile, fault)
+        format!(
+            "{}/{}/{}",
+            self.variant.label(),
+            self.profile,
+            fault_point_label(&self.faults)
+        )
+    }
+}
+
+/// Renders a fault point for report rows: `baseline` when empty, plan
+/// labels joined with `+` otherwise.
+pub fn fault_point_label(faults: &[FaultPlan]) -> String {
+    if faults.is_empty() {
+        "baseline".to_string()
+    } else {
+        faults
+            .iter()
+            .map(FaultPlan::label)
+            .collect::<Vec<_>>()
+            .join("+")
     }
 }
 
@@ -109,6 +139,7 @@ impl Default for CampaignSpec {
             profiles: vec![ComputeProfile::desktop_sil()],
             baseline: true,
             faults: Vec::new(),
+            combos: Vec::new(),
             landing: LandingConfig::default(),
             executor: ExecutorConfig::default(),
             capture: TracePolicy::Off,
@@ -177,7 +208,7 @@ impl CampaignSpec {
         if self.profiles.is_empty() {
             return reject("at least one compute profile is required");
         }
-        if !self.baseline && self.faults.is_empty() {
+        if !self.baseline && self.faults.is_empty() && self.combos.is_empty() {
             return reject("a campaign needs a baseline cell or at least one fault plan");
         }
         for profile in &self.profiles {
@@ -192,27 +223,42 @@ impl CampaignSpec {
                 return reject("fault intensities must lie in [0, 1]");
             }
         }
+        for combo in &self.combos {
+            if combo.is_empty() {
+                return reject("a fault combo needs at least one plan");
+            }
+            for (i, fault) in combo.iter().enumerate() {
+                if !(0.0..=1.0).contains(&fault.intensity) {
+                    return reject("fault intensities must lie in [0, 1]");
+                }
+                if combo[..i].iter().any(|other| other.kind == fault.kind) {
+                    return reject("a fault combo must not list the same kind twice");
+                }
+            }
+        }
         Ok(())
     }
 
     /// Expands the grid into its cells, in deterministic order:
-    /// variant-major, then profile, then baseline followed by the fault list.
+    /// variant-major, then profile, then baseline followed by the
+    /// single-fault list followed by the combo list.
     pub fn cells(&self) -> Vec<CampaignCell> {
         let mut cells = Vec::new();
         for variant in &self.variants {
             for (profile_index, profile) in self.profiles.iter().enumerate() {
-                let faults = self
+                let points = self
                     .baseline
-                    .then_some(None)
+                    .then(Vec::new)
                     .into_iter()
-                    .chain(self.faults.iter().copied().map(Some));
-                for fault in faults {
+                    .chain(self.faults.iter().map(|&plan| vec![plan]))
+                    .chain(self.combos.iter().cloned());
+                for faults in points {
                     cells.push(CampaignCell {
                         index: cells.len(),
                         variant: *variant,
                         profile_index,
                         profile: profile.name.clone(),
-                        fault,
+                        faults,
                     });
                 }
             }
@@ -294,9 +340,65 @@ mod tests {
         // 3 variants × 1 profile × (baseline + 3 faults).
         assert_eq!(cells.len(), 12);
         assert_eq!(spec.total_missions(), 12 * 2);
-        assert!(cells[0].fault.is_none(), "baseline cell comes first");
+        assert!(cells[0].faults.is_empty(), "baseline cell comes first");
         assert_eq!(cells[0].index, 0);
+        assert!(cells[0].label().ends_with("baseline"));
         assert!(cells[1].label().contains("marker-occlusion"));
+    }
+
+    #[test]
+    fn combos_expand_into_multi_fault_cells_after_the_singles() {
+        let mut spec = CampaignSpec::smoke();
+        spec.variants = vec![SystemVariant::MlsV1];
+        spec.combos = vec![vec![
+            FaultPlan::new(FaultKind::MarkerOcclusion, 0.4),
+            FaultPlan::new(FaultKind::GpsBias, 0.6),
+        ]];
+        spec.validate().unwrap();
+        let cells = spec.cells();
+        // baseline + 3 singles + 1 combo.
+        assert_eq!(cells.len(), 5);
+        let combo_cell = &cells[4];
+        assert_eq!(combo_cell.faults.len(), 2);
+        assert_eq!(
+            combo_cell.label(),
+            "MLS-V1/desktop-sil/marker-occlusion@0.400+gps-bias@0.600"
+        );
+    }
+
+    #[test]
+    fn degenerate_combos_are_rejected() {
+        let mut spec = CampaignSpec::smoke();
+        spec.combos = vec![vec![]];
+        assert!(spec.validate().is_err());
+
+        let mut spec = CampaignSpec::smoke();
+        spec.combos = vec![vec![
+            FaultPlan::new(FaultKind::GpsBias, 0.3),
+            FaultPlan::new(FaultKind::GpsBias, 0.7),
+        ]];
+        assert!(spec.validate().is_err());
+
+        // A combo-only campaign (no baseline, no singles) is legal.
+        let mut spec = CampaignSpec::smoke();
+        spec.baseline = false;
+        spec.faults.clear();
+        spec.combos = vec![vec![FaultPlan::new(FaultKind::WindGust, 0.5)]];
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn specs_without_a_combos_key_parse_with_no_combos() {
+        let spec = CampaignSpec::smoke();
+        let json = spec.to_json().unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("spec serialises to an object");
+        };
+        fields.retain(|(key, _)| key != "combos");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed = CampaignSpec::from_json(&legacy).unwrap();
+        assert!(parsed.combos.is_empty());
+        assert_eq!(parsed.faults, spec.faults);
     }
 
     #[test]
@@ -365,8 +467,9 @@ mod tests {
     fn full_fault_study_covers_every_kind() {
         let spec = CampaignSpec::full_fault_study();
         spec.validate().unwrap();
-        assert_eq!(spec.faults.len(), 21);
-        // 3 variants × 2 profiles × (1 + 21) cells.
-        assert_eq!(spec.cells().len(), 3 * 2 * 22);
+        // 8 fault kinds × 3 intensities.
+        assert_eq!(spec.faults.len(), 24);
+        // 3 variants × 2 profiles × (1 + 24) cells.
+        assert_eq!(spec.cells().len(), 3 * 2 * 25);
     }
 }

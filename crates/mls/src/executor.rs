@@ -455,10 +455,17 @@ impl MissionExecutor {
                             if let Some(sink) = self.trace_sink.as_mut() {
                                 sink.on_plan_request(time, estimated_pose.position, *goal);
                             }
-                            match self.system.planning.plan(
+                            // Planner-starvation seam: the hook may scale
+                            // this query's search budget down.
+                            let budget_scale = self
+                                .fault_hook
+                                .as_mut()
+                                .map_or(1.0, |hook| hook.pre_planning(time));
+                            match self.system.planning.plan_with_budget(
                                 self.system.mapping.as_query(),
                                 estimated_pose.position,
                                 *goal,
+                                budget_scale,
                             ) {
                                 Ok(planned) => {
                                     let outcome = self.compute.submit(

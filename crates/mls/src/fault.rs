@@ -9,7 +9,7 @@
 //! engine (the `mls-campaign` crate) supplies deterministic, seed-driven
 //! implementations.
 //!
-//! The four injection points, in loop order:
+//! The five injection points, in loop order:
 //!
 //! 1. [`FaultHook::tick`] — once per physics tick, before the vehicle steps.
 //!    Returns [`TickFaults`]: a GNSS position bias, an additive wind
@@ -26,6 +26,10 @@
 //!    observations reach the decision module. May drop the frame's
 //!    observations (pipeline dropout downstream of the detector) or inject
 //!    spoofed ones.
+//! 5. [`FaultHook::pre_planning`] — once per planning query, before the
+//!    planner runs. Returns a search-budget scale in `[0, 1]`: starved
+//!    budgets exhaust the bounded A* pool or the RRT* sampling budget,
+//!    reproducing the paper's planner-exhaustion failures on demand.
 
 use mls_geom::Vec3;
 use mls_sim_uav::PointCloud;
@@ -94,6 +98,15 @@ pub trait FaultHook: Send {
     fn post_detection(&mut self, time: f64, observations: &mut Vec<MarkerObservation>) {
         let _ = (time, observations);
     }
+
+    /// Invoked before every planning query; the returned scale in `[0, 1]`
+    /// multiplies the planner's search budget for that query (`1.0` leaves
+    /// it untouched). Models search-budget starvation: a contended or
+    /// throttled platform grants the planner fewer expansions per deadline.
+    fn pre_planning(&mut self, time: f64) -> f64 {
+        let _ = time;
+        1.0
+    }
 }
 
 /// The trivial hook: injects nothing.
@@ -129,5 +142,7 @@ mod tests {
         let mut observations = Vec::new();
         hook.post_detection(0.0, &mut observations);
         assert!(observations.is_empty());
+
+        assert_eq!(hook.pre_planning(0.0), 1.0);
     }
 }

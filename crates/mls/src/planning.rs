@@ -96,7 +96,33 @@ impl PlanningModule {
         start: Vec3,
         goal: Vec3,
     ) -> Result<PlannedTrajectory, MlsError> {
+        self.plan_with_budget(map, start, goal, 1.0)
+    }
+
+    /// Plans like [`PlanningModule::plan`] but with the planner's search
+    /// budget scaled to `budget_scale` in `[0, 1]` for this query — the
+    /// mission executor passes the [`FaultHook::pre_planning`] scale through
+    /// here, so a starvation fault degrades the actual search, not a proxy.
+    ///
+    /// The straight-line fallback (and planner) have no bounded budget and
+    /// are unaffected, matching the paper: MLS-V1 never plans, so starving
+    /// the planner cannot hurt it.
+    ///
+    /// [`FaultHook::pre_planning`]: crate::FaultHook::pre_planning
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlsError::Planning`] when the planner fails and the fallback
+    /// is disabled (or the trajectory itself cannot be built).
+    pub fn plan_with_budget(
+        &mut self,
+        map: &dyn OccupancyQuery,
+        start: Vec3,
+        goal: Vec3,
+        budget_scale: f64,
+    ) -> Result<PlannedTrajectory, MlsError> {
         self.plans_attempted += 1;
+        self.planner.set_budget_scale(budget_scale);
         match self.planner.plan(map, start, goal) {
             Ok(outcome) => {
                 let trajectory = Trajectory::from_path(&outcome.path, self.trajectory_config)
@@ -193,6 +219,40 @@ mod tests {
         assert_eq!(module.fallbacks_used(), 1);
         // The fallback path goes straight at the goal — through the wall.
         assert_eq!(planned.trajectory.waypoints().len(), 2);
+    }
+
+    #[test]
+    fn starved_budget_fails_a_solvable_query_and_full_budget_restores_it() {
+        // A wall the default A* pool can route around.
+        let mut grid = VoxelGridMap::new(VoxelGridConfig {
+            resolution: 0.4,
+            half_extent_xy: 25.0,
+            height: 26.0,
+            carve_free_space: false,
+            max_range: 100.0,
+        })
+        .unwrap();
+        for y in -15..=15 {
+            for z in 0..20 {
+                grid.mark_occupied(Vec3::new(10.0, y as f64 * 0.4, z as f64 * 0.4));
+            }
+        }
+        let mut module = PlanningModule::new(
+            Box::new(AStarPlanner::new()),
+            false,
+            TrajectoryConfig::default(),
+        );
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(20.0, 0.0, 5.0);
+        module.plan(&grid, start, goal).unwrap();
+        let err = module
+            .plan_with_budget(&grid, start, goal, 0.01)
+            .unwrap_err();
+        assert!(matches!(err, MlsError::Planning(_)));
+        assert_eq!(module.plans_failed(), 1);
+        // `plan` resets the scale to 1.0; the starvation does not stick.
+        module.plan(&grid, start, goal).unwrap();
+        assert_eq!(module.plans_attempted(), 3);
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl AStarConfig {
 #[derive(Debug, Clone)]
 pub struct AStarPlanner {
     config: AStarConfig,
+    budget_scale: f64,
 }
 
 impl AStarPlanner {
@@ -97,12 +98,20 @@ impl AStarPlanner {
 
     /// Creates a planner with an explicit configuration.
     pub fn with_config(config: AStarConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            budget_scale: 1.0,
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &AStarConfig {
         &self.config
+    }
+
+    /// The expansion budget for the next query, after budget scaling.
+    pub fn effective_budget(&self) -> usize {
+        ((self.config.max_expansions as f64 * self.budget_scale).floor() as usize).max(1)
     }
 
     fn node_blocked(&self, map: &dyn OccupancyQuery, point: Vec3) -> bool {
@@ -180,10 +189,11 @@ impl PathPlanner for AStarPlanner {
             index: start_index,
         });
 
+        let budget = self.effective_budget();
         let mut expansions = 0usize;
         while let Some(OpenEntry { index, .. }) = open.pop() {
             expansions += 1;
-            if expansions > self.config.max_expansions {
+            if expansions > budget {
                 return Err(PlanningError::NoPathFound {
                     reason: "search pool exhausted".to_string(),
                     iterations: expansions,
@@ -237,6 +247,14 @@ impl PathPlanner for AStarPlanner {
 
     fn name(&self) -> &str {
         "astar"
+    }
+
+    fn set_budget_scale(&mut self, scale: f64) {
+        self.budget_scale = if scale.is_finite() {
+            scale.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
     }
 }
 
@@ -301,6 +319,29 @@ mod tests {
                 "segment {pair:?} crosses the wall"
             );
         }
+    }
+
+    #[test]
+    fn budget_scale_starves_an_otherwise_solvable_query() {
+        let grid = wall_world(6.0, 8.0);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(20.0, 0.0, 5.0);
+        let mut planner = AStarPlanner::new();
+        assert_eq!(planner.effective_budget(), planner.config().max_expansions);
+        planner.plan(&grid, start, goal).unwrap();
+        // Starved to 1% of the pool, the same query exhausts.
+        planner.set_budget_scale(0.01);
+        assert_eq!(planner.effective_budget(), 60);
+        let err = planner.plan(&grid, start, goal).unwrap_err();
+        assert!(matches!(err, PlanningError::NoPathFound { .. }));
+        // Restoring the scale restores the query.
+        planner.set_budget_scale(1.0);
+        planner.plan(&grid, start, goal).unwrap();
+        // Degenerate scales clamp instead of zeroing the budget.
+        planner.set_budget_scale(0.0);
+        assert_eq!(planner.effective_budget(), 1);
+        planner.set_budget_scale(f64::NAN);
+        assert_eq!(planner.effective_budget(), planner.config().max_expansions);
     }
 
     #[test]

@@ -187,6 +187,17 @@ pub trait PathPlanner: Send {
 
     /// Short name used in reports ("astar", "rrt-star", "straight-line").
     fn name(&self) -> &str;
+
+    /// Scales the planner's search budget for subsequent queries: `1.0`
+    /// restores the configured budget, smaller values starve it. This is the
+    /// injection seam behind `mls-core`'s planner-starvation fault — a
+    /// thermally throttled or contended platform grants the planner fewer
+    /// expansions per query without changing its configuration. Effective
+    /// budgets never drop below one iteration; planners without a bounded
+    /// budget (the straight-line "planner") ignore the call.
+    fn set_budget_scale(&mut self, scale: f64) {
+        let _ = scale;
+    }
 }
 
 /// The MLS-V1 "planner": fly straight at the goal, no map consulted.

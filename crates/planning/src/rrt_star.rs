@@ -112,6 +112,7 @@ struct TreeNode {
 pub struct RrtStarPlanner {
     config: RrtStarConfig,
     rng: StdRng,
+    budget_scale: f64,
 }
 
 impl RrtStarPlanner {
@@ -125,12 +126,18 @@ impl RrtStarPlanner {
         Self {
             rng: StdRng::seed_from_u64(config.seed),
             config,
+            budget_scale: 1.0,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &RrtStarConfig {
         &self.config
+    }
+
+    /// The sampling budget for the next query, after budget scaling.
+    pub fn effective_budget(&self) -> usize {
+        ((self.config.max_iterations as f64 * self.budget_scale).floor() as usize).max(1)
     }
 
     fn point_blocked(&self, map: &dyn OccupancyQuery, point: Vec3) -> bool {
@@ -215,11 +222,12 @@ impl PathPlanner for RrtStarPlanner {
             parent: 0,
             cost: 0.0,
         }];
+        let budget = self.effective_budget();
         let mut best_goal_node: Option<usize> = None;
         let mut best_goal_cost = f64::INFINITY;
         let mut iterations = 0usize;
 
-        for i in 0..self.config.max_iterations {
+        for i in 0..budget {
             iterations = i + 1;
             let target = self.sample(&bounds, goal);
 
@@ -295,8 +303,7 @@ impl PathPlanner for RrtStarPlanner {
                     best_goal_node = Some(new_idx);
                 }
                 // Keep refining for a fraction of the budget, then stop.
-                let refine_budget =
-                    (self.config.max_iterations as f64 * self.config.refinement_fraction) as usize;
+                let refine_budget = (budget as f64 * self.config.refinement_fraction) as usize;
                 if i > refine_budget && best_goal_node.is_some() {
                     break;
                 }
@@ -325,6 +332,14 @@ impl PathPlanner for RrtStarPlanner {
 
     fn name(&self) -> &str {
         "rrt-star"
+    }
+
+    fn set_budget_scale(&mut self, scale: f64) {
+        self.budget_scale = if scale.is_finite() {
+            scale.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
     }
 }
 
@@ -391,6 +406,23 @@ mod tests {
             );
         }
         assert!(outcome.path.length() > 20.0);
+    }
+
+    #[test]
+    fn budget_scale_starves_the_sampler() {
+        let tree = walled_octree(10.0, 10.0);
+        let start = Vec3::new(0.0, 0.0, 5.0);
+        let goal = Vec3::new(20.0, 0.0, 5.0);
+        let mut planner = RrtStarPlanner::new();
+        assert_eq!(planner.effective_budget(), planner.config().max_iterations);
+        planner.plan(&tree, start, goal).unwrap();
+        // A handful of samples cannot thread the wall.
+        planner.set_budget_scale(0.005);
+        assert_eq!(planner.effective_budget(), 7);
+        let err = planner.plan(&tree, start, goal).unwrap_err();
+        assert!(matches!(err, PlanningError::NoPathFound { .. }));
+        planner.set_budget_scale(1.0);
+        planner.plan(&tree, start, goal).unwrap();
     }
 
     #[test]

@@ -32,8 +32,27 @@ pub fn config_hash(canonical_json: &str) -> u64 {
     hash
 }
 
-/// The versioned first line of every trace file.
+/// One coordinate of the fault-space point a mission flew: an axis label
+/// (the fault kind's report label) and the intensity injected along it.
+///
+/// Campaign runners stamp these into every captured header, so a trace is
+/// self-describing about *where in the fault space* it was recorded — the
+/// falsification search relies on this to ship minimal counterexamples as
+/// standalone artifacts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisCoordinate {
+    /// Axis label (`"gps-bias"`, `"marker-occlusion"`, …).
+    pub axis: String,
+    /// Intensity injected along the axis, in `[0, 1]`.
+    pub value: f64,
+}
+
+/// The versioned first line of every trace file.
+///
+/// `Deserialize` is implemented by hand so trace files written before the
+/// falsification subsystem existed (no `coordinates` key) still parse with
+/// an empty coordinate list — the vendored serde has no `#[serde(default)]`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TraceHeader {
     /// Trace-format version ([`TRACE_FORMAT_VERSION`]).
     pub version: u32,
@@ -61,6 +80,36 @@ pub struct TraceHeader {
     pub capacity: usize,
     /// Events the ring buffer evicted (0 when nothing was lost).
     pub dropped_events: u64,
+    /// The fault-space point the mission flew: one coordinate per injected
+    /// fault plan, in activation order (empty for fault-free missions and
+    /// traces predating the falsification subsystem).
+    pub coordinates: Vec<AxisCoordinate>,
+}
+
+impl serde::Deserialize for TraceHeader {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            version: serde::de_field(value, "version")?,
+            campaign: serde::de_field(value, "campaign")?,
+            seed: serde::de_field(value, "seed")?,
+            variant: serde::de_field(value, "variant")?,
+            scenario_id: serde::de_field(value, "scenario_id")?,
+            scenario_name: serde::de_field(value, "scenario_name")?,
+            cell_index: serde::de_field(value, "cell_index")?,
+            repeat: serde::de_field(value, "repeat")?,
+            config_hash: serde::de_field(value, "config_hash")?,
+            tick_decimation: serde::de_field(value, "tick_decimation")?,
+            map_decimation: serde::de_field(value, "map_decimation")?,
+            capacity: serde::de_field(value, "capacity")?,
+            dropped_events: serde::de_field(value, "dropped_events")?,
+            // Headers predating the falsification subsystem have no
+            // coordinates key.
+            coordinates: match value.get("coordinates") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// A complete captured trace: header plus the surviving event stream.
@@ -183,6 +232,10 @@ mod tests {
             map_decimation: 8,
             capacity: 8192,
             dropped_events: 0,
+            coordinates: vec![AxisCoordinate {
+                axis: "gps-bias".to_string(),
+                value: 0.5,
+            }],
         }
     }
 
@@ -244,6 +297,32 @@ mod tests {
         let err = Trace::from_jsonl(&text).unwrap_err();
         assert!(err.to_string().contains("line 4"), "{err}");
         assert!(Trace::from_jsonl("").is_err());
+    }
+
+    #[test]
+    fn headers_without_a_coordinates_key_parse_with_an_empty_list() {
+        // A header JSON written before the falsification subsystem: same
+        // fields, no `coordinates` key.
+        let text = trace().to_jsonl().unwrap();
+        let header_line = text.lines().next().unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(header_line).unwrap() else {
+            panic!("header serialises to an object");
+        };
+        fields.retain(|(key, _)| key != "coordinates");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed: TraceHeader = serde_json::from_str(&legacy).unwrap();
+        assert!(parsed.coordinates.is_empty());
+        assert_eq!(parsed.seed, 42);
+    }
+
+    #[test]
+    fn coordinates_round_trip_through_the_header() {
+        let trace = trace();
+        assert_eq!(trace.header.coordinates.len(), 1);
+        let text = trace.to_jsonl().unwrap();
+        let parsed = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(parsed.header.coordinates, trace.header.coordinates);
+        assert_eq!(parsed.header.coordinates[0].axis, "gps-bias");
     }
 
     #[test]

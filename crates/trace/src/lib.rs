@@ -4,25 +4,26 @@
 //! A failed mission used to leave behind only a scalar
 //! [`MissionOutcome`](mls_core::MissionOutcome) summary; forensics meant
 //! re-running by hand. This crate turns every mission into a replayable
-//! artifact, in four parts:
+//! artifact.
 //!
-//! * [`event`] — the typed [`TraceEvent`](event::TraceEvent) model:
-//!   decimated physics snapshots, directive transitions, marker observations
-//!   before and after fault tampering, planning queries and latencies,
-//!   failsafe triggers and fault-activation edges.
-//! * [`format`] — the versioned JSON-lines on-disk format
-//!   ([`Trace`](format::Trace) / [`TraceHeader`](format::TraceHeader)):
-//!   header line carrying seed, variant, scenario, campaign coordinates and
-//!   spec hash; one compact event per following line, deterministically
-//!   encoded.
-//! * [`recorder`] — the ring-buffered [`TraceRecorder`](recorder::TraceRecorder)
-//!   implementing the `mls-core` [`TraceSink`](mls_core::TraceSink) seam,
-//!   plus the [`TracePolicy`](recorder::TracePolicy) campaigns use to decide
-//!   what to keep.
-//! * [`replay`] and [`triage`] — byte-exact replay verification
-//!   ([`verify_replay`](replay::verify_replay)) and the classifier that maps
-//!   a trace onto the paper's Fig. 5 failure taxonomy
-//!   ([`triage`](triage::triage)).
+//! # Module map
+//!
+//! * [`event`] — the typed [`TraceEvent`] model: decimated physics
+//!   snapshots, directive transitions, marker observations before and after
+//!   fault tampering, planning queries and latencies, failsafe triggers and
+//!   fault-activation edges.
+//! * [`format`](mod@format) — the versioned JSON-lines on-disk format
+//!   ([`Trace`] / [`TraceHeader`]): a header line carrying seed, variant,
+//!   scenario, campaign coordinates, spec hash and the fault-space
+//!   [`AxisCoordinate`]s the mission flew; one compact event per following
+//!   line, deterministically encoded. `docs/TRACE_FORMAT.md` in the
+//!   repository root specifies the format for external tooling.
+//! * [`recorder`] — the ring-buffered [`TraceRecorder`] implementing the
+//!   `mls-core` [`TraceSink`](mls_core::TraceSink) seam, plus the
+//!   [`TracePolicy`] campaigns use to decide what to keep.
+//! * [`replay`] and [`triage`](mod@triage) — byte-exact replay verification
+//!   ([`verify_replay`]) and the [`triage()`] classifier that maps a trace
+//!   onto the paper's Fig. 5 failure taxonomy ([`Fig5Class`]).
 //!
 //! # Examples
 //!
@@ -73,7 +74,7 @@ pub mod replay;
 pub mod triage;
 
 pub use event::{MarkerSighting, TraceEvent};
-pub use format::{config_hash, Trace, TraceHeader, TRACE_FORMAT_VERSION};
+pub use format::{config_hash, AxisCoordinate, Trace, TraceHeader, TRACE_FORMAT_VERSION};
 pub use recorder::{RecorderConfig, TraceHandle, TracePolicy, TraceRecorder};
 pub use replay::{verify_replay, ReplayVerdict};
 pub use triage::{triage, Fig5Class, TriageReport};

@@ -104,6 +104,7 @@ impl RecorderConfig {
             map_decimation: self.map_decimation.max(1),
             capacity: self.capacity.max(1),
             dropped_events: 0,
+            coordinates: Vec::new(),
         }
     }
 

@@ -121,6 +121,7 @@ mod tests {
                 map_decimation: 8,
                 capacity: 1024,
                 dropped_events: 0,
+                coordinates: Vec::new(),
             },
             events: vec![
                 TraceEvent::FaultCleared { time: 30.0 },

@@ -243,6 +243,7 @@ mod tests {
                 map_decimation: 8,
                 capacity: 1024,
                 dropped_events: 0,
+                coordinates: Vec::new(),
             },
             events,
         }

@@ -117,6 +117,12 @@ fn header_from(seed: u64, variant_selector: u32, dropped: u64) -> TraceHeader {
         map_decimation: 1 + (variant_selector % 8) as usize,
         capacity: 64 + (variant_selector % 8192) as usize,
         dropped_events: dropped,
+        coordinates: (0..(variant_selector % 4) as u64)
+            .map(|i| mls_trace::AxisCoordinate {
+                axis: format!("axis-{i}"),
+                value: ((seed >> i) % 1000) as f64 / 1000.0,
+            })
+            .collect(),
     }
 }
 

@@ -9,7 +9,7 @@ use crate::VisionError;
 ///
 /// The camera frame follows the usual computer-vision convention: `+x` right
 /// in the image, `+y` down in the image, `+z` out of the lens along the
-/// optical axis. [`CameraExtrinsics`] maps this frame onto the vehicle body.
+/// optical axis. [`CameraMount`] maps this frame onto the vehicle body.
 ///
 /// # Examples
 ///

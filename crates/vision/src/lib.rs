@@ -18,7 +18,7 @@
 //! Everything upstream of the detectors is also here: a tiny grayscale image
 //! type ([`GrayImage`]), a pinhole camera ([`Camera`]), an ArUco-style marker
 //! dictionary ([`MarkerDictionary`]), a ground-scene renderer
-//! ([`MarkerRenderer`]) and an image-degradation pipeline ([`degrade`])
+//! ([`MarkerRenderer`]) and an image-degradation pipeline ([`ImageDegrader`])
 //! modelling the weather and lighting effects of the paper's evaluation.
 //!
 //! # Examples
