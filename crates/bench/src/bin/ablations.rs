@@ -5,10 +5,16 @@
 //! mapping-representation choice (dense grid vs octree memory), the RRT*
 //! iteration budget, the flight-controller upgrade (Pixhawk 2.4.8 → Cuav
 //! X7+), and the RTK mitigation §V-C proposes for GNSS drift.
+//!
+//! The mission-level ablations (1 and 5) run on the `mls-campaign` engine —
+//! one [`CampaignSpec`] per configuration row, each persisted as a
+//! replayable report. Ablations 2–4 are geometric / sensor micro-benchmarks
+//! with no missions to campaign over.
 
-use mls_bench::{generate_scenarios, percent, print_header, run_missions, HarnessOptions};
+use mls_bench::{percent, persist_report, print_header, HarnessOptions};
+use mls_campaign::{CampaignRunner, CampaignSpec};
 use mls_compute::ComputeProfile;
-use mls_core::{ExecutorConfig, LandingConfig, MissionResult, SystemVariant};
+use mls_core::{LandingConfig, SystemVariant};
 use mls_geom::Vec3;
 use mls_mapping::{OccupancyQuery, OctreeConfig, OctreeMap, VoxelGridConfig, VoxelGridMap};
 use mls_planning::{PathPlanner, RrtStarConfig, RrtStarPlanner};
@@ -24,43 +30,60 @@ fn small_options() -> HarnessOptions {
     options
 }
 
+/// One MLS-V3 campaign over the small suite with an explicit landing
+/// configuration, on the given compute profile.
+fn landing_config_campaign(
+    name: &str,
+    landing: LandingConfig,
+    profile: ComputeProfile,
+    options: &HarnessOptions,
+) -> mls_campaign::CampaignReport {
+    let spec = CampaignSpec {
+        name: name.to_string(),
+        seed: options.seed,
+        maps: options.maps,
+        scenarios_per_map: options.scenarios_per_map,
+        repeats: options.repeats,
+        variants: vec![SystemVariant::MlsV3],
+        profiles: vec![profile],
+        landing,
+        ..CampaignSpec::default()
+    };
+    CampaignRunner::new(options.threads)
+        .run(&spec)
+        .expect("the ablation campaign specification is valid")
+}
+
 /// Safety vs availability: sweep the validation strictness and clearances.
 fn ablation_safety_availability() {
     print_header("Ablation 1 — Safety vs availability (validation strictness, clearances)");
     let options = small_options();
-    let scenarios = generate_scenarios(&options);
-    let executor = ExecutorConfig::default();
-    let profile = ComputeProfile::desktop_sil();
 
     println!(
         "{:<24} {:>10} {:>12} {:>14} {:>10}",
-        "Configuration", "success", "collision", "poor landing", "aborts"
+        "Configuration", "success", "collision", "poor landing", "failsafe"
     );
     for (label, config) in [
         ("availability-biased", LandingConfig::availability_biased()),
         ("default", LandingConfig::default()),
         ("safety-biased", LandingConfig::safety_biased()),
     ] {
-        let outcomes = run_missions(
-            &scenarios,
-            SystemVariant::MlsV3,
-            &profile,
-            &config,
-            &executor,
+        let report = landing_config_campaign(
+            &format!("ablation1-{label}"),
+            config,
+            ComputeProfile::desktop_sil(),
             &options,
         );
-        let rate = |r: MissionResult| {
-            outcomes.iter().filter(|o| o.result == r).count() as f64 / outcomes.len() as f64
-        };
-        let aborts: usize = outcomes.iter().map(|o| o.landing_aborts).sum();
+        let cell = &report.cells[0];
         println!(
             "{:<24} {:>10} {:>12} {:>14} {:>10}",
             label,
-            percent(rate(MissionResult::Success)),
-            percent(rate(MissionResult::CollisionFailure)),
-            percent(rate(MissionResult::PoorLanding)),
-            aborts
+            percent(cell.success_rate),
+            percent(cell.collision_rate),
+            percent(cell.poor_landing_rate),
+            percent(cell.failsafe_rate),
         );
+        persist_report(&report);
     }
     println!("Expected shape: stricter settings abort more (lower availability) but collide less.");
 }
@@ -224,9 +247,6 @@ fn ablation_sensors() {
 fn ablation_detection_rate() {
     print_header("Ablation 5 — Detection rate vs landing outcome");
     let options = small_options();
-    let scenarios = generate_scenarios(&options);
-    let executor = ExecutorConfig::default();
-    let profile = ComputeProfile::jetson_nano_maxn();
     println!(
         "{:>16} {:>10} {:>12} {:>12}",
         "detection rate", "success", "collision", "mean CPU"
@@ -236,32 +256,21 @@ fn ablation_detection_rate() {
             detection_rate_hz: rate,
             ..LandingConfig::default()
         };
-        let outcomes = run_missions(
-            &scenarios,
-            SystemVariant::MlsV3,
-            &profile,
-            &landing,
-            &executor,
+        let report = landing_config_campaign(
+            &format!("ablation5-detection-{rate:.1}hz"),
+            landing,
+            ComputeProfile::jetson_nano_maxn(),
             &options,
         );
-        let success = outcomes
-            .iter()
-            .filter(|o| o.result == MissionResult::Success)
-            .count() as f64
-            / outcomes.len() as f64;
-        let collision = outcomes
-            .iter()
-            .filter(|o| o.result == MissionResult::CollisionFailure)
-            .count() as f64
-            / outcomes.len() as f64;
-        let cpu = outcomes.iter().map(|o| o.mean_cpu).sum::<f64>() / outcomes.len() as f64;
+        let cell = &report.cells[0];
         println!(
             "{:>13.1} Hz {:>10} {:>12} {:>11.0}%",
             rate,
-            percent(success),
-            percent(collision),
-            cpu * 100.0
+            percent(cell.success_rate),
+            percent(cell.collision_rate),
+            cell.mean_cpu.mean.unwrap_or(f64::NAN) * 100.0
         );
+        persist_report(&report);
     }
     println!("Expected shape: very low rates hurt validation/landing; higher rates cost CPU on the Jetson.");
 }

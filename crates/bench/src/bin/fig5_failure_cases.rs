@@ -19,7 +19,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use mls_bench::{print_header, HarnessOptions};
+use mls_bench::{persist_report, print_header, HarnessOptions};
 use mls_campaign::{CampaignRunner, CampaignSpec, FaultKind, FaultPlan, TracePolicy};
 use mls_core::SystemVariant;
 use mls_trace::{triage, Fig5Class, Trace};
@@ -137,6 +137,7 @@ fn run_case(case: &CaseStudy, threads: usize) -> bool {
             return false;
         }
     };
+    persist_report(&report);
     let failures = report.traces.len();
     println!(
         "  campaign: {} missions, {} failure traces captured under {}",

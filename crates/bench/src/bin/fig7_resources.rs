@@ -2,12 +2,18 @@
 //!
 //! The paper plots CPU and memory utilisation of the Jetson Nano in HIL
 //! testing and again during real-world flights, where the live camera
-//! pipeline pushes both noticeably higher. This harness flies one
-//! representative scenario with MLS-V3 on the `jetson-nano-maxn` and
-//! `jetson-nano-realworld` profiles and prints the recorded utilisation
-//! traces (downsampled to one sample per second) plus summary statistics.
+//! pipeline pushes both noticeably higher.
+//!
+//! The headline numbers run on the `mls-campaign` engine: one
+//! [`CampaignSpec`] whose profile axis carries `jetson-nano-maxn` (HIL) and
+//! `jetson-nano-realworld`, flown by the sharded [`CampaignRunner`] and
+//! persisted as a replayable report. The per-second CPU sparkline is an
+//! illustration on top: it re-flies one mission per profile directly,
+//! because the compute model's tick-level trace is instrumentation the
+//! aggregated campaign report deliberately condenses away.
 
-use mls_bench::{generate_scenarios, print_header, HarnessOptions};
+use mls_bench::{generate_scenarios, persist_report, print_header, HarnessOptions};
+use mls_campaign::{CampaignRunner, CampaignSpec};
 use mls_compute::{ComputeModel, ComputeProfile};
 use mls_core::{ExecutorConfig, LandingConfig, MissionExecutor, MissionOutcome, SystemVariant};
 
@@ -63,15 +69,58 @@ fn per_second_cpu(model: &ComputeModel) -> Vec<f64> {
 fn main() {
     print_header("Figure 7 — Jetson Nano performance (HIL vs real-world)");
 
-    let mut mean_cpu = Vec::new();
-    for (label, profile) in [
+    // The campaign: MLS-V3 over a small suite, HIL and real-world Jetson
+    // profiles as the grid's profile axis.
+    let mut options = HarnessOptions::from_env();
+    options.maps = options.maps.min(2);
+    options.scenarios_per_map = options.scenarios_per_map.min(3);
+    let profiles = [
         ("HIL (jetson-nano-maxn)", ComputeProfile::jetson_nano_maxn()),
         (
             "Real-world (jetson-nano-realworld)",
             ComputeProfile::jetson_nano_realworld(),
         ),
-    ] {
-        let (outcome, model) = run_trace(profile, 5);
+    ];
+    let spec = CampaignSpec {
+        name: "fig7-resources".to_string(),
+        seed: options.seed,
+        maps: options.maps,
+        scenarios_per_map: options.scenarios_per_map,
+        repeats: options.repeats,
+        variants: vec![SystemVariant::MlsV3],
+        profiles: profiles.iter().map(|(_, p)| p.clone()).collect(),
+        ..CampaignSpec::default()
+    };
+    let report = CampaignRunner::new(options.threads)
+        .run(&spec)
+        .expect("the Fig. 7 campaign specification is valid");
+
+    println!();
+    println!(
+        "{:<38} {:>10} {:>12} {:>16} {:>20}",
+        "Campaign", "mean CPU", "p95 CPU", "peak memory MiB", "p95 plan latency (s)"
+    );
+    let mut mean_cpu = Vec::new();
+    for (label, profile) in &profiles {
+        let cell = report
+            .cell(SystemVariant::MlsV3, &profile.name, None)
+            .expect("the campaign grid contains every profile's baseline cell");
+        println!(
+            "{:<38} {:>9.0}% {:>11.0}% {:>16.0} {:>20.3}",
+            label,
+            cell.mean_cpu.mean.unwrap_or(f64::NAN) * 100.0,
+            cell.mean_cpu.p95.unwrap_or(f64::NAN) * 100.0,
+            cell.peak_memory_mb.max.unwrap_or(f64::NAN),
+            cell.worst_planning_latency.p95.unwrap_or(f64::NAN),
+        );
+        mean_cpu.push(cell.mean_cpu.mean.unwrap_or(f64::NAN));
+    }
+    persist_report(&report);
+
+    // Illustration: one mission per profile re-flown with the tick-level
+    // compute trace attached.
+    for (label, profile) in &profiles {
+        let (outcome, model) = run_trace(profile.clone(), 5);
         let cpu = per_second_cpu(&model);
         println!();
         println!(
@@ -92,7 +141,6 @@ fn main() {
             outcome.worst_planning_latency * 1000.0,
             outcome.detection_stats.total_frames
         );
-        mean_cpu.push(outcome.mean_cpu);
     }
 
     println!();

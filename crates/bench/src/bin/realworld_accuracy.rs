@@ -3,18 +3,22 @@
 //! The paper reports that the real-world drone "was able to land within 60 cm
 //! of the marker on average, higher than the 25 cm observed in SIL and HIL
 //! tests, primarily due to GPS inaccuracies and wind during the final
-//! descent". This harness flies MLS-V3 over the same scenarios three ways:
+//! descent". This harness flies MLS-V3 over the same scenarios three ways,
+//! each as a [`CampaignSpec`]-backed campaign with a persisted, replayable
+//! report:
 //!
 //! * **SIL** — desktop compute, scenario weather as generated;
-//! * **HIL** — Jetson Nano compute, same weather;
+//! * **HIL** — Jetson Nano compute, same weather (both via
+//!   [`CampaignRunner::run`], so both regenerate from the spec alone);
 //! * **Real-world** — Jetson Nano with the live camera pipeline, plus field
 //!   conditions: degraded GNSS geometry and gusty wind (the §V-C flights).
+//!   The field suite is a documented transform of the generated suite, flown
+//!   through [`CampaignRunner::run_with_scenarios`].
 
-use mls_bench::{
-    generate_scenarios, percent, print_comparison, print_header, run_missions, HarnessOptions,
-};
+use mls_bench::{percent, persist_report, print_comparison, print_header, HarnessOptions};
+use mls_campaign::{CampaignReport, CampaignRunner, CampaignSpec};
 use mls_compute::ComputeProfile;
-use mls_core::{ExecutorConfig, LandingConfig, MissionOutcome, SystemVariant};
+use mls_core::SystemVariant;
 use mls_geom::Vec3;
 use mls_sim_world::Scenario;
 
@@ -29,71 +33,71 @@ fn to_field_conditions(scenario: &Scenario) -> Scenario {
     field
 }
 
-fn summary(outcomes: &[MissionOutcome]) -> (f64, f64, usize) {
-    let landed: Vec<f64> = outcomes.iter().filter_map(|o| o.landing_error).collect();
-    let mean = if landed.is_empty() {
-        f64::NAN
-    } else {
-        landed.iter().sum::<f64>() / landed.len() as f64
-    };
-    let success = outcomes
-        .iter()
-        .filter(|o| o.result == mls_core::MissionResult::Success)
-        .count() as f64
-        / outcomes.len() as f64;
-    (mean, success, landed.len())
-}
-
 fn main() {
     print_header("§V-C — Landing accuracy: SIL vs HIL vs real-world conditions");
     let mut options = HarnessOptions::from_env();
     options.maps = options.maps.min(4);
     options.scenarios_per_map = options.scenarios_per_map.min(5);
-    let scenarios = generate_scenarios(&options);
+    let runner = CampaignRunner::new(options.threads);
+
+    let spec_for = |name: &str, profile: ComputeProfile| CampaignSpec {
+        name: name.to_string(),
+        seed: options.seed,
+        maps: options.maps,
+        scenarios_per_map: options.scenarios_per_map,
+        repeats: options.repeats,
+        variants: vec![SystemVariant::MlsV3],
+        profiles: vec![profile],
+        ..CampaignSpec::default()
+    };
+
+    let sil_spec = spec_for("realworld-accuracy-sil", ComputeProfile::desktop_sil());
+    let hil_spec = spec_for("realworld-accuracy-hil", ComputeProfile::jetson_nano_maxn());
+    let field_spec = spec_for(
+        "realworld-accuracy-field",
+        ComputeProfile::jetson_nano_realworld(),
+    );
+    // The field campaign flies the same suite under §V-C conditions; the
+    // transform is deterministic, so (spec, transform) regenerates it.
+    let scenarios = runner
+        .generate_scenarios(&field_spec)
+        .expect("the §V-C campaign specification is valid");
     let field_scenarios: Vec<Scenario> = scenarios.iter().map(to_field_conditions).collect();
 
-    let landing = LandingConfig::default();
-    let executor = ExecutorConfig::default();
-
-    let cases = [
-        ("SIL (desktop)", &scenarios, ComputeProfile::desktop_sil()),
+    let reports: Vec<(&str, CampaignReport)> = vec![
+        (
+            "SIL (desktop)",
+            runner.run(&sil_spec).expect("the SIL campaign runs"),
+        ),
         (
             "HIL (Jetson Nano)",
-            &scenarios,
-            ComputeProfile::jetson_nano_maxn(),
+            runner.run(&hil_spec).expect("the HIL campaign runs"),
         ),
         (
             "Real-world (Jetson + field weather)",
-            &field_scenarios,
-            ComputeProfile::jetson_nano_realworld(),
+            runner
+                .run_with_scenarios(&field_spec, &field_scenarios)
+                .expect("the field campaign runs"),
         ),
     ];
 
     println!(
         "{:<38} {:>14} {:>12} {:>10} {:>14}",
-        "Campaign", "mean error", "landed runs", "success", "mean GPS drift"
+        "Campaign", "mean error", "landed runs", "success", "p95 GPS drift"
     );
     let mut means = Vec::new();
-    for (label, scenario_set, profile) in cases {
-        let outcomes = run_missions(
-            scenario_set,
-            SystemVariant::MlsV3,
-            &profile,
-            &landing,
-            &executor,
-            &options,
-        );
-        let (mean_error, success, landed) = summary(&outcomes);
-        let drift = outcomes.iter().map(|o| o.gps_drift).sum::<f64>() / outcomes.len() as f64;
+    for (label, report) in &reports {
+        let cell = &report.cells[0];
         println!(
             "{:<38} {:>11.2} m {:>12} {:>10} {:>11.2} m",
             label,
-            mean_error,
-            landed,
-            percent(success),
-            drift
+            cell.landing_error.mean.unwrap_or(f64::NAN),
+            cell.landing_error.count,
+            percent(cell.success_rate),
+            cell.gps_drift.p95.unwrap_or(f64::NAN),
         );
-        means.push(mean_error);
+        means.push(cell.landing_error.mean.unwrap_or(f64::NAN));
+        persist_report(report);
     }
 
     println!();

@@ -14,7 +14,7 @@
 //! MLS-V2 42.00% / 48.67% / 9.34%,
 //! MLS-V3 84.00% / 3.33% / 12.67%.
 
-use mls_bench::{percent, print_comparison, print_header, HarnessOptions};
+use mls_bench::{percent, persist_report, print_comparison, print_header, HarnessOptions};
 use mls_campaign::{CampaignRunner, CampaignSpec, CellReport};
 use mls_compute::ComputeProfile;
 use mls_core::SystemVariant;
@@ -44,6 +44,7 @@ fn main() {
     let report = CampaignRunner::new(options.threads)
         .run(&spec)
         .expect("the Table I campaign specification is valid");
+    persist_report(&report);
 
     let paper_rows = [
         (SystemVariant::MlsV1, (24.67, 71.33, 4.00)),

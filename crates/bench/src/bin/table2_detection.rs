@@ -11,7 +11,7 @@
 //!    flown by the sharded [`CampaignRunner`] — the same replayable campaign
 //!    grid the Table I/III harnesses run on.
 
-use mls_bench::{percent, print_comparison, print_header, HarnessOptions};
+use mls_bench::{percent, persist_report, print_comparison, print_header, HarnessOptions};
 use mls_campaign::{CampaignRunner, CampaignSpec};
 use mls_compute::ComputeProfile;
 use mls_core::SystemVariant;
@@ -100,6 +100,7 @@ fn main() {
     let report = CampaignRunner::new(options.threads)
         .run(&spec)
         .expect("the Table II campaign specification is valid");
+    persist_report(&report);
 
     let paper = [
         (SystemVariant::MlsV1, "OpenCV", 4.00),

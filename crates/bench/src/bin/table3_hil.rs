@@ -11,7 +11,7 @@
 //! SIL desktop and on `jetson_nano_maxn`, whose contention model inflates
 //! planning latency — and compares the resulting rates plus resource usage.
 
-use mls_bench::{percent, print_comparison, print_header, HarnessOptions};
+use mls_bench::{percent, persist_report, print_comparison, print_header, HarnessOptions};
 use mls_campaign::{CampaignRunner, CampaignSpec};
 use mls_compute::ComputeProfile;
 use mls_core::SystemVariant;
@@ -41,6 +41,7 @@ fn main() {
     let report = CampaignRunner::new(options.threads)
         .run(&spec)
         .expect("the Table III campaign specification is valid");
+    persist_report(&report);
     let sil = report
         .cell(SystemVariant::MlsV3, "desktop-sil", None)
         .expect("the grid contains the SIL cell");

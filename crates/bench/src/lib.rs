@@ -212,6 +212,33 @@ pub fn run_and_summarise(
     )
 }
 
+/// Persists a campaign report as JSON + CSV under `target/reports/`, keyed
+/// by the report (= spec) name, and prints where it landed. Every bench
+/// binary calls this for each campaign it flies, so every table and figure
+/// is backed by a replayable `CampaignSpec` artifact.
+///
+/// Write failures are reported but non-fatal: the printed tables remain
+/// useful on a read-only checkout.
+pub fn persist_report(report: &mls_campaign::CampaignReport) {
+    let dir = std::path::Path::new("target/reports");
+    let written = std::fs::create_dir_all(dir)
+        .map_err(|e| e.to_string())
+        .and_then(|()| {
+            let json = report.to_json().map_err(|e| e.to_string())?;
+            std::fs::write(dir.join(format!("{}.json", report.name)), json)
+                .map_err(|e| e.to_string())?;
+            std::fs::write(dir.join(format!("{}.csv", report.name)), report.to_csv())
+                .map_err(|e| e.to_string())
+        });
+    match written {
+        Ok(()) => println!(
+            "  [report: target/reports/{}.json (+ .csv), replayable campaign artifact]",
+            report.name
+        ),
+        Err(err) => println!("  [report {} could not be persisted: {err}]", report.name),
+    }
+}
+
 /// Prints a boxed section header.
 pub fn print_header(title: &str) {
     println!();

@@ -7,11 +7,24 @@
 //! pin down.
 
 use mls_core::SystemVariant;
+use mls_sim_world::ScenarioFamily;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{FaultKind, FaultPlan};
 use crate::spec::fault_point_label;
 use crate::CampaignError;
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, a double
+/// quote or a line break are wrapped in double quotes, with embedded quotes
+/// doubled. Everything else passes through unchanged, so reports without
+/// awkward labels render byte-identically to the unescaped form.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
 
 /// Streaming summary of one scalar metric over a cell's missions.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,9 +39,11 @@ pub struct MetricSummary {
     pub min: Option<f64>,
     /// Largest sample.
     pub max: Option<f64>,
-    /// Median (P² estimate; exact below five samples).
+    /// Median (P² estimate interpolated at the desired rank; exact at five
+    /// or fewer samples).
     pub p50: Option<f64>,
-    /// 95th percentile (P² estimate; exact below five samples).
+    /// 95th percentile (P² estimate interpolated at the desired rank; exact
+    /// at five or fewer samples).
     pub p95: Option<f64>,
 }
 
@@ -47,15 +62,18 @@ impl MetricSummary {
     }
 }
 
-/// Aggregates for one (variant, profile, fault point) cell.
+/// Aggregates for one (family, variant, profile, fault point) cell.
 ///
 /// `Deserialize` is implemented by hand so report JSONs persisted before
 /// multi-fault cells existed (a scalar `fault` key instead of the `faults`
-/// list) still parse — the vendored serde has no `#[serde(default)]`.
+/// list) or before scenario families (no `family` key) still parse — the
+/// vendored serde has no `#[serde(default)]`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CellReport {
     /// Cell position in the campaign grid.
     pub index: usize,
+    /// Scenario family the cell's suite was generated under.
+    pub family: ScenarioFamily,
     /// System generation flown.
     pub variant: SystemVariant,
     /// Compute-profile name.
@@ -94,6 +112,11 @@ impl serde::Deserialize for CellReport {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         Ok(Self {
             index: serde::de_field(value, "index")?,
+            // Reports persisted before scenario families were all open.
+            family: match value.get("family") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => ScenarioFamily::Open,
+            },
             variant: serde::de_field(value, "variant")?,
             profile: serde::de_field(value, "profile")?,
             // Reports predating multi-fault cells carry a scalar
@@ -127,14 +150,18 @@ impl serde::Deserialize for CellReport {
 
 impl CellReport {
     /// Stable row label (`MLS-V3/desktop-sil/gps-bias@0.500`, multi-fault
-    /// plans joined with `+`).
+    /// plans joined with `+`, non-open families prefixed).
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}",
             self.variant.label(),
             self.profile,
             fault_point_label(&self.faults)
-        )
+        );
+        match self.family {
+            ScenarioFamily::Open => base,
+            family => format!("{}/{base}", family.label()),
+        }
     }
 }
 
@@ -216,10 +243,12 @@ impl CampaignReport {
         serde_json::from_str(text).map_err(|e| CampaignError::Serialize(e.to_string()))
     }
 
-    /// Renders the headline columns as CSV (one row per cell).
+    /// Renders the headline columns as CSV (one row per cell). String
+    /// fields are escaped per RFC 4180 ([`csv_escape`]), so labels carrying
+    /// commas or quotes cannot shift columns.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "cell,variant,profile,fault,intensity,missions,success_rate,collision_rate,\
+            "cell,family,variant,profile,fault,intensity,missions,success_rate,collision_rate,\
              poor_landing_rate,failsafe_rate,false_negative_rate,mean_landing_error,\
              p95_landing_error,mean_duration,mean_cpu,p95_planning_latency\n",
         );
@@ -242,12 +271,13 @@ impl CampaignReport {
             };
             let opt = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.4}"));
             out.push_str(&format!(
-                "{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{}\n",
                 cell.index,
-                cell.variant.label(),
-                cell.profile,
-                fault,
-                intensity,
+                cell.family.label(),
+                csv_escape(cell.variant.label()),
+                csv_escape(&cell.profile),
+                csv_escape(&fault),
+                csv_escape(&intensity),
                 cell.missions,
                 cell.success_rate,
                 cell.collision_rate,
@@ -298,9 +328,37 @@ impl CampaignReport {
         })
     }
 
+    /// Finds a cell by scenario family, variant, profile name and single
+    /// fault kind (`None` for the baseline cell) — the per-family form of
+    /// [`CampaignReport::cell`].
+    pub fn cell_in_family(
+        &self,
+        family: ScenarioFamily,
+        variant: SystemVariant,
+        profile: &str,
+        fault: Option<FaultKind>,
+    ) -> Option<&CellReport> {
+        let kinds = fault.as_slice();
+        self.cells.iter().find(|c| {
+            c.family == family
+                && c.variant == variant
+                && c.profile == profile
+                && c.faults.len() == kinds.len()
+                && c.faults
+                    .iter()
+                    .zip(kinds)
+                    .all(|(plan, kind)| plan.kind == *kind)
+        })
+    }
+
     /// All cells of one variant, in grid order.
     pub fn cells_for(&self, variant: SystemVariant) -> impl Iterator<Item = &CellReport> {
         self.cells.iter().filter(move |c| c.variant == variant)
+    }
+
+    /// All cells of one scenario family, in grid order.
+    pub fn cells_in_family(&self, family: ScenarioFamily) -> impl Iterator<Item = &CellReport> {
+        self.cells.iter().filter(move |c| c.family == family)
     }
 
     /// All persisted traces of one cell, in grid order.
@@ -318,6 +376,7 @@ mod tests {
     fn cell(index: usize, variant: SystemVariant, fault: Option<FaultPlan>) -> CellReport {
         CellReport {
             index,
+            family: ScenarioFamily::Open,
             variant,
             profile: "desktop-sil".to_string(),
             faults: fault.into_iter().collect(),
@@ -460,6 +519,122 @@ mod tests {
         let csv = report().to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.lines().nth(2).unwrap().contains("gps-bias"));
+    }
+
+    /// Splits one CSV record respecting RFC 4180 quoting — what any
+    /// conforming reader does, and what the escaping must keep stable.
+    fn parse_csv_record(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted && chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => quoted = !quoted,
+                ',' if !quoted => fields.push(std::mem::take(&mut field)),
+                c => field.push(c),
+            }
+        }
+        fields.push(field);
+        fields
+    }
+
+    #[test]
+    fn csv_fields_with_commas_and_quotes_are_escaped_per_rfc_4180() {
+        let mut report = report();
+        // A profile label an operator could plausibly type: commas + quotes.
+        report.cells[1].profile = "jetson nano, 10W \"maxn\"".to_string();
+        let csv = report.to_csv();
+        let header_columns = parse_csv_record(csv.lines().next().unwrap()).len();
+        for line in csv.lines().skip(1) {
+            let fields = parse_csv_record(line);
+            assert_eq!(
+                fields.len(),
+                header_columns,
+                "row has shifted columns: {line}"
+            );
+        }
+        let row = parse_csv_record(csv.lines().nth(2).unwrap());
+        assert_eq!(row[3], "jetson nano, 10W \"maxn\"");
+        // The raw line carries the doubled-quote escaped form.
+        assert!(csv.contains("\"jetson nano, 10W \"\"maxn\"\"\""));
+        // Unescaped reports render exactly as before (no spurious quoting).
+        assert!(!report.to_csv().lines().nth(1).unwrap().contains('"'));
+    }
+
+    #[test]
+    fn csv_escape_passes_clean_fields_through() {
+        assert_eq!(csv_escape("gps-bias@0.500"), "gps-bias@0.500");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn family_aware_lookups_and_labels() {
+        let mut report = report();
+        report.cells[1].family = ScenarioFamily::ConstrainedPad;
+        assert_eq!(
+            report.cells[1].label(),
+            "constrained-pad/MLS-V1/desktop-sil/gps-bias@0.500"
+        );
+        assert_eq!(
+            report
+                .cells_in_family(ScenarioFamily::ConstrainedPad)
+                .count(),
+            1
+        );
+        assert!(report
+            .cell_in_family(
+                ScenarioFamily::ConstrainedPad,
+                SystemVariant::MlsV1,
+                "desktop-sil",
+                Some(FaultKind::GpsBias),
+            )
+            .is_some());
+        assert!(report
+            .cell_in_family(
+                ScenarioFamily::Open,
+                SystemVariant::MlsV1,
+                "desktop-sil",
+                Some(FaultKind::GpsBias),
+            )
+            .is_none());
+        // The CSV carries the family column.
+        let row = parse_csv_record(report.to_csv().lines().nth(2).unwrap());
+        assert_eq!(row[1], "constrained-pad");
+    }
+
+    #[test]
+    fn legacy_cells_without_a_family_key_parse_as_open() {
+        let json = report().to_json().unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("report serialises to an object");
+        };
+        for (key, value) in &mut fields {
+            if key != "cells" {
+                continue;
+            }
+            let serde::Value::Array(cells) = value else {
+                panic!("cells serialise to an array");
+            };
+            for cell in cells {
+                let serde::Value::Object(cell_fields) = cell else {
+                    panic!("a cell serialises to an object");
+                };
+                cell_fields.retain(|(cell_key, _)| cell_key != "family");
+            }
+        }
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed = CampaignReport::from_json(&legacy).unwrap();
+        assert!(parsed
+            .cells
+            .iter()
+            .all(|c| c.family == ScenarioFamily::Open));
     }
 
     #[test]

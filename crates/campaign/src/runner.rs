@@ -172,8 +172,8 @@ impl CampaignRunner {
         self.threads
     }
 
-    /// Runs the campaign end to end: scenario generation, the sharded
-    /// mission sweep, and per-cell aggregation.
+    /// Runs the campaign end to end: per-family scenario generation, the
+    /// sharded mission sweep, and per-cell aggregation.
     ///
     /// # Errors
     ///
@@ -181,32 +181,69 @@ impl CampaignRunner {
     /// or a landing system cannot be assembled.
     pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
         spec.validate()?;
-        let scenarios = self.generate_scenarios(spec)?;
-        self.run_with_scenarios(spec, &scenarios)
+        let suites = self.generate_suites(spec)?;
+        self.run_with_suites(spec, &suites)
     }
 
-    /// Runs the campaign over an already-generated scenario suite (callers
-    /// sweeping many specs over the same suite — e.g. the falsification
-    /// search — generate it once and reuse it).
+    /// Runs a single-family campaign over an already-generated scenario
+    /// suite (callers sweeping many specs over the same suite — e.g. the
+    /// falsification search — generate it once and reuse it).
     ///
     /// # Errors
     ///
-    /// Returns an error when the spec is invalid or a landing system cannot
-    /// be assembled.
+    /// Returns an error when the spec is invalid, sweeps more than one
+    /// scenario family, or a landing system cannot be assembled.
     pub fn run_with_scenarios(
         &self,
         spec: &CampaignSpec,
         scenarios: &[Scenario],
     ) -> Result<CampaignReport, CampaignError> {
         spec.validate()?;
-        if scenarios.len() != spec.maps * spec.scenarios_per_map {
+        if spec.families.len() != 1 {
             return Err(CampaignError::InvalidSpec {
                 reason: format!(
-                    "scenario suite has {} scenarios but the spec's grid needs {}",
-                    scenarios.len(),
-                    spec.maps * spec.scenarios_per_map
+                    "run_with_scenarios takes one suite but the spec sweeps {} families \
+                     (use run or run_with_suites)",
+                    spec.families.len()
                 ),
             });
+        }
+        self.run_with_suites(spec, &[scenarios])
+    }
+
+    /// Runs the campaign over already-generated scenario suites, one per
+    /// entry of [`CampaignSpec::families`], in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec is invalid, the suites do not match
+    /// the grid, or a landing system cannot be assembled.
+    pub fn run_with_suites<S: AsRef<[Scenario]> + Sync>(
+        &self,
+        spec: &CampaignSpec,
+        suites: &[S],
+    ) -> Result<CampaignReport, CampaignError> {
+        spec.validate()?;
+        if suites.len() != spec.families.len() {
+            return Err(CampaignError::InvalidSpec {
+                reason: format!(
+                    "{} scenario suites supplied but the spec sweeps {} families",
+                    suites.len(),
+                    spec.families.len()
+                ),
+            });
+        }
+        for (family, suite) in spec.families.iter().zip(suites) {
+            if suite.as_ref().len() != spec.maps * spec.scenarios_per_map {
+                return Err(CampaignError::InvalidSpec {
+                    reason: format!(
+                        "the {} scenario suite has {} scenarios but the spec's grid needs {}",
+                        family.label(),
+                        suite.as_ref().len(),
+                        spec.maps * spec.scenarios_per_map
+                    ),
+                });
+            }
         }
         let cells = spec.cells();
         let missions_per_cell = spec.missions_per_cell();
@@ -220,6 +257,7 @@ impl CampaignRunner {
         let results: Vec<Result<MissionRecord, CampaignError>> =
             execute_sharded(total, self.threads, |index| {
                 let cell = &cells[index / missions_per_cell];
+                let scenarios = suites[cell.suite_index].as_ref();
                 let within = index % missions_per_cell;
                 let scenario = &scenarios[within % scenarios.len()];
                 let repeat = within / scenarios.len();
@@ -283,18 +321,53 @@ impl CampaignRunner {
         })
     }
 
-    /// Generates the benchmark scenario suite a spec sweeps over.
+    /// Generates the benchmark scenario suite of the spec's *first* family
+    /// (the only family for pre-family specs and the falsification probes).
     ///
     /// # Errors
     ///
     /// Returns an error when the scenario generator rejects the dimensions.
     pub fn generate_scenarios(&self, spec: &CampaignSpec) -> Result<Vec<Scenario>, CampaignError> {
+        let family = spec
+            .families
+            .first()
+            .copied()
+            .ok_or_else(|| CampaignError::InvalidSpec {
+                reason: "the spec sweeps no scenario family".to_string(),
+            })?;
+        self.generate_family_suite(spec, family)
+    }
+
+    /// Generates one scenario suite per family of the spec, in
+    /// [`CampaignSpec::families`] order, each from its
+    /// [`CampaignSpec::suite_seed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scenario generator rejects the dimensions.
+    pub fn generate_suites(
+        &self,
+        spec: &CampaignSpec,
+    ) -> Result<Vec<Vec<Scenario>>, CampaignError> {
+        spec.families
+            .iter()
+            .map(|&family| self.generate_family_suite(spec, family))
+            .collect()
+    }
+
+    /// Generates the suite of one family from its derived seed.
+    fn generate_family_suite(
+        &self,
+        spec: &CampaignSpec,
+        family: mls_sim_world::ScenarioFamily,
+    ) -> Result<Vec<Scenario>, CampaignError> {
         let config = ScenarioConfig {
+            family,
             maps: spec.maps,
             scenarios_per_map: spec.scenarios_per_map,
             ..ScenarioConfig::default()
         };
-        Ok(ScenarioGenerator::new(config).generate_benchmark(spec.seed)?)
+        Ok(ScenarioGenerator::new(config).generate_benchmark(spec.suite_seed(family))?)
     }
 
     /// Flies one mission of one cell, attaching a flight recorder when
@@ -352,10 +425,12 @@ impl CampaignRunner {
                 repeat,
                 config_hash,
             );
-            // Stamp the fault-space point the mission flies, so the trace is
-            // self-describing about its falsification coordinates. Replay
-            // regenerates the same stamp from the spec's cell, keeping the
-            // header byte-comparison exact.
+            // Stamp the scenario family and the fault-space point the
+            // mission flies, so the trace is self-describing about its suite
+            // and falsification coordinates. Replay regenerates the same
+            // stamps from the spec's cell, keeping the header
+            // byte-comparison exact.
+            header.family = cell.family.label().to_string();
             header.coordinates = cell
                 .faults
                 .iter()
@@ -406,6 +481,14 @@ impl CampaignRunner {
                 header.cell_index, cell.variant, header.variant
             )));
         }
+        if cell.family.label() != header.family {
+            return Err(reject(format!(
+                "cell {} flies the {} family, the trace recorded {}",
+                header.cell_index,
+                cell.family.label(),
+                header.family
+            )));
+        }
         let scenario = scenarios
             .iter()
             .find(|s| s.id == header.scenario_id)
@@ -415,6 +498,18 @@ impl CampaignRunner {
                     header.scenario_id
                 ))
             })?;
+        // Scenario ids restart at 0 per family suite, so an id match alone
+        // would happily re-fly another family's scenario and report the
+        // byte mismatch as nondeterminism.
+        if scenario.family != cell.family {
+            return Err(reject(format!(
+                "the supplied suite's scenario {} is from the {} family, cell {} flies {}",
+                scenario.id,
+                scenario.family.label(),
+                header.cell_index,
+                cell.family.label()
+            )));
+        }
         if spec.mission_seed(scenario.id, header.repeat) != header.seed {
             return Err(reject(format!(
                 "seed {} is not the spec's seed for scenario {} repeat {}",
@@ -486,6 +581,7 @@ fn aggregate_cell(cell: &CampaignCell, records: &[MissionRecord]) -> CellReport 
 
     CellReport {
         index: cell.index,
+        family: cell.family,
         variant: cell.variant,
         profile: cell.profile.clone(),
         faults: cell.faults.clone(),

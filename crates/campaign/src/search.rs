@@ -51,6 +51,10 @@ pub struct FalsificationConfig {
     pub maps: usize,
     /// Scenarios per map per probe campaign.
     pub scenarios_per_map: usize,
+    /// Scenario family every probe campaign flies over: the constrained
+    /// families give the search a measurably harder space (failures appear
+    /// at lower fault severities than over open pads).
+    pub family: mls_sim_world::ScenarioFamily,
     /// Repetitions per scenario per probe.
     pub repeats: usize,
     /// A probe "fails" when its success rate drops below this threshold.
@@ -74,6 +78,7 @@ impl Default for FalsificationConfig {
             seed: 2025,
             maps: 2,
             scenarios_per_map: 4,
+            family: mls_sim_world::ScenarioFamily::Open,
             repeats: 1,
             failure_threshold: 0.5,
             minimizer_passes: 2,
@@ -179,12 +184,18 @@ pub struct Counterexample {
 }
 
 /// The outcome of falsifying one (variant, fault space) pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand so result JSONs persisted before
+/// scenario families existed (no `family` key) still parse as open-family
+/// searches — the vendored serde has no `#[serde(default)]`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SpaceFalsification {
     /// The fault space searched.
     pub space: FaultSpace,
     /// System generation probed.
     pub variant: SystemVariant,
+    /// Scenario family the probe campaigns flew over.
+    pub family: mls_sim_world::ScenarioFamily,
     /// Label of the searcher used.
     pub searcher: String,
     /// Success rate with no fault injected.
@@ -195,6 +206,24 @@ pub struct SpaceFalsification {
     /// Every distinct point evaluated, in evaluation order (memoised
     /// re-visits are not repeated).
     pub probes: Vec<ProbePoint>,
+}
+
+impl serde::Deserialize for SpaceFalsification {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            space: serde::de_field(value, "space")?,
+            variant: serde::de_field(value, "variant")?,
+            // Results persisted before scenario families searched open pads.
+            family: match value.get("family") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => mls_sim_world::ScenarioFamily::Open,
+            },
+            searcher: serde::de_field(value, "searcher")?,
+            baseline_success_rate: serde::de_field(value, "baseline_success_rate")?,
+            counterexample: serde::de_field(value, "counterexample")?,
+            probes: serde::de_field(value, "probes")?,
+        })
+    }
 }
 
 /// A complete falsification study over several (variant, space) pairs.
@@ -224,9 +253,13 @@ impl FalsificationReport {
     }
 
     /// Renders the headline columns as CSV (one row per searched space).
+    /// String fields are escaped per RFC 4180
+    /// ([`crate::report::csv_escape`]), so labels carrying commas or quotes
+    /// cannot shift columns.
     pub fn to_csv(&self) -> String {
+        let escape = crate::report::csv_escape;
         let mut out = String::from(
-            "space,variant,searcher,axes,baseline_success_rate,probes,falsified,\
+            "space,variant,family,searcher,axes,baseline_success_rate,probes,falsified,\
              counterexample,success_at_counterexample,triage,replay_identical,trace\n",
         );
         for result in &self.results {
@@ -249,19 +282,20 @@ impl FalsificationReport {
                 None => Default::default(),
             };
             out.push_str(&format!(
-                "{},{},{},{},{:.4},{},{},{},{},{},{},{}\n",
-                result.space.name,
-                result.variant.label(),
-                result.searcher,
+                "{},{},{},{},{},{:.4},{},{},{},{},{},{},{}\n",
+                escape(&result.space.name),
+                escape(result.variant.label()),
+                result.family.label(),
+                escape(&result.searcher),
                 result.space.dim(),
                 result.baseline_success_rate,
                 result.probes.len(),
                 result.counterexample.is_some(),
-                counterexample,
+                escape(&counterexample),
                 success,
-                triage,
+                escape(&triage),
                 replay,
-                trace,
+                escape(&trace),
             ));
         }
         out
@@ -681,6 +715,7 @@ impl FalsificationSearch {
         Ok(SpaceFalsification {
             space: space.clone(),
             variant,
+            family: self.config.family,
             searcher: searcher.label().to_string(),
             baseline_success_rate,
             counterexample,
@@ -758,6 +793,7 @@ fn probe_spec_for(
         seed: config.seed,
         maps: config.maps,
         scenarios_per_map: config.scenarios_per_map,
+        families: vec![config.family],
         repeats: config.repeats,
         variants: vec![variant],
         profiles: vec![config.profile.clone()],
@@ -942,6 +978,7 @@ mod tests {
             results: vec![SpaceFalsification {
                 space,
                 variant: SystemVariant::MlsV2,
+                family: mls_sim_world::ScenarioFamily::Open,
                 searcher: "grid-refinement".to_string(),
                 baseline_success_rate: 0.9,
                 counterexample: Some(Counterexample {

@@ -8,8 +8,9 @@
 
 use mls_compute::ComputeProfile;
 use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
+use mls_sim_world::ScenarioFamily;
 use mls_trace::TracePolicy;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::faults::{FaultKind, FaultPlan};
 use crate::CampaignError;
@@ -17,9 +18,9 @@ use crate::CampaignError;
 /// A declarative fault-injection campaign.
 ///
 /// `Deserialize` is implemented by hand so spec JSONs written before the
-/// trace subsystem (no `capture` key) or the falsification subsystem (no
-/// `combos` key) still parse with the old semantics — the vendored serde has
-/// no `#[serde(default)]`.
+/// trace subsystem (no `capture` key), the falsification subsystem (no
+/// `combos` key) or scenario families (no `families` key) still parse with
+/// the old semantics — the vendored serde has no `#[serde(default)]`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignSpec {
     /// Campaign name, embedded in reports.
@@ -30,6 +31,11 @@ pub struct CampaignSpec {
     pub maps: usize,
     /// Scenarios generated per map (half normal, half adverse weather).
     pub scenarios_per_map: usize,
+    /// Scenario families swept as a grid axis: each family gets its own
+    /// deterministic scenario suite (derived via [`CampaignSpec::suite_seed`])
+    /// and its own block of cells, so open-vs-constrained contrasts come out
+    /// of one campaign report.
+    pub families: Vec<ScenarioFamily>,
     /// Repetitions of every scenario per cell.
     pub repeats: usize,
     /// System generations under test.
@@ -61,6 +67,11 @@ impl serde::Deserialize for CampaignSpec {
             seed: serde::de_field(value, "seed")?,
             maps: serde::de_field(value, "maps")?,
             scenarios_per_map: serde::de_field(value, "scenarios_per_map")?,
+            // Specs predating scenario families swept the open suite only.
+            families: match value.get("families") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => vec![ScenarioFamily::Open],
+            },
             repeats: serde::de_field(value, "repeats")?,
             variants: serde::de_field(value, "variants")?,
             profiles: serde::de_field(value, "profiles")?,
@@ -82,12 +93,21 @@ impl serde::Deserialize for CampaignSpec {
     }
 }
 
-/// One cell of the campaign grid: a (variant, profile, fault point)
-/// combination flown over the whole scenario suite.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One cell of the campaign grid: a (family, variant, profile, fault point)
+/// combination flown over the family's scenario suite.
+///
+/// `Deserialize` is implemented by hand so cells persisted before scenario
+/// families existed (no `family` / `suite_index` keys) still parse as open
+/// cells — the vendored serde has no `#[serde(default)]`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignCell {
     /// Position of the cell in the expanded grid.
     pub index: usize,
+    /// Scenario family whose suite the cell flies over.
+    pub family: ScenarioFamily,
+    /// Index into [`CampaignSpec::families`] (the runner keeps one scenario
+    /// suite per family).
+    pub suite_index: usize,
     /// System generation.
     pub variant: SystemVariant,
     /// Index into [`CampaignSpec::profiles`].
@@ -100,16 +120,43 @@ pub struct CampaignCell {
     pub faults: Vec<FaultPlan>,
 }
 
+impl serde::Deserialize for CampaignCell {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            index: serde::de_field(value, "index")?,
+            // Cells persisted before scenario families were all open.
+            family: match value.get("family") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => ScenarioFamily::Open,
+            },
+            suite_index: match value.get("suite_index") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => 0,
+            },
+            variant: serde::de_field(value, "variant")?,
+            profile_index: serde::de_field(value, "profile_index")?,
+            profile: serde::de_field(value, "profile")?,
+            faults: serde::de_field(value, "faults")?,
+        })
+    }
+}
+
 impl CampaignCell {
     /// Stable row label (`MLS-V3/jetson-nano-maxn/gps-bias@0.500`,
-    /// multi-fault plans joined with `+`).
+    /// multi-fault plans joined with `+`). Non-open families are prefixed
+    /// (`constrained-pad/MLS-V2/desktop-sil/baseline`), so legacy labels are
+    /// unchanged.
     pub fn label(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}",
             self.variant.label(),
             self.profile,
             fault_point_label(&self.faults)
-        )
+        );
+        match self.family {
+            ScenarioFamily::Open => base,
+            family => format!("{}/{base}", family.label()),
+        }
     }
 }
 
@@ -134,6 +181,7 @@ impl Default for CampaignSpec {
             seed: 2025,
             maps: 3,
             scenarios_per_map: 4,
+            families: vec![ScenarioFamily::Open],
             repeats: 1,
             variants: SystemVariant::ALL.to_vec(),
             profiles: vec![ComputeProfile::desktop_sil()],
@@ -205,6 +253,14 @@ impl CampaignSpec {
         if self.variants.is_empty() {
             return reject("at least one system variant is required");
         }
+        if self.families.is_empty() {
+            return reject("at least one scenario family is required");
+        }
+        for (i, family) in self.families.iter().enumerate() {
+            if self.families[..i].contains(family) {
+                return reject("a scenario family must not be listed twice");
+            }
+        }
         if self.profiles.is_empty() {
             return reject("at least one compute profile is required");
         }
@@ -240,30 +296,49 @@ impl CampaignSpec {
     }
 
     /// Expands the grid into its cells, in deterministic order:
-    /// variant-major, then profile, then baseline followed by the
-    /// single-fault list followed by the combo list.
+    /// family-major, then variant, then profile, then baseline followed by
+    /// the single-fault list followed by the combo list. Single-family specs
+    /// expand exactly as they did before families existed.
     pub fn cells(&self) -> Vec<CampaignCell> {
         let mut cells = Vec::new();
-        for variant in &self.variants {
-            for (profile_index, profile) in self.profiles.iter().enumerate() {
-                let points = self
-                    .baseline
-                    .then(Vec::new)
-                    .into_iter()
-                    .chain(self.faults.iter().map(|&plan| vec![plan]))
-                    .chain(self.combos.iter().cloned());
-                for faults in points {
-                    cells.push(CampaignCell {
-                        index: cells.len(),
-                        variant: *variant,
-                        profile_index,
-                        profile: profile.name.clone(),
-                        faults,
-                    });
+        for (suite_index, family) in self.families.iter().enumerate() {
+            for variant in &self.variants {
+                for (profile_index, profile) in self.profiles.iter().enumerate() {
+                    let points = self
+                        .baseline
+                        .then(Vec::new)
+                        .into_iter()
+                        .chain(self.faults.iter().map(|&plan| vec![plan]))
+                        .chain(self.combos.iter().cloned());
+                    for faults in points {
+                        cells.push(CampaignCell {
+                            index: cells.len(),
+                            family: *family,
+                            suite_index,
+                            variant: *variant,
+                            profile_index,
+                            profile: profile.name.clone(),
+                            faults,
+                        });
+                    }
                 }
             }
         }
         cells
+    }
+
+    /// The deterministic seed a family's scenario suite is generated from.
+    ///
+    /// The open family keeps the campaign seed itself (so single-family
+    /// specs regenerate exactly the pre-family suites); every other family
+    /// mixes the campaign seed with a hash of the family label, making the
+    /// derivation a pure function of (seed, family) — independent of the
+    /// family's position in [`CampaignSpec::families`].
+    pub fn suite_seed(&self, family: ScenarioFamily) -> u64 {
+        match family {
+            ScenarioFamily::Open => self.seed,
+            family => self.seed ^ mls_trace::config_hash(family.label()),
+        }
     }
 
     /// Missions flown per cell.
@@ -461,6 +536,85 @@ mod tests {
         let parsed = CampaignSpec::from_json(&legacy).unwrap();
         assert_eq!(parsed.capture, TracePolicy::Off);
         assert_eq!(parsed.maps, spec.maps);
+    }
+
+    #[test]
+    fn specs_without_a_families_key_parse_as_open_only() {
+        let spec = CampaignSpec::smoke();
+        let json = spec.to_json().unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("spec serialises to an object");
+        };
+        fields.retain(|(key, _)| key != "families");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed = CampaignSpec::from_json(&legacy).unwrap();
+        assert_eq!(parsed.families, vec![ScenarioFamily::Open]);
+        assert_eq!(parsed.cells().len(), spec.cells().len());
+    }
+
+    #[test]
+    fn family_axis_expands_family_major_and_prefixes_labels() {
+        let mut spec = CampaignSpec::smoke();
+        spec.variants = vec![SystemVariant::MlsV2];
+        spec.faults.clear();
+        spec.families = vec![ScenarioFamily::Open, ScenarioFamily::ConstrainedPad];
+        spec.validate().unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].family, ScenarioFamily::Open);
+        assert_eq!(cells[0].suite_index, 0);
+        assert_eq!(cells[0].label(), "MLS-V2/desktop-sil/baseline");
+        assert_eq!(cells[1].family, ScenarioFamily::ConstrainedPad);
+        assert_eq!(cells[1].suite_index, 1);
+        assert_eq!(
+            cells[1].label(),
+            "constrained-pad/MLS-V2/desktop-sil/baseline"
+        );
+        assert_eq!(spec.total_missions(), 2 * spec.missions_per_cell());
+    }
+
+    #[test]
+    fn duplicate_families_are_rejected() {
+        let mut spec = CampaignSpec::smoke();
+        spec.families = vec![ScenarioFamily::Rooftop, ScenarioFamily::Rooftop];
+        assert!(spec.validate().is_err());
+        spec.families.clear();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn suite_seeds_are_family_pure_and_open_keeps_the_campaign_seed() {
+        let spec = CampaignSpec::smoke();
+        assert_eq!(spec.suite_seed(ScenarioFamily::Open), spec.seed);
+        let constrained = spec.suite_seed(ScenarioFamily::ConstrainedPad);
+        assert_ne!(constrained, spec.seed);
+        assert_eq!(constrained, spec.suite_seed(ScenarioFamily::ConstrainedPad));
+        // Distinct families derive distinct suites.
+        assert_ne!(constrained, spec.suite_seed(ScenarioFamily::UrbanCanyon));
+        // A reordered families list does not move the seeds.
+        let reordered = CampaignSpec {
+            families: vec![ScenarioFamily::ConstrainedPad, ScenarioFamily::Open],
+            ..spec.clone()
+        };
+        assert_eq!(
+            reordered.suite_seed(ScenarioFamily::ConstrainedPad),
+            constrained
+        );
+    }
+
+    #[test]
+    fn legacy_cell_json_without_family_parses_as_open() {
+        let cell = CampaignSpec::smoke().cells().remove(1);
+        let json = serde_json::to_string(&cell).unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("cell serialises to an object");
+        };
+        fields.retain(|(key, _)| key != "family" && key != "suite_index");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed: CampaignCell = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.family, ScenarioFamily::Open);
+        assert_eq!(parsed.suite_index, 0);
+        assert_eq!(parsed, cell);
     }
 
     #[test]

@@ -169,19 +169,35 @@ impl P2Quantile {
         }
     }
 
-    /// Current estimate; `None` when empty. Exact while fewer than five
-    /// samples have been seen.
+    /// Current estimate; `None` when empty. Exact (linearly interpolated at
+    /// the fractional rank `1 + q·(n−1)`) while at most five samples have
+    /// been seen.
+    ///
+    /// Past five samples the estimate interpolates the *marker polyline* at
+    /// that same desired rank instead of returning the middle marker: right
+    /// after the exact↔estimate handoff the markers are still the raw
+    /// sorted samples, so `heights[2]` is their median regardless of the
+    /// tracked quantile — a p95 stream over `[1..5]` used to collapse from
+    /// the sample maximum to `3.0` on the fifth sample and crawl back up
+    /// only as the markers adapted. Interpolating at the desired rank makes
+    /// the estimate continuous across the handoff (at five samples the
+    /// markers *are* the sorted samples at ranks 1–5, so both paths agree
+    /// exactly) and asymptotically equals the classic middle-marker
+    /// estimate, whose position converges onto the desired rank.
     pub fn estimate(&self) -> Option<f64> {
         if self.count == 0 {
             return None;
         }
-        if self.count < 5 {
+        let rank = 1.0 + self.quantile * (self.count - 1) as f64;
+        if self.count <= 5 {
+            // `heights[..count]` holds the raw samples (already sorted once
+            // the fifth arrives); the exact quantile is available.
             let mut sorted = self.heights[..self.count].to_vec();
             sorted.sort_by(f64::total_cmp);
-            let rank = (self.quantile * (self.count - 1) as f64).round() as usize;
-            return Some(sorted[rank.min(self.count - 1)]);
+            let positions: Vec<f64> = (1..=self.count).map(|i| i as f64).collect();
+            return Some(interpolate_rank(&positions, &sorted, rank));
         }
-        Some(self.heights[2])
+        Some(interpolate_rank(&self.positions, &self.heights, rank))
     }
 
     fn parabolic(&self, i: usize, direction: f64) -> f64 {
@@ -198,6 +214,26 @@ impl P2Quantile {
             + direction * (self.heights[j] - self.heights[i])
                 / (self.positions[j] - self.positions[i])
     }
+}
+
+/// Linearly interpolates a monotone (position, height) polyline at `rank`,
+/// clamping to the end points. `positions` are 1-based sample ranks in
+/// ascending order; ties in position fall back to the later height.
+fn interpolate_rank(positions: &[f64], heights: &[f64], rank: f64) -> f64 {
+    debug_assert_eq!(positions.len(), heights.len());
+    if positions.len() == 1 {
+        return heights[0];
+    }
+    let mut i = 0;
+    while i + 2 < positions.len() && positions[i + 1] < rank {
+        i += 1;
+    }
+    let (p0, p1) = (positions[i], positions[i + 1]);
+    if p1 <= p0 {
+        return heights[i + 1];
+    }
+    let t = ((rank - p0) / (p1 - p0)).clamp(0.0, 1.0);
+    heights[i] + t * (heights[i + 1] - heights[i])
 }
 
 /// One metric's full streaming summary: mean/std/min/max plus the median and
@@ -294,6 +330,39 @@ mod tests {
         q.push(30.0);
         q.push(20.0);
         assert_eq!(q.estimate(), Some(20.0));
+    }
+
+    #[test]
+    fn p2_exact_estimate_handoff_at_five_samples_is_not_discontinuous() {
+        // Regression: at exactly five samples the markers are still the raw
+        // sorted samples, and the estimator used to return their median for
+        // *any* quantile — a p95 stream over [1..5] reported 3.0.
+        let mut q = P2Quantile::new(0.95);
+        for i in 1..=4 {
+            q.push(i as f64);
+        }
+        // Exact fractional-rank quantile: rank 1 + 0.95·3 = 3.85 → 3.85.
+        assert!((q.estimate().unwrap() - 3.85).abs() < 1e-12);
+        q.push(5.0);
+        // At the handoff the markers *are* the sorted samples, so both
+        // paths agree: rank 1 + 0.95·4 = 4.8 → 4.8, far from the old 3.0.
+        assert!((q.estimate().unwrap() - 4.8).abs() < 1e-12);
+        // Crossing into the marker-based regime stays continuous and in the
+        // upper sample range rather than collapsing to the median.
+        q.push(6.0);
+        let estimate = q.estimate().unwrap();
+        assert!(
+            (4.8..=6.0).contains(&estimate),
+            "6 samples: p95 estimate {estimate} left the upper sample range"
+        );
+
+        // The p50 handoff is unchanged: the median of five sorted samples
+        // sits at rank 3 on both sides of the boundary.
+        let mut median = P2Quantile::new(0.5);
+        for value in [10.0, 30.0, 20.0, 50.0, 40.0] {
+            median.push(value);
+        }
+        assert_eq!(median.estimate(), Some(30.0));
     }
 
     #[test]

@@ -105,3 +105,84 @@ fn detection_dropout_degrades_v1_but_v3_keeps_its_failsafes() {
         "a blinded MLS-V3 must fail safe, not collide"
     );
 }
+
+#[test]
+fn multi_family_campaign_is_thread_count_independent_and_family_major() {
+    use mls_campaign::TracePolicy;
+    use mls_sim_world::ScenarioFamily;
+
+    let mut spec = CampaignSpec {
+        name: "family-grid".to_string(),
+        seed: 41,
+        maps: 1,
+        scenarios_per_map: 2,
+        repeats: 1,
+        variants: vec![SystemVariant::MlsV3],
+        families: vec![ScenarioFamily::Open, ScenarioFamily::ConstrainedPad],
+        capture: TracePolicy::Off,
+        ..CampaignSpec::default()
+    };
+    spec.landing.mission_timeout = 100.0;
+    spec.executor.max_duration = 120.0;
+
+    let single = CampaignRunner::new(1).run(&spec).unwrap();
+    let sharded = CampaignRunner::new(4).run(&spec).unwrap();
+    assert_eq!(
+        single.to_json().unwrap(),
+        sharded.to_json().unwrap(),
+        "a family-grid report must not depend on the worker-thread count"
+    );
+
+    // One baseline cell per family, family-major, each flown over its own
+    // suite.
+    assert_eq!(single.cells.len(), 2);
+    assert_eq!(single.cells[0].family, ScenarioFamily::Open);
+    assert_eq!(single.cells[1].family, ScenarioFamily::ConstrainedPad);
+    assert_eq!(single.missions, 4);
+
+    // The constrained suite is a different world: the runner derives a
+    // distinct per-family seed, so the two cells cannot be copies of each
+    // other even though they fly the same variant and mission seeds.
+    let runner = CampaignRunner::new(1);
+    let suites = runner.generate_suites(&spec).unwrap();
+    assert_eq!(suites.len(), 2);
+    assert_ne!(suites[0], suites[1]);
+    assert!(suites[1]
+        .iter()
+        .all(|s| s.family == ScenarioFamily::ConstrainedPad));
+
+    // Feeding the suites back through run_with_suites reproduces run().
+    let replayed = runner.run_with_suites(&spec, &suites).unwrap();
+    assert_eq!(single.to_json().unwrap(), replayed.to_json().unwrap());
+
+    // run_with_scenarios refuses the ambiguity of a multi-family spec.
+    assert!(runner.run_with_scenarios(&spec, &suites[0]).is_err());
+
+    // Scenario ids restart at 0 per family suite, so refly must reject a
+    // suite from the wrong family instead of re-flying the same-id scenario
+    // of another world and reporting the byte mismatch as nondeterminism.
+    let header = mls_trace::TraceHeader {
+        version: mls_trace::TRACE_FORMAT_VERSION,
+        campaign: spec.name.clone(),
+        seed: spec.mission_seed(0, 0),
+        variant: SystemVariant::MlsV3,
+        scenario_id: 0,
+        scenario_name: suites[1][0].name.clone(),
+        family: ScenarioFamily::ConstrainedPad.label().to_string(),
+        cell_index: 1,
+        repeat: 0,
+        config_hash: spec.config_hash().unwrap(),
+        tick_decimation: 25,
+        map_decimation: 8,
+        capacity: 8192,
+        dropped_events: 0,
+        coordinates: Vec::new(),
+    };
+    let err = runner.refly(&spec, &suites[0], &header).unwrap_err();
+    assert!(
+        err.to_string().contains("family"),
+        "wrong-family suite must be rejected, got: {err}"
+    );
+    // The right suite re-flies cleanly.
+    assert!(runner.refly(&spec, &suites[1], &header).is_ok());
+}

@@ -117,6 +117,9 @@ impl Default for ExecutorConfig {
 /// Drives one landing system through one scenario.
 pub struct MissionExecutor {
     scenario: Scenario,
+    /// True marker position, resolved (and validated) at construction so the
+    /// mission loop never has to handle a target-less scenario.
+    true_target: Vec3,
     system: LandingSystem,
     uav: Uav,
     compute: ComputeModel,
@@ -131,7 +134,8 @@ impl MissionExecutor {
     ///
     /// # Errors
     ///
-    /// Returns an error when the landing-system configuration is invalid.
+    /// Returns an error when the landing-system configuration is invalid or
+    /// the scenario carries no target marker.
     pub fn new(
         scenario: &Scenario,
         system: LandingSystem,
@@ -139,6 +143,11 @@ impl MissionExecutor {
         config: ExecutorConfig,
         seed: u64,
     ) -> Result<Self, MlsError> {
+        let true_target = scenario
+            .true_target()
+            .map_err(|err| MlsError::InvalidConfig {
+                reason: err.to_string(),
+            })?;
         let uav = Uav::new(
             config.uav.clone(),
             scenario.weather.clone(),
@@ -148,6 +157,7 @@ impl MissionExecutor {
         );
         Ok(Self {
             scenario: scenario.clone(),
+            true_target,
             system,
             uav,
             compute,
@@ -222,7 +232,7 @@ impl MissionExecutor {
         let dt = self.uav.physics_dt();
         let world = self.scenario.map.clone();
         let ground_z = world.ground_z;
-        let true_target = self.scenario.true_target();
+        let true_target = self.true_target;
         let vehicle_radius = self.config.uav.airframe.radius;
 
         // Memory residency of the modules (drives the compute model's memory

@@ -37,7 +37,7 @@ mod weather;
 pub use generator::{MapGenerator, MapGeneratorConfig};
 pub use map::{MapStyle, MarkerSite, WorldMap};
 pub use obstacle::{Obstacle, RayHit};
-pub use scenario::{Scenario, ScenarioConfig, ScenarioGenerator, DICTIONARY_SIZE};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioFamily, ScenarioGenerator, DICTIONARY_SIZE};
 pub use weather::Weather;
 
 /// Errors produced while generating worlds and scenarios.
@@ -54,6 +54,12 @@ pub enum SimWorldError {
         /// Name of the offending map.
         map: String,
     },
+    /// A scenario carries no target marker (hand-built scenarios only;
+    /// generated scenarios always place one).
+    MissingTarget {
+        /// Name of the offending scenario.
+        scenario: String,
+    },
 }
 
 impl fmt::Display for SimWorldError {
@@ -62,6 +68,9 @@ impl fmt::Display for SimWorldError {
             SimWorldError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SimWorldError::TargetPlacement { map } => {
                 write!(f, "could not place a clear landing target in map {map}")
+            }
+            SimWorldError::MissingTarget { scenario } => {
+                write!(f, "scenario {scenario} carries no target marker")
             }
         }
     }

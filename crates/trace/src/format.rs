@@ -66,6 +66,9 @@ pub struct TraceHeader {
     pub scenario_id: usize,
     /// Scenario name.
     pub scenario_name: String,
+    /// Scenario-family label the mission's suite was generated under
+    /// (`"open"` for the paper benchmark and for traces predating families).
+    pub family: String,
     /// Campaign-grid cell index (0 outside a campaign).
     pub cell_index: usize,
     /// Repeat index within the cell.
@@ -95,6 +98,11 @@ impl serde::Deserialize for TraceHeader {
             variant: serde::de_field(value, "variant")?,
             scenario_id: serde::de_field(value, "scenario_id")?,
             scenario_name: serde::de_field(value, "scenario_name")?,
+            // Headers predating scenario families belong to the open suite.
+            family: match value.get("family") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => "open".to_string(),
+            },
             cell_index: serde::de_field(value, "cell_index")?,
             repeat: serde::de_field(value, "repeat")?,
             config_hash: serde::de_field(value, "config_hash")?,
@@ -225,6 +233,7 @@ mod tests {
             variant: SystemVariant::MlsV3,
             scenario_id: 3,
             scenario_name: "urban-00/s03".to_string(),
+            family: "open".to_string(),
             cell_index: 1,
             repeat: 0,
             config_hash: config_hash("{}"),
@@ -313,6 +322,28 @@ mod tests {
         let parsed: TraceHeader = serde_json::from_str(&legacy).unwrap();
         assert!(parsed.coordinates.is_empty());
         assert_eq!(parsed.seed, 42);
+    }
+
+    #[test]
+    fn headers_without_a_family_key_parse_as_open() {
+        // A header JSON written before scenario families existed.
+        let text = trace().to_jsonl().unwrap();
+        let header_line = text.lines().next().unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(header_line).unwrap() else {
+            panic!("header serialises to an object");
+        };
+        fields.retain(|(key, _)| key != "family");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed: TraceHeader = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.family, "open");
+        assert_eq!(parsed.seed, 42);
+
+        // A stamped family round-trips.
+        let mut header = header();
+        header.family = "constrained-pad".to_string();
+        let json = serde_json::to_string(&header).unwrap();
+        let back: TraceHeader = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.family, "constrained-pad");
     }
 
     #[test]

@@ -97,6 +97,9 @@ impl RecorderConfig {
             variant,
             scenario_id,
             scenario_name: scenario_name.to_string(),
+            // The campaign runner overwrites this with the cell's family
+            // (like `coordinates`); standalone recorders capture open runs.
+            family: "open".to_string(),
             cell_index,
             repeat,
             config_hash,

@@ -114,6 +114,7 @@ mod tests {
                 variant: SystemVariant::MlsV2,
                 scenario_id: 1,
                 scenario_name: "s".to_string(),
+                family: "open".to_string(),
                 cell_index: 0,
                 repeat: 0,
                 config_hash: config_hash("spec"),

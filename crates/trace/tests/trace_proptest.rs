@@ -110,6 +110,11 @@ fn header_from(seed: u64, variant_selector: u32, dropped: u64) -> TraceHeader {
         },
         scenario_id: (seed % 100) as usize,
         scenario_name: format!("map-{:02}/s{:02}", seed % 10, seed % 7),
+        family: if seed.is_multiple_of(2) {
+            "open".to_string()
+        } else {
+            "constrained-pad".to_string()
+        },
         cell_index: (variant_selector % 20) as usize,
         repeat: (variant_selector % 3) as usize,
         config_hash: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),

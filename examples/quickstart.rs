@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("scenario: {}", scenario.name);
     println!("  weather           : {}", scenario.weather.label);
     println!("  obstacles         : {}", scenario.map.obstacles.len());
-    println!("  true marker       : {:?}", scenario.true_target());
+    println!("  true marker       : {:?}", scenario.true_target()?);
     println!("  GPS target (given): {:?}", scenario.gps_target);
 
     // 2. Assemble the third-generation system (TPH-YOLO surrogate + octree +

@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scenario.name,
         scenario.map.obstacles.len(),
         scenario.map.max_obstacle_height(),
-        scenario.true_target().horizontal_distance(scenario.start),
+        scenario.true_target()?.horizontal_distance(scenario.start),
     );
     println!();
     println!(

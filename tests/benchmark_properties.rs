@@ -27,7 +27,7 @@ proptest! {
         prop_assert_eq!(scenarios.len(), 8);
         for s in &scenarios {
             // A target marker always exists and sits inside the map bounds.
-            let target = s.true_target();
+            let target = s.true_target().unwrap();
             prop_assert!(s.map.bounds.contains(target + Vec3::new(0.0, 0.0, 1.0)));
             // The GPS target is within the configured survey error.
             prop_assert!(s.gps_target.horizontal_distance(target) <= 5.0 + 1e-9);
