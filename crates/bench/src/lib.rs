@@ -6,16 +6,18 @@
 //! profile (in parallel across OS threads), aggregate the outcomes, and print
 //! a plain-text table next to the values the paper reports.
 //!
-//! Mission sharding is delegated to the `mls-campaign` engine's
-//! self-scheduling worker pool ([`mls_campaign::execute_sharded`]); the
+//! Mission sharding is delegated to the `mls-campaign` engine's persistent
+//! work-stealing pool ([`mls_campaign::MissionExecutor`]), whose worker
+//! threads are spawned once per process and shared across every batch; the
 //! campaign-grid binaries (`table1_sil`, `table2_detection`, `table3_hil`,
 //! `fig6_inflation`) go further and run entirely on
 //! [`mls_campaign::CampaignRunner`], `fig5_failure_cases` adds the
 //! `mls-trace` flight recorder on top (capture → triage → byte-exact replay
-//! of the paper's four failure narratives), and `falsify` runs the
-//! multi-dimensional falsification engine end to end: search three two-axis
+//! of the paper's four failure narratives), `falsify` runs the
+//! multi-dimensional falsification engine end to end (search three two-axis
 //! fault spaces, minimize each counterexample onto the failure frontier,
-//! and ship it as a triaged, replay-verified trace.
+//! and ship it as a triaged, replay-verified trace), and `perfsuite` times
+//! the canonical workloads and writes the `BENCH_perf.json` trajectory.
 //!
 //! The workload size is controlled by environment variables so the same
 //! binaries serve both quick smoke runs and the full reproduction:
@@ -153,7 +155,9 @@ pub fn generate_scenarios(options: &HarnessOptions) -> Vec<Scenario> {
 }
 
 /// Flies one system variant over every scenario (times `repeats`) on the
-/// campaign engine's self-scheduling worker pool.
+/// campaign engine's persistent work-stealing mission pool
+/// ([`mls_campaign::MissionExecutor::global`]), so repeated harness calls
+/// (one per variant and profile) reuse the same worker threads.
 ///
 /// Outcomes are returned in job order (scenario-major within each repeat)
 /// regardless of how the pool schedules them; mission seeds are pure
@@ -167,24 +171,35 @@ pub fn run_missions(
     executor: &ExecutorConfig,
     options: &HarnessOptions,
 ) -> Vec<MissionOutcome> {
-    let mut jobs: Vec<(&Scenario, u64)> = Vec::new();
+    let mut jobs: Vec<(usize, u64)> = Vec::new();
     for repeat in 0..options.repeats {
-        for scenario in scenarios {
+        for (index, scenario) in scenarios.iter().enumerate() {
             let seed = options
                 .seed
                 .wrapping_mul(31)
                 .wrapping_add(scenario.id as u64)
                 .wrapping_add((repeat as u64) << 24);
-            jobs.push((scenario, seed));
+            jobs.push((index, seed));
         }
     }
 
-    mls_campaign::execute_sharded(jobs.len(), options.threads, |index| {
-        let (scenario, seed) = jobs[index];
+    // The persistent pool's job closures outlive this call's borrows, so
+    // the per-call context is moved into shared ownership once.
+    let context = std::sync::Arc::new((
+        scenarios.to_vec(),
+        profile.clone(),
+        landing.clone(),
+        executor.clone(),
+        jobs,
+    ));
+    let count = context.4.len();
+    mls_campaign::MissionExecutor::global().execute(count, options.threads, move |index| {
+        let (scenarios, profile, landing, executor, jobs) = &*context;
+        let (scenario_index, seed) = jobs[index];
         let compute =
             ComputeModel::new(profile.clone()).expect("benchmark compute profiles are valid");
         MissionExecutor::for_variant(
-            scenario,
+            &scenarios[scenario_index],
             variant,
             landing.clone(),
             compute,

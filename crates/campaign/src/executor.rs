@@ -1,0 +1,386 @@
+//! The persistent work-stealing mission executor.
+//!
+//! Before this module existed, every campaign call spun up its own OS
+//! threads via a scoped-thread `execute_sharded` helper and tore them down
+//! when the batch drained. One campaign pays that once; a falsification
+//! search pays it *per probe* — hundreds of pool setups and teardowns per
+//! space, each over a batch of only a handful of missions. The
+//! [`MissionExecutor`] here replaces that: a pool of persistent worker
+//! threads, owned by the process and shared (via [`MissionExecutor::global`])
+//! across campaigns, search probes and replay verification.
+//!
+//! Scheduling stays the self-scheduling / work-stealing design of the old
+//! helper: every batch carries a shared atomic cursor and any participating
+//! worker (including the submitting thread) claims the next unclaimed job
+//! until the batch drains, so heterogeneous mission costs balance
+//! automatically and no static chunking underfills a worker. Determinism is
+//! untouched — job *results* are reassembled in index order, and mission
+//! seeds are pure functions of grid coordinates, so nothing observable
+//! depends on which worker ran which job.
+//!
+//! The submitting thread always participates in draining its own batch.
+//! That keeps a one-thread configuration allocation-free (no worker is ever
+//! spawned), guarantees forward progress even when every pool worker is
+//! busy with another batch, and makes nested submissions deadlock-free.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Type-erased view of a submitted batch, so one pool serves batches of
+/// different result types.
+trait BatchRun: Send + Sync {
+    /// Claims and runs one job; returns `false` when no unclaimed jobs
+    /// remain (the claimer should move on).
+    fn run_one(&self) -> bool;
+    /// Whether every job has been claimed (not necessarily finished).
+    fn exhausted(&self) -> bool;
+    /// Registers a worker against the batch's concurrency cap; `false`
+    /// when the cap is already reached.
+    fn try_join(&self) -> bool;
+    /// Releases a slot taken by [`BatchRun::try_join`].
+    fn leave(&self);
+}
+
+/// One submitted batch: the job closure, the work-stealing cursor and the
+/// result slots the submitter collects.
+struct Batch<R> {
+    job: Box<dyn Fn(usize) -> R + Send + Sync>,
+    count: usize,
+    cursor: AtomicUsize,
+    /// Concurrency cap for this batch (the submitting thread counts as one).
+    max_workers: usize,
+    active: AtomicUsize,
+    state: Mutex<BatchState<R>>,
+    finished: Condvar,
+}
+
+struct BatchState<R> {
+    results: Vec<Option<R>>,
+    done: usize,
+    /// The first job panic, propagated to the submitter.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl<R: Send> BatchRun for Batch<R> {
+    fn run_one(&self) -> bool {
+        let index = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if index >= self.count {
+            return false;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| (self.job)(index)));
+        let mut state = self.state.lock().expect("batch state poisoned");
+        match outcome {
+            Ok(result) => state.results[index] = Some(result),
+            Err(payload) => {
+                if state.panic.is_none() {
+                    state.panic = Some(payload);
+                }
+            }
+        }
+        state.done += 1;
+        if state.done == self.count {
+            self.finished.notify_all();
+        }
+        true
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.count
+    }
+
+    fn try_join(&self) -> bool {
+        self.active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |active| {
+                (active < self.max_workers).then_some(active + 1)
+            })
+            .is_ok()
+    }
+
+    fn leave(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<dyn BatchRun>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    /// Blocks until a joinable batch is queued (returns it) or the pool
+    /// shuts down (returns `None`).
+    fn next_batch(&self) -> Option<Arc<dyn BatchRun>> {
+        let mut queue = self.queue.lock().expect("executor queue poisoned");
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return None;
+            }
+            queue.retain(|batch| !batch.exhausted());
+            if let Some(batch) = queue.iter().find(|batch| batch.try_join()) {
+                return Some(batch.clone());
+            }
+            queue = self.available.wait(queue).expect("executor queue poisoned");
+        }
+    }
+}
+
+/// A persistent pool of mission worker threads with work-stealing batch
+/// execution.
+///
+/// Workers are spawned lazily, the first time a batch actually needs them,
+/// and then live for the lifetime of the pool — a falsification search
+/// running hundreds of small probe campaigns reuses the same threads
+/// throughout instead of paying pool setup and teardown per probe. One
+/// process-wide pool ([`MissionExecutor::global`]) is shared by every
+/// [`CampaignRunner`](crate::CampaignRunner) unless a private pool is
+/// attached explicitly.
+pub struct MissionExecutor {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Hard cap on worker threads this pool will ever spawn.
+    max_workers: usize,
+}
+
+impl std::fmt::Debug for MissionExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MissionExecutor")
+            .field("spawned", &self.spawned())
+            .field("max_workers", &self.max_workers)
+            .finish()
+    }
+}
+
+impl MissionExecutor {
+    /// Creates an empty pool that will spawn at most `max_workers` worker
+    /// threads, lazily, as batches demand them.
+    pub fn new(max_workers: usize) -> Arc<Self> {
+        Arc::new(Self {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
+            max_workers,
+        })
+    }
+
+    /// The process-wide shared pool: sized by the machine, reused by every
+    /// campaign, probe and replay in the process.
+    pub fn global() -> Arc<Self> {
+        static GLOBAL: OnceLock<Arc<MissionExecutor>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Self::new(crate::CampaignRunner::MAX_THREADS))
+            .clone()
+    }
+
+    /// Worker threads spawned so far (they persist once spawned).
+    pub fn spawned(&self) -> usize {
+        self.workers
+            .lock()
+            .expect("executor workers poisoned")
+            .len()
+    }
+
+    /// Runs `count` jobs with at most `threads` concurrent executors (the
+    /// calling thread is one of them) and returns the results in job
+    /// order.
+    ///
+    /// Jobs are claimed dynamically off a shared cursor, so heterogeneous
+    /// job costs balance across workers; the result order never depends on
+    /// scheduling. The calling thread participates in draining the batch,
+    /// so a `threads == 1` batch runs entirely on the caller and spawns
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic raised by a job.
+    pub fn execute<R, F>(&self, count: usize, threads: usize, job: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        if count == 0 {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, count);
+        let batch = Arc::new(Batch {
+            job: Box::new(job),
+            count,
+            cursor: AtomicUsize::new(0),
+            max_workers: threads,
+            active: AtomicUsize::new(1), // the submitting thread
+            state: Mutex::new(BatchState {
+                results: (0..count).map(|_| None).collect(),
+                done: 0,
+                panic: None,
+            }),
+            finished: Condvar::new(),
+        });
+
+        // Helpers beyond the caller are only useful when the batch allows
+        // more than one concurrent executor.
+        if threads > 1 {
+            self.ensure_workers(threads - 1);
+            let erased: Arc<dyn BatchRun> = batch.clone();
+            self.shared
+                .queue
+                .lock()
+                .expect("executor queue poisoned")
+                .push_back(erased);
+            self.shared.available.notify_all();
+        }
+
+        // The caller drains its own batch alongside the pool workers.
+        while batch.run_one() {}
+
+        // Drop exhausted batches from the queue eagerly: idle workers only
+        // prune on their next wakeup, which may never come, and a lingering
+        // batch pins its job closure (and everything the closure captured —
+        // suites, specs) for the pool's lifetime.
+        if threads > 1 {
+            self.shared
+                .queue
+                .lock()
+                .expect("executor queue poisoned")
+                .retain(|queued| !queued.exhausted());
+        }
+
+        let mut state = batch.state.lock().expect("batch state poisoned");
+        while state.done < count {
+            state = batch.finished.wait(state).expect("batch state poisoned");
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            resume_unwind(payload);
+        }
+        state
+            .results
+            .iter_mut()
+            .map(|slot| slot.take().expect("a finished batch has every result"))
+            .collect()
+    }
+
+    /// Spawns workers until at least `needed` exist (capped by
+    /// `max_workers`).
+    fn ensure_workers(&self, needed: usize) {
+        let needed = needed.min(self.max_workers);
+        let mut workers = self.workers.lock().expect("executor workers poisoned");
+        while workers.len() < needed {
+            let shared = self.shared.clone();
+            let name = format!("mls-mission-{}", workers.len());
+            workers.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || {
+                        while let Some(batch) = shared.next_batch() {
+                            while batch.run_one() {}
+                            batch.leave();
+                        }
+                    })
+                    .expect("spawning a mission worker thread failed"),
+            );
+        }
+    }
+}
+
+impl Drop for MissionExecutor {
+    fn drop(&mut self) {
+        {
+            // The store must happen under the queue lock: a worker between
+            // its shutdown check and its Condvar wait would otherwise miss
+            // this (final) notify and sleep forever, hanging the join
+            // below.
+            let _queue = self.shared.queue.lock().expect("executor queue poisoned");
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+            self.shared.available.notify_all();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("executor workers poisoned"));
+        for worker in workers {
+            // A worker that panicked already surfaced the panic through the
+            // submitting batch; joining best-effort keeps shutdown clean.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execute_preserves_job_order() {
+        let pool = MissionExecutor::new(8);
+        let results = pool.execute(100, 7, |i| i * 2);
+        assert_eq!(results.len(), 100);
+        for (i, value) in results.iter().enumerate() {
+            assert_eq!(*value, i * 2);
+        }
+    }
+
+    #[test]
+    fn execute_handles_degenerate_sizes() {
+        let pool = MissionExecutor::new(4);
+        assert!(pool.execute(0, 4, |i| i).is_empty());
+        assert_eq!(pool.execute(1, 16, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn single_thread_batches_spawn_no_workers() {
+        let pool = MissionExecutor::new(4);
+        let results = pool.execute(10, 1, |i| i + 1);
+        assert_eq!(results[9], 10);
+        assert_eq!(pool.spawned(), 0, "the caller drains 1-thread batches");
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        let pool = MissionExecutor::new(4);
+        pool.execute(8, 3, |i| i);
+        let after_first = pool.spawned();
+        assert!((1..=2).contains(&after_first));
+        pool.execute(8, 3, |i| i);
+        assert_eq!(pool.spawned(), after_first, "no re-spawn per batch");
+    }
+
+    #[test]
+    fn job_panics_propagate_to_the_submitter() {
+        let pool = MissionExecutor::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.execute(4, 2, |i| {
+                if i == 2 {
+                    panic!("mission failed hard");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "the job panic must reach the caller");
+        // The pool survives a panicking batch.
+        assert_eq!(pool.execute(3, 2, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        assert!(Arc::ptr_eq(
+            &MissionExecutor::global(),
+            &MissionExecutor::global()
+        ));
+    }
+
+    #[test]
+    fn concurrent_submissions_both_complete() {
+        let pool = MissionExecutor::new(4);
+        let other = pool.clone();
+        let handle = std::thread::spawn(move || other.execute(50, 2, |i| i));
+        let mine = pool.execute(50, 2, |i| i + 1);
+        let theirs = handle.join().unwrap();
+        assert_eq!(mine[49], 50);
+        assert_eq!(theirs[49], 49);
+    }
+}

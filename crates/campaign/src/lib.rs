@@ -21,18 +21,32 @@
 //!   scenario-suite dimensions × system variants × compute profiles ×
 //!   single-fault plans and multi-fault `combos`, plus the [`TracePolicy`]
 //!   deciding which missions keep their traces.
-//! * [`runner`] — the self-scheduling worker pool over OS threads with
-//!   per-mission deterministic RNG streams, plus the streaming [`stats`]
-//!   accumulators (Welford mean/variance, P² percentiles) the per-cell
-//!   aggregates are built from. Reports are byte-identical for a given spec
-//!   and seed regardless of thread count, and
+//! * [`executor`] — the persistent work-stealing [`MissionExecutor`] pool:
+//!   worker threads spawned once per process and shared (via
+//!   [`MissionExecutor::global`]) across campaigns, search probes and
+//!   replay verification, so hot paths stop paying pool setup/teardown per
+//!   batch.
+//! * [`runner`] — deterministic mission sweeps on that pool, with
+//!   per-mission deterministic RNG streams, optional early-stopped cells
+//!   ([`EarlyStopPolicy`]) and the streaming [`stats`] accumulators
+//!   (Welford mean/variance, P² percentiles) the per-cell aggregates are
+//!   built from. Reports are byte-identical for a given spec and seed
+//!   regardless of thread count, and
 //!   [`CampaignRunner::replay`](runner::CampaignRunner::replay) re-executes
 //!   any recorded trace and byte-compares the regenerated stream.
+//! * [`suites`] — the process-wide [`SuiteCache`] memoizing generated
+//!   scenario suites by `(family, suite seed, maps, scenarios per map)`,
+//!   so repeated campaigns and multi-space falsification runs stop
+//!   regenerating identical worlds.
 //! * [`search`] — the falsification engine: pluggable [`Searcher`]s
 //!   (coarse-to-fine grid refinement, a small self-contained diagonal
-//!   CMA-ES), counterexample minimization onto the failure frontier, and
-//!   capture of each minimal failing point as a triaged, replay-verified
-//!   trace linked from the [`FalsificationReport`].
+//!   CMA-ES) driven through an ask/tell batch interface, so a whole
+//!   generation of probes fans out over the executor concurrently
+//!   ([`ProbeExecution`]) while counterexamples and probe logs stay
+//!   byte-identical to sequential evaluation; counterexample minimization
+//!   onto the failure frontier, and capture of each minimal failing point
+//!   as a triaged, replay-verified trace linked from the
+//!   [`FalsificationReport`].
 //! * [`report`] — JSON/CSV campaign reports ([`CampaignReport`]) with
 //!   per-trace links ([`TraceLink`]) carrying Fig. 5 triage classes.
 //!
@@ -89,26 +103,30 @@
 use std::error::Error;
 use std::fmt;
 
+pub mod executor;
 pub mod faults;
 pub mod report;
 pub mod runner;
 pub mod search;
 pub mod spec;
 pub mod stats;
+pub mod suites;
 
+pub use executor::MissionExecutor;
 pub use faults::{
     CompositeInjector, FaultAxis, FaultInjector, FaultKind, FaultPlan, FaultSpace,
     MissionFaultContext,
 };
 pub use mls_trace::TracePolicy;
-pub use report::{CampaignReport, CellReport, MetricSummary, TraceLink};
-pub use runner::{execute_sharded, CampaignRunner};
+pub use report::{CampaignReport, CellReport, EarlyStopSummary, MetricSummary, TraceLink};
+pub use runner::{CampaignRunner, ProbeRate};
 pub use search::{
     CmaEsConfig, Counterexample, FalsificationConfig, FalsificationReport, FalsificationSearch,
-    GridRefinementConfig, ProbePoint, Searcher, SpaceFalsification,
+    GridRefinementConfig, ProbeExecution, ProbePoint, SearchStage, Searcher, SpaceFalsification,
 };
-pub use spec::{fault_point_label, CampaignCell, CampaignSpec};
+pub use spec::{fault_point_label, CampaignCell, CampaignSpec, EarlyStopPolicy};
 pub use stats::{MetricAccumulator, P2Quantile, Welford};
+pub use suites::{SuiteCache, SuiteKey};
 
 /// Errors produced by the campaign engine.
 #[derive(Debug)]

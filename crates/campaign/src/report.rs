@@ -62,12 +62,29 @@ impl MetricSummary {
     }
 }
 
+/// How a cell's early-stopped mission schedule was decided: the verdict,
+/// and how many of the planned missions were actually flown before the
+/// bound closed ([`crate::spec::EarlyStopPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlyStopSummary {
+    /// Missions the spec's schedule planned for the cell.
+    pub planned: usize,
+    /// Missions actually flown (the deterministic decided prefix).
+    pub flown: usize,
+    /// The decided verdict: `true` when the cell passed (success rate ≥
+    /// the policy threshold).
+    pub verdict: bool,
+    /// The threshold the verdict was decided against.
+    pub threshold: f64,
+}
+
 /// Aggregates for one (family, variant, profile, fault point) cell.
 ///
 /// `Deserialize` is implemented by hand so report JSONs persisted before
 /// multi-fault cells existed (a scalar `fault` key instead of the `faults`
-/// list) or before scenario families (no `family` key) still parse — the
-/// vendored serde has no `#[serde(default)]`.
+/// list), before scenario families (no `family` key) or before early
+/// stopping (no `early_stop` key) still parse — the vendored serde has no
+/// `#[serde(default)]`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CellReport {
     /// Cell position in the campaign grid.
@@ -106,6 +123,11 @@ pub struct CellReport {
     pub worst_planning_latency: MetricSummary,
     /// Final GNSS drift magnitude, metres.
     pub gps_drift: MetricSummary,
+    /// Early-stop accounting when the spec's
+    /// [`probe_early_stop`](crate::CampaignSpec::probe_early_stop) policy
+    /// was active for the cell; `None` when every planned mission flew
+    /// because no policy was set.
+    pub early_stop: Option<EarlyStopSummary>,
 }
 
 impl serde::Deserialize for CellReport {
@@ -144,6 +166,11 @@ impl serde::Deserialize for CellReport {
             peak_memory_mb: serde::de_field(value, "peak_memory_mb")?,
             worst_planning_latency: serde::de_field(value, "worst_planning_latency")?,
             gps_drift: serde::de_field(value, "gps_drift")?,
+            // Reports predating early stopping flew every mission.
+            early_stop: match value.get("early_stop") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => None,
+            },
         })
     }
 }
@@ -393,6 +420,7 @@ mod tests {
             peak_memory_mb: MetricSummary::empty(),
             worst_planning_latency: MetricSummary::empty(),
             gps_drift: MetricSummary::empty(),
+            early_stop: None,
         }
     }
 
@@ -635,6 +663,39 @@ mod tests {
             .cells
             .iter()
             .all(|c| c.family == ScenarioFamily::Open));
+    }
+
+    #[test]
+    fn legacy_cells_without_an_early_stop_key_parse_as_none() {
+        let mut report = report();
+        report.cells[1].early_stop = Some(EarlyStopSummary {
+            planned: 8,
+            flown: 3,
+            verdict: false,
+            threshold: 0.75,
+        });
+        let json = report.to_json().unwrap();
+        assert_eq!(CampaignReport::from_json(&json).unwrap(), report);
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("report serialises to an object");
+        };
+        for (key, value) in &mut fields {
+            if key != "cells" {
+                continue;
+            }
+            let serde::Value::Array(cells) = value else {
+                panic!("cells serialise to an array");
+            };
+            for cell in cells {
+                let serde::Value::Object(cell_fields) = cell else {
+                    panic!("a cell serialises to an object");
+                };
+                cell_fields.retain(|(cell_key, _)| cell_key != "early_stop");
+            }
+        }
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed = CampaignReport::from_json(&legacy).unwrap();
+        assert!(parsed.cells.iter().all(|c| c.early_stop.is_none()));
     }
 
     #[test]

@@ -1,79 +1,40 @@
-//! The sharded campaign runner: a self-scheduling worker pool over OS
-//! threads.
+//! The campaign runner: deterministic mission sweeps on the persistent
+//! work-stealing executor.
 //!
 //! Missions are independent, but their costs vary wildly (a V1 mission that
 //! crashes in 40 s is an order of magnitude cheaper than a V3 mission that
-//! searches, validates and descends). Static chunking therefore leaves
-//! workers idle; instead every worker claims the next job off a shared
-//! atomic cursor until the queue drains, so load balances automatically.
+//! searches, validates and descends). Every batch therefore runs on the
+//! self-scheduling [`MissionExecutor`] pool: workers claim the next job off
+//! a shared cursor until the batch drains, so load balances automatically —
+//! and the pool's threads persist across campaigns, probes and replay
+//! verification instead of being spun up per call.
 //!
 //! Determinism is preserved by separating *execution* order from
 //! *aggregation* order: each mission's seed is a pure function of its grid
 //! coordinates ([`CampaignSpec::mission_seed`]), and the per-cell streaming
 //! accumulators are fed in global job order after all workers have joined.
 //! The resulting [`CampaignReport`] is byte-identical for a given spec
-//! regardless of thread count.
+//! regardless of thread count — including under early stopping, whose
+//! decided prefix is a pure function of the mission outcomes in job order
+//! ([`EarlyStopPolicy::decide`]).
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mls_compute::ComputeModel;
-use mls_core::{FailsafeReason, MissionExecutor, MissionOutcome, MissionResult};
-use mls_sim_world::{Scenario, ScenarioConfig, ScenarioGenerator};
+use mls_core::{FailsafeReason, MissionOutcome, MissionResult};
+use mls_sim_world::Scenario;
 use mls_trace::{
     triage, verify_replay, RecorderConfig, ReplayVerdict, Trace, TraceHeader, TraceRecorder,
 };
 
+use crate::executor::MissionExecutor;
 use crate::faults::{CompositeInjector, MissionFaultContext};
-use crate::report::{CampaignReport, CellReport, TraceLink};
-use crate::spec::{CampaignCell, CampaignSpec};
+use crate::report::{CampaignReport, CellReport, EarlyStopSummary, TraceLink};
+use crate::spec::{CampaignCell, CampaignSpec, EarlyStopPolicy};
 use crate::stats::MetricAccumulator;
+use crate::suites::{SuiteCache, SuiteKey};
 use crate::CampaignError;
-
-/// Runs `count` independent jobs on a self-scheduling pool of `threads` OS
-/// threads and returns the results in job order.
-///
-/// The closure receives the job index. Jobs are claimed dynamically off a
-/// shared cursor (no static chunking), so heterogeneous job costs balance
-/// across workers; results are re-sorted by index before returning, so the
-/// output order never depends on scheduling.
-///
-/// # Panics
-///
-/// Panics when a worker thread panics.
-pub fn execute_sharded<R, F>(count: usize, threads: usize, job: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    if count == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, count);
-    let cursor = AtomicUsize::new(0);
-    let mut collected: Vec<(usize, R)> = Vec::with_capacity(count);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads {
-            handles.push(scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= count {
-                        break;
-                    }
-                    local.push((index, job(index)));
-                }
-                local
-            }));
-        }
-        for handle in handles {
-            collected.extend(handle.join().expect("campaign worker thread panicked"));
-        }
-    });
-    collected.sort_by_key(|(index, _)| *index);
-    collected.into_iter().map(|(_, result)| result).collect()
-}
 
 /// The compact per-mission record the aggregation stage consumes.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,13 +73,119 @@ impl MissionRecord {
     }
 }
 
-/// The campaign engine: expands a spec, flies it on the worker pool and
-/// aggregates a deterministic report.
+/// One result slot of a campaign batch: a flown mission, or a mission the
+/// early-stop bound cancelled (or whose cell decided while it was already
+/// in flight — those results are discarded so the report stays a pure
+/// function of the decided prefix).
+#[derive(Debug)]
+enum MissionSlot {
+    Flown(Box<MissionRecord>),
+    Skipped,
+}
+
+/// Per-cell early-stop bookkeeping shared by the workers flying the cell.
+///
+/// The decision is deliberately a pure function of the mission outcomes in
+/// *job order*: outcomes land out of order, but the prefix cursor only
+/// advances over contiguous resolved missions, so the decided prefix — and
+/// with it everything the report records — is independent of scheduling.
+struct CellProgress {
+    policy: EarlyStopPolicy,
+    planned: usize,
+    inner: Mutex<ProgressInner>,
+}
+
+struct ProgressInner {
+    outcomes: Vec<Option<bool>>,
+    /// Length of the contiguous resolved prefix.
+    resolved: usize,
+    /// Successes within the resolved prefix.
+    successes: usize,
+    /// Set once the resolved prefix decides: (prefix length, verdict).
+    decided: Option<(usize, bool)>,
+}
+
+impl CellProgress {
+    fn new(policy: EarlyStopPolicy, planned: usize) -> Self {
+        Self {
+            policy,
+            planned,
+            inner: Mutex::new(ProgressInner {
+                outcomes: vec![None; planned],
+                resolved: 0,
+                successes: 0,
+                decided: None,
+            }),
+        }
+    }
+
+    /// Whether the mission at `within` is beyond the decided prefix and
+    /// need not fly.
+    fn should_skip(&self, within: usize) -> bool {
+        matches!(
+            self.inner.lock().expect("cell progress poisoned").decided,
+            Some((prefix, _)) if within >= prefix
+        )
+    }
+
+    /// Records one mission outcome and advances the decision prefix.
+    fn record(&self, within: usize, success: bool) {
+        let mut inner = self.inner.lock().expect("cell progress poisoned");
+        if inner.decided.is_some() {
+            // The cell decided while this mission was in flight; its
+            // result is outside the prefix and must not influence anything.
+            return;
+        }
+        inner.outcomes[within] = Some(success);
+        while inner.decided.is_none() {
+            let Some(&Some(outcome)) = inner.outcomes.get(inner.resolved) else {
+                break;
+            };
+            inner.resolved += 1;
+            inner.successes += usize::from(outcome);
+            inner.decided = self
+                .policy
+                .decide(inner.successes, inner.resolved, self.planned)
+                .map(|verdict| (inner.resolved, verdict));
+        }
+    }
+
+    /// The final (prefix length, verdict): for cells the bound never
+    /// decided early this is the full schedule with the plain threshold
+    /// comparison.
+    fn verdict(&self) -> (usize, bool) {
+        let inner = self.inner.lock().expect("cell progress poisoned");
+        match inner.decided {
+            Some(decision) => decision,
+            None => (
+                self.planned,
+                (inner.successes as f64 / self.planned.max(1) as f64) >= self.policy.threshold,
+            ),
+        }
+    }
+}
+
+/// Everything a campaign's mission jobs need, owned so the persistent
+/// executor's `'static` closures can share it.
+struct MissionContext {
+    spec: CampaignSpec,
+    cells: Vec<CampaignCell>,
+    suites: Vec<Arc<Vec<Scenario>>>,
+    missions_per_cell: usize,
+    config_hash: u64,
+    recorder: Option<RecorderConfig>,
+    progress: Option<Vec<CellProgress>>,
+}
+
+/// The campaign engine: expands a spec, flies it on the shared persistent
+/// executor and aggregates a deterministic report.
 #[derive(Debug, Clone)]
 pub struct CampaignRunner {
     threads: usize,
     trace_dir: Option<PathBuf>,
     recorder: RecorderConfig,
+    executor: Arc<MissionExecutor>,
+    suites: SuiteCache,
 }
 
 impl CampaignRunner {
@@ -126,13 +193,16 @@ impl CampaignRunner {
     /// not ask the OS for thousands of stacks.
     pub const MAX_THREADS: usize = 512;
 
-    /// Creates a runner using `threads` worker threads (clamped to
-    /// `1..=`[`CampaignRunner::MAX_THREADS`]).
+    /// Creates a runner using at most `threads` concurrent mission workers
+    /// (clamped to `1..=`[`CampaignRunner::MAX_THREADS`]) on the shared
+    /// process-wide [`MissionExecutor`].
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.clamp(1, Self::MAX_THREADS),
             trace_dir: None,
             recorder: RecorderConfig::default(),
+            executor: MissionExecutor::global(),
+            suites: SuiteCache::global().clone(),
         }
     }
 
@@ -148,6 +218,22 @@ impl CampaignRunner {
     #[must_use]
     pub fn with_recorder_config(mut self, config: RecorderConfig) -> Self {
         self.recorder = config;
+        self
+    }
+
+    /// Attaches a private executor pool instead of the process-wide one
+    /// (tests that count spawned workers use this).
+    #[must_use]
+    pub fn with_executor(mut self, executor: Arc<MissionExecutor>) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Attaches a private scenario-suite cache instead of the process-wide
+    /// one.
+    #[must_use]
+    pub fn with_suite_cache(mut self, suites: SuiteCache) -> Self {
+        self.suites = suites;
         self
     }
 
@@ -167,13 +253,19 @@ impl CampaignRunner {
         )
     }
 
-    /// The worker-thread count.
+    /// The maximum concurrent mission workers per batch.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// Runs the campaign end to end: per-family scenario generation, the
-    /// sharded mission sweep, and per-cell aggregation.
+    /// The executor pool this runner submits batches to.
+    pub fn executor(&self) -> &Arc<MissionExecutor> {
+        &self.executor
+    }
+
+    /// Runs the campaign end to end: per-family scenario suites (memoized
+    /// in the suite cache), the sharded mission sweep, and per-cell
+    /// aggregation.
     ///
     /// # Errors
     ///
@@ -181,13 +273,19 @@ impl CampaignRunner {
     /// or a landing system cannot be assembled.
     pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
         spec.validate()?;
-        let suites = self.generate_suites(spec)?;
-        self.run_with_suites(spec, &suites)
+        let suites = self.suites_for(spec)?;
+        self.run_with_shared_suites(spec, &suites)
     }
 
     /// Runs a single-family campaign over an already-generated scenario
     /// suite (callers sweeping many specs over the same suite — e.g. the
     /// falsification search — generate it once and reuse it).
+    ///
+    /// The suite is copied into shared ownership for the executor's job
+    /// closures; callers holding an [`Arc`] suite (from
+    /// [`CampaignRunner::suite`]) should prefer
+    /// [`CampaignRunner::run_with_shared_suites`], which shares instead of
+    /// copying.
     ///
     /// # Errors
     ///
@@ -208,11 +306,14 @@ impl CampaignRunner {
                 ),
             });
         }
-        self.run_with_suites(spec, &[scenarios])
+        self.run_with_shared_suites(spec, &[Arc::new(scenarios.to_vec())])
     }
 
     /// Runs the campaign over already-generated scenario suites, one per
-    /// entry of [`CampaignSpec::families`], in the same order.
+    /// entry of [`CampaignSpec::families`], in the same order. Suites are
+    /// copied into shared ownership; prefer
+    /// [`CampaignRunner::run_with_shared_suites`] when the suites are
+    /// already shared.
     ///
     /// # Errors
     ///
@@ -222,6 +323,26 @@ impl CampaignRunner {
         &self,
         spec: &CampaignSpec,
         suites: &[S],
+    ) -> Result<CampaignReport, CampaignError> {
+        let shared: Vec<Arc<Vec<Scenario>>> = suites
+            .iter()
+            .map(|suite| Arc::new(suite.as_ref().to_vec()))
+            .collect();
+        self.run_with_shared_suites(spec, &shared)
+    }
+
+    /// Runs the campaign over shared scenario suites, one per entry of
+    /// [`CampaignSpec::families`], in the same order — the zero-copy path
+    /// the engine itself uses everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec is invalid, the suites do not match
+    /// the grid, or a landing system cannot be assembled.
+    pub fn run_with_shared_suites(
+        &self,
+        spec: &CampaignSpec,
+        suites: &[Arc<Vec<Scenario>>],
     ) -> Result<CampaignReport, CampaignError> {
         spec.validate()?;
         if suites.len() != spec.families.len() {
@@ -234,12 +355,12 @@ impl CampaignRunner {
             });
         }
         for (family, suite) in spec.families.iter().zip(suites) {
-            if suite.as_ref().len() != spec.maps * spec.scenarios_per_map {
+            if suite.len() != spec.maps * spec.scenarios_per_map {
                 return Err(CampaignError::InvalidSpec {
                     reason: format!(
                         "the {} scenario suite has {} scenarios but the spec's grid needs {}",
                         family.label(),
-                        suite.as_ref().len(),
+                        suite.len(),
                         spec.maps * spec.scenarios_per_map
                     ),
                 });
@@ -249,42 +370,70 @@ impl CampaignRunner {
         let missions_per_cell = spec.missions_per_cell();
         let total = missions_per_cell * cells.len();
         let config_hash = spec.config_hash()?;
-        let recorder = spec.capture.captures().then_some(self.recorder);
+        let context = Arc::new(MissionContext {
+            progress: spec.probe_early_stop.map(|policy| {
+                cells
+                    .iter()
+                    .map(|_| CellProgress::new(policy, missions_per_cell))
+                    .collect()
+            }),
+            spec: spec.clone(),
+            cells,
+            suites: suites.to_vec(),
+            missions_per_cell,
+            config_hash,
+            recorder: spec.capture.captures().then_some(self.recorder),
+        });
 
         // Job `i` maps to (cell, repeat, scenario) in row-major order, so a
         // cell's missions occupy one contiguous, ordered slice of the
         // results.
-        let results: Vec<Result<MissionRecord, CampaignError>> =
-            execute_sharded(total, self.threads, |index| {
-                let cell = &cells[index / missions_per_cell];
-                let scenarios = suites[cell.suite_index].as_ref();
-                let within = index % missions_per_cell;
-                let scenario = &scenarios[within % scenarios.len()];
-                let repeat = within / scenarios.len();
-                self.fly(spec, cell, scenario, repeat, config_hash, recorder.as_ref())
-                    .map(|(outcome, trace)| {
-                        let mut record = MissionRecord::from_outcome(&outcome);
-                        record.trace = trace
-                            .filter(|_| spec.capture.keeps(outcome.result))
-                            .map(Box::new);
-                        record
-                    })
+        let job_context = context.clone();
+        let results: Vec<Result<MissionSlot, CampaignError>> =
+            self.executor.execute(total, self.threads, move |index| {
+                run_mission_job(&job_context, index)
             });
 
-        let mut records = Vec::with_capacity(total);
+        let mut slots = Vec::with_capacity(total);
         for result in results {
-            records.push(result?);
+            slots.push(result?);
+        }
+
+        // Enforce the deterministic early-stop prefix: results beyond a
+        // cell's decided prefix (flown speculatively while the decision
+        // landed) are discarded before anything is recorded.
+        let mut early_summaries = vec![None; context.cells.len()];
+        if let Some(progress) = &context.progress {
+            for (cell_index, cell_progress) in progress.iter().enumerate() {
+                let (flown, verdict) = cell_progress.verdict();
+                for slot in slots
+                    .iter_mut()
+                    .skip(cell_index * missions_per_cell + flown)
+                    .take(missions_per_cell - flown)
+                {
+                    *slot = MissionSlot::Skipped;
+                }
+                early_summaries[cell_index] = Some(EarlyStopSummary {
+                    planned: missions_per_cell,
+                    flown,
+                    verdict,
+                    threshold: cell_progress.policy.threshold,
+                });
+            }
         }
 
         // Persist the kept traces (in deterministic grid order) and link
         // them from the report, each with its triage verdict.
         let trace_dir = self.trace_dir(spec);
         let mut traces = Vec::new();
-        for (index, record) in records.iter().enumerate() {
+        for (index, slot) in slots.iter().enumerate() {
+            let MissionSlot::Flown(record) = slot else {
+                continue;
+            };
             let Some(trace) = &record.trace else {
                 continue;
             };
-            let cell = &cells[index / missions_per_cell];
+            let cell = &context.cells[index / missions_per_cell];
             let header = &trace.header;
             let path = trace_dir.join(format!(
                 "c{:03}-s{:03}-r{}.jsonl",
@@ -303,31 +452,157 @@ impl CampaignRunner {
             });
         }
 
-        let cell_reports = cells
+        let cell_reports: Vec<CellReport> = context
+            .cells
             .iter()
             .map(|cell| {
                 let slice =
-                    &records[cell.index * missions_per_cell..(cell.index + 1) * missions_per_cell];
-                aggregate_cell(cell, slice)
+                    &slots[cell.index * missions_per_cell..(cell.index + 1) * missions_per_cell];
+                let records: Vec<&MissionRecord> = slice
+                    .iter()
+                    .filter_map(|slot| match slot {
+                        MissionSlot::Flown(record) => Some(&**record),
+                        MissionSlot::Skipped => None,
+                    })
+                    .collect();
+                aggregate_cell(cell, &records, early_summaries[cell.index])
             })
             .collect();
 
         Ok(CampaignReport {
             name: spec.name.clone(),
             seed: spec.seed,
-            missions: total,
+            missions: cell_reports.iter().map(|cell| cell.missions).sum(),
             cells: cell_reports,
             traces,
         })
     }
 
-    /// Generates the benchmark scenario suite of the spec's *first* family
-    /// (the only family for pre-family specs and the falsification probes).
+    /// Evaluates a set of single-cell probe specs over one shared scenario
+    /// suite as a single executor batch, returning each probe's success
+    /// rate and mission count in input order.
+    ///
+    /// This is the falsification engine's batched transport: a whole
+    /// searcher generation fans out over the executor at mission
+    /// granularity, saturating the pool even when each probe flies only a
+    /// handful of missions, while per-probe early stopping cancels
+    /// missions a probe's decided verdict no longer needs. The rates are
+    /// identical to running each spec through
+    /// [`CampaignRunner::run_with_shared_suites`] one at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a spec is invalid, expands to more than one
+    /// cell, or a mission fails to assemble.
+    pub fn run_probe_rates(
+        &self,
+        specs: Vec<CampaignSpec>,
+        scenarios: Arc<Vec<Scenario>>,
+    ) -> Result<Vec<ProbeRate>, CampaignError> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut probes = Vec::with_capacity(specs.len());
+        for spec in specs {
+            spec.validate()?;
+            let cells = spec.cells();
+            if cells.len() != 1 || spec.families.len() != 1 {
+                return Err(CampaignError::InvalidSpec {
+                    reason: format!(
+                        "a probe spec must expand to exactly one cell, '{}' has {}",
+                        spec.name,
+                        cells.len()
+                    ),
+                });
+            }
+            if scenarios.len() != spec.maps * spec.scenarios_per_map {
+                return Err(CampaignError::InvalidSpec {
+                    reason: format!(
+                        "the probe suite has {} scenarios but spec '{}' needs {}",
+                        scenarios.len(),
+                        spec.name,
+                        spec.maps * spec.scenarios_per_map
+                    ),
+                });
+            }
+            let missions = spec.missions_per_cell();
+            let progress = spec
+                .probe_early_stop
+                .map(|policy| CellProgress::new(policy, missions));
+            let cell = cells.into_iter().next().expect("one cell checked above");
+            probes.push(ProbeJob {
+                spec,
+                cell,
+                progress,
+            });
+        }
+        let missions_per_probe = probes[0].spec.missions_per_cell();
+        if probes
+            .iter()
+            .any(|probe| probe.spec.missions_per_cell() != missions_per_probe)
+        {
+            return Err(CampaignError::InvalidSpec {
+                reason: "probe specs of one batch must share a mission schedule".to_string(),
+            });
+        }
+        let total = probes.len() * missions_per_probe;
+        let context = Arc::new(ProbeSetContext {
+            probes,
+            scenarios,
+            missions_per_probe,
+        });
+        let job_context = context.clone();
+        let results: Vec<Result<Option<bool>, CampaignError>> =
+            self.executor.execute(total, self.threads, move |index| {
+                run_probe_mission_job(&job_context, index)
+            });
+
+        let mut outcomes = Vec::with_capacity(total);
+        for result in results {
+            outcomes.push(result?);
+        }
+        Ok(context
+            .probes
+            .iter()
+            .enumerate()
+            .map(|(probe_index, probe)| {
+                let slice = &outcomes
+                    [probe_index * missions_per_probe..(probe_index + 1) * missions_per_probe];
+                probe_rate(probe, slice, missions_per_probe)
+            })
+            .collect())
+    }
+
+    /// Generates (or fetches from the suite cache) the benchmark scenario
+    /// suite of one of the spec's families.
     ///
     /// # Errors
     ///
     /// Returns an error when the scenario generator rejects the dimensions.
-    pub fn generate_scenarios(&self, spec: &CampaignSpec) -> Result<Vec<Scenario>, CampaignError> {
+    pub fn suite(
+        &self,
+        spec: &CampaignSpec,
+        family: mls_sim_world::ScenarioFamily,
+    ) -> Result<Arc<Vec<Scenario>>, CampaignError> {
+        self.suites.get_or_generate(SuiteKey {
+            family,
+            suite_seed: spec.suite_seed(family),
+            maps: spec.maps,
+            scenarios_per_map: spec.scenarios_per_map,
+        })
+    }
+
+    /// Generates (or fetches from the suite cache) the benchmark scenario
+    /// suite of the spec's *first* family (the only family for pre-family
+    /// specs and the falsification probes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scenario generator rejects the dimensions.
+    pub fn generate_scenarios(
+        &self,
+        spec: &CampaignSpec,
+    ) -> Result<Arc<Vec<Scenario>>, CampaignError> {
         let family = spec
             .families
             .first()
@@ -335,12 +610,29 @@ impl CampaignRunner {
             .ok_or_else(|| CampaignError::InvalidSpec {
                 reason: "the spec sweeps no scenario family".to_string(),
             })?;
-        self.generate_family_suite(spec, family)
+        self.suite(spec, family)
     }
 
-    /// Generates one scenario suite per family of the spec, in
-    /// [`CampaignSpec::families`] order, each from its
-    /// [`CampaignSpec::suite_seed`].
+    /// Generates (or fetches from the suite cache) one scenario suite per
+    /// family of the spec, in [`CampaignSpec::families`] order, each from
+    /// its [`CampaignSpec::suite_seed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scenario generator rejects the dimensions.
+    pub fn suites_for(
+        &self,
+        spec: &CampaignSpec,
+    ) -> Result<Vec<Arc<Vec<Scenario>>>, CampaignError> {
+        spec.families
+            .iter()
+            .map(|&family| self.suite(spec, family))
+            .collect()
+    }
+
+    /// Generates one scenario suite per family of the spec (the owned-copy
+    /// form of [`CampaignRunner::suites_for`], kept for callers that want
+    /// to mutate or persist the suites).
     ///
     /// # Errors
     ///
@@ -349,102 +641,11 @@ impl CampaignRunner {
         &self,
         spec: &CampaignSpec,
     ) -> Result<Vec<Vec<Scenario>>, CampaignError> {
-        spec.families
-            .iter()
-            .map(|&family| self.generate_family_suite(spec, family))
-            .collect()
-    }
-
-    /// Generates the suite of one family from its derived seed.
-    fn generate_family_suite(
-        &self,
-        spec: &CampaignSpec,
-        family: mls_sim_world::ScenarioFamily,
-    ) -> Result<Vec<Scenario>, CampaignError> {
-        let config = ScenarioConfig {
-            family,
-            maps: spec.maps,
-            scenarios_per_map: spec.scenarios_per_map,
-            ..ScenarioConfig::default()
-        };
-        Ok(ScenarioGenerator::new(config).generate_benchmark(spec.suite_seed(family))?)
-    }
-
-    /// Flies one mission of one cell, attaching a flight recorder when
-    /// `recorder` is given.
-    fn fly(
-        &self,
-        spec: &CampaignSpec,
-        cell: &CampaignCell,
-        scenario: &Scenario,
-        repeat: usize,
-        config_hash: u64,
-        recorder: Option<&RecorderConfig>,
-    ) -> Result<(MissionOutcome, Option<Trace>), CampaignError> {
-        let seed = spec.mission_seed(scenario.id, repeat);
-        let compute =
-            ComputeModel::new(spec.profiles[cell.profile_index].clone()).map_err(|err| {
-                CampaignError::InvalidSpec {
-                    reason: err.to_string(),
-                }
-            })?;
-        let mut executor = MissionExecutor::for_variant(
-            scenario,
-            cell.variant,
-            spec.landing.clone(),
-            compute,
-            spec.executor.clone(),
-            seed,
-        )?;
-        if !cell.faults.is_empty() {
-            let context = MissionFaultContext {
-                target_marker_id: scenario.target_marker_id,
-                gps_target: scenario.gps_target,
-                marker_size: scenario.marker_size,
-                max_duration: spec.executor.max_duration,
-            };
-            // A single plan keeps the raw mission seed for its injector
-            // stream (the composite sub-seed derivation only engages when
-            // plans actually compose); several plans compose on derived
-            // per-plan sub-seeds.
-            executor = match cell.faults.as_slice() {
-                [plan] => executor.with_fault_hook(Box::new(plan.injector(seed, &context))),
-                plans => executor
-                    .with_fault_hook(Box::new(CompositeInjector::new(plans, seed, &context))),
-            };
-        }
-        let mut handle = None;
-        if let Some(config) = recorder {
-            let mut header = config.header(
-                &spec.name,
-                seed,
-                cell.variant,
-                scenario.id,
-                &scenario.name,
-                cell.index,
-                repeat,
-                config_hash,
-            );
-            // Stamp the scenario family and the fault-space point the
-            // mission flies, so the trace is self-describing about its suite
-            // and falsification coordinates. Replay regenerates the same
-            // stamps from the spec's cell, keeping the header
-            // byte-comparison exact.
-            header.family = cell.family.label().to_string();
-            header.coordinates = cell
-                .faults
-                .iter()
-                .map(|plan| mls_trace::AxisCoordinate {
-                    axis: plan.kind.label().to_string(),
-                    value: plan.intensity,
-                })
-                .collect();
-            let trace_recorder = TraceRecorder::new(header);
-            handle = Some(trace_recorder.handle());
-            executor = executor.with_trace_sink(Box::new(trace_recorder));
-        }
-        let outcome = executor.run();
-        Ok((outcome, handle.map(mls_trace::TraceHandle::finish)))
+        Ok(self
+            .suites_for(spec)?
+            .into_iter()
+            .map(|suite| suite.as_ref().clone())
+            .collect())
     }
 
     /// Re-executes the mission a trace header describes and returns the
@@ -517,7 +718,7 @@ impl CampaignRunner {
             )));
         }
         let recorder = RecorderConfig::from_header(header);
-        let (_, trace) = self.fly(
+        let (_, trace) = fly_mission(
             spec,
             cell,
             scenario,
@@ -546,9 +747,192 @@ impl CampaignRunner {
     }
 }
 
-/// Aggregates one cell's records (already in deterministic job order) into a
-/// [`CellReport`] via the streaming accumulators.
-fn aggregate_cell(cell: &CampaignCell, records: &[MissionRecord]) -> CellReport {
+/// One probe of a batched probe-set evaluation.
+struct ProbeJob {
+    spec: CampaignSpec,
+    cell: CampaignCell,
+    progress: Option<CellProgress>,
+}
+
+/// Shared context of one probe-set batch.
+struct ProbeSetContext {
+    probes: Vec<ProbeJob>,
+    scenarios: Arc<Vec<Scenario>>,
+    missions_per_probe: usize,
+}
+
+/// One probe's evaluated outcome: the success rate over the missions that
+/// actually flew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeRate {
+    /// Success rate over the flown (decided-prefix) missions — identical
+    /// to the `success_rate` a full [`CampaignReport`] cell would record.
+    pub success_rate: f64,
+    /// Missions actually flown.
+    pub missions_flown: usize,
+    /// Missions the schedule planned.
+    pub missions_planned: usize,
+}
+
+/// Flies one mission of one campaign batch.
+fn run_mission_job(context: &MissionContext, index: usize) -> Result<MissionSlot, CampaignError> {
+    let cell = &context.cells[index / context.missions_per_cell];
+    let scenarios = context.suites[cell.suite_index].as_ref();
+    let within = index % context.missions_per_cell;
+    let scenario = &scenarios[within % scenarios.len()];
+    let repeat = within / scenarios.len();
+    let progress = context
+        .progress
+        .as_ref()
+        .map(|progress| &progress[cell.index]);
+    if progress.is_some_and(|progress| progress.should_skip(within)) {
+        return Ok(MissionSlot::Skipped);
+    }
+    let (outcome, trace) = fly_mission(
+        &context.spec,
+        cell,
+        scenario,
+        repeat,
+        context.config_hash,
+        context.recorder.as_ref(),
+    )?;
+    if let Some(progress) = progress {
+        progress.record(within, outcome.result == MissionResult::Success);
+    }
+    let mut record = MissionRecord::from_outcome(&outcome);
+    record.trace = trace
+        .filter(|_| context.spec.capture.keeps(outcome.result))
+        .map(Box::new);
+    Ok(MissionSlot::Flown(Box::new(record)))
+}
+
+/// Flies one mission of one probe batch, returning its success (or `None`
+/// when the probe's verdict was already decided).
+fn run_probe_mission_job(
+    context: &ProbeSetContext,
+    index: usize,
+) -> Result<Option<bool>, CampaignError> {
+    let probe = &context.probes[index / context.missions_per_probe];
+    let within = index % context.missions_per_probe;
+    let scenarios = context.scenarios.as_ref();
+    let scenario = &scenarios[within % scenarios.len()];
+    let repeat = within / scenarios.len();
+    if probe
+        .progress
+        .as_ref()
+        .is_some_and(|progress| progress.should_skip(within))
+    {
+        return Ok(None);
+    }
+    let (outcome, _) = fly_mission(&probe.spec, &probe.cell, scenario, repeat, 0, None)?;
+    let success = outcome.result == MissionResult::Success;
+    if let Some(progress) = &probe.progress {
+        progress.record(within, success);
+    }
+    Ok(Some(success))
+}
+
+/// Aggregates one probe's mission outcomes into its rate, restricted to
+/// the deterministic decided prefix.
+fn probe_rate(probe: &ProbeJob, outcomes: &[Option<bool>], planned: usize) -> ProbeRate {
+    let flown = match &probe.progress {
+        Some(progress) => progress.verdict().0,
+        None => planned,
+    };
+    let prefix = &outcomes[..flown];
+    let successes = prefix.iter().filter(|o| **o == Some(true)).count();
+    ProbeRate {
+        success_rate: successes as f64 / flown.max(1) as f64,
+        missions_flown: flown,
+        missions_planned: planned,
+    }
+}
+
+/// Flies one mission of one cell, attaching a flight recorder when
+/// `recorder` is given. (`config_hash` is only stamped into the trace
+/// header; recorder-less callers may pass 0.)
+fn fly_mission(
+    spec: &CampaignSpec,
+    cell: &CampaignCell,
+    scenario: &Scenario,
+    repeat: usize,
+    config_hash: u64,
+    recorder: Option<&RecorderConfig>,
+) -> Result<(MissionOutcome, Option<Trace>), CampaignError> {
+    let seed = spec.mission_seed(scenario.id, repeat);
+    let compute = ComputeModel::new(spec.profiles[cell.profile_index].clone()).map_err(|err| {
+        CampaignError::InvalidSpec {
+            reason: err.to_string(),
+        }
+    })?;
+    let mut executor = mls_core::MissionExecutor::for_variant(
+        scenario,
+        cell.variant,
+        spec.landing.clone(),
+        compute,
+        spec.executor.clone(),
+        seed,
+    )?;
+    if !cell.faults.is_empty() {
+        let context = MissionFaultContext {
+            target_marker_id: scenario.target_marker_id,
+            gps_target: scenario.gps_target,
+            marker_size: scenario.marker_size,
+            max_duration: spec.executor.max_duration,
+        };
+        // A single plan keeps the raw mission seed for its injector
+        // stream (the composite sub-seed derivation only engages when
+        // plans actually compose); several plans compose on derived
+        // per-plan sub-seeds.
+        executor = match cell.faults.as_slice() {
+            [plan] => executor.with_fault_hook(Box::new(plan.injector(seed, &context))),
+            plans => {
+                executor.with_fault_hook(Box::new(CompositeInjector::new(plans, seed, &context)))
+            }
+        };
+    }
+    let mut handle = None;
+    if let Some(config) = recorder {
+        let mut header = config.header(
+            &spec.name,
+            seed,
+            cell.variant,
+            scenario.id,
+            &scenario.name,
+            cell.index,
+            repeat,
+            config_hash,
+        );
+        // Stamp the scenario family and the fault-space point the
+        // mission flies, so the trace is self-describing about its suite
+        // and falsification coordinates. Replay regenerates the same
+        // stamps from the spec's cell, keeping the header
+        // byte-comparison exact.
+        header.family = cell.family.label().to_string();
+        header.coordinates = cell
+            .faults
+            .iter()
+            .map(|plan| mls_trace::AxisCoordinate {
+                axis: plan.kind.label().to_string(),
+                value: plan.intensity,
+            })
+            .collect();
+        let trace_recorder = TraceRecorder::new(header);
+        handle = Some(trace_recorder.handle());
+        executor = executor.with_trace_sink(Box::new(trace_recorder));
+    }
+    let outcome = executor.run();
+    Ok((outcome, handle.map(mls_trace::TraceHandle::finish)))
+}
+
+/// Aggregates one cell's records (already in deterministic job order,
+/// restricted to the decided prefix) into a [`CellReport`] via the
+/// streaming accumulators.
+fn aggregate_cell(
+    cell: &CampaignCell,
+    records: &[&MissionRecord],
+    early_stop: Option<EarlyStopSummary>,
+) -> CellReport {
     let n = records.len().max(1) as f64;
     let rate = |predicate: &dyn Fn(&MissionRecord) -> bool| {
         records.iter().filter(|r| predicate(r)).count() as f64 / n
@@ -602,27 +986,13 @@ fn aggregate_cell(cell: &CampaignCell, records: &[MissionRecord]) -> CellReport 
         peak_memory_mb: peak_memory_mb.summary(),
         worst_planning_latency: worst_planning_latency.summary(),
         gps_drift: gps_drift.summary(),
+        early_stop,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn execute_sharded_preserves_job_order() {
-        let results = execute_sharded(100, 7, |i| i * 2);
-        assert_eq!(results.len(), 100);
-        for (i, value) in results.iter().enumerate() {
-            assert_eq!(*value, i * 2);
-        }
-    }
-
-    #[test]
-    fn execute_sharded_handles_degenerate_sizes() {
-        assert!(execute_sharded(0, 4, |i| i).is_empty());
-        assert_eq!(execute_sharded(1, 16, |i| i + 1), vec![1]);
-    }
 
     #[test]
     fn runner_clamps_threads() {
@@ -632,6 +1002,15 @@ mod tests {
             CampaignRunner::MAX_THREADS
         );
         assert!(CampaignRunner::auto().threads() >= 1);
+    }
+
+    #[test]
+    fn runners_share_the_global_executor_and_suite_cache() {
+        let a = CampaignRunner::new(2);
+        let b = CampaignRunner::new(4);
+        assert!(Arc::ptr_eq(a.executor(), b.executor()));
+        let c = a.clone();
+        assert!(Arc::ptr_eq(a.executor(), c.executor()));
     }
 
     #[test]
@@ -648,5 +1027,42 @@ mod tests {
         let mut spec = CampaignSpec::smoke();
         spec.variants.clear();
         assert!(CampaignRunner::new(1).run(&spec).is_err());
+    }
+
+    #[test]
+    fn probe_specs_with_several_cells_are_rejected() {
+        let runner = CampaignRunner::new(1);
+        let spec = CampaignSpec::smoke(); // baseline + 3 faults → 12 cells
+        let suite = Arc::new(Vec::new());
+        let err = runner.run_probe_rates(vec![spec], suite).unwrap_err();
+        assert!(err.to_string().contains("exactly one cell"));
+    }
+
+    #[test]
+    fn cell_progress_decides_on_the_deterministic_prefix() {
+        let progress = CellProgress::new(EarlyStopPolicy::exact(0.75), 8);
+        // Out-of-order arrival: the prefix cursor waits for mission 0.
+        progress.record(1, false);
+        progress.record(2, false);
+        assert!(!progress.should_skip(3));
+        progress.record(0, false);
+        // Prefix 0..3 resolved: (0 + 5)/8 < 0.75 decides fail at 3.
+        assert!(progress.should_skip(3));
+        assert_eq!(progress.verdict(), (3, false));
+        // A straggler that was already in flight does not move anything.
+        progress.record(5, true);
+        assert_eq!(progress.verdict(), (3, false));
+    }
+
+    #[test]
+    fn cell_progress_without_a_decision_flies_everything() {
+        let progress = CellProgress::new(EarlyStopPolicy::exact(0.5), 4);
+        for within in 0..4 {
+            assert!(!progress.should_skip(within));
+            progress.record(within, within % 2 == 1);
+        }
+        let (flown, verdict) = progress.verdict();
+        assert_eq!(flown, 4);
+        assert!(verdict, "2/4 = 0.5 ≥ 0.5 passes");
     }
 }

@@ -26,9 +26,30 @@
 //!    on; the first failing mission's trace is persisted, triaged against
 //!    the Fig. 5 taxonomy, linked into the result and replay-verified
 //!    byte-for-byte. A minimal counterexample ships as a file, not a number.
+//!
+//! # Ask/tell batching
+//!
+//! Searchers do not pull probes one at a time: each emits its whole next
+//! *generation* (a full lattice sweep, a full CMA-ES population) through an
+//! ask/tell interface, the oracle fans the uncached points of the
+//! generation out over the persistent [`MissionExecutor`] concurrently
+//! ([`ProbeExecution::Batched`]), and the measured success rates are told
+//! back in deterministic point order. Because every searcher decision is a
+//! pure function of the told rates, counterexamples, probe logs and
+//! minimizer trajectories are byte-identical to sequential evaluation
+//! ([`ProbeExecution::Sequential`]) at any thread count — the batched mode
+//! merely keeps the machine saturated while a generation flies.
+//!
+//! Probe campaigns default to early-stopped mission schedules
+//! ([`FalsificationConfig::probe_early_stop`]): a probe's remaining repeats
+//! are cancelled once the exact [`EarlyStopPolicy`] bound already decides
+//! pass/fail against the failure threshold, which cuts the dominant cost of
+//! a search — missions whose outcome can no longer change the verdict.
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use mls_compute::ComputeProfile;
 use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
@@ -36,10 +57,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::faults::{FaultPlan, FaultSpace};
+use crate::executor::MissionExecutor;
+use crate::faults::{FaultKind, FaultPlan, FaultSpace};
 use crate::report::TraceLink;
 use crate::runner::CampaignRunner;
-use crate::spec::CampaignSpec;
+use crate::spec::{CampaignSpec, EarlyStopPolicy};
 use crate::CampaignError;
 
 /// Configuration of a falsification search.
@@ -64,6 +86,13 @@ pub struct FalsificationConfig {
     /// Bisection steps per axis per minimizer pass (5 steps resolve an axis
     /// to ~3 % of its span).
     pub minimizer_bisections: usize,
+    /// Whether probe campaigns early-stop their mission schedules once the
+    /// exact bound decides pass/fail against `failure_threshold` (on by
+    /// default for search probes; plain campaigns default off). The decided
+    /// verdict is recorded alongside the missions actually flown, and
+    /// pass/fail classifications are guaranteed identical to flying every
+    /// mission.
+    pub probe_early_stop: bool,
     /// Compute platform the probes fly on.
     pub profile: ComputeProfile,
     /// Landing-system configuration.
@@ -83,11 +112,26 @@ impl Default for FalsificationConfig {
             failure_threshold: 0.5,
             minimizer_passes: 2,
             minimizer_bisections: 5,
+            probe_early_stop: true,
             profile: ComputeProfile::desktop_sil(),
             landing: LandingConfig::default(),
             executor: ExecutorConfig::default(),
         }
     }
+}
+
+/// How the oracle evaluates the uncached points of a searcher generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeExecution {
+    /// One probe campaign at a time, each internally sharded — the
+    /// pre-batching behaviour, kept as the perf baseline and the
+    /// equivalence reference.
+    Sequential,
+    /// The whole generation fans out over the persistent executor at
+    /// mission granularity ([`CampaignRunner::run_probe_rates`]), so the
+    /// pool stays saturated even when each probe flies only a handful of
+    /// missions. Results are identical to [`ProbeExecution::Sequential`].
+    Batched,
 }
 
 /// Coarse-to-fine lattice refinement.
@@ -96,7 +140,7 @@ pub struct GridRefinementConfig {
     /// Lattice points per axis (≥ 2); 3 probes each axis at 0, ½ and 1.
     pub resolution: usize,
     /// Refinement rounds after the initial lattice; each halves the span of
-    /// the lattice around the lowest-severity failing point.
+    /// the lattice around the lowest-severity failure.
     pub rounds: usize,
 }
 
@@ -186,8 +230,9 @@ pub struct Counterexample {
 /// The outcome of falsifying one (variant, fault space) pair.
 ///
 /// `Deserialize` is implemented by hand so result JSONs persisted before
-/// scenario families existed (no `family` key) still parse as open-family
-/// searches — the vendored serde has no `#[serde(default)]`.
+/// scenario families existed (no `family` key) or before mission
+/// accounting (no `missions_flown` key) still parse — the vendored serde
+/// has no `#[serde(default)]`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SpaceFalsification {
     /// The fault space searched.
@@ -206,6 +251,10 @@ pub struct SpaceFalsification {
     /// Every distinct point evaluated, in evaluation order (memoised
     /// re-visits are not repeated).
     pub probes: Vec<ProbePoint>,
+    /// Missions actually flown across the whole run (baseline, probes,
+    /// capture and replay verification) — the wall-clock currency early
+    /// stopping saves.
+    pub missions_flown: usize,
 }
 
 impl serde::Deserialize for SpaceFalsification {
@@ -222,6 +271,11 @@ impl serde::Deserialize for SpaceFalsification {
             baseline_success_rate: serde::de_field(value, "baseline_success_rate")?,
             counterexample: serde::de_field(value, "counterexample")?,
             probes: serde::de_field(value, "probes")?,
+            // Results persisted before mission accounting carry no count.
+            missions_flown: match value.get("missions_flown") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => 0,
+            },
         })
     }
 }
@@ -260,7 +314,8 @@ impl FalsificationReport {
         let escape = crate::report::csv_escape;
         let mut out = String::from(
             "space,variant,family,searcher,axes,baseline_success_rate,probes,falsified,\
-             counterexample,success_at_counterexample,triage,replay_identical,trace\n",
+             counterexample,success_at_counterexample,triage,replay_identical,trace,\
+             missions_flown\n",
         );
         for result in &self.results {
             let (counterexample, success, triage, replay, trace) = match &result.counterexample {
@@ -282,7 +337,7 @@ impl FalsificationReport {
                 None => Default::default(),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{:.4},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{:.4},{},{},{},{},{},{},{},{}\n",
                 escape(&result.space.name),
                 escape(result.variant.label()),
                 result.family.label(),
@@ -296,25 +351,72 @@ impl FalsificationReport {
                 escape(&triage),
                 replay,
                 escape(&trace),
+                result.missions_flown,
             ));
         }
         out
     }
 }
 
-/// The probe evaluation a searcher drives: normalized point → success rate.
-type ProbeFn<'a> = Box<dyn FnMut(&[f64]) -> Result<f64, CampaignError> + 'a>;
+/// Upper bound on fault-space dimensionality: one axis per distinct
+/// [`FaultKind`] (spaces repeating a kind are rejected by
+/// [`FaultSpace::validate`]).
+const MAX_SPACE_AXES: usize = FaultKind::ALL.len();
 
-/// The memoised probe oracle: maps a normalized point onto a landing success
-/// rate, evaluating each distinct point at most once.
+/// Fixed-size, allocation-free memo key: coordinates quantized to 1e-9
+/// (far below any searcher's resolution), so float jitter cannot double-fly
+/// a probe — and a cache hit in a hot loop (the minimizer probes one point
+/// per bisection step) allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PointKey {
+    coords: [u64; MAX_SPACE_AXES],
+    dim: u8,
+}
+
+impl PointKey {
+    fn of(point: &[f64]) -> Self {
+        assert!(
+            point.len() <= MAX_SPACE_AXES,
+            "a fault space has at most one axis per fault kind"
+        );
+        let mut coords = [0u64; MAX_SPACE_AXES];
+        for (slot, &x) in coords.iter_mut().zip(point) {
+            *slot = (x * 1e9).round() as u64;
+        }
+        Self {
+            coords,
+            dim: point.len() as u8,
+        }
+    }
+}
+
+/// The probe evaluation a searcher generation is fanned out through:
+/// normalized points → success rates, in order.
+type BatchProbeFn<'a> = Box<dyn FnMut(&[Vec<f64>]) -> Result<Vec<f64>, CampaignError> + 'a>;
+
+/// The memoised probe oracle: maps normalized points onto landing success
+/// rates, evaluating each distinct point at most once and recording every
+/// fresh evaluation in deterministic point order.
 struct Oracle<'a> {
-    evaluate: ProbeFn<'a>,
-    cache: HashMap<Vec<u64>, f64>,
+    evaluate: BatchProbeFn<'a>,
+    cache: HashMap<PointKey, f64>,
     probes: Vec<ProbePoint>,
 }
 
 impl<'a> Oracle<'a> {
-    fn new(evaluate: impl FnMut(&[f64]) -> Result<f64, CampaignError> + 'a) -> Self {
+    /// An oracle over a one-point-at-a-time evaluator (unit tests and
+    /// synthetic oracles).
+    #[cfg(test)]
+    fn new(mut evaluate: impl FnMut(&[f64]) -> Result<f64, CampaignError> + 'a) -> Self {
+        Self::new_batch(move |points: &[Vec<f64>]| {
+            points.iter().map(|point| evaluate(point)).collect()
+        })
+    }
+
+    /// An oracle over a generation-at-a-time evaluator.
+    fn new_batch(
+        evaluate: impl FnMut(&[Vec<f64>]) -> Result<Vec<f64>, CampaignError> + 'a,
+    ) -> Self {
         Self {
             evaluate: Box::new(evaluate),
             cache: HashMap::new(),
@@ -322,24 +424,59 @@ impl<'a> Oracle<'a> {
         }
     }
 
-    /// Cache key: coordinates quantized to 1e-9 (far below any searcher's
-    /// resolution), so float jitter cannot double-fly a probe.
-    fn key(point: &[f64]) -> Vec<u64> {
-        point.iter().map(|&x| (x * 1e9).round() as u64).collect()
-    }
-
     /// Seeds the cache with an externally measured rate (the baseline
     /// campaign standing in for the all-no-op origin probe).
     fn prime(&mut self, point: &[f64], success_rate: f64) {
-        self.cache.insert(Self::key(point), success_rate);
+        self.cache.insert(PointKey::of(point), success_rate);
     }
 
+    /// Success rates for a whole generation, in point order. Cached points
+    /// and within-generation duplicates are not re-flown; the fresh points
+    /// are evaluated in first-occurrence order (concurrently, when the
+    /// evaluator batches) and logged in exactly the order a sequential
+    /// evaluation would have produced.
+    fn success_rates(&mut self, points: &[Vec<f64>]) -> Result<Vec<f64>, CampaignError> {
+        let keys: Vec<PointKey> = points.iter().map(|point| PointKey::of(point)).collect();
+        let mut fresh: Vec<usize> = Vec::new();
+        let mut seen: std::collections::HashSet<PointKey> = std::collections::HashSet::new();
+        for (index, key) in keys.iter().enumerate() {
+            if !self.cache.contains_key(key) && seen.insert(*key) {
+                fresh.push(index);
+            }
+        }
+        if !fresh.is_empty() {
+            let unique: Vec<Vec<f64>> = fresh.iter().map(|&index| points[index].clone()).collect();
+            let measured = (self.evaluate)(&unique)?;
+            if measured.len() != unique.len() {
+                return Err(CampaignError::InvalidSpec {
+                    reason: format!(
+                        "the probe evaluator returned {} rates for {} points",
+                        measured.len(),
+                        unique.len()
+                    ),
+                });
+            }
+            for (&index, rate) in fresh.iter().zip(measured) {
+                self.cache.insert(keys[index], rate);
+                self.probes.push(ProbePoint {
+                    point: points[index].clone(),
+                    success_rate: rate,
+                });
+            }
+        }
+        Ok(keys.iter().map(|key| self.cache[key]).collect())
+    }
+
+    /// Success rate of one point; a cache hit allocates nothing.
     fn success_rate(&mut self, point: &[f64]) -> Result<f64, CampaignError> {
-        let key = Self::key(point);
+        let key = PointKey::of(point);
         if let Some(&rate) = self.cache.get(&key) {
             return Ok(rate);
         }
-        let rate = (self.evaluate)(point)?;
+        let measured = (self.evaluate)(&[point.to_vec()])?;
+        let rate = *measured.first().ok_or_else(|| CampaignError::InvalidSpec {
+            reason: "the probe evaluator returned no rate for one point".to_string(),
+        })?;
         self.cache.insert(key, rate);
         self.probes.push(ProbePoint {
             point: point.to_vec(),
@@ -359,6 +496,31 @@ fn severity(point: &[f64]) -> f64 {
     point.iter().map(|x| x * x).sum::<f64>().sqrt()
 }
 
+/// The ask/tell state machine behind a [`Searcher`]: `ask` emits the next
+/// whole generation of points, `tell` feeds their success rates back (in
+/// the same order). An empty generation ends the search.
+trait SearchState {
+    fn ask(&mut self) -> Vec<Vec<f64>>;
+    fn tell(&mut self, points: &[Vec<f64>], rates: &[f64]);
+    fn take_best(&mut self) -> Option<Vec<f64>>;
+}
+
+/// Drives an ask/tell state against the oracle until it stops emitting
+/// generations.
+fn drive(
+    state: &mut dyn SearchState,
+    oracle: &mut Oracle,
+) -> Result<Option<Vec<f64>>, CampaignError> {
+    loop {
+        let generation = state.ask();
+        if generation.is_empty() {
+            return Ok(state.take_best());
+        }
+        let rates = oracle.success_rates(&generation)?;
+        state.tell(&generation, &rates);
+    }
+}
+
 impl Searcher {
     /// Hunts a failing point in `[0, 1]^dim`, preferring low severity.
     fn find_failure(
@@ -368,45 +530,35 @@ impl Searcher {
         oracle: &mut Oracle,
     ) -> Result<Option<Vec<f64>>, CampaignError> {
         match self {
-            Searcher::GridRefinement(config) => grid_refinement(config, dim, threshold, oracle),
-            Searcher::CmaEs(config) => cma_es(config, dim, threshold, oracle),
+            Searcher::GridRefinement(config) => {
+                drive(&mut GridState::new(config, dim, threshold), oracle)
+            }
+            Searcher::CmaEs(config) => drive(&mut CmaState::new(config, dim, threshold), oracle),
         }
     }
 }
 
-/// Sweeps a `resolution^dim` lattice over the given box and returns the
-/// lowest-severity failing point.
-fn sweep_lattice(
-    center: &[f64],
-    span: f64,
-    resolution: usize,
-    threshold: f64,
-    oracle: &mut Oracle,
-) -> Result<Option<Vec<f64>>, CampaignError> {
+/// All points of a `resolution^dim` lattice over the box
+/// `center ± span/2`, clamped to the unit cube, in odometer order. One
+/// scratch buffer builds every point; the returned generation owns its
+/// points (the ask/tell contract).
+fn lattice_points(center: &[f64], span: f64, resolution: usize) -> Vec<Vec<f64>> {
     let dim = center.len();
     let resolution = resolution.max(2);
-    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut points = Vec::with_capacity(resolution.pow(dim as u32));
     let mut index = vec![0usize; dim];
+    let mut scratch = vec![0.0; dim];
     loop {
-        let point: Vec<f64> = index
-            .iter()
-            .zip(center)
-            .map(|(&i, &c)| {
-                let offset = i as f64 / (resolution - 1) as f64 - 0.5;
-                (c + offset * span).clamp(0.0, 1.0)
-            })
-            .collect();
-        if oracle.fails(&point, threshold)? {
-            let norm = severity(&point);
-            if best.as_ref().map(|(b, _)| norm < *b).unwrap_or(true) {
-                best = Some((norm, point));
-            }
+        for (slot, (&i, &c)) in scratch.iter_mut().zip(index.iter().zip(center)) {
+            let offset = i as f64 / (resolution - 1) as f64 - 0.5;
+            *slot = (c + offset * span).clamp(0.0, 1.0);
         }
+        points.push(scratch.clone());
         // Odometer increment over the lattice indices.
         let mut axis = 0;
         loop {
             if axis == dim {
-                return Ok(best.map(|(_, point)| point));
+                return points;
             }
             index[axis] += 1;
             if index[axis] < resolution {
@@ -418,28 +570,100 @@ fn sweep_lattice(
     }
 }
 
-/// Coarse-to-fine refinement: a full-cube lattice, then progressively
-/// halved lattices centred on the lowest-severity failing point.
-fn grid_refinement(
-    config: &GridRefinementConfig,
-    dim: usize,
-    threshold: f64,
-    oracle: &mut Oracle,
-) -> Result<Option<Vec<f64>>, CampaignError> {
-    let center = vec![0.5; dim];
-    let Some(mut best) = sweep_lattice(&center, 1.0, config.resolution, threshold, oracle)? else {
-        return Ok(None);
-    };
-    let mut span = 1.0;
-    for _ in 0..config.rounds {
-        span /= 2.0;
-        if let Some(better) = sweep_lattice(&best, span, config.resolution, threshold, oracle)? {
-            if severity(&better) < severity(&best) {
-                best = better;
+/// The lowest-severity failing point of one told generation (strictly
+/// lower severity wins, so the first point of equal severity in generation
+/// order is kept — matching what a sequential sweep records).
+fn generation_best(points: &[Vec<f64>], rates: &[f64], threshold: f64) -> Option<(f64, Vec<f64>)> {
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for (point, &rate) in points.iter().zip(rates) {
+        if rate < threshold {
+            let norm = severity(point);
+            if best.as_ref().map(|(b, _)| norm < *b).unwrap_or(true) {
+                best = Some((norm, point.clone()));
             }
         }
     }
-    Ok(Some(best))
+    best
+}
+
+/// Coarse-to-fine refinement as an ask/tell state: a full-cube lattice,
+/// then progressively halved lattices centred on the lowest-severity
+/// failure found so far.
+struct GridState {
+    resolution: usize,
+    rounds_left: usize,
+    threshold: f64,
+    center: Vec<f64>,
+    span: f64,
+    best: Option<(f64, Vec<f64>)>,
+    initial: bool,
+    done: bool,
+}
+
+impl GridState {
+    fn new(config: &GridRefinementConfig, dim: usize, threshold: f64) -> Self {
+        Self {
+            resolution: config.resolution.max(2),
+            rounds_left: config.rounds,
+            threshold,
+            center: vec![0.5; dim],
+            span: 1.0,
+            best: None,
+            initial: true,
+            done: false,
+        }
+    }
+
+    fn advance(&mut self) {
+        if self.rounds_left == 0 {
+            self.done = true;
+            return;
+        }
+        self.rounds_left -= 1;
+        self.span /= 2.0;
+        self.center = self
+            .best
+            .as_ref()
+            .expect("refinement only runs once a failure exists")
+            .1
+            .clone();
+    }
+}
+
+impl SearchState for GridState {
+    fn ask(&mut self) -> Vec<Vec<f64>> {
+        if self.done {
+            return Vec::new();
+        }
+        lattice_points(&self.center, self.span, self.resolution)
+    }
+
+    fn tell(&mut self, points: &[Vec<f64>], rates: &[f64]) {
+        let round_best = generation_best(points, rates, self.threshold);
+        if self.initial {
+            self.initial = false;
+            match round_best {
+                // No failure on the full-cube lattice: the search is over.
+                None => self.done = true,
+                Some(found) => {
+                    self.best = Some(found);
+                    self.advance();
+                }
+            }
+            return;
+        }
+        if let Some((norm, point)) = round_best {
+            let current = self.best.as_ref().map(|(b, _)| *b);
+            if current.map(|b| norm < b).unwrap_or(true) {
+                self.best = Some((norm, point));
+            }
+        }
+        self.advance();
+    }
+
+    fn take_best(&mut self) -> Option<Vec<f64>> {
+        self.best.take().map(|(_, point)| point)
+    }
 }
 
 /// One standard-normal draw (Box–Muller on the vendored uniform stream).
@@ -449,95 +673,166 @@ fn standard_normal(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// Diagonal CMA-ES: weighted-recombination mean update, per-axis variance
-/// adaptation, multiplicative step-size control. The objective ranks failing
-/// points by severity (lower is better) strictly below passing points, and
-/// passing points by how close their success rate is to the threshold — so
-/// the population walks downhill toward the failure frontier and then along
-/// it toward the origin.
+/// Diagonal CMA-ES as an ask/tell state: weighted-recombination mean
+/// update, per-axis variance adaptation, multiplicative step-size control.
+/// The objective ranks failing points by severity (lower is better)
+/// strictly below passing points, and passing points by how close their
+/// success rate is to the threshold — so the population walks downhill
+/// toward the failure frontier and then along it toward the origin.
+struct CmaState {
+    threshold: f64,
+    dim: usize,
+    population: usize,
+    parents: usize,
+    weights: Vec<f64>,
+    variance_rate: f64,
+    rng: StdRng,
+    mean: Vec<f64>,
+    axis_scale: Vec<f64>,
+    sigma: f64,
+    generations_left: usize,
+    /// The normal draws behind the pending generation's candidates, in
+    /// candidate order (`tell` needs them for variance adaptation).
+    steps: Vec<Vec<f64>>,
+    best: Option<(f64, Vec<f64>)>,
+}
+
+impl CmaState {
+    fn new(config: &CmaEsConfig, dim: usize, threshold: f64) -> Self {
+        let population = config.population.max(4);
+        let parents = population / 2;
+        // Log-rank recombination weights, normalized.
+        let raw: Vec<f64> = (0..parents)
+            .map(|i| ((parents + 1) as f64).ln() - ((i + 1) as f64).ln())
+            .collect();
+        let total: f64 = raw.iter().sum();
+        Self {
+            threshold,
+            dim,
+            population,
+            parents,
+            weights: raw.iter().map(|w| w / total).collect(),
+            variance_rate: 0.3,
+            rng: StdRng::seed_from_u64(config.seed),
+            mean: vec![0.5; dim],
+            axis_scale: vec![1.0; dim],
+            sigma: config.initial_step.clamp(1e-3, 1.0),
+            generations_left: config.generations.max(1),
+            steps: Vec::new(),
+            best: None,
+        }
+    }
+}
+
+impl SearchState for CmaState {
+    fn ask(&mut self) -> Vec<Vec<f64>> {
+        if self.generations_left == 0 {
+            return Vec::new();
+        }
+        self.steps.clear();
+        let mut candidates = Vec::with_capacity(self.population);
+        for _ in 0..self.population {
+            let steps: Vec<f64> = (0..self.dim)
+                .map(|_| standard_normal(&mut self.rng))
+                .collect();
+            let candidate: Vec<f64> = (0..self.dim)
+                .map(|j| {
+                    (self.mean[j] + self.sigma * self.axis_scale[j] * steps[j]).clamp(0.0, 1.0)
+                })
+                .collect();
+            self.steps.push(steps);
+            candidates.push(candidate);
+        }
+        candidates
+    }
+
+    fn tell(&mut self, points: &[Vec<f64>], rates: &[f64]) {
+        // Score the generation in candidate order (best-so-far updates use
+        // strict inequality, so ties resolve exactly as a sequential
+        // evaluation would).
+        let mut scored: Vec<(f64, usize)> = Vec::with_capacity(points.len());
+        for (index, (candidate, &success)) in points.iter().zip(rates).enumerate() {
+            let score = if success < self.threshold {
+                // Failing: strictly better than any passing point, ranked by
+                // severity so the strategy minimizes the counterexample.
+                let norm = severity(candidate);
+                if self.best.as_ref().map(|(b, _)| norm < *b).unwrap_or(true) {
+                    self.best = Some((norm, candidate.clone()));
+                }
+                norm / (self.dim as f64).sqrt() - 2.0
+            } else {
+                success - self.threshold
+            };
+            scored.push((score, index));
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Weighted recombination of the μ best.
+        let old_mean = self.mean.clone();
+        for (j, mean) in self.mean.iter_mut().enumerate() {
+            *mean = scored
+                .iter()
+                .take(self.parents)
+                .zip(&self.weights)
+                .map(|(&(_, index), w)| w * points[index][j])
+                .sum();
+        }
+        // Per-axis variance adaptation from the selected steps.
+        let steps = &self.steps;
+        for (j, scale) in self.axis_scale.iter_mut().enumerate() {
+            let selected: f64 = scored
+                .iter()
+                .take(self.parents)
+                .zip(&self.weights)
+                .map(|(&(_, index), w)| w * steps[index][j] * steps[index][j])
+                .sum();
+            let adapted = (1.0 - self.variance_rate) * *scale * *scale
+                + self.variance_rate * *scale * *scale * selected;
+            *scale = adapted.sqrt().clamp(1e-3, 10.0);
+        }
+        // Step-size control: expand while exploring, contract once the mean
+        // settles (mean displacement against the expected step).
+        let displacement: f64 = self
+            .mean
+            .iter()
+            .zip(&old_mean)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        if displacement > self.sigma * 0.5 {
+            self.sigma = (self.sigma * 1.2).min(1.0);
+        } else {
+            self.sigma = (self.sigma * 0.8).max(1e-3);
+        }
+        self.generations_left -= 1;
+    }
+
+    fn take_best(&mut self) -> Option<Vec<f64>> {
+        self.best.take().map(|(_, point)| point)
+    }
+}
+
+/// Coarse-to-fine refinement over a synthetic oracle (test seam; the
+/// engine drives the same state through [`Searcher::find_failure`]).
+#[cfg(test)]
+fn grid_refinement(
+    config: &GridRefinementConfig,
+    dim: usize,
+    threshold: f64,
+    oracle: &mut Oracle,
+) -> Result<Option<Vec<f64>>, CampaignError> {
+    drive(&mut GridState::new(config, dim, threshold), oracle)
+}
+
+/// Diagonal CMA-ES over a synthetic oracle (test seam).
+#[cfg(test)]
 fn cma_es(
     config: &CmaEsConfig,
     dim: usize,
     threshold: f64,
     oracle: &mut Oracle,
 ) -> Result<Option<Vec<f64>>, CampaignError> {
-    let population = config.population.max(4);
-    let parents = population / 2;
-    // Log-rank recombination weights, normalized.
-    let raw: Vec<f64> = (0..parents)
-        .map(|i| ((parents + 1) as f64).ln() - ((i + 1) as f64).ln())
-        .collect();
-    let total: f64 = raw.iter().sum();
-    let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
-    let variance_rate = 0.3;
-
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut mean = vec![0.5; dim];
-    let mut axis_scale = vec![1.0; dim];
-    let mut sigma = config.initial_step.clamp(1e-3, 1.0);
-    let mut best: Option<(f64, Vec<f64>)> = None;
-
-    for _ in 0..config.generations.max(1) {
-        // Sample and score one generation.
-        let mut scored: Vec<(f64, Vec<f64>, Vec<f64>)> = Vec::with_capacity(population);
-        for _ in 0..population {
-            let steps: Vec<f64> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
-            let candidate: Vec<f64> = (0..dim)
-                .map(|j| (mean[j] + sigma * axis_scale[j] * steps[j]).clamp(0.0, 1.0))
-                .collect();
-            let success = oracle.success_rate(&candidate)?;
-            let score = if success < threshold {
-                // Failing: strictly better than any passing point, ranked by
-                // severity so the strategy minimizes the counterexample.
-                let norm = severity(&candidate);
-                if best.as_ref().map(|(b, _)| norm < *b).unwrap_or(true) {
-                    best = Some((norm, candidate.clone()));
-                }
-                norm / (dim as f64).sqrt() - 2.0
-            } else {
-                success - threshold
-            };
-            scored.push((score, candidate, steps));
-        }
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-
-        // Weighted recombination of the μ best.
-        let old_mean = mean.clone();
-        for j in 0..dim {
-            mean[j] = scored
-                .iter()
-                .take(parents)
-                .zip(&weights)
-                .map(|((_, candidate, _), w)| w * candidate[j])
-                .sum();
-        }
-        // Per-axis variance adaptation from the selected steps.
-        for j in 0..dim {
-            let selected: f64 = scored
-                .iter()
-                .take(parents)
-                .zip(&weights)
-                .map(|((_, _, steps), w)| w * steps[j] * steps[j])
-                .sum();
-            let adapted = (1.0 - variance_rate) * axis_scale[j] * axis_scale[j]
-                + variance_rate * axis_scale[j] * axis_scale[j] * selected;
-            axis_scale[j] = adapted.sqrt().clamp(1e-3, 10.0);
-        }
-        // Step-size control: expand while exploring, contract once the mean
-        // settles (mean displacement against the expected step).
-        let displacement: f64 = mean
-            .iter()
-            .zip(&old_mean)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
-        if displacement > sigma * 0.5 {
-            sigma = (sigma * 1.2).min(1.0);
-        } else {
-            sigma = (sigma * 0.8).max(1e-3);
-        }
-    }
-    Ok(best.map(|(_, point)| point))
+    drive(&mut CmaState::new(config, dim, threshold), oracle)
 }
 
 /// Coordinate-descent minimization: bisect each axis toward zero while the
@@ -580,20 +875,40 @@ fn minimize(
     Ok(minimal)
 }
 
+/// The search stage of a falsification run, without minimization and
+/// capture — what the perf suite times when it compares batched against
+/// sequential probe evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchStage {
+    /// Success rate with no fault injected.
+    pub baseline_success_rate: f64,
+    /// The failing point the searcher found (not yet minimized), when one
+    /// exists.
+    pub failing_point: Option<Vec<f64>>,
+    /// Every distinct point evaluated, in evaluation order.
+    pub probes: Vec<ProbePoint>,
+    /// Missions actually flown (baseline + probes).
+    pub missions_flown: usize,
+}
+
 /// The multi-dimensional falsification engine.
 #[derive(Debug, Clone)]
 pub struct FalsificationSearch {
     config: FalsificationConfig,
     runner: CampaignRunner,
+    execution: ProbeExecution,
     trace_dir: Option<std::path::PathBuf>,
 }
 
 impl FalsificationSearch {
-    /// Creates a search executing probes on `threads` worker threads.
+    /// Creates a search executing probes on up to `threads` concurrent
+    /// mission workers of the shared persistent executor, with batched
+    /// probe evaluation.
     pub fn new(config: FalsificationConfig, threads: usize) -> Self {
         Self {
             config,
             runner: CampaignRunner::new(threads),
+            execution: ProbeExecution::Batched,
             trace_dir: None,
         }
     }
@@ -608,6 +923,21 @@ impl FalsificationSearch {
         &self.runner
     }
 
+    /// The executor pool probes fan out over.
+    pub fn executor(&self) -> &Arc<MissionExecutor> {
+        self.runner.executor()
+    }
+
+    /// Overrides how searcher generations are evaluated
+    /// ([`ProbeExecution::Batched`] is the default). Results are identical
+    /// either way; [`ProbeExecution::Sequential`] exists as the perf
+    /// baseline and the equivalence reference.
+    #[must_use]
+    pub fn with_probe_execution(mut self, execution: ProbeExecution) -> Self {
+        self.execution = execution;
+        self
+    }
+
     /// Overrides the base directory counterexample traces are persisted in:
     /// each space still gets its own `falsify-<space name>` subdirectory, so
     /// searching several spaces never collides on trace filenames (default
@@ -616,6 +946,36 @@ impl FalsificationSearch {
     pub fn with_trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
         self
+    }
+
+    /// Runs only the search stage — baseline plus searcher, no
+    /// minimization, no capture. The perf suite times this against both
+    /// [`ProbeExecution`] modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the space is degenerate or a probe campaign
+    /// fails to run.
+    pub fn search_space(
+        &self,
+        variant: SystemVariant,
+        space: &FaultSpace,
+        searcher: &Searcher,
+    ) -> Result<SearchStage, CampaignError> {
+        space.validate()?;
+        let scenarios = self
+            .runner
+            .generate_scenarios(&self.probe_spec(variant, space, &[]))?;
+        let missions = Arc::new(AtomicUsize::new(0));
+        let (mut oracle, baseline_success_rate) =
+            self.search_oracle(variant, space, &scenarios, &missions)?;
+        let failing_point = self.hunt(space, searcher, &mut oracle, baseline_success_rate)?;
+        Ok(SearchStage {
+            baseline_success_rate,
+            failing_point,
+            probes: std::mem::take(&mut oracle.probes),
+            missions_flown: missions.load(Ordering::Relaxed),
+        })
     }
 
     /// Falsifies one (variant, fault space) pair: search, minimize, capture.
@@ -632,64 +992,22 @@ impl FalsificationSearch {
     ) -> Result<SpaceFalsification, CampaignError> {
         space.validate()?;
         // One scenario suite serves every probe of the search: probes differ
-        // only in their fault point, never in the world flown over.
+        // only in their fault point, never in the world flown over. The
+        // suite cache shares it across spaces of the same (family, seed).
         let scenarios = self
             .runner
             .generate_scenarios(&self.probe_spec(variant, space, &[]))?;
-
-        let threshold = self.config.failure_threshold;
-        let runner = &self.runner;
-        let config = &self.config;
-        let mut oracle = Oracle::new(|point: &[f64]| {
-            let spec = probe_spec_for(config, variant, space, &space.plans(point));
-            let report = runner.run_with_scenarios(&spec, &scenarios)?;
-            Ok(report.cells[0].success_rate)
-        });
-
-        let baseline_spec = self.probe_spec(variant, space, &[]);
-        let baseline_success_rate = self
-            .runner
-            .run_with_scenarios(&baseline_spec, &scenarios)?
-            .cells[0]
-            .success_rate;
-
-        // Intensity 0 is a guaranteed no-op for every fault kind, so when
-        // the space's origin maps onto all-zero intensities its probe is the
-        // baseline campaign — prime the cache instead of re-flying it.
-        let origin = vec![0.0; space.dim()];
-        let origin_is_noop = space
-            .plans(&origin)
-            .iter()
-            .all(|plan| plan.intensity == 0.0);
-        if origin_is_noop {
-            oracle.prime(&origin, baseline_success_rate);
-        }
-
-        // A failing baseline means the origin already falsifies: the space
-        // is degenerate for this variant, and the origin is trivially the
-        // minimal counterexample.
-        let found = if baseline_success_rate < threshold {
-            Some(origin)
-        } else {
-            match searcher.find_failure(space.dim(), threshold, &mut oracle)? {
-                Some(point) => Some(point),
-                // Bracket before concluding "unfalsifiable": a stochastic
-                // searcher (CMA-ES) may exhaust its budget without ever
-                // sampling the worst corner, and `counterexample: None`
-                // promises that not even all-axes-at-max breaks the system.
-                None => {
-                    let corner = vec![1.0; space.dim()];
-                    oracle.fails(&corner, threshold)?.then_some(corner)
-                }
-            }
-        };
+        let missions = Arc::new(AtomicUsize::new(0));
+        let (mut oracle, baseline_success_rate) =
+            self.search_oracle(variant, space, &scenarios, &missions)?;
+        let found = self.hunt(space, searcher, &mut oracle, baseline_success_rate)?;
 
         let counterexample = match found {
             None => None,
             Some(point) => {
                 let minimal = minimize(
                     point,
-                    threshold,
+                    self.config.failure_threshold,
                     self.config.minimizer_passes,
                     self.config.minimizer_bisections,
                     &mut oracle,
@@ -701,7 +1019,7 @@ impl FalsificationSearch {
                 // even the origin a genuine injection.
                 let success_rate = oracle.success_rate(&minimal)?;
                 let (trace, replay_identical) =
-                    self.capture(variant, space, &minimal, &scenarios)?;
+                    self.capture(variant, space, &minimal, &scenarios, &missions)?;
                 Some(Counterexample {
                     plans: space.plans(&minimal),
                     point: minimal,
@@ -719,8 +1037,100 @@ impl FalsificationSearch {
             searcher: searcher.label().to_string(),
             baseline_success_rate,
             counterexample,
-            probes: oracle.probes,
+            probes: std::mem::take(&mut oracle.probes),
+            missions_flown: missions.load(Ordering::Relaxed),
         })
+    }
+
+    /// Builds the memoised oracle over the configured probe transport, runs
+    /// the baseline campaign and primes the origin when it is a no-op.
+    fn search_oracle<'a>(
+        &'a self,
+        variant: SystemVariant,
+        space: &'a FaultSpace,
+        scenarios: &Arc<Vec<mls_sim_world::Scenario>>,
+        missions: &Arc<AtomicUsize>,
+    ) -> Result<(Oracle<'a>, f64), CampaignError> {
+        let runner = &self.runner;
+        let config = &self.config;
+        let suite = scenarios.clone();
+        let counter = missions.clone();
+        let evaluate: BatchProbeFn<'a> = match self.execution {
+            ProbeExecution::Sequential => Box::new(move |points: &[Vec<f64>]| {
+                points
+                    .iter()
+                    .map(|point| {
+                        let spec = probe_spec_for(config, variant, space, &space.plans(point));
+                        let report =
+                            runner.run_with_shared_suites(&spec, std::slice::from_ref(&suite))?;
+                        counter.fetch_add(report.cells[0].missions, Ordering::Relaxed);
+                        Ok(report.cells[0].success_rate)
+                    })
+                    .collect()
+            }),
+            ProbeExecution::Batched => Box::new(move |points: &[Vec<f64>]| {
+                let specs = points
+                    .iter()
+                    .map(|point| probe_spec_for(config, variant, space, &space.plans(point)))
+                    .collect();
+                let rates = runner.run_probe_rates(specs, suite.clone())?;
+                counter.fetch_add(
+                    rates.iter().map(|rate| rate.missions_flown).sum(),
+                    Ordering::Relaxed,
+                );
+                Ok(rates.into_iter().map(|rate| rate.success_rate).collect())
+            }),
+        };
+        let mut oracle = Oracle::new_batch(evaluate);
+
+        let baseline_spec = self.probe_spec(variant, space, &[]);
+        let baseline_report = self
+            .runner
+            .run_with_shared_suites(&baseline_spec, std::slice::from_ref(scenarios))?;
+        missions.fetch_add(baseline_report.cells[0].missions, Ordering::Relaxed);
+        let baseline_success_rate = baseline_report.cells[0].success_rate;
+
+        // Intensity 0 is a guaranteed no-op for every fault kind, so when
+        // the space's origin maps onto all-zero intensities its probe is the
+        // baseline campaign — prime the cache instead of re-flying it.
+        let origin = vec![0.0; space.dim()];
+        let origin_is_noop = space
+            .plans(&origin)
+            .iter()
+            .all(|plan| plan.intensity == 0.0);
+        if origin_is_noop {
+            oracle.prime(&origin, baseline_success_rate);
+        }
+        Ok((oracle, baseline_success_rate))
+    }
+
+    /// Runs the searcher (or shortcuts on a failing baseline) and brackets
+    /// the all-axes-at-max corner before concluding "unfalsifiable".
+    fn hunt(
+        &self,
+        space: &FaultSpace,
+        searcher: &Searcher,
+        oracle: &mut Oracle,
+        baseline_success_rate: f64,
+    ) -> Result<Option<Vec<f64>>, CampaignError> {
+        let threshold = self.config.failure_threshold;
+        // A failing baseline means the origin already falsifies: the space
+        // is degenerate for this variant, and the origin is trivially the
+        // minimal counterexample.
+        if baseline_success_rate < threshold {
+            return Ok(Some(vec![0.0; space.dim()]));
+        }
+        match searcher.find_failure(space.dim(), threshold, oracle)? {
+            Some(point) => Ok(Some(point)),
+            // Bracket before concluding "unfalsifiable": a stochastic
+            // searcher (CMA-ES) may exhaust its budget without ever
+            // sampling the worst corner, and `counterexample: None`
+            // promises that not even all-axes-at-max breaks the system.
+            None => {
+                let corner = vec![1.0; space.dim()];
+                Ok(oracle.fails(&corner, threshold)?.then_some(corner))
+            }
+        }
     }
 
     /// Falsifies several (variant, space) pairs with one searcher, returning
@@ -749,7 +1159,8 @@ impl FalsificationSearch {
         variant: SystemVariant,
         space: &FaultSpace,
         point: &[f64],
-        scenarios: &[mls_sim_world::Scenario],
+        scenarios: &Arc<Vec<mls_sim_world::Scenario>>,
+        missions: &Arc<AtomicUsize>,
     ) -> Result<(Option<TraceLink>, Option<bool>), CampaignError> {
         let mut spec = self.probe_spec(variant, space, &space.plans(point));
         spec.capture = mls_trace::TracePolicy::FailuresOnly;
@@ -759,12 +1170,14 @@ impl FalsificationSearch {
             Some(base) => self.runner.clone().with_trace_dir(base.join(&spec.name)),
             None => self.runner.clone(),
         };
-        let report = runner.run_with_scenarios(&spec, scenarios)?;
+        let report = runner.run_with_shared_suites(&spec, std::slice::from_ref(scenarios))?;
+        missions.fetch_add(report.missions, Ordering::Relaxed);
         let Some(link) = report.traces.first().cloned() else {
             return Ok((None, None));
         };
         let trace = mls_trace::Trace::read_from(Path::new(&link.path))?;
         let verdict = runner.replay(&spec, scenarios, &trace)?;
+        missions.fetch_add(1, Ordering::Relaxed);
         Ok((Some(link), Some(verdict.is_identical())))
     }
 
@@ -807,13 +1220,21 @@ fn probe_spec_for(
         landing: config.landing.clone(),
         executor: config.executor.clone(),
         capture: mls_trace::TracePolicy::Off,
+        // Degenerate thresholds (≤ 0 or > 1) were accepted by the searcher
+        // before early stopping existed; they simply fall back to flying
+        // every mission instead of failing probe-spec validation.
+        probe_early_stop: (config.probe_early_stop
+            && EarlyStopPolicy::exact(config.failure_threshold)
+                .validate()
+                .is_ok())
+        .then(|| EarlyStopPolicy::exact(config.failure_threshold)),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faults::{FaultAxis, FaultKind};
+    use crate::faults::FaultAxis;
 
     /// A synthetic oracle with a planar failure boundary: the system fails
     /// (success rate 0) wherever `a·x > limit`, passes (success 1.0 − margin
@@ -897,6 +1318,43 @@ mod tests {
     }
 
     #[test]
+    fn batched_generations_match_sequential_evaluation_exactly() {
+        // The same searcher over the same synthetic boundary, once through
+        // the one-point-at-a-time adapter and once through a generation
+        // evaluator: the probe log and the found point must be identical.
+        let weights = [1.0, 0.7];
+        let config = GridRefinementConfig {
+            resolution: 3,
+            rounds: 2,
+        };
+        let rate_of = |point: &[f64]| {
+            let dot: f64 = point.iter().zip(&weights).map(|(x, w)| x * w).sum();
+            if dot > 1.0 {
+                0.0
+            } else {
+                1.0 - 0.4 * dot
+            }
+        };
+        let mut sequential = Oracle::new(move |point: &[f64]| Ok(rate_of(point)));
+        let found_sequential = grid_refinement(&config, 2, 0.5, &mut sequential).unwrap();
+
+        let mut batch_calls = 0usize;
+        let mut batched = Oracle::new_batch(|points: &[Vec<f64>]| {
+            batch_calls += 1;
+            Ok(points.iter().map(|p| rate_of(p)).collect())
+        });
+        let found_batched = grid_refinement(&config, 2, 0.5, &mut batched).unwrap();
+
+        assert_eq!(found_sequential, found_batched);
+        assert_eq!(sequential.probes, batched.probes);
+        drop(batched);
+        assert_eq!(
+            batch_calls, 3,
+            "one evaluator call per generation: initial lattice + 2 refinements"
+        );
+    }
+
+    #[test]
     fn minimizer_lands_on_the_failure_frontier() {
         let weights = [1.0, 1.0];
         let mut evaluations = 0;
@@ -941,10 +1399,51 @@ mod tests {
     }
 
     #[test]
+    fn oracle_deduplicates_within_a_generation() {
+        let mut count = 0usize;
+        let mut oracle = Oracle::new_batch(|points: &[Vec<f64>]| {
+            count += points.len();
+            Ok(points.iter().map(|_| 1.0).collect())
+        });
+        let generation = vec![
+            vec![0.25, 0.5],
+            vec![0.25, 0.5],          // exact duplicate
+            vec![0.25, 0.5000000001], // sub-quantum jitter
+            vec![0.75, 0.5],
+        ];
+        let rates = oracle.success_rates(&generation).unwrap();
+        assert_eq!(rates, vec![1.0; 4]);
+        assert_eq!(oracle.probes.len(), 2, "two distinct points");
+        // The log keeps first-occurrence order.
+        assert_eq!(oracle.probes[0].point, vec![0.25, 0.5]);
+        assert_eq!(oracle.probes[1].point, vec![0.75, 0.5]);
+        drop(oracle);
+        assert_eq!(count, 2, "duplicates are not re-flown");
+    }
+
+    #[test]
+    fn point_keys_quantize_like_the_legacy_vec_keys() {
+        // Pins the cache-hit behaviour the fixed-size key replaced: 1e-9
+        // quantization, dimension-sensitivity, distinctness past the
+        // quantum.
+        assert_eq!(
+            PointKey::of(&[0.5, 0.5]),
+            PointKey::of(&[0.5, 0.5000000001])
+        );
+        assert_ne!(PointKey::of(&[0.5, 0.5]), PointKey::of(&[0.5, 0.500000002]));
+        assert_ne!(PointKey::of(&[0.5]), PointKey::of(&[0.5, 0.0]));
+        assert_eq!(PointKey::of(&[]).dim, 0);
+    }
+
+    #[test]
     fn default_config_is_sane_and_searchers_label() {
         let config = FalsificationConfig::default();
         assert!(config.failure_threshold > 0.0 && config.failure_threshold < 1.0);
         assert!(config.minimizer_bisections >= 1);
+        assert!(
+            config.probe_early_stop,
+            "search probes early-stop by default"
+        );
         let search = FalsificationSearch::new(config, 2);
         assert_eq!(search.config().maps, 2);
         assert_eq!(
@@ -970,9 +1469,23 @@ mod tests {
         assert_eq!(spec.cells().len(), 1);
         assert_eq!(spec.cells()[0].faults.len(), 2);
         assert!(!spec.baseline);
+        assert_eq!(
+            spec.probe_early_stop,
+            Some(EarlyStopPolicy::exact(config.failure_threshold)),
+            "search probes early-stop against the failure threshold"
+        );
         let baseline = probe_spec_for(&config, SystemVariant::MlsV2, &space, &[]);
         assert!(baseline.baseline);
         assert!(baseline.combos.is_empty());
+        // Degenerate thresholds disable early stop instead of producing a
+        // probe spec that fails validation.
+        let degenerate = FalsificationConfig {
+            failure_threshold: 1.5,
+            ..FalsificationConfig::default()
+        };
+        let spec = probe_spec_for(&degenerate, SystemVariant::MlsV2, &space, &[]);
+        assert_eq!(spec.probe_early_stop, None);
+        spec.validate().unwrap();
         // The searched report round-trips.
         let report = FalsificationReport {
             results: vec![SpaceFalsification {
@@ -992,6 +1505,7 @@ mod tests {
                     point: vec![0.25, 0.75],
                     success_rate: 0.25,
                 }],
+                missions_flown: 17,
             }],
         };
         let json = report.to_json().unwrap();
@@ -999,5 +1513,29 @@ mod tests {
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.contains("marker-occlusion@0.250+gps-bias@0.750"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",17"));
+    }
+
+    #[test]
+    fn legacy_results_without_mission_accounting_parse_as_zero() {
+        let result = SpaceFalsification {
+            space: FaultSpace::new("s", vec![FaultAxis::full(FaultKind::WindGust)]),
+            variant: SystemVariant::MlsV1,
+            family: mls_sim_world::ScenarioFamily::Open,
+            searcher: "grid-refinement".to_string(),
+            baseline_success_rate: 1.0,
+            counterexample: None,
+            probes: Vec::new(),
+            missions_flown: 9,
+        };
+        let json = serde_json::to_string(&result).unwrap();
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("results serialise to objects");
+        };
+        fields.retain(|(key, _)| key != "missions_flown");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed: SpaceFalsification = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.missions_flown, 0);
+        assert_eq!(parsed.space, result.space);
     }
 }

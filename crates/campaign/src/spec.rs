@@ -10,10 +10,107 @@ use mls_compute::ComputeProfile;
 use mls_core::{ExecutorConfig, LandingConfig, SystemVariant};
 use mls_sim_world::ScenarioFamily;
 use mls_trace::TracePolicy;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::faults::{FaultKind, FaultPlan};
 use crate::CampaignError;
+
+/// Early-stopping policy for probe evaluation: a cell's remaining missions
+/// are cancelled once the missions already flown decide pass/fail against
+/// `threshold`.
+///
+/// Two bounds compose, both pure functions of the mission outcomes *in job
+/// order* (so the decision — and therefore the report — is independent of
+/// the worker-thread count):
+///
+/// * the **exact** bound: with `s` successes among the first `n` of `N`
+///   missions, the final rate is bracketed by `[s/N, (s + N − n)/N]`; once
+///   the bracket falls entirely on one side of the threshold the verdict
+///   cannot change, and the cell's classification is guaranteed identical
+///   to flying every mission;
+/// * a **Hoeffding** bound, engaged when `confidence > 0`: stop once the
+///   running mean clears the threshold by
+///   `ε = sqrt(ln(1/confidence) / 2n)`, accepting a `confidence`
+///   probability of misclassifying the cell in exchange for stopping
+///   earlier on long repeat schedules.
+///
+/// With `confidence == 0` (the default used for search probes) only the
+/// exact bound engages: early-stopped pass/fail verdicts match full
+/// evaluation exactly, while the *recorded* success rate becomes the rate
+/// over the missions actually flown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlyStopPolicy {
+    /// The success-rate threshold the cell is decided against.
+    pub threshold: f64,
+    /// Acceptable misclassification probability for the Hoeffding bound;
+    /// `0` disables it and keeps decisions exact.
+    pub confidence: f64,
+}
+
+impl EarlyStopPolicy {
+    /// An exact-bound-only policy: decisions are guaranteed to match full
+    /// evaluation.
+    pub fn exact(threshold: f64) -> Self {
+        Self {
+            threshold,
+            confidence: 0.0,
+        }
+    }
+
+    /// The verdict (`true` = pass, success rate ≥ threshold) after `flown`
+    /// of `planned` missions produced `successes`, or `None` while the
+    /// remaining missions could still swing the cell.
+    pub fn decide(&self, successes: usize, flown: usize, planned: usize) -> Option<bool> {
+        if flown == 0 || planned == 0 {
+            return None;
+        }
+        let s = successes as f64;
+        let n = flown as f64;
+        let total = planned as f64;
+        // Exact bracket on the final rate.
+        if (s + (total - n)) / total < self.threshold {
+            return Some(false);
+        }
+        if s / total >= self.threshold {
+            return Some(true);
+        }
+        // Hoeffding: the running mean is far enough from the threshold.
+        if self.confidence > 0.0 && flown < planned {
+            let epsilon = ((1.0 / self.confidence).ln() / (2.0 * n)).sqrt();
+            let mean = s / n;
+            if mean + epsilon < self.threshold {
+                return Some(false);
+            }
+            if mean - epsilon >= self.threshold {
+                return Some(true);
+            }
+        }
+        None
+    }
+
+    /// Validates the policy's parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidSpec`] when a parameter is out of
+    /// range.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        // 1.0 is meaningful (a single failed mission decides "fail", a
+        // pass needs a perfect cell); 0 or below would decide "pass"
+        // unconditionally and above 1 "fail" unconditionally.
+        if !(self.threshold > 0.0 && self.threshold <= 1.0) {
+            return Err(CampaignError::InvalidSpec {
+                reason: "early-stop threshold must lie in (0, 1]".to_string(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.confidence) {
+            return Err(CampaignError::InvalidSpec {
+                reason: "early-stop confidence must lie in [0, 1)".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
 
 /// A declarative fault-injection campaign.
 ///
@@ -58,6 +155,12 @@ pub struct CampaignSpec {
     /// Which missions fly with a flight recorder attached and keep their
     /// traces ([`TracePolicy::Off`] records nothing).
     pub capture: TracePolicy,
+    /// Early-stopping policy for the cells' mission schedules: `None`
+    /// (the default for campaigns) flies every mission; `Some` cancels a
+    /// cell's remaining missions once the flown prefix decides pass/fail
+    /// against the policy's threshold. The falsification engine turns this
+    /// on for its probe campaigns.
+    pub probe_early_stop: Option<EarlyStopPolicy>,
 }
 
 impl serde::Deserialize for CampaignSpec {
@@ -88,6 +191,11 @@ impl serde::Deserialize for CampaignSpec {
             capture: match value.get("capture") {
                 Some(inner) => serde::Deserialize::from_value(inner)?,
                 None => TracePolicy::Off,
+            },
+            // Specs predating batched probe evaluation flew every mission.
+            probe_early_stop: match value.get("probe_early_stop") {
+                Some(inner) => serde::Deserialize::from_value(inner)?,
+                None => None,
             },
         })
     }
@@ -191,6 +299,7 @@ impl Default for CampaignSpec {
             landing: LandingConfig::default(),
             executor: ExecutorConfig::default(),
             capture: TracePolicy::Off,
+            probe_early_stop: None,
         }
     }
 }
@@ -291,6 +400,9 @@ impl CampaignSpec {
                     return reject("a fault combo must not list the same kind twice");
                 }
             }
+        }
+        if let Some(policy) = &self.probe_early_stop {
+            policy.validate()?;
         }
         Ok(())
     }
@@ -615,6 +727,72 @@ mod tests {
         assert_eq!(parsed.family, ScenarioFamily::Open);
         assert_eq!(parsed.suite_index, 0);
         assert_eq!(parsed, cell);
+    }
+
+    #[test]
+    fn early_stop_exact_bound_decides_only_when_certain() {
+        let policy = EarlyStopPolicy::exact(0.75);
+        // 8 planned: two failures keep the bracket open, three close it.
+        assert_eq!(policy.decide(0, 2, 8), None);
+        assert_eq!(policy.decide(0, 3, 8), Some(false));
+        // A clean streak decides pass exactly when s/N clears the bar.
+        assert_eq!(policy.decide(5, 5, 8), None);
+        assert_eq!(policy.decide(6, 6, 8), Some(true));
+        // Fully flown cells always decide.
+        assert_eq!(policy.decide(5, 8, 8), Some(false));
+        assert_eq!(policy.decide(6, 8, 8), Some(true));
+        // Degenerate inputs never decide.
+        assert_eq!(policy.decide(0, 0, 8), None);
+    }
+
+    #[test]
+    fn early_stop_hoeffding_bound_stops_before_certainty() {
+        let exact = EarlyStopPolicy::exact(0.5);
+        let loose = EarlyStopPolicy {
+            threshold: 0.5,
+            confidence: 0.2,
+        };
+        // 12 of 40 flown, all failures: the exact bracket is still open
+        // ((0 + 28)/40 = 0.7 ≥ 0.5) but ε = sqrt(ln 5 / 24) ≈ 0.26 < 0.5.
+        assert_eq!(exact.decide(0, 12, 40), None);
+        assert_eq!(loose.decide(0, 12, 40), Some(false));
+        assert_eq!(loose.decide(12, 12, 40), Some(true));
+        // Means near the threshold stay undecided either way.
+        assert_eq!(loose.decide(6, 12, 40), None);
+    }
+
+    #[test]
+    fn early_stop_policies_validate_their_ranges() {
+        assert!(EarlyStopPolicy::exact(0.5).validate().is_ok());
+        assert!(EarlyStopPolicy::exact(1.0).validate().is_ok());
+        assert!(EarlyStopPolicy::exact(0.0).validate().is_err());
+        assert!(EarlyStopPolicy::exact(1.5).validate().is_err());
+        assert!(EarlyStopPolicy {
+            threshold: 0.5,
+            confidence: 1.0,
+        }
+        .validate()
+        .is_err());
+        let mut spec = CampaignSpec::smoke();
+        spec.probe_early_stop = Some(EarlyStopPolicy::exact(2.0));
+        assert!(spec.validate().is_err());
+        spec.probe_early_stop = Some(EarlyStopPolicy::exact(0.75));
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn specs_without_an_early_stop_key_parse_with_none() {
+        let mut spec = CampaignSpec::smoke();
+        spec.probe_early_stop = Some(EarlyStopPolicy::exact(0.75));
+        let json = spec.to_json().unwrap();
+        assert_eq!(CampaignSpec::from_json(&json).unwrap(), spec);
+        let serde::Value::Object(mut fields) = serde_json::parse(&json).unwrap() else {
+            panic!("spec serialises to an object");
+        };
+        fields.retain(|(key, _)| key != "probe_early_stop");
+        let legacy = serde_json::to_string(&serde::Value::Object(fields)).unwrap();
+        let parsed = CampaignSpec::from_json(&legacy).unwrap();
+        assert_eq!(parsed.probe_early_stop, None);
     }
 
     #[test]
