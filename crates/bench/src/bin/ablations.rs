@@ -281,4 +281,5 @@ fn main() {
     ablation_rrt_budget();
     ablation_sensors();
     ablation_detection_rate();
+    mls_bench::finish_obs();
 }

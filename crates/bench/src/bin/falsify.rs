@@ -319,6 +319,8 @@ fn main() -> ExitCode {
         }
     }
 
+    mls_bench::finish_obs();
+
     if all_good {
         println!("All spaces falsified; every counterexample is a triaged, replayable trace.");
         ExitCode::SUCCESS

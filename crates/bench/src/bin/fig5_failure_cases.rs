@@ -219,6 +219,8 @@ fn main() -> ExitCode {
         all_good &= run_case(&case, threads);
     }
 
+    mls_bench::finish_obs();
+
     println!();
     if all_good {
         println!("All four Fig. 5 classes captured, triaged and replayed byte-identically.");

@@ -153,4 +153,5 @@ fn main() {
             "check the traces above"
         }
     );
+    mls_bench::finish_obs();
 }

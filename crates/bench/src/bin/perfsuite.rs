@@ -26,6 +26,12 @@
 //! * **replay-throughput** — capture one failing trace, then time repeated
 //!   byte-exact replay verifications (replays per second).
 //!
+//! * **obs-overhead** — the campaign-grid and falsify-cma workloads timed
+//!   with the `mls-obs` sinks off and on inside one process (the runtime
+//!   master switch). Records the relative overhead — budgeted at < 2 % —
+//!   and *enforces* that reports and probe logs are identical across the
+//!   toggle (the non-perturbation contract).
+//!
 //! `MLS_PERF_SMOKE=1` shrinks every workload to a CI-sized smoke run
 //! (same measurements, same JSON shape, `"mode": "smoke"`). `MLS_THREADS`
 //! and `MLS_SEED` are honoured as usual.
@@ -33,7 +39,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mls_bench::{print_header, HarnessOptions};
+use mls_bench::{finish_obs, print_header, HarnessOptions, HostMeta};
 use mls_campaign::{
     CampaignRunner, CampaignSpec, CmaEsConfig, FalsificationConfig, FalsificationSearch, FaultAxis,
     FaultKind, FaultPlan, FaultSpace, GridRefinementConfig, ProbeExecution, SearchStage, Searcher,
@@ -75,22 +81,42 @@ struct ThroughputMeasurement {
     per_s: f64,
 }
 
+/// One obs-off vs obs-on timing of the same workload in the same process.
+#[derive(Debug, Serialize)]
+struct ObsOverheadMeasurement {
+    name: String,
+    /// Wall-clock with the obs master switch off, seconds.
+    off_wall_s: f64,
+    /// Wall-clock with the JSONL + exposition sinks live, seconds.
+    on_wall_s: f64,
+    /// `(on − off) / off`; the instrumentation budget is < 0.02. Recorded,
+    /// not enforced — single-digit-second workloads on a shared host are
+    /// noisier than the budget itself.
+    overhead: f64,
+    /// Whether the workload produced identical results across the toggle
+    /// (this *is* enforced: obs must never perturb).
+    equivalent: bool,
+}
+
 /// The persisted perf report.
 #[derive(Debug, Serialize)]
 struct PerfReport {
     schema: String,
     mode: String,
     threads: usize,
+    host: HostMeta,
     throughput: Vec<ThroughputMeasurement>,
     falsify: Vec<FalsifyMeasurement>,
+    obs_overhead: Vec<ObsOverheadMeasurement>,
 }
 
 fn seconds(start: Instant) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
-/// The fixed campaign-grid workload: every variant, baseline cells only.
-fn campaign_grid(threads: usize, smoke: bool, seed: u64) -> Result<ThroughputMeasurement, String> {
+/// The spec of the fixed campaign-grid workload: every variant, baseline
+/// cells only (shared by the throughput and obs-overhead measurements).
+fn campaign_grid_spec(smoke: bool, seed: u64) -> CampaignSpec {
     let mut spec = CampaignSpec {
         name: "perf-campaign-grid".to_string(),
         seed,
@@ -106,6 +132,12 @@ fn campaign_grid(threads: usize, smoke: bool, seed: u64) -> Result<ThroughputMea
     };
     spec.landing.mission_timeout = 120.0;
     spec.executor.max_duration = 150.0;
+    spec
+}
+
+/// The fixed campaign-grid workload: every variant, baseline cells only.
+fn campaign_grid(threads: usize, smoke: bool, seed: u64) -> Result<ThroughputMeasurement, String> {
+    let spec = campaign_grid_spec(smoke, seed);
     let runner = CampaignRunner::new(threads);
     // Suite generation is timed in: it is part of what a campaign costs
     // (and what the suite cache amortises across repeated campaigns).
@@ -244,23 +276,33 @@ fn falsify_grid(threads: usize, smoke: bool, seed: u64) -> Result<FalsifyMeasure
     })
 }
 
-/// The CMA-ES workload: both paths under identical early-stop flags, so
-/// the probe logs must be byte-identical and the speedup isolates the
-/// batching transport.
-fn falsify_cma(threads: usize, smoke: bool, seed: u64) -> Result<FalsifyMeasurement, String> {
-    let space = FaultSpace::new(
+/// The fault space of the CMA-ES workloads.
+fn cma_space() -> FaultSpace {
+    FaultSpace::new(
         "perf-v3-dropout-x-gps-bias",
         vec![
             FaultAxis::full(FaultKind::DetectionDropout),
             FaultAxis::new(FaultKind::GpsBias, 0.15, 1.0),
         ],
-    );
-    let searcher = Searcher::CmaEs(CmaEsConfig {
+    )
+}
+
+/// The searcher of the CMA-ES workloads.
+fn cma_searcher(smoke: bool) -> Searcher {
+    Searcher::CmaEs(CmaEsConfig {
         population: 4,
         generations: if smoke { 1 } else { 2 },
         initial_step: 0.3,
         seed: 7,
-    });
+    })
+}
+
+/// The CMA-ES workload: both paths under identical early-stop flags, so
+/// the probe logs must be byte-identical and the speedup isolates the
+/// batching transport.
+fn falsify_cma(threads: usize, smoke: bool, seed: u64) -> Result<FalsifyMeasurement, String> {
+    let space = cma_space();
+    let searcher = cma_searcher(smoke);
     let repeats = if smoke { 1 } else { 2 };
     let variant = SystemVariant::MlsV3;
     // The falsify harness's single-trajectory bar: with few repeats per
@@ -368,6 +410,83 @@ fn replay_throughput(threads: usize, smoke: bool) -> Result<ThroughputMeasuremen
     })
 }
 
+/// Times `workload` with the obs master switch off, then on, inside this
+/// process; `identical` decides result equivalence across the toggle. The
+/// switch is left off afterwards.
+fn toggled<T>(
+    name: &str,
+    workload: impl Fn() -> Result<T, String>,
+    identical: impl Fn(&T, &T) -> bool,
+) -> Result<ObsOverheadMeasurement, String> {
+    mls_obs::set_enabled(false);
+    let start = Instant::now();
+    let off = workload()?;
+    let off_wall_s = seconds(start);
+    mls_obs::set_enabled(true);
+    let start = Instant::now();
+    let on = workload()?;
+    let on_wall_s = seconds(start);
+    mls_obs::set_enabled(false);
+    Ok(ObsOverheadMeasurement {
+        name: name.to_string(),
+        off_wall_s,
+        on_wall_s,
+        overhead: (on_wall_s - off_wall_s) / off_wall_s.max(1e-9),
+        equivalent: identical(&off, &on),
+    })
+}
+
+/// Obs overhead on the campaign grid: the serialized campaign report must
+/// be byte-identical across the toggle.
+fn obs_overhead_grid(
+    threads: usize,
+    smoke: bool,
+    seed: u64,
+) -> Result<ObsOverheadMeasurement, String> {
+    let spec = campaign_grid_spec(smoke, seed);
+    let runner = CampaignRunner::new(threads);
+    toggled(
+        "obs-overhead-grid",
+        || {
+            let report = runner.run(&spec).map_err(|e| e.to_string())?;
+            report.to_json().map_err(|e| e.to_string())
+        },
+        |off, on| off == on,
+    )
+}
+
+/// Obs overhead on the batched CMA-ES search: probe log, failing point and
+/// mission count must be identical across the toggle.
+fn obs_overhead_cma(
+    threads: usize,
+    smoke: bool,
+    seed: u64,
+) -> Result<ObsOverheadMeasurement, String> {
+    let space = cma_space();
+    let searcher = cma_searcher(smoke);
+    let repeats = if smoke { 1 } else { 2 };
+    let threshold = 0.75;
+    toggled(
+        "obs-overhead-cma",
+        || {
+            timed_search(
+                falsify_config(seed, repeats, threshold, true),
+                threads,
+                ProbeExecution::Batched,
+                SystemVariant::MlsV3,
+                &space,
+                &searcher,
+            )
+            .map(|(_, stage)| stage)
+        },
+        |off, on| {
+            off.probes == on.probes
+                && off.failing_point == on.failing_point
+                && off.missions_flown == on.missions_flown
+        },
+    )
+}
+
 fn main() -> ExitCode {
     print_header("perfsuite — canonical workload timings → BENCH_perf.json");
     let options = HarnessOptions::from_env();
@@ -382,17 +501,29 @@ fn main() -> ExitCode {
         3
     };
     let threads = options.threads;
+    let host = HostMeta::capture();
     println!(
-        "mode: {}, {} threads, seed {seed}",
+        "mode: {}, {} threads, seed {seed}, host: {} cores, {} build @ {}",
         if smoke { "smoke" } else { "full" },
         threads,
+        host.cores,
+        host.profile,
+        host.git_rev,
     );
+
+    // The obs-overhead workload toggles the sinks inside this process, so
+    // they are pinned here explicitly (JSONL + exposition; an inherited
+    // `MLS_OBS` would race with the toggle) and stay off for the plain
+    // timing workloads.
+    mls_obs::init(mls_obs::ObsConfig::standard());
+    mls_obs::set_enabled(false);
 
     let mut throughput = Vec::new();
     let mut falsify = Vec::new();
+    let mut obs_overhead = Vec::new();
     let mut all_good = true;
 
-    println!("\n[1/4] campaign-grid");
+    println!("\n[1/5] campaign-grid");
     match campaign_grid(threads, smoke, seed) {
         Ok(m) => {
             println!(
@@ -407,7 +538,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n[2/4] falsify-grid (sequential searcher path vs batched)");
+    println!("\n[2/5] falsify-grid (sequential searcher path vs batched)");
     match falsify_grid(threads, smoke, seed) {
         Ok(m) => {
             println!(
@@ -427,7 +558,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n[3/4] falsify-cma (batching transport, identical flags)");
+    println!("\n[3/5] falsify-cma (batching transport, identical flags)");
     match falsify_cma(threads, smoke, seed) {
         Ok(m) => {
             println!(
@@ -443,7 +574,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n[4/4] replay-throughput");
+    println!("\n[4/5] replay-throughput");
     match replay_throughput(threads, smoke) {
         Ok(m) => {
             println!(
@@ -458,12 +589,42 @@ fn main() -> ExitCode {
         }
     }
 
+    println!("\n[5/5] obs-overhead (sinks off vs on, same process; budget < 2%)");
+    for result in [
+        obs_overhead_grid(threads, smoke, seed),
+        obs_overhead_cma(threads, smoke, seed),
+    ] {
+        match result {
+            Ok(m) => {
+                println!(
+                    "  {}: off {:.1} s, on {:.1} s → overhead {:+.2}% (equivalent: {})",
+                    m.name,
+                    m.off_wall_s,
+                    m.on_wall_s,
+                    m.overhead * 100.0,
+                    m.equivalent
+                );
+                // The equivalence half is a hard invariant; the overhead
+                // number is recorded against the budget but not gated on
+                // (wall-clock noise on shared CI hosts dwarfs 2 %).
+                all_good &= m.equivalent;
+                obs_overhead.push(m);
+            }
+            Err(err) => {
+                println!("  FAILED: {err}");
+                all_good = false;
+            }
+        }
+    }
+
     let report = PerfReport {
-        schema: "mls-perf-v1".to_string(),
+        schema: "mls-perf-v2".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads,
+        host,
         throughput,
         falsify,
+        obs_overhead,
     };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => match std::fs::write("BENCH_perf.json", json + "\n") {
@@ -478,6 +639,11 @@ fn main() -> ExitCode {
             all_good = false;
         }
     }
+
+    // The overhead runs populated the registry and the event log; flush
+    // them as this process's obs artifacts.
+    mls_obs::set_enabled(true);
+    finish_obs();
 
     if all_good {
         ExitCode::SUCCESS

@@ -120,4 +120,5 @@ fn main() {
             "check the table above"
         }
     );
+    mls_bench::finish_obs();
 }

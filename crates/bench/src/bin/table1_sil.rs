@@ -104,4 +104,5 @@ fn main() {
         "  V3 trades collisions for aborts:    {}",
         v3.poor_landing_rate >= v2.poor_landing_rate || v3.collision_rate < 0.1
     );
+    mls_bench::finish_obs();
 }

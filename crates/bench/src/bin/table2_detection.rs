@@ -120,4 +120,5 @@ fn main() {
     println!();
     println!("Note: the paper's TPH-YOLO does not estimate marker orientation;");
     println!("neither does the surrogate (Detection::orientation is None).");
+    mls_bench::finish_obs();
 }

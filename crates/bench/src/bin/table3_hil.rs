@@ -108,4 +108,5 @@ fn main() {
         worst_latency > 0.05,
         worst_latency * 1000.0
     );
+    mls_bench::finish_obs();
 }

@@ -29,13 +29,33 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Cached executor instruments (see [`crate::obs_util`]).
+mod instruments {
+    use crate::obs_util::{cached_counter, cached_gauge, cached_seconds_histogram};
+
+    cached_counter!(batches, "mls_executor_batches_total");
+    cached_counter!(caller_jobs, "mls_executor_caller_jobs_total");
+    cached_counter!(worker_jobs, "mls_executor_worker_jobs_total");
+    cached_counter!(worker_spawns, "mls_executor_worker_spawn_total");
+    cached_counter!(job_panics, "mls_executor_job_panics_total");
+    // Batches queued and waiting for helper workers right now.
+    cached_gauge!(queue_depth, "mls_executor_queue_depth");
+    // Pool workers alive (they persist once spawned).
+    cached_gauge!(workers_alive, "mls_executor_workers");
+    // Wall-clock cost of individual jobs (worker utilization is this
+    // histogram's sum over the batch span's wall time).
+    cached_seconds_histogram!(job_seconds, "mls_executor_job_seconds");
+}
 
 /// Type-erased view of a submitted batch, so one pool serves batches of
 /// different result types.
 trait BatchRun: Send + Sync {
-    /// Claims and runs one job; returns `false` when no unclaimed jobs
-    /// remain (the claimer should move on).
-    fn run_one(&self) -> bool;
+    /// Claims and runs one job (`as_helper` marks pool workers, as opposed
+    /// to the submitting thread draining its own batch); returns `false`
+    /// when no unclaimed jobs remain (the claimer should move on).
+    fn run_one(&self, as_helper: bool) -> bool;
     /// Whether every job has been claimed (not necessarily finished).
     fn exhausted(&self) -> bool;
     /// Registers a worker against the batch's concurrency cap; `false`
@@ -66,16 +86,29 @@ struct BatchState<R> {
 }
 
 impl<R: Send> BatchRun for Batch<R> {
-    fn run_one(&self) -> bool {
+    fn run_one(&self, as_helper: bool) -> bool {
         let index = self.cursor.fetch_add(1, Ordering::Relaxed);
         if index >= self.count {
             return false;
         }
+        let observing = mls_obs::enabled();
+        let started = observing.then(Instant::now);
         let outcome = catch_unwind(AssertUnwindSafe(|| (self.job)(index)));
+        if observing {
+            if let Some(started) = started {
+                instruments::job_seconds().observe(started.elapsed().as_secs_f64());
+            }
+            if as_helper {
+                instruments::worker_jobs().inc();
+            } else {
+                instruments::caller_jobs().inc();
+            }
+        }
         let mut state = self.state.lock().expect("batch state poisoned");
         match outcome {
             Ok(result) => state.results[index] = Some(result),
             Err(payload) => {
+                let payload = attach_panic_context(payload, index, as_helper);
                 if state.panic.is_none() {
                     state.panic = Some(payload);
                 }
@@ -102,6 +135,49 @@ impl<R: Send> BatchRun for Batch<R> {
 
     fn leave(&self) {
         self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Wraps a job panic payload with the context `catch_unwind` erased: which
+/// job index died, and on which thread (pool worker name, or the
+/// submitting thread). String-ish payloads are rewrapped with the context
+/// prefixed; exotic payload types are propagated untouched rather than
+/// lossily stringified. Also records the panic as a terminal obs event.
+fn attach_panic_context(
+    payload: Box<dyn Any + Send>,
+    index: usize,
+    as_helper: bool,
+) -> Box<dyn Any + Send> {
+    let thread = std::thread::current();
+    let where_ = if as_helper {
+        format!("pool worker {}", thread.name().unwrap_or("unnamed"))
+    } else {
+        "the submitting thread".to_string()
+    };
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    };
+    if mls_obs::enabled() {
+        instruments::job_panics().inc();
+        mls_obs::event(
+            "executor_panic",
+            &[
+                ("job", mls_obs::FieldValue::from(index)),
+                ("thread", mls_obs::FieldValue::from(where_.as_str())),
+                (
+                    "message",
+                    mls_obs::FieldValue::from(message.as_deref().unwrap_or("<non-string payload>")),
+                ),
+            ],
+        );
+    }
+    match message {
+        Some(message) => Box::new(format!(
+            "mission job {index} panicked on {where_}: {message}"
+        )),
+        None => payload,
     }
 }
 
@@ -210,6 +286,11 @@ impl MissionExecutor {
             return Vec::new();
         }
         let threads = threads.clamp(1, count);
+        let mut batch_span = mls_obs::span("executor_batch");
+        batch_span.field("jobs", count).field("threads", threads);
+        if batch_span.is_enabled() {
+            instruments::batches().inc();
+        }
         let batch = Arc::new(Batch {
             job: Box::new(job),
             count,
@@ -229,27 +310,28 @@ impl MissionExecutor {
         if threads > 1 {
             self.ensure_workers(threads - 1);
             let erased: Arc<dyn BatchRun> = batch.clone();
-            self.shared
-                .queue
-                .lock()
-                .expect("executor queue poisoned")
-                .push_back(erased);
+            let mut queue = self.shared.queue.lock().expect("executor queue poisoned");
+            queue.push_back(erased);
+            if mls_obs::enabled() {
+                instruments::queue_depth().set(queue.len() as f64);
+            }
+            drop(queue);
             self.shared.available.notify_all();
         }
 
         // The caller drains its own batch alongside the pool workers.
-        while batch.run_one() {}
+        while batch.run_one(false) {}
 
         // Drop exhausted batches from the queue eagerly: idle workers only
         // prune on their next wakeup, which may never come, and a lingering
         // batch pins its job closure (and everything the closure captured —
         // suites, specs) for the pool's lifetime.
         if threads > 1 {
-            self.shared
-                .queue
-                .lock()
-                .expect("executor queue poisoned")
-                .retain(|queued| !queued.exhausted());
+            let mut queue = self.shared.queue.lock().expect("executor queue poisoned");
+            queue.retain(|queued| !queued.exhausted());
+            if mls_obs::enabled() {
+                instruments::queue_depth().set(queue.len() as f64);
+            }
         }
 
         let mut state = batch.state.lock().expect("batch state poisoned");
@@ -260,11 +342,14 @@ impl MissionExecutor {
             drop(state);
             resume_unwind(payload);
         }
-        state
+        let results = state
             .results
             .iter_mut()
             .map(|slot| slot.take().expect("a finished batch has every result"))
-            .collect()
+            .collect();
+        drop(state);
+        drop(batch_span);
+        results
     }
 
     /// Spawns workers until at least `needed` exist (capped by
@@ -280,12 +365,16 @@ impl MissionExecutor {
                     .name(name)
                     .spawn(move || {
                         while let Some(batch) = shared.next_batch() {
-                            while batch.run_one() {}
+                            while batch.run_one(true) {}
                             batch.leave();
                         }
                     })
                     .expect("spawning a mission worker thread failed"),
             );
+            if mls_obs::enabled() {
+                instruments::worker_spawns().inc();
+                instruments::workers_alive().set(workers.len() as f64);
+            }
         }
     }
 }
@@ -360,9 +449,30 @@ mod tests {
                 i
             })
         }));
-        assert!(result.is_err(), "the job panic must reach the caller");
+        let payload = result.expect_err("the job panic must reach the caller");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("string panic payloads stay strings");
+        assert!(
+            message.starts_with("mission job 2 panicked on "),
+            "panic context missing: {message}"
+        );
+        assert!(
+            message.ends_with(": mission failed hard"),
+            "original message missing: {message}"
+        );
         // The pool survives a panicking batch.
         assert_eq!(pool.execute(3, 2, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn non_string_panic_payloads_propagate_untouched() {
+        let pool = MissionExecutor::new(1);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.execute(1, 1, |_| -> usize { std::panic::panic_any(42usize) })
+        }));
+        let payload = result.expect_err("the panic must reach the caller");
+        assert_eq!(payload.downcast_ref::<usize>(), Some(&42));
     }
 
     #[test]

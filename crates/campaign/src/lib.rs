@@ -105,6 +105,7 @@ use std::fmt;
 
 pub mod executor;
 pub mod faults;
+mod obs_util;
 pub mod report;
 pub mod runner;
 pub mod search;

@@ -36,6 +36,40 @@ use crate::stats::MetricAccumulator;
 use crate::suites::{SuiteCache, SuiteKey};
 use crate::CampaignError;
 
+/// Cached campaign instruments (see [`crate::obs_util`]).
+mod instruments {
+    use crate::obs_util::cached_counter;
+
+    cached_counter!(missions_flown, "mls_campaign_missions_flown_total");
+    cached_counter!(missions_skipped, "mls_campaign_missions_skipped_total");
+    cached_counter!(missions_success, "mls_campaign_mission_success_total");
+    cached_counter!(missions_collision, "mls_campaign_mission_collision_total");
+    cached_counter!(
+        missions_poor_landing,
+        "mls_campaign_mission_poor_landing_total"
+    );
+    cached_counter!(probe_missions, "mls_campaign_probe_missions_total");
+    cached_counter!(probe_skipped, "mls_campaign_probe_missions_skipped_total");
+    cached_counter!(early_stops, "mls_campaign_early_stops_total");
+    cached_counter!(
+        early_stop_missions_saved,
+        "mls_campaign_early_stop_missions_saved_total"
+    );
+    cached_counter!(cells, "mls_campaign_cells_total");
+}
+
+/// Feeds one flown mission's classification into the obs counters and the
+/// progress line (callers gate on [`mls_obs::enabled`]).
+fn record_mission_outcome(result: MissionResult) {
+    instruments::missions_flown().inc();
+    match result {
+        MissionResult::Success => instruments::missions_success().inc(),
+        MissionResult::CollisionFailure => instruments::missions_collision().inc(),
+        MissionResult::PoorLanding => instruments::missions_poor_landing().inc(),
+    }
+    mls_obs::progress_mission_flown();
+}
+
 /// The compact per-mission record the aggregation stage consumes.
 #[derive(Debug, Clone, PartialEq)]
 struct MissionRecord {
@@ -370,6 +404,15 @@ impl CampaignRunner {
         let missions_per_cell = spec.missions_per_cell();
         let total = missions_per_cell * cells.len();
         let config_hash = spec.config_hash()?;
+        let mut campaign_span = mls_obs::span("campaign");
+        if campaign_span.is_enabled() {
+            campaign_span
+                .field("name", spec.name.as_str())
+                .field("cells", cells.len())
+                .field("missions_planned", total);
+            instruments::cells().add(cells.len() as u64);
+            mls_obs::progress_planned(total as u64);
+        }
         let context = Arc::new(MissionContext {
             progress: spec.probe_early_stop.map(|policy| {
                 cells
@@ -419,6 +462,22 @@ impl CampaignRunner {
                     verdict,
                     threshold: cell_progress.policy.threshold,
                 });
+                if mls_obs::enabled() && flown < missions_per_cell {
+                    let saved = (missions_per_cell - flown) as u64;
+                    instruments::early_stops().inc();
+                    instruments::early_stop_missions_saved().add(saved);
+                    mls_obs::progress_early_stop(saved);
+                    mls_obs::event(
+                        "early_stop",
+                        &[
+                            ("campaign", spec.name.as_str().into()),
+                            ("cell", cell_index.into()),
+                            ("flown", flown.into()),
+                            ("planned", missions_per_cell.into()),
+                            ("verdict", verdict.into()),
+                        ],
+                    );
+                }
             }
         }
 
@@ -468,6 +527,26 @@ impl CampaignRunner {
                 aggregate_cell(cell, &records, early_summaries[cell.index])
             })
             .collect();
+
+        if mls_obs::jsonl_enabled() {
+            for cell in &cell_reports {
+                mls_obs::event(
+                    "cell_outcomes",
+                    &[
+                        ("campaign", spec.name.as_str().into()),
+                        ("cell", cell.index.into()),
+                        ("variant", cell.variant.label().into()),
+                        ("family", cell.family.label().into()),
+                        ("missions", cell.missions.into()),
+                        ("success_rate", cell.success_rate.into()),
+                        ("collision_rate", cell.collision_rate.into()),
+                        ("poor_landing_rate", cell.poor_landing_rate.into()),
+                        ("failsafe_rate", cell.failsafe_rate.into()),
+                        ("early_stopped", cell.early_stop.is_some().into()),
+                    ],
+                );
+            }
+        }
 
         Ok(CampaignReport {
             name: spec.name.clone(),
@@ -546,6 +625,13 @@ impl CampaignRunner {
             });
         }
         let total = probes.len() * missions_per_probe;
+        let mut probe_span = mls_obs::span("probe_batch");
+        if probe_span.is_enabled() {
+            probe_span
+                .field("probes", probes.len())
+                .field("missions_planned", total);
+            mls_obs::progress_planned(total as u64);
+        }
         let context = Arc::new(ProbeSetContext {
             probes,
             scenarios,
@@ -561,7 +647,7 @@ impl CampaignRunner {
         for result in results {
             outcomes.push(result?);
         }
-        Ok(context
+        let rates: Vec<ProbeRate> = context
             .probes
             .iter()
             .enumerate()
@@ -570,7 +656,18 @@ impl CampaignRunner {
                     [probe_index * missions_per_probe..(probe_index + 1) * missions_per_probe];
                 probe_rate(probe, slice, missions_per_probe)
             })
-            .collect())
+            .collect();
+        if mls_obs::enabled() {
+            for rate in &rates {
+                if rate.missions_flown < rate.missions_planned {
+                    let saved = (rate.missions_planned - rate.missions_flown) as u64;
+                    instruments::early_stops().inc();
+                    instruments::early_stop_missions_saved().add(saved);
+                    mls_obs::progress_early_stop(saved);
+                }
+            }
+        }
+        Ok(rates)
     }
 
     /// Generates (or fetches from the suite cache) the benchmark scenario
@@ -786,6 +883,9 @@ fn run_mission_job(context: &MissionContext, index: usize) -> Result<MissionSlot
         .as_ref()
         .map(|progress| &progress[cell.index]);
     if progress.is_some_and(|progress| progress.should_skip(within)) {
+        if mls_obs::enabled() {
+            instruments::missions_skipped().inc();
+        }
         return Ok(MissionSlot::Skipped);
     }
     let (outcome, trace) = fly_mission(
@@ -798,6 +898,9 @@ fn run_mission_job(context: &MissionContext, index: usize) -> Result<MissionSlot
     )?;
     if let Some(progress) = progress {
         progress.record(within, outcome.result == MissionResult::Success);
+    }
+    if mls_obs::enabled() {
+        record_mission_outcome(outcome.result);
     }
     let mut record = MissionRecord::from_outcome(&outcome);
     record.trace = trace
@@ -822,12 +925,19 @@ fn run_probe_mission_job(
         .as_ref()
         .is_some_and(|progress| progress.should_skip(within))
     {
+        if mls_obs::enabled() {
+            instruments::probe_skipped().inc();
+        }
         return Ok(None);
     }
     let (outcome, _) = fly_mission(&probe.spec, &probe.cell, scenario, repeat, 0, None)?;
     let success = outcome.result == MissionResult::Success;
     if let Some(progress) = &probe.progress {
         progress.record(within, success);
+    }
+    if mls_obs::enabled() {
+        instruments::probe_missions().inc();
+        mls_obs::progress_mission_flown();
     }
     Ok(Some(success))
 }

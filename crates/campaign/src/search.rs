@@ -64,6 +64,19 @@ use crate::runner::CampaignRunner;
 use crate::spec::{CampaignSpec, EarlyStopPolicy};
 use crate::CampaignError;
 
+/// Cached search instruments (see [`crate::obs_util`]).
+mod instruments {
+    use crate::obs_util::cached_counter;
+
+    cached_counter!(oracle_hits, "mls_search_oracle_hits_total");
+    cached_counter!(oracle_misses, "mls_search_oracle_misses_total");
+    cached_counter!(generations, "mls_search_generations_total");
+    cached_counter!(
+        minimizer_bisections,
+        "mls_search_minimizer_bisections_total"
+    );
+}
+
 /// Configuration of a falsification search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FalsificationConfig {
@@ -444,6 +457,12 @@ impl<'a> Oracle<'a> {
                 fresh.push(index);
             }
         }
+        if mls_obs::enabled() {
+            // Within-generation duplicates beyond the first occurrence are
+            // hits too: they never fly.
+            instruments::oracle_misses().add(fresh.len() as u64);
+            instruments::oracle_hits().add((points.len() - fresh.len()) as u64);
+        }
         if !fresh.is_empty() {
             let unique: Vec<Vec<f64>> = fresh.iter().map(|&index| points[index].clone()).collect();
             let measured = (self.evaluate)(&unique)?;
@@ -471,7 +490,13 @@ impl<'a> Oracle<'a> {
     fn success_rate(&mut self, point: &[f64]) -> Result<f64, CampaignError> {
         let key = PointKey::of(point);
         if let Some(&rate) = self.cache.get(&key) {
+            if mls_obs::enabled() {
+                instruments::oracle_hits().inc();
+            }
             return Ok(rate);
+        }
+        if mls_obs::enabled() {
+            instruments::oracle_misses().inc();
         }
         let measured = (self.evaluate)(&[point.to_vec()])?;
         let rate = *measured.first().ok_or_else(|| CampaignError::InvalidSpec {
@@ -511,13 +536,22 @@ fn drive(
     state: &mut dyn SearchState,
     oracle: &mut Oracle,
 ) -> Result<Option<Vec<f64>>, CampaignError> {
+    let mut generation_index = 0usize;
     loop {
         let generation = state.ask();
         if generation.is_empty() {
             return Ok(state.take_best());
         }
+        let mut span = mls_obs::span("search_generation");
+        if span.is_enabled() {
+            span.field("generation", generation_index)
+                .field("points", generation.len());
+            instruments::generations().inc();
+        }
         let rates = oracle.success_rates(&generation)?;
+        drop(span);
         state.tell(&generation, &rates);
+        generation_index += 1;
     }
 }
 
@@ -847,6 +881,8 @@ fn minimize(
     oracle: &mut Oracle,
 ) -> Result<Vec<f64>, CampaignError> {
     let mut minimal = point;
+    let mut span = mls_obs::span("minimize");
+    span.field("axes", minimal.len()).field("passes", passes);
     for _ in 0..passes.max(1) {
         for axis in 0..minimal.len() {
             if minimal[axis] <= 0.0 {
@@ -861,6 +897,9 @@ fn minimize(
             // Invariant: `lo` passes, `hi` fails.
             let (mut lo, mut hi) = (0.0, minimal[axis]);
             for _ in 0..bisections.max(1) {
+                if span.is_enabled() {
+                    instruments::minimizer_bisections().inc();
+                }
                 let mid = (lo + hi) / 2.0;
                 probe[axis] = mid;
                 if oracle.fails(&probe, threshold)? {
@@ -963,6 +1002,11 @@ impl FalsificationSearch {
         searcher: &Searcher,
     ) -> Result<SearchStage, CampaignError> {
         space.validate()?;
+        let mut search_span = mls_obs::span("search_stage");
+        search_span
+            .field("space", space.name.as_str())
+            .field("variant", variant.label())
+            .field("searcher", searcher.label());
         let scenarios = self
             .runner
             .generate_scenarios(&self.probe_spec(variant, space, &[]))?;
@@ -991,6 +1035,11 @@ impl FalsificationSearch {
         searcher: &Searcher,
     ) -> Result<SpaceFalsification, CampaignError> {
         space.validate()?;
+        let mut falsify_span = mls_obs::span("falsify_space");
+        falsify_span
+            .field("space", space.name.as_str())
+            .field("variant", variant.label())
+            .field("searcher", searcher.label());
         // One scenario suite serves every probe of the search: probes differ
         // only in their fault point, never in the world flown over. The
         // suite cache shares it across spaces of the same (family, seed).
@@ -1030,6 +1079,11 @@ impl FalsificationSearch {
             }
         };
 
+        if falsify_span.is_enabled() {
+            falsify_span
+                .field("found", counterexample.is_some())
+                .field("missions_flown", missions.load(Ordering::Relaxed));
+        }
         Ok(SpaceFalsification {
             space: space.clone(),
             variant,

@@ -17,6 +17,14 @@ use mls_sim_world::{Scenario, ScenarioConfig, ScenarioFamily, ScenarioGenerator}
 
 use crate::CampaignError;
 
+/// Cached suite-cache instruments (see [`crate::obs_util`]).
+mod instruments {
+    use crate::obs_util::cached_counter;
+
+    cached_counter!(hits, "mls_suite_cache_hits_total");
+    cached_counter!(misses, "mls_suite_cache_misses_total");
+}
+
 /// The generation inputs a suite is keyed by — a suite is a pure function
 /// of exactly these four values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,7 +75,13 @@ impl SuiteCache {
     /// dimensions.
     pub fn get_or_generate(&self, key: SuiteKey) -> Result<Arc<Vec<Scenario>>, CampaignError> {
         if let Some(suite) = self.suites.lock().expect("suite cache poisoned").get(&key) {
+            if mls_obs::enabled() {
+                instruments::hits().inc();
+            }
             return Ok(suite.clone());
+        }
+        if mls_obs::enabled() {
+            instruments::misses().inc();
         }
         let config = ScenarioConfig {
             family: key.family,

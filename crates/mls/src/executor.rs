@@ -7,6 +7,8 @@
 //! latencies delay when a freshly planned trajectory actually takes effect —
 //! the mechanism behind the HIL collision increase the paper reports.
 
+use std::time::Instant;
+
 use mls_compute::{ComputeModel, TaskKind, WorkloadModel};
 use mls_geom::Vec3;
 use mls_planning::Trajectory;
@@ -21,6 +23,61 @@ use crate::fault::{FaultHook, TickFaults};
 use crate::system::{LandingSystem, SystemVariant};
 use crate::trace::{ObservationStage, TraceSink};
 use crate::MlsError;
+
+/// Cached obs instruments: registry lookups take a mutex, so the mission
+/// loop resolves each histogram once per process through a `OnceLock`.
+mod instruments {
+    macro_rules! cached_seconds_histogram {
+        ($fn_name:ident, $metric:literal) => {
+            pub fn $fn_name() -> &'static std::sync::Arc<mls_obs::Histogram> {
+                static CELL: std::sync::OnceLock<std::sync::Arc<mls_obs::Histogram>> =
+                    std::sync::OnceLock::new();
+                CELL.get_or_init(|| mls_obs::histogram($metric, mls_obs::SECONDS_BUCKETS))
+            }
+        };
+    }
+
+    cached_seconds_histogram!(control_seconds, "mls_phase_control_seconds");
+    cached_seconds_histogram!(mapping_seconds, "mls_phase_mapping_seconds");
+    cached_seconds_histogram!(perception_seconds, "mls_phase_perception_seconds");
+    cached_seconds_histogram!(planning_seconds, "mls_phase_planning_seconds");
+    cached_seconds_histogram!(decision_seconds, "mls_phase_decision_seconds");
+    cached_seconds_histogram!(mission_wall_seconds, "mls_mission_wall_seconds");
+}
+
+/// Real wall-clock spent in each mission phase, accumulated only while
+/// observability is on. These measurements feed the obs histograms and the
+/// mission-end `mission_phases` event exclusively — the report fields
+/// (`mean_cpu`, `peak_memory_mb`) stay on the deterministic [`ComputeModel`]
+/// simulation, which is what keeps reports byte-identical with obs on or
+/// off.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseBudget {
+    control: f64,
+    mapping: f64,
+    perception: f64,
+    planning: f64,
+    decision: f64,
+    ticks: u64,
+}
+
+impl PhaseBudget {
+    /// Adds `started`'s elapsed time to `slot` when phase timing is active.
+    fn charge(slot: &mut f64, started: Option<Instant>) {
+        if let Some(started) = started {
+            *slot += started.elapsed().as_secs_f64();
+        }
+    }
+}
+
+/// Stable lowercase label for a mission result, used in obs event fields.
+fn result_label(result: MissionResult) -> &'static str {
+    match result {
+        MissionResult::Success => "success",
+        MissionResult::CollisionFailure => "collision",
+        MissionResult::PoorLanding => "poor_landing",
+    }
+}
 
 /// Final classification of one mission (the Table I categories).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -235,6 +292,13 @@ impl MissionExecutor {
         let true_target = self.true_target;
         let vehicle_radius = self.config.uav.airframe.radius;
 
+        // Phase timing is sampled only while obs is on: `Instant::now` never
+        // runs otherwise, and none of the measurements below feed back into
+        // the simulation.
+        let observing = mls_obs::enabled();
+        let mission_started = observing.then(Instant::now);
+        let mut budget = PhaseBudget::default();
+
         // Memory residency of the modules (drives the compute model's memory
         // trace): detector weights, map storage, image buffers.
         let detector_memory = if self.system.variant.uses_learned_detector() {
@@ -257,6 +321,7 @@ impl MissionExecutor {
             .autopilot_mut()
             .arm_and_takeoff(self.system.config.cruise_altitude);
         let mut time = 0.0;
+        let takeoff_started = observing.then(Instant::now);
         while time < 30.0 {
             self.uav.step(&world);
             time = self.uav.time();
@@ -264,6 +329,7 @@ impl MissionExecutor {
                 break;
             }
         }
+        PhaseBudget::charge(&mut budget.control, takeoff_started);
 
         let mut next_detection = time;
         let mut next_mapping = time;
@@ -294,7 +360,12 @@ impl MissionExecutor {
                 }
             }
             self.compute.begin_tick(dt);
+            if observing {
+                budget.ticks += 1;
+            }
+            let control_started = observing.then(Instant::now);
             let state = self.uav.step(&world);
+            PhaseBudget::charge(&mut budget.control, control_started);
             time = self.uav.time();
             if let Some(sink) = self.trace_sink.as_mut() {
                 sink.on_tick(
@@ -331,6 +402,7 @@ impl MissionExecutor {
 
             // Mapping module.
             if self.system.mapping.is_enabled() && time >= next_mapping {
+                let mapping_started = observing.then(Instant::now);
                 next_mapping = time + 1.0 / self.system.config.mapping_rate_hz;
                 let mut cloud = self.uav.capture_depth(&world);
                 // The pristine cloud is snapshotted for trace
@@ -364,10 +436,12 @@ impl MissionExecutor {
                     TaskKind::Mapping,
                     80.0 + self.system.mapping.memory_bytes() as f64 / (1024.0 * 1024.0),
                 );
+                PhaseBudget::charge(&mut budget.mapping, mapping_started);
             }
 
             // Detection module.
             if time >= next_detection {
+                let perception_started = observing.then(Instant::now);
                 next_detection = time + 1.0 / self.system.config.detection_rate_hz;
                 let mut image = self.uav.capture_image(&world);
                 if let Some(hook) = self.fault_hook.as_mut() {
@@ -418,6 +492,7 @@ impl MissionExecutor {
                     TaskKind::CameraPipeline,
                     self.config.workload.camera_per_frame,
                 );
+                PhaseBudget::charge(&mut budget.perception, perception_started);
             }
 
             // Decision module.
@@ -431,10 +506,12 @@ impl MissionExecutor {
                     landed: state.landed,
                     ground_z,
                 };
+                let decision_started = observing.then(Instant::now);
                 let new_directive = self
                     .system
                     .decision
                     .update(&decision_inputs, self.system.mapping.as_query());
+                PhaseBudget::charge(&mut budget.decision, decision_started);
                 pending_observations.clear();
                 frames_since_decision = 0;
                 self.compute
@@ -471,12 +548,15 @@ impl MissionExecutor {
                                 .fault_hook
                                 .as_mut()
                                 .map_or(1.0, |hook| hook.pre_planning(time));
-                            match self.system.planning.plan_with_budget(
+                            let planning_started = observing.then(Instant::now);
+                            let planned = self.system.planning.plan_with_budget(
                                 self.system.mapping.as_query(),
                                 estimated_pose.position,
                                 *goal,
                                 budget_scale,
-                            ) {
+                            );
+                            PhaseBudget::charge(&mut budget.planning, planning_started);
+                            match planned {
                                 Ok(planned) => {
                                     let outcome = self.compute.submit(
                                         TaskKind::PathPlanning,
@@ -611,6 +691,40 @@ impl MissionExecutor {
             estimation_error: self.uav.estimation_error(),
             gps_drift: self.uav.gps_drift().norm(),
         };
+
+        // Mission-end telemetry: real per-phase wall-clock into the obs
+        // histograms, plus one `mission_phases` event that carries both the
+        // measured phase times and the *simulated* compute figures the
+        // report keeps, so the two can be compared offline.
+        if let Some(started) = mission_started {
+            let wall = started.elapsed().as_secs_f64();
+            instruments::mission_wall_seconds().observe(wall);
+            instruments::control_seconds().observe(budget.control);
+            instruments::mapping_seconds().observe(budget.mapping);
+            instruments::perception_seconds().observe(budget.perception);
+            instruments::planning_seconds().observe(budget.planning);
+            instruments::decision_seconds().observe(budget.decision);
+            mls_obs::event(
+                "mission_phases",
+                &[
+                    ("scenario_id", outcome.scenario_id.into()),
+                    ("scenario", outcome.scenario_name.as_str().into()),
+                    ("seed", outcome.seed.into()),
+                    ("variant", outcome.variant.label().into()),
+                    ("result", result_label(outcome.result).into()),
+                    ("sim_duration_s", outcome.duration.into()),
+                    ("ticks", budget.ticks.into()),
+                    ("wall_s", wall.into()),
+                    ("control_s", budget.control.into()),
+                    ("mapping_s", budget.mapping.into()),
+                    ("perception_s", budget.perception.into()),
+                    ("planning_s", budget.planning.into()),
+                    ("decision_s", budget.decision.into()),
+                    ("sim_mean_cpu", outcome.mean_cpu.into()),
+                    ("sim_peak_memory_mb", outcome.peak_memory_mb.into()),
+                ],
+            );
+        }
         (outcome, self.compute)
     }
 }

@@ -1,0 +1,200 @@
+//! The opt-in stderr progress line: missions flown / early-stops / ETA,
+//! throttled so the hot path pays one relaxed load almost every time.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Minimum milliseconds between redraws of the progress line.
+const THROTTLE_MS: u64 = 250;
+
+/// Shared campaign progress state. Counters are updated from mission jobs
+/// on any thread; the line is redrawn by whichever updater wins a CAS on
+/// the throttle stamp, so redraws never stack up.
+#[derive(Debug)]
+pub struct Progress {
+    active: bool,
+    start: Instant,
+    planned: AtomicU64,
+    flown: AtomicU64,
+    early_stops: AtomicU64,
+    saved: AtomicU64,
+    last_draw_ms: AtomicU64,
+    drawn: AtomicU64,
+}
+
+impl Progress {
+    /// A progress tracker; `active` mirrors the `progress` sink flag.
+    pub fn new(active: bool) -> Self {
+        Self {
+            active,
+            start: Instant::now(),
+            planned: AtomicU64::new(0),
+            flown: AtomicU64::new(0),
+            early_stops: AtomicU64::new(0),
+            saved: AtomicU64::new(0),
+            last_draw_ms: AtomicU64::new(0),
+            drawn: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers `n` more planned missions (denominator of the line).
+    pub fn add_planned(&self, n: u64) {
+        self.planned.fetch_add(n, Ordering::Relaxed);
+        self.maybe_draw();
+    }
+
+    /// Records one flown mission.
+    pub fn mission_flown(&self) {
+        self.flown.fetch_add(1, Ordering::Relaxed);
+        self.maybe_draw();
+    }
+
+    /// Records an early-stop verdict that skipped `missions_saved` planned
+    /// missions.
+    pub fn early_stop(&self, missions_saved: u64) {
+        self.early_stops.fetch_add(1, Ordering::Relaxed);
+        self.saved.fetch_add(missions_saved, Ordering::Relaxed);
+        self.maybe_draw();
+    }
+
+    /// Missions flown so far.
+    pub fn flown(&self) -> u64 {
+        self.flown.load(Ordering::Relaxed)
+    }
+
+    /// Early-stop verdicts so far.
+    pub fn early_stops(&self) -> u64 {
+        self.early_stops.load(Ordering::Relaxed)
+    }
+
+    /// Missions skipped by early stops so far.
+    pub fn missions_saved(&self) -> u64 {
+        self.saved.load(Ordering::Relaxed)
+    }
+
+    fn maybe_draw(&self) {
+        if !self.active {
+            return;
+        }
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        let last = self.last_draw_ms.load(Ordering::Relaxed);
+        // `now_ms == 0` would re-enter the CAS forever in the first
+        // millisecond; the +1 below keeps the stamp moving.
+        if now_ms < last.saturating_add(THROTTLE_MS) {
+            return;
+        }
+        if self
+            .last_draw_ms
+            .compare_exchange(last, now_ms + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.draw(false);
+    }
+
+    /// Renders the line; `fin` finishes it with a newline instead of `\r`.
+    fn draw(&self, fin: bool) {
+        let line = self.render();
+        let mut stderr = std::io::stderr().lock();
+        if fin {
+            let _ = writeln!(stderr, "\r{line}");
+        } else {
+            let _ = write!(stderr, "\r{line}");
+            let _ = stderr.flush();
+        }
+        self.drawn.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current one-line summary (shared by the redraw path and tests).
+    pub fn render(&self) -> String {
+        let flown = self.flown.load(Ordering::Relaxed);
+        let planned = self.planned.load(Ordering::Relaxed);
+        let saved = self.saved.load(Ordering::Relaxed);
+        let stops = self.early_stops.load(Ordering::Relaxed);
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            flown as f64 / elapsed
+        } else {
+            0.0
+        };
+        // Early-stopped missions will never fly; they come off the ETA.
+        let outstanding = planned.saturating_sub(saved).saturating_sub(flown);
+        let eta = if rate > 0.0 {
+            format_eta(outstanding as f64 / rate)
+        } else {
+            "--".to_string()
+        };
+        format!(
+            "missions {flown}/{} | {rate:.1}/s | early-stops {stops} (saved {saved}) | eta {eta}",
+            planned.max(flown)
+        )
+    }
+
+    /// Final redraw with a trailing newline so the shell prompt is clean.
+    /// Only prints when the line was active and at least one update
+    /// happened.
+    pub fn finish(&self) {
+        if self.active
+            && (self.drawn.load(Ordering::Relaxed) > 0 || self.flown.load(Ordering::Relaxed) > 0)
+        {
+            self.draw(true);
+        }
+    }
+}
+
+fn format_eta(seconds: f64) -> String {
+    let seconds = seconds.round() as u64;
+    if seconds >= 3600 {
+        format!("{}h{:02}m", seconds / 3600, (seconds % 3600) / 60)
+    } else if seconds >= 60 {
+        format!("{}m{:02}s", seconds / 60, seconds % 60)
+    } else {
+        format!("{seconds}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let progress = Progress::new(false);
+        progress.add_planned(100);
+        for _ in 0..10 {
+            progress.mission_flown();
+        }
+        progress.early_stop(25);
+        assert_eq!(progress.flown(), 10);
+        assert_eq!(progress.early_stops(), 1);
+        assert_eq!(progress.missions_saved(), 25);
+        let line = progress.render();
+        assert!(line.contains("missions 10/100"), "{line}");
+        assert!(line.contains("early-stops 1 (saved 25)"), "{line}");
+    }
+
+    #[test]
+    fn inactive_progress_never_draws() {
+        let progress = Progress::new(false);
+        progress.mission_flown();
+        progress.finish();
+        assert_eq!(progress.drawn.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn eta_formats_scale() {
+        assert_eq!(format_eta(5.0), "5s");
+        assert_eq!(format_eta(125.0), "2m05s");
+        assert_eq!(format_eta(3725.0), "1h02m");
+    }
+
+    #[test]
+    fn planned_floor_never_shows_flown_above_planned() {
+        let progress = Progress::new(false);
+        progress.mission_flown();
+        progress.mission_flown();
+        assert!(progress.render().contains("missions 2/2"));
+    }
+}

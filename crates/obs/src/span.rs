@@ -1,0 +1,234 @@
+//! Hierarchical spans: RAII guards that time a region of work, carry
+//! structured key/value fields, and emit one JSONL event when dropped.
+//!
+//! Parentage is tracked with a thread-local stack, so nesting on one
+//! thread (campaign → cell → generation → probe → phase) links up
+//! automatically. Work fanned out across the executor pool starts a fresh
+//! root span per worker; cross-thread linkage is carried in fields (cell
+//! index, mission seed) rather than span ids, which keeps the guard free
+//! of synchronization.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::registry::{Registry, SECONDS_BUCKETS};
+use crate::sink::{unix_seconds, JsonObject};
+
+/// A structured field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered `null` when non-finite).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+/// Appends `fields` onto a JSON object under their own keys.
+pub(crate) fn append_fields(object: &mut JsonObject, fields: &[(&str, FieldValue)]) {
+    for (key, value) in fields {
+        match value {
+            FieldValue::U64(v) => object.u64(key, *v),
+            FieldValue::I64(v) => object.i64(key, *v),
+            FieldValue::F64(v) => object.f64(key, *v),
+            FieldValue::Bool(v) => object.bool(key, *v),
+            FieldValue::Str(v) => object.str(key, v),
+        };
+    }
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one timed region. Created via [`crate::span`]; on drop it
+/// records the wall-clock duration into `mls_span_<name>_seconds` and, when
+/// the JSONL sink is active, emits a `span` event with its fields.
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when observability was disabled at creation — drop is a no-op.
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span {
+    /// An inert guard (observability off).
+    pub(crate) fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Opens a live span named `name` as a child of the thread's current
+    /// innermost span.
+    pub(crate) fn enabled(name: &'static str) -> Self {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        Self {
+            inner: Some(SpanInner {
+                name,
+                id,
+                parent,
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a structured field (no-op on an inert guard).
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) -> &mut Self {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Whether this guard is live (observability was on at creation).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(position) = stack.iter().rposition(|&id| id == inner.id) {
+                stack.remove(position);
+            }
+        });
+        let seconds = inner.start.elapsed().as_secs_f64();
+        Registry::global()
+            .histogram(&format!("mls_span_{}_seconds", inner.name), SECONDS_BUCKETS)
+            .observe(seconds);
+        if crate::jsonl_enabled() {
+            let mut object = JsonObject::new();
+            object
+                .str("event", "span")
+                .str("name", inner.name)
+                .u64("span_id", inner.id);
+            if let Some(parent) = inner.parent {
+                object.u64("parent_id", parent);
+            }
+            object.f64("wall_s", seconds).f64("unix_s", unix_seconds());
+            append_fields(&mut object, &inner.fields);
+            crate::write_event_line(object.finish());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let mut span = Span::disabled();
+        span.field("k", 1u64);
+        assert!(!span.is_enabled());
+    }
+
+    #[test]
+    fn nesting_links_parent_ids_per_thread() {
+        let outer = Span::enabled("unit_outer");
+        let outer_id = outer.inner.as_ref().unwrap().id;
+        {
+            let inner = Span::enabled("unit_inner");
+            assert_eq!(inner.inner.as_ref().unwrap().parent, Some(outer_id));
+        }
+        // Popping the inner span restores the outer as the current parent.
+        let sibling = Span::enabled("unit_sibling");
+        assert_eq!(sibling.inner.as_ref().unwrap().parent, Some(outer_id));
+        drop(sibling);
+        drop(outer);
+        let root = Span::enabled("unit_root");
+        assert_eq!(root.inner.as_ref().unwrap().parent, None);
+    }
+
+    #[test]
+    fn span_ids_are_unique_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let span = Span::enabled("unit_thread");
+                    span.inner.as_ref().unwrap().id
+                })
+            })
+            .collect();
+        let mut ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+}
