@@ -1,0 +1,182 @@
+//! fabric — the distributed-campaign smoke harness behind CI's
+//! `fabric-smoke` job.
+//!
+//! Runs a small campaign grid three ways in one process tree — in-process,
+//! over 2 fabric workers, and over 2 fabric workers with a chaos directive
+//! that kills worker 0 mid-campaign — and *enforces by exit code* that all
+//! three produce a byte-identical `CampaignReport` and byte-identical
+//! persisted failure traces. This is the end-to-end dependability check of
+//! the fabric: sharding, the frame protocol, worker failover and
+//! distributed aggregation all sit on the hot path of every comparison.
+//!
+//! Workers are this same binary re-executed with `MLS_FABRIC_WORKER=1`
+//! (hence the [`mls_fabric::maybe_worker`] call at the top of `main`), so
+//! the smoke run also proves the self-spawn path the production harnesses
+//! use. `MLS_OBS` / `MLS_OBS_DIR` propagate to workers, whose artifacts
+//! land tagged `worker-<id>` next to the dispatcher's.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mls_bench::{finish_obs, print_header, HarnessOptions};
+use mls_campaign::{CampaignRunner, CampaignSpec, FaultKind, FaultPlan, TracePolicy, Transport};
+use mls_core::SystemVariant;
+
+/// The smoke grid: 2 variants × (baseline + 2 faults) = 6 cells, with
+/// failure-trace capture so the trace path is exercised too.
+fn smoke_spec(seed: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        name: "fabric-smoke".to_string(),
+        seed,
+        maps: 1,
+        scenarios_per_map: 2,
+        variants: vec![SystemVariant::MlsV1, SystemVariant::MlsV3],
+        faults: vec![
+            FaultPlan::new(FaultKind::MarkerOcclusion, 0.6),
+            FaultPlan::new(FaultKind::GpsBias, 0.6),
+        ],
+        capture: TracePolicy::FailuresOnly,
+        ..CampaignSpec::default()
+    };
+    spec.landing.mission_timeout = 120.0;
+    spec.executor.max_duration = 150.0;
+    spec
+}
+
+/// Reads every file under `dir` into path-relative bytes.
+fn snapshot_dir(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&current) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if let (Ok(relative), Ok(bytes)) = (path.strip_prefix(dir), std::fs::read(&path))
+            {
+                files.insert(relative.to_string_lossy().into_owned(), bytes);
+            }
+        }
+    }
+    files
+}
+
+/// One transport's smoke result: the report JSON, the persisted trace
+/// bytes, and how long the run took.
+struct Run {
+    report_json: String,
+    traces: BTreeMap<String, Vec<u8>>,
+    wall_s: f64,
+}
+
+/// Runs the smoke spec on `transport` into `trace_dir` (wiped first).
+fn run(
+    spec: &CampaignSpec,
+    threads: usize,
+    transport: Transport,
+    trace_dir: &Path,
+) -> Result<Run, String> {
+    let _ = std::fs::remove_dir_all(trace_dir);
+    let start = Instant::now();
+    let report = CampaignRunner::new(threads)
+        .with_transport(transport)
+        .with_trace_dir(trace_dir)
+        .run(spec)
+        .map_err(|err| format!("campaign on {transport:?} failed: {err}"))?;
+    let wall_s = start.elapsed().as_secs_f64();
+    let report_json = report.to_json().map_err(|err| err.to_string())?;
+    Ok(Run {
+        report_json,
+        traces: snapshot_dir(trace_dir),
+        wall_s,
+    })
+}
+
+fn check(label: &str, baseline: &Run, candidate: &Run) -> bool {
+    let report_ok = baseline.report_json == candidate.report_json;
+    let traces_ok = baseline.traces == candidate.traces;
+    println!(
+        "  {label}: {:.1} s — report {}, traces {} ({} files)",
+        candidate.wall_s,
+        if report_ok { "identical" } else { "DIVERGED" },
+        if traces_ok { "identical" } else { "DIVERGED" },
+        candidate.traces.len(),
+    );
+    report_ok && traces_ok
+}
+
+fn main() -> ExitCode {
+    // Spawned copies of this binary become fabric workers before any
+    // output or parsing happens.
+    mls_fabric::maybe_worker();
+    mls_fabric::install();
+
+    print_header("fabric — distributed campaign smoke (byte-identity by exit code)");
+    let options = HarnessOptions::from_env();
+    let threads = options.threads;
+    let seed = options.seed;
+    let spec = smoke_spec(seed);
+    let dir = PathBuf::from("target/fabric-smoke-traces");
+    println!(
+        "grid: {} cells × {} missions, {} threads, seed {seed}",
+        spec.cells().len(),
+        spec.missions_per_cell(),
+        threads
+    );
+
+    println!("\n[1/3] in-process baseline");
+    let baseline = match run(&spec, threads, Transport::InProcess, &dir) {
+        Ok(result) => {
+            println!(
+                "  {:.1} s, {} trace files",
+                result.wall_s,
+                result.traces.len()
+            );
+            result
+        }
+        Err(err) => {
+            println!("  FAILED: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.traces.is_empty() {
+        println!("  FAILED: the smoke grid must capture failure traces");
+        return ExitCode::FAILURE;
+    }
+
+    let mut all_good = true;
+
+    println!("\n[2/3] fabric, 2 workers");
+    match run(&spec, threads, Transport::Fabric { workers: 2 }, &dir) {
+        Ok(result) => all_good &= check("2 workers", &baseline, &result),
+        Err(err) => {
+            println!("  FAILED: {err}");
+            all_good = false;
+        }
+    }
+
+    println!("\n[3/3] fabric, 2 workers, worker 0 chaos-killed on its 2nd lease");
+    mls_fabric::set_chaos(Some("exit-after=1".to_string()));
+    match run(&spec, threads, Transport::Fabric { workers: 2 }, &dir) {
+        Ok(result) => all_good &= check("2 workers + chaos", &baseline, &result),
+        Err(err) => {
+            println!("  FAILED: {err}");
+            all_good = false;
+        }
+    }
+    mls_fabric::set_chaos(None);
+
+    finish_obs();
+    if all_good {
+        println!("\nfabric smoke: byte-identical across transports");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nfabric smoke: DIVERGENCE DETECTED");
+        ExitCode::FAILURE
+    }
+}

@@ -112,6 +112,8 @@ pub mod search;
 pub mod spec;
 pub mod stats;
 pub mod suites;
+pub mod transport;
+pub mod wire;
 
 pub use executor::MissionExecutor;
 pub use faults::{
@@ -120,7 +122,7 @@ pub use faults::{
 };
 pub use mls_trace::TracePolicy;
 pub use report::{CampaignReport, CellReport, EarlyStopSummary, MetricSummary, TraceLink};
-pub use runner::{CampaignRunner, ProbeRate};
+pub use runner::{probe_rate_from_outcomes, CampaignRunner, MissionRecord, MissionSlot, ProbeRate};
 pub use search::{
     CmaEsConfig, Counterexample, FalsificationConfig, FalsificationReport, FalsificationSearch,
     GridRefinementConfig, ProbeExecution, ProbePoint, SearchStage, Searcher, SpaceFalsification,
@@ -128,6 +130,7 @@ pub use search::{
 pub use spec::{fault_point_label, CampaignCell, CampaignSpec, EarlyStopPolicy};
 pub use stats::{MetricAccumulator, P2Quantile, Welford};
 pub use suites::{SuiteCache, SuiteKey};
+pub use transport::{DistributedBackend, Transport};
 
 /// Errors produced by the campaign engine.
 #[derive(Debug)]
@@ -146,6 +149,9 @@ pub enum CampaignError {
     Trace(mls_trace::TraceError),
     /// Serialising a report failed.
     Serialize(String),
+    /// The distributed campaign fabric failed (worker spawn, protocol or
+    /// failover exhaustion).
+    Distributed(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -158,6 +164,9 @@ impl fmt::Display for CampaignError {
             CampaignError::Mls(err) => write!(f, "landing-system assembly failed: {err}"),
             CampaignError::Trace(err) => write!(f, "trace capture failed: {err}"),
             CampaignError::Serialize(reason) => write!(f, "report serialisation failed: {reason}"),
+            CampaignError::Distributed(reason) => {
+                write!(f, "distributed campaign fabric failed: {reason}")
+            }
         }
     }
 }

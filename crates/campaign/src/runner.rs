@@ -34,7 +34,18 @@ use crate::report::{CampaignReport, CellReport, EarlyStopSummary, TraceLink};
 use crate::spec::{CampaignCell, CampaignSpec, EarlyStopPolicy};
 use crate::stats::MetricAccumulator;
 use crate::suites::{SuiteCache, SuiteKey};
+use crate::transport::{self, Transport};
 use crate::CampaignError;
+
+/// The error a fabric-transport runner raises when no distributed backend
+/// was registered.
+fn no_backend() -> CampaignError {
+    CampaignError::Distributed(
+        "the runner's transport is Fabric but no distributed backend is installed \
+         (call mls_fabric::install() first)"
+            .to_string(),
+    )
+}
 
 /// Cached campaign instruments (see [`crate::obs_util`]).
 mod instruments {
@@ -71,21 +82,37 @@ fn record_mission_outcome(result: MissionResult) {
 }
 
 /// The compact per-mission record the aggregation stage consumes.
+///
+/// Public (with [`MissionSlot`]) so the distributed fabric can ship the
+/// exact aggregation inputs across a process boundary and feed them back
+/// through [`CampaignRunner::assemble_report`]; the bit-exact wire
+/// encoding lives in [`crate::wire`].
 #[derive(Debug, Clone, PartialEq)]
-struct MissionRecord {
-    result: MissionResult,
-    failsafe: Option<FailsafeReason>,
-    landing_error: Option<f64>,
-    detection_error: Option<f64>,
-    duration: f64,
-    mean_cpu: f64,
-    peak_memory_mb: f64,
-    worst_planning_latency: f64,
-    gps_drift: f64,
-    visible_frames: usize,
-    missed_frames: usize,
+pub struct MissionRecord {
+    /// Final mission classification.
+    pub result: MissionResult,
+    /// Why the system failsafed, when it did.
+    pub failsafe: Option<FailsafeReason>,
+    /// Distance from touchdown to the true marker, metres (landed missions).
+    pub landing_error: Option<f64>,
+    /// Mean marker-detection error, metres (missions that detected at all).
+    pub detection_error: Option<f64>,
+    /// Mission wall-clock duration, simulated seconds.
+    pub duration: f64,
+    /// Mean simulated CPU utilisation, 0–1.
+    pub mean_cpu: f64,
+    /// Peak simulated memory footprint, MB.
+    pub peak_memory_mb: f64,
+    /// Worst planning latency observed, seconds.
+    pub worst_planning_latency: f64,
+    /// Final GPS drift magnitude, metres.
+    pub gps_drift: f64,
+    /// Frames the marker was geometrically visible in.
+    pub visible_frames: usize,
+    /// Visible frames the detector nevertheless missed.
+    pub missed_frames: usize,
     /// The mission's captured trace, when the spec's policy kept it.
-    trace: Option<Box<Trace>>,
+    pub trace: Option<Box<Trace>>,
 }
 
 impl MissionRecord {
@@ -112,9 +139,69 @@ impl MissionRecord {
 /// in flight — those results are discarded so the report stays a pure
 /// function of the decided prefix).
 #[derive(Debug)]
-enum MissionSlot {
+pub enum MissionSlot {
+    /// The mission flew; its record feeds the aggregation stage.
     Flown(Box<MissionRecord>),
+    /// The mission was cancelled by (or discarded beyond) an early-stop
+    /// decision.
     Skipped,
+}
+
+/// The job-order outcome a slot contributes to the early-stop replay.
+fn slot_success(slot: &MissionSlot) -> Option<bool> {
+    match slot {
+        MissionSlot::Flown(record) => Some(record.result == MissionResult::Success),
+        MissionSlot::Skipped => None,
+    }
+}
+
+/// Recomputes the early-stop decision from mission outcomes in job order —
+/// a pure function identical to the live in-flight [`CellProgress`]
+/// decision, whose prefix cursor only ever advances over contiguous
+/// resolved outcomes. The fabric dispatcher replays this over slots merged
+/// from workers; [`CampaignRunner::assemble_report`] replays it for every
+/// transport, so the two paths cannot diverge.
+fn replay_early_stop(
+    policy: &EarlyStopPolicy,
+    outcomes: impl Iterator<Item = Option<bool>>,
+    planned: usize,
+) -> (usize, bool) {
+    let mut resolved = 0usize;
+    let mut successes = 0usize;
+    for outcome in outcomes.take(planned) {
+        let Some(success) = outcome else { break };
+        resolved += 1;
+        successes += usize::from(success);
+        if let Some(verdict) = policy.decide(successes, resolved, planned) {
+            return (resolved, verdict);
+        }
+    }
+    (
+        planned,
+        (successes as f64 / planned.max(1) as f64) >= policy.threshold,
+    )
+}
+
+/// Aggregates one probe's job-ordered mission outcomes into its
+/// [`ProbeRate`], restricted to the deterministic decided prefix — the
+/// pure aggregation half of [`CampaignRunner::run_probe_rates`], shared
+/// by the distributed fabric dispatcher.
+pub fn probe_rate_from_outcomes(
+    policy: Option<EarlyStopPolicy>,
+    outcomes: &[Option<bool>],
+    planned: usize,
+) -> ProbeRate {
+    let flown = match policy {
+        Some(policy) => replay_early_stop(&policy, outcomes.iter().copied(), planned).0,
+        None => planned,
+    };
+    let prefix = &outcomes[..flown.min(outcomes.len())];
+    let successes = prefix.iter().filter(|o| **o == Some(true)).count();
+    ProbeRate {
+        success_rate: successes as f64 / flown.max(1) as f64,
+        missions_flown: flown,
+        missions_planned: planned,
+    }
 }
 
 /// Per-cell early-stop bookkeeping shared by the workers flying the cell.
@@ -220,6 +307,7 @@ pub struct CampaignRunner {
     recorder: RecorderConfig,
     executor: Arc<MissionExecutor>,
     suites: SuiteCache,
+    transport: Transport,
 }
 
 impl CampaignRunner {
@@ -237,7 +325,29 @@ impl CampaignRunner {
             recorder: RecorderConfig::default(),
             executor: MissionExecutor::global(),
             suites: SuiteCache::global().clone(),
+            transport: Transport::InProcess,
         }
+    }
+
+    /// Selects the execution transport: in-process (the default) or the
+    /// distributed campaign fabric. A fabric runner requires a registered
+    /// [`crate::transport::DistributedBackend`] (see `mls_fabric::install`)
+    /// and produces byte-identical reports, traces and probe rates.
+    #[must_use]
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The runner's execution transport.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// The flight-recorder sizing missions capture traces with (fabric
+    /// workers mirror the dispatcher's sizing from this).
+    pub fn recorder_config(&self) -> RecorderConfig {
+        self.recorder
     }
 
     /// Overrides the directory captured traces are persisted in (default:
@@ -400,6 +510,10 @@ impl CampaignRunner {
                 });
             }
         }
+        if let Transport::Fabric { workers } = self.transport {
+            let backend = transport::backend().ok_or_else(no_backend)?;
+            return backend.run_campaign(self, workers.max(1), spec, suites);
+        }
         let cells = spec.cells();
         let missions_per_cell = spec.missions_per_cell();
         let total = missions_per_cell * cells.len();
@@ -441,26 +555,71 @@ impl CampaignRunner {
         for result in results {
             slots.push(result?);
         }
+        self.assemble_report(spec, slots)
+    }
+
+    /// Assembles a [`CampaignReport`] from the complete, job-ordered
+    /// mission slots of a campaign batch — the aggregation half of
+    /// [`CampaignRunner::run_with_shared_suites`], shared verbatim by the
+    /// distributed fabric dispatcher so a sharded run cannot drift from
+    /// the in-process result.
+    ///
+    /// The early-stop decision is recomputed here as a pure function of
+    /// the slot outcomes in job order (identical to the live in-flight
+    /// decision — see [`replay_early_stop`]), every slot beyond a cell's
+    /// decided prefix is discarded before anything is recorded, and kept
+    /// traces are persisted under this runner's trace directory in
+    /// deterministic grid order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec is invalid, the slot count does not
+    /// match the spec's grid, or persisting a kept trace fails.
+    pub fn assemble_report(
+        &self,
+        spec: &CampaignSpec,
+        mut slots: Vec<MissionSlot>,
+    ) -> Result<CampaignReport, CampaignError> {
+        spec.validate()?;
+        let cells = spec.cells();
+        let missions_per_cell = spec.missions_per_cell();
+        if slots.len() != cells.len() * missions_per_cell {
+            return Err(CampaignError::InvalidSpec {
+                reason: format!(
+                    "{} mission slots supplied but the spec's grid plans {}",
+                    slots.len(),
+                    cells.len() * missions_per_cell
+                ),
+            });
+        }
 
         // Enforce the deterministic early-stop prefix: results beyond a
         // cell's decided prefix (flown speculatively while the decision
-        // landed) are discarded before anything is recorded.
-        let mut early_summaries = vec![None; context.cells.len()];
-        if let Some(progress) = &context.progress {
-            for (cell_index, cell_progress) in progress.iter().enumerate() {
-                let (flown, verdict) = cell_progress.verdict();
+        // landed, or flown by a fabric worker under a partial lease) are
+        // discarded before anything is recorded.
+        let mut early_summaries = vec![None; cells.len()];
+        if let Some(policy) = spec.probe_early_stop {
+            for (cell_index, summary) in early_summaries.iter_mut().enumerate() {
+                let base = cell_index * missions_per_cell;
+                let (flown, verdict) = replay_early_stop(
+                    &policy,
+                    slots[base..base + missions_per_cell]
+                        .iter()
+                        .map(slot_success),
+                    missions_per_cell,
+                );
                 for slot in slots
                     .iter_mut()
-                    .skip(cell_index * missions_per_cell + flown)
+                    .skip(base + flown)
                     .take(missions_per_cell - flown)
                 {
                     *slot = MissionSlot::Skipped;
                 }
-                early_summaries[cell_index] = Some(EarlyStopSummary {
+                *summary = Some(EarlyStopSummary {
                     planned: missions_per_cell,
                     flown,
                     verdict,
-                    threshold: cell_progress.policy.threshold,
+                    threshold: policy.threshold,
                 });
                 if mls_obs::enabled() && flown < missions_per_cell {
                     let saved = (missions_per_cell - flown) as u64;
@@ -482,7 +641,10 @@ impl CampaignRunner {
         }
 
         // Persist the kept traces (in deterministic grid order) and link
-        // them from the report, each with its triage verdict.
+        // them from the report, each with its triage verdict. Traces land
+        // under *this* runner's trace directory whatever process flew them,
+        // which is what keeps refly/replay working against fabric-run
+        // reports.
         let trace_dir = self.trace_dir(spec);
         let mut traces = Vec::new();
         for (index, slot) in slots.iter().enumerate() {
@@ -492,7 +654,7 @@ impl CampaignRunner {
             let Some(trace) = &record.trace else {
                 continue;
             };
-            let cell = &context.cells[index / missions_per_cell];
+            let cell = &cells[index / missions_per_cell];
             let header = &trace.header;
             let path = trace_dir.join(format!(
                 "c{:03}-s{:03}-r{}.jsonl",
@@ -511,8 +673,7 @@ impl CampaignRunner {
             });
         }
 
-        let cell_reports: Vec<CellReport> = context
-            .cells
+        let cell_reports: Vec<CellReport> = cells
             .iter()
             .map(|cell| {
                 let slice =
@@ -557,6 +718,226 @@ impl CampaignRunner {
         })
     }
 
+    /// Flies the mission range `start..end` of one grid cell sequentially
+    /// in job order on this runner's executor — the unit of work a fabric
+    /// worker performs for one lease. A whole-cell lease (`start == 0`)
+    /// applies the spec's early-stop policy locally, skipping missions
+    /// beyond the decided prefix exactly as the in-process run would; a
+    /// partial-range lease flies everything and leaves the prefix
+    /// discipline to [`CampaignRunner::assemble_report`] on the
+    /// dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec is invalid, the suites do not match
+    /// the grid, the cell or range is outside the schedule, or a mission
+    /// fails to assemble.
+    pub fn fly_cell_range(
+        &self,
+        spec: &CampaignSpec,
+        suites: &[Arc<Vec<Scenario>>],
+        cell_index: usize,
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<MissionSlot>, CampaignError> {
+        spec.validate()?;
+        if suites.len() != spec.families.len() {
+            return Err(CampaignError::InvalidSpec {
+                reason: format!(
+                    "{} scenario suites supplied but the spec sweeps {} families",
+                    suites.len(),
+                    spec.families.len()
+                ),
+            });
+        }
+        let missions_per_cell = spec.missions_per_cell();
+        let cell =
+            spec.cells()
+                .into_iter()
+                .nth(cell_index)
+                .ok_or_else(|| CampaignError::InvalidSpec {
+                    reason: format!("cell {cell_index} is outside the grid"),
+                })?;
+        if start > end || end > missions_per_cell {
+            return Err(CampaignError::InvalidSpec {
+                reason: format!(
+                    "mission range {start}..{end} is outside the cell's schedule of {missions_per_cell}"
+                ),
+            });
+        }
+        let suite = suites[cell.suite_index].clone();
+        if suite.len() != spec.maps * spec.scenarios_per_map {
+            return Err(CampaignError::InvalidSpec {
+                reason: format!(
+                    "the {} scenario suite has {} scenarios but the spec's grid needs {}",
+                    cell.family.label(),
+                    suite.len(),
+                    spec.maps * spec.scenarios_per_map
+                ),
+            });
+        }
+        let config_hash = spec.config_hash()?;
+
+        struct RangeContext {
+            spec: CampaignSpec,
+            cell: CampaignCell,
+            suite: Arc<Vec<Scenario>>,
+            progress: Option<CellProgress>,
+            recorder: Option<RecorderConfig>,
+            config_hash: u64,
+            start: usize,
+        }
+        let context = Arc::new(RangeContext {
+            progress: (start == 0)
+                .then_some(spec.probe_early_stop)
+                .flatten()
+                .map(|policy| CellProgress::new(policy, missions_per_cell)),
+            spec: spec.clone(),
+            cell,
+            suite,
+            recorder: spec.capture.captures().then_some(self.recorder),
+            config_hash,
+            start,
+        });
+        let job = context.clone();
+        let results: Vec<Result<MissionSlot, CampaignError>> =
+            self.executor
+                .execute(end - start, self.threads, move |index| {
+                    let within = job.start + index;
+                    let scenario = &job.suite[within % job.suite.len()];
+                    let repeat = within / job.suite.len();
+                    if job
+                        .progress
+                        .as_ref()
+                        .is_some_and(|progress| progress.should_skip(within))
+                    {
+                        if mls_obs::enabled() {
+                            instruments::missions_skipped().inc();
+                        }
+                        return Ok(MissionSlot::Skipped);
+                    }
+                    let (outcome, trace) = fly_mission(
+                        &job.spec,
+                        &job.cell,
+                        scenario,
+                        repeat,
+                        job.config_hash,
+                        job.recorder.as_ref(),
+                    )?;
+                    if let Some(progress) = &job.progress {
+                        progress.record(within, outcome.result == MissionResult::Success);
+                    }
+                    if mls_obs::enabled() {
+                        record_mission_outcome(outcome.result);
+                    }
+                    let mut record = MissionRecord::from_outcome(&outcome);
+                    record.trace = trace
+                        .filter(|_| job.spec.capture.keeps(outcome.result))
+                        .map(Box::new);
+                    Ok(MissionSlot::Flown(Box::new(record)))
+                });
+        let mut slots = Vec::with_capacity(end - start);
+        for result in results {
+            slots.push(result?);
+        }
+        Ok(slots)
+    }
+
+    /// Flies every planned mission of one single-cell probe spec on this
+    /// runner's executor, returning the job-ordered outcomes — the unit of
+    /// work a fabric worker performs for one probe lease. The probe's
+    /// early-stop policy applies locally; the dispatcher reduces the
+    /// outcomes with [`probe_rate_from_outcomes`], which restricts to the
+    /// same decided prefix the in-process path uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spec is invalid, expands to more than one
+    /// cell, the suite does not match, or a mission fails to assemble.
+    pub fn fly_probe_outcomes(
+        &self,
+        spec: &CampaignSpec,
+        scenarios: Arc<Vec<Scenario>>,
+    ) -> Result<Vec<Option<bool>>, CampaignError> {
+        let missions = Self::validate_probe_specs(std::slice::from_ref(spec), &scenarios)?;
+        let cell = spec
+            .cells()
+            .into_iter()
+            .next()
+            .expect("validated single cell");
+        let progress = spec
+            .probe_early_stop
+            .map(|policy| CellProgress::new(policy, missions));
+        let context = Arc::new(ProbeSetContext {
+            probes: vec![ProbeJob {
+                spec: spec.clone(),
+                cell,
+                progress,
+            }],
+            scenarios,
+            missions_per_probe: missions,
+        });
+        let job_context = context.clone();
+        let results: Vec<Result<Option<bool>, CampaignError>> =
+            self.executor.execute(missions, self.threads, move |index| {
+                run_probe_mission_job(&job_context, index)
+            });
+        let mut outcomes = Vec::with_capacity(missions);
+        for result in results {
+            outcomes.push(result?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Validates a batch of single-cell probe specs against a shared
+    /// scenario suite (each spec expands to exactly one cell, matches the
+    /// suite's dimensions and shares one mission schedule), returning the
+    /// common missions-per-probe count. Used by both the in-process
+    /// [`CampaignRunner::run_probe_rates`] and the fabric dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidSpec`] describing the first
+    /// violation.
+    pub fn validate_probe_specs(
+        specs: &[CampaignSpec],
+        scenarios: &[Scenario],
+    ) -> Result<usize, CampaignError> {
+        let Some(first) = specs.first() else {
+            return Ok(0);
+        };
+        let missions = first.missions_per_cell();
+        for spec in specs {
+            spec.validate()?;
+            let cells = spec.cells();
+            if cells.len() != 1 || spec.families.len() != 1 {
+                return Err(CampaignError::InvalidSpec {
+                    reason: format!(
+                        "a probe spec must expand to exactly one cell, '{}' has {}",
+                        spec.name,
+                        cells.len()
+                    ),
+                });
+            }
+            if scenarios.len() != spec.maps * spec.scenarios_per_map {
+                return Err(CampaignError::InvalidSpec {
+                    reason: format!(
+                        "the probe suite has {} scenarios but spec '{}' needs {}",
+                        scenarios.len(),
+                        spec.name,
+                        spec.maps * spec.scenarios_per_map
+                    ),
+                });
+            }
+            if spec.missions_per_cell() != missions {
+                return Err(CampaignError::InvalidSpec {
+                    reason: "probe specs of one batch must share a mission schedule".to_string(),
+                });
+            }
+        }
+        Ok(missions)
+    }
+
     /// Evaluates a set of single-cell probe specs over one shared scenario
     /// suite as a single executor batch, returning each probe's success
     /// rate and mission count in input order.
@@ -581,47 +962,26 @@ impl CampaignRunner {
         if specs.is_empty() {
             return Ok(Vec::new());
         }
+        let missions_per_probe = Self::validate_probe_specs(&specs, &scenarios)?;
+        if let Transport::Fabric { workers } = self.transport {
+            let backend = transport::backend().ok_or_else(no_backend)?;
+            return backend.run_probes(self, workers.max(1), &specs, &scenarios);
+        }
         let mut probes = Vec::with_capacity(specs.len());
         for spec in specs {
-            spec.validate()?;
-            let cells = spec.cells();
-            if cells.len() != 1 || spec.families.len() != 1 {
-                return Err(CampaignError::InvalidSpec {
-                    reason: format!(
-                        "a probe spec must expand to exactly one cell, '{}' has {}",
-                        spec.name,
-                        cells.len()
-                    ),
-                });
-            }
-            if scenarios.len() != spec.maps * spec.scenarios_per_map {
-                return Err(CampaignError::InvalidSpec {
-                    reason: format!(
-                        "the probe suite has {} scenarios but spec '{}' needs {}",
-                        scenarios.len(),
-                        spec.name,
-                        spec.maps * spec.scenarios_per_map
-                    ),
-                });
-            }
             let missions = spec.missions_per_cell();
             let progress = spec
                 .probe_early_stop
                 .map(|policy| CellProgress::new(policy, missions));
-            let cell = cells.into_iter().next().expect("one cell checked above");
+            let cell = spec
+                .cells()
+                .into_iter()
+                .next()
+                .expect("validated single cell");
             probes.push(ProbeJob {
                 spec,
                 cell,
                 progress,
-            });
-        }
-        let missions_per_probe = probes[0].spec.missions_per_cell();
-        if probes
-            .iter()
-            .any(|probe| probe.spec.missions_per_cell() != missions_per_probe)
-        {
-            return Err(CampaignError::InvalidSpec {
-                reason: "probe specs of one batch must share a mission schedule".to_string(),
             });
         }
         let total = probes.len() * missions_per_probe;

@@ -987,6 +987,17 @@ impl FalsificationSearch {
         self
     }
 
+    /// Selects the execution transport of the search's probe campaigns:
+    /// in-process (the default) or the distributed campaign fabric. The
+    /// search itself (ask/tell loop, minimization, capture) stays on the
+    /// dispatcher; only mission batches fan out, and results are
+    /// byte-identical either way.
+    #[must_use]
+    pub fn with_transport(mut self, transport: crate::transport::Transport) -> Self {
+        self.runner = self.runner.with_transport(transport);
+        self
+    }
+
     /// Runs only the search stage — baseline plus searcher, no
     /// minimization, no capture. The perf suite times this against both
     /// [`ProbeExecution`] modes.

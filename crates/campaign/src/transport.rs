@@ -1,0 +1,111 @@
+//! The execution-transport seam: in-process missions or the distributed
+//! campaign fabric.
+//!
+//! A [`crate::CampaignRunner`] owns a [`Transport`]. The default,
+//! [`Transport::InProcess`], flies every mission on the process-wide
+//! [`crate::MissionExecutor`] pool. [`Transport::Fabric`] hands the whole
+//! batch to a [`DistributedBackend`] — worker processes behind a
+//! dispatcher — while keeping the aggregation contract: the resulting
+//! [`crate::CampaignReport`], traces and probe rates are byte-identical
+//! to the in-process run.
+//!
+//! The backend lives in its own crate (`mls-fabric`) which *depends on*
+//! this one, so the linkage is inverted through a process-global
+//! registration: the fabric crate calls [`install_backend`] once (its
+//! `install()` helper does), and the runner dispatches through
+//! [`backend`] whenever its transport is [`Transport::Fabric`]. Running
+//! with a fabric transport before any backend is installed is a clean
+//! [`crate::CampaignError::Distributed`] error, never a hang.
+
+use std::sync::{Arc, OnceLock};
+
+use mls_sim_world::Scenario;
+
+use crate::report::CampaignReport;
+use crate::runner::{CampaignRunner, ProbeRate};
+use crate::spec::CampaignSpec;
+use crate::CampaignError;
+
+/// How a runner executes mission batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Fly every mission on the in-process executor pool (the default).
+    #[default]
+    InProcess,
+    /// Shard the batch over `workers` worker processes via the installed
+    /// [`DistributedBackend`].
+    Fabric {
+        /// Worker processes the dispatcher spawns (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+/// A distributed execution backend (implemented by `mls-fabric`).
+///
+/// Both entry points receive the dispatching runner so the backend can
+/// reuse its trace directory, recorder sizing and aggregation methods
+/// ([`CampaignRunner::assemble_report`]) — which is what makes the
+/// distributed result byte-identical to the in-process one.
+pub trait DistributedBackend: Send + Sync {
+    /// Runs a full campaign (the [`CampaignRunner::run_with_shared_suites`]
+    /// contract) over `workers` worker processes.
+    fn run_campaign(
+        &self,
+        runner: &CampaignRunner,
+        workers: usize,
+        spec: &CampaignSpec,
+        suites: &[Arc<Vec<Scenario>>],
+    ) -> Result<CampaignReport, CampaignError>;
+
+    /// Evaluates a batch of single-cell probe specs (the
+    /// [`CampaignRunner::run_probe_rates`] contract) over `workers`
+    /// worker processes.
+    fn run_probes(
+        &self,
+        runner: &CampaignRunner,
+        workers: usize,
+        specs: &[CampaignSpec],
+        scenarios: &Arc<Vec<Scenario>>,
+    ) -> Result<Vec<ProbeRate>, CampaignError>;
+}
+
+static BACKEND: OnceLock<Box<dyn DistributedBackend>> = OnceLock::new();
+
+/// Registers the process-wide distributed backend. First installation
+/// wins (the registration is a `OnceLock`); returns `false` when a
+/// backend was already installed.
+pub fn install_backend(backend: Box<dyn DistributedBackend>) -> bool {
+    let mut fresh = false;
+    BACKEND.get_or_init(|| {
+        fresh = true;
+        backend
+    });
+    fresh
+}
+
+/// The installed distributed backend, if any.
+pub fn backend() -> Option<&'static dyn DistributedBackend> {
+    BACKEND.get().map(|boxed| boxed.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_transport_is_in_process() {
+        assert_eq!(Transport::default(), Transport::InProcess);
+    }
+
+    #[test]
+    fn fabric_without_backend_is_a_clean_error() {
+        // The unit-test binary never installs a backend, so a fabric
+        // runner must fail fast with the install hint.
+        if backend().is_some() {
+            return;
+        }
+        let runner = CampaignRunner::new(1).with_transport(Transport::Fabric { workers: 2 });
+        let err = runner.run(&CampaignSpec::smoke()).unwrap_err();
+        assert!(err.to_string().contains("no distributed backend"));
+    }
+}

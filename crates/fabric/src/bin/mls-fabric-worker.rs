@@ -1,0 +1,9 @@
+//! The dedicated fabric worker binary: a frame loop over stdin/stdout.
+//!
+//! Spawned by the dispatcher (directly, or selected via
+//! `MLS_FABRIC_WORKER_BIN`); never run by hand. All protocol traffic is
+//! on stdout — nothing else may print there.
+
+fn main() {
+    std::process::exit(mls_fabric::run_worker_stdio());
+}

@@ -1,0 +1,623 @@
+//! The sharding dispatcher: spawns worker processes, leases jobs, tracks
+//! health, reassigns orphaned leases, and merges results into the exact
+//! artifacts the in-process runner would have produced.
+//!
+//! ## Determinism argument
+//!
+//! The dispatcher never aggregates anything itself. It collects, per job
+//! (one whole campaign cell or one probe spec), the bit-exact mission
+//! slots the worker flew, concatenates them in *job order* — regardless
+//! of which worker produced them, in which order, or after how many
+//! crashes — and hands the slot vector to
+//! [`CampaignRunner::assemble_report`], the same function the in-process
+//! path ends in. A lease is the unit of reassignment and whole jobs are
+//! pure functions of `(spec, cell, seed range)`, so a re-flown lease
+//! yields byte-identical slots and a crash-and-retry schedule cannot
+//! change the report.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mls_campaign::{
+    probe_rate_from_outcomes, wire, CampaignError, CampaignReport, CampaignRunner, CampaignSpec,
+    MissionSlot, ProbeRate,
+};
+use mls_obs::FieldValue;
+use mls_sim_world::Scenario;
+use serde_json::Value;
+
+use crate::health::{WorkerHealth, WorkerPhase};
+use crate::protocol;
+
+/// Environment variable that turns a spawned copy of the current binary
+/// into a worker (checked by [`crate::maybe_worker`]).
+pub const WORKER_MODE_ENV: &str = "MLS_FABRIC_WORKER";
+/// Environment variable carrying the worker's slot id.
+pub const WORKER_ID_ENV: &str = "MLS_FABRIC_WORKER_ID";
+/// Environment variable selecting an explicit worker executable.
+pub const WORKER_BIN_ENV: &str = "MLS_FABRIC_WORKER_BIN";
+/// Environment variable carrying a chaos directive (see
+/// [`crate::worker::parse_chaos`]).
+pub const CHAOS_ENV: &str = "MLS_FABRIC_CHAOS";
+
+/// Dispatcher tuning. [`DispatcherConfig::new`] gives production
+/// defaults; tests tighten the timeout and budgets.
+#[derive(Debug, Clone)]
+pub struct DispatcherConfig {
+    /// Worker processes to spawn (at least 1).
+    pub workers: usize,
+    /// Worker executable. `None` re-executes the current binary with
+    /// [`WORKER_MODE_ENV`] set, which requires `main` to call
+    /// [`crate::maybe_worker`] first.
+    pub worker_command: Option<PathBuf>,
+    /// Silence (no frame of any kind) after which a worker is declared
+    /// dead and its leases reassigned.
+    pub heartbeat_timeout: Duration,
+    /// Respawns allowed per worker slot before it is retired.
+    pub respawn_budget: usize,
+    /// Outstanding leases allowed per worker.
+    pub max_inflight: usize,
+    /// Chaos directive injected into worker 0's *first* incarnation only,
+    /// so a chaos run still terminates.
+    pub chaos: Option<String>,
+}
+
+impl DispatcherConfig {
+    /// Production defaults for `workers` workers, honouring the
+    /// process-wide overrides installed via [`crate::set_worker_command`]
+    /// / [`crate::set_chaos`] and the [`WORKER_BIN_ENV`] / [`CHAOS_ENV`]
+    /// environment.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            worker_command: crate::worker_command_override()
+                .or_else(|| std::env::var_os(WORKER_BIN_ENV).map(PathBuf::from)),
+            heartbeat_timeout: Duration::from_secs(30),
+            respawn_budget: 2,
+            max_inflight: 2,
+            chaos: crate::chaos_override().or_else(|| std::env::var(CHAOS_ENV).ok()),
+        }
+    }
+}
+
+/// One unit of leased work.
+#[derive(Debug, Clone)]
+enum Lease {
+    /// Missions `start..end` of campaign cell `cell`.
+    Cell {
+        cell: usize,
+        start: usize,
+        end: usize,
+    },
+    /// One single-cell probe spec, shipped inline.
+    Probe { spec_json: Arc<String> },
+}
+
+/// One completed job's payload.
+enum Payload {
+    Slots(Vec<MissionSlot>),
+    Outcomes(Vec<Option<bool>>),
+}
+
+/// What the reader threads feed the event loop.
+enum Event {
+    /// A frame from worker `slot`, incarnation `incarnation`.
+    Frame {
+        slot: usize,
+        incarnation: usize,
+        frame: Value,
+    },
+    /// Worker `slot`'s incarnation `incarnation` reached end of stream
+    /// (clean exit, crash, or kill — indistinguishable on purpose).
+    Gone { slot: usize, incarnation: usize },
+}
+
+/// A live worker process handle.
+struct WorkerProcess {
+    child: Child,
+    stdin: ChildStdin,
+}
+
+fn distributed(reason: impl Into<String>) -> CampaignError {
+    CampaignError::Distributed(reason.into())
+}
+
+/// Runs a full campaign over the fabric. Suites must be derivable from
+/// the spec (workers regenerate them locally); when the caller supplied
+/// hand-edited suites the dispatcher falls back to in-process execution
+/// rather than silently flying different scenarios.
+pub fn run_campaign(
+    runner: &CampaignRunner,
+    workers: usize,
+    spec: &CampaignSpec,
+    suites: &[Arc<Vec<Scenario>>],
+) -> Result<CampaignReport, CampaignError> {
+    let regenerated = runner.suites_for(spec)?;
+    let derivable = regenerated.len() == suites.len()
+        && regenerated
+            .iter()
+            .zip(suites)
+            .all(|(ours, theirs)| Arc::ptr_eq(ours, theirs) || **ours == **theirs);
+    let cells = spec.cells();
+    let missions_per_cell = spec.missions_per_cell();
+    if !derivable {
+        mls_obs::event(
+            "fabric_fallback",
+            &[(
+                "reason",
+                FieldValue::Str("suites not derivable from spec".to_string()),
+            )],
+        );
+        let mut slots = Vec::with_capacity(cells.len() * missions_per_cell);
+        for cell in 0..cells.len() {
+            slots.extend(runner.fly_cell_range(spec, suites, cell, 0, missions_per_cell)?);
+        }
+        return runner.assemble_report(spec, slots);
+    }
+
+    let spec_json = spec.to_json()?;
+    let config_hash = spec.config_hash()?;
+    let leases: Vec<Lease> = (0..cells.len())
+        .map(|cell| Lease::Cell {
+            cell,
+            start: 0,
+            end: missions_per_cell,
+        })
+        .collect();
+    let session = Session {
+        runner,
+        config: DispatcherConfig::new(workers),
+        campaign: Some((spec_json, config_hash)),
+        leases,
+    };
+    let payloads = session.run()?;
+    let mut slots = Vec::with_capacity(cells.len() * missions_per_cell);
+    for payload in payloads {
+        match payload {
+            Some(Payload::Slots(cell_slots)) => slots.extend(cell_slots),
+            Some(Payload::Outcomes(_)) => {
+                return Err(distributed(
+                    "worker returned probe outcomes for a cell lease",
+                ))
+            }
+            None => return Err(distributed("a cell lease finished without a payload")),
+        }
+    }
+    runner.assemble_report(spec, slots)
+}
+
+/// Evaluates a batch of single-cell probe specs over the fabric.
+pub fn run_probes(
+    runner: &CampaignRunner,
+    workers: usize,
+    specs: &[CampaignSpec],
+    scenarios: &Arc<Vec<Scenario>>,
+) -> Result<Vec<ProbeRate>, CampaignError> {
+    let missions = CampaignRunner::validate_probe_specs(specs, scenarios)?;
+    if specs.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Workers regenerate each probe suite from its inline spec; when the
+    // shared suite is not what the first spec derives, fall back.
+    let derivable = {
+        let regenerated = runner.generate_scenarios(&specs[0])?;
+        Arc::ptr_eq(&regenerated, scenarios) || *regenerated == **scenarios
+    };
+    if !derivable {
+        mls_obs::event(
+            "fabric_fallback",
+            &[(
+                "reason",
+                FieldValue::Str("probe suite not derivable from spec".to_string()),
+            )],
+        );
+        return specs
+            .iter()
+            .map(|spec| {
+                let outcomes = runner.fly_probe_outcomes(spec, scenarios.clone())?;
+                Ok(probe_rate_from_outcomes(
+                    spec.probe_early_stop,
+                    &outcomes,
+                    missions,
+                ))
+            })
+            .collect();
+    }
+
+    let leases: Vec<Lease> = specs
+        .iter()
+        .map(|spec| {
+            Ok(Lease::Probe {
+                spec_json: Arc::new(spec.to_json()?),
+            })
+        })
+        .collect::<Result<_, CampaignError>>()?;
+    let session = Session {
+        runner,
+        config: DispatcherConfig::new(workers),
+        campaign: None,
+        leases,
+    };
+    let payloads = session.run()?;
+    payloads
+        .into_iter()
+        .zip(specs)
+        .map(|(payload, spec)| match payload {
+            Some(Payload::Outcomes(outcomes)) => Ok(probe_rate_from_outcomes(
+                spec.probe_early_stop,
+                &outcomes,
+                missions,
+            )),
+            Some(Payload::Slots(_)) => {
+                Err(distributed("worker returned cell slots for a probe lease"))
+            }
+            None => Err(distributed("a probe lease finished without a payload")),
+        })
+        .collect()
+}
+
+/// One dispatch session: a job list executed over a worker pool.
+struct Session<'a> {
+    runner: &'a CampaignRunner,
+    config: DispatcherConfig,
+    /// `Some((spec_json, config_hash))` for campaign sessions; probe
+    /// sessions initialise workers without a pinned spec.
+    campaign: Option<(String, u64)>,
+    leases: Vec<Lease>,
+}
+
+impl Session<'_> {
+    fn run(self) -> Result<Vec<Option<Payload>>, CampaignError> {
+        let mut loop_state = EventLoop::start(&self)?;
+        let result = loop_state.drive(&self);
+        loop_state.shutdown(result.is_ok());
+        result
+    }
+
+    /// Worker thread budget: the runner's pool split across workers.
+    fn threads_per_worker(&self) -> usize {
+        self.runner.threads().div_ceil(self.config.workers).max(1)
+    }
+
+    fn spawn_worker(
+        &self,
+        slot: usize,
+        incarnation: usize,
+        events: &Sender<Event>,
+    ) -> Result<WorkerProcess, CampaignError> {
+        let mut command = match &self.config.worker_command {
+            Some(path) => Command::new(path),
+            None => {
+                let exe = std::env::current_exe().map_err(|err| {
+                    distributed(format!("cannot resolve the current executable: {err}"))
+                })?;
+                Command::new(exe)
+            }
+        };
+        command
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .env(WORKER_MODE_ENV, "1")
+            .env(WORKER_ID_ENV, slot.to_string())
+            // Worker obs artifacts get a per-worker suffix so a merged
+            // artifact directory stays collision-free (satellite: the
+            // obs crate reads MLS_OBS_TAG).
+            .env("MLS_OBS_TAG", format!("worker-{slot}"));
+        // Chaos is injected into worker 0's first incarnation only; every
+        // other process must not inherit the directive from our own env.
+        if incarnation == 0 && slot == 0 {
+            if let Some(directive) = &self.config.chaos {
+                command.env(CHAOS_ENV, directive);
+            } else {
+                command.env_remove(CHAOS_ENV);
+            }
+        } else {
+            command.env_remove(CHAOS_ENV);
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|err| distributed(format!("failed to spawn worker {slot}: {err}")))?;
+        let stdout = child
+            .stdout
+            .take()
+            .ok_or_else(|| distributed("worker stdout pipe missing"))?;
+        let mut stdin = child
+            .stdin
+            .take()
+            .ok_or_else(|| distributed("worker stdin pipe missing"))?;
+
+        // Reader thread: frames → events, EOF → Gone. The thread owns the
+        // pipe and dies with it; stale incarnations are filtered by the
+        // event loop via the incarnation tag.
+        let tx = events.clone();
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            loop {
+                match protocol::read_frame(&mut reader) {
+                    Ok(Some(frame)) => {
+                        if tx
+                            .send(Event::Frame {
+                                slot,
+                                incarnation,
+                                frame,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send(Event::Gone { slot, incarnation });
+                        return;
+                    }
+                }
+            }
+        });
+
+        let recorder = serde_json::to_value(&self.runner.recorder_config());
+        let init = protocol::init_message(
+            slot,
+            self.threads_per_worker(),
+            self.campaign.as_ref().map(|(json, _)| json.as_str()),
+            self.campaign.as_ref().map(|&(_, hash)| hash),
+            &recorder,
+        );
+        protocol::write_frame(&mut stdin, &init)
+            .map_err(|err| distributed(format!("failed to init worker {slot}: {err}")))?;
+        mls_obs::counter("mls_fabric_workers_spawned_total").inc();
+        mls_obs::event(
+            "fabric_worker_spawned",
+            &[
+                ("worker", FieldValue::U64(slot as u64)),
+                ("incarnation", FieldValue::U64(incarnation as u64)),
+            ],
+        );
+        Ok(WorkerProcess { child, stdin })
+    }
+}
+
+/// The live state of one dispatch event loop.
+struct EventLoop {
+    events: Receiver<Event>,
+    events_tx: Sender<Event>,
+    health: Vec<WorkerHealth>,
+    processes: Vec<Option<WorkerProcess>>,
+    pending: VecDeque<usize>,
+    payloads: Vec<Option<Payload>>,
+    completed: usize,
+}
+
+impl EventLoop {
+    fn start(session: &Session<'_>) -> Result<Self, CampaignError> {
+        let (events_tx, events) = mpsc::channel();
+        let now = Instant::now();
+        let mut health = Vec::with_capacity(session.config.workers);
+        let mut processes = Vec::with_capacity(session.config.workers);
+        for slot in 0..session.config.workers {
+            health.push(WorkerHealth::spawned(slot, now));
+            processes.push(Some(session.spawn_worker(slot, 0, &events_tx)?));
+        }
+        Ok(Self {
+            events,
+            events_tx,
+            health,
+            processes,
+            pending: (0..session.leases.len()).collect(),
+            payloads: session.leases.iter().map(|_| None).collect(),
+            completed: 0,
+        })
+    }
+
+    fn drive(&mut self, session: &Session<'_>) -> Result<Vec<Option<Payload>>, CampaignError> {
+        let total = session.leases.len();
+        while self.completed < total {
+            self.assign(session);
+            match self.events.recv_timeout(Duration::from_millis(50)) {
+                Ok(event) => self.handle(session, event)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(distributed("dispatcher event channel closed unexpectedly"))
+                }
+            }
+            self.reap_timeouts(session)?;
+        }
+        Ok(std::mem::take(&mut self.payloads))
+    }
+
+    /// Hands pending leases to workers with capacity, round-robin over
+    /// slots so the queue spreads evenly.
+    fn assign(&mut self, session: &Session<'_>) {
+        for slot in 0..self.health.len() {
+            while !self.pending.is_empty()
+                && self.health[slot].can_lease(session.config.max_inflight)
+            {
+                let job = self.pending.pop_front().expect("checked non-empty");
+                let frame = match &session.leases[job] {
+                    Lease::Cell { cell, start, end } => {
+                        protocol::cell_lease(job, *cell, *start, *end)
+                    }
+                    Lease::Probe { spec_json } => protocol::probe_lease(job, spec_json),
+                };
+                let wrote = self.processes[slot]
+                    .as_mut()
+                    .map(|process| protocol::write_frame(&mut process.stdin, &frame).is_ok())
+                    .unwrap_or(false);
+                if wrote {
+                    self.health[slot].lease(job);
+                    mls_obs::counter("mls_fabric_leases_issued_total").inc();
+                } else {
+                    // Broken pipe: give the job back and bury the worker.
+                    self.pending.push_front(job);
+                    self.bury(session, slot);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, session: &Session<'_>, event: Event) -> Result<(), CampaignError> {
+        let now = Instant::now();
+        match event {
+            Event::Gone { slot, incarnation } => {
+                if incarnation == self.health[slot].incarnation
+                    && self.health[slot].phase != WorkerPhase::Dead
+                {
+                    self.bury(session, slot);
+                }
+                Ok(())
+            }
+            Event::Frame {
+                slot,
+                incarnation,
+                frame,
+            } => {
+                if !self.health[slot].observe(incarnation, now) {
+                    return Ok(()); // stale incarnation
+                }
+                match protocol::message_type(&frame) {
+                    Some("ready") => {
+                        let expected = session.campaign.as_ref().map(|&(_, hash)| hash);
+                        protocol::validate_ready(&frame, expected).map_err(distributed)?;
+                        self.health[slot].ready();
+                        Ok(())
+                    }
+                    Some("heartbeat") => {
+                        // observe() already refreshed last_seen.
+                        Ok(())
+                    }
+                    Some("result") => self.record_result(slot, &frame),
+                    Some("error") => {
+                        let reason = frame
+                            .get("reason")
+                            .and_then(Value::as_str)
+                            .unwrap_or("unspecified worker error");
+                        Err(distributed(format!("worker {slot} failed: {reason}")))
+                    }
+                    _ => Ok(()), // forward-compatible: ignore unknown frames
+                }
+            }
+        }
+    }
+
+    fn record_result(&mut self, slot: usize, frame: &Value) -> Result<(), CampaignError> {
+        let job = protocol::require_u64(frame, "job").map_err(distributed)? as usize;
+        if job >= self.payloads.len() {
+            return Err(distributed(format!(
+                "worker {slot} reported unknown job {job}"
+            )));
+        }
+        self.health[slot].complete(job);
+        if self.payloads[job].is_some() {
+            // A lease that was reassigned after a presumed death, then
+            // completed twice. Whole jobs are deterministic, so the
+            // payloads are identical — keep the first, count the event.
+            mls_obs::counter("mls_fabric_duplicate_results_total").inc();
+            return Ok(());
+        }
+        let payload = match frame.get("kind").and_then(Value::as_str) {
+            Some("cell") => {
+                let Some(Value::Array(raw_slots)) = frame.get("slots") else {
+                    return Err(distributed("cell result frame is missing its slots"));
+                };
+                Payload::Slots(
+                    raw_slots
+                        .iter()
+                        .map(wire::slot_from_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            Some("probe") => {
+                Payload::Outcomes(protocol::decode_probe_outcomes(frame).map_err(distributed)?)
+            }
+            other => {
+                return Err(distributed(format!("unknown result kind {other:?}")));
+            }
+        };
+        self.payloads[job] = Some(payload);
+        self.completed += 1;
+        mls_obs::counter(&format!("mls_fabric_worker_{slot}_jobs_completed_total")).inc();
+        Ok(())
+    }
+
+    /// Declares heartbeat-silent workers dead.
+    fn reap_timeouts(&mut self, session: &Session<'_>) -> Result<(), CampaignError> {
+        let now = Instant::now();
+        for slot in 0..self.health.len() {
+            if self.health[slot].timed_out(now, session.config.heartbeat_timeout) {
+                let gap = now.duration_since(self.health[slot].last_seen);
+                mls_obs::histogram("mls_fabric_heartbeat_gap_seconds", mls_obs::SECONDS_BUCKETS)
+                    .observe(gap.as_secs_f64());
+                self.bury(session, slot);
+            }
+        }
+        // Liveness: at least one slot must be able to finish the queue.
+        let all_dead = self
+            .health
+            .iter()
+            .all(|worker| worker.phase == WorkerPhase::Dead);
+        if all_dead && self.completed < self.payloads.len() {
+            return Err(distributed(
+                "all fabric workers are dead and the respawn budget is spent",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Kills a worker slot: requeues its leases at the queue front (in
+    /// ascending job order) and respawns it when budget remains.
+    fn bury(&mut self, session: &Session<'_>, slot: usize) {
+        let orphaned = self.health[slot].fail();
+        if let Some(mut process) = self.processes[slot].take() {
+            let _ = process.child.kill();
+            let _ = process.child.wait();
+        }
+        if !orphaned.is_empty() {
+            mls_obs::counter("mls_fabric_lease_reassignments_total").add(orphaned.len() as u64);
+        }
+        for job in orphaned.into_iter().rev() {
+            self.pending.push_front(job);
+        }
+        mls_obs::event(
+            "fabric_worker_dead",
+            &[
+                ("worker", FieldValue::U64(slot as u64)),
+                (
+                    "incarnation",
+                    FieldValue::U64(self.health[slot].incarnation as u64),
+                ),
+            ],
+        );
+        if self.health[slot].can_respawn(session.config.respawn_budget) {
+            self.health[slot].respawn(Instant::now());
+            mls_obs::counter("mls_fabric_worker_respawns_total").inc();
+            match session.spawn_worker(slot, self.health[slot].incarnation, &self.events_tx) {
+                Ok(process) => self.processes[slot] = Some(process),
+                Err(_) => {
+                    // Spawn failed: retire the slot for good.
+                    self.health[slot].fail();
+                }
+            }
+        }
+    }
+
+    /// Tears the pool down. On a clean finish workers get a shutdown
+    /// frame and are waited for (they flush obs artifacts on the way
+    /// out); on an abort they are killed.
+    fn shutdown(&mut self, clean: bool) {
+        for mut process in self.processes.iter_mut().filter_map(Option::take) {
+            if clean {
+                let _ = protocol::write_frame(&mut process.stdin, &protocol::shutdown_message());
+                drop(process.stdin); // EOF backstop for pre-handshake workers
+                let _ = process.child.wait();
+            } else {
+                let _ = process.child.kill();
+                let _ = process.child.wait();
+            }
+        }
+    }
+}

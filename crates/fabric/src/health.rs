@@ -1,0 +1,194 @@
+//! Worker health and lease bookkeeping — the dispatcher's failover state
+//! machine, kept free of process and I/O concerns so every transition is
+//! unit-testable.
+//!
+//! Each worker *slot* (a stable index `0..workers`) runs through
+//! incarnations: spawn → ready → (dead → respawn)* until its retry budget
+//! is spent. Leases are tracked per slot; when a slot dies its outstanding
+//! leases are returned in ascending job order and must be requeued at the
+//! *front* of the pending queue, so a crash-and-retry schedule completes
+//! the same job set — and therefore the same report — as an undisturbed
+//! run.
+
+use std::time::{Duration, Instant};
+
+/// Lifecycle of one worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerPhase {
+    /// Process spawned, `ready` frame not yet seen.
+    Spawning,
+    /// Handshake complete; the slot accepts leases.
+    Ready,
+    /// Process dead (EOF, heartbeat timeout or kill); awaiting respawn or
+    /// retirement.
+    Dead,
+}
+
+/// Dispatcher-side view of one worker slot.
+#[derive(Debug)]
+pub struct WorkerHealth {
+    /// Stable slot index.
+    pub slot: usize,
+    /// Incarnation counter: 0 for the first spawn, +1 per respawn. Events
+    /// from a previous incarnation's reader thread are discarded by
+    /// comparing against this.
+    pub incarnation: usize,
+    /// Current lifecycle phase.
+    pub phase: WorkerPhase,
+    /// Last frame (any type) seen from the live incarnation.
+    pub last_seen: Instant,
+    /// Outstanding lease job ids, in assignment order.
+    pub inflight: Vec<usize>,
+    /// Respawns consumed so far.
+    pub respawns: usize,
+}
+
+impl WorkerHealth {
+    /// A freshly spawned slot.
+    pub fn spawned(slot: usize, now: Instant) -> Self {
+        Self {
+            slot,
+            incarnation: 0,
+            phase: WorkerPhase::Spawning,
+            last_seen: now,
+            inflight: Vec::new(),
+            respawns: 0,
+        }
+    }
+
+    /// Records a frame from incarnation `incarnation`; returns `false`
+    /// (and changes nothing) when the frame is stale — from a reader
+    /// thread of an already-replaced incarnation.
+    pub fn observe(&mut self, incarnation: usize, now: Instant) -> bool {
+        if incarnation != self.incarnation || self.phase == WorkerPhase::Dead {
+            return false;
+        }
+        self.last_seen = now;
+        true
+    }
+
+    /// Marks the handshake complete.
+    pub fn ready(&mut self) {
+        if self.phase == WorkerPhase::Spawning {
+            self.phase = WorkerPhase::Ready;
+        }
+    }
+
+    /// Whether the slot has missed its heartbeat window.
+    pub fn timed_out(&self, now: Instant, timeout: Duration) -> bool {
+        self.phase != WorkerPhase::Dead && now.duration_since(self.last_seen) > timeout
+    }
+
+    /// Whether the slot can take another lease.
+    pub fn can_lease(&self, max_inflight: usize) -> bool {
+        self.phase == WorkerPhase::Ready && self.inflight.len() < max_inflight
+    }
+
+    /// Records a lease assignment.
+    pub fn lease(&mut self, job: usize) {
+        self.inflight.push(job);
+    }
+
+    /// Records a completed (or aborted) job, returning whether this slot
+    /// actually held the lease — a duplicate completion from a reassigned
+    /// lease returns `false` on the slot that no longer holds it.
+    pub fn complete(&mut self, job: usize) -> bool {
+        match self.inflight.iter().position(|&held| held == job) {
+            Some(index) => {
+                self.inflight.remove(index);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Kills the incarnation: marks the slot dead and drains its
+    /// outstanding leases in ascending job order (the order they must
+    /// rejoin the front of the pending queue in).
+    pub fn fail(&mut self) -> Vec<usize> {
+        self.phase = WorkerPhase::Dead;
+        let mut orphaned = std::mem::take(&mut self.inflight);
+        orphaned.sort_unstable();
+        orphaned
+    }
+
+    /// Whether the slot may be respawned under `budget` retries.
+    pub fn can_respawn(&self, budget: usize) -> bool {
+        self.phase == WorkerPhase::Dead && self.respawns < budget
+    }
+
+    /// Starts the next incarnation.
+    pub fn respawn(&mut self, now: Instant) {
+        debug_assert_eq!(self.phase, WorkerPhase::Dead);
+        self.incarnation += 1;
+        self.respawns += 1;
+        self.phase = WorkerPhase::Spawning;
+        self.last_seen = now;
+        self.inflight.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_lifecycle_counts_inflight() {
+        let now = Instant::now();
+        let mut worker = WorkerHealth::spawned(0, now);
+        assert!(!worker.can_lease(2), "spawning slots take no leases");
+        worker.ready();
+        assert!(worker.can_lease(2));
+        worker.lease(4);
+        worker.lease(9);
+        assert!(!worker.can_lease(2), "bounded in-flight leases");
+        assert!(worker.complete(4));
+        assert!(!worker.complete(4), "double completion is flagged");
+        assert!(worker.can_lease(2));
+    }
+
+    #[test]
+    fn death_orphans_leases_in_job_order() {
+        let now = Instant::now();
+        let mut worker = WorkerHealth::spawned(3, now);
+        worker.ready();
+        worker.lease(9);
+        worker.lease(2);
+        worker.lease(5);
+        assert_eq!(worker.fail(), vec![2, 5, 9]);
+        assert_eq!(worker.phase, WorkerPhase::Dead);
+        assert!(worker.can_respawn(1));
+        worker.respawn(now);
+        assert_eq!(worker.incarnation, 1);
+        assert!(!worker.can_respawn(1), "budget of one is spent");
+    }
+
+    #[test]
+    fn stale_incarnation_frames_are_ignored() {
+        let now = Instant::now();
+        let mut worker = WorkerHealth::spawned(0, now);
+        worker.ready();
+        worker.fail();
+        worker.respawn(now);
+        assert!(
+            !worker.observe(0, now),
+            "frames from incarnation 0 are stale"
+        );
+        assert!(worker.observe(1, now));
+    }
+
+    #[test]
+    fn heartbeat_timeout_is_detected() {
+        let now = Instant::now();
+        let mut worker = WorkerHealth::spawned(0, now);
+        worker.ready();
+        let timeout = Duration::from_millis(100);
+        assert!(!worker.timed_out(now, timeout));
+        assert!(worker.timed_out(now + Duration::from_millis(150), timeout));
+        worker.fail();
+        assert!(
+            !worker.timed_out(now + Duration::from_secs(60), timeout),
+            "dead slots stop timing out"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! mls-fabric: a multi-process campaign fabric.
+//!
+//! Shards [`mls_campaign`] campaigns (and batched falsification probe
+//! generations) over worker processes spawned from the same binary,
+//! speaking a versioned length-delimited JSONL protocol over
+//! stdin/stdout pipes. The dispatcher leases whole cells (or probes) to
+//! workers, tracks their health through heartbeats, reassigns orphaned
+//! leases deterministically when a worker dies, and merges results
+//! through [`mls_campaign::CampaignRunner::assemble_report`] — producing
+//! a [`mls_campaign::CampaignReport`], trace files and falsification
+//! results **byte-identical** to a single-process run at any worker
+//! count, including crash-and-retry schedules.
+//!
+//! ## Wiring it up
+//!
+//! ```no_run
+//! mls_fabric::install(); // register the backend once per process
+//! let report = mls_campaign::CampaignRunner::new(4)
+//!     .with_transport(mls_campaign::Transport::Fabric { workers: 2 })
+//!     .run(&mls_campaign::CampaignSpec::smoke())
+//!     .unwrap();
+//! # let _ = report;
+//! ```
+//!
+//! Binaries that spawn workers by re-executing themselves must call
+//! [`maybe_worker`] first thing in `main`; alternatively point the
+//! dispatcher at the dedicated `mls-fabric-worker` binary via
+//! [`set_worker_command`] or `MLS_FABRIC_WORKER_BIN`.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use mls_campaign::{
+    CampaignError, CampaignReport, CampaignRunner, CampaignSpec, DistributedBackend, ProbeRate,
+};
+use mls_sim_world::Scenario;
+use std::sync::Arc;
+
+pub mod dispatcher;
+pub mod health;
+pub mod protocol;
+pub mod worker;
+
+pub use dispatcher::DispatcherConfig;
+pub use protocol::PROTOCOL_VERSION;
+
+/// The fabric backend the campaign runner dispatches to when its
+/// transport is [`mls_campaign::Transport::Fabric`].
+pub struct FabricBackend;
+
+impl DistributedBackend for FabricBackend {
+    fn run_campaign(
+        &self,
+        runner: &CampaignRunner,
+        workers: usize,
+        spec: &CampaignSpec,
+        suites: &[Arc<Vec<Scenario>>],
+    ) -> Result<CampaignReport, CampaignError> {
+        dispatcher::run_campaign(runner, workers, spec, suites)
+    }
+
+    fn run_probes(
+        &self,
+        runner: &CampaignRunner,
+        workers: usize,
+        specs: &[CampaignSpec],
+        scenarios: &Arc<Vec<Scenario>>,
+    ) -> Result<Vec<ProbeRate>, CampaignError> {
+        dispatcher::run_probes(runner, workers, specs, scenarios)
+    }
+}
+
+/// Registers the fabric as the process-wide distributed backend.
+/// Idempotent; returns `false` when a backend was already installed.
+pub fn install() -> bool {
+    mls_campaign::transport::install_backend(Box::new(FabricBackend))
+}
+
+/// Runs the worker frame loop over stdio and exits — but only when the
+/// process was spawned in worker mode (`MLS_FABRIC_WORKER=1`). Binaries
+/// that let the dispatcher re-execute them must call this first thing in
+/// `main`, before any argument parsing or output.
+pub fn maybe_worker() {
+    if std::env::var(dispatcher::WORKER_MODE_ENV).as_deref() != Ok("1") {
+        return;
+    }
+    std::process::exit(run_worker_stdio());
+}
+
+/// Runs the worker frame loop over this process's stdin/stdout and
+/// returns the exit code (the `mls-fabric-worker` binary's `main`).
+pub fn run_worker_stdio() -> i32 {
+    let chaos = std::env::var(dispatcher::CHAOS_ENV)
+        .ok()
+        .and_then(|directive| worker::parse_chaos(&directive));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    worker::run(stdin.lock(), stdout, chaos)
+}
+
+/// Process-wide dispatcher overrides, installed by tests and harnesses
+/// before building a [`DispatcherConfig`].
+struct Overrides {
+    worker_command: Option<PathBuf>,
+    chaos: Option<String>,
+}
+
+static OVERRIDES: Mutex<Overrides> = Mutex::new(Overrides {
+    worker_command: None,
+    chaos: None,
+});
+
+/// Pins the worker executable every subsequent dispatcher spawn uses
+/// (tests point this at the `mls-fabric-worker` test binary). `None`
+/// restores the default resolution (env var, then current executable).
+pub fn set_worker_command(path: Option<PathBuf>) {
+    OVERRIDES.lock().expect("overrides poisoned").worker_command = path;
+}
+
+/// Installs a chaos directive (e.g. `exit-after=1`) injected into worker
+/// 0's first incarnation of every subsequent dispatch. `None` clears it.
+pub fn set_chaos(directive: Option<String>) {
+    OVERRIDES.lock().expect("overrides poisoned").chaos = directive;
+}
+
+pub(crate) fn worker_command_override() -> Option<PathBuf> {
+    OVERRIDES
+        .lock()
+        .expect("overrides poisoned")
+        .worker_command
+        .clone()
+}
+
+pub(crate) fn chaos_override() -> Option<String> {
+    OVERRIDES.lock().expect("overrides poisoned").chaos.clone()
+}

@@ -1,0 +1,377 @@
+//! The versioned, length-delimited JSONL frame protocol between the
+//! dispatcher and its workers.
+//!
+//! Every message is one *frame* on a byte stream (worker stdin/stdout
+//! pipes): an ASCII header line `MLSF <len>\n`, exactly `len` bytes of
+//! JSON, and a trailing newline. The explicit length makes truncation
+//! detectable — a worker dying mid-frame surfaces as a clean
+//! [`std::io::ErrorKind::UnexpectedEof`] on the reader, never as a parse
+//! of half a message or a hang — and the JSON body keeps the protocol
+//! inspectable with a pipe and `jq`.
+//!
+//! Message flow (all frames carry a `"type"` field):
+//!
+//! | direction          | type        | purpose                                            |
+//! |--------------------|-------------|----------------------------------------------------|
+//! | dispatcher→worker  | `init`      | pins protocol version, worker id, threads, campaign spec + config hash, recorder sizing |
+//! | worker→dispatcher  | `ready`     | echoes protocol version + the worker's recomputed config hash |
+//! | dispatcher→worker  | `lease`     | one job: a whole-cell/range lease or an inline probe spec |
+//! | worker→dispatcher  | `result`    | the lease's mission slots (bit-exact wire records) or probe outcomes |
+//! | worker→dispatcher  | `heartbeat` | liveness; absence beyond the timeout marks the worker dead |
+//! | worker→dispatcher  | `error`     | a job or handshake failure, with a human-readable reason |
+//! | dispatcher→worker  | `shutdown`  | drain and exit 0                                   |
+//!
+//! Mission results ride as the bit-exact wire encoding of
+//! [`mls_campaign::wire`] (floats as IEEE-754 bit patterns), which is what
+//! lets the dispatcher's aggregation reproduce the in-process report byte
+//! for byte.
+
+use std::io::{self, BufRead, Write};
+
+use serde_json::{Number, Value};
+
+/// Protocol revision; pinned by the `init`/`ready` handshake. A worker
+/// built from a different protocol revision refuses leases with a clean
+/// error instead of mis-parsing frames.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Frame header magic.
+pub const FRAME_MAGIC: &str = "MLSF";
+
+/// Upper bound on one frame's body, bytes (a whole-cell result with
+/// captured traces stays far below this; the cap turns a corrupted length
+/// header into an error instead of an allocation storm).
+pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
+/// Writes one frame and flushes the stream.
+///
+/// # Errors
+///
+/// Propagates stream write errors; serialization failures surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn write_frame(writer: &mut impl Write, message: &Value) -> io::Result<()> {
+    let body = serde_json::to_string(message)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+    writeln!(writer, "{FRAME_MAGIC} {}", body.len())?;
+    writer.write_all(body.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end of stream (the peer
+/// closed the pipe *between* frames); a stream that ends inside a frame is
+/// an [`io::ErrorKind::UnexpectedEof`] error, and a malformed header or
+/// body is [`io::ErrorKind::InvalidData`].
+///
+/// # Errors
+///
+/// See above — truncation and corruption are errors, never silent.
+pub fn read_frame(reader: &mut impl BufRead) -> io::Result<Option<Value>> {
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let bad_header = || {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame header {header:?}"),
+        )
+    };
+    let rest = header
+        .trim_end_matches('\n')
+        .strip_prefix(FRAME_MAGIC)
+        .ok_or_else(bad_header)?;
+    let len: usize = rest.trim().parse().map_err(|_| bad_header())?;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN} byte cap"),
+        ));
+    }
+    // Body plus the trailing newline; read_exact turns a peer dying
+    // mid-frame into UnexpectedEof.
+    let mut body = vec![0u8; len + 1];
+    reader.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body[..len])
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+    serde_json::parse(text)
+        .map(Some)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+}
+
+/// Builds a JSON object from key/value pairs (insertion order preserved).
+pub fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(key, value)| (key.to_string(), value))
+            .collect(),
+    )
+}
+
+/// A `u64` JSON number.
+pub fn uint(value: u64) -> Value {
+    Value::Number(Number::PosInt(value))
+}
+
+/// The frame's `"type"` field.
+pub fn message_type(message: &Value) -> Option<&str> {
+    message.get("type").and_then(Value::as_str)
+}
+
+/// A required `u64` field.
+///
+/// # Errors
+///
+/// Returns a description of the missing field.
+pub fn require_u64(message: &Value, key: &str) -> Result<u64, String> {
+    message
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("frame is missing u64 field '{key}'"))
+}
+
+/// A required string field.
+///
+/// # Errors
+///
+/// Returns a description of the missing field.
+pub fn require_str<'a>(message: &'a Value, key: &str) -> Result<&'a str, String> {
+    message
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("frame is missing string field '{key}'"))
+}
+
+/// The dispatcher's `init` frame.
+pub fn init_message(
+    worker: usize,
+    threads: usize,
+    spec_json: Option<&str>,
+    config_hash: Option<u64>,
+    recorder: &Value,
+) -> Value {
+    object(vec![
+        ("type", Value::String("init".to_string())),
+        ("protocol", uint(PROTOCOL_VERSION)),
+        ("worker", uint(worker as u64)),
+        ("threads", uint(threads as u64)),
+        (
+            "spec",
+            spec_json.map_or(Value::Null, |json| Value::String(json.to_string())),
+        ),
+        ("config_hash", config_hash.map_or(Value::Null, uint)),
+        ("recorder", recorder.clone()),
+    ])
+}
+
+/// The worker's `ready` response.
+pub fn ready_message(worker: usize, config_hash: u64) -> Value {
+    object(vec![
+        ("type", Value::String("ready".to_string())),
+        ("protocol", uint(PROTOCOL_VERSION)),
+        ("worker", uint(worker as u64)),
+        ("config_hash", uint(config_hash)),
+    ])
+}
+
+/// A whole-cell (or range) campaign lease.
+pub fn cell_lease(job: usize, cell: usize, start: usize, end: usize) -> Value {
+    object(vec![
+        ("type", Value::String("lease".to_string())),
+        ("kind", Value::String("cell".to_string())),
+        ("job", uint(job as u64)),
+        ("cell", uint(cell as u64)),
+        ("start", uint(start as u64)),
+        ("end", uint(end as u64)),
+    ])
+}
+
+/// A probe lease carrying its single-cell spec inline.
+pub fn probe_lease(job: usize, spec_json: &str) -> Value {
+    object(vec![
+        ("type", Value::String("lease".to_string())),
+        ("kind", Value::String("probe".to_string())),
+        ("job", uint(job as u64)),
+        ("spec", Value::String(spec_json.to_string())),
+    ])
+}
+
+/// A cell-lease result: the lease's mission slots in job order.
+pub fn cell_result(job: usize, slots: Vec<Value>) -> Value {
+    object(vec![
+        ("type", Value::String("result".to_string())),
+        ("kind", Value::String("cell".to_string())),
+        ("job", uint(job as u64)),
+        ("slots", Value::Array(slots)),
+    ])
+}
+
+/// A probe-lease result: outcome codes in job order (0 = skipped,
+/// 1 = failure, 2 = success).
+pub fn probe_result(job: usize, outcomes: &[Option<bool>]) -> Value {
+    let codes = outcomes
+        .iter()
+        .map(|outcome| match outcome {
+            None => uint(0),
+            Some(false) => uint(1),
+            Some(true) => uint(2),
+        })
+        .collect();
+    object(vec![
+        ("type", Value::String("result".to_string())),
+        ("kind", Value::String("probe".to_string())),
+        ("job", uint(job as u64)),
+        ("outcomes", Value::Array(codes)),
+    ])
+}
+
+/// Decodes a probe result's outcome codes.
+///
+/// # Errors
+///
+/// Returns a description of the malformed field.
+pub fn decode_probe_outcomes(message: &Value) -> Result<Vec<Option<bool>>, String> {
+    let Some(Value::Array(codes)) = message.get("outcomes") else {
+        return Err("probe result is missing its outcomes array".to_string());
+    };
+    codes
+        .iter()
+        .map(|code| match code.as_u64() {
+            Some(0) => Ok(None),
+            Some(1) => Ok(Some(false)),
+            Some(2) => Ok(Some(true)),
+            other => Err(format!("unknown probe outcome code {other:?}")),
+        })
+        .collect()
+}
+
+/// A worker heartbeat.
+pub fn heartbeat_message(worker: usize) -> Value {
+    object(vec![
+        ("type", Value::String("heartbeat".to_string())),
+        ("worker", uint(worker as u64)),
+    ])
+}
+
+/// A worker-side failure (handshake or job).
+pub fn error_message(job: Option<usize>, reason: &str) -> Value {
+    object(vec![
+        ("type", Value::String("error".to_string())),
+        (
+            "job",
+            job.map(|job| uint(job as u64)).unwrap_or(Value::Null),
+        ),
+        ("reason", Value::String(reason.to_string())),
+    ])
+}
+
+/// The dispatcher's shutdown frame.
+pub fn shutdown_message() -> Value {
+    object(vec![("type", Value::String("shutdown".to_string()))])
+}
+
+/// Validates a worker's `ready` frame against the dispatcher's protocol
+/// version and expected config hash (None for probe sessions, which pin
+/// hashes per lease).
+///
+/// # Errors
+///
+/// Returns the handshake violation, human-readable.
+pub fn validate_ready(message: &Value, expected_hash: Option<u64>) -> Result<(), String> {
+    if message_type(message) != Some("ready") {
+        return Err(format!(
+            "expected a ready frame, got {:?}",
+            message_type(message)
+        ));
+    }
+    let protocol = require_u64(message, "protocol")?;
+    if protocol != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version mismatch: dispatcher speaks {PROTOCOL_VERSION}, worker speaks {protocol}"
+        ));
+    }
+    if let Some(expected) = expected_hash {
+        let echoed = require_u64(message, "config_hash")?;
+        if echoed != expected {
+            return Err(format!(
+                "config hash mismatch: dispatcher pinned {expected:#x}, worker recomputed {echoed:#x}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_round_trip() {
+        let message = cell_lease(7, 2, 0, 48);
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, &message).unwrap();
+        write_frame(&mut buffer, &heartbeat_message(1)).unwrap();
+        let mut reader = BufReader::new(buffer.as_slice());
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(message));
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(heartbeat_message(1)));
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, &shutdown_message()).unwrap();
+        buffer.truncate(buffer.len() - 5); // the peer died mid-frame
+        let mut reader = BufReader::new(buffer.as_slice());
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupt_header_is_invalid_data() {
+        let mut reader = BufReader::new(&b"NOPE 12\n{}\n"[..]);
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let mut reader = BufReader::new(&b"MLSF quinoa\n"[..]);
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let huge = format!("MLSF {}\n", MAX_FRAME_LEN + 1);
+        let mut reader = BufReader::new(huge.as_bytes());
+        let err = read_frame(&mut reader).unwrap_err();
+        assert!(err.to_string().contains("cap"));
+    }
+
+    #[test]
+    fn ready_handshake_pins_version_and_hash() {
+        let good = ready_message(0, 0xfeed);
+        assert!(validate_ready(&good, Some(0xfeed)).is_ok());
+        assert!(validate_ready(&good, None).is_ok());
+
+        let hash_mismatch = validate_ready(&good, Some(0xbeef)).unwrap_err();
+        assert!(hash_mismatch.contains("config hash mismatch"));
+
+        let mut stale = ready_message(0, 0xfeed);
+        if let Value::Object(fields) = &mut stale {
+            for (key, value) in fields.iter_mut() {
+                if key == "protocol" {
+                    *value = uint(PROTOCOL_VERSION + 1);
+                }
+            }
+        }
+        let version_mismatch = validate_ready(&stale, Some(0xfeed)).unwrap_err();
+        assert!(version_mismatch.contains("protocol version mismatch"));
+    }
+
+    #[test]
+    fn probe_outcomes_round_trip() {
+        let outcomes = vec![Some(true), Some(false), None, Some(true)];
+        let message = probe_result(3, &outcomes);
+        assert_eq!(decode_probe_outcomes(&message).unwrap(), outcomes);
+        assert_eq!(require_u64(&message, "job").unwrap(), 3);
+    }
+}

@@ -1,0 +1,296 @@
+//! The worker side of the fabric: a frame loop over stdin/stdout.
+//!
+//! A worker process is the *same binary* as the dispatcher (the dedicated
+//! `mls-fabric-worker` bin, or any binary that calls
+//! [`crate::maybe_worker`] first thing in `main`). It speaks only frames
+//! on stdout — missions must never print there — flies leases on its own
+//! in-process executor pool, and ships results back in the bit-exact wire
+//! encoding. A heartbeat thread writes liveness frames so the dispatcher
+//! can distinguish "busy flying a long mission" from "dead".
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use mls_campaign::{wire, CampaignRunner, CampaignSpec};
+use mls_sim_world::Scenario;
+use serde_json::Value;
+
+use crate::protocol::{self, PROTOCOL_VERSION};
+
+/// Heartbeat period. The dispatcher's timeout must be a comfortable
+/// multiple of this.
+pub const HEARTBEAT_PERIOD: Duration = Duration::from_millis(200);
+
+/// Exit code of a chaos-scheduled crash (see [`parse_chaos`]).
+pub const CHAOS_EXIT_CODE: i32 = 86;
+
+/// Parses an `MLS_FABRIC_CHAOS` directive. The only directive today is
+/// `exit-after=N`: the worker processes N leases normally, then dies
+/// (hard `process::exit`, no result, mid-protocol) on receiving the next
+/// one — a deterministic stand-in for `kill -9` that makes the failover
+/// path testable without real signals. Unknown directives are ignored.
+pub fn parse_chaos(directive: &str) -> Option<usize> {
+    directive
+        .trim()
+        .strip_prefix("exit-after=")
+        .and_then(|count| count.parse().ok())
+}
+
+/// Everything the frame loop needs about one accepted `init`.
+struct Session {
+    worker: usize,
+    runner: CampaignRunner,
+    /// The pinned campaign, when this is a campaign session: (spec,
+    /// per-family suites regenerated locally from the spec).
+    campaign: Option<(CampaignSpec, Vec<Arc<Vec<Scenario>>>)>,
+}
+
+/// Validates the dispatcher's `init` frame and builds the session.
+fn accept_init(frame: &Value) -> Result<(Session, Value), String> {
+    if protocol::message_type(frame) != Some("init") {
+        return Err(format!(
+            "expected an init frame, got {:?}",
+            protocol::message_type(frame)
+        ));
+    }
+    let protocol_version = protocol::require_u64(frame, "protocol")?;
+    if protocol_version != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version mismatch: dispatcher speaks {protocol_version}, worker speaks {PROTOCOL_VERSION}"
+        ));
+    }
+    let worker = protocol::require_u64(frame, "worker")? as usize;
+    let threads = (protocol::require_u64(frame, "threads")? as usize).max(1);
+    let recorder = frame
+        .get("recorder")
+        .ok_or_else(|| "init frame is missing the recorder sizing".to_string())
+        .and_then(|value| {
+            serde_json::from_value(value).map_err(|err| format!("bad recorder sizing: {err}"))
+        })?;
+    let runner = CampaignRunner::new(threads).with_recorder_config(recorder);
+    let campaign = match frame.get("spec") {
+        None | Some(Value::Null) => None,
+        Some(raw) => {
+            let json = raw.as_str().ok_or("init spec is not a string")?;
+            let spec = CampaignSpec::from_json(json).map_err(|err| err.to_string())?;
+            let pinned = protocol::require_u64(frame, "config_hash")?;
+            let computed = spec.config_hash().map_err(|err| err.to_string())?;
+            if computed != pinned {
+                return Err(format!(
+                    "config hash mismatch: dispatcher pinned {pinned:#x}, worker recomputed {computed:#x}"
+                ));
+            }
+            let suites = runner.suites_for(&spec).map_err(|err| err.to_string())?;
+            Some((spec, suites))
+        }
+    };
+    let hash = campaign
+        .as_ref()
+        .map(|(spec, _)| spec.config_hash().unwrap_or(0))
+        .unwrap_or(0);
+    let ready = protocol::ready_message(worker, hash);
+    Ok((
+        Session {
+            worker,
+            runner,
+            campaign,
+        },
+        ready,
+    ))
+}
+
+/// Processes one lease, returning the result frame.
+fn process_lease(session: &Session, frame: &Value) -> Result<Value, String> {
+    let job = protocol::require_u64(frame, "job")? as usize;
+    match protocol::require_str(frame, "kind")? {
+        "cell" => {
+            let (spec, suites) = session
+                .campaign
+                .as_ref()
+                .ok_or("cell lease on a session initialised without a campaign spec")?;
+            let cell = protocol::require_u64(frame, "cell")? as usize;
+            let start = protocol::require_u64(frame, "start")? as usize;
+            let end = protocol::require_u64(frame, "end")? as usize;
+            let slots = session
+                .runner
+                .fly_cell_range(spec, suites, cell, start, end)
+                .map_err(|err| err.to_string())?;
+            let wire_slots = slots
+                .iter()
+                .map(|slot| wire::slot_to_value(slot).map_err(|err| err.to_string()))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(protocol::cell_result(job, wire_slots))
+        }
+        "probe" => {
+            let spec = CampaignSpec::from_json(protocol::require_str(frame, "spec")?)
+                .map_err(|err| err.to_string())?;
+            let suite = session
+                .runner
+                .generate_scenarios(&spec)
+                .map_err(|err| err.to_string())?;
+            let outcomes = session
+                .runner
+                .fly_probe_outcomes(&spec, suite)
+                .map_err(|err| err.to_string())?;
+            Ok(protocol::probe_result(job, &outcomes))
+        }
+        other => Err(format!("unknown lease kind '{other}'")),
+    }
+}
+
+/// Runs the worker frame loop until shutdown or stream end, returning the
+/// process exit code. `chaos` is the parsed `exit-after=N` directive; the
+/// crash it schedules is a hard `process::exit`, so callers running this
+/// in-process (tests) must pass `None`.
+pub fn run<W>(mut input: impl BufRead, output: W, chaos: Option<usize>) -> i32
+where
+    W: Write + Send + 'static,
+{
+    let output = Arc::new(Mutex::new(output));
+    let send = |frame: &Value| -> bool {
+        let mut writer = output.lock().expect("worker stdout poisoned");
+        protocol::write_frame(&mut *writer, frame).is_ok()
+    };
+
+    // Handshake: the first frame must be init.
+    let first = match protocol::read_frame(&mut input) {
+        Ok(Some(frame)) => frame,
+        Ok(None) => return 0,
+        Err(_) => return 3,
+    };
+    let session = match accept_init(&first) {
+        Ok((session, ready)) => {
+            if !send(&ready) {
+                return 3;
+            }
+            session
+        }
+        Err(reason) => {
+            send(&protocol::error_message(None, &reason));
+            return 2;
+        }
+    };
+
+    // Liveness: heartbeats from a side thread, stopped on clean return so
+    // in-process callers do not leak writes into a dropped buffer.
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat_stop = stop.clone();
+    let beat_output = output.clone();
+    let beat_worker = session.worker;
+    let heartbeat = std::thread::spawn(move || {
+        while !beat_stop.load(Ordering::Relaxed) {
+            std::thread::sleep(HEARTBEAT_PERIOD);
+            if beat_stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let mut writer = beat_output.lock().expect("worker stdout poisoned");
+            if protocol::write_frame(&mut *writer, &protocol::heartbeat_message(beat_worker))
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+    let finish = |code: i32| -> i32 {
+        stop.store(true, Ordering::Relaxed);
+        let _ = heartbeat.join();
+        mls_obs::flush();
+        code
+    };
+
+    let mut leases_processed = 0usize;
+    loop {
+        let frame = match protocol::read_frame(&mut input) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return finish(0), // dispatcher closed the pipe
+            Err(_) => return finish(3),
+        };
+        match protocol::message_type(&frame) {
+            Some("lease") => {
+                if chaos == Some(leases_processed) {
+                    // Scheduled crash: no result, no goodbye — the
+                    // dispatcher sees EOF exactly as it would on kill -9.
+                    std::process::exit(CHAOS_EXIT_CODE);
+                }
+                let response = match process_lease(&session, &frame) {
+                    Ok(result) => result,
+                    Err(reason) => {
+                        let job = protocol::require_u64(&frame, "job")
+                            .ok()
+                            .map(|j| j as usize);
+                        protocol::error_message(job, &reason)
+                    }
+                };
+                leases_processed += 1;
+                if !send(&response) {
+                    return finish(3);
+                }
+            }
+            Some("shutdown") => return finish(0),
+            _ => {} // forward-compatible: unknown frames are ignored
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_trace::RecorderConfig;
+
+    fn init_frame(spec: Option<&CampaignSpec>, pinned_hash: Option<u64>) -> Value {
+        let recorder = serde_json::to_value(&RecorderConfig::default());
+        let json = spec.map(|spec| spec.to_json().unwrap());
+        protocol::init_message(0, 1, json.as_deref(), pinned_hash, &recorder)
+    }
+
+    #[test]
+    fn chaos_directives_parse() {
+        assert_eq!(parse_chaos("exit-after=3"), Some(3));
+        assert_eq!(parse_chaos(" exit-after=0 "), Some(0));
+        assert_eq!(parse_chaos("explode"), None);
+        assert_eq!(parse_chaos("exit-after=soon"), None);
+    }
+
+    #[test]
+    fn init_with_matching_hash_is_accepted() {
+        let spec = CampaignSpec::smoke();
+        let hash = spec.config_hash().unwrap();
+        let (session, ready) = accept_init(&init_frame(Some(&spec), Some(hash))).unwrap();
+        assert!(session.campaign.is_some());
+        protocol::validate_ready(&ready, Some(hash)).unwrap();
+    }
+
+    #[test]
+    fn init_with_drifted_hash_is_a_clean_error() {
+        let spec = CampaignSpec::smoke();
+        let Err(err) = accept_init(&init_frame(Some(&spec), Some(0xdead))) else {
+            panic!("drifted hash must be rejected");
+        };
+        assert!(err.contains("config hash mismatch"));
+    }
+
+    #[test]
+    fn init_with_wrong_protocol_version_is_rejected() {
+        let mut frame = init_frame(None, None);
+        if let Value::Object(fields) = &mut frame {
+            for (key, value) in fields.iter_mut() {
+                if key == "protocol" {
+                    *value = protocol::uint(PROTOCOL_VERSION + 7);
+                }
+            }
+        }
+        let Err(err) = accept_init(&frame) else {
+            panic!("stale protocol must be rejected");
+        };
+        assert!(err.contains("protocol version mismatch"));
+    }
+
+    #[test]
+    fn probe_sessions_need_no_spec() {
+        let (session, ready) = accept_init(&init_frame(None, None)).unwrap();
+        assert!(session.campaign.is_none());
+        protocol::validate_ready(&ready, None).unwrap();
+    }
+}

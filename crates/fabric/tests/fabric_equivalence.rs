@@ -1,0 +1,222 @@
+//! Distributed-vs-in-process equivalence: the fabric is a pure transport.
+//!
+//! Over a smoke-scale campaign with trace capture, the fabric must
+//! produce a byte-identical `CampaignReport` (pretty JSON) *and*
+//! byte-identical persisted trace files at every worker count — including
+//! a chaos schedule where worker 0 is killed mid-campaign (hard
+//! `process::exit` on its second lease, the deterministic stand-in for
+//! `kill -9`) and its leases are reassigned. A falsification search over
+//! a small fault space must likewise evaluate the identical probe
+//! sequence and find the identical failing point.
+//!
+//! Every fabric run writes into the *same* trace directory the in-process
+//! run used (snapshotted first, then wiped), so even the trace *paths*
+//! inside the report must match byte for byte.
+//!
+//! The tests share process-global fabric state (worker command, chaos
+//! directive, obs counters), so they serialise on a static mutex.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use mls_campaign::{
+    CampaignRunner, CampaignSpec, FalsificationConfig, FalsificationSearch, FaultAxis, FaultKind,
+    FaultPlan, FaultSpace, GridRefinementConfig, Searcher, Transport,
+};
+use mls_core::SystemVariant;
+use mls_trace::TracePolicy;
+
+static FABRIC_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises the test and points the dispatcher at the worker binary
+/// Cargo built for this test run.
+fn fabric_session() -> MutexGuard<'static, ()> {
+    let guard = FABRIC_LOCK.lock().unwrap_or_else(|err| err.into_inner());
+    mls_fabric::install();
+    mls_fabric::set_worker_command(Some(PathBuf::from(env!("CARGO_BIN_EXE_mls-fabric-worker"))));
+    mls_fabric::set_chaos(None);
+    guard
+}
+
+/// Stable artifact directory (uploaded by the CI workflow).
+fn trace_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-traces")
+        .join(name)
+}
+
+/// A small campaign with enough cells to shard and enough failures to
+/// capture traces: 2 variants × (baseline + 2 faults) = 6 cells.
+fn small_spec(name: &str) -> CampaignSpec {
+    let mut spec = CampaignSpec::smoke();
+    spec.name = name.to_string();
+    spec.variants = vec![SystemVariant::MlsV1, SystemVariant::MlsV3];
+    spec.faults = vec![
+        FaultPlan::new(FaultKind::MarkerOcclusion, 0.6),
+        FaultPlan::new(FaultKind::GpsBias, 0.6),
+    ];
+    spec.capture = TracePolicy::FailuresOnly;
+    spec.landing.mission_timeout = 120.0;
+    spec.executor.max_duration = 150.0;
+    spec
+}
+
+/// Reads every file under `dir` (recursively) into path-relative bytes.
+fn snapshot_dir(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    if !dir.exists() {
+        return files;
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for entry in fs::read_dir(&current).expect("read trace dir") {
+            let path = entry.expect("read trace dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let relative = path
+                    .strip_prefix(dir)
+                    .expect("trace path under root")
+                    .to_string_lossy()
+                    .into_owned();
+                files.insert(relative, fs::read(&path).expect("read trace file"));
+            }
+        }
+    }
+    files
+}
+
+fn wipe(dir: &Path) {
+    if dir.exists() {
+        fs::remove_dir_all(dir).expect("wipe trace dir");
+    }
+}
+
+/// Runs `spec` on the given transport, returning the pretty report JSON
+/// and a byte snapshot of the persisted traces.
+fn run_campaign(
+    spec: &CampaignSpec,
+    transport: Transport,
+    trace_dir: &Path,
+) -> (String, BTreeMap<String, Vec<u8>>) {
+    let report = CampaignRunner::new(2)
+        .with_transport(transport)
+        .with_trace_dir(trace_dir)
+        .run(spec)
+        .unwrap_or_else(|err| panic!("campaign on {transport:?} failed: {err}"));
+    let json = report.to_json().expect("serialise report");
+    (json, snapshot_dir(trace_dir))
+}
+
+fn assert_identical(
+    baseline: &(String, BTreeMap<String, Vec<u8>>),
+    candidate: &(String, BTreeMap<String, Vec<u8>>),
+    what: &str,
+) {
+    assert_eq!(baseline.0, candidate.0, "{what}: report JSON diverged");
+    assert_eq!(
+        baseline.1.keys().collect::<Vec<_>>(),
+        candidate.1.keys().collect::<Vec<_>>(),
+        "{what}: trace file sets diverged"
+    );
+    for (path, bytes) in &baseline.1 {
+        assert_eq!(
+            bytes, &candidate.1[path],
+            "{what}: trace file {path} diverged"
+        );
+    }
+    assert!(
+        !baseline.1.is_empty(),
+        "{what}: expected captured traces — the spec must produce failures"
+    );
+}
+
+#[test]
+fn fabric_campaign_is_byte_identical_at_every_worker_count() {
+    let _guard = fabric_session();
+    let spec = small_spec("fabric-equivalence");
+    let dir = trace_root("fabric-equivalence");
+
+    wipe(&dir);
+    let baseline = run_campaign(&spec, Transport::InProcess, &dir);
+
+    for workers in [1usize, 2, 4] {
+        wipe(&dir);
+        let distributed = run_campaign(&spec, Transport::Fabric { workers }, &dir);
+        assert_identical(&baseline, &distributed, &format!("{workers} workers"));
+    }
+}
+
+#[test]
+fn fabric_campaign_survives_a_chaos_killed_worker() {
+    let _guard = fabric_session();
+    let spec = small_spec("fabric-chaos");
+    let dir = trace_root("fabric-chaos");
+
+    wipe(&dir);
+    let baseline = run_campaign(&spec, Transport::InProcess, &dir);
+
+    // Worker 0's first incarnation dies on its second lease — after one
+    // completed job, mid-campaign — and is respawned without the
+    // directive. The reassigned leases must not change a byte.
+    mls_fabric::set_chaos(Some("exit-after=1".to_string()));
+    wipe(&dir);
+    let survived = run_campaign(&spec, Transport::Fabric { workers: 2 }, &dir);
+    mls_fabric::set_chaos(None);
+    assert_identical(&baseline, &survived, "2 workers with chaos kill");
+}
+
+#[test]
+fn fabric_probe_search_matches_in_process() {
+    let _guard = fabric_session();
+    let config = FalsificationConfig {
+        seed: 97,
+        maps: 1,
+        scenarios_per_map: 2,
+        repeats: 1,
+        failure_threshold: 0.75,
+        minimizer_passes: 1,
+        minimizer_bisections: 1,
+        probe_early_stop: true,
+        ..FalsificationConfig::default()
+    };
+    let space = FaultSpace::new(
+        "fabric-equiv-space",
+        vec![
+            FaultAxis::full(FaultKind::MarkerOcclusion),
+            FaultAxis::new(FaultKind::GpsBias, 0.15, 1.0),
+        ],
+    );
+    let searcher = Searcher::GridRefinement(GridRefinementConfig {
+        resolution: 2,
+        rounds: 0,
+    });
+
+    let run = |transport: Transport| {
+        FalsificationSearch::new(config.clone(), 2)
+            .with_transport(transport)
+            .search_space(SystemVariant::MlsV1, &space, &searcher)
+            .unwrap_or_else(|err| panic!("search on {transport:?} failed: {err}"))
+    };
+    let in_process = run(Transport::InProcess);
+    let fabric = run(Transport::Fabric { workers: 2 });
+
+    assert_eq!(
+        in_process.probes, fabric.probes,
+        "probe logs diverged (points or rates)"
+    );
+    assert_eq!(
+        in_process.baseline_success_rate, fabric.baseline_success_rate,
+        "baselines diverged"
+    );
+    assert_eq!(
+        in_process.failing_point, fabric.failing_point,
+        "failing points diverged"
+    );
+    assert_eq!(
+        in_process.missions_flown, fabric.missions_flown,
+        "mission accounting diverged"
+    );
+}

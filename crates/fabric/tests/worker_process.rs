@@ -1,0 +1,113 @@
+//! Protocol conformance of the real worker binary, driven over pipes.
+//!
+//! These tests speak the frame protocol to a spawned `mls-fabric-worker`
+//! process exactly as the dispatcher does, and pin the failure modes the
+//! fabric's safety story rests on: a version or config-hash mismatch is a
+//! clean error frame plus a handshake exit code (never a hang or a
+//! mis-parse), and a truncated frame kills the stream rather than
+//! blocking the worker forever.
+
+use std::io::{BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use mls_campaign::CampaignSpec;
+use mls_fabric::protocol::{self, PROTOCOL_VERSION};
+use serde_json::Value;
+
+fn spawn_worker() -> (Child, ChildStdin, BufReader<ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mls-fabric-worker"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .env_remove("MLS_FABRIC_CHAOS")
+        .spawn()
+        .expect("spawn worker binary");
+    let stdin = child.stdin.take().expect("worker stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("worker stdout"));
+    (child, stdin, stdout)
+}
+
+fn recorder() -> Value {
+    serde_json::to_value(&mls_trace::RecorderConfig::default())
+}
+
+/// Reads frames until one that is not a heartbeat.
+fn next_non_heartbeat(stdout: &mut BufReader<ChildStdout>) -> Option<Value> {
+    while let Some(frame) = protocol::read_frame(stdout).expect("read worker frame") {
+        if protocol::message_type(&frame) != Some("heartbeat") {
+            return Some(frame);
+        }
+    }
+    None
+}
+
+#[test]
+fn version_mismatch_yields_error_frame_and_handshake_exit() {
+    let (mut child, mut stdin, mut stdout) = spawn_worker();
+    let mut init = protocol::init_message(0, 1, None, None, &recorder());
+    if let Value::Object(fields) = &mut init {
+        for (key, value) in fields.iter_mut() {
+            if key == "protocol" {
+                *value = protocol::uint(PROTOCOL_VERSION + 1);
+            }
+        }
+    }
+    protocol::write_frame(&mut stdin, &init).expect("send stale init");
+
+    let reply = next_non_heartbeat(&mut stdout).expect("worker must reply before exiting");
+    assert_eq!(protocol::message_type(&reply), Some("error"));
+    let reason = reply.get("reason").and_then(Value::as_str).unwrap_or("");
+    assert!(
+        reason.contains("protocol version mismatch"),
+        "unexpected reason: {reason}"
+    );
+    let status = child.wait().expect("worker exit status");
+    assert_eq!(status.code(), Some(2), "handshake failures exit 2");
+}
+
+#[test]
+fn config_hash_mismatch_yields_error_frame_and_handshake_exit() {
+    let (mut child, mut stdin, mut stdout) = spawn_worker();
+    let spec = CampaignSpec::smoke();
+    let json = spec.to_json().expect("spec json");
+    let drifted = spec.config_hash().expect("config hash") ^ 0xbad;
+    let init = protocol::init_message(0, 1, Some(&json), Some(drifted), &recorder());
+    protocol::write_frame(&mut stdin, &init).expect("send drifted init");
+
+    let reply = next_non_heartbeat(&mut stdout).expect("worker must reply before exiting");
+    assert_eq!(protocol::message_type(&reply), Some("error"));
+    let reason = reply.get("reason").and_then(Value::as_str).unwrap_or("");
+    assert!(
+        reason.contains("config hash mismatch"),
+        "unexpected reason: {reason}"
+    );
+    let status = child.wait().expect("worker exit status");
+    assert_eq!(status.code(), Some(2), "handshake failures exit 2");
+}
+
+#[test]
+fn truncated_frame_ends_the_worker_instead_of_hanging() {
+    let (mut child, mut stdin, mut stdout) = spawn_worker();
+    let init = protocol::init_message(0, 1, None, None, &recorder());
+    protocol::write_frame(&mut stdin, &init).expect("send init");
+    let ready = next_non_heartbeat(&mut stdout).expect("handshake reply");
+    protocol::validate_ready(&ready, None).expect("clean handshake");
+
+    // A frame that promises more bytes than it delivers, then EOF — the
+    // dispatcher dying mid-write. The worker must exit with the stream
+    // error code, not block on the missing bytes.
+    stdin
+        .write_all(b"MLSF 400\n{\"type\":\"lease\"")
+        .expect("send truncated frame");
+    drop(stdin);
+    let status = child.wait().expect("worker exit status");
+    assert_eq!(status.code(), Some(3), "mid-frame truncation exits 3");
+}
+
+#[test]
+fn clean_eof_before_init_is_a_quiet_exit() {
+    let (mut child, stdin, mut stdout) = spawn_worker();
+    drop(stdin);
+    assert!(next_non_heartbeat(&mut stdout).is_none());
+    let status = child.wait().expect("worker exit status");
+    assert_eq!(status.code(), Some(0), "clean EOF exits 0");
+}

@@ -51,7 +51,7 @@ use std::sync::{Arc, OnceLock};
 pub use config::{ObsConfig, DEFAULT_DIR};
 pub use progress::Progress;
 pub use registry::{Counter, Gauge, Histogram, Registry, SECONDS_BUCKETS};
-pub use sink::{json_escape, json_f64, EventLog, JsonObject, SCHEMA};
+pub use sink::{artifact_name, json_escape, json_f64, EventLog, JsonObject, SCHEMA};
 pub use span::{FieldValue, Span};
 
 /// The process-wide observability state.
@@ -65,7 +65,9 @@ struct Obs {
 
 impl Obs {
     fn from_config(config: ObsConfig) -> Self {
-        let events = config.jsonl.then(|| EventLog::new(&config.dir));
+        let events = config
+            .jsonl
+            .then(|| EventLog::new(&config.dir, config.tag.as_deref()));
         let progress = Progress::new(config.progress);
         Self {
             enabled: AtomicBool::new(config.any_sink()),
@@ -215,10 +217,11 @@ pub fn flush() -> Vec<PathBuf> {
         }
     }
     if state.config.exposition && state.enabled.load(Ordering::Relaxed) {
-        let path = state
-            .config
-            .dir
-            .join(format!("metrics-{}.prom", std::process::id()));
+        let path = state.config.dir.join(sink::artifact_name(
+            "metrics",
+            state.config.tag.as_deref(),
+            "prom",
+        ));
         if std::fs::create_dir_all(&state.config.dir).is_ok()
             && std::fs::write(&path, Registry::global().exposition()).is_ok()
         {

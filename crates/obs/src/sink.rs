@@ -123,6 +123,17 @@ pub fn unix_seconds() -> f64 {
         .unwrap_or(0.0)
 }
 
+/// A per-process artifact file name: `<stem>-<pid>.<ext>`, with the
+/// optional tag infixed — `<stem>-<tag>-<pid>.<ext>` — so processes
+/// sharing one artifact directory (a fabric dispatcher and its workers)
+/// stay collision-free *and* attributable.
+pub fn artifact_name(stem: &str, tag: Option<&str>, ext: &str) -> String {
+    match tag {
+        Some(tag) => format!("{stem}-{tag}-{}.{ext}", std::process::id()),
+        None => format!("{stem}-{}.{ext}", std::process::id()),
+    }
+}
+
 /// The append-only JSONL event log. Opens lazily on the first event so a
 /// run that enables obs but emits nothing leaves no file behind; writes
 /// are best-effort (an unwritable sink must never perturb the engine).
@@ -133,10 +144,12 @@ pub struct EventLog {
 }
 
 impl EventLog {
-    /// A log that will write `obs-<pid>.jsonl` under `dir` when first used.
-    pub fn new(dir: &Path) -> Self {
+    /// A log that will write `obs-<pid>.jsonl` under `dir` when first
+    /// used — or `obs-<tag>-<pid>.jsonl` when a tag names this process
+    /// inside a shared artifact directory (fabric workers).
+    pub fn new(dir: &Path, tag: Option<&str>) -> Self {
         Self {
-            path: dir.join(format!("obs-{}.jsonl", std::process::id())),
+            path: dir.join(artifact_name("obs", tag, "jsonl")),
             writer: Mutex::new(None),
         }
     }
