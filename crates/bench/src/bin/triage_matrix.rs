@@ -1,0 +1,250 @@
+//! triage_matrix — the triage-classifier validation harness behind CI's
+//! `triage-matrix-smoke` job.
+//!
+//! Runs a ground-truth campaign grid — every [`FaultKind`] at full
+//! intensity, across two scenario families, with trace capture for *all*
+//! missions — ingests the resulting corpus, and cross-tabulates the
+//! injected fault kind against the triage class the corpus recorded for
+//! each trace. The confusion matrix, with per-class precision/recall, is
+//! written to `target/reports/triage_matrix.{json,csv}` and printed as a
+//! table; the run *fails by exit code* when fewer than
+//! [`MIN_TRACES`] traces were ingested or any pinned class's recall falls
+//! below its floor — classifier quality is a tested contract, not a
+//! claim.
+//!
+//! The grid is split by fault mechanism, mirroring the Fig. 5 case
+//! studies: the vision-channel and physical-channel kinds fly on MLS v1
+//! (whose thin pipeline fails them plentifully), while depth corruption,
+//! planner starvation and compute throttling fly on MLS v3 — the only
+//! generation with the mapping and sampling-planner subsystems those
+//! faults attack (on v1 they are no-ops and would poison the ground
+//! truth with baseline failures).
+//!
+//! `MLS_SEED` moves the seed, and `MLS_REPEATS` (values above the default
+//! 3) deepens the grid for full-scale validation runs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mls_bench::{finish_obs, print_header, HarnessOptions, TriageMatrix};
+use mls_campaign::{
+    CampaignRunner, CampaignSpec, CorpusRecord, FaultKind, FaultPlan, TraceCorpus, TracePolicy,
+};
+use mls_core::SystemVariant;
+use mls_sim_world::ScenarioFamily;
+use mls_trace::Fig5Class;
+
+/// Minimum ingested ground-truth traces for the matrix to count — the
+/// acceptance bar CI enforces.
+const MIN_TRACES: usize = 200;
+
+/// Fault kinds flown on MLS v1: vision-channel and physical-channel
+/// mechanisms the first generation already has.
+const V1_KINDS: &[FaultKind] = &[
+    FaultKind::MarkerOcclusion,
+    FaultKind::DetectionDropout,
+    FaultKind::MarkerSpoof,
+    FaultKind::GpsBias,
+    FaultKind::WindGust,
+];
+
+/// Fault kinds flown on MLS v3: they attack the occupancy map and the
+/// sampling planner, subsystems only the third generation carries.
+const V3_KINDS: &[FaultKind] = &[
+    FaultKind::ComputeThrottle,
+    FaultKind::DepthCorruption,
+    FaultKind::PlannerStarvation,
+];
+
+/// Pinned per-class recall floors, set a safety margin below the values
+/// measured on the default grid (seed 2025: perception-loss 0.951,
+/// map-corruption 1.000, gps-drift 0.737, planner-exhaustion 0.250) so a
+/// real classifier regression trips them while a re-seeded grid does not.
+///
+/// `TrajectoryLagCollision` carries no floor yet: compute-throttle
+/// failures on MLS-V3 present as timeout stalls with healthy plans, which
+/// the collision-gated lag class cannot claim (observed recall 0.000) —
+/// recovering lag from throttle is an open classifier item tracked in
+/// ROADMAP.md, not an enforceable contract.
+const RECALL_FLOORS: &[(Fig5Class, f64)] = &[
+    (Fig5Class::PerceptionLoss, 0.60),
+    (Fig5Class::GpsDrift, 0.45),
+    (Fig5Class::MapCorruption, 0.60),
+    (Fig5Class::PlannerExhaustion, 0.20),
+];
+
+/// One ground-truth sub-grid: the given fault kinds at full intensity ×
+/// two scenario families on one system generation, every trace captured.
+fn grid_spec(
+    seed: u64,
+    repeats: usize,
+    variant: SystemVariant,
+    kinds: &[FaultKind],
+) -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        name: format!("triage-matrix-{}", variant.label()),
+        seed,
+        maps: 1,
+        scenarios_per_map: 5,
+        repeats,
+        families: vec![ScenarioFamily::Open, ScenarioFamily::ConstrainedPad],
+        variants: vec![variant],
+        baseline: false,
+        faults: kinds
+            .iter()
+            .map(|kind| FaultPlan::new(*kind, 1.0))
+            .collect(),
+        capture: TracePolicy::All,
+        ..CampaignSpec::default()
+    };
+    spec.landing.mission_timeout = 150.0;
+    spec.executor.max_duration = 180.0;
+    spec
+}
+
+fn print_matrix(matrix: &TriageMatrix) {
+    let width = matrix
+        .columns
+        .iter()
+        .map(|column| column.len())
+        .max()
+        .unwrap_or(12);
+    print!("{:22} {:>24}", "injected \\ predicted", "expected");
+    for column in &matrix.columns {
+        print!(" {column:>width$}");
+    }
+    println!();
+    for row in &matrix.rows {
+        print!("{:22} {:>24}", row.kind, row.expected);
+        for count in &row.counts {
+            print!(" {count:>width$}");
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "{:26} {:>8} {:>8} {:>10} {:>10} {:>8}",
+        "class", "support", "correct", "predicted", "precision", "recall"
+    );
+    for score in &matrix.scores {
+        println!(
+            "{:26} {:>8} {:>8} {:>10} {:>10.3} {:>8.3}",
+            score.class,
+            score.support,
+            score.correct,
+            score.predicted,
+            score.precision,
+            score.recall
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    print_header("triage_matrix — classifier confusion matrix on a ground-truth grid");
+    let options = HarnessOptions::from_env();
+    let repeats = options.repeats.max(3);
+    let grids = [
+        (SystemVariant::MlsV1, V1_KINDS),
+        (SystemVariant::MlsV3, V3_KINDS),
+    ];
+
+    let root = PathBuf::from("target/triage-matrix-traces");
+    let _ = std::fs::remove_dir_all(&root);
+    let mut records: Vec<CorpusRecord> = Vec::new();
+    let mut signatures = 0usize;
+    for (variant, kinds) in grids {
+        let spec = grid_spec(options.seed, repeats, variant, kinds);
+        let trace_dir = root.join(variant.label());
+        println!(
+            "{}: {} cells ({} fault kinds × {} families) × {} missions, {} threads, seed {}",
+            spec.name,
+            spec.cells().len(),
+            kinds.len(),
+            spec.families.len(),
+            spec.missions_per_cell(),
+            options.threads,
+            spec.seed,
+        );
+        let start = Instant::now();
+        let report = match CampaignRunner::new(options.threads)
+            .with_trace_dir(&trace_dir)
+            .run(&spec)
+        {
+            Ok(report) => report,
+            Err(err) => {
+                println!("ground-truth campaign failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let corpus = match TraceCorpus::open(&trace_dir) {
+            Ok(corpus) => corpus,
+            Err(err) => {
+                println!("opening the {} corpus failed: {err}", spec.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "  flew {} missions in {:.1} s — {} traces ingested, {} distinct failure signatures",
+            report.missions,
+            start.elapsed().as_secs_f64(),
+            corpus.len(),
+            corpus.distinct_signatures()
+        );
+        signatures += corpus.distinct_signatures();
+        records.extend(corpus.records().iter().cloned());
+    }
+    println!(
+        "corpus: {} traces, {} distinct failure signatures\n",
+        records.len(),
+        signatures
+    );
+
+    let matrix = TriageMatrix::from_records(&records);
+    print_matrix(&matrix);
+
+    let reports = PathBuf::from("target/reports");
+    if let Err(err) = std::fs::create_dir_all(&reports) {
+        println!("creating target/reports failed: {err}");
+        return ExitCode::FAILURE;
+    }
+    let json = match matrix.to_json() {
+        Ok(json) => json,
+        Err(err) => {
+            println!("encoding the matrix failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json_path = reports.join("triage_matrix.json");
+    let csv_path = reports.join("triage_matrix.csv");
+    if let Err(err) =
+        std::fs::write(&json_path, &json).and_then(|()| std::fs::write(&csv_path, matrix.to_csv()))
+    {
+        println!("writing matrix artifacts failed: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {} and {}", json_path.display(), csv_path.display());
+
+    finish_obs();
+    let mut failed = false;
+    if matrix.total < MIN_TRACES {
+        println!(
+            "FAILED: only {} traces ingested, the bar is {MIN_TRACES}",
+            matrix.total
+        );
+        failed = true;
+    }
+    for violation in matrix.check_recall_floors(RECALL_FLOORS) {
+        println!("FAILED: {violation}");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "\ntriage matrix: {} traces, every pinned recall floor holds",
+            matrix.total
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,401 @@
+//! The triage confusion matrix: scoring the Fig. 5 classifier against a
+//! ground-truth corpus.
+//!
+//! A campaign that injects exactly one fault kind per cell is a labelled
+//! dataset: the injected [`FaultKind`] is the ground truth, the triage
+//! class the corpus recorded for each captured trace is the prediction.
+//! Cross-tabulating the two gives the confusion matrix the `triage_matrix`
+//! harness emits, and per-class precision/recall turn classifier quality
+//! into an enforceable contract — CI fails when any pinned class's recall
+//! regresses below its floor.
+//!
+//! Scoring conventions:
+//!
+//! * Successful missions land in the `success` column and are excluded
+//!   from precision/recall — the classifier never claims successes by
+//!   design, so they carry no signal about it.
+//! * Failed missions the classifier declined to claim land in the
+//!   `unclassified` column and count *against* recall.
+//! * Ground truth comes from the single fault axis a record flew
+//!   ([`CorpusRecord::coordinates`]); records with zero or several axes
+//!   (baselines, combo cells) are skipped and counted in
+//!   [`TriageMatrix::skipped`].
+
+use std::collections::BTreeMap;
+
+use mls_campaign::{CorpusRecord, FaultKind};
+use mls_trace::Fig5Class;
+use serde::Serialize;
+
+/// The Fig. 5 class a single-kind injection is expected to be triaged as —
+/// the ground-truth labelling of the confusion matrix. `None` for the
+/// kinds whose failures have no single honest class: a spoofed marker
+/// *deceives* the lander into a confident wrong touchdown (healthy
+/// subsystems, no blindness — deliberately unclassified), and a gust can
+/// end as a lag collision, a long blow-away or an off-pad touchdown
+/// depending on when it hits. Unmapped kinds still appear as matrix rows
+/// but are excluded from precision/recall scoring.
+///
+/// The mapping follows each fault's mechanism: occlusion and dropout
+/// blind the marker pipeline (perception loss), GNSS bias is the paper's
+/// silent-drift narrative (d), depth corruption poisons the occupancy map
+/// (c), planner starvation exhausts the search pool (a), and a throttled
+/// compute platform stretches plan latencies until the airframe lags its
+/// plan into an obstacle (b).
+pub fn expected_class(kind: FaultKind) -> Option<Fig5Class> {
+    match kind {
+        FaultKind::MarkerOcclusion => Some(Fig5Class::PerceptionLoss),
+        FaultKind::DetectionDropout => Some(Fig5Class::PerceptionLoss),
+        FaultKind::MarkerSpoof => None,
+        FaultKind::GpsBias => Some(Fig5Class::GpsDrift),
+        FaultKind::WindGust => None,
+        FaultKind::ComputeThrottle => Some(Fig5Class::TrajectoryLagCollision),
+        FaultKind::DepthCorruption => Some(Fig5Class::MapCorruption),
+        FaultKind::PlannerStarvation => Some(Fig5Class::PlannerExhaustion),
+    }
+}
+
+/// Column label for a failed mission the classifier declined to claim.
+pub const UNCLASSIFIED: &str = "unclassified";
+
+/// Column label for successful missions (excluded from scoring).
+pub const SUCCESS: &str = "success";
+
+/// One matrix row: every captured trace of one injected fault kind,
+/// tallied by predicted column.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MatrixRow {
+    /// Injected fault kind (the axis label — the ground truth).
+    pub kind: String,
+    /// The class label this kind is expected to triage as (`"-"` for
+    /// kinds excluded from scoring).
+    pub expected: String,
+    /// Count per predicted column, aligned with [`TriageMatrix::columns`].
+    pub counts: Vec<usize>,
+    /// Captured traces of this kind that failed (the scoring denominator).
+    pub failed: usize,
+}
+
+/// Precision/recall of one triage class over the ground-truth corpus.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassScore {
+    /// Triage class label.
+    pub class: String,
+    /// Failed traces whose injected kind maps to this class.
+    pub support: usize,
+    /// Of those, the ones the classifier predicted correctly.
+    pub correct: usize,
+    /// Failed traces of any kind the classifier predicted as this class.
+    pub predicted: usize,
+    /// `correct / predicted` (0 when nothing was predicted).
+    pub precision: f64,
+    /// `correct / support` (0 when the class has no support).
+    pub recall: f64,
+}
+
+/// The full confusion matrix: injected [`FaultKind`] rows × predicted
+/// triage-class columns, with per-class scores.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TriageMatrix {
+    /// Predicted column labels: the five Fig. 5 classes, then
+    /// [`UNCLASSIFIED`], then [`SUCCESS`].
+    pub columns: Vec<String>,
+    /// One row per injected fault kind, in [`FaultKind::ALL`] order.
+    pub rows: Vec<MatrixRow>,
+    /// Per-class precision/recall, in [`Fig5Class::ALL`] order.
+    pub scores: Vec<ClassScore>,
+    /// Traces scored (single-axis records).
+    pub total: usize,
+    /// Of those, missions that failed.
+    pub failed: usize,
+    /// Records skipped for ambiguous ground truth (baseline or multi-fault
+    /// cells).
+    pub skipped: usize,
+}
+
+impl TriageMatrix {
+    /// Cross-tabulates a corpus of single-fault ground-truth records.
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a CorpusRecord>) -> Self {
+        let columns: Vec<String> = Fig5Class::ALL
+            .iter()
+            .map(|class| class.label().to_string())
+            .chain([UNCLASSIFIED.to_string(), SUCCESS.to_string()])
+            .collect();
+        let column_of = |label: &str| {
+            columns
+                .iter()
+                .position(|column| column == label)
+                .unwrap_or(columns.len() - 2)
+        };
+        let mut counts: BTreeMap<&'static str, Vec<usize>> = FaultKind::ALL
+            .iter()
+            .map(|kind| (kind.label(), vec![0usize; columns.len()]))
+            .collect();
+        let mut total = 0usize;
+        let mut failed = 0usize;
+        let mut skipped = 0usize;
+        for record in records {
+            let [coordinate] = record.coordinates.as_slice() else {
+                skipped += 1;
+                continue;
+            };
+            let Some(row) = counts.get_mut(coordinate.axis.as_str()) else {
+                skipped += 1;
+                continue;
+            };
+            total += 1;
+            let column = if record.verdict == SUCCESS {
+                columns.len() - 1
+            } else {
+                failed += 1;
+                column_of(&record.class)
+            };
+            row[column] += 1;
+        }
+
+        let rows: Vec<MatrixRow> = FaultKind::ALL
+            .iter()
+            .map(|kind| {
+                let row = &counts[kind.label()];
+                MatrixRow {
+                    kind: kind.label().to_string(),
+                    expected: expected_class(*kind)
+                        .map(|class| class.label().to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                    failed: row.iter().sum::<usize>() - row[columns.len() - 1],
+                    counts: row.clone(),
+                }
+            })
+            .collect();
+
+        let scores: Vec<ClassScore> = Fig5Class::ALL
+            .iter()
+            .map(|class| {
+                let label = class.label();
+                let column = column_of(label);
+                let mut support = 0usize;
+                let mut correct = 0usize;
+                let mut predicted = 0usize;
+                for (kind, row) in FaultKind::ALL.iter().zip(rows.iter()) {
+                    // Unmapped kinds carry no ground truth: they count in
+                    // neither the support nor the precision denominator.
+                    let Some(expected) = expected_class(*kind) else {
+                        continue;
+                    };
+                    predicted += row.counts[column];
+                    if expected == *class {
+                        support += row.failed;
+                        correct += row.counts[column];
+                    }
+                }
+                let ratio = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+                ClassScore {
+                    class: label.to_string(),
+                    support,
+                    correct,
+                    predicted,
+                    precision: ratio(correct, predicted),
+                    recall: ratio(correct, support),
+                }
+            })
+            .collect();
+
+        Self {
+            columns,
+            rows,
+            scores,
+            total,
+            failed,
+            skipped,
+        }
+    }
+
+    /// The recall of one class, by label.
+    pub fn recall(&self, class: &str) -> Option<f64> {
+        self.scores
+            .iter()
+            .find(|score| score.class == class)
+            .map(|score| score.recall)
+    }
+
+    /// Checks per-class recall floors, returning one human-readable
+    /// violation per breached class (empty means the contract holds). A
+    /// floored class with no support is itself a violation — a floor over
+    /// zero evidence would pass vacuously forever.
+    pub fn check_recall_floors(&self, floors: &[(Fig5Class, f64)]) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (class, floor) in floors {
+            let label = class.label();
+            let Some(score) = self.scores.iter().find(|score| score.class == label) else {
+                violations.push(format!("class {label} is missing from the matrix"));
+                continue;
+            };
+            if score.support == 0 {
+                violations.push(format!(
+                    "class {label} has no failed ground-truth traces to score"
+                ));
+            } else if score.recall < *floor {
+                violations.push(format!(
+                    "class {label} recall {:.3} fell below the pinned floor {:.3} \
+                     ({} / {} ground-truth failures recovered)",
+                    score.recall, floor, score.correct, score.support
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Pretty-JSON encoding of the matrix (the artifact CI uploads, and
+    /// the golden fixture the seed-grid test pins byte for byte).
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error message when encoding fails.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|err| err.to_string())
+    }
+
+    /// RFC 4180 CSV encoding: one row per fault kind, then a blank line
+    /// and the per-class score block.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,expected");
+        for column in &self.columns {
+            out.push(',');
+            out.push_str(column);
+        }
+        out.push_str(",failed\n");
+        for row in &self.rows {
+            out.push_str(&row.kind);
+            out.push(',');
+            out.push_str(&row.expected);
+            for count in &row.counts {
+                out.push_str(&format!(",{count}"));
+            }
+            out.push_str(&format!(",{}\n", row.failed));
+        }
+        out.push_str("\nclass,support,correct,predicted,precision,recall\n");
+        for score in &self.scores {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                score.class,
+                score.support,
+                score.correct,
+                score.predicted,
+                score.precision,
+                score.recall
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mls_trace::AxisCoordinate;
+
+    fn record(axis: &str, verdict: &str, class: &str) -> CorpusRecord {
+        CorpusRecord {
+            campaign: "confusion-test".to_string(),
+            family: "open".to_string(),
+            cell_index: 0,
+            scenario_id: 0,
+            repeat: 0,
+            seed: 1,
+            variant: mls_core::SystemVariant::MlsV1,
+            coordinates: vec![AxisCoordinate {
+                axis: axis.to_string(),
+                value: 1.0,
+            }],
+            verdict: verdict.to_string(),
+            class: class.to_string(),
+            signature: format!("{verdict}/{class}/clean/no-tick"),
+            path: "c000-s000-r0.jsonl".to_string(),
+        }
+    }
+
+    #[test]
+    fn matrices_tally_score_and_skip() {
+        let mut records = vec![
+            record("gps-bias", "poor-landing", "gps-drift"),
+            record("gps-bias", "poor-landing", "gps-drift"),
+            record("gps-bias", "poor-landing", "unclassified"),
+            record("gps-bias", "success", "unclassified"),
+            record("depth-corruption", "collision", "map-corruption"),
+            record("depth-corruption", "collision", "gps-drift"),
+        ];
+        // A baseline record (no coordinates) has no ground truth.
+        let mut baseline = record("gps-bias", "poor-landing", "gps-drift");
+        baseline.coordinates.clear();
+        records.push(baseline);
+
+        let matrix = TriageMatrix::from_records(&records);
+        assert_eq!(matrix.total, 6);
+        assert_eq!(matrix.failed, 5);
+        assert_eq!(matrix.skipped, 1);
+
+        let gps_row = matrix
+            .rows
+            .iter()
+            .find(|row| row.kind == "gps-bias")
+            .unwrap();
+        assert_eq!(gps_row.failed, 3);
+        assert_eq!(gps_row.expected, "gps-drift");
+        let gps = matrix
+            .scores
+            .iter()
+            .find(|s| s.class == "gps-drift")
+            .unwrap();
+        assert_eq!((gps.support, gps.correct, gps.predicted), (3, 2, 3));
+        assert!((gps.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((gps.precision - 2.0 / 3.0).abs() < 1e-12);
+        let map = matrix
+            .scores
+            .iter()
+            .find(|s| s.class == "map-corruption")
+            .unwrap();
+        assert_eq!((map.support, map.correct), (2, 1));
+
+        assert_eq!(matrix.recall("gps-drift"), Some(gps.recall));
+        assert_eq!(matrix.recall("nope"), None);
+    }
+
+    #[test]
+    fn recall_floors_catch_regressions_and_vacuous_passes() {
+        let records = vec![
+            record("gps-bias", "poor-landing", "gps-drift"),
+            record("gps-bias", "poor-landing", "unclassified"),
+        ];
+        let matrix = TriageMatrix::from_records(&records);
+        assert!(matrix
+            .check_recall_floors(&[(Fig5Class::GpsDrift, 0.5)])
+            .is_empty());
+        let violations = matrix
+            .check_recall_floors(&[(Fig5Class::GpsDrift, 0.9), (Fig5Class::MapCorruption, 0.5)]);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("fell below"), "{}", violations[0]);
+        assert!(violations[1].contains("no failed"), "{}", violations[1]);
+    }
+
+    #[test]
+    fn encodings_are_complete() {
+        let records = vec![record(
+            "compute-throttle",
+            "collision",
+            "trajectory-lag-collision",
+        )];
+        let matrix = TriageMatrix::from_records(&records);
+        let json = matrix.to_json().unwrap();
+        assert!(json.contains("\"columns\""));
+        assert!(json.contains("trajectory-lag-collision"));
+        let csv = matrix.to_csv();
+        assert!(csv.starts_with("kind,expected,"));
+        assert!(csv.contains("wind-gust"));
+        assert!(csv.lines().count() > FaultKind::ALL.len() + Fig5Class::ALL.len());
+        // Every fault kind has a row and an expected class.
+        for kind in FaultKind::ALL {
+            assert!(csv.contains(kind.label()));
+            let _ = expected_class(kind);
+        }
+    }
+}

@@ -37,6 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod confusion;
+
+pub use confusion::{expected_class, ClassScore, MatrixRow, TriageMatrix};
+
 use mls_compute::{ComputeModel, ComputeProfile};
 use mls_core::{
     BenchmarkSummary, ExecutorConfig, LandingConfig, MissionExecutor, MissionOutcome, SystemVariant,

@@ -1,0 +1,89 @@
+//! Golden test for the triage confusion matrix: a tiny pinned-seed
+//! ground-truth grid must cross-tabulate to the exact committed matrix
+//! JSON, byte for byte.
+//!
+//! Missions are pure functions of (seed, spec) and the matrix is a pure
+//! function of the corpus, so the fixture is stable across thread counts,
+//! build profiles and machines. If the simulation, the triage classifier
+//! or the corpus schema *deliberately* changes, regenerate the fixture
+//! with:
+//!
+//! ```sh
+//! MLS_BLESS=1 cargo test -p mls-bench --test triage_matrix_golden
+//! ```
+//!
+//! and review the fixture diff like any other behavioural change.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mls_bench::TriageMatrix;
+use mls_campaign::{CampaignRunner, CampaignSpec, FaultKind, FaultPlan, TraceCorpus, TracePolicy};
+use mls_core::SystemVariant;
+use mls_sim_world::ScenarioFamily;
+
+/// The pinned grid: two crisp fault kinds × one family on MLS v1, seed
+/// fixed — small enough for the debug-profile test run, large enough that
+/// every matrix column sees traffic.
+fn golden_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        name: "triage-matrix-golden".to_string(),
+        seed: 2025,
+        maps: 1,
+        scenarios_per_map: 3,
+        repeats: 2,
+        families: vec![ScenarioFamily::Open],
+        variants: vec![SystemVariant::MlsV1],
+        baseline: false,
+        faults: vec![
+            FaultPlan::new(FaultKind::GpsBias, 1.0),
+            FaultPlan::new(FaultKind::MarkerOcclusion, 1.0),
+        ],
+        capture: TracePolicy::All,
+        ..CampaignSpec::default()
+    };
+    spec.landing.mission_timeout = 150.0;
+    spec.executor.max_duration = 180.0;
+    spec
+}
+
+#[test]
+fn confusion_matrix_matches_the_committed_fixture() {
+    let spec = golden_spec();
+    let trace_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-traces/triage-matrix-golden");
+    let _ = fs::remove_dir_all(&trace_dir);
+    CampaignRunner::new(2)
+        .with_trace_dir(&trace_dir)
+        .run(&spec)
+        .expect("golden ground-truth campaign");
+
+    let corpus = TraceCorpus::open(&trace_dir).expect("open golden corpus");
+    assert_eq!(
+        corpus.len(),
+        spec.cells().len() * spec.missions_per_cell(),
+        "TracePolicy::All must index every mission"
+    );
+    let matrix = TriageMatrix::from_records(corpus.records());
+    let json = matrix.to_json().expect("serialise matrix");
+
+    let fixture =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/triage_matrix_golden.json");
+    if std::env::var("MLS_BLESS").as_deref() == Ok("1") {
+        fs::create_dir_all(fixture.parent().unwrap()).expect("create fixtures dir");
+        fs::write(&fixture, &json).expect("bless fixture");
+        eprintln!("blessed {}", fixture.display());
+        return;
+    }
+    let expected = fs::read_to_string(&fixture).unwrap_or_else(|err| {
+        panic!(
+            "missing fixture {} ({err}); regenerate with MLS_BLESS=1",
+            fixture.display()
+        )
+    });
+    assert_eq!(
+        json, expected,
+        "confusion matrix diverged from the committed fixture; if the \
+         change is deliberate, regenerate with MLS_BLESS=1 and review the diff"
+    );
+}

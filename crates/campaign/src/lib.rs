@@ -120,7 +120,9 @@ pub use faults::{
     CompositeInjector, FaultAxis, FaultInjector, FaultKind, FaultPlan, FaultSpace,
     MissionFaultContext,
 };
-pub use mls_trace::TracePolicy;
+pub use mls_trace::{
+    CorpusQuery, CorpusRecord, FailureSignature, TraceCorpus, TracePolicy, CORPUS_INDEX_FILE,
+};
 pub use report::{CampaignReport, CellReport, EarlyStopSummary, MetricSummary, TraceLink};
 pub use runner::{probe_rate_from_outcomes, CampaignRunner, MissionRecord, MissionSlot, ProbeRate};
 pub use search::{

@@ -18,14 +18,14 @@
 //! decided prefix is a pure function of the mission outcomes in job order
 //! ([`EarlyStopPolicy::decide`]).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use mls_compute::ComputeModel;
 use mls_core::{FailsafeReason, MissionOutcome, MissionResult};
 use mls_sim_world::Scenario;
 use mls_trace::{
-    triage, verify_replay, RecorderConfig, ReplayVerdict, Trace, TraceHeader, TraceRecorder,
+    verify_replay, RecorderConfig, ReplayVerdict, Trace, TraceCorpus, TraceHeader, TraceRecorder,
 };
 
 use crate::executor::MissionExecutor;
@@ -566,8 +566,9 @@ impl CampaignRunner {
     ///
     /// The early-stop decision is recomputed here as a pure function of
     /// the slot outcomes in job order (identical to the live in-flight
-    /// decision — see [`replay_early_stop`]), every slot beyond a cell's
-    /// decided prefix is discarded before anything is recorded, and kept
+    /// decision — see `replay_early_stop` in this module), every slot
+    /// beyond a cell's decided prefix is discarded before anything is
+    /// recorded, and kept
     /// traces are persisted under this runner's trace directory in
     /// deterministic grid order.
     ///
@@ -644,9 +645,14 @@ impl CampaignRunner {
         // them from the report, each with its triage verdict. Traces land
         // under *this* runner's trace directory whatever process flew them,
         // which is what keeps refly/replay working against fabric-run
-        // reports.
+        // reports. The same loop ingests every kept trace into the corpus
+        // index written next to the files: because all transports funnel
+        // their job-ordered slots through this one assembly point, the
+        // index — like the report and the traces — is a pure function of
+        // (spec, seed), byte-identical across worker counts and failover.
         let trace_dir = self.trace_dir(spec);
         let mut traces = Vec::new();
+        let mut corpus = TraceCorpus::create(&trace_dir);
         for (index, slot) in slots.iter().enumerate() {
             let MissionSlot::Flown(record) = slot else {
                 continue;
@@ -656,11 +662,13 @@ impl CampaignRunner {
             };
             let cell = &cells[index / missions_per_cell];
             let header = &trace.header;
-            let path = trace_dir.join(format!(
+            let file_name = format!(
                 "c{:03}-s{:03}-r{}.jsonl",
                 cell.index, header.scenario_id, header.repeat
-            ));
+            );
+            let path = trace_dir.join(&file_name);
             trace.write_to(&path)?;
+            let indexed = corpus.ingest(trace, file_name);
             traces.push(TraceLink {
                 cell_index: cell.index,
                 cell_label: cell.label(),
@@ -668,9 +676,12 @@ impl CampaignRunner {
                 repeat: header.repeat,
                 seed: header.seed,
                 result: record.result,
-                triage: triage(trace).class.map(|class| class.label().to_string()),
+                triage: (indexed.class != "unclassified").then(|| indexed.class.clone()),
                 path: path.display().to_string(),
             });
+        }
+        if spec.capture.captures() {
+            corpus.save()?;
         }
 
         let cell_reports: Vec<CellReport> = cells
@@ -1201,6 +1212,66 @@ impl CampaignRunner {
     ) -> Result<ReplayVerdict, CampaignError> {
         let regenerated = self.refly(spec, scenarios, &recorded.header)?;
         Ok(verify_replay(recorded, &regenerated))
+    }
+
+    /// Loads the trace a report links through the corpus index rooted at
+    /// `corpus_root`, instead of trusting the link's recorded absolute
+    /// path.
+    ///
+    /// A [`TraceLink::path`] is only valid in the filesystem layout the
+    /// campaign ran in; archive or relocate the trace directory and every
+    /// link dangles, so a replay against it used to fail with a bare I/O
+    /// error. The corpus index stores root-relative paths, so resolving
+    /// through it survives any relocation of the corpus tree as a whole.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Trace`] when the index is missing or
+    /// malformed, and [`CampaignError::InvalidSpec`] when the index has no
+    /// record for the link's mission or the record's seed disagrees.
+    pub fn load_corpus_trace(corpus_root: &Path, link: &TraceLink) -> Result<Trace, CampaignError> {
+        let corpus = TraceCorpus::open(corpus_root)?;
+        let record = corpus
+            .find_mission(link.cell_index, link.scenario_id, link.repeat)
+            .ok_or_else(|| CampaignError::InvalidSpec {
+                reason: format!(
+                    "corpus index at {} has no record for cell {} scenario {} repeat {}",
+                    corpus_root.display(),
+                    link.cell_index,
+                    link.scenario_id,
+                    link.repeat
+                ),
+            })?;
+        if record.seed != link.seed {
+            return Err(CampaignError::InvalidSpec {
+                reason: format!(
+                    "corpus record for cell {} scenario {} repeat {} carries seed {}, \
+                     the report links seed {}",
+                    link.cell_index, link.scenario_id, link.repeat, record.seed, link.seed
+                ),
+            });
+        }
+        Ok(corpus.load(record)?)
+    }
+
+    /// Replays a report-linked trace resolved through the corpus index at
+    /// `corpus_root` — the relocation-safe form of
+    /// [`CampaignRunner::replay`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CampaignRunner::load_corpus_trace`] errors when the
+    /// link cannot be resolved and the [`CampaignRunner::refly`] errors
+    /// when the trace does not belong to this (spec, scenario suite).
+    pub fn replay_from_corpus(
+        &self,
+        spec: &CampaignSpec,
+        scenarios: &[Scenario],
+        corpus_root: &Path,
+        link: &TraceLink,
+    ) -> Result<ReplayVerdict, CampaignError> {
+        let recorded = Self::load_corpus_trace(corpus_root, link)?;
+        self.replay(spec, scenarios, &recorded)
     }
 }
 

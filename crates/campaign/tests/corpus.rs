@@ -1,0 +1,192 @@
+//! Integration tests for the trace corpus: campaigns index every kept
+//! trace next to the files, the index survives relocating the corpus tree
+//! (the report's absolute paths do not), and failure signatures separate
+//! distinct injected fault kinds on a seeded ground-truth grid.
+
+use std::path::{Path, PathBuf};
+
+use mls_campaign::{
+    CampaignRunner, CampaignSpec, FaultKind, FaultPlan, TraceCorpus, TracePolicy, CORPUS_INDEX_FILE,
+};
+use mls_core::SystemVariant;
+use mls_trace::Trace;
+
+/// Stable artifact directory (uploaded by the CI workflow).
+fn trace_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-traces")
+        .join(name)
+}
+
+/// A strongly biased MLS-V1 sweep known to fail several missions, so
+/// `FailuresOnly` capture has something to index.
+fn captured_spec(name: &str) -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        name: name.to_string(),
+        seed: 2025,
+        maps: 1,
+        scenarios_per_map: 4,
+        repeats: 1,
+        variants: vec![SystemVariant::MlsV1],
+        baseline: false,
+        faults: vec![FaultPlan::new(FaultKind::GpsBias, 0.8)],
+        capture: TracePolicy::FailuresOnly,
+        ..CampaignSpec::default()
+    };
+    spec.landing.mission_timeout = 150.0;
+    spec.executor.max_duration = 180.0;
+    spec
+}
+
+#[test]
+fn campaigns_index_every_kept_trace() {
+    let spec = captured_spec("corpus-index");
+    let dir = trace_root("corpus-index");
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .run(&spec)
+        .unwrap();
+    assert!(!report.traces.is_empty());
+
+    let corpus = TraceCorpus::open(&dir).unwrap();
+    assert_eq!(
+        corpus.len(),
+        report.traces.len(),
+        "one corpus record per report trace link"
+    );
+    for (record, link) in corpus.records().iter().zip(report.traces.iter()) {
+        assert_eq!(record.cell_index, link.cell_index);
+        assert_eq!(record.scenario_id, link.scenario_id);
+        assert_eq!(record.repeat, link.repeat);
+        assert_eq!(record.seed, link.seed);
+        assert_eq!(record.campaign, spec.name);
+        assert_eq!(record.coordinates.len(), 1);
+        assert_eq!(record.coordinates[0].axis, "gps-bias");
+        assert!(
+            corpus.resolve(record).is_file(),
+            "index paths resolve to the persisted files"
+        );
+        // The report link and the index agree on the triage class.
+        match &link.triage {
+            Some(class) => assert_eq!(&record.class, class),
+            None => assert_eq!(record.class, "unclassified"),
+        }
+    }
+    assert_eq!(
+        corpus.query().fault_axis("gps-bias").count(),
+        corpus.len(),
+        "every indexed mission flew the gps-bias axis"
+    );
+    assert!(corpus.distinct_signatures() >= 1);
+}
+
+#[test]
+fn replay_resolves_relocated_traces_through_the_index() {
+    let spec = captured_spec("corpus-relocate");
+    let dir = trace_root("corpus-relocate");
+    let moved = trace_root("corpus-relocated");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&moved);
+    let runner = CampaignRunner::new(2).with_trace_dir(&dir);
+    let report = runner.run(&spec).unwrap();
+    let link = report.traces.first().expect("a biased sweep fails").clone();
+
+    // Relocate the whole corpus tree: the link's recorded path dangles...
+    std::fs::rename(&dir, &moved).unwrap();
+    assert!(
+        Trace::read_from(Path::new(&link.path)).is_err(),
+        "the canonical-layout path must dangle after the move"
+    );
+
+    // ...but resolution through the relocated index still replays, byte
+    // for byte.
+    let scenarios = runner.generate_scenarios(&spec).unwrap();
+    let verdict = runner
+        .replay_from_corpus(&spec, &scenarios, &moved, &link)
+        .unwrap();
+    assert!(verdict.is_identical(), "replay diverged: {verdict}");
+
+    // A link the index does not know is rejected with a clear error.
+    let mut unknown = link.clone();
+    unknown.repeat += 7;
+    let err = CampaignRunner::load_corpus_trace(&moved, &unknown).unwrap_err();
+    assert!(err.to_string().contains("no record"), "{err}");
+    std::fs::remove_dir_all(&moved).ok();
+}
+
+#[test]
+fn signatures_discriminate_between_fault_kinds() {
+    // A seeded ground-truth corpus: three fault kinds with sharply
+    // different mechanisms (GNSS bias, depth-cloud corruption, marker
+    // occlusion), each at full intensity over the same scenarios.
+    let mut spec = captured_spec("corpus-signatures");
+    spec.scenarios_per_map = 8;
+    spec.faults = vec![
+        FaultPlan::new(FaultKind::GpsBias, 1.0),
+        FaultPlan::new(FaultKind::DepthCorruption, 1.0),
+        FaultPlan::new(FaultKind::MarkerOcclusion, 1.0),
+    ];
+    let dir = trace_root("corpus-signatures");
+    let _ = std::fs::remove_dir_all(&dir);
+    CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .run(&spec)
+        .unwrap();
+
+    // Compare the *classified* failures: a mission that dies before its
+    // fault window opens fails identically whatever kind was scheduled,
+    // and collapsing those onto one shared signature is the dedup working
+    // as designed. The failures the injected fault actually caused must
+    // separate.
+    let corpus = TraceCorpus::open(&dir).unwrap();
+    let signatures_for = |axis: &str| {
+        corpus
+            .query()
+            .fault_axis(axis)
+            .matching(|record| record.class != "unclassified")
+            .records()
+            .into_iter()
+            .map(|record| record.signature.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+    };
+    let gps = signatures_for("gps-bias");
+    let depth = signatures_for("depth-corruption");
+    let occlusion = signatures_for("marker-occlusion");
+    assert!(
+        !gps.is_empty() && !depth.is_empty() && !occlusion.is_empty(),
+        "every full-intensity kind must cause at least one classified failure \
+         (gps {}, depth {}, occlusion {})",
+        gps.len(),
+        depth.len(),
+        occlusion.len()
+    );
+    assert!(
+        gps.is_disjoint(&depth) && gps.is_disjoint(&occlusion) && depth.is_disjoint(&occlusion),
+        "distinct fault kinds must not collapse onto shared signatures:\n\
+         gps: {gps:?}\ndepth: {depth:?}\nocclusion: {occlusion:?}"
+    );
+}
+
+#[test]
+fn corpus_index_is_thread_count_independent() {
+    let spec = captured_spec("corpus-threads");
+    let dir_a = trace_root("corpus-threads-1");
+    let dir_b = trace_root("corpus-threads-4");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    CampaignRunner::new(1)
+        .with_trace_dir(&dir_a)
+        .run(&spec)
+        .unwrap();
+    CampaignRunner::new(4)
+        .with_trace_dir(&dir_b)
+        .run(&spec)
+        .unwrap();
+    let bytes_a = std::fs::read(dir_a.join(CORPUS_INDEX_FILE)).unwrap();
+    let bytes_b = std::fs::read(dir_b.join(CORPUS_INDEX_FILE)).unwrap();
+    assert_eq!(
+        bytes_a, bytes_b,
+        "the corpus index must not depend on the worker-thread count"
+    );
+}

@@ -26,7 +26,7 @@ use mls_campaign::{
     FaultPlan, FaultSpace, GridRefinementConfig, Searcher, Transport,
 };
 use mls_core::SystemVariant;
-use mls_trace::TracePolicy;
+use mls_trace::{TraceCorpus, TracePolicy, CORPUS_INDEX_FILE};
 
 static FABRIC_LOCK: Mutex<()> = Mutex::new(());
 
@@ -131,6 +131,12 @@ fn assert_identical(
         !baseline.1.is_empty(),
         "{what}: expected captured traces — the spec must produce failures"
     );
+    // The corpus index assembled from the slots is part of the byte-identity
+    // bar: its presence here means the per-file loop above compared it.
+    assert!(
+        baseline.1.contains_key(CORPUS_INDEX_FILE),
+        "{what}: the trace directory must carry a corpus index"
+    );
 }
 
 #[test]
@@ -166,6 +172,49 @@ fn fabric_campaign_survives_a_chaos_killed_worker() {
     let survived = run_campaign(&spec, Transport::Fabric { workers: 2 }, &dir);
     mls_fabric::set_chaos(None);
     assert_identical(&baseline, &survived, "2 workers with chaos kill");
+}
+
+#[test]
+fn fabric_corpus_index_is_byte_identical_and_queryable() {
+    let _guard = fabric_session();
+    let spec = small_spec("fabric-corpus");
+    let dir = trace_root("fabric-corpus");
+
+    wipe(&dir);
+    let report = CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .run(&spec)
+        .expect("in-process campaign");
+    let baseline_index = fs::read(dir.join(CORPUS_INDEX_FILE)).expect("in-process corpus index");
+
+    // The in-process index is consistent with the report and queryable.
+    let corpus = TraceCorpus::open(&dir).expect("open corpus");
+    assert_eq!(corpus.len(), report.traces.len());
+    assert!(!corpus.is_empty());
+    assert_eq!(
+        corpus.query().verdict("success").count(),
+        0,
+        "a FailuresOnly corpus indexes no successful missions"
+    );
+    let by_class = corpus.query().group_count(|record| record.class.clone());
+    assert_eq!(by_class.values().sum::<usize>(), corpus.len());
+
+    // A fabric run into the same directory — including one whose worker 0
+    // is chaos-killed mid-campaign — regenerates the index byte for byte.
+    for (label, chaos) in [
+        ("2 workers", None),
+        ("2 workers + chaos", Some("exit-after=1")),
+    ] {
+        mls_fabric::set_chaos(chaos.map(str::to_string));
+        wipe(&dir);
+        run_campaign(&spec, Transport::Fabric { workers: 2 }, &dir);
+        mls_fabric::set_chaos(None);
+        let fabric_index = fs::read(dir.join(CORPUS_INDEX_FILE)).expect("fabric corpus index");
+        assert_eq!(
+            baseline_index, fabric_index,
+            "{label}: corpus index diverged from the in-process run"
+        );
+    }
 }
 
 #[test]

@@ -24,6 +24,12 @@
 //! * [`replay`] and [`triage`](mod@triage) — byte-exact replay verification
 //!   ([`verify_replay`]) and the [`triage()`] classifier that maps a trace
 //!   onto the paper's Fig. 5 failure taxonomy ([`Fig5Class`]).
+//! * [`signature`](mod@signature) and [`corpus`] — the quantized
+//!   [`FailureSignature`] dedup key over a trace's terminal state and
+//!   failsafe/fault-edge skeleton, and the [`TraceCorpus`] store indexing
+//!   captured trace trees by family, fault coordinates, triage class,
+//!   verdict and signature, with a deterministic filter/group/count/sample
+//!   query API.
 //!
 //! # Examples
 //!
@@ -67,16 +73,20 @@
 use std::error::Error;
 use std::fmt;
 
+pub mod corpus;
 pub mod event;
 pub mod format;
 pub mod recorder;
 pub mod replay;
+pub mod signature;
 pub mod triage;
 
+pub use corpus::{CorpusQuery, CorpusRecord, TraceCorpus, CORPUS_INDEX_FILE, CORPUS_INDEX_VERSION};
 pub use event::{MarkerSighting, TraceEvent};
 pub use format::{config_hash, AxisCoordinate, Trace, TraceHeader, TRACE_FORMAT_VERSION};
 pub use recorder::{RecorderConfig, TraceHandle, TracePolicy, TraceRecorder};
 pub use replay::{verify_replay, ReplayVerdict};
+pub use signature::{verdict_label, FailureSignature};
 pub use triage::{triage, Fig5Class, TriageReport};
 
 /// Errors produced by the trace subsystem.

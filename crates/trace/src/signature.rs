@@ -1,0 +1,287 @@
+//! Failure signatures: quantized, replay-stable dedup keys over traces.
+//!
+//! A large campaign sheds thousands of failure traces, most of which are
+//! the *same* failure hit from slightly different initial conditions. The
+//! corpus store dedups them by a [`FailureSignature`]: a small, canonical
+//! summary of *how* the mission ended — its verdict and triage class, the
+//! skeleton of failsafe and fault-activation edges, and the terminal
+//! airframe state quantized onto a coarse grid so two missions that died
+//! in the same place the same way collapse onto one key even when their
+//! floating-point trajectories differ in the last metre.
+//!
+//! Signatures are a pure function of the parsed [`Trace`] value. The
+//! on-disk encoding is deterministic (shortest round-trip floats, fixed
+//! field order), so serialising a trace to JSON lines and parsing it back
+//! yields the identical struct — and therefore a byte-identical signature
+//! key. `signature_proptest.rs` pins that invariant.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::TraceEvent;
+use crate::format::{config_hash, Trace};
+use crate::triage::triage;
+use mls_core::MissionResult;
+
+/// Terminal-position quantum, metres: missions ending within the same
+/// 1 m cell share a terminal key.
+pub const POSITION_QUANTUM: f64 = 1.0;
+
+/// Terminal-velocity quantum, m/s.
+pub const VELOCITY_QUANTUM: f64 = 0.5;
+
+/// Terminal-time quantum, seconds: a failure at t=93 s and one at t=94 s
+/// are the same failure; one at t=40 s is not.
+pub const TIME_QUANTUM: f64 = 5.0;
+
+/// Snaps `value` onto a quantization grid of step `step`.
+fn quantize(value: f64, step: f64) -> i64 {
+    (value / step).round() as i64
+}
+
+/// Stable report label for a mission verdict (`"incomplete"` when the
+/// trace carries no `MissionEnd` event — the ring evicted it or the
+/// mission was cut short).
+pub fn verdict_label(result: Option<MissionResult>) -> &'static str {
+    match result {
+        Some(MissionResult::Success) => "success",
+        Some(MissionResult::CollisionFailure) => "collision",
+        Some(MissionResult::PoorLanding) => "poor-landing",
+        None => "incomplete",
+    }
+}
+
+/// The dedup key of one captured trace: what failed, how it failed, and
+/// where it ended up — with everything continuous quantized.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FailureSignature {
+    /// Mission verdict label (`"success"`, `"collision"`, `"poor-landing"`,
+    /// `"incomplete"`).
+    pub verdict: String,
+    /// Triage class label, or `"unclassified"` for successes and failures
+    /// the classifier declined to claim.
+    pub class: String,
+    /// The failsafe / fault-edge event skeleton: every `Failsafe`,
+    /// `FaultActive` and `FaultCleared` event in stream order, compressed
+    /// to reason / active-channel tokens and joined with `|` (`"clean"`
+    /// when the stream carries none).
+    pub skeleton: String,
+    /// The quantized terminal state: mission-end time and the last physics
+    /// snapshot's position and velocity cells (`"no-tick"` when the stream
+    /// carries no `Tick`).
+    pub terminal: String,
+}
+
+impl FailureSignature {
+    /// Computes the signature of a trace (triaging it in the process).
+    pub fn of(trace: &Trace) -> Self {
+        let report = triage(trace);
+        let mut skeleton_parts: Vec<String> = Vec::new();
+        let mut last_tick = None;
+        let mut end_time = None;
+        for event in &trace.events {
+            match event {
+                TraceEvent::Failsafe { reason, .. } => {
+                    skeleton_parts.push(format!("fs:{reason:?}"));
+                }
+                TraceEvent::FaultActive {
+                    gps_bias,
+                    wind,
+                    compute_throttle,
+                    ..
+                } => {
+                    let mut channels = String::new();
+                    if gps_bias.norm() > 1e-9 {
+                        channels.push('g');
+                    }
+                    if wind.norm() > 1e-9 {
+                        channels.push('w');
+                    }
+                    if *compute_throttle < 1.0 {
+                        channels.push('c');
+                    }
+                    if channels.is_empty() {
+                        channels.push('0');
+                    }
+                    skeleton_parts.push(format!("fault:+{channels}"));
+                }
+                TraceEvent::FaultCleared { .. } => {
+                    skeleton_parts.push("fault:-".to_string());
+                }
+                TraceEvent::Tick {
+                    time,
+                    position,
+                    velocity,
+                    ..
+                } => last_tick = Some((*time, *position, *velocity)),
+                TraceEvent::MissionEnd { time, .. } => end_time = Some(*time),
+                _ => {}
+            }
+        }
+        let skeleton = if skeleton_parts.is_empty() {
+            "clean".to_string()
+        } else {
+            skeleton_parts.join("|")
+        };
+        let end_time = end_time.or(last_tick.map(|(time, _, _)| time));
+        let terminal = match (end_time, last_tick) {
+            (Some(end), Some((_, position, velocity))) => format!(
+                "t{}:p({},{},{}):v({},{},{})",
+                quantize(end, TIME_QUANTUM),
+                quantize(position.x, POSITION_QUANTUM),
+                quantize(position.y, POSITION_QUANTUM),
+                quantize(position.z, POSITION_QUANTUM),
+                quantize(velocity.x, VELOCITY_QUANTUM),
+                quantize(velocity.y, VELOCITY_QUANTUM),
+                quantize(velocity.z, VELOCITY_QUANTUM),
+            ),
+            (Some(end), None) => format!("t{}:no-tick", quantize(end, TIME_QUANTUM)),
+            (None, _) => "no-tick".to_string(),
+        };
+        Self {
+            verdict: verdict_label(report.result).to_string(),
+            class: report
+                .class
+                .map(|class| class.label().to_string())
+                .unwrap_or_else(|| "unclassified".to_string()),
+            skeleton,
+            terminal,
+        }
+    }
+
+    /// The canonical key the corpus dedups on: the four components joined
+    /// with `/`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.verdict, self.class, self.skeleton, self.terminal
+        )
+    }
+
+    /// FNV-1a hash of [`FailureSignature::key`], for compact grouping.
+    pub fn hash64(&self) -> u64 {
+        config_hash(&self.key())
+    }
+}
+
+impl std::fmt::Display for FailureSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{TraceHeader, TRACE_FORMAT_VERSION};
+    use mls_core::{FailsafeReason, SystemVariant};
+    use mls_geom::Vec3;
+
+    fn header() -> TraceHeader {
+        TraceHeader {
+            version: TRACE_FORMAT_VERSION,
+            campaign: "sig-test".to_string(),
+            seed: 7,
+            variant: SystemVariant::MlsV1,
+            scenario_id: 0,
+            scenario_name: "urban-00/s00".to_string(),
+            family: "open".to_string(),
+            cell_index: 0,
+            repeat: 0,
+            config_hash: config_hash("{}"),
+            tick_decimation: 25,
+            map_decimation: 8,
+            capacity: 8192,
+            dropped_events: 0,
+            coordinates: Vec::new(),
+        }
+    }
+
+    fn failed_trace() -> Trace {
+        Trace {
+            header: header(),
+            events: vec![
+                TraceEvent::FaultActive {
+                    time: 5.0,
+                    gps_bias: Vec3::new(3.0, 0.0, 0.0),
+                    wind: Vec3::ZERO,
+                    compute_throttle: 1.0,
+                },
+                TraceEvent::Tick {
+                    time: 60.0,
+                    position: Vec3::new(12.4, -3.2, 0.6),
+                    velocity: Vec3::new(0.2, 0.0, -1.1),
+                    estimated: Vec3::new(15.0, -3.0, 0.6),
+                    gps_drift: 0.3,
+                    estimation_error: 4.2,
+                },
+                TraceEvent::Failsafe {
+                    time: 61.0,
+                    reason: FailsafeReason::MarkerLost,
+                },
+                TraceEvent::MissionEnd {
+                    time: 61.0,
+                    result: MissionResult::PoorLanding,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn signatures_summarise_the_failure() {
+        let signature = FailureSignature::of(&failed_trace());
+        assert_eq!(signature.verdict, "poor-landing");
+        assert_eq!(signature.skeleton, "fault:+g|fs:MarkerLost");
+        assert!(signature.terminal.starts_with("t12:p(12,-3,1)"));
+        assert_eq!(signature.key(), signature.to_string());
+        assert_eq!(signature.hash64(), config_hash(&signature.key()));
+    }
+
+    #[test]
+    fn quantization_collapses_near_identical_terminals() {
+        let base = failed_trace();
+        let mut nudged = base.clone();
+        if let TraceEvent::Tick { position, .. } = &mut nudged.events[1] {
+            position.x -= 0.2;
+        }
+        assert_eq!(
+            FailureSignature::of(&base).key(),
+            FailureSignature::of(&nudged).key(),
+            "a 20 cm nudge stays in the same terminal cell"
+        );
+        let mut moved = base.clone();
+        if let TraceEvent::Tick { position, .. } = &mut moved.events[1] {
+            position.x += 10.0;
+        }
+        assert_ne!(
+            FailureSignature::of(&base).key(),
+            FailureSignature::of(&moved).key(),
+            "a 10 m move is a different failure"
+        );
+    }
+
+    #[test]
+    fn empty_and_clean_traces_have_degenerate_signatures() {
+        let empty = Trace {
+            header: header(),
+            events: Vec::new(),
+        };
+        let signature = FailureSignature::of(&empty);
+        assert_eq!(signature.verdict, "incomplete");
+        assert_eq!(signature.skeleton, "clean");
+        assert_eq!(signature.terminal, "no-tick");
+    }
+
+    #[test]
+    fn verdict_labels_cover_every_result() {
+        assert_eq!(verdict_label(Some(MissionResult::Success)), "success");
+        assert_eq!(
+            verdict_label(Some(MissionResult::CollisionFailure)),
+            "collision"
+        );
+        assert_eq!(
+            verdict_label(Some(MissionResult::PoorLanding)),
+            "poor-landing"
+        );
+        assert_eq!(verdict_label(None), "incomplete");
+    }
+}
