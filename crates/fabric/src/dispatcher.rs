@@ -395,6 +395,7 @@ struct EventLoop {
 impl EventLoop {
     fn start(session: &Session<'_>) -> Result<Self, CampaignError> {
         let (events_tx, events) = mpsc::channel();
+        // mls-lint: allow(D002): heartbeat epoch for worker liveness; timing steers failover only, and fabric_equivalence pins report bytes identical under chaos kills
         let now = Instant::now();
         let mut health = Vec::with_capacity(session.config.workers);
         let mut processes = Vec::with_capacity(session.config.workers);
@@ -461,6 +462,7 @@ impl EventLoop {
     }
 
     fn handle(&mut self, session: &Session<'_>, event: Event) -> Result<(), CampaignError> {
+        // mls-lint: allow(D002): stamps worker heartbeats for timeout reaping; lease reassignment is deterministic whatever the clock says (fabric_equivalence)
         let now = Instant::now();
         match event {
             Event::Gone { slot, incarnation } => {
@@ -546,6 +548,7 @@ impl EventLoop {
 
     /// Declares heartbeat-silent workers dead.
     fn reap_timeouts(&mut self, session: &Session<'_>) -> Result<(), CampaignError> {
+        // mls-lint: allow(D002): heartbeat-silence detection is inherently wall-clock; a mis-timed reap only respawns a worker, never changes aggregation order
         let now = Instant::now();
         for slot in 0..self.health.len() {
             if self.health[slot].timed_out(now, session.config.heartbeat_timeout) {
@@ -593,6 +596,7 @@ impl EventLoop {
             ],
         );
         if self.health[slot].can_respawn(session.config.respawn_budget) {
+            // mls-lint: allow(D002): respawn epoch restarts the new incarnation's heartbeat window; reports stay byte-identical across respawn timing (chaos suite)
             self.health[slot].respawn(Instant::now());
             mls_obs::counter("mls_fabric_worker_respawns_total").inc();
             match session.spawn_worker(slot, self.health[slot].incarnation, &self.events_tx) {

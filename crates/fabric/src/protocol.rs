@@ -280,9 +280,11 @@ pub fn shutdown_message() -> Value {
 /// Returns the handshake violation, human-readable.
 pub fn validate_ready(message: &Value, expected_hash: Option<u64>) -> Result<(), String> {
     if message_type(message) != Some("ready") {
+        // Stable `{}` rendering (D005): this string crosses the wire in an
+        // error frame, so even diagnostics stay debug-format-free.
         return Err(format!(
-            "expected a ready frame, got {:?}",
-            message_type(message)
+            "expected a ready frame, got {}",
+            message_type(message).unwrap_or("<untyped frame>")
         ));
     }
     let protocol = require_u64(message, "protocol")?;

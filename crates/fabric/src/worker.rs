@@ -150,7 +150,13 @@ where
 {
     let output = Arc::new(Mutex::new(output));
     let send = |frame: &Value| -> bool {
-        let mut writer = output.lock().expect("worker stdout poisoned");
+        // A poisoned lock means the heartbeat thread panicked mid-write;
+        // keep speaking protocol on the recovered writer rather than
+        // aborting mid-frame (D006) — the dispatcher's frame parser treats
+        // any torn tail as worker death and reassigns the lease.
+        let mut writer = output
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         protocol::write_frame(&mut *writer, frame).is_ok()
     };
 
@@ -185,7 +191,11 @@ where
             if beat_stop.load(Ordering::Relaxed) {
                 break;
             }
-            let mut writer = beat_output.lock().expect("worker stdout poisoned");
+            // Same recovery as `send`: a heartbeat must never abort the
+            // worker, and a torn frame already reads as death upstream.
+            let mut writer = beat_output
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if protocol::write_frame(&mut *writer, &protocol::heartbeat_message(beat_worker))
                 .is_err()
             {

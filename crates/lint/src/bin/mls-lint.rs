@@ -1,0 +1,68 @@
+//! The `mls-lint` CLI: lint the workspace, print human diagnostics, write
+//! the versioned JSON report, and fail by exit code.
+//!
+//! ```text
+//! mls-lint [--root <dir>] [--json <path>] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error — the same
+//! convention the equivalence smoke binaries use, so CI gates on the code.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage("--json needs a path"),
+            },
+            "--quiet" => quiet = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match mls_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("mls-lint: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let json_path = json_path.unwrap_or_else(|| root.join("target/reports/lint.json"));
+    if let Some(parent) = json_path.parent() {
+        if let Err(err) = std::fs::create_dir_all(parent) {
+            eprintln!("mls-lint: cannot create {}: {err}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(err) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("mls-lint: cannot write {}: {err}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    if !quiet {
+        print!("{}", report.render_human());
+        println!("report: {}", json_path.display());
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("mls-lint: {problem}\nusage: mls-lint [--root <dir>] [--json <path>] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,455 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! The rule engine needs exactly one guarantee from this module: a token is
+//! never misclassified across the string/comment boundary. `HashMap` inside
+//! a doc comment or a format string must not trip D001; `{:?}` inside a
+//! *code* string literal must trip D005. Everything else — precise numeric
+//! grammar, full Unicode identifier tables — is handled with pragmatic
+//! approximations that are documented inline.
+//!
+//! The lexer is lossless: concatenating the text of every token (whitespace
+//! tokens included) reproduces the input byte for byte. The property suite
+//! in `tests/lexer_proptest.rs` pins this over both generated sources and
+//! the real workspace + vendored-crate corpus.
+
+/// Classification of one source region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal/vertical whitespace between tokens.
+    Whitespace,
+    /// `// …` to end of line (doc comments `///`/`//!` included).
+    LineComment,
+    /// `/* … */`, nesting tracked (doc comments `/** … */` included).
+    BlockComment,
+    /// `"…"` and `b"…"`/`c"…"` with escape handling.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#` — raw strings, any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `'€'` character (or byte) literals.
+    Char,
+    /// `'a` lifetimes and loop labels.
+    Lifetime,
+    /// Identifiers and keywords, raw identifiers (`r#type`) included.
+    Ident,
+    /// Integer and float literals, suffixes attached (`1_000u64`, `2.5e-3`).
+    Number,
+    /// Any other single byte (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexed region: classification plus byte span and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text, sliced from the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// True when `text` (a [`TokenKind::Number`] token) is a float literal:
+/// a decimal point, an exponent, or an explicit float suffix. Hex/octal/
+/// binary literals are never floats (`0xE0` has no exponent).
+pub fn number_is_float(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    text.contains('.')
+        || text.contains(['e', 'E'])
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+}
+
+fn is_ident_start(c: char) -> bool {
+    // ASCII identifier characters plus a blanket "any non-ASCII char"
+    // bucket: the workspace is ASCII-only, but a Unicode identifier (or a
+    // stray multibyte char) must still lex as *something* ident-like rather
+    // than desynchronize the scanner.
+    c == '_' || c.is_ascii_alphabetic() || !c.is_ascii()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    is_ident_start(c) || c.is_ascii_digit()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    /// The char starting at `pos + offset` (offset must sit on a boundary).
+    fn peek_char(&self, offset: usize) -> Option<char> {
+        self.src[self.pos + offset..].chars().next()
+    }
+
+    fn bump_to(&mut self, end: usize, kind: TokenKind) {
+        debug_assert!(end > self.pos, "lexer must always make progress");
+        let start = self.pos;
+        let line = self.line;
+        self.line += self.src[start..end].matches('\n').count() as u32;
+        self.pos = end;
+        self.tokens.push(Token {
+            kind,
+            start,
+            end,
+            line,
+        });
+    }
+
+    fn lex_whitespace(&mut self) {
+        let mut end = self.pos;
+        while end < self.bytes.len() && self.bytes[end].is_ascii_whitespace() {
+            end += 1;
+        }
+        self.bump_to(end, TokenKind::Whitespace);
+    }
+
+    fn lex_line_comment(&mut self) {
+        let end = self.src[self.pos..]
+            .find('\n')
+            .map_or(self.src.len(), |n| self.pos + n);
+        self.bump_to(end, TokenKind::LineComment);
+    }
+
+    fn lex_block_comment(&mut self) {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while i < self.bytes.len() {
+            if self.bytes[i] == b'/' && self.bytes.get(i + 1) == Some(&b'*') {
+                depth += 1;
+                i += 2;
+            } else if self.bytes[i] == b'*' && self.bytes.get(i + 1) == Some(&b'/') {
+                depth -= 1;
+                i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // An unterminated comment swallows the rest of the file — the same
+        // recovery rustc uses before reporting the error.
+        self.bump_to(
+            i.max(self.pos + 2).min(self.bytes.len()),
+            TokenKind::BlockComment,
+        );
+    }
+
+    /// Quoted string with `\` escapes, starting at the opening quote offset.
+    fn lex_escaped_string(&mut self, open_offset: usize, kind: TokenKind) {
+        let mut i = self.pos + open_offset + 1;
+        while i < self.bytes.len() {
+            match self.bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        self.bump_to(i.min(self.bytes.len()), kind);
+    }
+
+    /// `r`/`br`/`cr` raw string: `open_offset` points at the first `#` or
+    /// the opening quote. Returns false if the text is not actually a raw
+    /// string (e.g. `r#ident`), leaving the lexer untouched.
+    fn try_lex_raw_string(&mut self, open_offset: usize) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(open_offset + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(open_offset + hashes) != Some(b'"') {
+            return false;
+        }
+        let mut i = self.pos + open_offset + hashes + 1;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        while i < self.bytes.len() {
+            if self.bytes[i] == b'"' && self.bytes[i..].starts_with(&closer) {
+                i += closer.len();
+                break;
+            }
+            i += 1;
+        }
+        self.bump_to(i.min(self.bytes.len()), TokenKind::RawStr);
+        true
+    }
+
+    /// `'` — lifetime, label, or char literal.
+    fn lex_quote(&mut self) {
+        match self.peek_char(1) {
+            // `'\n'`, `'\u{1F600}'` — escaped char literal. The scan starts
+            // at the backslash so the loop's own escape-skip consumes the
+            // escaped character (`'\\'` must not eat its closing quote).
+            Some('\\') => {
+                let mut i = self.pos + 1;
+                while i < self.bytes.len() {
+                    match self.bytes[i] {
+                        b'\\' => i += 2,
+                        b'\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                self.bump_to(i.min(self.bytes.len()), TokenKind::Char);
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char literal; `'a` (no closing quote after one
+                // char) is a lifetime — the exact disambiguation rustc uses.
+                let after = self.pos + 1 + c.len_utf8();
+                if self.bytes.get(after) == Some(&b'\'') {
+                    self.bump_to(after + 1, TokenKind::Char);
+                } else {
+                    let mut end = after;
+                    while end < self.bytes.len()
+                        && self.src[end..]
+                            .chars()
+                            .next()
+                            .is_some_and(is_ident_continue)
+                    {
+                        end += self.src[end..].chars().next().map_or(1, char::len_utf8);
+                    }
+                    self.bump_to(end, TokenKind::Lifetime);
+                }
+            }
+            // `' '`, `'€'`, `'0'` — unescaped char literal.
+            Some(c) => {
+                let after = self.pos + 1 + c.len_utf8();
+                if self.bytes.get(after) == Some(&b'\'') {
+                    self.bump_to(after + 1, TokenKind::Char);
+                } else {
+                    // Stray quote (malformed source): single punct, keep going.
+                    self.bump_to(self.pos + 1, TokenKind::Punct);
+                }
+            }
+            None => self.bump_to(self.pos + 1, TokenKind::Punct),
+        }
+    }
+
+    fn lex_number(&mut self) {
+        let mut end = self.pos;
+        // Integer part: digits, underscores, and radix/hex letters. Walking
+        // alphanumerics also swallows integer suffixes (`10usize`).
+        while end < self.bytes.len()
+            && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        // Fractional part only when the dot is followed by a digit, so
+        // `1..n` ranges and `1.to_string()` leave the dot to the next token.
+        if self.bytes.get(end) == Some(&b'.')
+            && self.bytes.get(end + 1).is_some_and(u8::is_ascii_digit)
+        {
+            end += 1;
+            while end < self.bytes.len()
+                && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+            {
+                end += 1;
+            }
+        }
+        // Exponent sign: `2e-3` stops the alphanumeric walk at `-`.
+        if (self.bytes.get(end) == Some(&b'-') || self.bytes.get(end) == Some(&b'+'))
+            && self.bytes[end - 1].eq_ignore_ascii_case(&b'e')
+            && !self.src[self.pos..end].starts_with("0x")
+            && self.bytes.get(end + 1).is_some_and(u8::is_ascii_digit)
+        {
+            end += 1;
+            while end < self.bytes.len()
+                && (self.bytes[end].is_ascii_alphanumeric() || self.bytes[end] == b'_')
+            {
+                end += 1;
+            }
+        }
+        self.bump_to(end, TokenKind::Number);
+    }
+
+    fn lex_ident(&mut self) {
+        let mut end = self.pos;
+        while end < self.bytes.len()
+            && self.src[end..]
+                .chars()
+                .next()
+                .is_some_and(is_ident_continue)
+        {
+            end += self.src[end..].chars().next().map_or(1, char::len_utf8);
+        }
+        self.bump_to(end, TokenKind::Ident);
+    }
+
+    fn next_token(&mut self) {
+        let b = self.bytes[self.pos];
+        match b {
+            _ if b.is_ascii_whitespace() => self.lex_whitespace(),
+            b'/' if self.peek(1) == Some(b'/') => self.lex_line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.lex_block_comment(),
+            b'"' => self.lex_escaped_string(0, TokenKind::Str),
+            b'\'' => self.lex_quote(),
+            b'r' | b'c' if self.peek(1) == Some(b'"') || self.peek(1) == Some(b'#') => {
+                // `r"…"`/`r#"…"#` raw string vs `r#ident` raw identifier.
+                if !self.try_lex_raw_string(1) {
+                    if self.peek(1) == Some(b'#') {
+                        self.bump_to(self.pos + 2, TokenKind::Punct);
+                        self.lex_ident();
+                        // Merge `r#` + ident into one Ident token.
+                        let ident = self.tokens.pop().expect("ident just pushed");
+                        let prefix = self.tokens.pop().expect("prefix just pushed");
+                        self.tokens.push(Token {
+                            kind: TokenKind::Ident,
+                            start: prefix.start,
+                            end: ident.end,
+                            line: prefix.line,
+                        });
+                    } else {
+                        self.lex_ident();
+                    }
+                }
+            }
+            b'b' if self.peek(1) == Some(b'"') => self.lex_escaped_string(1, TokenKind::Str),
+            b'b' if self.peek(1) == Some(b'\'') => {
+                // Byte literal `b'x'` — reuse the quote scanner one byte in.
+                self.pos += 1;
+                self.lex_quote();
+                let lit = self.tokens.pop().expect("literal just pushed");
+                self.tokens.push(Token {
+                    start: lit.start - 1,
+                    ..lit
+                });
+            }
+            b'b' if self.peek(1) == Some(b'r') && self.peek(2) != Some(b'\'') => {
+                if !self.try_lex_raw_string(2) {
+                    self.lex_ident();
+                }
+            }
+            _ if b.is_ascii_digit() => self.lex_number(),
+            _ if self.peek_char(0).is_some_and(is_ident_start) => self.lex_ident(),
+            _ => self.bump_to(self.pos + 1, TokenKind::Punct),
+        }
+    }
+}
+
+/// Lexes `src` into a lossless token stream: the concatenation of every
+/// token's text is exactly `src`, and no token is empty.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lexer = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    };
+    while lexer.pos < lexer.bytes.len() {
+        lexer.next_token();
+    }
+    lexer.tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_code_separate() {
+        let src = "let x = \"HashMap // not a comment\"; // HashMap\nuse HashMap;";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Str, "\"HashMap // not a comment\"")));
+        assert!(toks.contains(&(TokenKind::LineComment, "// HashMap")));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Ident && *t == "HashMap")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r####"let s = r#"quote " inside"#; let t = r##"deeper "# inside"##;"####;
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::RawStr, r###"r#"quote " inside"#"###)));
+        assert!(toks.contains(&(TokenKind::RawStr, r####"r##"deeper "# inside"##"####)));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks.contains(&(TokenKind::Char, "'a'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'")));
+    }
+
+    #[test]
+    fn numbers_and_method_calls_on_literals() {
+        let toks = kinds("let x = 1.5f64; let y = 1.to_string(); let r = 0..n; 2e-3;");
+        assert!(toks.contains(&(TokenKind::Number, "1.5f64")));
+        assert!(toks.contains(&(TokenKind::Number, "2e-3")));
+        assert!(toks.contains(&(TokenKind::Ident, "to_string")));
+        assert!(number_is_float("1.5f64"));
+        assert!(number_is_float("2e-3"));
+        assert!(!number_is_float("1"));
+        assert!(!number_is_float("0xE0"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn lossless_roundtrip() {
+        let src = "fn main() { /* c */ let s = \"x\\\"y\"; } // tail";
+        let rebuilt: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let src = "a\nb\n  c";
+        let toks: Vec<(u32, &str)> = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text(src)))
+            .collect();
+        assert_eq!(toks, vec![(1, "a"), (2, "b"), (3, "c")]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Diagnostics and the versioned JSON report (`target/reports/lint.json`).
+//!
+//! The report is rendered with a hand-rolled writer (the crate is
+//! dependency-free) and is fully deterministic: findings sorted by
+//! (file, line, rule), summary keyed through a `BTreeMap` — running the
+//! tool twice on the same tree yields byte-identical bytes, the same bar
+//! the rest of the workspace holds its artifacts to.
+
+use std::collections::BTreeMap;
+
+/// The report schema version; bump on any field change.
+pub const SCHEMA: &str = "mls-lint-v1";
+
+/// One rule violation (or `A000`/`A001` meta finding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub snippet: String,
+    pub message: String,
+}
+
+/// One exercised `mls-lint: allow` — reported so suppressions stay
+/// auditable instead of invisible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// The full result of one workspace (or fixture-dir) run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the tree is clean: no findings (exercised allows are fine).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Canonical ordering: by (file, line, rule) across the whole run.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        self.suppressed
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// The versioned single-line-per-entry JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &self.findings {
+            *by_rule.entry(&f.rule).or_insert(0) += 1;
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"summary\": {");
+        let mut first = true;
+        for (rule, count) in &by_rule {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{rule}\": {count}"));
+        }
+        out.push_str("},\n");
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \"message\": \"{}\"}}{}\n",
+                escape(&f.rule),
+                escape(&f.file),
+                f.line,
+                escape(&f.snippet),
+                escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"suppressed\": [\n");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}{}\n",
+                escape(&s.rule),
+                escape(&s.file),
+                s.line,
+                escape(&s.reason),
+                if i + 1 < self.suppressed.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human diagnostics: one `rule file:line` block per finding plus a
+    /// one-line verdict, mirroring the compiler's error format closely
+    /// enough that editors linkify the locations.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "error[{}]: {}\n  --> {}:{}\n   | {}\n",
+                f.rule, f.message, f.file, f.line, f.snippet
+            ));
+        }
+        let suppressed = if self.suppressed.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} allowed with reasons)", self.suppressed.len())
+        };
+        if self.clean() {
+            out.push_str(&format!(
+                "mls-lint: clean — {} files scanned{suppressed}\n",
+                self.files_scanned
+            ));
+        } else {
+            out.push_str(&format!(
+                "mls-lint: {} finding(s) across {} files{suppressed}\n",
+                self.findings.len(),
+                self.files_scanned
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors `mls_obs::sink::json_escape`,
+/// re-rolled here so the analyzer depends on nothing it lints).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let mut report = LintReport {
+            findings: vec![Finding {
+                rule: "D001".into(),
+                file: "b.rs".into(),
+                line: 3,
+                snippet: "let m: HashMap<\"k\", _>;".into(),
+                message: "order".into(),
+            }],
+            suppressed: vec![],
+            files_scanned: 2,
+        };
+        report.sort();
+        let a = report.to_json();
+        let b = report.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"k\\\""));
+        assert!(a.contains("\"summary\": {\"D001\": 1}"));
+    }
+}

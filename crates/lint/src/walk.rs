@@ -1,0 +1,85 @@
+//! Deterministic workspace file discovery.
+//!
+//! The scan surface is the *shipped* code: every `.rs` file under a `src/`
+//! directory of the workspace root or its crates. Excluded by construction:
+//!
+//! * `vendor/` — vendored stand-ins for external crates; `vendor/rand` is
+//!   the sanctioned seeded RNG and legitimately contains what D004 bans.
+//! * `tests/`, `examples/`, `benches/` — test harness code may panic, time
+//!   and spawn freely; the equivalence suites the rules protect are
+//!   themselves tests. (The lint fixture corpus also lives under `tests/`.)
+//! * `target/`, `.git/` — build output and history.
+//!
+//! Directory entries are visited in sorted order so the report is
+//! byte-identical across filesystems.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "tests", "examples", "benches"];
+
+/// Collects every shipped `.rs` source under `root`, sorted, as paths
+/// relative to `root` (forward slashes, so diagnostics and the JSON report
+/// are OS-independent).
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    visit(root, root, false, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn visit(root: &Path, dir: &Path, under_src: bool, files: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            visit(root, &path, under_src || name == "src", files)?;
+        } else if under_src && name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walk stays under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            files.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_src_trees_and_skips_vendor_tests_target() {
+        // The lint crate's own workspace is the natural fixture.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = workspace_sources(root).expect("walk");
+        assert!(files.iter().any(|f| f == "crates/lint/src/lexer.rs"));
+        assert!(files.iter().any(|f| f == "src/lib.rs"));
+        assert!(!files.iter().any(|f| f.starts_with("vendor/")));
+        assert!(!files.iter().any(|f| f.contains("/tests/")));
+        assert!(!files.iter().any(|f| f.starts_with("target/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "discovery order is deterministic");
+    }
+}

@@ -1,0 +1,8 @@
+//! Allow grammar: a violation suppressed with a reasoned allow is clean,
+//! and the suppression is recorded in the report for audit.
+
+pub fn distinct(xs: &[u64]) -> bool {
+    // mls-lint: allow(D001): membership-only duplicate check, never iterated
+    let mut seen = std::collections::HashSet::new();
+    xs.iter().all(|x| seen.insert(*x))
+}

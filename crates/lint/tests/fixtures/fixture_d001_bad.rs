@@ -1,0 +1,7 @@
+//! D001 positive: a hash container in a serialization path — iteration
+//! order would become artifact bytes.
+
+pub fn encode() {
+    let map = std::collections::HashMap::<String, u64>::new();
+    let _ = map;
+}

@@ -1,0 +1,8 @@
+//! D001 negative: ordered containers are the sanctioned source of
+//! serialization order. (The ident in this doc comment — HashMap — must
+//! not trip the lexer-backed rule either.)
+
+pub fn encode() {
+    let map = std::collections::BTreeMap::<String, u64>::new();
+    let _ = map;
+}

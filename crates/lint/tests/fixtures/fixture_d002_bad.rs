@@ -1,0 +1,6 @@
+//! D002 positive: an ungated wall-clock read outside mls-obs.
+
+pub fn stamp() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

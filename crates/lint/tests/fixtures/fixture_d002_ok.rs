@@ -1,0 +1,6 @@
+//! D002 negative: the clock read sits behind an obs-enabled `.then(…)`
+//! gate, so a deterministic run never reaches it.
+
+pub fn stamp(observing: bool) -> Option<std::time::Instant> {
+    observing.then(std::time::Instant::now)
+}

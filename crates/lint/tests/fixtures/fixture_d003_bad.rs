@@ -1,0 +1,5 @@
+//! D003 positive: an ad-hoc thread outside the sanctioned spawn sites.
+
+pub fn fan_out() {
+    std::thread::spawn(|| ());
+}

@@ -1,0 +1,13 @@
+//! D003 negative: test code may spawn freely — the determinism contract
+//! covers shipped paths, and the equivalence suites are themselves tests.
+
+pub fn shipped() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_threads_are_test_scoped() {
+        let handle = std::thread::spawn(|| 1 + 1);
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+}

@@ -1,0 +1,7 @@
+//! D004 positive: `RandomState` seeds itself from OS entropy — hidden
+//! nondeterminism even when the map is never iterated.
+
+pub fn hasher() {
+    let state = std::collections::hash_map::RandomState::new();
+    let _ = state;
+}

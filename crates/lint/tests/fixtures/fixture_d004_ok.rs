@@ -1,0 +1,7 @@
+//! D004 negative: the vendored seeded RNG is the only sanctioned
+//! stochastic source.
+
+pub fn rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

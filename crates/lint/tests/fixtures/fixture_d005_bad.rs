@@ -1,0 +1,6 @@
+//! D005 positive: debug-formatting in a wire path — `{:?}` float rendering
+//! is not a stable encoding across compiler versions.
+
+pub fn frame(value: f64) -> String {
+    format!("{:?}", value)
+}

@@ -1,0 +1,6 @@
+//! D005 negative: floats cross the wire as `to_bits()` — an exact u64,
+//! re-hydrated with `from_bits` on the far side.
+
+pub fn frame(value: f64) -> String {
+    format!("{}", value.to_bits())
+}

@@ -1,0 +1,7 @@
+//! D006 positive: an `unwrap` in a worker protocol path — a malformed
+//! frame would abort the worker mid-stream instead of exiting with a
+//! protocol error code.
+
+pub fn read_frame(input: &str) -> u64 {
+    input.parse().unwrap()
+}

@@ -1,0 +1,6 @@
+//! D006 negative: protocol failures surface as error codes the dispatcher
+//! can turn into deterministic lease reassignment.
+
+pub fn read_frame(input: &str) -> Result<u64, i32> {
+    input.parse().map_err(|_| 3)
+}

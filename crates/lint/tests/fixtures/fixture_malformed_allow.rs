@@ -1,0 +1,8 @@
+//! Malformed allow: the reason is mandatory — an allow without one is its
+//! own finding (A000), and the violation it failed to justify still fires.
+
+pub fn sloppy() {
+    // mls-lint: allow(D001)
+    let map = std::collections::HashMap::<String, u64>::new();
+    let _ = map;
+}

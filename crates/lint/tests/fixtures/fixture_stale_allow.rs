@@ -1,0 +1,8 @@
+//! Stale allow: the code below was fixed (BTreeSet) but the allow
+//! lingered — the justification must go with the violation (A001).
+
+pub fn tidy(xs: &[u64]) -> bool {
+    // mls-lint: allow(D001): membership-only duplicate check, never iterated
+    let mut seen = std::collections::BTreeSet::new();
+    xs.iter().all(|x| seen.insert(*x))
+}

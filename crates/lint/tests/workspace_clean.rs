@@ -1,0 +1,40 @@
+//! The gate the whole PR exists for: the shipped workspace is clean under
+//! the D001-D006 catalog — honestly, not grandfathered. Every historical
+//! violation was either fixed or carries a reasoned
+//! `// mls-lint: allow(…)` that this run re-validates (a stale allow is a
+//! finding too).
+
+use std::path::Path;
+
+#[test]
+fn the_shipped_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = mls_lint::lint_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned >= 100,
+        "scan surface shrank suspiciously: {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "determinism lint findings in the shipped tree:\n{}",
+        report.render_human()
+    );
+    // The audited suppressions: the fabric dispatcher's four wall-clock
+    // reads (heartbeats/failover), each justified inline. Growing this
+    // number is a deliberate act — it means a new allow was written.
+    assert!(
+        report.suppressed.len() <= 6,
+        "suppression budget exceeded — review the new allows:\n{:#?}",
+        report.suppressed
+    );
+    for s in &report.suppressed {
+        assert!(
+            s.reason.len() >= 20,
+            "allow reasons must actually justify: {s:?}"
+        );
+    }
+}
