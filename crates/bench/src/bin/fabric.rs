@@ -14,11 +14,19 @@
 //! the smoke run also proves the self-spawn path the production harnesses
 //! use. `MLS_OBS` / `MLS_OBS_DIR` propagate to workers, whose artifacts
 //! land tagged `worker-<id>` next to the dispatcher's.
+//!
+//! With `MLS_RESUME_SMOKE=1` the binary instead runs the crash/resume
+//! smoke behind CI's `resume-smoke` job: it re-executes itself as a
+//! *journaled* fabric dispatcher, SIGKILLs that dispatcher once the
+//! write-ahead journal holds N durable records (the harness-side reading
+//! of the `sigkill-dispatcher-after=N` chaos directive), then resumes
+//! from the orphaned journal and enforces by exit code that the resumed
+//! report and traces are byte-identical to an undisturbed run.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mls_bench::{finish_obs, print_header, HarnessOptions};
 use mls_campaign::{CampaignRunner, CampaignSpec, FaultKind, FaultPlan, TracePolicy, Transport};
@@ -110,11 +118,205 @@ fn check(label: &str, baseline: &Run, candidate: &Run) -> bool {
     report_ok && traces_ok
 }
 
+/// Selects the crash/resume smoke instead of the transport-identity smoke.
+const RESUME_SMOKE_ENV: &str = "MLS_RESUME_SMOKE";
+/// Marks the re-executed copy of this binary that plays the doomed
+/// journaled dispatcher inside the resume smoke.
+const RESUME_DISPATCH_ENV: &str = "MLS_RESUME_SMOKE_DISPATCH";
+
+/// Artifact locations for the resume smoke: trace dir and journal.
+fn resume_paths() -> (PathBuf, PathBuf) {
+    (
+        PathBuf::from("target/fabric-resume-smoke-traces"),
+        PathBuf::from("target/fabric-resume-smoke.journal.jsonl"),
+    )
+}
+
+/// The doomed dispatcher: a journaled 2-worker fabric run of the smoke
+/// grid. The parent harness SIGKILLs this process mid-campaign, so the
+/// success path below is only reached on fast exits (already-complete
+/// journals) — the journal on disk is the real output.
+fn resume_dispatch() -> ExitCode {
+    let options = HarnessOptions::from_env();
+    let spec = smoke_spec(options.seed);
+    let (dir, journal) = resume_paths();
+    match CampaignRunner::new(options.threads)
+        .with_transport(Transport::Fabric { workers: 2 })
+        .with_journal(&journal)
+        .with_trace_dir(&dir)
+        .run(&spec)
+    {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("resume-smoke dispatcher failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Counts durable (newline-terminated) journal records on disk; the
+/// header line does not count, nor does a torn tail.
+fn durable_records(journal: &Path) -> usize {
+    std::fs::read_to_string(journal)
+        .map(|text| text.matches('\n').count().saturating_sub(1))
+        .unwrap_or(0)
+}
+
+/// The crash/resume smoke: baseline in-process run, SIGKILL a journaled
+/// dispatcher child after `sigkill-dispatcher-after=N` durable records,
+/// resume from its journal over the fabric, compare every byte.
+fn resume_smoke() -> ExitCode {
+    print_header("fabric — crash/resume smoke (SIGKILL the dispatcher, resume byte-identically)");
+    let options = HarnessOptions::from_env();
+    let threads = options.threads;
+    let spec = smoke_spec(options.seed);
+    let (dir, journal) = resume_paths();
+
+    // `sigkill-dispatcher-after` is the one chaos mode workers ignore:
+    // the *harness* interprets it, by killing the dispatcher process.
+    let kill_after = std::env::var(mls_fabric::dispatcher::CHAOS_ENV)
+        .ok()
+        .and_then(|directive| mls_fabric::worker::parse_chaos(&directive))
+        .and_then(|schedule| schedule.sigkill_dispatcher_after)
+        .unwrap_or(3);
+    println!(
+        "grid: {} cells × {} missions, seed {}; SIGKILL after {kill_after} journal records",
+        spec.cells().len(),
+        spec.missions_per_cell(),
+        options.seed
+    );
+
+    println!("\n[1/3] in-process baseline");
+    let baseline = match run(&spec, threads, Transport::InProcess, &dir) {
+        Ok(result) => {
+            println!(
+                "  {:.1} s, {} trace files",
+                result.wall_s,
+                result.traces.len()
+            );
+            result
+        }
+        Err(err) => {
+            println!("  FAILED: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("\n[2/3] journaled fabric dispatcher, killed -9 mid-campaign");
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir_all(&dir);
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(err) => {
+            println!("  FAILED: cannot locate own executable: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut child = match std::process::Command::new(exe)
+        .env(RESUME_DISPATCH_ENV, "1")
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(err) => {
+            println!("  FAILED: cannot spawn dispatcher: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let mut finished_early = false;
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                // Dispatcher outran the kill threshold; a complete
+                // journal still exercises the resume path below.
+                if !status.success() {
+                    println!("  FAILED: dispatcher exited with {status} before the kill");
+                    return ExitCode::FAILURE;
+                }
+                finished_early = true;
+                break;
+            }
+            Ok(None) => {}
+            Err(err) => {
+                println!("  FAILED: cannot poll dispatcher: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if durable_records(&journal) >= kill_after {
+            let _ = child.kill();
+            let _ = child.wait();
+            break;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            println!("  FAILED: journal never reached {kill_after} records");
+            return ExitCode::FAILURE;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let survived = durable_records(&journal);
+    if survived == 0 {
+        println!("  FAILED: no durable journal records survived the kill");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "  {} with {survived} durable journal records",
+        if finished_early {
+            "dispatcher finished before the kill threshold"
+        } else {
+            "dispatcher SIGKILLed"
+        }
+    );
+
+    println!("\n[3/3] resume from the orphaned journal, 2 workers");
+    let _ = std::fs::remove_dir_all(&dir);
+    let start = Instant::now();
+    let resumed = CampaignRunner::new(threads)
+        .with_transport(Transport::Fabric { workers: 2 })
+        .with_trace_dir(&dir)
+        .resume(&journal);
+    let wall_s = start.elapsed().as_secs_f64();
+    let resumed = match resumed {
+        Ok(report) => match report.to_json() {
+            Ok(report_json) => Run {
+                report_json,
+                traces: snapshot_dir(&dir),
+                wall_s,
+            },
+            Err(err) => {
+                println!("  FAILED: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(err) => {
+            println!("  FAILED: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let all_good = check("resumed", &baseline, &resumed);
+
+    finish_obs();
+    if all_good {
+        println!("\nresume smoke: byte-identical after kill -9 at {survived} records");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nresume smoke: DIVERGENCE DETECTED");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     // Spawned copies of this binary become fabric workers before any
     // output or parsing happens.
     mls_fabric::maybe_worker();
     mls_fabric::install();
+    if std::env::var(RESUME_DISPATCH_ENV).as_deref() == Ok("1") {
+        return resume_dispatch();
+    }
+    if std::env::var(RESUME_SMOKE_ENV).as_deref() == Ok("1") {
+        return resume_smoke();
+    }
 
     print_header("fabric — distributed campaign smoke (byte-identity by exit code)");
     let options = HarnessOptions::from_env();

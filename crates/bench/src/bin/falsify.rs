@@ -34,7 +34,6 @@
 //! minimal lattice — the few-probe CI smoke that keeps the harder space
 //! green on every push.
 
-use std::fs;
 use std::process::ExitCode;
 
 use mls_bench::{percent, print_header, HarnessOptions};
@@ -294,22 +293,15 @@ fn main() -> ExitCode {
     match report.to_json() {
         Ok(json) => {
             let dir = std::path::Path::new("target/falsify");
-            if let Err(err) = fs::create_dir_all(dir) {
-                println!("cannot create {}: {err}", dir.display());
-                all_good = false;
-            } else {
-                let json_path = dir.join("report.json");
-                let csv_path = dir.join("report.csv");
-                let wrote = fs::write(&json_path, json)
-                    .and_then(|()| fs::write(&csv_path, report.to_csv()));
-                match wrote {
-                    Ok(()) => {
-                        println!("report: {} and {}", json_path.display(), csv_path.display())
-                    }
-                    Err(err) => {
-                        println!("cannot write the report: {err}");
-                        all_good = false;
-                    }
+            let json_path = dir.join("report.json");
+            let csv_path = dir.join("report.csv");
+            let wrote = mls_obs::atomic_write(&json_path, json.as_bytes())
+                .and_then(|()| mls_obs::atomic_write(&csv_path, report.to_csv().as_bytes()));
+            match wrote {
+                Ok(()) => println!("report: {} and {}", json_path.display(), csv_path.display()),
+                Err(err) => {
+                    println!("cannot write the report: {err}");
+                    all_good = false;
                 }
             }
         }

@@ -36,6 +36,11 @@
 //!   itself as the workers). Records the distributed wall-clock against
 //!   the in-process one and *enforces* that the distributed report is
 //!   byte-identical (the fabric's aggregation contract).
+//! * **journal-overhead** — the campaign-grid workload unjournaled vs
+//!   with the write-ahead result journal attached (one fsync'd record
+//!   per mission). Records the relative overhead — budgeted at < 2 % —
+//!   and *enforces* that the reports are byte-identical (journaling must
+//!   never perturb results).
 //!
 //! `MLS_PERF_SMOKE=1` shrinks every workload to a CI-sized smoke run
 //! (same measurements, same JSON shape, `"mode": "smoke"`). `MLS_THREADS`
@@ -123,6 +128,25 @@ struct FabricMeasurement {
     equivalent: bool,
 }
 
+/// One unjournaled vs write-ahead-journaled timing of the same campaign.
+#[derive(Debug, Serialize)]
+struct JournalOverheadMeasurement {
+    name: String,
+    /// Wall-clock with no journal attached, seconds.
+    off_wall_s: f64,
+    /// Wall-clock with one fsync'd journal record per mission, seconds.
+    on_wall_s: f64,
+    /// `(on − off) / off`; the crash-safety budget is < 0.02. Recorded,
+    /// not enforced — single-digit-second workloads on a shared host are
+    /// noisier than the budget itself.
+    overhead: f64,
+    /// Durable journal records the run left behind (one per mission).
+    records: usize,
+    /// Whether the serialized reports were byte-identical across the
+    /// toggle (this *is* enforced: the journal must never perturb).
+    equivalent: bool,
+}
+
 /// The persisted perf report.
 #[derive(Debug, Serialize)]
 struct PerfReport {
@@ -134,6 +158,7 @@ struct PerfReport {
     falsify: Vec<FalsifyMeasurement>,
     obs_overhead: Vec<ObsOverheadMeasurement>,
     fabric: Vec<FabricMeasurement>,
+    journal_overhead: Vec<JournalOverheadMeasurement>,
 }
 
 fn seconds(start: Instant) -> f64 {
@@ -509,6 +534,53 @@ fn obs_overhead_grid(
     )
 }
 
+/// Journal overhead on the campaign grid: the same spec unjournaled vs
+/// with the write-ahead journal attached, reports compared byte for byte.
+/// The suite cache is warmed first so both timings isolate mission
+/// flying + journaling from scenario generation.
+fn journal_overhead_grid(
+    threads: usize,
+    smoke: bool,
+    seed: u64,
+) -> Result<JournalOverheadMeasurement, String> {
+    let spec = campaign_grid_spec(smoke, seed);
+    let runner = CampaignRunner::new(threads);
+    runner
+        .generate_scenarios(&spec)
+        .map_err(|e| e.to_string())?;
+
+    let start = Instant::now();
+    let off = runner.run(&spec).map_err(|e| e.to_string())?;
+    let off_wall_s = seconds(start);
+    let off_json = off.to_json().map_err(|e| e.to_string())?;
+
+    let journal = std::path::PathBuf::from("target/perf-journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let journaled = CampaignRunner::new(threads).with_journal(&journal);
+    let start = Instant::now();
+    let on = journaled.run(&spec).map_err(|e| e.to_string())?;
+    let on_wall_s = seconds(start);
+    let on_json = on.to_json().map_err(|e| e.to_string())?;
+    let records = std::fs::read_to_string(&journal)
+        .map(|text| text.matches('\n').count().saturating_sub(1))
+        .unwrap_or(0);
+    if records != off.missions {
+        return Err(format!(
+            "expected one journal record per mission, got {records} for {} missions",
+            off.missions
+        ));
+    }
+
+    Ok(JournalOverheadMeasurement {
+        name: "journal-overhead-grid".to_string(),
+        off_wall_s,
+        on_wall_s,
+        overhead: (on_wall_s - off_wall_s) / off_wall_s.max(1e-9),
+        records,
+        equivalent: off_json == on_json,
+    })
+}
+
 /// Obs overhead on the batched CMA-ES search: probe log, failing point and
 /// mission count must be identical across the toggle.
 fn obs_overhead_cma(
@@ -581,9 +653,10 @@ fn main() -> ExitCode {
     let mut falsify = Vec::new();
     let mut obs_overhead = Vec::new();
     let mut fabric = Vec::new();
+    let mut journal_overhead = Vec::new();
     let mut all_good = true;
 
-    println!("\n[1/6] campaign-grid");
+    println!("\n[1/7] campaign-grid");
     match campaign_grid(threads, smoke, seed) {
         Ok(m) => {
             println!(
@@ -598,7 +671,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n[2/6] falsify-grid (sequential searcher path vs batched)");
+    println!("\n[2/7] falsify-grid (sequential searcher path vs batched)");
     match falsify_grid(threads, smoke, seed) {
         Ok(m) => {
             println!(
@@ -618,7 +691,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n[3/6] falsify-cma (batching transport, identical flags)");
+    println!("\n[3/7] falsify-cma (batching transport, identical flags)");
     match falsify_cma(threads, smoke, seed) {
         Ok(m) => {
             println!(
@@ -634,7 +707,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n[4/6] replay-throughput");
+    println!("\n[4/7] replay-throughput");
     match replay_throughput(threads, smoke) {
         Ok(m) => {
             println!(
@@ -649,7 +722,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n[5/6] obs-overhead (sinks off vs on, same process; budget < 2%)");
+    println!("\n[5/7] obs-overhead (sinks off vs on, same process; budget < 2%)");
     for result in [
         obs_overhead_grid(threads, smoke, seed),
         obs_overhead_cma(threads, smoke, seed),
@@ -677,7 +750,7 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("\n[6/6] fabric-grid (in-process vs 2 worker processes)");
+    println!("\n[6/7] fabric-grid (in-process vs 2 worker processes)");
     match fabric_grid(threads, smoke, seed) {
         Ok(m) => {
             println!(
@@ -693,8 +766,30 @@ fn main() -> ExitCode {
         }
     }
 
+    println!("\n[7/7] journal-overhead (unjournaled vs write-ahead journal; budget < 2%)");
+    match journal_overhead_grid(threads, smoke, seed) {
+        Ok(m) => {
+            println!(
+                "  off {:.1} s, on {:.1} s ({} records) → overhead {:+.2}% (equivalent: {})",
+                m.off_wall_s,
+                m.on_wall_s,
+                m.records,
+                m.overhead * 100.0,
+                m.equivalent
+            );
+            // As with obs-overhead: equivalence is the hard invariant, the
+            // overhead number is recorded against the budget.
+            all_good &= m.equivalent;
+            journal_overhead.push(m);
+        }
+        Err(err) => {
+            println!("  FAILED: {err}");
+            all_good = false;
+        }
+    }
+
     let report = PerfReport {
-        schema: "mls-perf-v3".to_string(),
+        schema: "mls-perf-v4".to_string(),
         mode: if smoke { "smoke" } else { "full" }.to_string(),
         threads,
         host,
@@ -702,9 +797,13 @@ fn main() -> ExitCode {
         falsify,
         obs_overhead,
         fabric,
+        journal_overhead,
     };
     match serde_json::to_string_pretty(&report) {
-        Ok(json) => match std::fs::write("BENCH_perf.json", json + "\n") {
+        Ok(json) => match mls_obs::atomic_write(
+            std::path::Path::new("BENCH_perf.json"),
+            (json + "\n").as_bytes(),
+        ) {
             Ok(()) => println!("\nreport: BENCH_perf.json"),
             Err(err) => {
                 println!("\ncannot write BENCH_perf.json: {err}");

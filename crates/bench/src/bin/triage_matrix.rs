@@ -204,10 +204,6 @@ fn main() -> ExitCode {
     print_matrix(&matrix);
 
     let reports = PathBuf::from("target/reports");
-    if let Err(err) = std::fs::create_dir_all(&reports) {
-        println!("creating target/reports failed: {err}");
-        return ExitCode::FAILURE;
-    }
     let json = match matrix.to_json() {
         Ok(json) => json,
         Err(err) => {
@@ -217,8 +213,8 @@ fn main() -> ExitCode {
     };
     let json_path = reports.join("triage_matrix.json");
     let csv_path = reports.join("triage_matrix.csv");
-    if let Err(err) =
-        std::fs::write(&json_path, &json).and_then(|()| std::fs::write(&csv_path, matrix.to_csv()))
+    if let Err(err) = mls_obs::atomic_write(&json_path, json.as_bytes())
+        .and_then(|()| mls_obs::atomic_write(&csv_path, matrix.to_csv().as_bytes()))
     {
         println!("writing matrix artifacts failed: {err}");
         return ExitCode::FAILURE;

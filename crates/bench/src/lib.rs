@@ -278,14 +278,19 @@ pub fn finish_obs() {
 /// useful on a read-only checkout.
 pub fn persist_report(report: &mls_campaign::CampaignReport) {
     let dir = std::path::Path::new("target/reports");
-    let written = std::fs::create_dir_all(dir)
+    let written = report
+        .to_json()
         .map_err(|e| e.to_string())
-        .and_then(|()| {
-            let json = report.to_json().map_err(|e| e.to_string())?;
-            std::fs::write(dir.join(format!("{}.json", report.name)), json)
-                .map_err(|e| e.to_string())?;
-            std::fs::write(dir.join(format!("{}.csv", report.name)), report.to_csv())
+        .and_then(|json| {
+            mls_obs::atomic_write(&dir.join(format!("{}.json", report.name)), json.as_bytes())
                 .map_err(|e| e.to_string())
+        })
+        .and_then(|()| {
+            mls_obs::atomic_write(
+                &dir.join(format!("{}.csv", report.name)),
+                report.to_csv().as_bytes(),
+            )
+            .map_err(|e| e.to_string())
         });
     match written {
         Ok(()) => println!(

@@ -34,6 +34,12 @@
 //!   regardless of thread count, and
 //!   [`CampaignRunner::replay`](runner::CampaignRunner::replay) re-executes
 //!   any recorded trace and byte-compares the regenerated stream.
+//! * [`journal`] — the crash-safety layer: a versioned write-ahead result
+//!   journal recording one fsync'd record per completed work unit, keyed
+//!   by configuration hash with floats as IEEE-754 bit patterns, so an
+//!   interrupted campaign ([`CampaignRunner::resume`](runner::CampaignRunner::resume))
+//!   re-flies only the missing missions and reproduces its artifacts
+//!   byte-identically.
 //! * [`suites`] — the process-wide [`SuiteCache`] memoizing generated
 //!   scenario suites by `(family, suite seed, maps, scenarios per map)`,
 //!   so repeated campaigns and multi-space falsification runs stop
@@ -105,6 +111,7 @@ use std::fmt;
 
 pub mod executor;
 pub mod faults;
+pub mod journal;
 mod obs_util;
 pub mod report;
 pub mod runner;
@@ -120,6 +127,7 @@ pub use faults::{
     CompositeInjector, FaultAxis, FaultInjector, FaultKind, FaultPlan, FaultSpace,
     MissionFaultContext,
 };
+pub use journal::{Journal, JournalHandle, JournalHeader, JournalScope, JOURNAL_SCHEMA};
 pub use mls_trace::{
     CorpusQuery, CorpusRecord, FailureSignature, TraceCorpus, TracePolicy, CORPUS_INDEX_FILE,
 };
@@ -154,6 +162,9 @@ pub enum CampaignError {
     /// The distributed campaign fabric failed (worker spawn, protocol or
     /// failover exhaustion).
     Distributed(String),
+    /// The write-ahead result journal failed (I/O, integrity, or a
+    /// resume against an edited configuration).
+    Journal(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -168,6 +179,9 @@ impl fmt::Display for CampaignError {
             CampaignError::Serialize(reason) => write!(f, "report serialisation failed: {reason}"),
             CampaignError::Distributed(reason) => {
                 write!(f, "distributed campaign fabric failed: {reason}")
+            }
+            CampaignError::Journal(reason) => {
+                write!(f, "result journal failed: {reason}")
             }
         }
     }

@@ -30,6 +30,7 @@ use mls_trace::{
 
 use crate::executor::MissionExecutor;
 use crate::faults::{CompositeInjector, MissionFaultContext};
+use crate::journal::{Journal, JournalHandle, JournalScope};
 use crate::report::{CampaignReport, CellReport, EarlyStopSummary, TraceLink};
 use crate::spec::{CampaignCell, CampaignSpec, EarlyStopPolicy};
 use crate::stats::MetricAccumulator;
@@ -67,6 +68,7 @@ mod instruments {
         "mls_campaign_early_stop_missions_saved_total"
     );
     cached_counter!(cells, "mls_campaign_cells_total");
+    cached_counter!(journal_recovered, "mls_campaign_journal_recovered_total");
 }
 
 /// Feeds one flown mission's classification into the obs counters and the
@@ -296,6 +298,7 @@ struct MissionContext {
     config_hash: u64,
     recorder: Option<RecorderConfig>,
     progress: Option<Vec<CellProgress>>,
+    journal: Option<Arc<Journal>>,
 }
 
 /// The campaign engine: expands a spec, flies it on the shared persistent
@@ -308,6 +311,7 @@ pub struct CampaignRunner {
     executor: Arc<MissionExecutor>,
     suites: SuiteCache,
     transport: Transport,
+    journal: Option<Arc<JournalHandle>>,
 }
 
 impl CampaignRunner {
@@ -326,6 +330,7 @@ impl CampaignRunner {
             executor: MissionExecutor::global(),
             suites: SuiteCache::global().clone(),
             transport: Transport::InProcess,
+            journal: None,
         }
     }
 
@@ -363,6 +368,117 @@ impl CampaignRunner {
     pub fn with_recorder_config(mut self, config: RecorderConfig) -> Self {
         self.recorder = config;
         self
+    }
+
+    /// Attaches a write-ahead result journal at `path`: every completed
+    /// mission slot is appended (and fsync'd) as it lands, and a later
+    /// [`CampaignRunner::resume`] against the same path re-flies only the
+    /// missing missions — producing byte-identical artifacts. The journal
+    /// is campaign-scoped: it pins the first spec's configuration hash and
+    /// rejects any other spec loudly.
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(Arc::new(JournalHandle::new(
+            path.into(),
+            JournalScope::Campaign,
+        )));
+        self
+    }
+
+    /// Attaches a pre-built journal handle — the form the falsification
+    /// search uses to share one search-scoped journal across all its
+    /// member campaigns and probe batches.
+    #[must_use]
+    pub fn with_journal_handle(mut self, handle: Arc<JournalHandle>) -> Self {
+        self.journal = Some(handle);
+        self
+    }
+
+    /// The attached journal handle, when one is set.
+    pub fn journal_handle(&self) -> Option<&Arc<JournalHandle>> {
+        self.journal.as_ref()
+    }
+
+    /// Opens this runner's journal for a campaign over `spec` (`None`
+    /// when no journal is attached). A campaign-scoped journal enforces
+    /// the edited-configuration gate; a search-scoped one admits every
+    /// member spec, keying records by each spec's own hash. Shared with
+    /// the fabric dispatcher, which journals completed leases through the
+    /// same object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Journal`] when the journal cannot be
+    /// opened, fails integrity checks, or pins a different configuration.
+    pub fn campaign_journal(
+        &self,
+        spec: &CampaignSpec,
+    ) -> Result<Option<Arc<Journal>>, CampaignError> {
+        match &self.journal {
+            None => Ok(None),
+            Some(handle) => match handle.scope() {
+                JournalScope::Campaign => handle.open_primary(spec).map(Some),
+                JournalScope::Search => handle.open_ambient(Some(spec)).map(Some),
+            },
+        }
+    }
+
+    /// Opens this runner's journal for probe batches (`None` when no
+    /// journal is attached); probe records key by each probe spec's own
+    /// hash, so no primary-spec gate applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Journal`] when the journal cannot be
+    /// opened or fails integrity checks.
+    pub fn probe_journal(&self) -> Result<Option<Arc<Journal>>, CampaignError> {
+        match &self.journal {
+            None => Ok(None),
+            Some(handle) => handle.open_ambient(None).map(Some),
+        }
+    }
+
+    /// Resumes the campaign a journal describes: re-runs the spec embedded
+    /// in the journal's header, replaying every journaled slot and flying
+    /// only the missing ones. The resulting report, traces and corpus
+    /// index are byte-identical to an uninterrupted run of the same spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Journal`] when the journal is missing,
+    /// fails integrity checks, embeds no spec, or its pinned hash does not
+    /// match the embedded spec (an edited journal), plus any error the
+    /// underlying [`CampaignRunner::run`] raises.
+    pub fn resume(self, journal_path: impl Into<PathBuf>) -> Result<CampaignReport, CampaignError> {
+        let path = journal_path.into();
+        if !path.exists() {
+            return Err(CampaignError::Journal(format!(
+                "no journal at {} to resume",
+                path.display()
+            )));
+        }
+        let handle = Arc::new(JournalHandle::new(path, JournalScope::Campaign));
+        let journal = handle.open_ambient(None)?;
+        let header = journal.header();
+        let spec_json = header.spec_json.clone().ok_or_else(|| {
+            CampaignError::Journal(format!(
+                "journal {} embeds no campaign spec to resume",
+                handle.path().display()
+            ))
+        })?;
+        let spec = CampaignSpec::from_json(&spec_json)?;
+        let expected = spec.config_hash()?;
+        if header.config_hash != Some(expected) {
+            return Err(CampaignError::Journal(format!(
+                "journal {} pins config hash {} but its embedded spec hashes to \
+                 {expected:#018x} — the journal has been edited",
+                handle.path().display(),
+                header
+                    .config_hash
+                    .map_or("null".to_string(), |hash| format!("{hash:#018x}")),
+            )));
+        }
+        self.with_journal_handle(handle).run(&spec)
     }
 
     /// Attaches a private executor pool instead of the process-wide one
@@ -518,6 +634,7 @@ impl CampaignRunner {
         let missions_per_cell = spec.missions_per_cell();
         let total = missions_per_cell * cells.len();
         let config_hash = spec.config_hash()?;
+        let journal = self.campaign_journal(spec)?;
         let mut campaign_span = mls_obs::span("campaign");
         if campaign_span.is_enabled() {
             campaign_span
@@ -540,6 +657,7 @@ impl CampaignRunner {
             missions_per_cell,
             config_hash,
             recorder: spec.capture.captures().then_some(self.recorder),
+            journal,
         });
 
         // Job `i` maps to (cell, repeat, scenario) in row-major order, so a
@@ -978,8 +1096,46 @@ impl CampaignRunner {
             let backend = transport::backend().ok_or_else(no_backend)?;
             return backend.run_probes(self, workers.max(1), &specs, &scenarios);
         }
+        // With a journal attached, probes a previous incarnation completed
+        // are replayed from their journaled outcome vectors (reduced by
+        // the same pure prefix aggregation the live path uses) and only
+        // the missing probes fly.
+        let journal = self.probe_journal()?;
+        let hashes = match &journal {
+            Some(_) => Some(
+                specs
+                    .iter()
+                    .map(CampaignSpec::config_hash)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            None => None,
+        };
+        let mut rates: Vec<Option<ProbeRate>> = vec![None; specs.len()];
         let mut probes = Vec::with_capacity(specs.len());
-        for spec in specs {
+        let mut probe_indices = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.into_iter().enumerate() {
+            if let (Some(journal), Some(hashes)) = (&journal, &hashes) {
+                if let Some(outcomes) = journal.recovered_probe(hashes[index]) {
+                    if outcomes.len() != missions_per_probe {
+                        return Err(CampaignError::Journal(format!(
+                            "journaled probe {:#018x} carries {} outcomes but spec '{}' \
+                             plans {missions_per_probe}",
+                            hashes[index],
+                            outcomes.len(),
+                            spec.name
+                        )));
+                    }
+                    rates[index] = Some(probe_rate_from_outcomes(
+                        spec.probe_early_stop,
+                        outcomes,
+                        missions_per_probe,
+                    ));
+                    if mls_obs::enabled() {
+                        instruments::journal_recovered().inc();
+                    }
+                    continue;
+                }
+            }
             let missions = spec.missions_per_cell();
             let progress = spec
                 .probe_early_stop
@@ -994,6 +1150,7 @@ impl CampaignRunner {
                 cell,
                 progress,
             });
+            probe_indices.push(index);
         }
         let total = probes.len() * missions_per_probe;
         let mut probe_span = mls_obs::span("probe_batch");
@@ -1018,27 +1175,27 @@ impl CampaignRunner {
         for result in results {
             outcomes.push(result?);
         }
-        let rates: Vec<ProbeRate> = context
-            .probes
-            .iter()
-            .enumerate()
-            .map(|(probe_index, probe)| {
-                let slice = &outcomes
-                    [probe_index * missions_per_probe..(probe_index + 1) * missions_per_probe];
-                probe_rate(probe, slice, missions_per_probe)
-            })
-            .collect();
-        if mls_obs::enabled() {
-            for rate in &rates {
-                if rate.missions_flown < rate.missions_planned {
-                    let saved = (rate.missions_planned - rate.missions_flown) as u64;
-                    instruments::early_stops().inc();
-                    instruments::early_stop_missions_saved().add(saved);
-                    mls_obs::progress_early_stop(saved);
-                }
+        for (probe_index, probe) in context.probes.iter().enumerate() {
+            let slice =
+                &outcomes[probe_index * missions_per_probe..(probe_index + 1) * missions_per_probe];
+            // Journal the probe's full planned-length outcome vector the
+            // moment the batch lands, before its rate is consumed.
+            if let (Some(journal), Some(hashes)) = (&journal, &hashes) {
+                journal.append_probe(hashes[probe_indices[probe_index]], slice)?;
             }
+            let rate = probe_rate(probe, slice, missions_per_probe);
+            if mls_obs::enabled() && rate.missions_flown < rate.missions_planned {
+                let saved = (rate.missions_planned - rate.missions_flown) as u64;
+                instruments::early_stops().inc();
+                instruments::early_stop_missions_saved().add(saved);
+                mls_obs::progress_early_stop(saved);
+            }
+            rates[probe_indices[probe_index]] = Some(rate);
         }
-        Ok(rates)
+        Ok(rates
+            .into_iter()
+            .map(|rate| rate.expect("every probe resolved"))
+            .collect())
     }
 
     /// Generates (or fetches from the suite cache) the benchmark scenario
@@ -1313,6 +1470,22 @@ fn run_mission_job(context: &MissionContext, index: usize) -> Result<MissionSlot
         .progress
         .as_ref()
         .map(|progress| &progress[cell.index]);
+    // A slot a previous incarnation journaled is replayed, not re-flown.
+    // Its outcome still feeds the live early-stop bookkeeping, so cells
+    // whose decision the journal already contains skip their tails
+    // exactly as the original run did.
+    if let Some(journal) = &context.journal {
+        if let Some(value) = journal.recovered_slot(context.config_hash, index) {
+            let slot = crate::wire::slot_from_value(value)?;
+            if let (Some(progress), MissionSlot::Flown(record)) = (progress, &slot) {
+                progress.record(within, record.result == MissionResult::Success);
+            }
+            if mls_obs::enabled() {
+                instruments::journal_recovered().inc();
+            }
+            return Ok(slot);
+        }
+    }
     if progress.is_some_and(|progress| progress.should_skip(within)) {
         if mls_obs::enabled() {
             instruments::missions_skipped().inc();
@@ -1337,7 +1510,15 @@ fn run_mission_job(context: &MissionContext, index: usize) -> Result<MissionSlot
     record.trace = trace
         .filter(|_| context.spec.capture.keeps(outcome.result))
         .map(Box::new);
-    Ok(MissionSlot::Flown(Box::new(record)))
+    let slot = MissionSlot::Flown(Box::new(record));
+    if let Some(journal) = &context.journal {
+        journal.append_slot(
+            context.config_hash,
+            index,
+            &crate::wire::slot_to_value(&slot)?,
+        )?;
+    }
+    Ok(slot)
 }
 
 /// Flies one mission of one probe batch, returning its success (or `None`

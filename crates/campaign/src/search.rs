@@ -987,6 +987,26 @@ impl FalsificationSearch {
         self
     }
 
+    /// Attaches a write-ahead result journal at `path`: every probe
+    /// batch, baseline campaign and capture campaign the search flies is
+    /// journaled under its own spec hash, and re-running the same search
+    /// against the same journal replays completed work instead of
+    /// re-flying it — converging on byte-identical reports, probe logs
+    /// and counterexample traces however often the search is interrupted.
+    /// One journal covers one search target (a `(variant, space)` pair):
+    /// re-opening it with the same target under an edited configuration
+    /// fails loudly.
+    #[must_use]
+    pub fn with_journal(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.runner =
+            self.runner
+                .with_journal_handle(Arc::new(crate::journal::JournalHandle::new(
+                    path.into(),
+                    crate::journal::JournalScope::Search,
+                )));
+        self
+    }
+
     /// Selects the execution transport of the search's probe campaigns:
     /// in-process (the default) or the distributed campaign fabric. The
     /// search itself (ask/tell loop, minimization, capture) stays on the
@@ -1149,6 +1169,31 @@ impl FalsificationSearch {
         let mut oracle = Oracle::new_batch(evaluate);
 
         let baseline_spec = self.probe_spec(variant, space, &[]);
+        // A search-scoped journal pins the first baseline spec it sees in
+        // its header. Resuming the same search target after the
+        // configuration changed must fail loudly — a silent hash mismatch
+        // would just re-fly everything and quietly produce artifacts from
+        // a different experiment than the journal's name promises.
+        if let Some(handle) = runner.journal_handle() {
+            let journal = handle.open_ambient(Some(&baseline_spec))?;
+            let header = journal.header();
+            if let (Some(pinned), Some(spec_json)) = (header.config_hash, &header.spec_json) {
+                let pinned_spec = CampaignSpec::from_json(spec_json)?;
+                let expected = baseline_spec.config_hash()?;
+                if pinned_spec.name == baseline_spec.name
+                    && pinned_spec.variants == baseline_spec.variants
+                    && pinned != expected
+                {
+                    return Err(CampaignError::Journal(format!(
+                        "search journal {} pins baseline '{}' under config hash \
+                         {pinned:#018x}, this search's baseline hashes to {expected:#018x} \
+                         — refusing to resume against an edited configuration",
+                        handle.path().display(),
+                        pinned_spec.name,
+                    )));
+                }
+            }
+        }
         let baseline_report = self
             .runner
             .run_with_shared_suites(&baseline_spec, std::slice::from_ref(scenarios))?;

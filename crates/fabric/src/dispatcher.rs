@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use mls_campaign::{
     probe_rate_from_outcomes, wire, CampaignError, CampaignReport, CampaignRunner, CampaignSpec,
-    MissionSlot, ProbeRate,
+    Journal, MissionSlot, ProbeRate,
 };
 use mls_obs::FieldValue;
 use mls_sim_world::Scenario;
@@ -44,6 +44,9 @@ pub const WORKER_BIN_ENV: &str = "MLS_FABRIC_WORKER_BIN";
 /// Environment variable carrying a chaos directive (see
 /// [`crate::worker::parse_chaos`]).
 pub const CHAOS_ENV: &str = "MLS_FABRIC_CHAOS";
+/// Environment variable overriding the per-lease deadline, in
+/// milliseconds (see [`DispatcherConfig::lease_timeout`]).
+pub const LEASE_TIMEOUT_ENV: &str = "MLS_FABRIC_LEASE_TIMEOUT_MS";
 
 /// Dispatcher tuning. [`DispatcherConfig::new`] gives production
 /// defaults; tests tighten the timeout and budgets.
@@ -58,6 +61,11 @@ pub struct DispatcherConfig {
     /// Silence (no frame of any kind) after which a worker is declared
     /// dead and its leases reassigned.
     pub heartbeat_timeout: Duration,
+    /// Age after which one unanswered lease marks its worker *stalled*
+    /// and reassigns the lease — even while heartbeats keep arriving,
+    /// the failure mode heartbeat reaping can never see. Must comfortably
+    /// exceed the longest honest lease.
+    pub lease_timeout: Duration,
     /// Respawns allowed per worker slot before it is retired.
     pub respawn_budget: usize,
     /// Outstanding leases allowed per worker.
@@ -78,6 +86,14 @@ impl DispatcherConfig {
             worker_command: crate::worker_command_override()
                 .or_else(|| std::env::var_os(WORKER_BIN_ENV).map(PathBuf::from)),
             heartbeat_timeout: Duration::from_secs(30),
+            lease_timeout: crate::lease_timeout_override()
+                .or_else(|| {
+                    std::env::var(LEASE_TIMEOUT_ENV)
+                        .ok()
+                        .and_then(|ms| ms.parse().ok())
+                        .map(Duration::from_millis)
+                })
+                .unwrap_or(Duration::from_secs(300)),
             respawn_budget: 2,
             max_inflight: 2,
             chaos: crate::chaos_override().or_else(|| std::env::var(CHAOS_ENV).ok()),
@@ -94,8 +110,9 @@ enum Lease {
         start: usize,
         end: usize,
     },
-    /// One single-cell probe spec, shipped inline.
-    Probe { spec_json: Arc<String> },
+    /// One single-cell probe spec, shipped inline, with its config hash
+    /// (the key its outcomes are journaled under).
+    Probe { spec_json: Arc<String>, hash: u64 },
 }
 
 /// One completed job's payload.
@@ -146,6 +163,13 @@ pub fn run_campaign(
     let cells = spec.cells();
     let missions_per_cell = spec.missions_per_cell();
     if !derivable {
+        if runner.journal_handle().is_some() {
+            return Err(CampaignError::Journal(
+                "campaign journaling requires spec-derivable suites; the fabric fallback \
+                 for hand-edited suites cannot key journal records"
+                    .to_string(),
+            ));
+        }
         mls_obs::event(
             "fabric_fallback",
             &[(
@@ -162,24 +186,89 @@ pub fn run_campaign(
 
     let spec_json = spec.to_json()?;
     let config_hash = spec.config_hash()?;
-    let leases: Vec<Lease> = (0..cells.len())
-        .map(|cell| Lease::Cell {
+    let journal = runner.campaign_journal(spec)?;
+
+    // With a journal, each cell's lease starts at its first mission the
+    // journal does not already hold: a fully recovered cell never leaves
+    // the dispatcher, a partially recovered one leases only its tail, and
+    // the recovered prefix rejoins at merge time. assemble_report then
+    // re-decides early stopping over the full slot vector, so the split
+    // between recovered and re-flown missions cannot change the report.
+    let mut leases = Vec::with_capacity(cells.len());
+    let mut recovered: Vec<Option<Payload>> = Vec::with_capacity(cells.len());
+    let mut starts = vec![0usize; cells.len()];
+    for (cell, start_slot) in starts.iter_mut().enumerate() {
+        let base = cell * missions_per_cell;
+        let start = match &journal {
+            Some(journal) => (0..missions_per_cell)
+                .find(|within| journal.recovered_slot(config_hash, base + within).is_none())
+                .unwrap_or(missions_per_cell),
+            None => 0,
+        };
+        *start_slot = start;
+        if start == missions_per_cell {
+            let journal = journal.as_ref().expect("full recovery implies a journal");
+            let cell_slots = (0..missions_per_cell)
+                .map(|within| {
+                    wire::slot_from_value(
+                        journal
+                            .recovered_slot(config_hash, base + within)
+                            .expect("scanned as present above"),
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            recovered.push(Some(Payload::Slots(cell_slots)));
+        } else {
+            recovered.push(None);
+        }
+        leases.push(Lease::Cell {
             cell,
-            start: 0,
+            start,
             end: missions_per_cell,
-        })
-        .collect();
-    let session = Session {
-        runner,
-        config: DispatcherConfig::new(workers),
-        campaign: Some((spec_json, config_hash)),
-        leases,
+        });
+    }
+    let prefilled = recovered.iter().filter(|slot| slot.is_some()).count();
+    if prefilled > 0 {
+        mls_obs::counter("mls_fabric_journal_recovered_leases_total").add(prefilled as u64);
+    }
+
+    let payloads = if recovered.iter().all(Option::is_some) {
+        // Every cell came back from the journal: no worker pool needed.
+        recovered
+    } else {
+        Session {
+            runner,
+            config: DispatcherConfig::new(workers),
+            campaign: Some((spec_json, config_hash)),
+            journal: journal.clone(),
+            missions_per_cell,
+            leases,
+            recovered,
+        }
+        .run()?
     };
-    let payloads = session.run()?;
     let mut slots = Vec::with_capacity(cells.len() * missions_per_cell);
-    for payload in payloads {
+    for (cell, payload) in payloads.into_iter().enumerate() {
         match payload {
-            Some(Payload::Slots(cell_slots)) => slots.extend(cell_slots),
+            Some(Payload::Slots(cell_slots)) => {
+                let prefix = starts[cell];
+                if prefix > 0 && prefix < missions_per_cell {
+                    // Partial lease: the worker flew only the tail; the
+                    // prefix rejoins from the journal here, in job order.
+                    let journal = journal
+                        .as_ref()
+                        .expect("a recovered prefix implies a journal");
+                    let base = cell * missions_per_cell;
+                    for within in 0..prefix {
+                        slots.push(wire::slot_from_value(
+                            journal
+                                .recovered_slot(config_hash, base + within)
+                                .expect("scanned as present above"),
+                        )?);
+                    }
+                }
+                slots.extend(cell_slots);
+            }
             Some(Payload::Outcomes(_)) => {
                 return Err(distributed(
                     "worker returned probe outcomes for a cell lease",
@@ -209,6 +298,13 @@ pub fn run_probes(
         Arc::ptr_eq(&regenerated, scenarios) || *regenerated == **scenarios
     };
     if !derivable {
+        if runner.journal_handle().is_some() {
+            return Err(CampaignError::Journal(
+                "probe journaling requires spec-derivable suites; the fabric fallback \
+                 for hand-edited suites cannot key journal records"
+                    .to_string(),
+            ));
+        }
         mls_obs::event(
             "fabric_fallback",
             &[(
@@ -229,21 +325,52 @@ pub fn run_probes(
             .collect();
     }
 
-    let leases: Vec<Lease> = specs
-        .iter()
-        .map(|spec| {
-            Ok(Lease::Probe {
-                spec_json: Arc::new(spec.to_json()?),
-            })
-        })
-        .collect::<Result<_, CampaignError>>()?;
-    let session = Session {
-        runner,
-        config: DispatcherConfig::new(workers),
-        campaign: None,
-        leases,
+    let journal = runner.probe_journal()?;
+    let mut leases = Vec::with_capacity(specs.len());
+    let mut recovered: Vec<Option<Payload>> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let spec_json = spec.to_json()?;
+        let hash = mls_trace::config_hash(&spec_json);
+        let prefill = match &journal {
+            Some(journal) => match journal.recovered_probe(hash) {
+                Some(outcomes) if outcomes.len() != missions => {
+                    return Err(CampaignError::Journal(format!(
+                        "journaled probe {hash:#x} holds {} outcomes but the spec plans \
+                         {missions} missions — the journal was written by a different plan",
+                        outcomes.len(),
+                    )));
+                }
+                Some(outcomes) => Some(Payload::Outcomes(outcomes.to_vec())),
+                None => None,
+            },
+            None => None,
+        };
+        recovered.push(prefill);
+        leases.push(Lease::Probe {
+            spec_json: Arc::new(spec_json),
+            hash,
+        });
+    }
+    let prefilled = recovered.iter().filter(|slot| slot.is_some()).count();
+    if prefilled > 0 {
+        mls_obs::counter("mls_fabric_journal_recovered_leases_total").add(prefilled as u64);
+    }
+
+    let payloads = if recovered.iter().all(Option::is_some) {
+        // Every probe came back from the journal: no worker pool needed.
+        recovered
+    } else {
+        Session {
+            runner,
+            config: DispatcherConfig::new(workers),
+            campaign: None,
+            journal,
+            missions_per_cell: 0,
+            leases,
+            recovered,
+        }
+        .run()?
     };
-    let payloads = session.run()?;
     payloads
         .into_iter()
         .zip(specs)
@@ -268,12 +395,23 @@ struct Session<'a> {
     /// `Some((spec_json, config_hash))` for campaign sessions; probe
     /// sessions initialise workers without a pinned spec.
     campaign: Option<(String, u64)>,
+    /// The write-ahead result journal, when the runner carries one.
+    /// Results are appended as they arrive from workers — before the
+    /// session completes — so a killed dispatcher resumes mid-queue.
+    journal: Option<Arc<Journal>>,
+    /// Mission count per cell (campaign sessions; 0 for probe sessions),
+    /// for mapping a lease's slots back to journal mission indices.
+    missions_per_cell: usize,
     leases: Vec<Lease>,
+    /// Journal-recovered payloads, 1:1 with `leases`; recovered jobs are
+    /// never assigned to a worker.
+    recovered: Vec<Option<Payload>>,
 }
 
 impl Session<'_> {
-    fn run(self) -> Result<Vec<Option<Payload>>, CampaignError> {
-        let mut loop_state = EventLoop::start(&self)?;
+    fn run(mut self) -> Result<Vec<Option<Payload>>, CampaignError> {
+        let recovered = std::mem::take(&mut self.recovered);
+        let mut loop_state = EventLoop::start(&self, recovered)?;
         let result = loop_state.drive(&self);
         loop_state.shutdown(result.is_ok());
         result
@@ -393,7 +531,10 @@ struct EventLoop {
 }
 
 impl EventLoop {
-    fn start(session: &Session<'_>) -> Result<Self, CampaignError> {
+    fn start(
+        session: &Session<'_>,
+        recovered: Vec<Option<Payload>>,
+    ) -> Result<Self, CampaignError> {
         let (events_tx, events) = mpsc::channel();
         // mls-lint: allow(D002): heartbeat epoch for worker liveness; timing steers failover only, and fabric_equivalence pins report bytes identical under chaos kills
         let now = Instant::now();
@@ -403,21 +544,30 @@ impl EventLoop {
             health.push(WorkerHealth::spawned(slot, now));
             processes.push(Some(session.spawn_worker(slot, 0, &events_tx)?));
         }
+        let completed = recovered.iter().filter(|payload| payload.is_some()).count();
+        let pending = recovered
+            .iter()
+            .enumerate()
+            .filter(|(_, payload)| payload.is_none())
+            .map(|(job, _)| job)
+            .collect();
         Ok(Self {
             events,
             events_tx,
             health,
             processes,
-            pending: (0..session.leases.len()).collect(),
-            payloads: session.leases.iter().map(|_| None).collect(),
-            completed: 0,
+            pending,
+            payloads: recovered,
+            completed,
         })
     }
 
     fn drive(&mut self, session: &Session<'_>) -> Result<Vec<Option<Payload>>, CampaignError> {
         let total = session.leases.len();
         while self.completed < total {
-            self.assign(session);
+            // mls-lint: allow(D002): one liveness epoch per loop turn stamps lease grants and drives reaping; timing steers failover only, never aggregation order
+            let now = Instant::now();
+            self.assign(session, now);
             match self.events.recv_timeout(Duration::from_millis(50)) {
                 Ok(event) => self.handle(session, event)?,
                 Err(RecvTimeoutError::Timeout) => {}
@@ -425,14 +575,14 @@ impl EventLoop {
                     return Err(distributed("dispatcher event channel closed unexpectedly"))
                 }
             }
-            self.reap_timeouts(session)?;
+            self.reap_timeouts(session, now)?;
         }
         Ok(std::mem::take(&mut self.payloads))
     }
 
     /// Hands pending leases to workers with capacity, round-robin over
     /// slots so the queue spreads evenly.
-    fn assign(&mut self, session: &Session<'_>) {
+    fn assign(&mut self, session: &Session<'_>, now: Instant) {
         for slot in 0..self.health.len() {
             while !self.pending.is_empty()
                 && self.health[slot].can_lease(session.config.max_inflight)
@@ -442,14 +592,14 @@ impl EventLoop {
                     Lease::Cell { cell, start, end } => {
                         protocol::cell_lease(job, *cell, *start, *end)
                     }
-                    Lease::Probe { spec_json } => protocol::probe_lease(job, spec_json),
+                    Lease::Probe { spec_json, .. } => protocol::probe_lease(job, spec_json),
                 };
                 let wrote = self.processes[slot]
                     .as_mut()
                     .map(|process| protocol::write_frame(&mut process.stdin, &frame).is_ok())
                     .unwrap_or(false);
                 if wrote {
-                    self.health[slot].lease(job);
+                    self.health[slot].lease(job, now);
                     mls_obs::counter("mls_fabric_leases_issued_total").inc();
                 } else {
                     // Broken pipe: give the job back and bury the worker.
@@ -492,7 +642,7 @@ impl EventLoop {
                         // observe() already refreshed last_seen.
                         Ok(())
                     }
-                    Some("result") => self.record_result(slot, &frame),
+                    Some("result") => self.record_result(session, slot, &frame),
                     Some("error") => {
                         let reason = frame
                             .get("reason")
@@ -506,7 +656,12 @@ impl EventLoop {
         }
     }
 
-    fn record_result(&mut self, slot: usize, frame: &Value) -> Result<(), CampaignError> {
+    fn record_result(
+        &mut self,
+        session: &Session<'_>,
+        slot: usize,
+        frame: &Value,
+    ) -> Result<(), CampaignError> {
         let job = protocol::require_u64(frame, "job").map_err(distributed)? as usize;
         if job >= self.payloads.len() {
             return Err(distributed(format!(
@@ -526,6 +681,24 @@ impl EventLoop {
                 let Some(Value::Array(raw_slots)) = frame.get("slots") else {
                     return Err(distributed("cell result frame is missing its slots"));
                 };
+                // Write-ahead: the raw wire values are journaled exactly
+                // as received, before this payload counts as complete, so
+                // a dispatcher killed past this point replays the same
+                // bits on resume.
+                if let (Some(journal), Some(&(_, config_hash))) =
+                    (&session.journal, session.campaign.as_ref())
+                {
+                    let Lease::Cell { cell, start, .. } = &session.leases[job] else {
+                        return Err(distributed("cell result frame for a non-cell lease"));
+                    };
+                    let base = cell * session.missions_per_cell + start;
+                    for (offset, value) in raw_slots.iter().enumerate() {
+                        let mission = base + offset;
+                        if journal.recovered_slot(config_hash, mission).is_none() {
+                            journal.append_slot(config_hash, mission, value)?;
+                        }
+                    }
+                }
                 Payload::Slots(
                     raw_slots
                         .iter()
@@ -534,7 +707,16 @@ impl EventLoop {
                 )
             }
             Some("probe") => {
-                Payload::Outcomes(protocol::decode_probe_outcomes(frame).map_err(distributed)?)
+                let outcomes = protocol::decode_probe_outcomes(frame).map_err(distributed)?;
+                if let Some(journal) = &session.journal {
+                    let Lease::Probe { hash, .. } = &session.leases[job] else {
+                        return Err(distributed("probe result frame for a non-probe lease"));
+                    };
+                    if journal.recovered_probe(*hash).is_none() {
+                        journal.append_probe(*hash, &outcomes)?;
+                    }
+                }
+                Payload::Outcomes(outcomes)
             }
             other => {
                 return Err(distributed(format!("unknown result kind {other:?}")));
@@ -546,15 +728,22 @@ impl EventLoop {
         Ok(())
     }
 
-    /// Declares heartbeat-silent workers dead.
-    fn reap_timeouts(&mut self, session: &Session<'_>) -> Result<(), CampaignError> {
-        // mls-lint: allow(D002): heartbeat-silence detection is inherently wall-clock; a mis-timed reap only respawns a worker, never changes aggregation order
-        let now = Instant::now();
+    /// Declares heartbeat-silent workers dead, and buries workers whose
+    /// oldest lease outlived the per-lease deadline — the stalled-worker
+    /// case, where heartbeats stay fresh but results never arrive.
+    fn reap_timeouts(&mut self, session: &Session<'_>, now: Instant) -> Result<(), CampaignError> {
         for slot in 0..self.health.len() {
             if self.health[slot].timed_out(now, session.config.heartbeat_timeout) {
                 let gap = now.duration_since(self.health[slot].last_seen);
                 mls_obs::histogram("mls_fabric_heartbeat_gap_seconds", mls_obs::SECONDS_BUCKETS)
                     .observe(gap.as_secs_f64());
+                self.bury(session, slot);
+            } else if self.health[slot].lease_deadline_exceeded(now, session.config.lease_timeout) {
+                mls_obs::counter("mls_fabric_lease_timeouts_total").inc();
+                mls_obs::event(
+                    "fabric_lease_timeout",
+                    &[("worker", FieldValue::U64(slot as u64))],
+                );
                 self.bury(session, slot);
             }
         }

@@ -24,6 +24,18 @@ pub enum WorkerPhase {
     Dead,
 }
 
+/// One outstanding lease: the job id and when it was assigned. The
+/// timestamp drives the per-lease deadline — a worker whose heartbeats
+/// keep arriving but whose oldest lease has gone unanswered too long is
+/// *stalled*, a failure mode heartbeat reaping can never see.
+#[derive(Debug, Clone, Copy)]
+pub struct LeaseGrant {
+    /// The leased job id.
+    pub job: usize,
+    /// When the dispatcher assigned it.
+    pub since: Instant,
+}
+
 /// Dispatcher-side view of one worker slot.
 #[derive(Debug)]
 pub struct WorkerHealth {
@@ -37,8 +49,8 @@ pub struct WorkerHealth {
     pub phase: WorkerPhase,
     /// Last frame (any type) seen from the live incarnation.
     pub last_seen: Instant,
-    /// Outstanding lease job ids, in assignment order.
-    pub inflight: Vec<usize>,
+    /// Outstanding leases, in assignment order.
+    pub inflight: Vec<LeaseGrant>,
     /// Respawns consumed so far.
     pub respawns: usize,
 }
@@ -79,21 +91,33 @@ impl WorkerHealth {
         self.phase != WorkerPhase::Dead && now.duration_since(self.last_seen) > timeout
     }
 
+    /// Whether any outstanding lease has outlived `lease_timeout`. This is
+    /// orthogonal to [`Self::timed_out`]: a stalled worker keeps
+    /// heartbeating (so `last_seen` stays fresh) while its lease result
+    /// never arrives. Dead slots never report expired leases.
+    pub fn lease_deadline_exceeded(&self, now: Instant, lease_timeout: Duration) -> bool {
+        self.phase != WorkerPhase::Dead
+            && self
+                .inflight
+                .iter()
+                .any(|grant| now.duration_since(grant.since) > lease_timeout)
+    }
+
     /// Whether the slot can take another lease.
     pub fn can_lease(&self, max_inflight: usize) -> bool {
         self.phase == WorkerPhase::Ready && self.inflight.len() < max_inflight
     }
 
-    /// Records a lease assignment.
-    pub fn lease(&mut self, job: usize) {
-        self.inflight.push(job);
+    /// Records a lease assignment at time `now`.
+    pub fn lease(&mut self, job: usize, now: Instant) {
+        self.inflight.push(LeaseGrant { job, since: now });
     }
 
     /// Records a completed (or aborted) job, returning whether this slot
     /// actually held the lease — a duplicate completion from a reassigned
     /// lease returns `false` on the slot that no longer holds it.
     pub fn complete(&mut self, job: usize) -> bool {
-        match self.inflight.iter().position(|&held| held == job) {
+        match self.inflight.iter().position(|grant| grant.job == job) {
             Some(index) => {
                 self.inflight.remove(index);
                 true
@@ -107,7 +131,10 @@ impl WorkerHealth {
     /// rejoin the front of the pending queue in).
     pub fn fail(&mut self) -> Vec<usize> {
         self.phase = WorkerPhase::Dead;
-        let mut orphaned = std::mem::take(&mut self.inflight);
+        let mut orphaned: Vec<usize> = std::mem::take(&mut self.inflight)
+            .into_iter()
+            .map(|grant| grant.job)
+            .collect();
         orphaned.sort_unstable();
         orphaned
     }
@@ -139,8 +166,8 @@ mod tests {
         assert!(!worker.can_lease(2), "spawning slots take no leases");
         worker.ready();
         assert!(worker.can_lease(2));
-        worker.lease(4);
-        worker.lease(9);
+        worker.lease(4, now);
+        worker.lease(9, now);
         assert!(!worker.can_lease(2), "bounded in-flight leases");
         assert!(worker.complete(4));
         assert!(!worker.complete(4), "double completion is flagged");
@@ -152,9 +179,9 @@ mod tests {
         let now = Instant::now();
         let mut worker = WorkerHealth::spawned(3, now);
         worker.ready();
-        worker.lease(9);
-        worker.lease(2);
-        worker.lease(5);
+        worker.lease(9, now);
+        worker.lease(2, now);
+        worker.lease(5, now);
         assert_eq!(worker.fail(), vec![2, 5, 9]);
         assert_eq!(worker.phase, WorkerPhase::Dead);
         assert!(worker.can_respawn(1));
@@ -175,6 +202,40 @@ mod tests {
             "frames from incarnation 0 are stale"
         );
         assert!(worker.observe(1, now));
+    }
+
+    #[test]
+    fn lease_deadline_catches_a_stalled_worker() {
+        let now = Instant::now();
+        let lease_timeout = Duration::from_millis(500);
+        let mut worker = WorkerHealth::spawned(1, now);
+        worker.ready();
+        assert!(
+            !worker.lease_deadline_exceeded(now + Duration::from_secs(60), lease_timeout),
+            "an idle worker has no lease to expire"
+        );
+        worker.lease(7, now);
+        let later = now + Duration::from_millis(600);
+        // The worker keeps heartbeating: last_seen is fresh, so heartbeat
+        // reaping sees nothing — only the lease deadline fires.
+        assert!(worker.observe(0, later));
+        assert!(!worker.timed_out(later, Duration::from_millis(1000)));
+        assert!(worker.lease_deadline_exceeded(later, lease_timeout));
+        assert!(
+            !worker.lease_deadline_exceeded(now + Duration::from_millis(100), lease_timeout),
+            "a young lease is not expired"
+        );
+        worker.complete(7);
+        assert!(
+            !worker.lease_deadline_exceeded(later, lease_timeout),
+            "completion clears the deadline"
+        );
+        worker.lease(8, now);
+        worker.fail();
+        assert!(
+            !worker.lease_deadline_exceeded(later, lease_timeout),
+            "dead slots stop reporting expired leases"
+        );
     }
 
     #[test]

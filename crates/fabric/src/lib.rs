@@ -29,6 +29,7 @@
 
 use std::path::PathBuf;
 use std::sync::Mutex;
+use std::time::Duration;
 
 use mls_campaign::{
     CampaignError, CampaignReport, CampaignRunner, CampaignSpec, DistributedBackend, ProbeRate,
@@ -103,11 +104,13 @@ pub fn run_worker_stdio() -> i32 {
 struct Overrides {
     worker_command: Option<PathBuf>,
     chaos: Option<String>,
+    lease_timeout: Option<Duration>,
 }
 
 static OVERRIDES: Mutex<Overrides> = Mutex::new(Overrides {
     worker_command: None,
     chaos: None,
+    lease_timeout: None,
 });
 
 /// Pins the worker executable every subsequent dispatcher spawn uses
@@ -131,6 +134,19 @@ pub(crate) fn worker_command_override() -> Option<PathBuf> {
         .clone()
 }
 
+/// Overrides the per-lease deadline of every subsequent dispatch — the
+/// age at which one unanswered lease marks its (still-heartbeating)
+/// worker stalled and reassigns the lease. Chaos tests shrink this to
+/// catch `stall-after` workers quickly. `None` restores the default
+/// resolution (`MLS_FABRIC_LEASE_TIMEOUT_MS`, then the built-in default).
+pub fn set_lease_timeout(timeout: Option<Duration>) {
+    OVERRIDES.lock().expect("overrides poisoned").lease_timeout = timeout;
+}
+
 pub(crate) fn chaos_override() -> Option<String> {
     OVERRIDES.lock().expect("overrides poisoned").chaos.clone()
+}
+
+pub(crate) fn lease_timeout_override() -> Option<Duration> {
+    OVERRIDES.lock().expect("overrides poisoned").lease_timeout
 }

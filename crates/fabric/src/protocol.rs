@@ -207,16 +207,13 @@ pub fn cell_result(job: usize, slots: Vec<Value>) -> Value {
     ])
 }
 
-/// A probe-lease result: outcome codes in job order (0 = skipped,
-/// 1 = failure, 2 = success).
+/// A probe-lease result: outcome codes in job order
+/// ([`mls_campaign::wire::probe_outcome_code`] — 0 = skipped,
+/// 1 = failure, 2 = success; the result journal records the same codes).
 pub fn probe_result(job: usize, outcomes: &[Option<bool>]) -> Value {
     let codes = outcomes
         .iter()
-        .map(|outcome| match outcome {
-            None => uint(0),
-            Some(false) => uint(1),
-            Some(true) => uint(2),
-        })
+        .map(|outcome| uint(mls_campaign::wire::probe_outcome_code(*outcome)))
         .collect();
     object(vec![
         ("type", Value::String("result".to_string())),
@@ -237,11 +234,12 @@ pub fn decode_probe_outcomes(message: &Value) -> Result<Vec<Option<bool>>, Strin
     };
     codes
         .iter()
-        .map(|code| match code.as_u64() {
-            Some(0) => Ok(None),
-            Some(1) => Ok(Some(false)),
-            Some(2) => Ok(Some(true)),
-            other => Err(format!("unknown probe outcome code {other:?}")),
+        .map(|code| {
+            code.as_u64()
+                .ok_or_else(|| "probe outcome code is not a u64".to_string())
+                .and_then(|code| {
+                    mls_campaign::wire::probe_outcome_from_code(code).map_err(|e| e.to_string())
+                })
         })
         .collect()
 }

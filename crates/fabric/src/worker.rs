@@ -26,16 +26,61 @@ pub const HEARTBEAT_PERIOD: Duration = Duration::from_millis(200);
 /// Exit code of a chaos-scheduled crash (see [`parse_chaos`]).
 pub const CHAOS_EXIT_CODE: i32 = 86;
 
-/// Parses an `MLS_FABRIC_CHAOS` directive. The only directive today is
-/// `exit-after=N`: the worker processes N leases normally, then dies
-/// (hard `process::exit`, no result, mid-protocol) on receiving the next
-/// one — a deterministic stand-in for `kill -9` that makes the failover
-/// path testable without real signals. Unknown directives are ignored.
-pub fn parse_chaos(directive: &str) -> Option<usize> {
-    directive
-        .trim()
-        .strip_prefix("exit-after=")
-        .and_then(|count| count.parse().ok())
+/// A deterministic fault schedule parsed from `MLS_FABRIC_CHAOS`.
+///
+/// Each field schedules one failure mode at a lease count: the worker
+/// processes that many leases normally, then misbehaves on receiving the
+/// next one. Every mode is a stand-in for a real operational failure that
+/// makes the failover path testable without signals or flaky timing:
+///
+/// * `exit_after` — hard `process::exit`, no result, mid-protocol; the
+///   dispatcher sees EOF exactly as on `kill -9`.
+/// * `stall_after` — the frame loop sleeps forever while the heartbeat
+///   thread keeps beating: liveness looks fine, results never arrive.
+///   Only the dispatcher's per-lease deadline can reclaim the lease.
+/// * `corrupt_frame_after` — writes a torn, unparseable frame header and
+///   exits; the dispatcher's reader treats the stream as dead.
+/// * `sigkill_dispatcher_after` — parsed but ignored by workers; a test
+///   harness interprets it by killing the *dispatcher* process after that
+///   many journal records, then resuming from the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosSchedule {
+    /// Die silently on receiving lease N.
+    pub exit_after: Option<usize>,
+    /// Hang (heartbeats continuing) on receiving lease N.
+    pub stall_after: Option<usize>,
+    /// Emit a torn frame and die on receiving lease N.
+    pub corrupt_frame_after: Option<usize>,
+    /// Harness-side: kill the dispatcher after N journal records.
+    pub sigkill_dispatcher_after: Option<usize>,
+}
+
+/// Parses an `MLS_FABRIC_CHAOS` directive: a comma-separated list of
+/// `key=N` entries (`exit-after`, `stall-after`, `corrupt-frame-after`,
+/// `sigkill-dispatcher-after`). Unknown keys and malformed counts are
+/// ignored; a directive with no recognised entry parses to `None`, so a
+/// stray environment value never alters worker behaviour.
+pub fn parse_chaos(directive: &str) -> Option<ChaosSchedule> {
+    let mut schedule = ChaosSchedule::default();
+    let mut recognised = false;
+    for entry in directive.split(',') {
+        let Some((key, count)) = entry.trim().split_once('=') else {
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            continue;
+        };
+        let field = match key {
+            "exit-after" => &mut schedule.exit_after,
+            "stall-after" => &mut schedule.stall_after,
+            "corrupt-frame-after" => &mut schedule.corrupt_frame_after,
+            "sigkill-dispatcher-after" => &mut schedule.sigkill_dispatcher_after,
+            _ => continue,
+        };
+        *field = Some(count);
+        recognised = true;
+    }
+    recognised.then_some(schedule)
 }
 
 /// Everything the frame loop needs about one accepted `init`.
@@ -141,10 +186,10 @@ fn process_lease(session: &Session, frame: &Value) -> Result<Value, String> {
 }
 
 /// Runs the worker frame loop until shutdown or stream end, returning the
-/// process exit code. `chaos` is the parsed `exit-after=N` directive; the
-/// crash it schedules is a hard `process::exit`, so callers running this
-/// in-process (tests) must pass `None`.
-pub fn run<W>(mut input: impl BufRead, output: W, chaos: Option<usize>) -> i32
+/// process exit code. `chaos` is the parsed [`ChaosSchedule`]; the crash
+/// and stall it schedules are a hard `process::exit` and an unbounded
+/// sleep, so callers running this in-process (tests) must pass `None`.
+pub fn run<W>(mut input: impl BufRead, output: W, chaos: Option<ChaosSchedule>) -> i32
 where
     W: Write + Send + 'static,
 {
@@ -219,10 +264,31 @@ where
         };
         match protocol::message_type(&frame) {
             Some("lease") => {
-                if chaos == Some(leases_processed) {
+                let schedule = chaos.unwrap_or_default();
+                if schedule.exit_after == Some(leases_processed) {
                     // Scheduled crash: no result, no goodbye — the
                     // dispatcher sees EOF exactly as it would on kill -9.
                     std::process::exit(CHAOS_EXIT_CODE);
+                }
+                if schedule.corrupt_frame_after == Some(leases_processed) {
+                    // Torn frame then death: the dispatcher's reader hits
+                    // an unparseable header and treats the stream as dead.
+                    let mut writer = output
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let _ = writer.write_all(b"MLSF not-a-length\n");
+                    let _ = writer.flush();
+                    drop(writer);
+                    std::process::exit(CHAOS_EXIT_CODE);
+                }
+                if schedule.stall_after == Some(leases_processed) {
+                    // Stalled worker: the heartbeat thread keeps beating,
+                    // so liveness looks fine while the lease result never
+                    // arrives. Only the dispatcher's per-lease deadline
+                    // reclaims this lease (and kills this process).
+                    loop {
+                        std::thread::sleep(HEARTBEAT_PERIOD);
+                    }
                 }
                 let response = match process_lease(&session, &frame) {
                     Ok(result) => result,
@@ -257,10 +323,44 @@ mod tests {
 
     #[test]
     fn chaos_directives_parse() {
-        assert_eq!(parse_chaos("exit-after=3"), Some(3));
-        assert_eq!(parse_chaos(" exit-after=0 "), Some(0));
+        assert_eq!(
+            parse_chaos("exit-after=3"),
+            Some(ChaosSchedule {
+                exit_after: Some(3),
+                ..ChaosSchedule::default()
+            })
+        );
+        assert_eq!(
+            parse_chaos(" exit-after=0 "),
+            Some(ChaosSchedule {
+                exit_after: Some(0),
+                ..ChaosSchedule::default()
+            })
+        );
         assert_eq!(parse_chaos("explode"), None);
         assert_eq!(parse_chaos("exit-after=soon"), None);
+    }
+
+    #[test]
+    fn chaos_schedules_compose() {
+        assert_eq!(
+            parse_chaos("stall-after=1, corrupt-frame-after=2, sigkill-dispatcher-after=4"),
+            Some(ChaosSchedule {
+                exit_after: None,
+                stall_after: Some(1),
+                corrupt_frame_after: Some(2),
+                sigkill_dispatcher_after: Some(4),
+            })
+        );
+        // Unknown keys and malformed counts are skipped, not fatal.
+        assert_eq!(
+            parse_chaos("explode=7, exit-after=oops, stall-after=0"),
+            Some(ChaosSchedule {
+                stall_after: Some(0),
+                ..ChaosSchedule::default()
+            })
+        );
+        assert_eq!(parse_chaos("sigkill-dispatcher-after"), None);
     }
 
     #[test]

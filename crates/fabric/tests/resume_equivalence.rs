@@ -1,0 +1,292 @@
+//! Crash-safe fabric resume: a journaled distributed campaign must
+//! produce byte-identical artifacts whether it runs undisturbed, loses a
+//! worker to the full chaos plan (exit, stall, torn frame), or has its
+//! *dispatcher* killed (simulated by truncating the journal at record
+//! boundaries) and is resumed — at one worker and at two.
+//!
+//! The stall case is the one heartbeat reaping can never catch: the
+//! worker keeps beating while its lease result never arrives, so only the
+//! per-lease deadline (shrunk here to seconds) reclaims the lease.
+//!
+//! The tests share process-global fabric state (worker command, chaos
+//! directive, lease timeout), so they serialise on a static mutex.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use mls_campaign::{CampaignRunner, CampaignSpec, FaultKind, FaultPlan, Transport};
+use mls_core::SystemVariant;
+use mls_trace::TracePolicy;
+
+static FABRIC_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises the test, points the dispatcher at the worker binary Cargo
+/// built for this run, and clears chaos and lease-timeout overrides.
+fn fabric_session() -> MutexGuard<'static, ()> {
+    let guard = FABRIC_LOCK.lock().unwrap_or_else(|err| err.into_inner());
+    mls_fabric::install();
+    mls_fabric::set_worker_command(Some(PathBuf::from(env!("CARGO_BIN_EXE_mls-fabric-worker"))));
+    mls_fabric::set_chaos(None);
+    mls_fabric::set_lease_timeout(None);
+    guard
+}
+
+/// Stable artifact directory (uploaded by the CI workflow).
+fn trace_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/test-traces")
+        .join(name)
+}
+
+fn journal_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-journals");
+    fs::create_dir_all(&dir).expect("journal dir");
+    dir.join(format!("{name}.jsonl"))
+}
+
+/// A small campaign with enough cells to shard: 2 variants × (baseline +
+/// 1 fault) = 4 cells of 2 missions each.
+fn small_spec(name: &str) -> CampaignSpec {
+    let mut spec = CampaignSpec::smoke();
+    spec.name = name.to_string();
+    spec.variants = vec![SystemVariant::MlsV1, SystemVariant::MlsV3];
+    spec.faults = vec![FaultPlan::new(FaultKind::MarkerOcclusion, 0.6)];
+    spec.capture = TracePolicy::FailuresOnly;
+    spec.landing.mission_timeout = 120.0;
+    spec.executor.max_duration = 150.0;
+    spec
+}
+
+/// Reads every file under `dir` (recursively) into path-relative bytes.
+fn snapshot_dir(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    if !dir.exists() {
+        return files;
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for entry in fs::read_dir(&current).expect("read trace dir") {
+            let path = entry.expect("read trace dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let relative = path
+                    .strip_prefix(dir)
+                    .expect("trace path under root")
+                    .to_string_lossy()
+                    .into_owned();
+                files.insert(relative, fs::read(&path).expect("read trace file"));
+            }
+        }
+    }
+    files
+}
+
+fn wipe(dir: &Path) {
+    if dir.exists() {
+        fs::remove_dir_all(dir).expect("wipe trace dir");
+    }
+}
+
+/// Header plus the first `records` journal records, newline-terminated.
+fn journal_prefix(full: &str, records: usize) -> String {
+    let mut out = String::new();
+    for line in full.lines().take(1 + records) {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs the spec over the fabric with a journal, into `dir`.
+fn run_fabric(
+    spec: &CampaignSpec,
+    workers: usize,
+    journal: &Path,
+    dir: &Path,
+) -> (String, BTreeMap<String, Vec<u8>>) {
+    let report = CampaignRunner::new(2)
+        .with_transport(Transport::Fabric { workers })
+        .with_journal(journal)
+        .with_trace_dir(dir)
+        .run(spec)
+        .unwrap_or_else(|err| panic!("fabric run with {workers} workers failed: {err}"));
+    (
+        report.to_json().expect("serialise report"),
+        snapshot_dir(dir),
+    )
+}
+
+#[test]
+fn journaled_fabric_runs_match_in_process_at_every_worker_count() {
+    let _guard = fabric_session();
+    let spec = small_spec("fabric-resume-equiv");
+    let dir = trace_root("fabric-resume-equiv");
+
+    wipe(&dir);
+    let baseline = CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .run(&spec)
+        .expect("in-process run");
+    let baseline = (
+        baseline.to_json().expect("serialise baseline"),
+        snapshot_dir(&dir),
+    );
+
+    for workers in [1, 2] {
+        let journal = journal_path(&format!("fabric-resume-equiv-{workers}"));
+        let _ = fs::remove_file(&journal);
+        wipe(&dir);
+        let fabric = run_fabric(&spec, workers, &journal, &dir);
+        assert_eq!(baseline.0, fabric.0, "report diverged at {workers} workers");
+        assert_eq!(baseline.1, fabric.1, "traces diverged at {workers} workers");
+        assert!(
+            fs::read_to_string(&journal)
+                .expect("journal written")
+                .lines()
+                .count()
+                > 1,
+            "the dispatcher must journal results as they arrive"
+        );
+    }
+}
+
+#[test]
+fn dispatcher_kill_resumes_byte_identically_from_every_boundary() {
+    let _guard = fabric_session();
+    let spec = small_spec("fabric-resume-boundaries");
+    let dir = trace_root("fabric-resume-boundaries");
+    let journal = journal_path("fabric-resume-boundaries");
+    let _ = fs::remove_file(&journal);
+
+    wipe(&dir);
+    let baseline = run_fabric(&spec, 2, &journal, &dir);
+    let full = fs::read_to_string(&journal).expect("read journal");
+    let records = full.lines().count() - 1;
+    assert!(
+        records >= 2,
+        "expected several journal boundaries to kill at"
+    );
+
+    for kill_at in 0..=records {
+        let boundary = journal_path(&format!("fabric-resume-boundary-{kill_at}"));
+        let mut prefix = journal_prefix(&full, kill_at);
+        if kill_at < records {
+            // kill -9 mid-write: leave the next record torn.
+            let next = full.lines().nth(1 + kill_at).expect("next record");
+            prefix.push_str(&next[..next.len() / 2]);
+        }
+        fs::write(&boundary, prefix).expect("write boundary journal");
+
+        wipe(&dir);
+        let resumed = run_fabric(&spec, 2, &boundary, &dir);
+        assert_eq!(
+            baseline.0, resumed.0,
+            "report diverged when the dispatcher died after {kill_at} records"
+        );
+        assert_eq!(
+            baseline.1, resumed.1,
+            "traces diverged when the dispatcher died after {kill_at} records"
+        );
+    }
+}
+
+#[test]
+fn chaos_worker_exit_leaves_the_journal_and_report_intact() {
+    let _guard = fabric_session();
+    let spec = small_spec("fabric-resume-chaos-exit");
+    let dir = trace_root("fabric-resume-chaos-exit");
+
+    wipe(&dir);
+    let baseline = CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .run(&spec)
+        .expect("in-process run");
+    let baseline = (
+        baseline.to_json().expect("serialise baseline"),
+        snapshot_dir(&dir),
+    );
+
+    let journal = journal_path("fabric-resume-chaos-exit");
+    let _ = fs::remove_file(&journal);
+    mls_fabric::set_chaos(Some("exit-after=1".to_string()));
+    wipe(&dir);
+    let chaotic = run_fabric(&spec, 2, &journal, &dir);
+    mls_fabric::set_chaos(None);
+    assert_eq!(baseline.0, chaotic.0, "report diverged under worker exit");
+    assert_eq!(baseline.1, chaotic.1, "traces diverged under worker exit");
+
+    // The completed journal resumes without re-flying anything.
+    wipe(&dir);
+    let resumed = CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .resume(&journal)
+        .expect("resume from the chaos run's journal");
+    assert_eq!(baseline.0, resumed.to_json().expect("serialise resumed"));
+    assert_eq!(baseline.1, snapshot_dir(&dir));
+}
+
+#[test]
+fn stalled_worker_is_reclaimed_by_the_lease_deadline() {
+    let _guard = fabric_session();
+    // Short missions keep honest leases seconds long, far inside the
+    // shrunk deadline below — only the stalled lease ever exceeds it.
+    let mut spec = small_spec("fabric-resume-chaos-stall");
+    spec.landing.mission_timeout = 40.0;
+    spec.executor.max_duration = 50.0;
+    let dir = trace_root("fabric-resume-chaos-stall");
+
+    wipe(&dir);
+    let baseline = CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .run(&spec)
+        .expect("in-process run");
+    let baseline = (
+        baseline.to_json().expect("serialise baseline"),
+        snapshot_dir(&dir),
+    );
+
+    // Worker 0 hangs on its second lease while heartbeating: without the
+    // per-lease deadline this run would block for the full default
+    // timeout; with it, the lease is reassigned after 20s — well above
+    // any honest debug-build lease, well below the 300s default.
+    let journal = journal_path("fabric-resume-chaos-stall");
+    let _ = fs::remove_file(&journal);
+    mls_fabric::set_chaos(Some("stall-after=1".to_string()));
+    mls_fabric::set_lease_timeout(Some(Duration::from_secs(20)));
+    wipe(&dir);
+    let stalled = run_fabric(&spec, 2, &journal, &dir);
+    mls_fabric::set_chaos(None);
+    mls_fabric::set_lease_timeout(None);
+    assert_eq!(baseline.0, stalled.0, "report diverged under worker stall");
+    assert_eq!(baseline.1, stalled.1, "traces diverged under worker stall");
+}
+
+#[test]
+fn torn_result_frame_is_death_not_corruption() {
+    let _guard = fabric_session();
+    let spec = small_spec("fabric-resume-chaos-torn");
+    let dir = trace_root("fabric-resume-chaos-torn");
+
+    wipe(&dir);
+    let baseline = CampaignRunner::new(2)
+        .with_trace_dir(&dir)
+        .run(&spec)
+        .expect("in-process run");
+    let baseline = (
+        baseline.to_json().expect("serialise baseline"),
+        snapshot_dir(&dir),
+    );
+
+    let journal = journal_path("fabric-resume-chaos-torn");
+    let _ = fs::remove_file(&journal);
+    mls_fabric::set_chaos(Some("corrupt-frame-after=1".to_string()));
+    wipe(&dir);
+    let torn = run_fabric(&spec, 2, &journal, &dir);
+    mls_fabric::set_chaos(None);
+    assert_eq!(baseline.0, torn.0, "report diverged under a torn frame");
+    assert_eq!(baseline.1, torn.1, "traces diverged under a torn frame");
+}

@@ -40,13 +40,7 @@ fn main() -> ExitCode {
     };
 
     let json_path = json_path.unwrap_or_else(|| root.join("target/reports/lint.json"));
-    if let Some(parent) = json_path.parent() {
-        if let Err(err) = std::fs::create_dir_all(parent) {
-            eprintln!("mls-lint: cannot create {}: {err}", parent.display());
-            return ExitCode::from(2);
-        }
-    }
-    if let Err(err) = std::fs::write(&json_path, report.to_json()) {
+    if let Err(err) = mls_obs::atomic_write(&json_path, report.to_json().as_bytes()) {
         eprintln!("mls-lint: cannot write {}: {err}", json_path.display());
         return ExitCode::from(2);
     }

@@ -18,6 +18,7 @@
 //! | D004 | no unseeded entropy anywhere (OS RNG, `RandomState`) |
 //! | D005 | no text-formatted floats in wire paths (`to_bits` only) |
 //! | D006 | no `unwrap`/`expect`/`panic!` in worker protocol paths |
+//! | D007 | no bare `File::create`/`fs::write` in artifact paths (atomic_write only) |
 //!
 //! Violations are suppressible only via `// mls-lint: allow(D00x): <reason>`
 //! with a mandatory reason, and a *stale* allow (one that no longer

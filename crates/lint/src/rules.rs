@@ -1,4 +1,4 @@
-//! The D001–D006 rule catalog and the `mls-lint: allow` machinery.
+//! The D001–D007 rule catalog and the `mls-lint: allow` machinery.
 //!
 //! Every rule is a pass over the lexed token stream of one file, scoped by
 //! the file's [`FileClass`] (which protocol surfaces the path belongs to)
@@ -14,7 +14,7 @@ use crate::report::{Finding, Suppressed};
 
 /// The rule identifiers, in catalog order. `A000`/`A001` are the
 /// meta-rules (malformed and stale allows) and cannot be allowed away.
-pub const RULES: [&str; 6] = ["D001", "D002", "D003", "D004", "D005", "D006"];
+pub const RULES: [&str; 7] = ["D001", "D002", "D003", "D004", "D005", "D006", "D007"];
 
 /// Which restricted surfaces a file belongs to. Derived from the
 /// workspace-relative path by [`classify`]; fixture files (named
@@ -38,6 +38,10 @@ pub struct FileClass {
     /// D006 applies: fabric worker protocol paths, which must exit with a
     /// protocol error code instead of aborting mid-frame.
     pub worker_protocol: bool,
+    /// D007 applies: artifact writer paths, where durable outputs must go
+    /// through `mls_obs::atomic_write` (tmp + fsync + rename) so a crash
+    /// never leaves a torn file under the final name.
+    pub artifact: bool,
 }
 
 impl FileClass {
@@ -49,6 +53,7 @@ impl FileClass {
             spawn_sanctioned: false,
             clock_exempt: false,
             worker_protocol: true,
+            artifact: true,
         }
     }
 }
@@ -88,12 +93,23 @@ pub fn classify(rel: &str) -> FileClass {
             | "crates/fabric/src/protocol.rs"
             | "crates/fabric/src/bin/mls-fabric-worker.rs"
     );
+    let artifact = rel.starts_with("crates/trace/src/")
+        || rel.starts_with("crates/obs/src/")
+        || rel.starts_with("crates/bench/src/")
+        || matches!(
+            rel,
+            "crates/campaign/src/journal.rs"
+                | "crates/campaign/src/report.rs"
+                | "crates/campaign/src/search.rs"
+                | "crates/lint/src/bin/mls-lint.rs"
+        );
     FileClass {
         serialization,
         wire,
         spawn_sanctioned,
         clock_exempt,
         worker_protocol,
+        artifact,
     }
 }
 
@@ -275,7 +291,7 @@ fn collect_allows(view: &FileView<'_>, file: &str, findings: &mut Vec<Finding>) 
         };
         if !RULES.contains(&rule) {
             fail(format!(
-                "unknown rule `{rule}` in allow (catalog: D001-D006)"
+                "unknown rule `{rule}` in allow (catalog: D001-D007)"
             ));
             continue;
         }
@@ -455,6 +471,22 @@ pub fn check_source(rel: &str, src: &str, class: FileClass) -> (Vec<Finding>, Ve
                                 .into(),
                         );
                     }
+                    "File" if class.artifact && path_call("create") => emit(
+                        "D007",
+                        line,
+                        "File::create in an artifact path: a crash mid-write leaves a \
+                         torn file under the final name — write durable artifacts via \
+                         mls_obs::atomic_write (tmp + fsync + rename)"
+                            .into(),
+                    ),
+                    "fs" if class.artifact && path_call("write") => emit(
+                        "D007",
+                        line,
+                        "fs::write in an artifact path: a crash mid-write leaves a \
+                         torn file under the final name — write durable artifacts via \
+                         mls_obs::atomic_write (tmp + fsync + rename)"
+                            .into(),
+                    ),
                     _ => {}
                 }
             }
@@ -546,6 +578,10 @@ mod tests {
         assert!(classify("crates/fabric/src/worker.rs").spawn_sanctioned);
         assert!(classify("crates/obs/src/span.rs").clock_exempt);
         assert!(classify("crates/bench/src/bin/perfsuite.rs").clock_exempt);
+        assert!(classify("crates/trace/src/corpus.rs").artifact);
+        assert!(classify("crates/campaign/src/journal.rs").artifact);
+        assert!(classify("crates/lint/src/bin/mls-lint.rs").artifact);
+        assert!(!classify("crates/planning/src/astar.rs").artifact);
         assert!(!classify("crates/planning/src/astar.rs").serialization);
         assert_eq!(
             classify("fixtures/fixture_d001_bad.rs"),
@@ -626,6 +662,29 @@ mod tests {
         let (findings, _) = check_source("x.rs", missing_reason, FileClass::default());
         assert!(findings.iter().any(|f| f.rule == "A000"));
         assert!(findings.iter().any(|f| f.rule == "D003"));
+    }
+
+    #[test]
+    fn torn_write_shapes_trip_d007() {
+        let class = FileClass {
+            artifact: true,
+            ..FileClass::default()
+        };
+        for src in [
+            "fn f() { let file = std::fs::File::create(\"report.json\").unwrap(); }\n",
+            "fn f() { std::fs::write(\"report.json\", b\"{}\").unwrap(); }\n",
+        ] {
+            let (findings, _) = check_source("x.rs", src, class);
+            assert_eq!(findings.len(), 1, "{src}: {findings:?}");
+            assert_eq!(findings[0].rule, "D007");
+        }
+        // Outside artifact paths and inside tests the shapes are free.
+        let (findings, _) = check_source(
+            "x.rs",
+            "fn f() { std::fs::write(\"scratch\", b\"x\").unwrap(); }\n",
+            FileClass::default(),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

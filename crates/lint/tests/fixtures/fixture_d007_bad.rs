@@ -1,0 +1,9 @@
+//! D007 positive: a bare `File::create` in an artifact path — a crash
+//! between create and the final write leaves a torn file under the name
+//! readers trust.
+
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(bytes)
+}

@@ -1,0 +1,8 @@
+//! D007 negative: durable artifacts go through the shared atomic writer
+//! (tmp + fsync + rename), so readers only ever see complete files.
+//! (The idents in this doc comment — File::create, fs::write — must not
+//! trip the lexer-backed rule either.)
+
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    mls_obs::atomic_write(path, bytes)
+}

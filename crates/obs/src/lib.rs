@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 
+mod artifact;
 mod config;
 mod progress;
 mod registry;
@@ -48,6 +49,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
+pub use artifact::atomic_write;
 pub use config::{ObsConfig, DEFAULT_DIR};
 pub use progress::Progress;
 pub use registry::{Counter, Gauge, Histogram, Registry, SECONDS_BUCKETS};
@@ -222,9 +224,7 @@ pub fn flush() -> Vec<PathBuf> {
             state.config.tag.as_deref(),
             "prom",
         ));
-        if std::fs::create_dir_all(&state.config.dir).is_ok()
-            && std::fs::write(&path, Registry::global().exposition()).is_ok()
-        {
+        if atomic_write(&path, Registry::global().exposition().as_bytes()).is_ok() {
             paths.push(path);
         }
     }

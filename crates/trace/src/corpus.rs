@@ -23,7 +23,6 @@
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
@@ -226,12 +225,11 @@ impl TraceCorpus {
     ///
     /// Returns [`TraceError::Io`] on filesystem failures.
     pub fn save(&self) -> Result<(), TraceError> {
-        fs::create_dir_all(&self.root).map_err(|e| TraceError::Io(e.to_string()))?;
         let path = self.root.join(CORPUS_INDEX_FILE);
-        let mut file = fs::File::create(&path)
-            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
-        file.write_all(self.to_jsonl()?.as_bytes())
-            .map_err(|e| TraceError::Io(e.to_string()))
+        // Crash-ordered: a kill mid-save leaves the previous index (or
+        // none), never a torn one that fails the count check on ingest.
+        mls_obs::atomic_write(&path, self.to_jsonl()?.as_bytes())
+            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))
     }
 
     /// Resolves a record's trace file against the corpus root — valid

@@ -9,7 +9,6 @@
 //! byte comparison rather than a tolerance game.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
 
 use mls_core::SystemVariant;
@@ -199,11 +198,9 @@ impl Trace {
     ///
     /// Returns [`TraceError::Io`] on filesystem failures.
     pub fn write_to(&self, path: &Path) -> Result<(), TraceError> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent).map_err(|e| TraceError::Io(e.to_string()))?;
-        }
-        let mut file = fs::File::create(path).map_err(|e| TraceError::Io(e.to_string()))?;
-        file.write_all(self.to_jsonl()?.as_bytes())
+        // Crash-ordered (tmp + fsync + rename): a kill mid-persist never
+        // leaves a torn trace under the final name for replay to choke on.
+        mls_obs::atomic_write(path, self.to_jsonl()?.as_bytes())
             .map_err(|e| TraceError::Io(e.to_string()))
     }
 
